@@ -1,0 +1,123 @@
+//! AODV protocol constants (RFC 3561 §10, scaled to the simulation).
+
+use blackdp_sim::Duration;
+
+/// Tunable AODV parameters.
+///
+/// Defaults follow RFC 3561 §10 with a network diameter suited to the
+/// paper's 10 km highway (at most ~10 radio hops end to end).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AodvConfig {
+    /// Lifetime granted to routes used by the data plane
+    /// (`ACTIVE_ROUTE_TIMEOUT`).
+    pub active_route_timeout: Duration,
+    /// Lifetime a destination grants in its own RREPs
+    /// (`MY_ROUTE_TIMEOUT`).
+    pub my_route_timeout: Duration,
+    /// Maximum hops a flood may travel (`NET_DIAMETER`).
+    pub net_diameter: u8,
+    /// Conservative estimate of one-hop traversal
+    /// (`NODE_TRAVERSAL_TIME`).
+    pub node_traversal_time: Duration,
+    /// How many times a failed discovery is retried (`RREQ_RETRIES`).
+    pub rreq_retries: u32,
+    /// Hello beacon period (`HELLO_INTERVAL`).
+    pub hello_interval: Duration,
+    /// Beacons missed before a neighbor is declared gone
+    /// (`ALLOWED_HELLO_LOSS`).
+    pub allowed_hello_loss: u32,
+    /// Whether intermediate nodes with a fresh-enough cached route may
+    /// answer RREQs. This is standard AODV behaviour and exactly what a
+    /// black hole attacker abuses.
+    pub intermediate_reply: bool,
+    /// Maximum data packets buffered per destination while discovery runs.
+    pub max_buffered: usize,
+    /// Enable expanding-ring search (RFC 3561 §6.4): discoveries start
+    /// with a small TTL and widen on timeout, so nearby destinations are
+    /// found without flooding the whole network.
+    pub expanding_ring: bool,
+    /// First ring's TTL (`TTL_START`).
+    pub ttl_start: u8,
+    /// TTL growth per unanswered ring (`TTL_INCREMENT`).
+    pub ttl_increment: u8,
+    /// Above this TTL the search jumps straight to `NET_DIAMETER`
+    /// (`TTL_THRESHOLD`).
+    pub ttl_threshold: u8,
+}
+
+impl Default for AodvConfig {
+    fn default() -> Self {
+        AodvConfig {
+            active_route_timeout: Duration::from_secs(3),
+            my_route_timeout: Duration::from_secs(6),
+            net_diameter: 15,
+            node_traversal_time: Duration::from_millis(40),
+            rreq_retries: 2,
+            hello_interval: Duration::from_secs(1),
+            allowed_hello_loss: 2,
+            intermediate_reply: true,
+            max_buffered: 32,
+            expanding_ring: false,
+            ttl_start: 2,
+            ttl_increment: 2,
+            ttl_threshold: 7,
+        }
+    }
+}
+
+impl AodvConfig {
+    /// `NET_TRAVERSAL_TIME = 2 · NODE_TRAVERSAL_TIME · NET_DIAMETER`.
+    pub fn net_traversal_time(&self) -> Duration {
+        self.node_traversal_time
+            .saturating_mul(2 * self.net_diameter as u64)
+    }
+
+    /// `PATH_DISCOVERY_TIME = 2 · NET_TRAVERSAL_TIME` — how long RREQ ids
+    /// stay in the dedup cache.
+    pub fn path_discovery_time(&self) -> Duration {
+        self.net_traversal_time().saturating_mul(2)
+    }
+
+    /// `RING_TRAVERSAL_TIME` for a ring of radius `ttl`:
+    /// `2 · NODE_TRAVERSAL_TIME · (TTL + TIMEOUT_BUFFER)` with the RFC's
+    /// buffer of 2.
+    pub fn ring_traversal_time(&self, ttl: u8) -> Duration {
+        self.node_traversal_time
+            .saturating_mul(2 * (ttl as u64 + 2))
+    }
+
+    /// How long a silent neighbor is still considered connected.
+    pub fn neighbor_lifetime(&self) -> Duration {
+        self.hello_interval
+            .saturating_mul(self.allowed_hello_loss as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_times_follow_rfc_formulas() {
+        let cfg = AodvConfig::default();
+        assert_eq!(cfg.net_traversal_time(), Duration::from_millis(40 * 2 * 15));
+        assert_eq!(
+            cfg.path_discovery_time(),
+            Duration::from_millis(40 * 2 * 15 * 2)
+        );
+        assert_eq!(cfg.neighbor_lifetime(), Duration::from_secs(2));
+        assert_eq!(
+            cfg.ring_traversal_time(2),
+            Duration::from_millis(40 * 2 * 4)
+        );
+    }
+
+    #[test]
+    fn expanding_ring_defaults_follow_rfc() {
+        let cfg = AodvConfig::default();
+        assert!(!cfg.expanding_ring, "off by default, like the paper's sim");
+        assert_eq!(cfg.ttl_start, 2);
+        assert_eq!(cfg.ttl_increment, 2);
+        assert_eq!(cfg.ttl_threshold, 7);
+    }
+}

@@ -1,0 +1,62 @@
+//! # blackdp-aodv — a sans-io AODV routing implementation
+//!
+//! The Ad hoc On-Demand Distance Vector protocol (RFC 3561 subset) is the
+//! routing substrate the paper's black hole attack targets. This crate
+//! implements it as a pure state machine: [`Aodv`] consumes messages, timer
+//! ticks, and application send requests, and emits [`Action`]s (packets to
+//! transmit, events to observe) for the host to execute. No I/O, no clocks,
+//! no randomness — which makes every protocol rule unit-testable in
+//! isolation and lets the simulator, the attackers, and BlackDP's RSU
+//! probes all reuse the same message types.
+//!
+//! Implemented behaviour:
+//!
+//! * route discovery: RREQ flooding with per-originator id dedup, TTL,
+//!   reverse-route installation, destination and intermediate (cached)
+//!   RREPs, retries with binary exponential backoff;
+//! * route maintenance: hello beaconing, neighbor-loss detection, lifetime
+//!   expiry, RERR generation and propagation via precursor lists;
+//! * data plane: hop-by-hop forwarding with TTL, buffering during
+//!   discovery, lifetime refresh;
+//! * the two BlackDP probe extensions from the paper: the
+//!   [`next_hop_inquiry`](Rreq::next_hop_inquiry) RREQ flag and the
+//!   [`next_hop`](Rrep::next_hop) RREP disclosure.
+//!
+//! # Examples
+//!
+//! ```
+//! use blackdp_aodv::{Action, Addr, Aodv, AodvConfig, Event, Message};
+//! use blackdp_sim::Time;
+//!
+//! let now = Time::ZERO;
+//! let mut src = Aodv::new(Addr(1), AodvConfig::default());
+//! let mut dst = Aodv::new(Addr(2), AodvConfig::default());
+//!
+//! // src floods an RREQ; dst replies; src establishes the route.
+//! let rreq = src.send_data(Addr(2), now).into_iter().find_map(|a| match a {
+//!     Action::Broadcast { msg } => Some(msg),
+//!     _ => None,
+//! }).expect("RREQ broadcast");
+//! let rrep = dst.handle_message(Addr(1), rreq, now).into_iter().find_map(|a| match a {
+//!     Action::SendTo { msg, .. } => Some(msg),
+//!     _ => None,
+//! }).expect("RREP unicast");
+//! let done = src.handle_message(Addr(2), rrep, now);
+//! assert!(done.iter().any(|a| matches!(
+//!     a,
+//!     Action::Event(Event::RouteEstablished { dest: Addr(2), .. })
+//! )));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod machine;
+mod msg;
+mod table;
+
+pub use config::AodvConfig;
+pub use machine::{Action, Aodv, DropReason, Event};
+pub use msg::{Addr, DataPacket, Hello, Message, Rerr, Rrep, Rreq, SeqNo};
+pub use table::{seq_newer, RouteEntry, RouteState, RoutingTable};

@@ -1,0 +1,189 @@
+//! AODV wire messages (RFC 3561 subset, plus the BlackDP probe extensions).
+
+use std::fmt;
+
+use blackdp_sim::Duration;
+
+/// A protocol-level address.
+///
+/// AODV routes between *identities*, not radios: in the BlackDP setting an
+/// address is a vehicle's current pseudonymous identification, so it can
+/// change on certificate renewal and can be fabricated (the RSU's
+/// "disposable identity" probe does exactly that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A destination sequence number (route freshness, Section II-B).
+pub type SeqNo = u32;
+
+/// Route request, flooded during route discovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rreq {
+    /// Per-originator discovery id; `(orig, rreq_id)` deduplicates floods.
+    pub rreq_id: u64,
+    /// The sought destination.
+    pub dest: Addr,
+    /// Last known destination sequence number, `None` when unknown
+    /// (RFC 3561 "unknown sequence number" flag).
+    pub dest_seq: Option<SeqNo>,
+    /// The requesting node.
+    pub orig: Addr,
+    /// The originator's own sequence number.
+    pub orig_seq: SeqNo,
+    /// Hops travelled so far.
+    pub hop_count: u8,
+    /// Remaining time-to-live; the flood stops at zero.
+    pub ttl: u8,
+    /// BlackDP extension: ask the replier to disclose its next hop toward
+    /// the destination (used by the RSU's second probe, `RREQ₂`).
+    pub next_hop_inquiry: bool,
+}
+
+/// Route reply, unicast back along the reverse path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rrep {
+    /// The destination the route leads to.
+    pub dest: Addr,
+    /// The destination sequence number backing the route's freshness.
+    pub dest_seq: SeqNo,
+    /// The node the reply is travelling back to.
+    pub orig: Addr,
+    /// Hops from the replier to the destination.
+    pub hop_count: u8,
+    /// How long the route may be considered valid.
+    pub lifetime: Duration,
+    /// BlackDP extension: the replier's next hop toward the destination,
+    /// disclosed when the triggering RREQ set
+    /// [`next_hop_inquiry`](Rreq::next_hop_inquiry). A cooperative attacker
+    /// names its teammate here (Section III-B.3).
+    pub next_hop: Option<Addr>,
+}
+
+/// Route error: a list of now-unreachable destinations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rerr {
+    /// `(destination, incremented destination sequence number)` pairs.
+    pub unreachable: Vec<(Addr, SeqNo)>,
+}
+
+/// Periodic local connectivity beacon (RFC 3561 Hello).
+///
+/// Distinct from BlackDP's end-to-end *secure Hello* probe, which lives in
+/// the `blackdp` crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The beaconing node.
+    pub orig: Addr,
+    /// The beaconing node's current sequence number.
+    pub seq: SeqNo,
+}
+
+/// An application data packet routed hop-by-hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataPacket {
+    /// Source address.
+    pub orig: Addr,
+    /// Final destination address.
+    pub dest: Addr,
+    /// Source-assigned packet number, for delivery accounting.
+    pub seq_no: u64,
+    /// Remaining time-to-live.
+    pub ttl: u8,
+}
+
+/// Any AODV message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Route request.
+    Rreq(Rreq),
+    /// Route reply.
+    Rrep(Rrep),
+    /// Route error.
+    Rerr(Rerr),
+    /// Connectivity beacon.
+    Hello(Hello),
+    /// Routed application data.
+    Data(DataPacket),
+}
+
+impl Message {
+    /// A short human-readable kind tag, for statistics keys.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Rreq(_) => "rreq",
+            Message::Rrep(_) => "rrep",
+            Message::Rerr(_) => "rerr",
+            Message::Hello(_) => "hello",
+            Message::Data(_) => "data",
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Message::Rreq(r) => write!(
+                f,
+                "RREQ#{} {}→{} seq={:?} hops={} ttl={}",
+                r.rreq_id, r.orig, r.dest, r.dest_seq, r.hop_count, r.ttl
+            ),
+            Message::Rrep(r) => write!(
+                f,
+                "RREP {}→{} seq={} hops={}",
+                r.dest, r.orig, r.dest_seq, r.hop_count
+            ),
+            Message::Rerr(r) => write!(f, "RERR {} destinations", r.unreachable.len()),
+            Message::Hello(h) => write!(f, "HELLO from {}", h.orig),
+            Message::Data(d) => write!(f, "DATA {}→{} #{}", d.orig, d.dest, d.seq_no),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tags_are_stable() {
+        let rreq = Message::Rreq(Rreq {
+            rreq_id: 1,
+            dest: Addr(2),
+            dest_seq: None,
+            orig: Addr(1),
+            orig_seq: 0,
+            hop_count: 0,
+            ttl: 10,
+            next_hop_inquiry: false,
+        });
+        assert_eq!(rreq.kind(), "rreq");
+        assert_eq!(
+            Message::Hello(Hello {
+                orig: Addr(1),
+                seq: 0
+            })
+            .kind(),
+            "hello"
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let msg = Message::Rrep(Rrep {
+            dest: Addr(7),
+            dest_seq: 75,
+            orig: Addr(1),
+            hop_count: 3,
+            lifetime: Duration::from_secs(3),
+            next_hop: None,
+        });
+        let s = msg.to_string();
+        assert!(s.contains("RREP"));
+        assert!(s.contains("75"));
+    }
+}

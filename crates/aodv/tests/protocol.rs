@@ -1,0 +1,257 @@
+//! Multi-instance AODV protocol tests: a tiny in-memory "harness" delivers
+//! actions between instances so multi-hop behaviours (RERR cascades,
+//! gratuitous cache replies, route refresh) can be exercised without the
+//! full simulator.
+
+use std::collections::VecDeque;
+
+use blackdp_aodv::{Action, Addr, Aodv, AodvConfig, DropReason, Event, Message};
+use blackdp_sim::{Duration, Time};
+
+/// A line topology harness: node i can hear nodes i±1.
+struct Line {
+    nodes: Vec<Aodv>,
+    /// Queue of (from_index, to_index, message).
+    queue: VecDeque<(usize, usize, Message)>,
+    events: Vec<(usize, Event)>,
+    now: Time,
+}
+
+impl Line {
+    fn new(n: usize) -> Self {
+        let cfg = AodvConfig::default();
+        Line {
+            nodes: (0..n)
+                .map(|i| Aodv::new(Addr(i as u64 + 1), cfg.clone()))
+                .collect(),
+            queue: VecDeque::new(),
+            events: Vec::new(),
+            now: Time::ZERO,
+        }
+    }
+
+    fn addr(&self, i: usize) -> Addr {
+        self.nodes[i].addr()
+    }
+
+    fn index_of(&self, addr: Addr) -> Option<usize> {
+        self.nodes.iter().position(|n| n.addr() == addr)
+    }
+
+    fn neighbors(&self, i: usize) -> Vec<usize> {
+        let mut v = Vec::new();
+        if i > 0 {
+            v.push(i - 1);
+        }
+        if i + 1 < self.nodes.len() {
+            v.push(i + 1);
+        }
+        v
+    }
+
+    fn enqueue_actions(&mut self, from: usize, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Broadcast { msg } => {
+                    for to in self.neighbors(from) {
+                        self.queue.push_back((from, to, msg.clone()));
+                    }
+                }
+                Action::SendTo { next_hop, msg } => {
+                    if let Some(to) = self.index_of(next_hop) {
+                        // Only deliver if actually adjacent (unicast over
+                        // the line).
+                        if self.neighbors(from).contains(&to) {
+                            self.queue.push_back((from, to, msg));
+                        }
+                    }
+                }
+                Action::Event(e) => self.events.push((from, e)),
+            }
+        }
+    }
+
+    fn drain(&mut self) {
+        let mut budget = 100_000;
+        while let Some((from, to, msg)) = self.queue.pop_front() {
+            budget -= 1;
+            assert!(budget > 0, "message storm");
+            let from_addr = self.addr(from);
+            let actions = self.nodes[to].handle_message(from_addr, msg, self.now);
+            self.enqueue_actions(to, actions);
+        }
+    }
+
+    fn send_data(&mut self, from: usize, to: usize) {
+        let dest = self.addr(to);
+        let actions = self.nodes[from].send_data(dest, self.now);
+        self.enqueue_actions(from, actions);
+        self.drain();
+    }
+
+    fn tick_all(&mut self, advance: Duration) {
+        self.now += advance;
+        for i in 0..self.nodes.len() {
+            let actions = self.nodes[i].tick(self.now);
+            self.enqueue_actions(i, actions);
+        }
+        self.drain();
+    }
+
+    fn delivered_at(&self, i: usize) -> usize {
+        self.events
+            .iter()
+            .filter(|(n, e)| *n == i && matches!(e, Event::DataDelivered(_)))
+            .count()
+    }
+}
+
+#[test]
+fn five_hop_line_delivers_end_to_end() {
+    let mut line = Line::new(6);
+    line.send_data(0, 5);
+    assert_eq!(line.delivered_at(5), 1, "events: {:?}", line.events);
+    // Forward route installed at the source with the destination's seq.
+    let route = line.nodes[0]
+        .routes()
+        .lookup_usable(Addr(6), line.now)
+        .expect("route installed");
+    assert_eq!(route.hop_count, 5);
+}
+
+#[test]
+fn reverse_route_enables_immediate_reply_traffic() {
+    let mut line = Line::new(4);
+    line.send_data(0, 3);
+    assert_eq!(line.delivered_at(3), 1);
+    // The destination answers without a new discovery: the reverse route
+    // was installed by the flood.
+    let before = line
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, Event::RouteEstablished { .. }))
+        .count();
+    line.send_data(3, 0);
+    assert_eq!(line.delivered_at(0), 1);
+    let after = line
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, Event::RouteEstablished { .. }))
+        .count();
+    assert_eq!(before, after, "no new discovery was needed");
+}
+
+#[test]
+fn intermediate_answers_from_cache_on_second_discovery() {
+    let mut line = Line::new(5);
+    line.send_data(0, 4); // everyone on the path learns a route to 5
+                          // A different node (1) now asks for the same destination: node 2 (its
+                          // neighbor with a cached route) may answer directly.
+    line.send_data(1, 4);
+    assert_eq!(line.delivered_at(4), 2);
+}
+
+#[test]
+fn cache_reply_count_is_bounded_by_dedup() {
+    let mut line = Line::new(6);
+    line.send_data(0, 5);
+    let rrep_events = line
+        .events
+        .iter()
+        .filter(|(n, e)| *n == 0 && matches!(e, Event::RrepReceived { .. }))
+        .count();
+    // The source saw at least one RREP but not an explosion (dedup caps
+    // flood amplification).
+    assert!(rrep_events >= 1);
+    assert!(rrep_events <= 3, "got {rrep_events} RREPs");
+}
+
+#[test]
+fn hello_silence_breaks_links_and_rerr_reaches_the_source() {
+    let mut line = Line::new(4);
+    line.send_data(0, 3);
+    assert_eq!(line.delivered_at(3), 1);
+
+    // Beacon a few rounds so neighbor tables are warm.
+    for _ in 0..3 {
+        line.tick_all(Duration::from_secs(1));
+    }
+    // Node 3 vanishes: remove it from the topology by replacing it with a
+    // fresh instance that never speaks (simplest "gone" model: we stop
+    // delivering to/from index 3 by draining its queue activity — here we
+    // simply stop ticking it and let its neighbors time out).
+    let silent = 3usize;
+    for _ in 0..4 {
+        line.now += Duration::from_secs(1);
+        for i in 0..line.nodes.len() {
+            if i == silent {
+                continue; // it no longer beacons
+            }
+            let actions = line.nodes[i].tick(line.now);
+            // Drop anything addressed to the vanished node.
+            let filtered: Vec<Action> = actions
+                .into_iter()
+                .filter(|a| !matches!(a, Action::SendTo { next_hop, .. } if *next_hop == Addr(4)))
+                .collect();
+            line.enqueue_actions(i, filtered);
+        }
+        // Also drop queued deliveries to the silent node.
+        line.queue.retain(|(_, to, _)| *to != silent);
+        line.drain();
+    }
+    // Node 2 must have declared the link broken…
+    assert!(
+        line.events
+            .iter()
+            .any(|(n, e)| *n == 2
+                && matches!(e, Event::LinkBroken { neighbor } if *neighbor == Addr(4))),
+        "no link-break at node 2: {:?}",
+        line.events
+    );
+    // …and the source's route to 4 must be gone.
+    assert!(
+        line.nodes[0]
+            .routes()
+            .lookup_usable(Addr(4), line.now)
+            .is_none(),
+        "stale route survived at the source"
+    );
+}
+
+#[test]
+fn data_to_unreachable_destination_fails_cleanly() {
+    let mut line = Line::new(3);
+    // Destination address that nobody owns.
+    let phantom = Addr(999);
+    let actions = line.nodes[0].send_data(phantom, line.now);
+    line.enqueue_actions(0, actions);
+    line.drain();
+    // Walk time forward until the discovery exhausts its retries.
+    for _ in 0..200 {
+        line.tick_all(Duration::from_millis(200));
+    }
+    assert!(
+        line.events.iter().any(|(n, e)| *n == 0
+            && matches!(
+                e,
+                Event::DataDropped {
+                    reason: DropReason::NoRoute,
+                    ..
+                }
+            )),
+        "the buffered packet must be dropped with NoRoute: {:?}",
+        line.events
+            .iter()
+            .filter(|(n, _)| *n == 0)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn duplicate_data_packets_each_get_forwarded() {
+    let mut line = Line::new(3);
+    line.send_data(0, 2);
+    line.send_data(0, 2);
+    line.send_data(0, 2);
+    assert_eq!(line.delivered_at(2), 3);
+}

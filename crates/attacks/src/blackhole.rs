@@ -1,0 +1,682 @@
+//! The black hole attacker state machine.
+
+use blackdp::{addr_of, BlackDpMessage, HelloReply, RrepBody, Sealed, Wire};
+use blackdp_aodv::{Addr, DataPacket, Hello, Message as AodvMessage, Rrep, Rreq, SeqNo};
+use blackdp_crypto::{Certificate, Keypair, PseudonymId};
+use blackdp_mobility::ClusterId;
+use blackdp_sim::{Duration, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How the attacker behaves once it believes detection is possible
+/// (Section IV-B lists these as the reasons accuracy drops in the
+/// certificate-renewal zone, clusters 8–10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvasionPolicy {
+    /// No evasion: always attack (clusters 1–7 behaviour).
+    #[default]
+    None,
+    /// "The attacker acted legitimately during the detection phase": stop
+    /// answering RREQs while dormant.
+    ActLegitimately,
+    /// "The attacker fled from the network": the scenario despawns the
+    /// vehicle when this policy fires.
+    Flee,
+    /// "Certificate renewal where the attacker takes advantage of changing
+    /// its identity during the detection process".
+    RenewIdentity,
+}
+
+/// Attack-behaviour knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackerConfig {
+    /// How far above the highest sequence number seen so far the forged
+    /// RREP climbs (the paper's example forges SN 120 against a legitimate
+    /// 20, and 200 against 75).
+    pub seq_margin: SeqNo,
+    /// The hop count advertised in forged RREPs (the paper's example
+    /// uses 4).
+    pub fake_hop_count: u8,
+    /// Lifetime advertised in forged RREPs.
+    pub fake_lifetime: Duration,
+    /// The cooperating teammate, disclosed on next-hop inquiries.
+    pub teammate: Option<Addr>,
+    /// Whether to answer Hello probes with a fake reply claiming to be the
+    /// destination (the "anonymity response" path) instead of silently
+    /// dropping them.
+    pub fake_hello_reply: bool,
+    /// Evasion behaviour in the renewal zone.
+    pub evasion: EvasionPolicy,
+}
+
+impl Default for AttackerConfig {
+    fn default() -> Self {
+        AttackerConfig {
+            seq_margin: 120,
+            fake_hop_count: 4,
+            fake_lifetime: Duration::from_secs(10),
+            teammate: None,
+            fake_hello_reply: false,
+            evasion: EvasionPolicy::None,
+        }
+    }
+}
+
+/// An instruction for the host embedding a [`BlackHole`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackerAction {
+    /// Transmit to a specific node.
+    SendTo {
+        /// The target's protocol address.
+        to: Addr,
+        /// The packet.
+        wire: Wire,
+    },
+    /// Broadcast to everyone in range.
+    Broadcast {
+        /// The packet.
+        wire: Wire,
+    },
+    /// An observable event for metrics.
+    Event(AttackerEvent),
+}
+
+/// Observable attacker events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackerEvent {
+    /// A forged RREP was sent to lure `victim`.
+    LuredVictim {
+        /// The RREQ originator being deceived.
+        victim: Addr,
+    },
+    /// A data packet attracted by the forged route was dropped.
+    DroppedData(DataPacket),
+    /// An end-to-end Hello probe was swallowed (or answered with a fake).
+    SwallowedProbe,
+    /// The attacker went dormant (acting legitimately).
+    WentDormant,
+}
+
+/// A single (or cooperative-half) black hole attacker.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_attacks::{AttackerAction, AttackerConfig, BlackHole};
+/// use blackdp_aodv::{Addr, Message as AodvMessage, Rreq};
+/// use blackdp::Wire;
+/// use blackdp_crypto::{Keypair, LongTermId, TaId, TrustedAuthority};
+/// use blackdp_sim::{Duration, Time};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut ta = TrustedAuthority::new(TaId(0), &mut rng);
+/// let keys = Keypair::generate(&mut rng);
+/// let cert = ta.enroll(LongTermId(66), keys.public(), Time::ZERO, Duration::from_secs(600), &mut rng);
+/// let mut bh = BlackHole::new(keys, cert, AttackerConfig::default(), 1);
+///
+/// // Any RREQ gets an immediate forged, *signed* RREP.
+/// let rreq = Rreq { rreq_id: 1, dest: Addr(7), dest_seq: Some(0), orig: Addr(1),
+///                   orig_seq: 1, hop_count: 0, ttl: 10, next_hop_inquiry: false };
+/// let actions = bh.handle_wire(Addr(1), &Wire::Aodv(AodvMessage::Rreq(rreq)), Time::ZERO);
+/// assert!(actions.iter().any(|a| matches!(a, AttackerAction::SendTo { wire: Wire::SecuredRrep { .. }, .. })));
+/// ```
+#[derive(Debug)]
+pub struct BlackHole {
+    keys: Keypair,
+    cert: Certificate,
+    cluster: Option<ClusterId>,
+    cfg: AttackerConfig,
+    highest_seen: SeqNo,
+    dormant: bool,
+    seq_counter: SeqNo,
+    last_hello: Option<Time>,
+    dropped: u64,
+    lured: u64,
+    rng: StdRng,
+}
+
+impl BlackHole {
+    /// Creates an attacker holding a valid (compromised-insider)
+    /// credential.
+    pub fn new(keys: Keypair, cert: Certificate, cfg: AttackerConfig, seed: u64) -> Self {
+        BlackHole {
+            keys,
+            cert,
+            cluster: None,
+            cfg,
+            highest_seen: 0,
+            dormant: false,
+            seq_counter: 0,
+            last_hello: None,
+            dropped: 0,
+            lured: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The attacker's current protocol address (its pseudonym).
+    pub fn addr(&self) -> Addr {
+        addr_of(self.cert.pseudonym)
+    }
+
+    /// The attacker's current pseudonym.
+    pub fn pseudonym(&self) -> PseudonymId {
+        self.cert.pseudonym
+    }
+
+    /// The attacker's current (valid!) certificate — used by host nodes to
+    /// produce the legitimate-looking membership traffic (JREQ signing)
+    /// that keeps the attacker registered in its cluster.
+    pub fn cert(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// The attacker's current signing keys (see [`Self::cert`]).
+    pub fn keys(&self) -> &Keypair {
+        &self.keys
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AttackerConfig {
+        &self.cfg
+    }
+
+    /// Data packets dropped so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Victims lured so far.
+    pub fn lured_count(&self) -> u64 {
+        self.lured
+    }
+
+    /// True if the attacker is currently dormant (acting legitimately).
+    pub fn is_dormant(&self) -> bool {
+        self.dormant
+    }
+
+    /// Puts the attacker to sleep or wakes it (the `ActLegitimately`
+    /// evasion, driven by the scenario when entering the renewal zone).
+    pub fn set_dormant(&mut self, dormant: bool) {
+        self.dormant = dormant;
+    }
+
+    /// Swaps in a renewed identity (`RenewIdentity` evasion): new keys and
+    /// certificate, fresh pseudonym.
+    pub fn renew_identity(&mut self, keys: Keypair, cert: Certificate) {
+        self.keys = keys;
+        self.cert = cert;
+    }
+
+    /// Records the cluster learned from a JREP.
+    pub fn set_cluster(&mut self, cluster: Option<ClusterId>) {
+        self.cluster = cluster;
+    }
+
+    /// Processes an incoming packet.
+    pub fn handle_wire(&mut self, from: Addr, wire: &Wire, now: Time) -> Vec<AttackerAction> {
+        match wire {
+            Wire::Aodv(AodvMessage::Rreq(rreq)) => self.handle_rreq(from, *rreq, now),
+            Wire::Aodv(AodvMessage::Rrep(rrep)) | Wire::SecuredRrep { rrep, .. } => {
+                // Learn the going rate of sequence numbers, then swallow the
+                // reply (a competitor's route helps nobody).
+                self.highest_seen = self.highest_seen.max(rrep.dest_seq);
+                Vec::new()
+            }
+            Wire::Aodv(AodvMessage::Data(data)) => {
+                if data.dest == self.addr() {
+                    return Vec::new(); // traffic genuinely for us
+                }
+                self.dropped += 1;
+                vec![AttackerAction::Event(AttackerEvent::DroppedData(*data))]
+            }
+            Wire::Aodv(AodvMessage::Hello(h)) => {
+                self.highest_seen = self.highest_seen.max(h.seq);
+                Vec::new()
+            }
+            Wire::Aodv(AodvMessage::Rerr(_)) => Vec::new(),
+            Wire::BlackDp(BlackDpMessage::HelloProbe(sealed)) => {
+                if sealed.body.dest == self.addr() {
+                    return Vec::new(); // probing us as a *destination* is legitimate
+                }
+                let mut actions = vec![AttackerAction::Event(AttackerEvent::SwallowedProbe)];
+                if self.cfg.fake_hello_reply && !self.dormant {
+                    // Claim to be the destination: sign a reply with our own
+                    // credential. The verifier will notice the signer is not
+                    // the destination — the paper's "anonymity response".
+                    let reply = HelloReply {
+                        probe_id: sealed.body.probe_id,
+                        src: sealed.body.dest, // the lie
+                        dest: sealed.body.src,
+                        ttl: 16,
+                    };
+                    let sealed_reply =
+                        Sealed::seal(reply, self.cert, self.cluster, &self.keys, &mut self.rng);
+                    actions.push(AttackerAction::SendTo {
+                        to: from,
+                        wire: Wire::BlackDp(BlackDpMessage::HelloReply(sealed_reply)),
+                    });
+                }
+                actions
+            }
+            Wire::BlackDp(BlackDpMessage::Jrep { cluster, .. }) => {
+                self.cluster = Some(*cluster);
+                Vec::new()
+            }
+            Wire::BlackDp(_) => Vec::new(),
+        }
+    }
+
+    /// Periodic behaviour: beacon hellos like a legitimate node so
+    /// neighbors keep routing through us.
+    pub fn tick(&mut self, now: Time, hello_interval: Duration) -> Vec<AttackerAction> {
+        let due = match self.last_hello {
+            None => true,
+            Some(t) => now.saturating_since(t) >= hello_interval,
+        };
+        if !due {
+            return Vec::new();
+        }
+        self.last_hello = Some(now);
+        self.seq_counter += 1;
+        vec![AttackerAction::Broadcast {
+            wire: Wire::Aodv(AodvMessage::Hello(Hello {
+                orig: self.addr(),
+                seq: self.seq_counter,
+            })),
+        }]
+    }
+
+    fn handle_rreq(&mut self, from: Addr, rreq: Rreq, now: Time) -> Vec<AttackerAction> {
+        let _ = now;
+        if let Some(ds) = rreq.dest_seq {
+            self.highest_seen = self.highest_seen.max(ds);
+        }
+        if rreq.dest == self.addr() || rreq.orig == self.addr() {
+            return Vec::new(); // genuine traffic involving us
+        }
+        if self.dormant {
+            // Acting legitimately: behave like an honest node with no route
+            // — reflood and stay quiet.
+            let mut actions = vec![AttackerAction::Event(AttackerEvent::WentDormant)];
+            if rreq.ttl > 0 {
+                actions.push(AttackerAction::Broadcast {
+                    wire: Wire::Aodv(AodvMessage::Rreq(Rreq {
+                        hop_count: rreq.hop_count.saturating_add(1),
+                        ttl: rreq.ttl - 1,
+                        ..rreq
+                    })),
+                });
+            }
+            return actions;
+        }
+        // The attack: claim the freshest possible route, as fast as
+        // possible.
+        let forged_seq = self
+            .highest_seen
+            .max(rreq.dest_seq.unwrap_or(0))
+            .saturating_add(self.cfg.seq_margin);
+        self.highest_seen = forged_seq;
+        let rrep = Rrep {
+            dest: rreq.dest,
+            dest_seq: forged_seq,
+            orig: rreq.orig,
+            hop_count: self.cfg.fake_hop_count,
+            lifetime: self.cfg.fake_lifetime,
+            next_hop: rreq.next_hop_inquiry.then(|| {
+                // Disclose the teammate (cooperative) or invent one.
+                self.cfg.teammate.unwrap_or(self.addr())
+            }),
+        };
+        let auth = Sealed::seal(
+            RrepBody(rrep),
+            self.cert,
+            self.cluster,
+            &self.keys,
+            &mut self.rng,
+        );
+        self.lured += 1;
+        vec![
+            AttackerAction::SendTo {
+                to: from,
+                wire: Wire::SecuredRrep { rrep, auth },
+            },
+            AttackerAction::Event(AttackerEvent::LuredVictim { victim: rreq.orig }),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackdp_crypto::{LongTermId, TaId, TrustedAuthority};
+
+    struct Fixture {
+        rng: StdRng,
+        ta: TrustedAuthority,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(31);
+        let ta = TrustedAuthority::new(TaId(0), &mut rng);
+        Fixture { rng, ta }
+    }
+
+    fn attacker(fx: &mut Fixture, cfg: AttackerConfig) -> BlackHole {
+        let keys = Keypair::generate(&mut fx.rng);
+        let cert = fx.ta.enroll(
+            LongTermId(66),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut fx.rng,
+        );
+        BlackHole::new(keys, cert, cfg, 7)
+    }
+
+    fn rreq(dest: u64, orig: u64, dest_seq: Option<SeqNo>, inquiry: bool) -> Rreq {
+        Rreq {
+            rreq_id: 1,
+            dest: Addr(dest),
+            dest_seq,
+            orig: Addr(orig),
+            orig_seq: 1,
+            hop_count: 0,
+            ttl: 5,
+            next_hop_inquiry: inquiry,
+        }
+    }
+
+    fn forged_rrep(actions: &[AttackerAction]) -> Option<Rrep> {
+        actions.iter().find_map(|a| match a {
+            AttackerAction::SendTo {
+                wire: Wire::SecuredRrep { rrep, .. },
+                ..
+            } => Some(*rrep),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn replies_to_any_rreq_with_inflated_seq() {
+        let mut fx = fixture();
+        let mut bh = attacker(&mut fx, AttackerConfig::default());
+        let actions = bh.handle_wire(
+            Addr(1),
+            &Wire::Aodv(AodvMessage::Rreq(rreq(7, 1, Some(20), false))),
+            Time::ZERO,
+        );
+        let rrep = forged_rrep(&actions).expect("forged RREP");
+        assert_eq!(rrep.dest, Addr(7));
+        assert_eq!(rrep.orig, Addr(1));
+        assert!(rrep.dest_seq >= 140, "20 seen + margin 120");
+        assert_eq!(bh.lured_count(), 1);
+    }
+
+    #[test]
+    fn forged_rrep_signature_verifies_as_insider() {
+        let mut fx = fixture();
+        let mut bh = attacker(&mut fx, AttackerConfig::default());
+        let actions = bh.handle_wire(
+            Addr(1),
+            &Wire::Aodv(AodvMessage::Rreq(rreq(7, 1, None, false))),
+            Time::ZERO,
+        );
+        let auth = actions
+            .iter()
+            .find_map(|a| match a {
+                AttackerAction::SendTo {
+                    wire: Wire::SecuredRrep { auth, .. },
+                    ..
+                } => Some(auth.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // The envelope is VALID — the attacker is a certified insider. Only
+        // behaviour can expose it.
+        assert!(auth.verify(fx.ta.public_key(), Time::from_secs(1)).is_ok());
+        assert_ne!(
+            blackdp::addr_of(auth.signer()),
+            Addr(7),
+            "but the signer is not the claimed destination"
+        );
+    }
+
+    #[test]
+    fn escalates_above_every_seen_sequence_number() {
+        let mut fx = fixture();
+        let mut bh = attacker(&mut fx, AttackerConfig::default());
+        // Observe a competitor RREP with seq 500.
+        let competitor = Rrep {
+            dest: Addr(7),
+            dest_seq: 500,
+            orig: Addr(1),
+            hop_count: 2,
+            lifetime: Duration::from_secs(6),
+            next_hop: None,
+        };
+        let _ = bh.handle_wire(
+            Addr(3),
+            &Wire::Aodv(AodvMessage::Rrep(competitor)),
+            Time::ZERO,
+        );
+        let actions = bh.handle_wire(
+            Addr(1),
+            &Wire::Aodv(AodvMessage::Rreq(rreq(7, 1, Some(0), false))),
+            Time::ZERO,
+        );
+        assert!(forged_rrep(&actions).unwrap().dest_seq > 500);
+    }
+
+    #[test]
+    fn drops_transit_data() {
+        let mut fx = fixture();
+        let mut bh = attacker(&mut fx, AttackerConfig::default());
+        let data = DataPacket {
+            orig: Addr(1),
+            dest: Addr(7),
+            seq_no: 0,
+            ttl: 5,
+        };
+        let actions = bh.handle_wire(Addr(1), &Wire::Aodv(AodvMessage::Data(data)), Time::ZERO);
+        assert!(matches!(
+            &actions[..],
+            [AttackerAction::Event(AttackerEvent::DroppedData(_))]
+        ));
+        assert_eq!(bh.dropped_count(), 1);
+        // Data addressed to the attacker itself is not "dropped".
+        let own = DataPacket {
+            orig: Addr(1),
+            dest: bh.addr(),
+            seq_no: 1,
+            ttl: 5,
+        };
+        let actions = bh.handle_wire(Addr(1), &Wire::Aodv(AodvMessage::Data(own)), Time::ZERO);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn discloses_teammate_on_inquiry() {
+        let mut fx = fixture();
+        let teammate = Addr(424242);
+        let mut bh = attacker(
+            &mut fx,
+            AttackerConfig {
+                teammate: Some(teammate),
+                ..AttackerConfig::default()
+            },
+        );
+        let actions = bh.handle_wire(
+            Addr(50),
+            &Wire::Aodv(AodvMessage::Rreq(rreq(10, 50, Some(251), true))),
+            Time::ZERO,
+        );
+        let rrep = forged_rrep(&actions).unwrap();
+        assert_eq!(rrep.next_hop, Some(teammate));
+        assert!(rrep.dest_seq > 251, "claims freshness it cannot have");
+    }
+
+    #[test]
+    fn swallows_hello_probes_silently_by_default() {
+        let mut fx = fixture();
+        let mut bh = attacker(&mut fx, AttackerConfig::default());
+        let prober_keys = Keypair::generate(&mut fx.rng);
+        let prober_cert = fx.ta.enroll(
+            LongTermId(1),
+            prober_keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut fx.rng,
+        );
+        let probe = Sealed::seal(
+            blackdp::HelloProbe {
+                probe_id: 1,
+                src: Addr(1),
+                dest: Addr(7),
+                ttl: 10,
+            },
+            prober_cert,
+            None,
+            &prober_keys,
+            &mut fx.rng,
+        );
+        let actions = bh.handle_wire(
+            Addr(1),
+            &Wire::BlackDp(BlackDpMessage::HelloProbe(probe)),
+            Time::ZERO,
+        );
+        assert_eq!(
+            actions,
+            vec![AttackerAction::Event(AttackerEvent::SwallowedProbe)],
+            "no reply, no forward: the probe dies here"
+        );
+    }
+
+    #[test]
+    fn fake_hello_reply_claims_to_be_destination() {
+        let mut fx = fixture();
+        let mut bh = attacker(
+            &mut fx,
+            AttackerConfig {
+                fake_hello_reply: true,
+                ..AttackerConfig::default()
+            },
+        );
+        let prober_keys = Keypair::generate(&mut fx.rng);
+        let prober_cert = fx.ta.enroll(
+            LongTermId(1),
+            prober_keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut fx.rng,
+        );
+        let probe = Sealed::seal(
+            blackdp::HelloProbe {
+                probe_id: 5,
+                src: Addr(1),
+                dest: Addr(7),
+                ttl: 10,
+            },
+            prober_cert,
+            None,
+            &prober_keys,
+            &mut fx.rng,
+        );
+        let actions = bh.handle_wire(
+            Addr(1),
+            &Wire::BlackDp(BlackDpMessage::HelloProbe(probe)),
+            Time::ZERO,
+        );
+        let reply = actions
+            .iter()
+            .find_map(|a| match a {
+                AttackerAction::SendTo {
+                    wire: Wire::BlackDp(BlackDpMessage::HelloReply(r)),
+                    ..
+                } => Some(r.clone()),
+                _ => None,
+            })
+            .expect("fake reply sent");
+        assert_eq!(reply.body.src, Addr(7), "claims to be the destination");
+        assert_eq!(reply.body.probe_id, 5);
+        // The signature is valid but the signer is the attacker, not Addr(7)
+        // — which is what the verifier catches.
+        assert!(reply.verify(fx.ta.public_key(), Time::from_secs(1)).is_ok());
+        assert_ne!(blackdp::addr_of(reply.signer()), Addr(7));
+    }
+
+    #[test]
+    fn dormant_attacker_acts_like_honest_node() {
+        let mut fx = fixture();
+        let mut bh = attacker(&mut fx, AttackerConfig::default());
+        bh.set_dormant(true);
+        assert!(bh.is_dormant());
+        let actions = bh.handle_wire(
+            Addr(1),
+            &Wire::Aodv(AodvMessage::Rreq(rreq(7, 1, Some(0), false))),
+            Time::ZERO,
+        );
+        assert!(forged_rrep(&actions).is_none(), "no forged RREP");
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                AttackerAction::Broadcast {
+                    wire: Wire::Aodv(AodvMessage::Rreq(_))
+                }
+            )),
+            "refloods like an honest node"
+        );
+    }
+
+    #[test]
+    fn identity_renewal_swaps_pseudonym() {
+        let mut fx = fixture();
+        let mut bh = attacker(&mut fx, AttackerConfig::default());
+        let old_addr = bh.addr();
+        let new_keys = Keypair::generate(&mut fx.rng);
+        let new_cert = fx.ta.enroll(
+            LongTermId(66),
+            new_keys.public(),
+            Time::from_secs(10),
+            Duration::from_secs(600),
+            &mut fx.rng,
+        );
+        bh.renew_identity(new_keys, new_cert);
+        assert_ne!(bh.addr(), old_addr);
+    }
+
+    #[test]
+    fn beacons_hellos_to_stay_connected() {
+        let mut fx = fixture();
+        let mut bh = attacker(&mut fx, AttackerConfig::default());
+        let a0 = bh.tick(Time::ZERO, Duration::from_secs(1));
+        assert!(matches!(
+            &a0[..],
+            [AttackerAction::Broadcast {
+                wire: Wire::Aodv(AodvMessage::Hello(_))
+            }]
+        ));
+        // Not due again immediately.
+        assert!(bh
+            .tick(Time::from_millis(500), Duration::from_secs(1))
+            .is_empty());
+        assert!(!bh
+            .tick(Time::from_secs(2), Duration::from_secs(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn ignores_rreqs_for_itself() {
+        let mut fx = fixture();
+        let mut bh = attacker(&mut fx, AttackerConfig::default());
+        let own = bh.addr();
+        let actions = bh.handle_wire(
+            Addr(1),
+            &Wire::Aodv(AodvMessage::Rreq(rreq(own.0, 1, None, false))),
+            Time::ZERO,
+        );
+        assert!(forged_rrep(&actions).is_none());
+    }
+}

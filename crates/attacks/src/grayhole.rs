@@ -1,0 +1,496 @@
+//! The gray hole (selective black hole) attacker.
+//!
+//! A gray hole behaves like a black hole during route capture — forged
+//! fresh RREPs — but drops data only *probabilistically* (or selectively),
+//! forwarding the rest to stay under statistical detectors' radar. The
+//! paper's related work (Jhaveri et al. on grayhole/blackhole, Su's
+//! selective black holes) treats it as the harder variant; BlackDP's
+//! behavioural probes still catch it, because its RREP-forging behaviour
+//! is identical — which the `grayhole` ablation bench demonstrates.
+
+use blackdp::{BlackDpMessage, RrepBody, Sealed, Wire};
+use blackdp_aodv::{Addr, DataPacket, Hello, Message as AodvMessage, Rrep, Rreq, SeqNo};
+use blackdp_crypto::{Certificate, Keypair, PseudonymId};
+use blackdp_mobility::ClusterId;
+use blackdp_sim::{Duration, Time};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::blackhole::{AttackerAction, AttackerEvent};
+
+/// Gray hole behaviour knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayHoleConfig {
+    /// Probability of dropping a transit data packet (1.0 = black hole,
+    /// 0.0 = honest forwarder with forged routes).
+    pub drop_probability: f64,
+    /// Sequence-number margin for the forged RREPs.
+    pub seq_margin: SeqNo,
+    /// Advertised hop count.
+    pub fake_hop_count: u8,
+    /// Advertised route lifetime.
+    pub fake_lifetime: Duration,
+    /// Whether end-to-end Hello probes are also forwarded with the same
+    /// probability (a stealthier gray hole lets some probes through,
+    /// delaying the verifier's timeout ladder).
+    pub forward_probes: bool,
+}
+
+impl Default for GrayHoleConfig {
+    fn default() -> Self {
+        GrayHoleConfig {
+            drop_probability: 0.5,
+            seq_margin: 120,
+            fake_hop_count: 4,
+            fake_lifetime: Duration::from_secs(10),
+            forward_probes: false,
+        }
+    }
+}
+
+/// A gray hole attacker instance.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_attacks::{GrayHole, GrayHoleConfig};
+/// use blackdp_crypto::{Keypair, LongTermId, TaId, TrustedAuthority};
+/// use blackdp_sim::{Duration, Time};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut ta = TrustedAuthority::new(TaId(0), &mut rng);
+/// let keys = Keypair::generate(&mut rng);
+/// let cert = ta.enroll(LongTermId(66), keys.public(), Time::ZERO, Duration::from_secs(600), &mut rng);
+/// let gh = GrayHole::new(keys, cert, GrayHoleConfig { drop_probability: 0.3, ..Default::default() }, 1);
+/// assert_eq!(gh.dropped_count() + gh.forwarded_count(), 0);
+/// ```
+#[derive(Debug)]
+pub struct GrayHole {
+    keys: Keypair,
+    cert: Certificate,
+    cluster: Option<ClusterId>,
+    cfg: GrayHoleConfig,
+    highest_seen: SeqNo,
+    seq_counter: SeqNo,
+    last_hello: Option<Time>,
+    dropped: u64,
+    forwarded: u64,
+    lured: u64,
+    rng: StdRng,
+}
+
+impl GrayHole {
+    /// Creates a gray hole holding a valid insider credential.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.drop_probability` is not a probability.
+    pub fn new(keys: Keypair, cert: Certificate, cfg: GrayHoleConfig, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.drop_probability),
+            "drop_probability must be in [0, 1]"
+        );
+        GrayHole {
+            keys,
+            cert,
+            cluster: None,
+            cfg,
+            highest_seen: 0,
+            seq_counter: 0,
+            last_hello: None,
+            dropped: 0,
+            forwarded: 0,
+            lured: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current protocol address.
+    pub fn addr(&self) -> Addr {
+        Addr(self.cert.pseudonym.0)
+    }
+
+    /// Current pseudonym.
+    pub fn pseudonym(&self) -> PseudonymId {
+        self.cert.pseudonym
+    }
+
+    /// The credential (for membership traffic).
+    pub fn cert(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// The signing keys (for membership traffic).
+    pub fn keys(&self) -> &Keypair {
+        &self.keys
+    }
+
+    /// Records the cluster from a JREP.
+    pub fn set_cluster(&mut self, cluster: Option<ClusterId>) {
+        self.cluster = cluster;
+    }
+
+    /// Data packets dropped so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Data packets deliberately forwarded (the camouflage).
+    pub fn forwarded_count(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Victims lured.
+    pub fn lured_count(&self) -> u64 {
+        self.lured
+    }
+
+    /// Processes an incoming packet.
+    ///
+    /// Unlike the honest stack, forwarding decisions here are direct: the
+    /// gray hole claims routes it does not have, so "forwarding" a packet
+    /// means tossing it toward any neighbor — we model the camouflage as a
+    /// re-broadcast, which statistically reaches the real next hop when
+    /// one exists.
+    pub fn handle_wire(&mut self, from: Addr, wire: &Wire, now: Time) -> Vec<AttackerAction> {
+        match wire {
+            Wire::Aodv(AodvMessage::Rreq(rreq)) => self.handle_rreq(from, *rreq, now),
+            Wire::Aodv(AodvMessage::Rrep(rrep)) | Wire::SecuredRrep { rrep, .. } => {
+                self.highest_seen = self.highest_seen.max(rrep.dest_seq);
+                Vec::new()
+            }
+            Wire::Aodv(AodvMessage::Data(data)) => self.handle_data(*data),
+            Wire::Aodv(AodvMessage::Hello(h)) => {
+                self.highest_seen = self.highest_seen.max(h.seq);
+                Vec::new()
+            }
+            Wire::Aodv(AodvMessage::Rerr(_)) => Vec::new(),
+            Wire::BlackDp(BlackDpMessage::HelloProbe(sealed)) => {
+                if sealed.body.dest == self.addr() {
+                    return Vec::new();
+                }
+                if self.cfg.forward_probes && self.rng.random::<f64>() >= self.cfg.drop_probability
+                {
+                    self.forwarded += 1;
+                    return vec![AttackerAction::Broadcast { wire: wire.clone() }];
+                }
+                vec![AttackerAction::Event(AttackerEvent::SwallowedProbe)]
+            }
+            Wire::BlackDp(BlackDpMessage::Jrep { cluster, .. }) => {
+                self.cluster = Some(*cluster);
+                Vec::new()
+            }
+            Wire::BlackDp(_) => Vec::new(),
+        }
+    }
+
+    /// Periodic hello beaconing (stays in neighbors' tables).
+    pub fn tick(&mut self, now: Time, hello_interval: Duration) -> Vec<AttackerAction> {
+        let due = match self.last_hello {
+            None => true,
+            Some(t) => now.saturating_since(t) >= hello_interval,
+        };
+        if !due {
+            return Vec::new();
+        }
+        self.last_hello = Some(now);
+        self.seq_counter += 1;
+        vec![AttackerAction::Broadcast {
+            wire: Wire::Aodv(AodvMessage::Hello(Hello {
+                orig: self.addr(),
+                seq: self.seq_counter,
+            })),
+        }]
+    }
+
+    fn handle_rreq(&mut self, from: Addr, rreq: Rreq, _now: Time) -> Vec<AttackerAction> {
+        if let Some(ds) = rreq.dest_seq {
+            self.highest_seen = self.highest_seen.max(ds);
+        }
+        if rreq.dest == self.addr() || rreq.orig == self.addr() {
+            return Vec::new();
+        }
+        let forged_seq = self
+            .highest_seen
+            .max(rreq.dest_seq.unwrap_or(0))
+            .saturating_add(self.cfg.seq_margin);
+        self.highest_seen = forged_seq;
+        let rrep = Rrep {
+            dest: rreq.dest,
+            dest_seq: forged_seq,
+            orig: rreq.orig,
+            hop_count: self.cfg.fake_hop_count,
+            lifetime: self.cfg.fake_lifetime,
+            next_hop: rreq.next_hop_inquiry.then_some(self.addr()),
+        };
+        let auth = Sealed::seal(
+            RrepBody(rrep),
+            self.cert,
+            self.cluster,
+            &self.keys,
+            &mut self.rng,
+        );
+        self.lured += 1;
+        vec![
+            AttackerAction::SendTo {
+                to: from,
+                wire: Wire::SecuredRrep { rrep, auth },
+            },
+            AttackerAction::Event(AttackerEvent::LuredVictim { victim: rreq.orig }),
+        ]
+    }
+
+    fn handle_data(&mut self, data: DataPacket) -> Vec<AttackerAction> {
+        if data.dest == self.addr() {
+            return Vec::new();
+        }
+        if self.rng.random::<f64>() < self.cfg.drop_probability {
+            self.dropped += 1;
+            return vec![AttackerAction::Event(AttackerEvent::DroppedData(data))];
+        }
+        // Camouflage: push the packet back into the network.
+        self.forwarded += 1;
+        if data.ttl == 0 {
+            self.dropped += 1;
+            return vec![AttackerAction::Event(AttackerEvent::DroppedData(data))];
+        }
+        vec![AttackerAction::Broadcast {
+            wire: Wire::Aodv(AodvMessage::Data(DataPacket {
+                ttl: data.ttl - 1,
+                ..data
+            })),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackdp_crypto::{LongTermId, TaId, TrustedAuthority};
+
+    fn grayhole(drop_probability: f64) -> GrayHole {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut ta = TrustedAuthority::new(TaId(0), &mut rng);
+        let keys = Keypair::generate(&mut rng);
+        let cert = ta.enroll(
+            LongTermId(77),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut rng,
+        );
+        GrayHole::new(
+            keys,
+            cert,
+            GrayHoleConfig {
+                drop_probability,
+                ..GrayHoleConfig::default()
+            },
+            3,
+        )
+    }
+
+    fn data(seq: u64) -> DataPacket {
+        DataPacket {
+            orig: Addr(1),
+            dest: Addr(7),
+            seq_no: seq,
+            ttl: 5,
+        }
+    }
+
+    #[test]
+    fn forges_rreps_like_a_black_hole() {
+        let mut gh = grayhole(0.5);
+        let rreq = Rreq {
+            rreq_id: 1,
+            dest: Addr(7),
+            dest_seq: Some(10),
+            orig: Addr(1),
+            orig_seq: 1,
+            hop_count: 0,
+            ttl: 5,
+            next_hop_inquiry: false,
+        };
+        let actions = gh.handle_wire(Addr(1), &Wire::Aodv(AodvMessage::Rreq(rreq)), Time::ZERO);
+        let forged = actions
+            .iter()
+            .find_map(|a| match a {
+                AttackerAction::SendTo {
+                    wire: Wire::SecuredRrep { rrep, .. },
+                    ..
+                } => Some(*rrep),
+                _ => None,
+            })
+            .expect("forged RREP");
+        assert!(forged.dest_seq >= 130);
+        assert_eq!(gh.lured_count(), 1);
+    }
+
+    #[test]
+    fn drops_at_roughly_the_configured_rate() {
+        let mut gh = grayhole(0.3);
+        for i in 0..1000 {
+            let _ = gh.handle_wire(Addr(1), &Wire::Aodv(AodvMessage::Data(data(i))), Time::ZERO);
+        }
+        let dropped = gh.dropped_count();
+        assert!(
+            (200..=400).contains(&dropped),
+            "expected ~300/1000 dropped, got {dropped}"
+        );
+        assert_eq!(gh.dropped_count() + gh.forwarded_count(), 1000);
+    }
+
+    #[test]
+    fn zero_probability_forwards_everything() {
+        let mut gh = grayhole(0.0);
+        for i in 0..50 {
+            let actions =
+                gh.handle_wire(Addr(1), &Wire::Aodv(AodvMessage::Data(data(i))), Time::ZERO);
+            assert!(actions
+                .iter()
+                .any(|a| matches!(a, AttackerAction::Broadcast { .. })));
+        }
+        assert_eq!(gh.dropped_count(), 0);
+        assert_eq!(gh.forwarded_count(), 50);
+    }
+
+    #[test]
+    fn one_probability_is_a_black_hole() {
+        let mut gh = grayhole(1.0);
+        for i in 0..50 {
+            let _ = gh.handle_wire(Addr(1), &Wire::Aodv(AodvMessage::Data(data(i))), Time::ZERO);
+        }
+        assert_eq!(gh.dropped_count(), 50);
+        assert_eq!(gh.forwarded_count(), 0);
+    }
+
+    #[test]
+    fn own_traffic_is_never_counted() {
+        let mut gh = grayhole(1.0);
+        let own = DataPacket {
+            orig: Addr(1),
+            dest: gh.addr(),
+            seq_no: 0,
+            ttl: 5,
+        };
+        let actions = gh.handle_wire(Addr(1), &Wire::Aodv(AodvMessage::Data(own)), Time::ZERO);
+        assert!(actions.is_empty());
+        assert_eq!(gh.dropped_count(), 0);
+    }
+
+    #[test]
+    fn probe_forwarding_camouflage() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut ta = TrustedAuthority::new(TaId(0), &mut rng);
+        let keys = Keypair::generate(&mut rng);
+        let cert = ta.enroll(
+            LongTermId(77),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut rng,
+        );
+        let mut gh = GrayHole::new(
+            keys,
+            cert,
+            GrayHoleConfig {
+                drop_probability: 0.0,
+                forward_probes: true,
+                ..GrayHoleConfig::default()
+            },
+            3,
+        );
+        let prober_keys = Keypair::generate(&mut rng);
+        let prober_cert = ta.enroll(
+            LongTermId(1),
+            prober_keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut rng,
+        );
+        let probe = Sealed::seal(
+            blackdp::HelloProbe {
+                probe_id: 1,
+                src: Addr(1),
+                dest: Addr(7),
+                ttl: 10,
+            },
+            prober_cert,
+            None,
+            &prober_keys,
+            &mut rng,
+        );
+        let actions = gh.handle_wire(
+            Addr(1),
+            &Wire::BlackDp(BlackDpMessage::HelloProbe(probe)),
+            Time::ZERO,
+        );
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, AttackerAction::Broadcast { .. })),
+            "a fully-forwarding gray hole relays the probe: {actions:?}"
+        );
+        assert_eq!(gh.forwarded_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_probability must be in")]
+    fn rejects_invalid_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ta = TrustedAuthority::new(TaId(0), &mut rng);
+        let keys = Keypair::generate(&mut rng);
+        let cert = ta.enroll(
+            LongTermId(1),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(60),
+            &mut rng,
+        );
+        let _ = GrayHole::new(
+            keys,
+            cert,
+            GrayHoleConfig {
+                drop_probability: 1.5,
+                ..GrayHoleConfig::default()
+            },
+            1,
+        );
+    }
+
+    #[test]
+    fn still_answers_probe_rreqs_with_violations() {
+        // The detection-relevant behaviour: a gray hole answers the
+        // fake-destination probe exactly like a black hole, so BlackDP
+        // catches it regardless of its drop rate.
+        let mut gh = grayhole(0.1);
+        let probe = Rreq {
+            rreq_id: 1,
+            dest: Addr(0xFAB),
+            dest_seq: Some(251),
+            orig: Addr(0x8000_0000_0000_0001),
+            orig_seq: 1,
+            hop_count: 0,
+            ttl: 1,
+            next_hop_inquiry: true,
+        };
+        let actions = gh.handle_wire(
+            Addr(0x8000_0000_0000_0001),
+            &Wire::Aodv(AodvMessage::Rreq(probe)),
+            Time::ZERO,
+        );
+        let forged = actions
+            .iter()
+            .find_map(|a| match a {
+                AttackerAction::SendTo {
+                    wire: Wire::SecuredRrep { rrep, .. },
+                    ..
+                } => Some(*rrep),
+                _ => None,
+            })
+            .expect("answers the probe");
+        assert!(forged.dest_seq > 251, "the AODV violation BlackDP confirms");
+    }
+}

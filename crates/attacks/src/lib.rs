@@ -1,0 +1,28 @@
+//! # blackdp-attacks — black hole attacker implementations
+//!
+//! Implements the adversary of Section II-C as a sans-io state machine:
+//!
+//! * **Single black hole** — answers *any* RREQ immediately with an RREP
+//!   whose destination sequence number is far above anything legitimate
+//!   ("a very high SN … to guarantee its RREP is selected"), then drops
+//!   every data packet attracted onto itself.
+//! * **Cooperative black hole** — two attackers pair up: the primary
+//!   discloses its teammate as the next hop when asked, and the teammate
+//!   endorses the fabricated route by answering probes the same way.
+//! * **Evasion policies** — the behaviours the paper observes in the
+//!   certificate-renewal zone (clusters 8–10, Section IV-B): acting
+//!   legitimately during detection, fleeing the network, and renewing the
+//!   pseudonymous identity mid-detection.
+//!
+//! The attacker signs its RREPs with its *own* valid certificate (it is a
+//! compromised insider, not an outsider), which is exactly why
+//! authentication alone cannot stop it and behavioural probing is needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blackhole;
+mod grayhole;
+
+pub use blackhole::{AttackerAction, AttackerConfig, AttackerEvent, BlackHole, EvasionPolicy};
+pub use grayhole::{GrayHole, GrayHoleConfig};

@@ -1,0 +1,396 @@
+//! The three related-work sequence-number detectors.
+
+use std::collections::VecDeque;
+
+use blackdp_aodv::{Addr, Rrep, SeqNo};
+use blackdp_sim::{Duration, Time};
+
+/// A per-RREP verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The reply looks legitimate; the route may be used.
+    Accept,
+    /// The replier is judged malicious; discard the reply (and typically
+    /// blacklist the sender locally).
+    Suspect,
+}
+
+/// A detector that judges individual RREPs as they arrive.
+///
+/// Implemented by [`PeakDetector`] and [`ThresholdDetector`];
+/// [`FirstRrepComparator`] needs the whole discovery window and exposes a
+/// batch API instead.
+pub trait RrepJudge {
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Learn from background traffic (any sequence number observed on the
+    /// channel, not only RREPs under judgement).
+    fn observe(&mut self, seq: SeqNo, now: Time);
+
+    /// Judge a single incoming RREP.
+    fn judge(&mut self, from: Addr, rrep: &Rrep, now: Time) -> Verdict;
+}
+
+/// Jaiswal & Kumar \[13\]: collect all RREPs answering one RREQ; if the
+/// first one's sequence number is disproportionately high compared to the
+/// rest, its sender is declared an attacker.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_baselines::FirstRrepComparator;
+/// use blackdp_aodv::Addr;
+/// use blackdp_sim::Time;
+///
+/// let mut cmp = FirstRrepComparator::new(2.0);
+/// cmp.start(Time::ZERO);
+/// cmp.add(Addr(66), 200, Time::from_millis(1)); // the fast forged reply
+/// cmp.add(Addr(4), 20, Time::from_millis(4));
+/// cmp.add(Addr(5), 22, Time::from_millis(5));
+/// let judgement = cmp.conclude();
+/// assert_eq!(judgement.suspect, Some(Addr(66)));
+/// assert_eq!(judgement.winner, Some(Addr(5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirstRrepComparator {
+    /// How many times higher than the best *other* reply the first reply
+    /// must be to be declared malicious.
+    ratio: f64,
+    collected: Vec<(Addr, SeqNo, Time)>,
+    started: Option<Time>,
+}
+
+/// The outcome of a [`FirstRrepComparator`] discovery window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveryJudgement {
+    /// The sender judged malicious, if any.
+    pub suspect: Option<Addr>,
+    /// The sender whose route should be used (highest sequence number
+    /// among non-suspects).
+    pub winner: Option<Addr>,
+}
+
+impl FirstRrepComparator {
+    /// Creates a comparator flagging first replies `ratio`× above the best
+    /// alternative.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ratio > 1.0`.
+    pub fn new(ratio: f64) -> Self {
+        assert!(ratio > 1.0, "ratio must exceed 1.0");
+        FirstRrepComparator {
+            ratio,
+            collected: Vec::new(),
+            started: None,
+        }
+    }
+
+    /// Opens a collection window for a new discovery.
+    pub fn start(&mut self, now: Time) {
+        self.collected.clear();
+        self.started = Some(now);
+    }
+
+    /// Records one RREP.
+    pub fn add(&mut self, from: Addr, seq: SeqNo, at: Time) {
+        self.collected.push((from, seq, at));
+    }
+
+    /// Closes the window and judges.
+    pub fn conclude(&mut self) -> DiscoveryJudgement {
+        self.started = None;
+        let mut by_arrival = self.collected.clone();
+        by_arrival.sort_by_key(|&(_, _, t)| t);
+        let Some(&(first_from, first_seq, _)) = by_arrival.first() else {
+            return DiscoveryJudgement {
+                suspect: None,
+                winner: None,
+            };
+        };
+        let best_other = by_arrival
+            .iter()
+            .filter(|&&(from, _, _)| from != first_from)
+            .map(|&(_, s, _)| s)
+            .max();
+        let suspect = match best_other {
+            // The diagnosed blind spot: a sole responder cannot be judged.
+            None => None,
+            Some(other) => {
+                let threshold = (other as f64 * self.ratio).max(other as f64 + 1.0);
+                (first_seq as f64 > threshold).then_some(first_from)
+            }
+        };
+        let winner = by_arrival
+            .iter()
+            .filter(|&&(from, _, _)| Some(from) != suspect)
+            .max_by_key(|&&(_, s, _)| s)
+            .map(|&(from, _, _)| from);
+        self.collected.clear();
+        DiscoveryJudgement { suspect, winner }
+    }
+
+    /// Number of replies collected in the open window.
+    pub fn collected_len(&self) -> usize {
+        self.collected.len()
+    }
+}
+
+/// Jhaveri et al. \[15\]: a dynamic `PEAK` — the maximum plausible sequence
+/// number for the current interval, derived from what has actually been
+/// observed plus a per-interval growth allowance.
+#[derive(Debug, Clone)]
+pub struct PeakDetector {
+    /// Allowed sequence-number growth per interval.
+    growth_per_interval: SeqNo,
+    /// Interval length.
+    interval: Duration,
+    /// Highest legitimate sequence number seen up to the interval start.
+    base: SeqNo,
+    /// Observations in the current interval.
+    current_max: SeqNo,
+    interval_start: Time,
+    /// Recent observations window (for reporting).
+    recent: VecDeque<SeqNo>,
+}
+
+impl PeakDetector {
+    /// Creates a detector allowing `growth_per_interval` of sequence
+    /// advance every `interval`.
+    pub fn new(growth_per_interval: SeqNo, interval: Duration) -> Self {
+        PeakDetector {
+            growth_per_interval,
+            interval,
+            base: 0,
+            current_max: 0,
+            interval_start: Time::ZERO,
+            recent: VecDeque::with_capacity(32),
+        }
+    }
+
+    /// The current `PEAK` bound.
+    pub fn peak(&self) -> SeqNo {
+        self.base.saturating_add(self.growth_per_interval)
+    }
+
+    fn roll(&mut self, now: Time) {
+        while now.saturating_since(self.interval_start) >= self.interval {
+            self.interval_start += self.interval;
+            // Sequence knowledge consolidates at interval boundaries, but
+            // only up to PEAK: flagged outliers never poison the base.
+            self.base = self.base.max(self.current_max.min(self.peak()));
+            self.current_max = 0;
+        }
+    }
+}
+
+impl RrepJudge for PeakDetector {
+    fn name(&self) -> &'static str {
+        "peak"
+    }
+
+    fn observe(&mut self, seq: SeqNo, now: Time) {
+        self.roll(now);
+        if seq <= self.peak() {
+            self.current_max = self.current_max.max(seq);
+        }
+        if self.recent.len() == 32 {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(seq);
+    }
+
+    fn judge(&mut self, _from: Addr, rrep: &Rrep, now: Time) -> Verdict {
+        self.roll(now);
+        if rrep.dest_seq > self.peak() {
+            Verdict::Suspect
+        } else {
+            self.observe(rrep.dest_seq, now);
+            Verdict::Accept
+        }
+    }
+}
+
+/// Tan & Kim \[26\]: a static threshold sized to the environment (small /
+/// medium / large network); RREPs whose sequence number exceeds it are
+/// discarded.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdDetector {
+    threshold: SeqNo,
+}
+
+impl ThresholdDetector {
+    /// Creates a detector with the given absolute threshold.
+    pub fn new(threshold: SeqNo) -> Self {
+        ThresholdDetector { threshold }
+    }
+
+    /// The paper's "small environment" sizing.
+    pub fn small() -> Self {
+        ThresholdDetector::new(100)
+    }
+
+    /// The paper's "medium environment" sizing.
+    pub fn medium() -> Self {
+        ThresholdDetector::new(500)
+    }
+
+    /// The paper's "large environment" sizing.
+    pub fn large() -> Self {
+        ThresholdDetector::new(2000)
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> SeqNo {
+        self.threshold
+    }
+}
+
+impl RrepJudge for ThresholdDetector {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn observe(&mut self, _seq: SeqNo, _now: Time) {}
+
+    fn judge(&mut self, _from: Addr, rrep: &Rrep, _now: Time) -> Verdict {
+        if rrep.dest_seq > self.threshold {
+            Verdict::Suspect
+        } else {
+            Verdict::Accept
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rrep(seq: SeqNo) -> Rrep {
+        Rrep {
+            dest: Addr(7),
+            dest_seq: seq,
+            orig: Addr(1),
+            hop_count: 2,
+            lifetime: Duration::from_secs(6),
+            next_hop: None,
+        }
+    }
+
+    #[test]
+    fn first_rrep_flags_fast_outlier() {
+        let mut cmp = FirstRrepComparator::new(2.0);
+        cmp.start(Time::ZERO);
+        cmp.add(Addr(66), 120, Time::from_millis(1));
+        cmp.add(Addr(3), 20, Time::from_millis(3));
+        let j = cmp.conclude();
+        assert_eq!(j.suspect, Some(Addr(66)));
+        assert_eq!(j.winner, Some(Addr(3)));
+    }
+
+    #[test]
+    fn first_rrep_accepts_honest_fast_reply() {
+        let mut cmp = FirstRrepComparator::new(2.0);
+        cmp.start(Time::ZERO);
+        cmp.add(Addr(4), 22, Time::from_millis(1));
+        cmp.add(Addr(3), 20, Time::from_millis(3));
+        let j = cmp.conclude();
+        assert_eq!(j.suspect, None);
+        assert_eq!(j.winner, Some(Addr(4)), "highest seq wins");
+    }
+
+    #[test]
+    fn first_rrep_blind_when_attacker_is_sole_responder() {
+        // The exact failure case Section V-A describes.
+        let mut cmp = FirstRrepComparator::new(2.0);
+        cmp.start(Time::ZERO);
+        cmp.add(Addr(66), 5000, Time::from_millis(1));
+        let j = cmp.conclude();
+        assert_eq!(j.suspect, None, "nothing to compare against");
+        assert_eq!(j.winner, Some(Addr(66)), "the attacker wins the route");
+    }
+
+    #[test]
+    fn first_rrep_empty_window() {
+        let mut cmp = FirstRrepComparator::new(2.0);
+        cmp.start(Time::ZERO);
+        assert_eq!(cmp.collected_len(), 0);
+        let j = cmp.conclude();
+        assert_eq!(j.suspect, None);
+        assert_eq!(j.winner, None);
+    }
+
+    #[test]
+    fn peak_flags_jump_and_tracks_growth() {
+        let mut d = PeakDetector::new(50, Duration::from_secs(1));
+        // Legitimate growth within the allowance...
+        for (t, s) in [(0u64, 10u32), (100, 20), (300, 40)] {
+            assert_eq!(
+                d.judge(Addr(2), &rrep(s), Time::from_millis(t)),
+                Verdict::Accept,
+                "seq {s} under peak {}",
+                d.peak()
+            );
+        }
+        // ...a forged 200 exceeds PEAK (= base 0 + 50 in interval 0).
+        assert_eq!(
+            d.judge(Addr(66), &rrep(200), Time::from_millis(400)),
+            Verdict::Suspect
+        );
+        // After the interval rolls, the base consolidates and PEAK grows.
+        assert_eq!(
+            d.judge(Addr(2), &rrep(60), Time::from_millis(1200)),
+            Verdict::Accept,
+            "peak is now {}",
+            d.peak()
+        );
+    }
+
+    #[test]
+    fn peak_base_is_not_poisoned_by_outliers() {
+        let mut d = PeakDetector::new(50, Duration::from_secs(1));
+        assert_eq!(
+            d.judge(Addr(66), &rrep(40_000), Time::from_millis(10)),
+            Verdict::Suspect
+        );
+        // Even after rolling several intervals, PEAK stays near the
+        // legitimate base.
+        let _ = d.judge(Addr(2), &rrep(10), Time::from_secs(5));
+        assert!(d.peak() <= 100, "peak {} stayed grounded", d.peak());
+    }
+
+    #[test]
+    fn peak_misses_modest_forgery() {
+        // Documented weakness: a patient attacker forging just under PEAK
+        // is accepted.
+        let mut d = PeakDetector::new(50, Duration::from_secs(1));
+        let _ = d.judge(Addr(2), &rrep(10), Time::from_millis(10));
+        assert_eq!(
+            d.judge(Addr(66), &rrep(45), Time::from_millis(20)),
+            Verdict::Accept
+        );
+    }
+
+    #[test]
+    fn threshold_is_static() {
+        let mut d = ThresholdDetector::small();
+        assert_eq!(d.judge(Addr(2), &rrep(99), Time::ZERO), Verdict::Accept);
+        assert_eq!(d.judge(Addr(2), &rrep(100), Time::ZERO), Verdict::Accept);
+        assert_eq!(d.judge(Addr(66), &rrep(101), Time::ZERO), Verdict::Suspect);
+        assert_eq!(ThresholdDetector::medium().threshold(), 500);
+        assert_eq!(ThresholdDetector::large().threshold(), 2000);
+    }
+
+    #[test]
+    fn judges_have_names() {
+        assert_eq!(PeakDetector::new(1, Duration::from_secs(1)).name(), "peak");
+        assert_eq!(ThresholdDetector::small().name(), "threshold");
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must exceed")]
+    fn comparator_rejects_bad_ratio() {
+        let _ = FirstRrepComparator::new(1.0);
+    }
+}

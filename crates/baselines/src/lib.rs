@@ -1,0 +1,29 @@
+//! # blackdp-baselines — sequence-number black hole detectors from related work
+//!
+//! The paper's Section V-A surveys three sequence-number-based defenses and
+//! argues they fail in CV highway networks. This crate implements all
+//! three so the benchmark harness can compare them against BlackDP:
+//!
+//! * [`FirstRrepComparator`] — Jaiswal & Kumar: collect every RREP for a
+//!   discovery, then flag the *first* RREP if its sequence number is an
+//!   outlier against the rest.
+//! * [`PeakDetector`] — Jhaveri et al.: maintain `PEAK`, the maximum
+//!   plausible sequence number for the current interval; anything above it
+//!   is malicious.
+//! * [`ThresholdDetector`] — Tan & Kim: a static environment-sized
+//!   threshold; RREPs above it are discarded.
+//!
+//! All three share the paper's diagnosed blind spot: **when the attacker
+//! is the only responder** (e.g. the sole connector between two highway
+//! segments) there is nothing to compare against, and a forged-but-modest
+//! sequence number sails through. The `sole_responder` bench reproduces
+//! that failure case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detectors;
+
+pub use detectors::{
+    DiscoveryJudgement, FirstRrepComparator, PeakDetector, RrepJudge, ThresholdDetector, Verdict,
+};

@@ -1,0 +1,98 @@
+//! Microbenchmarks of the AODV state machine: the per-packet costs every
+//! vehicle pays, independent of BlackDP.
+
+use blackdp_aodv::{Addr, Aodv, AodvConfig, Message, Rrep, Rreq};
+use blackdp_sim::{Duration, Time};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn fresh_rreq(id: u64) -> Rreq {
+    Rreq {
+        rreq_id: id,
+        dest: Addr(9_999),
+        dest_seq: None,
+        orig: Addr(1),
+        orig_seq: id as u32,
+        hop_count: 2,
+        ttl: 10,
+        next_hop_inquiry: false,
+    }
+}
+
+fn bench_rreq_processing(c: &mut Criterion) {
+    c.bench_function("aodv/handle_fresh_rreq", |b| {
+        b.iter_batched(
+            || Aodv::new(Addr(5), AodvConfig::default()),
+            |mut aodv| {
+                for i in 0..64u64 {
+                    black_box(aodv.handle_message(
+                        Addr(2),
+                        Message::Rreq(fresh_rreq(i)),
+                        Time::ZERO,
+                    ));
+                }
+                aodv
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("aodv/handle_duplicate_rreq", |b| {
+        let mut aodv = Aodv::new(Addr(5), AodvConfig::default());
+        let _ = aodv.handle_message(Addr(2), Message::Rreq(fresh_rreq(1)), Time::ZERO);
+        b.iter(|| black_box(aodv.handle_message(Addr(2), Message::Rreq(fresh_rreq(1)), Time::ZERO)))
+    });
+}
+
+fn bench_routing_table_growth(c: &mut Criterion) {
+    c.bench_function("aodv/install_200_routes", |b| {
+        b.iter_batched(
+            || Aodv::new(Addr(5), AodvConfig::default()),
+            |mut aodv| {
+                for i in 0..200u64 {
+                    let rrep = Rrep {
+                        dest: Addr(10_000 + i),
+                        dest_seq: i as u32,
+                        orig: Addr(5),
+                        hop_count: 3,
+                        lifetime: Duration::from_secs(6),
+                        next_hop: None,
+                    };
+                    black_box(aodv.handle_message(Addr(2), Message::Rrep(rrep), Time::ZERO));
+                }
+                aodv
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tick(c: &mut Criterion) {
+    c.bench_function("aodv/tick_with_100_routes", |b| {
+        let mut aodv = Aodv::new(Addr(5), AodvConfig::default());
+        for i in 0..100u64 {
+            let rrep = Rrep {
+                dest: Addr(10_000 + i),
+                dest_seq: i as u32,
+                orig: Addr(5),
+                hop_count: 3,
+                lifetime: Duration::from_secs(600),
+                next_hop: None,
+            };
+            let _ = aodv.handle_message(Addr(2), Message::Rrep(rrep), Time::ZERO);
+        }
+        let mut t = Time::ZERO;
+        b.iter(|| {
+            t += Duration::from_millis(100);
+            black_box(aodv.tick(t))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rreq_processing,
+    bench_routing_table_growth,
+    bench_tick
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Ablation A1 — cost of the cryptographic operations each detection
+//! performs (the paper's Limitation section worries about RSU
+//! authentication becoming a bottleneck in dense clusters).
+
+use blackdp_crypto::{sha256, Keypair, LongTermId, TaId, TrustedAuthority};
+use blackdp_sim::{Duration, Time};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(black_box(&data))));
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys = Keypair::generate(&mut rng);
+    let msg = b"RREP dest=7 seq=75 hops=3 lifetime=6s";
+    let sig = keys.sign(msg, &mut rng);
+
+    c.bench_function("schnorr/sign", |b| {
+        b.iter(|| keys.sign(black_box(msg), &mut rng))
+    });
+    c.bench_function("schnorr/verify", |b| {
+        b.iter(|| keys.public().verify(black_box(msg), black_box(&sig)))
+    });
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut ta = TrustedAuthority::new(TaId(0), &mut rng);
+    let subject = Keypair::generate(&mut rng);
+    let cert = ta.enroll(
+        LongTermId(1),
+        subject.public(),
+        Time::ZERO,
+        Duration::from_secs(600),
+        &mut rng,
+    );
+
+    c.bench_function("cert/issue", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ta.enroll(
+                LongTermId(i),
+                subject.public(),
+                Time::ZERO,
+                Duration::from_secs(600),
+                &mut rng,
+            )
+        })
+    });
+    c.bench_function("cert/verify", |b| {
+        b.iter(|| cert.verify(black_box(ta.public_key()), Time::from_secs(1)))
+    });
+
+    // The per-detection authentication bill: one d_req envelope check plus
+    // the two probe RREQs (unsigned) — i.e. one cert verify + one body
+    // signature verify.
+    let body = b"DREQ reporter=1 cluster=2 suspect=66";
+    let body_sig = subject.sign(body, &mut rng);
+    c.bench_function("detection/auth_bill", |b| {
+        b.iter(|| {
+            let ok = cert.verify(ta.public_key(), Time::from_secs(1)).is_ok()
+                && cert.public_key.verify(black_box(body), &body_sig);
+            black_box(ok)
+        })
+    });
+}
+
+fn bench_keygen(c: &mut Criterion) {
+    c.bench_function("schnorr/keygen", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(3),
+            |mut rng| Keypair::generate(&mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_signatures,
+    bench_certificates,
+    bench_keygen
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Ablation A2 — end-to-end trial cost: wall-clock time to simulate a full
+//! Table-I run (clean, single attack, cooperative attack) and scaling with
+//! vehicle density. Also reports — via the simulation itself — how long
+//! route discovery plus BlackDP verification takes in *virtual* time.
+
+use blackdp_attacks::EvasionPolicy;
+use blackdp_scenario::{
+    build_scenario, run_trial, AttackSetup, ScenarioConfig, TrialSpec, VehicleNode,
+};
+use blackdp_sim::Time;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn clean_spec(seed: u64) -> TrialSpec {
+    TrialSpec {
+        seed,
+        attack: AttackSetup::None,
+        evasion: EvasionPolicy::None,
+        source_cluster: 1,
+        dest_cluster: Some(4),
+        attacker_moves: false,
+        attacker_fake_hello: false,
+    }
+}
+
+fn bench_full_trials(c: &mut Criterion) {
+    let cfg = ScenarioConfig::paper_table1();
+    let mut group = c.benchmark_group("trial");
+    group.sample_size(10);
+    group.bench_function("clean_table1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_trial(&cfg, &clean_spec(seed)))
+        })
+    });
+    group.bench_function("single_attack_table1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_trial(&cfg, &TrialSpec::single(seed, 2, 10)))
+        })
+    });
+    group.bench_function("cooperative_attack_table1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_trial(&cfg, &TrialSpec::cooperative(seed, 3, 10)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_density_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trial/density");
+    group.sample_size(10);
+    for vehicles in [50u32, 100, 200] {
+        let mut cfg = ScenarioConfig::paper_table1();
+        cfg.vehicles = vehicles;
+        group.bench_function(format!("{vehicles}_vehicles"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_trial(&cfg, &clean_spec(seed)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_verification_virtual_latency(c: &mut Criterion) {
+    // Not a wall-clock benchmark per se: measures how much *simulation*
+    // work it takes until the source's route is verified end to end.
+    let cfg = ScenarioConfig::paper_table1();
+    c.bench_function("trial/until_route_verified", |b| {
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed += 1;
+            let mut built = build_scenario(&cfg, &clean_spec(seed));
+            let dest_addr = built.dest_addr;
+            let mut t = Time::from_secs(2);
+            let step = blackdp_sim::Duration::from_millis(200);
+            for _ in 0..150 {
+                built.world.run_until(t);
+                let verified = built
+                    .world
+                    .get::<VehicleNode>(built.source)
+                    .map(|v| v.is_verified(dest_addr))
+                    .unwrap_or(false);
+                if verified {
+                    break;
+                }
+                t += step;
+            }
+            black_box(built.world.now())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_full_trials,
+    bench_density_scaling,
+    bench_verification_virtual_latency
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Ablation A5 — the verification table under congestion: the paper's
+//! dedup rationale is that "when the highway is congested … many nodes
+//! wish to verify the same suspect node". Measures recording cost with
+//! heavy duplication and the capacity-eviction path.
+
+use blackdp::VerificationTable;
+use blackdp_aodv::Addr;
+use blackdp_crypto::PseudonymId;
+use blackdp_mobility::ClusterId;
+use blackdp_sim::Time;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_dedup_storm(c: &mut Criterion) {
+    // 500 reporters all flagging the same suspect (a congested segment).
+    c.bench_function("vtable/dedup_500_reports_same_suspect", |b| {
+        b.iter_batched(
+            || VerificationTable::new(1024),
+            |mut table| {
+                for i in 0..500u64 {
+                    black_box(table.record(
+                        Addr(42),
+                        Some(ClusterId(3)),
+                        PseudonymId(i),
+                        ClusterId(2),
+                        Time::ZERO,
+                    ));
+                }
+                table
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_distinct_suspects(c: &mut Criterion) {
+    c.bench_function("vtable/record_500_distinct_suspects", |b| {
+        b.iter_batched(
+            || VerificationTable::new(1024),
+            |mut table| {
+                for i in 0..500u64 {
+                    black_box(table.record(
+                        Addr(i),
+                        None,
+                        PseudonymId(i),
+                        ClusterId(2),
+                        Time::from_micros(i),
+                    ));
+                }
+                table
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_eviction_pressure(c: &mut Criterion) {
+    // Table at capacity: every insert walks the eviction scan — the
+    // storage-overhead worst case the paper's future work wants reduced.
+    c.bench_function("vtable/insert_at_capacity_64", |b| {
+        b.iter_batched(
+            || {
+                let mut table = VerificationTable::new(64);
+                for i in 0..64u64 {
+                    table.record(
+                        Addr(i),
+                        None,
+                        PseudonymId(i),
+                        ClusterId(1),
+                        Time::from_micros(i),
+                    );
+                }
+                (table, 64u64)
+            },
+            |(mut table, mut next)| {
+                for _ in 0..32 {
+                    next += 1;
+                    black_box(table.record(
+                        Addr(next),
+                        None,
+                        PseudonymId(next),
+                        ClusterId(1),
+                        Time::from_micros(next),
+                    ));
+                }
+                table
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dedup_storm,
+    bench_distinct_suspects,
+    bench_eviction_pressure
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation A5 in the full simulator — the verification table's dedup
+//! under congestion: many vehicles report the same suspect at once
+//! ("when the highway is congested and many nodes wish to verify the same
+//! suspect node", Section III-B).
+//!
+//! ```text
+//! cargo run --release -p blackdp-bench --bin congestion [reporters] [repetitions]
+//! ```
+
+use blackdp_scenario::{congestion_dedup, ScenarioConfig};
+
+fn main() {
+    let reporters: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let repetitions: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let cfg = ScenarioConfig::paper_table1();
+
+    println!("Verification-table dedup under congestion");
+    println!("({reporters} vehicles report the same attacker; {repetitions} trials each)");
+    println!(
+        "{:>8} | {:>18} | {:>18}",
+        "dedup", "detection episodes", "probe unicasts"
+    );
+    println!("{:-<52}", "");
+    let results = congestion_dedup(&cfg, reporters, repetitions);
+    for r in &results {
+        println!(
+            "{:>8} | {:>18.1} | {:>18.1}",
+            if r.dedup { "on" } else { "off" },
+            r.mean_episodes,
+            r.mean_probe_sends
+        );
+    }
+    let on = results.iter().find(|r| r.dedup).unwrap();
+    let off = results.iter().find(|r| !r.dedup).unwrap();
+    println!();
+    println!(
+        "dedup suppresses {:.0}% of the redundant episodes ({}x fewer probe ladders)",
+        (1.0 - on.mean_episodes / off.mean_episodes.max(1.0)) * 100.0,
+        (off.mean_episodes / on.mean_episodes.max(1.0)).round()
+    );
+}

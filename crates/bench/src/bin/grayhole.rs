@@ -1,0 +1,45 @@
+//! Gray hole ablation — detection rate and packet delivery versus the
+//! attacker's per-packet drop probability.
+//!
+//! Expected shape: BlackDP's detection accuracy stays **flat** across drop
+//! probabilities — the examination probes route-capture behaviour (forged
+//! RREPs), not the data plane — while the victim's PDR degrades with the
+//! drop rate until isolation kicks in. This extends the paper toward its
+//! related work on selective/gray holes (Jhaveri et al., Su).
+//!
+//! ```text
+//! cargo run --release -p blackdp-bench --bin grayhole [repetitions]
+//! ```
+
+use blackdp_bench::{bar, pct};
+use blackdp_scenario::{grayhole_sweep, ScenarioConfig};
+
+fn main() {
+    let repetitions: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let cfg = ScenarioConfig::paper_table1();
+    let probs = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    println!("Gray hole ablation ({repetitions} trials per point)");
+    println!(
+        "{:>10} | {:>9} {:>7} | {:>7} | detection",
+        "drop prob", "accuracy", "FP", "PDR"
+    );
+    println!("{:-<64}", "");
+    let points = grayhole_sweep(&cfg, &probs, repetitions);
+    for p in &points {
+        println!(
+            "{:>10} | {:>9} {:>7} | {:>7} | {}",
+            format!("{:.0}%", p.drop_probability * 100.0),
+            pct(p.rates.accuracy),
+            pct(p.rates.fp_rate),
+            pct(p.rates.mean_pdr),
+            bar(p.rates.accuracy, 24),
+        );
+    }
+    println!();
+    println!("shape: the detection column should be flat (probing is data-plane-independent);");
+    println!("a drop probability of 100% is exactly the black hole of the main experiments.");
+}

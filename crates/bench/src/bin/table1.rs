@@ -1,0 +1,53 @@
+//! Regenerates **Table I — Simulation parameters** from the live
+//! configuration and checks the derived quantities the paper states
+//! (cluster count `p = l / r`, speed band, ranges).
+//!
+//! ```text
+//! cargo run --release -p blackdp-bench --bin table1
+//! ```
+
+use blackdp_bench::param_table;
+use blackdp_scenario::ScenarioConfig;
+
+fn main() {
+    let cfg = ScenarioConfig::paper_table1();
+    let plan = cfg.plan();
+
+    let rows = vec![
+        (
+            "Vehicle speed",
+            format!("{:.0}-{:.0}km", cfg.min_speed_kmh, cfg.max_speed_kmh),
+        ),
+        ("#Vehicles", format!("{}", cfg.vehicles)),
+        ("#RSUs (CHs)", format!("{}", plan.cluster_count())),
+        ("Transmission range", format!("{:.0}m", cfg.range_m)),
+        (
+            "Highway length",
+            format!("{:.0}km", cfg.highway_length_m / 1000.0),
+        ),
+        ("Highway width", format!("{:.0}m", cfg.highway_width_m)),
+        ("Cluster length", format!("{:.0}m", cfg.cluster_len_m)),
+    ];
+    print!("{}", param_table("TABLE I: Simulation parameters", &rows));
+
+    // Derived checks the paper asserts.
+    assert_eq!(
+        plan.cluster_count(),
+        (cfg.highway_length_m / cfg.cluster_len_m).ceil() as u32,
+        "p = l / r must hold"
+    );
+    assert_eq!(plan.cluster_count(), 10);
+    println!();
+    println!(
+        "derived: p = l / r = {:.0}m / {:.0}m = {} cluster heads  [OK]",
+        cfg.highway_length_m,
+        cfg.cluster_len_m,
+        plan.cluster_count()
+    );
+    println!(
+        "derived: RSU positions centered per segment at x = {:?} m  [OK]",
+        plan.clusters()
+            .filter_map(|c| plan.rsu_position(c).map(|p| p.x))
+            .collect::<Vec<_>>()
+    );
+}

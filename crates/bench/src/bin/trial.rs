@@ -1,0 +1,171 @@
+//! A command-line trial runner: stage any single scenario and inspect it.
+//!
+//! ```text
+//! cargo run --release -p blackdp-bench --bin trial -- \
+//!     [--seed N] [--attack none|false|single|cooperative|grayhole] \
+//!     [--cluster C] [--drop P] [--evasion none|legit|flee|renew] \
+//!     [--dest C|none] [--vehicles N] [--loss P] [--defense blackdp|none|peak|threshold|first] \
+//!     [--moves] [--verbose] [--journal]
+//! ```
+
+use blackdp_attacks::EvasionPolicy;
+use blackdp_scenario::{
+    attach_journal, build_scenario, harvest, AttackSetup, DefenseMode, RsuNode, ScenarioConfig,
+    TrialSpec,
+};
+use blackdp_sim::Time;
+
+fn parse_args() -> Result<(ScenarioConfig, TrialSpec, bool, bool), String> {
+    let mut cfg = ScenarioConfig::paper_table1();
+    let mut seed = 1u64;
+    let mut attack = "single".to_owned();
+    let mut cluster = 2u32;
+    let mut drop = 0.5f64;
+    let mut evasion = EvasionPolicy::None;
+    let mut dest: Option<u32> = Some(5);
+    let mut moves = false;
+    let mut verbose = false;
+    let mut journal = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => seed = next(&mut i)?.parse().map_err(|e| format!("seed: {e}"))?,
+            "--attack" => attack = next(&mut i)?,
+            "--cluster" => cluster = next(&mut i)?.parse().map_err(|e| format!("cluster: {e}"))?,
+            "--drop" => drop = next(&mut i)?.parse().map_err(|e| format!("drop: {e}"))?,
+            "--evasion" => {
+                evasion = match next(&mut i)?.as_str() {
+                    "none" => EvasionPolicy::None,
+                    "legit" => EvasionPolicy::ActLegitimately,
+                    "flee" => EvasionPolicy::Flee,
+                    "renew" => EvasionPolicy::RenewIdentity,
+                    other => return Err(format!("unknown evasion `{other}`")),
+                }
+            }
+            "--dest" => {
+                let v = next(&mut i)?;
+                dest = if v == "none" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|e| format!("dest: {e}"))?)
+                };
+            }
+            "--vehicles" => {
+                cfg.vehicles = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("vehicles: {e}"))?
+            }
+            "--loss" => cfg.radio_loss = next(&mut i)?.parse().map_err(|e| format!("loss: {e}"))?,
+            "--defense" => {
+                cfg.defense = match next(&mut i)?.as_str() {
+                    "blackdp" => DefenseMode::BlackDp,
+                    "none" => DefenseMode::None,
+                    "peak" => DefenseMode::BaselinePeak,
+                    "threshold" => DefenseMode::BaselineThreshold,
+                    "first" => DefenseMode::BaselineFirstRrep,
+                    other => return Err(format!("unknown defense `{other}`")),
+                }
+            }
+            "--moves" => moves = true,
+            "--verbose" => verbose = true,
+            "--journal" => journal = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    let attack = match attack.as_str() {
+        "none" => AttackSetup::None,
+        "false" => AttackSetup::FalseSuspicion {
+            cross_cluster: false,
+        },
+        "single" => AttackSetup::Single { cluster },
+        "cooperative" => AttackSetup::Cooperative { cluster },
+        "grayhole" => AttackSetup::GrayHole {
+            cluster,
+            drop_probability: drop,
+        },
+        other => return Err(format!("unknown attack `{other}`")),
+    };
+    let spec = TrialSpec {
+        seed,
+        attack,
+        evasion,
+        source_cluster: 1,
+        dest_cluster: dest,
+        attacker_moves: moves,
+        attacker_fake_hello: false,
+    };
+    Ok((cfg, spec, verbose, journal))
+}
+
+fn main() {
+    let (cfg, spec, verbose, want_journal) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("see the module docs (`--help` equivalent) at the top of trial.rs");
+            std::process::exit(2);
+        }
+    };
+
+    println!("spec: {spec:?}");
+    let mut built = build_scenario(&cfg, &spec);
+    let journal = want_journal.then(|| attach_journal(&mut built));
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+
+    if let Some(journal) = &journal {
+        let journal = journal.borrow();
+        println!("--- frame journal: {} deliveries ---", journal.len());
+        for (kind, count) in journal.kind_histogram() {
+            println!("{kind:>14} x {count}");
+        }
+    }
+
+    if verbose {
+        println!("--- statistics ---");
+        for (k, v) in built.world.stats().iter() {
+            println!("{k} = {v}");
+        }
+        println!("--- RSU timelines ---");
+        for &r in &built.rsus {
+            let rsu = built.world.get::<RsuNode>(r).unwrap();
+            for (t, e) in rsu.timeline() {
+                println!("{t} cluster {}: {e:?}", rsu.cluster_head().cluster());
+            }
+        }
+    }
+
+    let outcome = harvest(&cfg, &spec, &built);
+    println!("--- outcome ---");
+    println!("class:              {:?}", outcome.class);
+    println!("reported:           {}", outcome.reported);
+    println!("attacker confirmed: {}", outcome.attacker_confirmed);
+    println!("attacker revoked:   {}", outcome.attacker_revoked);
+    println!("detection packets:  {:?}", outcome.detection_packets);
+    println!(
+        "detection latency:  {}",
+        outcome
+            .detection_latency
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".into())
+    );
+    println!(
+        "data:               {} sent / {} delivered (PDR {:.0}%), {} dropped by attacker",
+        outcome.data_sent,
+        outcome.data_delivered,
+        outcome.pdr() * 100.0,
+        outcome.data_dropped_by_attacker
+    );
+    for (suspect, verdict, packets) in &outcome.detections {
+        println!("episode:            {suspect} → {verdict:?} ({packets} packets)");
+    }
+}

@@ -1,0 +1,149 @@
+//! One-command validation: runs a reduced version of every experiment and
+//! asserts the paper's shapes hold. Exits non-zero on any violation —
+//! suitable as a CI gate for the reproduction.
+//!
+//! ```text
+//! cargo run --release -p blackdp-bench --bin validate_shapes [quick|full]
+//! ```
+//!
+//! `quick` (default) uses few repetitions (~1 minute); `full` uses more.
+
+use blackdp_scenario::{
+    defense_comparison, fig4_cell, fig5, grayhole_sweep, AttackKind, DefenseMode, RateSummary,
+    ScenarioConfig,
+};
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, label: &str, ok: bool, detail: String) {
+        if ok {
+            println!("PASS  {label}");
+        } else {
+            println!("FAIL  {label}: {detail}");
+            self.failures.push(label.to_owned());
+        }
+    }
+}
+
+fn main() {
+    let full = std::env::args().nth(1).as_deref() == Some("full");
+    let reps: u32 = if full { 15 } else { 5 };
+    let cfg = ScenarioConfig::paper_table1();
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+
+    // --- Figure 4 shape: perfection in the clean zone, FN-only loss in the
+    // renewal zone, zero FP everywhere. ---
+    for kind in [AttackKind::Single, AttackKind::Cooperative] {
+        let clean: Vec<_> = [2u32, 5, 7]
+            .iter()
+            .map(|&c| RateSummary::from_outcomes(&fig4_cell(&cfg, kind, c, reps)))
+            .collect();
+        let zone = RateSummary::from_outcomes(&fig4_cell(&cfg, kind, 9, reps * 2));
+        let clean_acc = clean.iter().map(|r| r.accuracy).sum::<f64>() / clean.len() as f64;
+        let max_fp = clean.iter().map(|r| r.fp_rate).fold(zone.fp_rate, f64::max);
+        gate.check(
+            &format!("fig4/{kind:?}: clusters 1-7 accuracy = 100%"),
+            clean_acc >= 0.999,
+            format!("got {clean_acc:.3}"),
+        );
+        gate.check(
+            &format!("fig4/{kind:?}: renewal zone accuracy drops"),
+            zone.accuracy < clean_acc && zone.fn_rate > 0.0,
+            format!("zone accuracy {:.3}, fn {:.3}", zone.accuracy, zone.fn_rate),
+        );
+        gate.check(
+            &format!("fig4/{kind:?}: zero false positives"),
+            max_fp == 0.0,
+            format!("max FP {max_fp:.3}"),
+        );
+    }
+
+    // --- Figure 5 shape: within one packet of every band, correct order. ---
+    let rows = fig5(&cfg, reps);
+    for row in &rows {
+        let (plo, phi) = row.paper_range;
+        let ok = match (row.min(), row.max()) {
+            (Some(lo), Some(hi)) => hi >= plo.saturating_sub(1) && lo <= phi + 1,
+            _ => false,
+        };
+        gate.check(
+            &format!("fig5/{}", row.label),
+            ok,
+            format!(
+                "measured {:?}-{:?} vs paper {plo}-{phi}",
+                row.min(),
+                row.max()
+            ),
+        );
+    }
+    let mean = |label: &str| {
+        rows.iter()
+            .find(|r| r.label == label)
+            .map(|r| r.measured.iter().map(|&x| x as f64).sum::<f64>() / r.measured.len() as f64)
+            .unwrap_or(f64::NAN)
+    };
+    gate.check(
+        "fig5: ordering no-attack < same-cluster < moved < cross+moved",
+        mean("no attacker (false suspicion)") < mean("single, same cluster")
+            && mean("single, same cluster") < mean("single, same cluster, moves mid-detection")
+            && mean("single, same cluster, moves mid-detection")
+                < mean("single, different cluster, moves mid-detection"),
+        format!(
+            "{:.1} / {:.1} / {:.1} / {:.1}",
+            mean("no attacker (false suspicion)"),
+            mean("single, same cluster"),
+            mean("single, same cluster, moves mid-detection"),
+            mean("single, different cluster, moves mid-detection"),
+        ),
+    );
+
+    // --- Defense comparison: BlackDP dominates; no defense collapses. ---
+    let comparison = defense_comparison(&cfg, reps);
+    let get = |d: DefenseMode| comparison.iter().find(|r| r.defense == d).unwrap();
+    let blackdp = get(DefenseMode::BlackDp);
+    let none = get(DefenseMode::None);
+    gate.check(
+        "comparison: BlackDP detects and isolates",
+        blackdp.under_attack.accuracy >= 0.999,
+        format!("accuracy {:.3}", blackdp.under_attack.accuracy),
+    );
+    gate.check(
+        "comparison: undefended AODV collapses under attack",
+        none.under_attack.mean_pdr < 0.2,
+        format!("PDR {:.3}", none.under_attack.mean_pdr),
+    );
+    gate.check(
+        "comparison: BlackDP preserves delivery under attack",
+        blackdp.under_attack.mean_pdr > 0.9,
+        format!("PDR {:.3}", blackdp.under_attack.mean_pdr),
+    );
+
+    // --- Gray hole: detection flat across drop rates. ---
+    let gray = grayhole_sweep(&cfg, &[0.0, 0.5, 1.0], reps.min(4));
+    let min_acc = gray
+        .iter()
+        .map(|p| p.rates.accuracy)
+        .fold(f64::INFINITY, f64::min);
+    gate.check(
+        "grayhole: detection independent of drop rate",
+        min_acc >= 0.999,
+        format!("min accuracy {min_acc:.3}"),
+    );
+
+    println!();
+    if gate.failures.is_empty() {
+        println!("all shapes hold.");
+    } else {
+        println!(
+            "{} shape(s) violated: {:?}",
+            gate.failures.len(),
+            gate.failures
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,100 @@
+//! # blackdp-bench — figure regeneration and reporting helpers
+//!
+//! The binaries in this crate regenerate every table and figure of the
+//! paper's evaluation (Section IV):
+//!
+//! | Target | Reproduces |
+//! |--------|-----------|
+//! | `table1` | Table I simulation parameters (printed from the live configuration, with derived quantities checked) |
+//! | `fig4` | Figure 4: detection accuracy / false positives / false negatives vs. attacker cluster, single and cooperative |
+//! | `fig5` | Figure 5: number of detection packets per scenario |
+//! | `baseline_comparison` | Ablation A3: BlackDP vs. sequence-number baselines vs. no defense |
+//! | `sole_responder` | Ablation A4: the Section V-A failure case where the attacker is the only responder |
+//!
+//! Criterion microbenchmarks cover the crypto substrate, the AODV state
+//! machine, the verification table, and end-to-end trial latency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+/// Renders a simple two-column parameter table.
+pub fn param_table(title: &str, rows: &[(&str, String)]) -> String {
+    let key_w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0).max(9);
+    let val_w = rows.iter().map(|(_, v)| v.len()).max().unwrap_or(0).max(5);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "| {:key_w$} | {:val_w$} |", "Parameter", "Value");
+    let _ = writeln!(
+        out,
+        "|{:-<w1$}|{:-<w2$}|",
+        "",
+        "",
+        w1 = key_w + 2,
+        w2 = val_w + 2
+    );
+    for (k, v) in rows {
+        let _ = writeln!(out, "| {k:key_w$} | {v:val_w$} |");
+    }
+    out
+}
+
+/// Summarizes a set of integer samples as `min–max (mean μ)`.
+pub fn range_summary(samples: &[u32]) -> String {
+    match (samples.iter().min(), samples.iter().max()) {
+        (Some(&lo), Some(&hi)) => {
+            let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / samples.len() as f64;
+            format!("{lo}-{hi} (mean {mean:.1}, n={})", samples.len())
+        }
+        _ => "no samples".to_owned(),
+    }
+}
+
+/// Draws a unit-height ASCII bar for a rate in `[0, 1]`.
+pub fn bar(rate: f64, width: usize) -> String {
+    let filled = (rate.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(pct(0.125), " 12.5%");
+    }
+
+    #[test]
+    fn range_summary_formats() {
+        assert_eq!(range_summary(&[6, 6, 8]), "6-8 (mean 6.7, n=3)");
+        assert_eq!(range_summary(&[]), "no samples");
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(1.0, 4), "####");
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(2.0, 3), "###", "clamped");
+    }
+
+    #[test]
+    fn param_table_renders_all_rows() {
+        let t = param_table("T", &[("a", "1".into()), ("bb", "22".into())]);
+        assert!(t.contains("| a "));
+        assert!(t.contains("| bb"));
+        assert!(t.contains("22"));
+    }
+}

@@ -1,0 +1,431 @@
+//! The trusted-authority node logic: revocation handling, cross-TA pause
+//! propagation, and pseudonym renewal (Section III-B.2).
+
+use blackdp_crypto::{PseudonymId, TaId, TrustedAuthority};
+use blackdp_mobility::ClusterId;
+use blackdp_sim::{Duration, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::wire::BlackDpMessage;
+
+/// An instruction for the host embedding an [`AuthorityNode`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaAction {
+    /// Send to a cluster head over the wired backbone.
+    WiredCh {
+        /// The destination cluster.
+        cluster: ClusterId,
+        /// The message.
+        msg: BlackDpMessage,
+    },
+    /// Send to a peer authority over the wired backbone.
+    WiredTa {
+        /// The destination authority.
+        ta: TaId,
+        /// The message.
+        msg: BlackDpMessage,
+    },
+    /// An observable event.
+    Event(TaEvent),
+}
+
+/// Observable authority events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaEvent {
+    /// A certificate was revoked here.
+    CertificateRevoked(PseudonymId),
+    /// A renewal was refused because the owner is paused.
+    RenewalRefused(PseudonymId),
+    /// A renewal succeeded under a fresh pseudonym.
+    RenewalGranted {
+        /// The pseudonym the request was made under.
+        old: PseudonymId,
+        /// The freshly issued pseudonym.
+        new: PseudonymId,
+    },
+}
+
+/// A trusted-authority node: wraps the key-handling
+/// [`TrustedAuthority`] with the paper's message flows.
+#[derive(Debug)]
+pub struct AuthorityNode {
+    ta: TrustedAuthority,
+    /// Cluster heads this authority is responsible for.
+    clusters: Vec<ClusterId>,
+    /// Peer authorities (for pause propagation).
+    peers: Vec<TaId>,
+    cert_validity: Duration,
+    rng: StdRng,
+}
+
+impl AuthorityNode {
+    /// Creates the node around an existing authority.
+    pub fn new(
+        ta: TrustedAuthority,
+        clusters: Vec<ClusterId>,
+        peers: Vec<TaId>,
+        cert_validity: Duration,
+        seed: u64,
+    ) -> Self {
+        AuthorityNode {
+            ta,
+            clusters,
+            peers,
+            cert_validity,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// This authority's id.
+    pub fn id(&self) -> TaId {
+        self.ta.id()
+    }
+
+    /// The wrapped authority (for enrollment during scenario setup).
+    pub fn authority_mut(&mut self) -> &mut TrustedAuthority {
+        &mut self.ta
+    }
+
+    /// Read access to the wrapped authority.
+    pub fn authority(&self) -> &TrustedAuthority {
+        &self.ta
+    }
+
+    /// Processes a message from a CH (or a peer TA when `from_peer` is
+    /// true; peer-forwarded revocation requests are not re-forwarded,
+    /// preventing loops).
+    pub fn handle(&mut self, msg: BlackDpMessage, from_peer: bool, now: Time) -> Vec<TaAction> {
+        match msg {
+            BlackDpMessage::RevocationRequest {
+                suspect,
+                reporting_cluster,
+            } => self.handle_revocation(suspect, reporting_cluster, from_peer),
+            BlackDpMessage::PauseRenewal { owner } => {
+                self.ta.pause_renewals(owner);
+                Vec::new()
+            }
+            BlackDpMessage::Revoked(notice) => {
+                if from_peer {
+                    // Relay a peer's revocation notice to our own CHs.
+                    self.clusters
+                        .iter()
+                        .map(|&cluster| TaAction::WiredCh {
+                            cluster,
+                            msg: BlackDpMessage::Revoked(notice),
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            BlackDpMessage::RenewRequest {
+                current,
+                issuer,
+                new_key,
+                reply_cluster,
+            } => {
+                if issuer != self.ta.id() {
+                    // Not ours: relay to the issuing authority.
+                    return vec![TaAction::WiredTa {
+                        ta: issuer,
+                        msg: BlackDpMessage::RenewRequest {
+                            current,
+                            issuer,
+                            new_key,
+                            reply_cluster,
+                        },
+                    }];
+                }
+                match self
+                    .ta
+                    .renew(current, new_key, now, self.cert_validity, &mut self.rng)
+                {
+                    Ok(cert) => vec![
+                        TaAction::Event(TaEvent::RenewalGranted {
+                            old: current,
+                            new: cert.pseudonym,
+                        }),
+                        TaAction::WiredCh {
+                            cluster: reply_cluster,
+                            msg: BlackDpMessage::RenewReply {
+                                current,
+                                cert: Some(cert),
+                            },
+                        },
+                    ],
+                    Err(_) => vec![
+                        TaAction::Event(TaEvent::RenewalRefused(current)),
+                        TaAction::WiredCh {
+                            cluster: reply_cluster,
+                            msg: BlackDpMessage::RenewReply {
+                                current,
+                                cert: None,
+                            },
+                        },
+                    ],
+                }
+            }
+            // Everything else is not authority business.
+            _ => Vec::new(),
+        }
+    }
+
+    fn handle_revocation(
+        &mut self,
+        suspect: PseudonymId,
+        reporting_cluster: ClusterId,
+        from_peer: bool,
+    ) -> Vec<TaAction> {
+        match self.ta.revoke(suspect) {
+            Ok(revocation) => {
+                let mut actions = vec![TaAction::Event(TaEvent::CertificateRevoked(suspect))];
+                // Notice to every CH in our region.
+                for &cluster in &self.clusters {
+                    actions.push(TaAction::WiredCh {
+                        cluster,
+                        msg: BlackDpMessage::Revoked(revocation.notice),
+                    });
+                }
+                // Peers: pause the owner and spread the notice to their
+                // regions.
+                for &peer in &self.peers {
+                    actions.push(TaAction::WiredTa {
+                        ta: peer,
+                        msg: BlackDpMessage::PauseRenewal {
+                            owner: revocation.owner,
+                        },
+                    });
+                    actions.push(TaAction::WiredTa {
+                        ta: peer,
+                        msg: BlackDpMessage::Revoked(revocation.notice),
+                    });
+                }
+                actions
+            }
+            Err(_) if !from_peer => {
+                // We never issued this pseudonym — another authority did.
+                self.peers
+                    .iter()
+                    .map(|&peer| TaAction::WiredTa {
+                        ta: peer,
+                        msg: BlackDpMessage::RevocationRequest {
+                            suspect,
+                            reporting_cluster,
+                        },
+                    })
+                    .collect()
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackdp_crypto::{Keypair, LongTermId};
+
+    fn node(id: u32, clusters: Vec<u32>, peers: Vec<u32>, seed: u64) -> AuthorityNode {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ta = TrustedAuthority::new(TaId(id), &mut rng);
+        AuthorityNode::new(
+            ta,
+            clusters.into_iter().map(ClusterId).collect(),
+            peers.into_iter().map(TaId).collect(),
+            Duration::from_secs(600),
+            seed,
+        )
+    }
+
+    #[test]
+    fn revocation_notifies_chs_and_peers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut node = node(1, vec![1, 2], vec![2], 1);
+        let keys = Keypair::generate(&mut rng);
+        let cert = node.authority_mut().enroll(
+            LongTermId(9),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut rng,
+        );
+        let actions = node.handle(
+            BlackDpMessage::RevocationRequest {
+                suspect: cert.pseudonym,
+                reporting_cluster: ClusterId(2),
+            },
+            false,
+            Time::ZERO,
+        );
+        let ch_notices = actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    TaAction::WiredCh {
+                        msg: BlackDpMessage::Revoked(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(ch_notices, 2, "both supervised CHs notified");
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            TaAction::WiredTa {
+                ta: TaId(2),
+                msg: BlackDpMessage::PauseRenewal { .. }
+            }
+        )));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, TaAction::Event(TaEvent::CertificateRevoked(_)))));
+        // Renewal is now refused.
+        let actions = node.handle(
+            BlackDpMessage::RenewRequest {
+                current: cert.pseudonym,
+                issuer: TaId(1),
+                new_key: keys.public(),
+                reply_cluster: ClusterId(1),
+            },
+            false,
+            Time::from_secs(1),
+        );
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            TaAction::WiredCh {
+                msg: BlackDpMessage::RenewReply { cert: None, .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn unknown_pseudonym_forwards_to_peers_once() {
+        let mut node1 = node(1, vec![1], vec![2], 1);
+        let actions = node1.handle(
+            BlackDpMessage::RevocationRequest {
+                suspect: PseudonymId(424242),
+                reporting_cluster: ClusterId(1),
+            },
+            false,
+            Time::ZERO,
+        );
+        assert!(matches!(
+            &actions[..],
+            [TaAction::WiredTa {
+                ta: TaId(2),
+                msg: BlackDpMessage::RevocationRequest { .. }
+            }]
+        ));
+        // A peer-forwarded unknown request dies quietly (no loops).
+        let actions = node1.handle(
+            BlackDpMessage::RevocationRequest {
+                suspect: PseudonymId(424242),
+                reporting_cluster: ClusterId(1),
+            },
+            true,
+            Time::ZERO,
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn renewal_roundtrip_and_cross_ta_relay() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut issuer = node(1, vec![1], vec![2], 2);
+        let mut other = node(2, vec![2], vec![1], 3);
+        let keys = Keypair::generate(&mut rng);
+        let cert = issuer.authority_mut().enroll(
+            LongTermId(5),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut rng,
+        );
+        // Request reaches the wrong TA first: it relays.
+        let relay = other.handle(
+            BlackDpMessage::RenewRequest {
+                current: cert.pseudonym,
+                issuer: TaId(1),
+                new_key: keys.public(),
+                reply_cluster: ClusterId(2),
+            },
+            false,
+            Time::ZERO,
+        );
+        let forwarded = match &relay[..] {
+            [TaAction::WiredTa { ta: TaId(1), msg }] => msg.clone(),
+            other => panic!("expected a relay, got {other:?}"),
+        };
+        let actions = issuer.handle(forwarded, true, Time::from_secs(1));
+        let new_cert = actions
+            .iter()
+            .find_map(|a| match a {
+                TaAction::WiredCh {
+                    cluster,
+                    msg: BlackDpMessage::RenewReply { cert: Some(c), .. },
+                } => {
+                    assert_eq!(*cluster, ClusterId(2), "reply routed to the requesting CH");
+                    Some(*c)
+                }
+                _ => None,
+            })
+            .expect("renewal granted");
+        assert_ne!(new_cert.pseudonym, cert.pseudonym);
+    }
+
+    #[test]
+    fn peer_pause_blocks_local_renewal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut node1 = node(1, vec![1], vec![2], 4);
+        let keys = Keypair::generate(&mut rng);
+        let cert = node1.authority_mut().enroll(
+            LongTermId(7),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut rng,
+        );
+        node1.handle(
+            BlackDpMessage::PauseRenewal {
+                owner: LongTermId(7),
+            },
+            true,
+            Time::ZERO,
+        );
+        let actions = node1.handle(
+            BlackDpMessage::RenewRequest {
+                current: cert.pseudonym,
+                issuer: TaId(1),
+                new_key: keys.public(),
+                reply_cluster: ClusterId(1),
+            },
+            false,
+            Time::from_secs(1),
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, TaAction::Event(TaEvent::RenewalRefused(_)))));
+    }
+
+    #[test]
+    fn peer_notice_is_relayed_to_own_chs() {
+        let mut node1 = node(1, vec![3, 4], vec![2], 5);
+        let notice = blackdp_crypto::RevocationNotice {
+            pseudonym: PseudonymId(1),
+            serial: 1,
+            expires: Time::from_secs(100),
+        };
+        let actions = node1.handle(BlackDpMessage::Revoked(notice), true, Time::ZERO);
+        assert_eq!(actions.len(), 2);
+        assert!(actions.iter().all(|a| matches!(
+            a,
+            TaAction::WiredCh {
+                msg: BlackDpMessage::Revoked(_),
+                ..
+            }
+        )));
+    }
+}

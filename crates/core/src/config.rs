@@ -1,0 +1,61 @@
+//! BlackDP protocol timing and sizing parameters.
+
+use blackdp_sim::Duration;
+
+/// Tunable BlackDP parameters shared by vehicles and cluster heads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlackDpConfig {
+    /// How long the originator waits for an authenticated Hello reply
+    /// before declaring the route suspicious (Section III-B: "waits for a
+    /// time out").
+    pub hello_probe_timeout: Duration,
+    /// How long a cluster head waits for the suspect's RREP to a
+    /// fake-destination probe.
+    pub probe_rrep_timeout: Duration,
+    /// Extra probe attempts when the first fake-destination RREQ goes
+    /// unanswered (covers radio loss before declaring "acted
+    /// legitimately").
+    pub probe_retries: u32,
+    /// RSU processing time between receiving `RREP₁` and issuing `RREQ₂`
+    /// (the paper's Limitation section notes RSU authentication/processing
+    /// latency; this window is also what lets a moving suspect's Leave
+    /// trigger a state handoff that carries `RREP₁`'s sequence number).
+    pub probe_processing_delay: Duration,
+    /// Certificate validity granted by TAs.
+    pub cert_validity: Duration,
+    /// Upper bound on verification-table entries per cluster head (the
+    /// paper's storage-overhead concern); oldest resolved entries are
+    /// evicted first.
+    pub max_verification_entries: usize,
+    /// Whether redundant detection requests for a suspect already under
+    /// (or past) examination are suppressed via the verification table
+    /// (Section III-B). Disable only for the dedup ablation.
+    pub dedup_detection_requests: bool,
+}
+
+impl Default for BlackDpConfig {
+    fn default() -> Self {
+        BlackDpConfig {
+            hello_probe_timeout: Duration::from_millis(1500),
+            probe_rrep_timeout: Duration::from_millis(800),
+            probe_retries: 1,
+            probe_processing_delay: Duration::from_millis(100),
+            cert_validity: Duration::from_secs(600),
+            max_verification_entries: 1024,
+            dedup_detection_requests: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = BlackDpConfig::default();
+        assert!(cfg.hello_probe_timeout > Duration::ZERO);
+        assert!(cfg.probe_rrep_timeout > Duration::ZERO);
+        assert!(cfg.max_verification_entries > 0);
+    }
+}

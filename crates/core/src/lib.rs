@@ -1,0 +1,109 @@
+//! # blackdp — Black Hole Detection Protocol for Connected Vehicles
+//!
+//! A from-scratch reproduction of **BlackDP** (Albouq & Fredericks,
+//! *"Lightweight Detection and Isolation of Black Hole Attacks in Connected
+//! Vehicles"*, ICDCS 2017): a semi-centric protocol that decouples black
+//! hole detection from mobile nodes and assigns it to trusted roadside
+//! units (RSUs) acting as cluster heads on a highway.
+//!
+//! ## Protocol overview
+//!
+//! **Identification phase** (Section III-B.1):
+//!
+//! 1. *Source and destination verification* — after AODV route discovery,
+//!    the originator authenticates the RREP ("secure packet": certificate +
+//!    signature over a one-way hash). A reply straight from the destination
+//!    verifies directly; a reply from an intermediate node triggers an
+//!    end-to-end secure Hello probe. Two unanswered probes (with a route
+//!    rediscovery in between), or a fake/anonymous Hello reply, produce a
+//!    detection request `d_req = ⟨v_i, v_i^cy, v_B, v_B^cy⟩` to the cluster
+//!    head. Implemented by [`SourceVerifier`].
+//! 2. *Suspicious node examination* — the cluster head deduplicates
+//!    requests in its [`VerificationTable`], locates the suspect (or
+//!    forwards to the right cluster head), and probes it under a
+//!    disposable identity with two fake-destination RREQs; answering the
+//!    second (which demands a *higher* sequence number and discloses the
+//!    next hop) proves an AODV violation and may expose a cooperative
+//!    teammate, which is probed the same way. Implemented by
+//!    [`ClusterHead`].
+//!
+//! **Isolation phase** (Section III-B.2): the cluster head requests
+//! certificate revocation from the trusted authority, which pauses the
+//! attacker's renewals everywhere and distributes revocation notices;
+//! cluster heads blacklist the attacker and advise members and newcomers.
+//! Implemented by [`ClusterHead`] + [`AuthorityNode`].
+//!
+//! All three state machines are **sans-io**: they consume messages and
+//! ticks, and emit actions for a host (the `blackdp-scenario` crate, or
+//! your own integration) to execute.
+//!
+//! # Examples
+//!
+//! The RSU-side probe ladder against a mock attacker:
+//!
+//! ```
+//! use blackdp::{addr_of, BlackDpConfig, BlackDpMessage, ChAction, ClusterHead, DReq,
+//!               DetectionOutcome, Sealed, SuspicionReason, Wire};
+//! use blackdp_aodv::{Addr, Message as AodvMessage, Rrep};
+//! use blackdp_crypto::{Keypair, LongTermId, TaId, TrustedAuthority};
+//! use blackdp_mobility::ClusterId;
+//! use blackdp_sim::{Duration, Time};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut ta = TrustedAuthority::new(TaId(1), &mut rng);
+//! let mut ch = ClusterHead::new(
+//!     ClusterId(2), Addr(900_002), TaId(1), ta.public_key(), 10,
+//!     BlackDpConfig::default(), 42,
+//! );
+//!
+//! // The attacker joins the cluster…
+//! let bh_keys = Keypair::generate(&mut rng);
+//! let bh_cert = ta.enroll(LongTermId(66), bh_keys.public(), Time::ZERO,
+//!                         Duration::from_secs(600), &mut rng);
+//! let jreq = Sealed::seal(
+//!     blackdp::JoinBody { pos_x: 1500.0, pos_y: 50.0, speed_kmh: 70.0, forward: true },
+//!     bh_cert, None, &bh_keys, &mut rng);
+//! let _ = ch.handle_blackdp(addr_of(bh_cert.pseudonym), BlackDpMessage::Jreq(jreq), Time::ZERO);
+//!
+//! // …a legitimate node reports it…
+//! let rep_keys = Keypair::generate(&mut rng);
+//! let rep_cert = ta.enroll(LongTermId(2), rep_keys.public(), Time::ZERO,
+//!                          Duration::from_secs(600), &mut rng);
+//! let dreq = DReq {
+//!     reporter: rep_cert.pseudonym,
+//!     reporter_cluster: ClusterId(2),
+//!     suspect: addr_of(bh_cert.pseudonym),
+//!     suspect_cluster: Some(ClusterId(2)),
+//!     reason: SuspicionReason::NoHelloResponse,
+//! };
+//! let sealed = Sealed::seal(dreq, rep_cert, Some(ClusterId(2)), &rep_keys, &mut rng);
+//! let actions = ch.handle_blackdp(Addr(1), BlackDpMessage::DetectionRequest(sealed), Time::ZERO);
+//!
+//! // …and the CH probes the suspect with a fake-destination RREQ.
+//! assert!(actions.iter().any(|a| matches!(
+//!     a,
+//!     ChAction::Radio { wire: Wire::Aodv(AodvMessage::Rreq(_)), .. }
+//! )));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod authority;
+mod config;
+mod rsu;
+mod table;
+mod verifier;
+mod wire;
+
+pub use authority::{AuthorityNode, TaAction, TaEvent};
+pub use config::BlackDpConfig;
+pub use rsu::{ChAction, ChEvent, ClusterHead};
+pub use table::{VerEntry, VerStatus, VerificationTable};
+pub use verifier::{SourceVerifier, VerifierAction};
+pub use wire::{
+    addr_of, AuthError, BlackDpMessage, DReq, DetectionHandoff, DetectionOutcome,
+    DetectionResponse, HelloProbe, HelloReply, JoinBody, RouteAuth, RrepBody, Sealed, SignBytes,
+    SuspicionReason, Wire,
+};

@@ -1,0 +1,334 @@
+//! The cluster head's *verification table* (Section III-B, "Suspicious
+//! Node Examination").
+//!
+//! Stores one entry per suspect with every reporter that flagged it. Its
+//! two jobs, straight from the paper: *"identify cluster membership"* and
+//! *"reduce the number of redundant detection requests for the same
+//! suspicious node"* when a congested highway produces many reports.
+
+use std::collections::BTreeMap;
+
+use blackdp_aodv::Addr;
+use blackdp_crypto::PseudonymId;
+use blackdp_mobility::ClusterId;
+use blackdp_sim::Time;
+
+use crate::wire::DetectionOutcome;
+
+/// Lifecycle of a verification-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerStatus {
+    /// Detection is queued or running locally.
+    Pending,
+    /// The request was forwarded to the suspect's own cluster head.
+    Forwarded {
+        /// Where it went.
+        to: ClusterId,
+    },
+    /// A verdict was reached (locally or relayed back).
+    Done {
+        /// The verdict.
+        outcome: DetectionOutcome,
+        /// When it was reached.
+        at: Time,
+    },
+}
+
+/// One suspect's record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerEntry {
+    /// The suspect (`v_B`).
+    pub suspect: Addr,
+    /// The suspect's cluster as reported (`v_B^cy`).
+    pub suspect_cluster: Option<ClusterId>,
+    /// Every reporter awaiting a verdict, with their clusters (`v_i`,
+    /// `v_i^cy`).
+    pub reporters: Vec<(PseudonymId, ClusterId)>,
+    /// Current status.
+    pub status: VerStatus,
+    /// Insertion time (used for capacity eviction).
+    pub recorded: Time,
+}
+
+/// The bounded verification table.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp::{VerificationTable, VerStatus};
+/// use blackdp_aodv::Addr;
+/// use blackdp_crypto::PseudonymId;
+/// use blackdp_mobility::ClusterId;
+/// use blackdp_sim::Time;
+///
+/// let mut table = VerificationTable::new(16);
+/// let fresh = table.record(Addr(9), Some(ClusterId(2)), PseudonymId(1), ClusterId(1), Time::ZERO);
+/// assert!(fresh, "first report creates the entry");
+/// let dup = table.record(Addr(9), Some(ClusterId(2)), PseudonymId(3), ClusterId(1), Time::ZERO);
+/// assert!(!dup, "second report is deduplicated onto the same entry");
+/// assert_eq!(table.get(Addr(9)).unwrap().reporters.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VerificationTable {
+    entries: BTreeMap<Addr, VerEntry>,
+    cap: usize,
+}
+
+impl VerificationTable {
+    /// Creates a table bounded to `cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "verification table capacity must be positive");
+        VerificationTable {
+            entries: BTreeMap::new(),
+            cap,
+        }
+    }
+
+    /// Records a report against `suspect`. Returns `true` when this is a
+    /// **new** suspect (detection should start / be forwarded) and `false`
+    /// when the report was merged into an existing entry (redundant
+    /// request suppressed).
+    pub fn record(
+        &mut self,
+        suspect: Addr,
+        suspect_cluster: Option<ClusterId>,
+        reporter: PseudonymId,
+        reporter_cluster: ClusterId,
+        now: Time,
+    ) -> bool {
+        if let Some(entry) = self.entries.get_mut(&suspect) {
+            if !entry.reporters.iter().any(|(p, _)| *p == reporter) {
+                entry.reporters.push((reporter, reporter_cluster));
+            }
+            if entry.suspect_cluster.is_none() {
+                entry.suspect_cluster = suspect_cluster;
+            }
+            return false;
+        }
+        self.evict_if_full();
+        self.entries.insert(
+            suspect,
+            VerEntry {
+                suspect,
+                suspect_cluster,
+                reporters: vec![(reporter, reporter_cluster)],
+                status: VerStatus::Pending,
+                recorded: now,
+            },
+        );
+        true
+    }
+
+    /// Records an entry that arrived with a pre-built reporter list (a
+    /// forwarded request or a handoff). Returns `true` if the suspect was
+    /// new.
+    pub fn record_bulk(
+        &mut self,
+        suspect: Addr,
+        suspect_cluster: Option<ClusterId>,
+        reporters: &[(PseudonymId, ClusterId)],
+        now: Time,
+    ) -> bool {
+        let mut fresh = true;
+        if self.entries.contains_key(&suspect) {
+            fresh = false;
+        } else {
+            self.evict_if_full();
+            self.entries.insert(
+                suspect,
+                VerEntry {
+                    suspect,
+                    suspect_cluster,
+                    reporters: Vec::new(),
+                    status: VerStatus::Pending,
+                    recorded: now,
+                },
+            );
+        }
+        let entry = self.entries.get_mut(&suspect).expect("just ensured");
+        for &(p, c) in reporters {
+            if !entry.reporters.iter().any(|(q, _)| *q == p) {
+                entry.reporters.push((p, c));
+            }
+        }
+        fresh
+    }
+
+    /// Looks up the entry for `suspect`.
+    pub fn get(&self, suspect: Addr) -> Option<&VerEntry> {
+        self.entries.get(&suspect)
+    }
+
+    /// Updates the status of `suspect`'s entry, if present.
+    pub fn set_status(&mut self, suspect: Addr, status: VerStatus) {
+        if let Some(e) = self.entries.get_mut(&suspect) {
+            e.status = status;
+        }
+    }
+
+    /// Takes (and clears) the reporter list of `suspect`'s entry.
+    pub fn take_reporters(&mut self, suspect: Addr) -> Vec<(PseudonymId, ClusterId)> {
+        self.entries
+            .get_mut(&suspect)
+            .map(|e| std::mem::take(&mut e.reporters))
+            .unwrap_or_default()
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no suspects are on file.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in suspect order.
+    pub fn iter(&self) -> impl Iterator<Item = &VerEntry> {
+        self.entries.values()
+    }
+
+    /// Evicts the oldest **resolved** entry when at capacity (resolved
+    /// entries exist only for dedup; pending ones must survive). Falls back
+    /// to the oldest entry of any kind if everything is pending.
+    fn evict_if_full(&mut self) {
+        if self.entries.len() < self.cap {
+            return;
+        }
+        let victim = self
+            .entries
+            .values()
+            .filter(|e| matches!(e.status, VerStatus::Done { .. }))
+            .min_by_key(|e| e.recorded)
+            .or_else(|| self.entries.values().min_by_key(|e| e.recorded))
+            .map(|e| e.suspect);
+        if let Some(v) = victim {
+            self.entries.remove(&v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> VerificationTable {
+        VerificationTable::new(4)
+    }
+
+    #[test]
+    fn dedup_merges_reporters() {
+        let mut t = table();
+        assert!(t.record(Addr(9), None, PseudonymId(1), ClusterId(1), Time::ZERO));
+        assert!(!t.record(Addr(9), None, PseudonymId(2), ClusterId(3), Time::ZERO));
+        assert!(!t.record(Addr(9), None, PseudonymId(1), ClusterId(1), Time::ZERO));
+        let e = t.get(Addr(9)).unwrap();
+        assert_eq!(e.reporters.len(), 2, "duplicate reporter not re-added");
+    }
+
+    #[test]
+    fn late_cluster_information_fills_in() {
+        let mut t = table();
+        t.record(Addr(9), None, PseudonymId(1), ClusterId(1), Time::ZERO);
+        t.record(
+            Addr(9),
+            Some(ClusterId(5)),
+            PseudonymId(2),
+            ClusterId(1),
+            Time::ZERO,
+        );
+        assert_eq!(t.get(Addr(9)).unwrap().suspect_cluster, Some(ClusterId(5)));
+    }
+
+    #[test]
+    fn capacity_evicts_resolved_first() {
+        let mut t = table();
+        for i in 0..4u64 {
+            t.record(
+                Addr(i),
+                None,
+                PseudonymId(100 + i),
+                ClusterId(1),
+                Time::from_secs(i),
+            );
+        }
+        // Resolve the newest one; it should still be evicted before any
+        // pending entry.
+        t.set_status(
+            Addr(3),
+            VerStatus::Done {
+                outcome: DetectionOutcome::Unconfirmed,
+                at: Time::from_secs(10),
+            },
+        );
+        t.record(
+            Addr(99),
+            None,
+            PseudonymId(7),
+            ClusterId(1),
+            Time::from_secs(20),
+        );
+        assert_eq!(t.len(), 4);
+        assert!(t.get(Addr(3)).is_none(), "resolved entry evicted");
+        assert!(t.get(Addr(0)).is_some(), "pending entries survive");
+    }
+
+    #[test]
+    fn capacity_falls_back_to_oldest_pending() {
+        let mut t = table();
+        for i in 0..4u64 {
+            t.record(
+                Addr(i),
+                None,
+                PseudonymId(100 + i),
+                ClusterId(1),
+                Time::from_secs(i),
+            );
+        }
+        t.record(
+            Addr(99),
+            None,
+            PseudonymId(7),
+            ClusterId(1),
+            Time::from_secs(20),
+        );
+        assert_eq!(t.len(), 4);
+        assert!(
+            t.get(Addr(0)).is_none(),
+            "oldest pending evicted as last resort"
+        );
+    }
+
+    #[test]
+    fn record_bulk_merges_and_reports_freshness() {
+        let mut t = table();
+        let reporters = vec![
+            (PseudonymId(1), ClusterId(1)),
+            (PseudonymId(2), ClusterId(2)),
+        ];
+        assert!(t.record_bulk(Addr(9), Some(ClusterId(3)), &reporters, Time::ZERO));
+        assert!(!t.record_bulk(Addr(9), None, &[(PseudonymId(3), ClusterId(1))], Time::ZERO));
+        assert_eq!(t.get(Addr(9)).unwrap().reporters.len(), 3);
+    }
+
+    #[test]
+    fn take_reporters_clears_list() {
+        let mut t = table();
+        t.record(Addr(9), None, PseudonymId(1), ClusterId(1), Time::ZERO);
+        let reporters = t.take_reporters(Addr(9));
+        assert_eq!(reporters.len(), 1);
+        assert!(t.get(Addr(9)).unwrap().reporters.is_empty());
+        assert!(t.take_reporters(Addr(404)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = VerificationTable::new(0);
+    }
+}

@@ -1,0 +1,785 @@
+//! The originator-side route verification ladder
+//! (Section III-B.1, "Source and Destination Verification").
+//!
+//! After AODV installs a route, the originator must not trust it yet:
+//!
+//! 1. If the RREP came **from the destination itself**, verifying the
+//!    attached certificate + signature suffices.
+//! 2. If it came from an **intermediate node** claiming a cached route, the
+//!    originator sends a *secure Hello* probe end-to-end and waits for the
+//!    destination's authenticated reply.
+//! 3. On timeout it redoes route discovery once; a second unanswered probe
+//!    behind the **same suspect** triggers a detection request (`d_req`) to
+//!    the cluster head.
+//! 4. A Hello reply that fails authentication, or authenticates as someone
+//!    other than the destination, short-circuits to an immediate `d_req`
+//!    ("anonymity response").
+//!
+//! Implemented sans-io: the host feeds in AODV route events and BlackDP
+//! replies, and executes the returned [`VerifierAction`]s.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use blackdp_aodv::{Addr, Rrep};
+use blackdp_crypto::{PseudonymId, PublicKey};
+use blackdp_mobility::ClusterId;
+use blackdp_sim::Time;
+
+use crate::config::BlackDpConfig;
+use crate::wire::{addr_of, DReq, HelloProbe, HelloReply, RouteAuth, Sealed, SuspicionReason};
+
+/// An instruction for the host embedding a [`SourceVerifier`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifierAction {
+    /// Seal and route this Hello probe toward its destination.
+    SendProbe(HelloProbe),
+    /// Tear down the unverified route and rerun AODV route discovery.
+    RestartDiscovery {
+        /// The destination to rediscover.
+        dest: Addr,
+    },
+    /// Seal this detection request and send it to the cluster head.
+    Report(DReq),
+    /// The route to `dest` is authenticated end to end; data may flow.
+    Verified {
+        /// The verified destination.
+        dest: Addr,
+    },
+    /// Verification could not complete (e.g. no route at all); the attack —
+    /// if any — was prevented but nothing is reportable.
+    GaveUp {
+        /// The abandoned destination.
+        dest: Addr,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct VerifyState {
+    /// The replier behind the route under test: `(address, cluster)`.
+    suspect: Option<(Addr, Option<ClusterId>)>,
+    /// Outstanding probe: `(probe id, deadline)`.
+    probe: Option<(u64, Time)>,
+}
+
+/// The per-vehicle verification state machine.
+///
+/// # Examples
+///
+/// See the crate-level documentation for a full walkthrough; unit tests in
+/// this module exercise every ladder rung.
+#[derive(Debug)]
+pub struct SourceVerifier {
+    cfg: BlackDpConfig,
+    ta_key: PublicKey,
+    identity: PseudonymId,
+    cluster: Option<ClusterId>,
+    states: BTreeMap<Addr, VerifyState>,
+    /// Unanswered-probe strikes per `(destination, replier)`. Strikes
+    /// survive interleaved successful verifications of *other* routes, so
+    /// an attacker whose forged RREP keeps re-capturing the route cannot
+    /// reset its own count by letting an honest round through.
+    strikes: HashMap<(Addr, Addr), u8>,
+    /// Repliers already reported to the cluster head; their routes are
+    /// held (neither probed again nor used) until the verdict arrives.
+    reported: BTreeSet<Addr>,
+    next_probe_id: u64,
+}
+
+impl SourceVerifier {
+    /// Creates a verifier for the vehicle holding `identity`, validating
+    /// certificates against `ta_key`.
+    pub fn new(cfg: BlackDpConfig, ta_key: PublicKey, identity: PseudonymId) -> Self {
+        SourceVerifier {
+            cfg,
+            ta_key,
+            identity,
+            cluster: None,
+            states: BTreeMap::new(),
+            strikes: HashMap::new(),
+            reported: BTreeSet::new(),
+            next_probe_id: 0,
+        }
+    }
+
+    /// Updates the vehicle's identity after pseudonym renewal.
+    pub fn set_identity(&mut self, identity: PseudonymId) {
+        self.identity = identity;
+    }
+
+    /// Records the cluster this vehicle registered with (from the JREP).
+    pub fn set_cluster(&mut self, cluster: Option<ClusterId>) {
+        self.cluster = cluster;
+    }
+
+    /// The destinations currently under verification.
+    pub fn pending(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.states.keys().copied()
+    }
+
+    /// Declares interest in a verified route to `dest`. Route events for
+    /// destinations never begun are ignored.
+    pub fn begin(&mut self, dest: Addr) {
+        self.states.entry(dest).or_insert(VerifyState {
+            suspect: None,
+            probe: None,
+        });
+    }
+
+    /// True if `replier` was already reported and awaits a verdict.
+    pub fn is_reported(&self, replier: Addr) -> bool {
+        self.reported.contains(&replier)
+    }
+
+    /// Feed: AODV established a route to `dest`, won by `rrep` (delivered
+    /// by neighbor `from`), optionally carrying its authentication
+    /// envelope.
+    pub fn on_route_established(
+        &mut self,
+        dest: Addr,
+        from: Addr,
+        rrep: &Rrep,
+        auth: Option<&RouteAuth>,
+        now: Time,
+    ) -> Vec<VerifierAction> {
+        let Some(state) = self.states.get_mut(&dest) else {
+            return Vec::new();
+        };
+        if state.probe.is_some() {
+            // Already probing this destination; ignore extra RREPs.
+            return Vec::new();
+        }
+
+        // Authentication first (the paper: "nodes need to authenticate
+        // themselves to the originator node").
+        let envelope = match auth {
+            Some(env) => env,
+            None => {
+                // Unsigned RREP: authentication violation. The replier's
+                // only identity is its link address.
+                let dreq = self.make_dreq(from, None, SuspicionReason::AuthViolation);
+                self.states.remove(&dest);
+                self.reported.insert(from);
+                return vec![VerifierAction::Report(dreq)];
+            }
+        };
+        if envelope.verify(self.ta_key, now).is_err() {
+            let suspect = addr_of(envelope.signer());
+            let dreq = self.make_dreq(suspect, envelope.cluster, SuspicionReason::AuthViolation);
+            self.states.remove(&dest);
+            self.reported.insert(suspect);
+            return vec![VerifierAction::Report(dreq)];
+        }
+
+        let signer_addr = addr_of(envelope.signer());
+        if self.reported.contains(&signer_addr) {
+            // Already reported: hold this route until the CH verdict.
+            return Vec::new();
+        }
+        if signer_addr == dest {
+            // The destination itself replied and authenticated: done.
+            self.states.remove(&dest);
+            return vec![VerifierAction::Verified { dest }];
+        }
+
+        // An intermediate claims a cached route: probe end to end.
+        let _ = rrep;
+        state.suspect = Some((signer_addr, envelope.cluster));
+        let probe_id = self.next_probe_id;
+        self.next_probe_id += 1;
+        state.probe = Some((probe_id, now + self.cfg.hello_probe_timeout));
+        // NOTE: `make_dreq` borrows &self; capture identity fields first.
+        vec![VerifierAction::SendProbe(HelloProbe {
+            probe_id,
+            src: addr_of(self.identity),
+            dest,
+            ttl: 16,
+        })]
+    }
+
+    /// Feed: a sealed Hello reply arrived.
+    pub fn on_hello_reply(
+        &mut self,
+        envelope: &Sealed<HelloReply>,
+        now: Time,
+    ) -> Vec<VerifierAction> {
+        let reply = envelope.body;
+        // Find the pending destination this reply claims to answer.
+        let dest = reply.src;
+        let Some(state) = self.states.get(&dest) else {
+            return Vec::new();
+        };
+        let Some((probe_id, _)) = state.probe else {
+            return Vec::new();
+        };
+        if reply.probe_id != probe_id {
+            return Vec::new(); // stale reply from an earlier round
+        }
+
+        let authentic = envelope.verify(self.ta_key, now).is_ok();
+        let is_destination = addr_of(envelope.signer()) == dest;
+        if authentic && is_destination {
+            self.states.remove(&dest);
+            return vec![VerifierAction::Verified { dest }];
+        }
+
+        // "Node v_B1 may reply with a fake Hello packet claiming that
+        // itself or the teammate attacker is the destination ... Node v_1
+        // sends the detection request without performing the second route
+        // discovery because of the anonymity response."
+        let (suspect, suspect_cluster) = state
+            .suspect
+            .unwrap_or((addr_of(envelope.signer()), envelope.cluster));
+        let dreq = self.make_dreq(suspect, suspect_cluster, SuspicionReason::FakeHelloReply);
+        self.states.remove(&dest);
+        self.reported.insert(suspect);
+        vec![VerifierAction::Report(dreq)]
+    }
+
+    /// Feed: AODV reported that route discovery for `dest` failed outright.
+    /// The paper: a suspect that stays silent on the second round "can only
+    /// be prevented", not detected.
+    pub fn on_discovery_failed(&mut self, dest: Addr) -> Vec<VerifierAction> {
+        if self.states.remove(&dest).is_some() {
+            vec![VerifierAction::GaveUp { dest }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Periodic maintenance: probe timeouts drive the attempt ladder.
+    pub fn tick(&mut self, now: Time) -> Vec<VerifierAction> {
+        let mut actions = Vec::new();
+        let expired: Vec<Addr> = self
+            .states
+            .iter()
+            .filter(|(_, s)| s.probe.map(|(_, d)| now >= d).unwrap_or(false))
+            .map(|(&d, _)| d)
+            .collect();
+        for dest in expired {
+            let state = self.states.get_mut(&dest).expect("just listed");
+            state.probe = None;
+            let Some((suspect, suspect_cluster)) = state.suspect else {
+                self.states.remove(&dest);
+                actions.push(VerifierAction::GaveUp { dest });
+                continue;
+            };
+            let strikes = self.strikes.entry((dest, suspect)).or_insert(0);
+            *strikes += 1;
+            if *strikes >= 2 {
+                // Second unanswered probe behind the same replier: report.
+                self.states.remove(&dest);
+                self.strikes.remove(&(dest, suspect));
+                self.reported.insert(suspect);
+                actions.push(VerifierAction::Report(self.make_dreq(
+                    suspect,
+                    suspect_cluster,
+                    SuspicionReason::NoHelloResponse,
+                )));
+            } else {
+                // First unanswered probe: redo the route discovery with the
+                // authentication process.
+                actions.push(VerifierAction::RestartDiscovery { dest });
+            }
+        }
+        actions
+    }
+
+    fn make_dreq(
+        &self,
+        suspect: Addr,
+        suspect_cluster: Option<ClusterId>,
+        reason: SuspicionReason,
+    ) -> DReq {
+        DReq {
+            reporter: self.identity,
+            reporter_cluster: self.cluster.unwrap_or(ClusterId(0)),
+            suspect,
+            suspect_cluster,
+            reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackdp_crypto::{Certificate, Keypair, LongTermId, TaId, TrustedAuthority};
+    use blackdp_sim::Duration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::wire::RrepBody;
+
+    struct Fixture {
+        rng: StdRng,
+        ta: TrustedAuthority,
+        verifier: SourceVerifier,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ta = TrustedAuthority::new(TaId(0), &mut rng);
+        let verifier =
+            SourceVerifier::new(BlackDpConfig::default(), ta.public_key(), PseudonymId(1));
+        Fixture { rng, ta, verifier }
+    }
+
+    fn enroll(fx: &mut Fixture, long_term: u64) -> (Keypair, Certificate) {
+        let keys = Keypair::generate(&mut fx.rng);
+        let cert = fx.ta.enroll(
+            LongTermId(long_term),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut fx.rng,
+        );
+        (keys, cert)
+    }
+
+    fn rrep(dest: Addr, seq: u32) -> Rrep {
+        Rrep {
+            dest,
+            dest_seq: seq,
+            orig: Addr(1),
+            hop_count: 2,
+            lifetime: Duration::from_secs(6),
+            next_hop: None,
+        }
+    }
+
+    #[test]
+    fn destination_signed_rrep_verifies_directly() {
+        let mut fx = fixture();
+        let (keys, cert) = enroll(&mut fx, 7);
+        let dest = addr_of(cert.pseudonym);
+        fx.verifier.begin(dest);
+        let auth = Sealed::seal(
+            RrepBody(rrep(dest, 75)),
+            cert,
+            Some(ClusterId(3)),
+            &keys,
+            &mut fx.rng,
+        );
+        let actions = fx.verifier.on_route_established(
+            dest,
+            Addr(22),
+            &rrep(dest, 75),
+            Some(&auth),
+            Time::ZERO,
+        );
+        assert_eq!(actions, vec![VerifierAction::Verified { dest }]);
+        assert_eq!(fx.verifier.pending().count(), 0);
+    }
+
+    #[test]
+    fn intermediate_rrep_triggers_probe() {
+        let mut fx = fixture();
+        let (keys, cert) = enroll(&mut fx, 7); // an intermediate, not the dest
+        let dest = Addr(999);
+        fx.verifier.begin(dest);
+        let auth = Sealed::seal(
+            RrepBody(rrep(dest, 75)),
+            cert,
+            Some(ClusterId(2)),
+            &keys,
+            &mut fx.rng,
+        );
+        let actions = fx.verifier.on_route_established(
+            dest,
+            addr_of(cert.pseudonym),
+            &rrep(dest, 75),
+            Some(&auth),
+            Time::ZERO,
+        );
+        match &actions[..] {
+            [VerifierAction::SendProbe(p)] => {
+                assert_eq!(p.dest, dest);
+                assert_eq!(p.src, Addr(1));
+            }
+            other => panic!("expected a probe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsigned_rrep_reports_auth_violation() {
+        let mut fx = fixture();
+        let dest = Addr(999);
+        fx.verifier.begin(dest);
+        let actions =
+            fx.verifier
+                .on_route_established(dest, Addr(66), &rrep(dest, 200), None, Time::ZERO);
+        match &actions[..] {
+            [VerifierAction::Report(dreq)] => {
+                assert_eq!(dreq.suspect, Addr(66));
+                assert_eq!(dreq.reason, SuspicionReason::AuthViolation);
+            }
+            other => panic!("expected a report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_signature_reports_auth_violation() {
+        let mut fx = fixture();
+        let (keys, cert) = enroll(&mut fx, 7);
+        let dest = Addr(999);
+        fx.verifier.begin(dest);
+        let mut auth = Sealed::seal(RrepBody(rrep(dest, 200)), cert, None, &keys, &mut fx.rng);
+        // Tamper: claim a different sequence number than was signed.
+        auth.body = RrepBody(rrep(dest, 4000));
+        let actions = fx.verifier.on_route_established(
+            dest,
+            addr_of(cert.pseudonym),
+            &rrep(dest, 4000),
+            Some(&auth),
+            Time::ZERO,
+        );
+        assert!(matches!(
+            &actions[..],
+            [VerifierAction::Report(d)] if d.reason == SuspicionReason::AuthViolation
+        ));
+    }
+
+    #[test]
+    fn authentic_hello_reply_from_destination_verifies() {
+        let mut fx = fixture();
+        let (ikeys, icert) = enroll(&mut fx, 7); // intermediate
+        let (dkeys, dcert) = enroll(&mut fx, 8); // destination
+        let dest = addr_of(dcert.pseudonym);
+        fx.verifier.begin(dest);
+        let auth = Sealed::seal(RrepBody(rrep(dest, 75)), icert, None, &ikeys, &mut fx.rng);
+        let actions = fx.verifier.on_route_established(
+            dest,
+            addr_of(icert.pseudonym),
+            &rrep(dest, 75),
+            Some(&auth),
+            Time::ZERO,
+        );
+        let probe_id = match &actions[..] {
+            [VerifierAction::SendProbe(p)] => p.probe_id,
+            other => panic!("expected probe, got {other:?}"),
+        };
+        let reply = Sealed::seal(
+            HelloReply {
+                probe_id,
+                src: dest,
+                dest: Addr(1),
+                ttl: 12,
+            },
+            dcert,
+            None,
+            &dkeys,
+            &mut fx.rng,
+        );
+        let actions = fx.verifier.on_hello_reply(&reply, Time::from_millis(10));
+        assert_eq!(actions, vec![VerifierAction::Verified { dest }]);
+    }
+
+    #[test]
+    fn fake_hello_reply_reports_immediately() {
+        let mut fx = fixture();
+        let (bkeys, bcert) = enroll(&mut fx, 66); // the black hole
+        let dest = Addr(999);
+        fx.verifier.begin(dest);
+        let auth = Sealed::seal(
+            RrepBody(rrep(dest, 200)),
+            bcert,
+            Some(ClusterId(2)),
+            &bkeys,
+            &mut fx.rng,
+        );
+        let actions = fx.verifier.on_route_established(
+            dest,
+            addr_of(bcert.pseudonym),
+            &rrep(dest, 200),
+            Some(&auth),
+            Time::ZERO,
+        );
+        let probe_id = match &actions[..] {
+            [VerifierAction::SendProbe(p)] => p.probe_id,
+            other => panic!("expected probe, got {other:?}"),
+        };
+        // The attacker itself "replies" claiming to be the destination: it
+        // must sign as `dest` but only holds its own certificate.
+        let fake = Sealed::seal(
+            HelloReply {
+                probe_id,
+                src: dest,
+                dest: Addr(1),
+                ttl: 12,
+            },
+            bcert,
+            Some(ClusterId(2)),
+            &bkeys,
+            &mut fx.rng,
+        );
+        let actions = fx.verifier.on_hello_reply(&fake, Time::from_millis(5));
+        match &actions[..] {
+            [VerifierAction::Report(dreq)] => {
+                assert_eq!(dreq.reason, SuspicionReason::FakeHelloReply);
+                assert_eq!(dreq.suspect, addr_of(bcert.pseudonym));
+                assert_eq!(dreq.suspect_cluster, Some(ClusterId(2)));
+            }
+            other => panic!("expected report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_timeouts_escalate_to_report() {
+        let mut fx = fixture();
+        let (bkeys, bcert) = enroll(&mut fx, 66);
+        let dest = Addr(999);
+        fx.verifier.begin(dest);
+        let auth = Sealed::seal(
+            RrepBody(rrep(dest, 200)),
+            bcert,
+            Some(ClusterId(4)),
+            &bkeys,
+            &mut fx.rng,
+        );
+
+        // Round 1: probe sent, times out → restart discovery.
+        let t0 = Time::ZERO;
+        let a1 = fx.verifier.on_route_established(
+            dest,
+            addr_of(bcert.pseudonym),
+            &rrep(dest, 200),
+            Some(&auth),
+            t0,
+        );
+        assert!(matches!(&a1[..], [VerifierAction::SendProbe(_)]));
+        let t1 = t0 + Duration::from_secs(2);
+        let a2 = fx.verifier.tick(t1);
+        assert_eq!(a2, vec![VerifierAction::RestartDiscovery { dest }]);
+
+        // Round 2: the attacker answers again, probe again, timeout again
+        // → report with NoHelloResponse.
+        let a3 = fx.verifier.on_route_established(
+            dest,
+            addr_of(bcert.pseudonym),
+            &rrep(dest, 201),
+            Some(&auth),
+            t1,
+        );
+        assert!(matches!(&a3[..], [VerifierAction::SendProbe(_)]));
+        let t2 = t1 + Duration::from_secs(2);
+        let a4 = fx.verifier.tick(t2);
+        match &a4[..] {
+            [VerifierAction::Report(dreq)] => {
+                assert_eq!(dreq.reason, SuspicionReason::NoHelloResponse);
+                assert_eq!(dreq.suspect, addr_of(bcert.pseudonym));
+            }
+            other => panic!("expected report, got {other:?}"),
+        }
+        assert_eq!(fx.verifier.pending().count(), 0);
+    }
+
+    #[test]
+    fn discovery_failure_gives_up_quietly() {
+        let mut fx = fixture();
+        let dest = Addr(999);
+        fx.verifier.begin(dest);
+        let actions = fx.verifier.on_discovery_failed(dest);
+        assert_eq!(actions, vec![VerifierAction::GaveUp { dest }]);
+        assert!(fx.verifier.on_discovery_failed(dest).is_empty());
+    }
+
+    #[test]
+    fn stale_hello_reply_is_ignored() {
+        let mut fx = fixture();
+        let (ikeys, icert) = enroll(&mut fx, 7);
+        let (dkeys, dcert) = enroll(&mut fx, 8);
+        let dest = addr_of(dcert.pseudonym);
+        fx.verifier.begin(dest);
+        let auth = Sealed::seal(RrepBody(rrep(dest, 75)), icert, None, &ikeys, &mut fx.rng);
+        let _ = fx.verifier.on_route_established(
+            dest,
+            addr_of(icert.pseudonym),
+            &rrep(dest, 75),
+            Some(&auth),
+            Time::ZERO,
+        );
+        let stale = Sealed::seal(
+            HelloReply {
+                probe_id: 999, // wrong id
+                src: dest,
+                dest: Addr(1),
+                ttl: 12,
+            },
+            dcert,
+            None,
+            &dkeys,
+            &mut fx.rng,
+        );
+        assert!(fx.verifier.on_hello_reply(&stale, Time::ZERO).is_empty());
+    }
+
+    #[test]
+    fn events_for_unknown_destinations_are_ignored() {
+        let mut fx = fixture();
+        let actions =
+            fx.verifier
+                .on_route_established(Addr(5), Addr(6), &rrep(Addr(5), 1), None, Time::ZERO);
+        assert!(actions.is_empty(), "begin() was never called for Addr(5)");
+    }
+
+    #[test]
+    fn strikes_survive_interleaved_honest_verification() {
+        // The oscillation scenario: the attacker's forged RREP keeps
+        // re-capturing the route, but an honest round verifies in between.
+        // Without persistent per-suspect strikes the suspect memory would
+        // reset every round and no report would ever fire.
+        let mut fx = fixture();
+        let (bkeys, bcert) = enroll(&mut fx, 66); // attacker
+        let (dkeys, dcert) = enroll(&mut fx, 8); // honest destination
+        let dest = addr_of(dcert.pseudonym);
+        let battacker = addr_of(bcert.pseudonym);
+
+        // Round 1: attacker's route wins, probe, timeout -> restart.
+        fx.verifier.begin(dest);
+        let bauth = Sealed::seal(RrepBody(rrep(dest, 200)), bcert, None, &bkeys, &mut fx.rng);
+        let a = fx.verifier.on_route_established(
+            dest,
+            battacker,
+            &rrep(dest, 200),
+            Some(&bauth),
+            Time::ZERO,
+        );
+        assert!(matches!(&a[..], [VerifierAction::SendProbe(_)]));
+        let a = fx.verifier.tick(Time::from_secs(2));
+        assert_eq!(a, vec![VerifierAction::RestartDiscovery { dest }]);
+
+        // Interleaved honest round: destination itself replies -> Verified,
+        // verifier state for `dest` is gone.
+        fx.verifier.begin(dest);
+        let dauth = Sealed::seal(RrepBody(rrep(dest, 5)), dcert, None, &dkeys, &mut fx.rng);
+        let a = fx.verifier.on_route_established(
+            dest,
+            Addr(3),
+            &rrep(dest, 5),
+            Some(&dauth),
+            Time::from_secs(2),
+        );
+        assert_eq!(a, vec![VerifierAction::Verified { dest }]);
+
+        // Round 2: the attacker re-captures the route. One more unanswered
+        // probe must escalate straight to a report (strike #2), not loop.
+        fx.verifier.begin(dest);
+        let auth400 = bauth2(&mut fx, bcert, &bkeys, dest);
+        let a = fx.verifier.on_route_established(
+            dest,
+            battacker,
+            &rrep(dest, 400),
+            Some(&auth400),
+            Time::from_secs(3),
+        );
+        assert!(matches!(&a[..], [VerifierAction::SendProbe(_)]));
+        let a = fx.verifier.tick(Time::from_secs(5));
+        match &a[..] {
+            [VerifierAction::Report(dreq)] => {
+                assert_eq!(dreq.suspect, battacker);
+                assert_eq!(dreq.reason, SuspicionReason::NoHelloResponse);
+            }
+            other => panic!("expected escalation to report, got {other:?}"),
+        }
+        assert!(fx.verifier.is_reported(battacker));
+    }
+
+    fn bauth2(
+        fx: &mut Fixture,
+        cert: Certificate,
+        keys: &Keypair,
+        dest: Addr,
+    ) -> crate::wire::RouteAuth {
+        Sealed::seal(RrepBody(rrep(dest, 400)), cert, None, keys, &mut fx.rng)
+    }
+
+    #[test]
+    fn reported_suspect_routes_are_held() {
+        let mut fx = fixture();
+        let (bkeys, bcert) = enroll(&mut fx, 66);
+        let dest = Addr(999);
+        let battacker = addr_of(bcert.pseudonym);
+        fx.verifier.begin(dest);
+
+        // Drive to a report via two unanswered probes.
+        let auth = Sealed::seal(RrepBody(rrep(dest, 200)), bcert, None, &bkeys, &mut fx.rng);
+        let _ = fx.verifier.on_route_established(
+            dest,
+            battacker,
+            &rrep(dest, 200),
+            Some(&auth),
+            Time::ZERO,
+        );
+        let _ = fx.verifier.tick(Time::from_secs(2));
+        fx.verifier.begin(dest);
+        let auth201 = auth2(&mut fx, bcert, &bkeys, dest, 201);
+        let _ = fx.verifier.on_route_established(
+            dest,
+            battacker,
+            &rrep(dest, 201),
+            Some(&auth201),
+            Time::from_secs(2),
+        );
+        let a = fx.verifier.tick(Time::from_secs(4));
+        assert!(matches!(&a[..], [VerifierAction::Report(_)]));
+
+        // Any further route via the reported suspect is neither probed nor
+        // verified: held until the verdict.
+        fx.verifier.begin(dest);
+        let auth300 = auth2(&mut fx, bcert, &bkeys, dest, 300);
+        let a = fx.verifier.on_route_established(
+            dest,
+            battacker,
+            &rrep(dest, 300),
+            Some(&auth300),
+            Time::from_secs(5),
+        );
+        assert!(a.is_empty(), "reported suspects are held, got {a:?}");
+    }
+
+    fn auth2(
+        fx: &mut Fixture,
+        cert: Certificate,
+        keys: &Keypair,
+        dest: Addr,
+        seq: u32,
+    ) -> crate::wire::RouteAuth {
+        Sealed::seal(RrepBody(rrep(dest, seq)), cert, None, keys, &mut fx.rng)
+    }
+
+    #[test]
+    fn different_suspects_have_independent_strikes() {
+        let mut fx = fixture();
+        let (k1, c1) = enroll(&mut fx, 61);
+        let (k2, c2) = enroll(&mut fx, 62);
+        let dest = Addr(999);
+        let s1 = addr_of(c1.pseudonym);
+        let s2 = addr_of(c2.pseudonym);
+
+        // Strike 1 against suspect 1.
+        fx.verifier.begin(dest);
+        let a1auth = Sealed::seal(RrepBody(rrep(dest, 100)), c1, None, &k1, &mut fx.rng);
+        let _ =
+            fx.verifier
+                .on_route_established(dest, s1, &rrep(dest, 100), Some(&a1auth), Time::ZERO);
+        let _ = fx.verifier.tick(Time::from_secs(2));
+
+        // Suspect 2 answers the rediscovery: its FIRST unanswered probe
+        // must restart, not report (its own strike count is zero).
+        let a2auth = Sealed::seal(RrepBody(rrep(dest, 150)), c2, None, &k2, &mut fx.rng);
+        let a = fx.verifier.on_route_established(
+            dest,
+            s2,
+            &rrep(dest, 150),
+            Some(&a2auth),
+            Time::from_secs(2),
+        );
+        assert!(matches!(&a[..], [VerifierAction::SendProbe(_)]));
+        let a = fx.verifier.tick(Time::from_secs(4));
+        assert_eq!(
+            a,
+            vec![VerifierAction::RestartDiscovery { dest }],
+            "suspect 2's first strike must not inherit suspect 1's"
+        );
+    }
+}

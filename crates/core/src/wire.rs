@@ -1,0 +1,652 @@
+//! BlackDP wire messages and the combined on-air packet type.
+//!
+//! Everything a node can transmit in the full simulation is a [`Wire`]:
+//! plain AODV traffic, AODV traffic with a BlackDP authentication envelope
+//! attached (the paper's "secure packets"), or a BlackDP control message.
+
+use std::fmt;
+
+use blackdp_aodv::{Addr, Rrep, SeqNo};
+use blackdp_crypto::{
+    CertError, Certificate, Keypair, PseudonymId, PublicKey, RevocationNotice, Signature, TaId,
+};
+use blackdp_mobility::ClusterId;
+use blackdp_sim::Time;
+
+/// Converts a pseudonymous identification into the AODV address it routes
+/// under.
+pub fn addr_of(pseudonym: PseudonymId) -> Addr {
+    Addr(pseudonym.0)
+}
+
+/// A type with a canonical byte encoding covered by signatures.
+pub trait SignBytes {
+    /// Produces the canonical byte encoding of `self`.
+    fn sign_bytes(&self) -> Vec<u8>;
+}
+
+/// Why an authentication envelope failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthError {
+    /// The attached certificate failed validation.
+    Cert(CertError),
+    /// The body signature does not verify under the certificate's key.
+    BadSignature,
+    /// The certificate's pseudonym is on the revocation blacklist.
+    Revoked,
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::Cert(e) => write!(f, "certificate invalid: {e}"),
+            AuthError::BadSignature => write!(f, "body signature does not verify"),
+            AuthError::Revoked => write!(f, "sender's certificate is revoked"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+impl From<CertError> for AuthError {
+    fn from(e: CertError) -> Self {
+        AuthError::Cert(e)
+    }
+}
+
+/// A signed, certificate-carrying envelope around a message body — the
+/// paper's "secure packet": the body, the sender's certificate (public key,
+/// pseudonym, expiry), and a signature over a one-way hash of the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sealed<T> {
+    /// The authenticated body.
+    pub body: T,
+    /// The signer's certificate.
+    pub cert: Certificate,
+    /// The signer's cluster, when registered (lets receivers route replies
+    /// and detection requests to the right cluster head).
+    pub cluster: Option<ClusterId>,
+    /// Signature over `body.sign_bytes()` plus the cluster tag.
+    pub signature: Signature,
+}
+
+impl<T: SignBytes> Sealed<T> {
+    /// Signs `body` with `keys`, attaching `cert` and the sender's cluster.
+    pub fn seal<R: rand::Rng + ?Sized>(
+        body: T,
+        cert: Certificate,
+        cluster: Option<ClusterId>,
+        keys: &Keypair,
+        rng: &mut R,
+    ) -> Self {
+        let bytes = Self::full_bytes(&body, cluster);
+        let signature = keys.sign(&bytes, rng);
+        Sealed {
+            body,
+            cert,
+            cluster,
+            signature,
+        }
+    }
+
+    /// Verifies certificate and signature at time `now` under the TA root
+    /// key.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing check: certificate validity, then body
+    /// signature.
+    pub fn verify(&self, ta_key: PublicKey, now: Time) -> Result<(), AuthError> {
+        self.cert.verify(ta_key, now)?;
+        let bytes = Self::full_bytes(&self.body, self.cluster);
+        if !self.cert.public_key.verify(&bytes, &self.signature) {
+            return Err(AuthError::BadSignature);
+        }
+        Ok(())
+    }
+
+    /// The signer's pseudonymous identification.
+    pub fn signer(&self) -> PseudonymId {
+        self.cert.pseudonym
+    }
+
+    fn full_bytes(body: &T, cluster: Option<ClusterId>) -> Vec<u8> {
+        let mut bytes = body.sign_bytes();
+        match cluster {
+            Some(c) => {
+                bytes.push(1);
+                bytes.extend_from_slice(&c.0.to_be_bytes());
+            }
+            None => bytes.push(0),
+        }
+        bytes
+    }
+}
+
+/// The immutable-field encoding of an RREP for signing.
+///
+/// `hop_count` is deliberately excluded: it is incremented at every
+/// forwarding hop (like the mutable fields HMAC-based schemes such as
+/// Sachan et al. exclude). Everything the freshness decision depends on —
+/// destination, sequence number, originator, lifetime, and any disclosed
+/// next hop — is covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RrepBody(pub Rrep);
+
+impl SignBytes for RrepBody {
+    fn sign_bytes(&self) -> Vec<u8> {
+        let r = &self.0;
+        let mut out = Vec::with_capacity(40);
+        out.extend_from_slice(b"RREP");
+        out.extend_from_slice(&r.dest.0.to_be_bytes());
+        out.extend_from_slice(&r.dest_seq.to_be_bytes());
+        out.extend_from_slice(&r.orig.0.to_be_bytes());
+        out.extend_from_slice(&r.lifetime.as_micros().to_be_bytes());
+        match r.next_hop {
+            Some(nh) => {
+                out.push(1);
+                out.extend_from_slice(&nh.0.to_be_bytes());
+            }
+            None => out.push(0),
+        }
+        out
+    }
+}
+
+/// An end-to-end secure Hello probe (Section III-B: the originator sends a
+/// secure Hello "to Node v_d through the intermediate node to verify the
+/// route existence").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloProbe {
+    /// Prober-assigned id matching replies to probes.
+    pub probe_id: u64,
+    /// The probing originator.
+    pub src: Addr,
+    /// The destination being verified.
+    pub dest: Addr,
+    /// Remaining hops.
+    pub ttl: u8,
+}
+
+impl SignBytes for HelloProbe {
+    fn sign_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(29);
+        out.extend_from_slice(b"HPRB");
+        out.extend_from_slice(&self.probe_id.to_be_bytes());
+        out.extend_from_slice(&self.src.0.to_be_bytes());
+        out.extend_from_slice(&self.dest.0.to_be_bytes());
+        out.push(0); // ttl excluded (mutable)
+        out
+    }
+}
+
+/// The destination's authenticated answer to a [`HelloProbe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloReply {
+    /// The probe being answered.
+    pub probe_id: u64,
+    /// The answering destination.
+    pub src: Addr,
+    /// The original prober.
+    pub dest: Addr,
+    /// Remaining hops.
+    pub ttl: u8,
+}
+
+impl SignBytes for HelloReply {
+    fn sign_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(29);
+        out.extend_from_slice(b"HRPL");
+        out.extend_from_slice(&self.probe_id.to_be_bytes());
+        out.extend_from_slice(&self.src.0.to_be_bytes());
+        out.extend_from_slice(&self.dest.0.to_be_bytes());
+        out.push(0);
+        out
+    }
+}
+
+/// What made the reporter suspicious (drives the paper's two reporting
+/// paths: timeout after redo, or an anonymous/fake Hello reply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuspicionReason {
+    /// Two discovery rounds each produced a route whose Hello probe went
+    /// unanswered.
+    NoHelloResponse,
+    /// A Hello reply arrived that fails authentication or names the wrong
+    /// destination.
+    FakeHelloReply,
+    /// The RREP's authentication envelope failed verification.
+    AuthViolation,
+}
+
+impl SignBytes for DReq {
+    fn sign_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40);
+        out.extend_from_slice(b"DREQ");
+        out.extend_from_slice(&self.reporter.0.to_be_bytes());
+        out.extend_from_slice(&self.reporter_cluster.0.to_be_bytes());
+        out.extend_from_slice(&self.suspect.0.to_be_bytes());
+        match self.suspect_cluster {
+            Some(c) => {
+                out.push(1);
+                out.extend_from_slice(&c.0.to_be_bytes());
+            }
+            None => out.push(0),
+        }
+        out.push(match self.reason {
+            SuspicionReason::NoHelloResponse => 0,
+            SuspicionReason::FakeHelloReply => 1,
+            SuspicionReason::AuthViolation => 2,
+        });
+        out
+    }
+}
+
+/// A detection request `d_req = ⟨v_i, v_i^cy, v_B, v_B^cy⟩`
+/// (Section III-B): reporter, reporter's cluster, suspect, suspect's
+/// cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DReq {
+    /// The reporting legitimate node (`v_i`).
+    pub reporter: PseudonymId,
+    /// The reporter's cluster (`v_i^cy`).
+    pub reporter_cluster: ClusterId,
+    /// The suspicious node's address (`v_B`).
+    pub suspect: Addr,
+    /// The suspect's cluster (`v_B^cy`), when the reporter learned it from
+    /// the secure RREP.
+    pub suspect_cluster: Option<ClusterId>,
+    /// What triggered the report.
+    pub reason: SuspicionReason,
+}
+
+/// The verdict of a detection episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionOutcome {
+    /// The suspect answered both fake-destination probes: single black hole
+    /// confirmed and isolated.
+    ConfirmedSingle,
+    /// The suspect disclosed a teammate that endorsed the fake route:
+    /// cooperative black hole confirmed, both isolated.
+    ConfirmedCooperative {
+        /// The endorsing teammate's address.
+        teammate: Addr,
+    },
+    /// The suspect never answered the probes: no violation observable (the
+    /// attack was prevented but the attacker was not caught).
+    Unconfirmed,
+    /// The suspect left the network before the probes completed.
+    SuspectGone,
+}
+
+/// A cluster head's answer to the reporter(s), relayed via their CH.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionResponse {
+    /// The suspect the verdict concerns.
+    pub suspect: Addr,
+    /// The verdict.
+    pub outcome: DetectionOutcome,
+    /// The reporter this response is for.
+    pub reporter: PseudonymId,
+}
+
+/// Mid-detection state transferred when the suspect moves to the next
+/// cluster (the 8/9-packet scenarios of Figure 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionHandoff {
+    /// The suspect under examination.
+    pub suspect: Addr,
+    /// Sequence number from `RREP₁`, if the first probe already completed.
+    pub rrep1_seq: Option<SeqNo>,
+    /// Reporters awaiting the verdict, with their clusters.
+    pub reporters: Vec<(PseudonymId, ClusterId)>,
+    /// Detection packets already spent by the previous cluster head.
+    pub packets_so_far: u32,
+}
+
+/// Vehicle-to-CH cluster membership management (Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinBody {
+    /// Longitudinal position (m) at join time.
+    pub pos_x: f64,
+    /// Lateral position (m) at join time.
+    pub pos_y: f64,
+    /// Cruise speed (km/h).
+    pub speed_kmh: f64,
+    /// True if travelling toward increasing `x`.
+    pub forward: bool,
+}
+
+impl SignBytes for JoinBody {
+    fn sign_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(29);
+        out.extend_from_slice(b"JREQ");
+        out.extend_from_slice(&self.pos_x.to_be_bytes());
+        out.extend_from_slice(&self.pos_y.to_be_bytes());
+        out.extend_from_slice(&self.speed_kmh.to_be_bytes());
+        out.push(self.forward as u8);
+        out
+    }
+}
+
+/// BlackDP control-plane messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlackDpMessage {
+    /// Vehicle → CH: join request (broadcast in overlapped zones).
+    Jreq(Sealed<JoinBody>),
+    /// CH → vehicle: join accepted; carries the CH identity and the current
+    /// blacklist so newly joined vehicles learn recent revocations.
+    Jrep {
+        /// The cluster joined.
+        cluster: ClusterId,
+        /// The cluster head's protocol address.
+        ch_addr: Addr,
+        /// Active revocation notices for the newcomer's blacklist.
+        blacklist: Vec<RevocationNotice>,
+    },
+    /// Vehicle → CH: leaving the cluster.
+    Leave {
+        /// The departing vehicle.
+        vehicle: PseudonymId,
+    },
+    /// Originator → destination: end-to-end route-verification probe,
+    /// forwarded hop-by-hop along the AODV route.
+    HelloProbe(Sealed<HelloProbe>),
+    /// Destination → originator: authenticated probe answer.
+    HelloReply(Sealed<HelloReply>),
+    /// Vehicle → CH (or CH → CH when forwarded): detection request.
+    DetectionRequest(Sealed<DReq>),
+    /// CH → CH: forwarded detection request (already authenticated by the
+    /// first CH; RSUs trust each other over the wired backbone).
+    ForwardedDetection {
+        /// The original detection request.
+        dreq: DReq,
+        /// Detection packets already spent before the forward (the forward
+        /// itself included), so Figure 5 accounting survives the handoff.
+        packets_so_far: u32,
+    },
+    /// CH → CH: detection state handoff after suspect mobility.
+    Handoff(DetectionHandoff),
+    /// CH → reporter's CH → reporter: verdict.
+    Response(DetectionResponse),
+    /// CH → TA: certificate revocation request reporting misbehaviour.
+    RevocationRequest {
+        /// The confirmed attacker.
+        suspect: PseudonymId,
+        /// The requesting cluster head's cluster.
+        reporting_cluster: ClusterId,
+    },
+    /// TA → CH: revocation notice to store and distribute.
+    Revoked(RevocationNotice),
+    /// TA → TA: pause certificate renewals for an owner (long-term id is
+    /// TA-private, carried only on the wired authority backbone).
+    PauseRenewal {
+        /// The misbehaving vehicle's long-term identity.
+        owner: blackdp_crypto::LongTermId,
+    },
+    /// CH → members: blacklist advisory (current revocation notices).
+    BlacklistAdvisory {
+        /// The notices to merge into the member's blacklist.
+        notices: Vec<RevocationNotice>,
+    },
+    /// Vehicle → CH → TA: pseudonym renewal request.
+    RenewRequest {
+        /// The current pseudonym.
+        current: PseudonymId,
+        /// The issuing authority (so the relay reaches the right TA).
+        issuer: TaId,
+        /// The fresh public key to certify.
+        new_key: PublicKey,
+        /// The cluster whose CH relays the reply back to the vehicle.
+        reply_cluster: ClusterId,
+    },
+    /// TA → CH → vehicle: renewal verdict.
+    RenewReply {
+        /// The pseudonym the request was made under.
+        current: PseudonymId,
+        /// The new certificate, or `None` when renewal is paused.
+        cert: Option<Certificate>,
+    },
+}
+
+impl BlackDpMessage {
+    /// A short kind tag for statistics keys.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BlackDpMessage::Jreq(_) => "jreq",
+            BlackDpMessage::Jrep { .. } => "jrep",
+            BlackDpMessage::Leave { .. } => "leave",
+            BlackDpMessage::HelloProbe(_) => "hello_probe",
+            BlackDpMessage::HelloReply(_) => "hello_reply",
+            BlackDpMessage::DetectionRequest(_) => "dreq",
+            BlackDpMessage::ForwardedDetection { .. } => "dreq_fwd",
+            BlackDpMessage::Handoff(_) => "handoff",
+            BlackDpMessage::Response(_) => "dresp",
+            BlackDpMessage::RevocationRequest { .. } => "revoke_req",
+            BlackDpMessage::Revoked(_) => "revoked",
+            BlackDpMessage::PauseRenewal { .. } => "pause",
+            BlackDpMessage::BlacklistAdvisory { .. } => "blacklist",
+            BlackDpMessage::RenewRequest { .. } => "renew_req",
+            BlackDpMessage::RenewReply { .. } => "renew_reply",
+        }
+    }
+}
+
+/// An authentication envelope accompanying an AODV RREP end-to-end (the
+/// paper's secure RREP: `{RREP, CR, d_sign(RREP, K⁻)}`).
+pub type RouteAuth = Sealed<RrepBody>;
+
+/// Everything that can travel over the air or the wired backbone in one
+/// simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Wire {
+    /// Plain AODV traffic.
+    Aodv(blackdp_aodv::Message),
+    /// An RREP carrying its authentication envelope. The envelope signs the
+    /// immutable fields only, so forwarders update `hop_count` without
+    /// breaking it.
+    SecuredRrep {
+        /// The route reply (mutable hop count included).
+        rrep: Rrep,
+        /// The replier's envelope.
+        auth: RouteAuth,
+    },
+    /// BlackDP control traffic.
+    BlackDp(BlackDpMessage),
+}
+
+impl Wire {
+    /// A short kind tag for statistics keys.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Wire::Aodv(m) => m.kind(),
+            Wire::SecuredRrep { .. } => "secured_rrep",
+            Wire::BlackDp(m) => m.kind(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackdp_crypto::{LongTermId, TrustedAuthority};
+    use blackdp_sim::Duration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (StdRng, TrustedAuthority, Keypair, Certificate) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ta = TrustedAuthority::new(TaId(0), &mut rng);
+        let keys = Keypair::generate(&mut rng);
+        let cert = ta.enroll(
+            LongTermId(1),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut rng,
+        );
+        (rng, ta, keys, cert)
+    }
+
+    fn sample_rrep() -> Rrep {
+        Rrep {
+            dest: Addr(7),
+            dest_seq: 75,
+            orig: Addr(1),
+            hop_count: 3,
+            lifetime: Duration::from_secs(6),
+            next_hop: None,
+        }
+    }
+
+    #[test]
+    fn sealed_rrep_round_trip() {
+        let (mut rng, ta, keys, cert) = setup();
+        let sealed = Sealed::seal(
+            RrepBody(sample_rrep()),
+            cert,
+            Some(ClusterId(2)),
+            &keys,
+            &mut rng,
+        );
+        assert_eq!(sealed.verify(ta.public_key(), Time::from_secs(1)), Ok(()));
+        assert_eq!(sealed.signer(), cert.pseudonym);
+    }
+
+    #[test]
+    fn hop_count_is_mutable_without_breaking_auth() {
+        let (mut rng, ta, keys, cert) = setup();
+        let sealed = Sealed::seal(RrepBody(sample_rrep()), cert, None, &keys, &mut rng);
+        // A forwarder increments the hop count; the envelope still verifies
+        // against the mutated RREP because hop_count is excluded.
+        let forwarded = Rrep {
+            hop_count: 4,
+            ..sample_rrep()
+        };
+        let reassembled = Sealed {
+            body: RrepBody(forwarded),
+            ..sealed
+        };
+        assert_eq!(
+            reassembled.verify(ta.public_key(), Time::from_secs(1)),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn tampered_sequence_number_breaks_auth() {
+        let (mut rng, ta, keys, cert) = setup();
+        let sealed = Sealed::seal(RrepBody(sample_rrep()), cert, None, &keys, &mut rng);
+        let tampered = Rrep {
+            dest_seq: 200,
+            ..sample_rrep()
+        };
+        let forged = Sealed {
+            body: RrepBody(tampered),
+            ..sealed
+        };
+        assert_eq!(
+            forged.verify(ta.public_key(), Time::from_secs(1)),
+            Err(AuthError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_cluster_tag_breaks_auth() {
+        let (mut rng, ta, keys, cert) = setup();
+        let sealed = Sealed::seal(
+            RrepBody(sample_rrep()),
+            cert,
+            Some(ClusterId(2)),
+            &keys,
+            &mut rng,
+        );
+        let mut forged = sealed.clone();
+        forged.cluster = Some(ClusterId(3));
+        assert_eq!(
+            forged.verify(ta.public_key(), Time::from_secs(1)),
+            Err(AuthError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn expired_certificate_fails_env() {
+        let (mut rng, ta, keys, cert) = setup();
+        let sealed = Sealed::seal(RrepBody(sample_rrep()), cert, None, &keys, &mut rng);
+        assert_eq!(
+            sealed.verify(ta.public_key(), Time::from_secs(601)),
+            Err(AuthError::Cert(CertError::Expired))
+        );
+    }
+
+    #[test]
+    fn wrong_keypair_fails_env() {
+        let (mut rng, ta, _keys, cert) = setup();
+        let mallory = Keypair::generate(&mut rng);
+        // Mallory signs but presents someone else's certificate.
+        let sealed = Sealed::seal(RrepBody(sample_rrep()), cert, None, &mallory, &mut rng);
+        assert_eq!(
+            sealed.verify(ta.public_key(), Time::from_secs(1)),
+            Err(AuthError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn probe_sign_bytes_distinguish_fields() {
+        let p1 = HelloProbe {
+            probe_id: 1,
+            src: Addr(1),
+            dest: Addr(2),
+            ttl: 9,
+        };
+        let p2 = HelloProbe { probe_id: 2, ..p1 };
+        let p3 = HelloProbe {
+            dest: Addr(3),
+            ..p1
+        };
+        assert_ne!(p1.sign_bytes(), p2.sign_bytes());
+        assert_ne!(p1.sign_bytes(), p3.sign_bytes());
+        // TTL is mutable and excluded.
+        let p4 = HelloProbe { ttl: 0, ..p1 };
+        assert_eq!(p1.sign_bytes(), p4.sign_bytes());
+    }
+
+    #[test]
+    fn reply_and_probe_domains_are_separated() {
+        let probe = HelloProbe {
+            probe_id: 1,
+            src: Addr(1),
+            dest: Addr(2),
+            ttl: 9,
+        };
+        let reply = HelloReply {
+            probe_id: 1,
+            src: Addr(1),
+            dest: Addr(2),
+            ttl: 9,
+        };
+        assert_ne!(
+            probe.sign_bytes(),
+            reply.sign_bytes(),
+            "a probe signature must not be replayable as a reply"
+        );
+    }
+
+    #[test]
+    fn addr_of_maps_pseudonym() {
+        assert_eq!(addr_of(PseudonymId(42)), Addr(42));
+    }
+
+    #[test]
+    fn wire_kind_tags() {
+        let w = Wire::BlackDp(BlackDpMessage::Leave {
+            vehicle: PseudonymId(1),
+        });
+        assert_eq!(w.kind(), "leave");
+        let w = Wire::Aodv(blackdp_aodv::Message::Hello(blackdp_aodv::Hello {
+            orig: Addr(1),
+            seq: 0,
+        }));
+        assert_eq!(w.kind(), "hello");
+    }
+}

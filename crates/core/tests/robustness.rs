@@ -1,0 +1,204 @@
+//! Adversarial robustness: the cluster head and verifier must never panic,
+//! never isolate without a confirmed violation, and never leak resources,
+//! no matter what message soup an attacker throws at them.
+
+use blackdp::{
+    BlackDpConfig, BlackDpMessage, ChAction, ChEvent, ClusterHead, DReq, DetectionHandoff,
+    DetectionOutcome, DetectionResponse, HelloProbe, JoinBody, Sealed, SuspicionReason,
+};
+use blackdp_aodv::{Addr, Rrep};
+use blackdp_crypto::{Keypair, LongTermId, PseudonymId, TaId, TrustedAuthority};
+use blackdp_mobility::ClusterId;
+use blackdp_sim::{Duration, Time};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A generator for arbitrary (mostly malformed) BlackDP messages. Sealed
+/// variants are built with a *throwaway* TA so their signatures never
+/// verify against the CH's root key — the worst case.
+fn arbitrary_message() -> impl Strategy<Value = BlackDpMessage> {
+    fn addr() -> impl Strategy<Value = Addr> {
+        any::<u64>().prop_map(Addr)
+    }
+    fn pseu() -> impl Strategy<Value = PseudonymId> {
+        any::<u64>().prop_map(PseudonymId)
+    }
+    prop_oneof![
+        (pseu(),).prop_map(|(vehicle,)| BlackDpMessage::Leave { vehicle }),
+        (addr(), any::<u32>(), any::<u32>(), any::<u64>()).prop_map(
+            |(suspect, rc, sc, packets)| BlackDpMessage::ForwardedDetection {
+                dreq: DReq {
+                    reporter: PseudonymId(packets),
+                    reporter_cluster: ClusterId(rc % 12),
+                    suspect,
+                    suspect_cluster: Some(ClusterId(sc % 12)),
+                    reason: SuspicionReason::NoHelloResponse,
+                },
+                packets_so_far: (packets % 32) as u32,
+            }
+        ),
+        (addr(), any::<u32>(), any::<bool>()).prop_map(|(suspect, s1, have_s1)| {
+            BlackDpMessage::Handoff(DetectionHandoff {
+                suspect,
+                rrep1_seq: have_s1.then_some(s1),
+                reporters: vec![(PseudonymId(1), ClusterId(1))],
+                packets_so_far: 3,
+            })
+        }),
+        (addr(), pseu()).prop_map(|(suspect, reporter)| {
+            BlackDpMessage::Response(DetectionResponse {
+                suspect,
+                outcome: DetectionOutcome::Unconfirmed,
+                reporter,
+            })
+        }),
+        (pseu(),).prop_map(|(current,)| BlackDpMessage::RenewReply {
+            current,
+            cert: None
+        }),
+    ]
+}
+
+fn fresh_ch(seed: u64) -> (ClusterHead, TrustedAuthority, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ta = TrustedAuthority::new(TaId(1), &mut rng);
+    let ch = ClusterHead::new(
+        ClusterId(2),
+        Addr(900_002),
+        TaId(1),
+        ta.public_key(),
+        10,
+        BlackDpConfig::default(),
+        seed,
+    );
+    (ch, ta, rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever arrives, the CH neither panics nor isolates anyone without
+    /// a confirmed probe violation.
+    #[test]
+    fn message_soup_never_triggers_isolation(
+        seed in any::<u64>(),
+        msgs in proptest::collection::vec((any::<u64>(), arbitrary_message()), 0..40),
+    ) {
+        let (mut ch, _ta, _rng) = fresh_ch(seed);
+        let mut t = Time::ZERO;
+        for (from, msg) in msgs {
+            t += Duration::from_millis(50);
+            for action in ch.handle_blackdp(Addr(from), msg, t) {
+                prop_assert!(
+                    !matches!(action, ChAction::Event(ChEvent::IsolationRequested(_))),
+                    "isolation without confirmation"
+                );
+            }
+            let _ = ch.tick(t);
+        }
+    }
+
+    /// Unauthenticated detection requests are ignored outright: no probes,
+    /// no verification-table growth.
+    #[test]
+    fn forged_dreqs_are_ignored(seed in any::<u64>(), suspect in any::<u64>()) {
+        let (mut ch, _ta, mut rng) = fresh_ch(seed);
+        // Seal with a DIFFERENT authority: the signature cannot verify.
+        let rogue_ta_keys = Keypair::generate(&mut rng);
+        let mut rogue = TrustedAuthority::with_keypair(TaId(9), rogue_ta_keys);
+        let keys = Keypair::generate(&mut rng);
+        let cert = rogue.enroll(LongTermId(1), keys.public(), Time::ZERO, Duration::from_secs(600), &mut rng);
+        let dreq = DReq {
+            reporter: cert.pseudonym,
+            reporter_cluster: ClusterId(2),
+            suspect: Addr(suspect),
+            suspect_cluster: Some(ClusterId(2)),
+            reason: SuspicionReason::NoHelloResponse,
+        };
+        let sealed = Sealed::seal(dreq, cert, Some(ClusterId(2)), &keys, &mut rng);
+        let actions = ch.handle_blackdp(Addr(1), BlackDpMessage::DetectionRequest(sealed), Time::ZERO);
+        prop_assert!(actions.is_empty(), "forged report acted upon: {actions:?}");
+        prop_assert_eq!(ch.verification().len(), 0);
+    }
+
+    /// Rogue-certificate joins are rejected, so an outsider can never
+    /// become probe-able (or poison the member table).
+    #[test]
+    fn rogue_joins_are_rejected(seed in any::<u64>()) {
+        let (mut ch, _ta, mut rng) = fresh_ch(seed);
+        let rogue_keys = Keypair::generate(&mut rng);
+        let mut rogue = TrustedAuthority::with_keypair(TaId(9), rogue_keys);
+        let keys = Keypair::generate(&mut rng);
+        let cert = rogue.enroll(LongTermId(1), keys.public(), Time::ZERO, Duration::from_secs(600), &mut rng);
+        let jreq = Sealed::seal(
+            JoinBody { pos_x: 1_500.0, pos_y: 50.0, speed_kmh: 70.0, forward: true },
+            cert,
+            None,
+            &keys,
+            &mut rng,
+        );
+        let actions = ch.handle_blackdp(Addr(5), BlackDpMessage::Jreq(jreq), Time::ZERO);
+        prop_assert!(actions.iter().any(|a| matches!(a, ChAction::Event(ChEvent::JoinRejected(_)))));
+        prop_assert!(!ch.is_member(cert.pseudonym));
+    }
+
+    /// Stray probe RREPs (orig not one of our disposable identities) are
+    /// ignored without state changes.
+    #[test]
+    fn stray_probe_rreps_are_ignored(seed in any::<u64>(), orig in any::<u64>(), seq in any::<u32>()) {
+        let (mut ch, _ta, _rng) = fresh_ch(seed);
+        let rrep = Rrep {
+            dest: Addr(1),
+            dest_seq: seq,
+            orig: Addr(orig),
+            hop_count: 1,
+            lifetime: Duration::from_secs(5),
+            next_hop: None,
+        };
+        let actions = ch.on_probe_rrep(Addr(7), &rrep, Time::ZERO);
+        prop_assert!(actions.is_empty());
+    }
+}
+
+#[test]
+fn verifier_survives_malformed_probe_replies() {
+    use blackdp::SourceVerifier;
+    let mut rng = StdRng::seed_from_u64(4);
+    let ta = TrustedAuthority::new(TaId(1), &mut rng);
+    let mut verifier =
+        SourceVerifier::new(BlackDpConfig::default(), ta.public_key(), PseudonymId(1));
+    // Replies for destinations never begun, with arbitrary ids: all ignored.
+    let keys = Keypair::generate(&mut rng);
+    let mut rogue = TrustedAuthority::new(TaId(2), &mut rng);
+    let cert = rogue.enroll(
+        LongTermId(5),
+        keys.public(),
+        Time::ZERO,
+        Duration::from_secs(60),
+        &mut rng,
+    );
+    for i in 0..50u64 {
+        let reply = Sealed::seal(
+            blackdp::HelloReply {
+                probe_id: i,
+                src: Addr(i),
+                dest: Addr(1),
+                ttl: 3,
+            },
+            cert,
+            None,
+            &keys,
+            &mut rng,
+        );
+        assert!(verifier
+            .on_hello_reply(&reply, Time::from_millis(i))
+            .is_empty());
+    }
+    let _ = HelloProbe {
+        probe_id: 0,
+        src: Addr(1),
+        dest: Addr(2),
+        ttl: 1,
+    };
+}

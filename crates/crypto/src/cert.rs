@@ -1,0 +1,415 @@
+//! IEEE 1609.2-style certificates and revocation notices.
+//!
+//! A certificate binds a **temporary pseudonymous identification** (`id` in
+//! the paper, [`PseudonymId`] here) to a public key, with a serial number and
+//! an expiration time, signed by a Trusted Authority. Vehicles renew
+//! pseudonyms periodically to avoid tracking; the TA keeps the (private)
+//! mapping from pseudonyms to the vehicle's long-term identity.
+
+use std::fmt;
+
+use blackdp_sim::Time;
+
+use crate::sig::{PublicKey, Signature};
+
+/// A vehicle's durable identity, known only to Trusted Authorities
+/// (e.g. the DMV record). Never transmitted over the air.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LongTermId(pub u64);
+
+impl fmt::Display for LongTermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lt{}", self.0)
+    }
+}
+
+/// A temporary pseudonymous identification carried in certificates and
+/// packets (the paper's `id`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PseudonymId(pub u64);
+
+impl fmt::Display for PseudonymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "id{}", self.0)
+    }
+}
+
+/// Identifies the Trusted Authority that issued a certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaId(pub u32);
+
+impl fmt::Display for TaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ta{}", self.0)
+    }
+}
+
+/// Why a certificate failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertError {
+    /// The TA signature over the certificate body does not verify.
+    BadSignature,
+    /// The certificate's expiration time is in the past.
+    Expired,
+    /// The certificate is not yet valid (`issued` is in the future).
+    NotYetValid,
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::BadSignature => write!(f, "certificate signature does not verify"),
+            CertError::Expired => write!(f, "certificate has expired"),
+            CertError::NotYetValid => write!(f, "certificate is not yet valid"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// A signed binding of a pseudonym to a public key.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_crypto::{Certificate, Keypair, LongTermId, TrustedAuthority};
+/// use blackdp_sim::{Duration, Time};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut ta = TrustedAuthority::new(blackdp_crypto::TaId(1), &mut rng);
+/// let vehicle_keys = Keypair::generate(&mut rng);
+/// let cert: Certificate = ta.enroll(
+///     LongTermId(9),
+///     vehicle_keys.public(),
+///     Time::ZERO,
+///     Duration::from_secs(3600),
+///     &mut rng,
+/// );
+/// assert!(cert.verify(ta.public_key(), Time::from_secs(10)).is_ok());
+/// assert!(cert.verify(ta.public_key(), Time::from_secs(7200)).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Certificate {
+    /// The subject's temporary pseudonymous identification.
+    pub pseudonym: PseudonymId,
+    /// The subject's public key (`K⁺` in the paper).
+    pub public_key: PublicKey,
+    /// TA-assigned serial number, cited in revocation notices.
+    pub serial: u64,
+    /// Issuing Trusted Authority.
+    pub issuer: TaId,
+    /// Issue instant.
+    pub issued: Time,
+    /// Expiration instant (exclusive: the certificate is invalid at and
+    /// after this time).
+    pub expires: Time,
+    /// TA signature over the canonical certificate body.
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// The canonical byte encoding covered by the TA signature.
+    pub fn signing_bytes(
+        pseudonym: PseudonymId,
+        public_key: PublicKey,
+        serial: u64,
+        issuer: TaId,
+        issued: Time,
+        expires: Time,
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(44);
+        out.extend_from_slice(b"CERT");
+        out.extend_from_slice(&pseudonym.0.to_be_bytes());
+        out.extend_from_slice(&public_key.raw().to_be_bytes());
+        out.extend_from_slice(&serial.to_be_bytes());
+        out.extend_from_slice(&issuer.0.to_be_bytes());
+        out.extend_from_slice(&issued.as_micros().to_be_bytes());
+        out.extend_from_slice(&expires.as_micros().to_be_bytes());
+        out
+    }
+
+    /// This certificate's canonical signed body.
+    pub fn body(&self) -> Vec<u8> {
+        Certificate::signing_bytes(
+            self.pseudonym,
+            self.public_key,
+            self.serial,
+            self.issuer,
+            self.issued,
+            self.expires,
+        )
+    }
+
+    /// Checks the TA signature and the validity window at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CertError::BadSignature`] if the signature does not verify
+    /// under `ta_key`, [`CertError::Expired`] / [`CertError::NotYetValid`]
+    /// if `now` is outside the validity window.
+    pub fn verify(&self, ta_key: PublicKey, now: Time) -> Result<(), CertError> {
+        if !ta_key.verify(&self.body(), &self.signature) {
+            return Err(CertError::BadSignature);
+        }
+        if now < self.issued {
+            return Err(CertError::NotYetValid);
+        }
+        if now >= self.expires {
+            return Err(CertError::Expired);
+        }
+        Ok(())
+    }
+}
+
+/// A revocation notice distributed to cluster heads after isolation.
+///
+/// Contains "the latest id (temporary pseudonyms identification), serial
+/// number, and expiration time of the attackers certificate" — exactly the
+/// fields Section III-B.2 lists. The notice is kept until the certificate
+/// would have expired anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RevocationNotice {
+    /// The revoked certificate's pseudonym.
+    pub pseudonym: PseudonymId,
+    /// The revoked certificate's serial number.
+    pub serial: u64,
+    /// When the revoked certificate would have expired on its own; the
+    /// notice can be purged after this instant.
+    pub expires: Time,
+}
+
+/// A store of active revocation notices with expiry-based purging.
+///
+/// Every cluster head maintains one; Section III-B.2 requires stored notices
+/// to be removed "once they expired to avoid reporting expired information
+/// and reduce storage overhead".
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_crypto::{PseudonymId, RevocationList, RevocationNotice};
+/// use blackdp_sim::Time;
+///
+/// let mut list = RevocationList::new();
+/// list.insert(RevocationNotice {
+///     pseudonym: PseudonymId(5),
+///     serial: 77,
+///     expires: Time::from_secs(100),
+/// });
+/// assert!(list.is_revoked(PseudonymId(5)));
+/// list.purge_expired(Time::from_secs(100));
+/// assert!(!list.is_revoked(PseudonymId(5)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RevocationList {
+    by_pseudonym: std::collections::BTreeMap<PseudonymId, RevocationNotice>,
+}
+
+impl RevocationList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        RevocationList::default()
+    }
+
+    /// Records a notice. Re-inserting the same pseudonym keeps the notice
+    /// with the **later** expiry, so replayed or reordered notices cannot
+    /// shorten a revocation.
+    pub fn insert(&mut self, notice: RevocationNotice) {
+        use std::collections::btree_map::Entry;
+        match self.by_pseudonym.entry(notice.pseudonym) {
+            Entry::Vacant(v) => {
+                v.insert(notice);
+            }
+            Entry::Occupied(mut o) => {
+                if notice.expires > o.get().expires {
+                    o.insert(notice);
+                }
+            }
+        }
+    }
+
+    /// Returns true if `pseudonym` has an unexpired revocation on file.
+    pub fn is_revoked(&self, pseudonym: PseudonymId) -> bool {
+        self.by_pseudonym.contains_key(&pseudonym)
+    }
+
+    /// Returns true if certificate serial `serial` has an unexpired
+    /// revocation on file.
+    pub fn is_serial_revoked(&self, serial: u64) -> bool {
+        self.by_pseudonym.values().any(|n| n.serial == serial)
+    }
+
+    /// Drops every notice whose certificate has expired at `now`.
+    pub fn purge_expired(&mut self, now: Time) {
+        self.by_pseudonym.retain(|_, n| n.expires > now);
+    }
+
+    /// Number of notices currently stored.
+    pub fn len(&self) -> usize {
+        self.by_pseudonym.len()
+    }
+
+    /// Returns true if no notices are stored.
+    pub fn is_empty(&self) -> bool {
+        self.by_pseudonym.is_empty()
+    }
+
+    /// Iterates over stored notices in pseudonym order.
+    pub fn iter(&self) -> impl Iterator<Item = &RevocationNotice> {
+        self.by_pseudonym.values()
+    }
+}
+
+impl Extend<RevocationNotice> for RevocationList {
+    fn extend<I: IntoIterator<Item = RevocationNotice>>(&mut self, iter: I) {
+        for n in iter {
+            self.insert(n);
+        }
+    }
+}
+
+impl FromIterator<RevocationNotice> for RevocationList {
+    fn from_iter<I: IntoIterator<Item = RevocationNotice>>(iter: I) -> Self {
+        let mut list = RevocationList::new();
+        list.extend(iter);
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::Keypair;
+    use crate::ta::TrustedAuthority;
+    use blackdp_sim::Duration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (StdRng, TrustedAuthority, Keypair) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ta = TrustedAuthority::new(TaId(0), &mut rng);
+        let keys = Keypair::generate(&mut rng);
+        (rng, ta, keys)
+    }
+
+    #[test]
+    fn valid_certificate_verifies() {
+        let (mut rng, mut ta, keys) = setup();
+        let cert = ta.enroll(
+            LongTermId(1),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(60),
+            &mut rng,
+        );
+        assert_eq!(cert.verify(ta.public_key(), Time::from_secs(30)), Ok(()));
+    }
+
+    #[test]
+    fn expiry_window_is_half_open() {
+        let (mut rng, mut ta, keys) = setup();
+        let cert = ta.enroll(
+            LongTermId(1),
+            keys.public(),
+            Time::from_secs(10),
+            Duration::from_secs(60),
+            &mut rng,
+        );
+        assert_eq!(
+            cert.verify(ta.public_key(), Time::from_secs(5)),
+            Err(CertError::NotYetValid)
+        );
+        assert_eq!(cert.verify(ta.public_key(), Time::from_secs(10)), Ok(()));
+        assert_eq!(
+            cert.verify(ta.public_key(), Time::from_secs(70)),
+            Err(CertError::Expired)
+        );
+    }
+
+    #[test]
+    fn tampered_certificate_fails() {
+        let (mut rng, mut ta, keys) = setup();
+        let mut cert = ta.enroll(
+            LongTermId(1),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(60),
+            &mut rng,
+        );
+        cert.pseudonym = PseudonymId(cert.pseudonym.0 ^ 1);
+        assert_eq!(
+            cert.verify(ta.public_key(), Time::from_secs(1)),
+            Err(CertError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn certificate_from_wrong_ta_fails() {
+        let (mut rng, mut ta, keys) = setup();
+        let other_ta = TrustedAuthority::new(TaId(9), &mut rng);
+        let cert = ta.enroll(
+            LongTermId(1),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(60),
+            &mut rng,
+        );
+        assert_eq!(
+            cert.verify(other_ta.public_key(), Time::from_secs(1)),
+            Err(CertError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn revocation_list_purges_on_expiry() {
+        let mut list = RevocationList::new();
+        for i in 0..5u64 {
+            list.insert(RevocationNotice {
+                pseudonym: PseudonymId(i),
+                serial: i,
+                expires: Time::from_secs(10 + i),
+            });
+        }
+        assert_eq!(list.len(), 5);
+        list.purge_expired(Time::from_secs(12));
+        assert_eq!(list.len(), 2);
+        assert!(!list.is_revoked(PseudonymId(0)));
+        assert!(list.is_revoked(PseudonymId(4)));
+        assert!(list.is_serial_revoked(4));
+        assert!(!list.is_serial_revoked(0));
+    }
+
+    #[test]
+    fn reinsert_keeps_later_expiry() {
+        let mut list = RevocationList::new();
+        let early = RevocationNotice {
+            pseudonym: PseudonymId(1),
+            serial: 1,
+            expires: Time::from_secs(5),
+        };
+        let late = RevocationNotice {
+            pseudonym: PseudonymId(1),
+            serial: 2,
+            expires: Time::from_secs(50),
+        };
+        list.insert(late);
+        list.insert(early); // replay of an older notice
+        list.purge_expired(Time::from_secs(10));
+        assert!(list.is_revoked(PseudonymId(1)));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let list: RevocationList = (0..3u64)
+            .map(|i| RevocationNotice {
+                pseudonym: PseudonymId(i),
+                serial: i,
+                expires: Time::from_secs(1),
+            })
+            .collect();
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.iter().count(), 3);
+        assert!(!list.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Modular arithmetic over the simulation's Schnorr group.
+//!
+//! The group parameters were generated once (see `DESIGN.md`): a 62-bit
+//! prime modulus `P = K·Q + 1` with prime order `Q = 2³¹ − 1` and a
+//! generator `G` of the order-`Q` subgroup. All arithmetic fits in `u128`
+//! intermediates.
+//!
+//! **This is simulation-grade cryptography.** A 31-bit group order carries
+//! no real-world security; it faithfully reproduces the *protocol shape*
+//! (keys, signatures, certificates) of the ECDSA/IEEE 1609.2 machinery the
+//! paper assumes, which is what the detection logic depends on.
+
+/// The 62-bit prime modulus `P = K·Q + 1`.
+pub const P: u64 = 2_305_843_201_413_480_359;
+/// The prime order of the signing subgroup, `Q = 2³¹ − 1`.
+pub const Q: u64 = 2_147_483_647;
+/// Cofactor `K` with `P = K·Q + 1`.
+pub const K: u64 = 1_073_741_914;
+/// Generator of the order-`Q` subgroup of `Z_P*` (computed as `2^K mod P`).
+pub const G: u64 = 157_608_736_213_706_629;
+
+/// Modular multiplication `a·b mod m` using a 128-bit intermediate.
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation `base^exp mod m` by square-and-multiply.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    if m == 1 {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the known-sufficient witness set for 64-bit integers.
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n.is_multiple_of(p) {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_parameters_are_consistent() {
+        assert!(is_prime_u64(P), "P must be prime");
+        assert!(is_prime_u64(Q), "Q must be prime");
+        assert_eq!(K as u128 * Q as u128 + 1, P as u128, "P = K*Q + 1");
+        assert_eq!(pow_mod(G, Q, P), 1, "G must have order dividing Q");
+        assert_ne!(G, 1, "G must not be the identity");
+        // Q prime and G != 1 with G^Q = 1 implies ord(G) = Q exactly.
+    }
+
+    #[test]
+    fn pow_mod_small_cases() {
+        assert_eq!(pow_mod(2, 10, 1_000_000), 1024);
+        assert_eq!(pow_mod(5, 0, 13), 1);
+        assert_eq!(pow_mod(7, 1, 13), 7);
+        assert_eq!(pow_mod(0, 5, 13), 0);
+        assert_eq!(pow_mod(10, 100, 1), 0);
+    }
+
+    #[test]
+    fn mul_mod_handles_large_operands() {
+        let a = P - 1;
+        let b = P - 2;
+        // (P-1)(P-2) mod P = 2 mod P.
+        assert_eq!(mul_mod(a, b, P), 2);
+    }
+
+    #[test]
+    fn fermat_little_theorem_holds() {
+        for a in [2u64, 3, 12345, 987654321] {
+            assert_eq!(pow_mod(a, P - 1, P), 1);
+        }
+    }
+
+    #[test]
+    fn miller_rabin_agrees_with_trial_division() {
+        fn naive(n: u64) -> bool {
+            if n < 2 {
+                return false;
+            }
+            let mut d = 2;
+            while d * d <= n {
+                if n.is_multiple_of(d) {
+                    return false;
+                }
+                d += 1;
+            }
+            true
+        }
+        for n in 0..2000u64 {
+            assert_eq!(is_prime_u64(n), naive(n), "n = {n}");
+        }
+        // Carmichael numbers must be rejected.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_prime_u64(c), "{c} is Carmichael, not prime");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # blackdp-crypto — simulation-grade PKI for the BlackDP reproduction
+//!
+//! The paper assumes the IEEE 1609.2 security stack: a Trusted Authority
+//! root of trust, public/private key pairs, certificates binding temporary
+//! pseudonymous identifications to public keys, digital signatures over
+//! routing packets ("secure packets"), and certificate revocation. This
+//! crate implements all of that **from scratch**:
+//!
+//! * [`sha256`](mod@sha256) — FIPS 180-4 SHA-256, tested against NIST vectors (the
+//!   paper's chosen one-way hash).
+//! * [`sig`] — Schnorr-style signatures over a 62-bit prime-field group,
+//!   standing in for ECDSA. **Simulation-grade**: structurally faithful,
+//!   deliberately small parameters; see the [`field`] module docs.
+//! * [`cert`] — certificates (pseudonym, public key, serial, expiry, TA
+//!   signature), revocation notices, and the expiring [`RevocationList`]
+//!   cluster heads maintain.
+//! * [`ta`] — the Trusted Authority: enrollment, pseudonym renewal with
+//!   pause semantics, and revocation (Section III-B.2 of the paper).
+//!
+//! # Examples
+//!
+//! Signing and verifying a "secure packet" body end to end:
+//!
+//! ```
+//! use blackdp_crypto::{Keypair, LongTermId, TaId, TrustedAuthority};
+//! use blackdp_sim::{Duration, Time};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut ta = TrustedAuthority::new(TaId(0), &mut rng);
+//!
+//! // Vehicle enrolls.
+//! let keys = Keypair::generate(&mut rng);
+//! let cert = ta.enroll(LongTermId(7), keys.public(), Time::ZERO, Duration::from_secs(600), &mut rng);
+//!
+//! // Vehicle signs an RREP body; a receiver validates cert + signature.
+//! let body = b"RREP dest=7 seq=75 hops=3";
+//! let sig = keys.sign(body, &mut rng);
+//! cert.verify(ta.public_key(), Time::from_secs(1))?;
+//! assert!(cert.public_key.verify(body, &sig));
+//! # Ok::<(), blackdp_crypto::CertError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cert;
+pub mod field;
+pub mod sha256;
+pub mod sig;
+pub mod ta;
+
+pub use cert::{
+    CertError, Certificate, LongTermId, PseudonymId, RevocationList, RevocationNotice, TaId,
+};
+pub use sha256::{sha256, Digest, Sha256};
+pub use sig::{Keypair, PublicKey, Signature};
+pub use ta::{RenewError, Revocation, RevokeError, TrustedAuthority};

@@ -1,0 +1,201 @@
+//! Schnorr-style digital signatures over the simulation group.
+//!
+//! Stands in for the "traditional Elliptic Curve Digital Signature
+//! Algorithm" of IEEE 1609.2 that the paper assumes (Section IV-A). The
+//! scheme is textbook Schnorr in the order-`Q` subgroup of `Z_P*`:
+//!
+//! * keygen: secret `x ∈ [1, Q)`, public `y = g^x mod P`
+//! * sign(m): nonce `k ∈ [1, Q)`, `r = g^k`, `e = H(r ‖ m) mod Q`,
+//!   `s = (k + x·e) mod Q`; signature is `(e, s)`
+//! * verify: `r' = g^s · y^(Q−e)`, accept iff `H(r' ‖ m) mod Q == e`
+//!
+//! See [`crate::field`] for the security caveat: parameters are
+//! simulation-grade by design.
+
+use rand::RngExt;
+
+use crate::field::{mul_mod, pow_mod, G, P, Q};
+use crate::sha256::Sha256;
+
+/// A Schnorr secret key (a scalar modulo [`Q`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecretKey(u64);
+
+/// A Schnorr public key (a group element modulo [`P`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PublicKey(u64);
+
+impl PublicKey {
+    /// Raw group element, used in canonical byte encodings.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a public key from its raw encoding.
+    ///
+    /// Accepts any residue; verification simply fails for keys that were
+    /// never generated honestly.
+    pub const fn from_raw(raw: u64) -> Self {
+        PublicKey(raw % P)
+    }
+}
+
+/// A detached signature `(e, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// The challenge scalar `e = H(r ‖ m) mod Q`.
+    pub e: u64,
+    /// The response scalar `s = (k + x·e) mod Q`.
+    pub s: u64,
+}
+
+/// A secret/public key pair.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_crypto::sig::Keypair;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let keys = Keypair::generate(&mut rng);
+/// let sig = keys.sign(b"RREP seq=75", &mut rng);
+/// assert!(keys.public().verify(b"RREP seq=75", &sig));
+/// assert!(!keys.public().verify(b"RREP seq=200", &sig));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Keypair {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+impl Keypair {
+    /// Generates a fresh key pair from `rng`.
+    pub fn generate<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        let x = rng.random_range(1..Q);
+        Keypair {
+            secret: SecretKey(x),
+            public: PublicKey(pow_mod(G, x, P)),
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `message` with a random nonce from `rng`.
+    pub fn sign<R: rand::Rng + ?Sized>(&self, message: &[u8], rng: &mut R) -> Signature {
+        let k = rng.random_range(1..Q);
+        let r = pow_mod(G, k, P);
+        let e = challenge(r, message);
+        let s = (k + mul_mod(self.secret.0, e, Q)) % Q;
+        Signature { e, s }
+    }
+}
+
+impl PublicKey {
+    /// Verifies `sig` over `message`.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        if sig.e >= Q || sig.s >= Q {
+            return false;
+        }
+        // r' = g^s * y^(Q - e): cancels the secret key iff s = k + x*e.
+        let gs = pow_mod(G, sig.s, P);
+        let y_neg_e = pow_mod(self.0, Q - (sig.e % Q), P);
+        let r = mul_mod(gs, y_neg_e, P);
+        challenge(r, message) == sig.e
+    }
+}
+
+/// The Fiat–Shamir challenge `H(r ‖ m) mod Q`.
+fn challenge(r: u64, message: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(&r.to_be_bytes());
+    h.update(message);
+    h.finalize().to_u64() % Q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut rng = rng();
+        let keys = Keypair::generate(&mut rng);
+        for msg in [&b"a"[..], b"", b"a longer message with route data"] {
+            let sig = keys.sign(msg, &mut rng);
+            assert!(keys.public().verify(msg, &sig));
+        }
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let mut rng = rng();
+        let keys = Keypair::generate(&mut rng);
+        let sig = keys.sign(b"seq=75 hops=3", &mut rng);
+        assert!(!keys.public().verify(b"seq=200 hops=3", &sig));
+        assert!(!keys.public().verify(b"seq=75 hops=4", &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let mut rng = rng();
+        let alice = Keypair::generate(&mut rng);
+        let mallory = Keypair::generate(&mut rng);
+        let sig = alice.sign(b"hello", &mut rng);
+        assert!(!mallory.public().verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let mut rng = rng();
+        let keys = Keypair::generate(&mut rng);
+        let sig = keys.sign(b"payload", &mut rng);
+        let bad_e = Signature {
+            e: (sig.e + 1) % Q,
+            s: sig.s,
+        };
+        let bad_s = Signature {
+            e: sig.e,
+            s: (sig.s + 1) % Q,
+        };
+        assert!(!keys.public().verify(b"payload", &bad_e));
+        assert!(!keys.public().verify(b"payload", &bad_s));
+    }
+
+    #[test]
+    fn out_of_range_scalars_rejected() {
+        let mut rng = rng();
+        let keys = Keypair::generate(&mut rng);
+        let sig = keys.sign(b"m", &mut rng);
+        assert!(!keys.public().verify(b"m", &Signature { e: Q, s: sig.s }));
+        assert!(!keys.public().verify(b"m", &Signature { e: sig.e, s: Q }));
+    }
+
+    #[test]
+    fn signatures_are_randomized() {
+        let mut rng = rng();
+        let keys = Keypair::generate(&mut rng);
+        let s1 = keys.sign(b"m", &mut rng);
+        let s2 = keys.sign(b"m", &mut rng);
+        assert_ne!(s1, s2, "fresh nonces must differ");
+        assert!(keys.public().verify(b"m", &s1));
+        assert!(keys.public().verify(b"m", &s2));
+    }
+
+    #[test]
+    fn public_key_raw_round_trip() {
+        let mut rng = rng();
+        let keys = Keypair::generate(&mut rng);
+        let pk = PublicKey::from_raw(keys.public().raw());
+        assert_eq!(pk, keys.public());
+    }
+}

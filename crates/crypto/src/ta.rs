@@ -1,0 +1,446 @@
+//! The Trusted Authority: enrollment, pseudonym renewal, and revocation.
+//!
+//! The paper assumes "a Trusted Authority (TA) exists and acts as a root of
+//! trust in the network (e.g., Department of Motor Vehicles)"; several TA
+//! nodes exist, each responsible for a region of cluster heads, and on
+//! revocation a TA "informs other trusted authority nodes to pause attacker
+//! renewal certificates and sends a revocation notice to the surrounding
+//! CHs" (Section III-B.2).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use blackdp_sim::{Duration, Time};
+use rand::RngExt;
+
+use crate::cert::{Certificate, LongTermId, PseudonymId, RevocationNotice, TaId};
+use crate::sig::{Keypair, PublicKey};
+
+/// Why a renewal request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenewError {
+    /// The presented pseudonym was never issued by this TA.
+    UnknownPseudonym,
+    /// Renewals for the owning vehicle are paused (misbehaviour reported).
+    RenewalPaused,
+}
+
+impl fmt::Display for RenewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenewError::UnknownPseudonym => write!(f, "pseudonym was not issued by this authority"),
+            RenewError::RenewalPaused => {
+                write!(f, "certificate renewal is paused for this vehicle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RenewError {}
+
+/// Why a revocation request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevokeError {
+    /// The pseudonym is unknown to this TA.
+    UnknownPseudonym,
+}
+
+impl fmt::Display for RevokeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RevokeError::UnknownPseudonym => {
+                write!(f, "pseudonym was not issued by this authority")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RevokeError {}
+
+/// The result of revoking a certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Revocation {
+    /// The notice to distribute to cluster heads (pseudonym, serial, expiry).
+    pub notice: RevocationNotice,
+    /// The owning vehicle's long-term identity, shared **only** between
+    /// trusted authorities so that peer TAs can pause renewals too.
+    pub owner: LongTermId,
+}
+
+#[derive(Debug, Clone)]
+struct CertRecord {
+    owner: LongTermId,
+    serial: u64,
+    expires: Time,
+}
+
+/// A regional Trusted Authority.
+///
+/// Holds the root signing key, the private pseudonym → long-term identity
+/// registry, and the renewal pause list.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_crypto::{Keypair, LongTermId, TaId, TrustedAuthority};
+/// use blackdp_sim::{Duration, Time};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut ta = TrustedAuthority::new(TaId(0), &mut rng);
+/// let keys = Keypair::generate(&mut rng);
+/// let cert = ta.enroll(LongTermId(4), keys.public(), Time::ZERO, Duration::from_secs(60), &mut rng);
+///
+/// // The vehicle later renews under a fresh pseudonym.
+/// let keys2 = Keypair::generate(&mut rng);
+/// let cert2 = ta
+///     .renew(cert.pseudonym, keys2.public(), Time::from_secs(30), Duration::from_secs(60), &mut rng)
+///     .unwrap();
+/// assert_ne!(cert.pseudonym, cert2.pseudonym);
+///
+/// // After revocation, renewal is paused.
+/// let rev = ta.revoke(cert2.pseudonym).unwrap();
+/// assert_eq!(rev.owner, LongTermId(4));
+/// assert!(ta
+///     .renew(cert2.pseudonym, keys2.public(), Time::from_secs(40), Duration::from_secs(60), &mut rng)
+///     .is_err());
+/// ```
+#[derive(Debug)]
+pub struct TrustedAuthority {
+    id: TaId,
+    keypair: Keypair,
+    next_serial: u64,
+    by_pseudonym: HashMap<PseudonymId, CertRecord>,
+    paused: std::collections::HashSet<LongTermId>,
+}
+
+impl TrustedAuthority {
+    /// Creates an authority with a fresh root key.
+    pub fn new<R: rand::Rng + ?Sized>(id: TaId, rng: &mut R) -> Self {
+        Self::with_keypair(id, Keypair::generate(rng))
+    }
+
+    /// Creates an authority using an existing root key.
+    ///
+    /// Regional TA nodes in one trust domain share the root signing key
+    /// (hierarchically delegated from a single authority, as in IEEE
+    /// 1609.2 deployments), so any receiver can validate any region's
+    /// certificates with one public key — the paper's single `K⁺_TA`.
+    pub fn with_keypair(id: TaId, keypair: Keypair) -> Self {
+        TrustedAuthority {
+            id,
+            keypair,
+            // Disjoint serial ranges per regional authority, so notices
+            // from different regions never collide.
+            next_serial: u64::from(id.0) * 1_000_000_000 + 1,
+            by_pseudonym: HashMap::new(),
+            paused: std::collections::HashSet::new(),
+        }
+    }
+
+    /// This authority's identity.
+    pub fn id(&self) -> TaId {
+        self.id
+    }
+
+    /// The root public key (`K⁺_TA`) vehicles use to validate certificates.
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public()
+    }
+
+    /// Issues a first certificate for a vehicle, under a fresh pseudonym.
+    pub fn enroll<R: rand::Rng + ?Sized>(
+        &mut self,
+        owner: LongTermId,
+        subject_key: PublicKey,
+        now: Time,
+        validity: Duration,
+        rng: &mut R,
+    ) -> Certificate {
+        self.issue(owner, subject_key, now, validity, rng)
+    }
+
+    /// Renews a certificate: the vehicle presents its current pseudonym and
+    /// (possibly new) public key and receives a fresh pseudonymous
+    /// certificate.
+    ///
+    /// # Errors
+    ///
+    /// * [`RenewError::UnknownPseudonym`] if `current` was never issued here.
+    /// * [`RenewError::RenewalPaused`] if the owner was reported for
+    ///   misbehaviour (this is how isolation starves an attacker of
+    ///   identities).
+    pub fn renew<R: rand::Rng + ?Sized>(
+        &mut self,
+        current: PseudonymId,
+        subject_key: PublicKey,
+        now: Time,
+        validity: Duration,
+        rng: &mut R,
+    ) -> Result<Certificate, RenewError> {
+        let owner = self
+            .by_pseudonym
+            .get(&current)
+            .map(|r| r.owner)
+            .ok_or(RenewError::UnknownPseudonym)?;
+        if self.paused.contains(&owner) {
+            return Err(RenewError::RenewalPaused);
+        }
+        Ok(self.issue(owner, subject_key, now, validity, rng))
+    }
+
+    /// Revokes the certificate behind `pseudonym`, pausing all future
+    /// renewals for its owner and returning the notice for cluster heads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevokeError::UnknownPseudonym`] if this TA never issued
+    /// `pseudonym`.
+    pub fn revoke(&mut self, pseudonym: PseudonymId) -> Result<Revocation, RevokeError> {
+        let record = self
+            .by_pseudonym
+            .get(&pseudonym)
+            .ok_or(RevokeError::UnknownPseudonym)?;
+        let owner = record.owner;
+        let notice = RevocationNotice {
+            pseudonym,
+            serial: record.serial,
+            expires: record.expires,
+        };
+        self.paused.insert(owner);
+        Ok(Revocation { notice, owner })
+    }
+
+    /// Pauses renewals for `owner` — how a peer TA propagates a revocation
+    /// into this region.
+    pub fn pause_renewals(&mut self, owner: LongTermId) {
+        self.paused.insert(owner);
+    }
+
+    /// Returns true if renewals are paused for `owner`.
+    pub fn is_paused(&self, owner: LongTermId) -> bool {
+        self.paused.contains(&owner)
+    }
+
+    /// Looks up the owner of a pseudonym (TA-private information).
+    pub fn owner_of(&self, pseudonym: PseudonymId) -> Option<LongTermId> {
+        self.by_pseudonym.get(&pseudonym).map(|r| r.owner)
+    }
+
+    /// Number of certificates ever issued by this authority.
+    pub fn issued_count(&self) -> u64 {
+        self.by_pseudonym.len() as u64
+    }
+
+    fn issue<R: rand::Rng + ?Sized>(
+        &mut self,
+        owner: LongTermId,
+        subject_key: PublicKey,
+        now: Time,
+        validity: Duration,
+        rng: &mut R,
+    ) -> Certificate {
+        // Draw pseudonyms randomly (they must be unlinkable), retrying on
+        // the unlikely collision.
+        let pseudonym = loop {
+            let candidate = PseudonymId(rng.random::<u64>());
+            if !self.by_pseudonym.contains_key(&candidate) {
+                break candidate;
+            }
+        };
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let expires = now + validity;
+        let body =
+            Certificate::signing_bytes(pseudonym, subject_key, serial, self.id, now, expires);
+        let signature = self.keypair.sign(&body, rng);
+        self.by_pseudonym.insert(
+            pseudonym,
+            CertRecord {
+                owner,
+                serial,
+                expires,
+            },
+        );
+        Certificate {
+            pseudonym,
+            public_key: subject_key,
+            serial,
+            issuer: self.id,
+            issued: now,
+            expires,
+            signature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (StdRng, TrustedAuthority) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ta = TrustedAuthority::new(TaId(1), &mut rng);
+        (rng, ta)
+    }
+
+    #[test]
+    fn enroll_issues_verifiable_certificate() {
+        let (mut rng, mut ta) = setup();
+        let keys = Keypair::generate(&mut rng);
+        let cert = ta.enroll(
+            LongTermId(1),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(100),
+            &mut rng,
+        );
+        assert!(cert.verify(ta.public_key(), Time::from_secs(1)).is_ok());
+        assert_eq!(ta.owner_of(cert.pseudonym), Some(LongTermId(1)));
+        assert_eq!(ta.issued_count(), 1);
+    }
+
+    #[test]
+    fn renewal_changes_pseudonym_and_serial() {
+        let (mut rng, mut ta) = setup();
+        let keys = Keypair::generate(&mut rng);
+        let c1 = ta.enroll(
+            LongTermId(2),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(100),
+            &mut rng,
+        );
+        let c2 = ta
+            .renew(
+                c1.pseudonym,
+                keys.public(),
+                Time::from_secs(50),
+                Duration::from_secs(100),
+                &mut rng,
+            )
+            .expect("renewal should succeed");
+        assert_ne!(c1.pseudonym, c2.pseudonym);
+        assert_ne!(c1.serial, c2.serial);
+        assert_eq!(ta.owner_of(c2.pseudonym), Some(LongTermId(2)));
+    }
+
+    #[test]
+    fn renew_unknown_pseudonym_fails() {
+        let (mut rng, mut ta) = setup();
+        let keys = Keypair::generate(&mut rng);
+        let err = ta
+            .renew(
+                PseudonymId(12345),
+                keys.public(),
+                Time::ZERO,
+                Duration::from_secs(10),
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, RenewError::UnknownPseudonym);
+    }
+
+    #[test]
+    fn revocation_pauses_renewal_for_all_pseudonyms_of_owner() {
+        let (mut rng, mut ta) = setup();
+        let keys = Keypair::generate(&mut rng);
+        let c1 = ta.enroll(
+            LongTermId(3),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(100),
+            &mut rng,
+        );
+        let c2 = ta
+            .renew(
+                c1.pseudonym,
+                keys.public(),
+                Time::from_secs(10),
+                Duration::from_secs(100),
+                &mut rng,
+            )
+            .unwrap();
+        let rev = ta.revoke(c2.pseudonym).unwrap();
+        assert_eq!(rev.owner, LongTermId(3));
+        assert_eq!(rev.notice.pseudonym, c2.pseudonym);
+        // Renewing under the *old* pseudonym must also fail: the pause is
+        // keyed by the owner, not the pseudonym.
+        assert_eq!(
+            ta.renew(
+                c1.pseudonym,
+                keys.public(),
+                Time::from_secs(20),
+                Duration::from_secs(100),
+                &mut rng,
+            )
+            .unwrap_err(),
+            RenewError::RenewalPaused
+        );
+        assert!(ta.is_paused(LongTermId(3)));
+    }
+
+    #[test]
+    fn peer_pause_propagation() {
+        let (mut rng, mut ta) = setup();
+        let mut peer = TrustedAuthority::new(TaId(2), &mut rng);
+        let keys = Keypair::generate(&mut rng);
+        let cert = peer.enroll(
+            LongTermId(4),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(100),
+            &mut rng,
+        );
+        // `ta` revokes nothing, but receives the owner from the peer's
+        // revocation and pauses locally.
+        let c_here = ta.enroll(
+            LongTermId(4),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(100),
+            &mut rng,
+        );
+        let rev = peer.revoke(cert.pseudonym).unwrap();
+        ta.pause_renewals(rev.owner);
+        assert_eq!(
+            ta.renew(
+                c_here.pseudonym,
+                keys.public(),
+                Time::from_secs(1),
+                Duration::from_secs(10),
+                &mut rng,
+            )
+            .unwrap_err(),
+            RenewError::RenewalPaused
+        );
+    }
+
+    #[test]
+    fn revoke_unknown_pseudonym_fails() {
+        let (_rng, mut ta) = setup();
+        assert_eq!(
+            ta.revoke(PseudonymId(999)).unwrap_err(),
+            RevokeError::UnknownPseudonym
+        );
+    }
+
+    #[test]
+    fn pseudonyms_are_unique_across_issues() {
+        let (mut rng, mut ta) = setup();
+        let keys = Keypair::generate(&mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            let cert = ta.enroll(
+                LongTermId(i),
+                keys.public(),
+                Time::ZERO,
+                Duration::from_secs(10),
+                &mut rng,
+            );
+            assert!(seen.insert(cert.pseudonym), "duplicate pseudonym issued");
+        }
+    }
+}

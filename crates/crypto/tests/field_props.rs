@@ -1,0 +1,50 @@
+//! Property tests on the modular-arithmetic substrate.
+
+use blackdp_crypto::field::{is_prime_u64, mul_mod, pow_mod, G, P, Q};
+use proptest::prelude::*;
+
+/// Naive modular exponentiation for cross-checking (small exponents).
+fn naive_pow_mod(base: u64, exp: u64, m: u64) -> u64 {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc * (base as u128) % (m as u128);
+    }
+    acc as u64
+}
+
+proptest! {
+    #[test]
+    fn pow_mod_matches_naive(base in 0u64..10_000, exp in 0u64..200, m in 2u64..10_000) {
+        prop_assert_eq!(pow_mod(base, exp, m), naive_pow_mod(base % m, exp, m));
+    }
+
+    #[test]
+    fn mul_mod_is_commutative_and_bounded(a in any::<u64>(), b in any::<u64>()) {
+        let ab = mul_mod(a % P, b % P, P);
+        let ba = mul_mod(b % P, a % P, P);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab < P);
+    }
+
+    #[test]
+    fn exponent_laws_hold_in_the_subgroup(x in 1u64..Q, y in 1u64..Q) {
+        // g^x * g^y == g^(x+y mod Q) — the identity Schnorr verification
+        // relies on.
+        let gx = pow_mod(G, x, P);
+        let gy = pow_mod(G, y, P);
+        let lhs = mul_mod(gx, gy, P);
+        let rhs = pow_mod(G, (x + y) % Q, P);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn subgroup_elements_have_order_dividing_q(x in 1u64..Q) {
+        let e = pow_mod(G, x, P);
+        prop_assert_eq!(pow_mod(e, Q, P), 1);
+    }
+
+    #[test]
+    fn primality_closed_under_known_composites(a in 2u64..1_000, b in 2u64..1_000) {
+        prop_assert!(!is_prime_u64(a * b));
+    }
+}

@@ -1,0 +1,265 @@
+//! Static cluster planning: RSU placement and membership zones.
+//!
+//! The paper divides the highway into equal-size static clusters with one
+//! RSU (the cluster head) stationed centrally in each: *"if we have a
+//! highway of length l, then the least number of CHs required to cover the
+//! entire highway is p = l / r"* (Section III-A). A vehicle joins a cluster
+//! from a *single zone* (only one RSU in range) or an *overlapped zone*
+//! (several RSUs in range, requiring a JREQ broadcast).
+
+use blackdp_sim::Position;
+
+use crate::highway::Highway;
+
+/// Identifies one cluster (and its RSU / cluster head). Clusters are
+/// numbered from 1 along the highway, matching the paper's figures
+/// ("cluster 1" through "cluster 10").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub u32);
+
+impl std::fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The join-zone classification of a position (Section III-A, Figure 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinZone {
+    /// Exactly one RSU is in radio range: unicast JREQ to it.
+    Single(ClusterId),
+    /// Multiple RSUs are in range: broadcast the JREQ and let the correct
+    /// CH claim the vehicle.
+    Overlapped(Vec<ClusterId>),
+    /// No RSU in range (off the instrumented stretch).
+    Uncovered,
+}
+
+/// The static layout of clusters and RSUs over a highway.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_mobility::{ClusterPlan, Highway};
+/// use blackdp_sim::Position;
+///
+/// let plan = ClusterPlan::paper_table1();
+/// assert_eq!(plan.cluster_count(), 10);
+/// // RSU of cluster 1 sits at the segment center.
+/// assert_eq!(plan.rsu_position(blackdp_mobility::ClusterId(1)).unwrap().x, 500.0);
+/// // 4.2 km into the highway is cluster 5.
+/// assert_eq!(plan.cluster_of(Position::new(4_200.0, 0.0)), Some(blackdp_mobility::ClusterId(5)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterPlan {
+    highway: Highway,
+    cluster_len_m: f64,
+    count: u32,
+    /// Lateral RSU placement (center of the median by default).
+    rsu_y_m: f64,
+}
+
+impl ClusterPlan {
+    /// The paper's Table I plan: 10 clusters of 1000 m over a 10 km highway.
+    pub fn paper_table1() -> Self {
+        ClusterPlan::new(Highway::paper_table1(), 1000.0)
+    }
+
+    /// Divides `highway` into equal clusters of `cluster_len_m` meters.
+    ///
+    /// The number of clusters is `ceil(length / cluster_len)` — the paper's
+    /// `p = l / r` for evenly dividing lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_len_m` is not strictly positive and finite.
+    pub fn new(highway: Highway, cluster_len_m: f64) -> Self {
+        assert!(
+            cluster_len_m > 0.0 && cluster_len_m.is_finite(),
+            "cluster length must be positive and finite"
+        );
+        let count = (highway.length_m / cluster_len_m).ceil() as u32;
+        let rsu_y_m = highway.width_m / 2.0;
+        ClusterPlan {
+            highway,
+            cluster_len_m,
+            count,
+            rsu_y_m,
+        }
+    }
+
+    /// The underlying highway.
+    pub fn highway(&self) -> &Highway {
+        &self.highway
+    }
+
+    /// Length of each cluster segment, in meters.
+    pub fn cluster_len_m(&self) -> f64 {
+        self.cluster_len_m
+    }
+
+    /// Total number of clusters (`p` in the paper).
+    pub fn cluster_count(&self) -> u32 {
+        self.count
+    }
+
+    /// Iterates all cluster ids, `c1 ..= c<count>`.
+    pub fn clusters(&self) -> impl Iterator<Item = ClusterId> {
+        (1..=self.count).map(ClusterId)
+    }
+
+    /// The RSU (cluster head) position for `cluster`: centered in its
+    /// segment, on the highway median.
+    pub fn rsu_position(&self, cluster: ClusterId) -> Option<Position> {
+        if cluster.0 == 0 || cluster.0 > self.count {
+            return None;
+        }
+        let center_x = (cluster.0 as f64 - 0.5) * self.cluster_len_m;
+        Some(Position::new(
+            center_x.min(self.highway.length_m),
+            self.rsu_y_m,
+        ))
+    }
+
+    /// The cluster whose segment contains `pos`, or `None` when off the
+    /// highway stretch.
+    pub fn cluster_of(&self, pos: Position) -> Option<ClusterId> {
+        if pos.x < 0.0 || pos.x > self.highway.length_m {
+            return None;
+        }
+        let idx = (pos.x / self.cluster_len_m).floor() as u32;
+        Some(ClusterId(idx.min(self.count - 1) + 1))
+    }
+
+    /// All clusters whose RSU is within `range_m` of `pos`.
+    pub fn rsus_in_range(&self, pos: Position, range_m: f64) -> Vec<ClusterId> {
+        self.clusters()
+            .filter(|&c| {
+                self.rsu_position(c)
+                    .map(|p| p.within_range(pos, range_m))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Classifies `pos` as a single, overlapped, or uncovered join zone for
+    /// the given radio range.
+    pub fn join_zone(&self, pos: Position, range_m: f64) -> JoinZone {
+        let mut in_range = self.rsus_in_range(pos, range_m);
+        match in_range.len() {
+            0 => JoinZone::Uncovered,
+            1 => JoinZone::Single(in_range.remove(0)),
+            _ => JoinZone::Overlapped(in_range),
+        }
+    }
+
+    /// Whether two clusters are adjacent segments.
+    pub fn are_adjacent(&self, a: ClusterId, b: ClusterId) -> bool {
+        a.0.abs_diff(b.0) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_plan_has_ten_clusters() {
+        let plan = ClusterPlan::paper_table1();
+        assert_eq!(plan.cluster_count(), 10);
+        assert_eq!(plan.clusters().count(), 10);
+        assert_eq!(plan.cluster_len_m(), 1000.0);
+    }
+
+    #[test]
+    fn rsus_are_centered_per_segment() {
+        let plan = ClusterPlan::paper_table1();
+        for (i, c) in plan.clusters().enumerate() {
+            let p = plan.rsu_position(c).unwrap();
+            assert_eq!(p.x, (i as f64) * 1000.0 + 500.0);
+            assert_eq!(p.y, 100.0); // median of the 200 m width
+        }
+        assert_eq!(plan.rsu_position(ClusterId(0)), None);
+        assert_eq!(plan.rsu_position(ClusterId(11)), None);
+    }
+
+    #[test]
+    fn cluster_of_maps_segments() {
+        let plan = ClusterPlan::paper_table1();
+        assert_eq!(plan.cluster_of(Position::new(0.0, 0.0)), Some(ClusterId(1)));
+        assert_eq!(
+            plan.cluster_of(Position::new(999.9, 0.0)),
+            Some(ClusterId(1))
+        );
+        assert_eq!(
+            plan.cluster_of(Position::new(1000.0, 0.0)),
+            Some(ClusterId(2))
+        );
+        assert_eq!(
+            plan.cluster_of(Position::new(9_999.0, 0.0)),
+            Some(ClusterId(10))
+        );
+        // The far boundary belongs to the last cluster.
+        assert_eq!(
+            plan.cluster_of(Position::new(10_000.0, 0.0)),
+            Some(ClusterId(10))
+        );
+        assert_eq!(plan.cluster_of(Position::new(-1.0, 0.0)), None);
+        assert_eq!(plan.cluster_of(Position::new(10_000.1, 0.0)), None);
+    }
+
+    #[test]
+    fn join_zones_with_dsrc_range() {
+        let plan = ClusterPlan::paper_table1();
+        // With a 1000 m range and RSUs every 1000 m, a vehicle at an RSU's
+        // x sees its own RSU plus both neighbors at 1000 m exactly.
+        let at_rsu5 = Position::new(4_500.0, 100.0);
+        match plan.join_zone(at_rsu5, 1000.0) {
+            JoinZone::Overlapped(ids) => {
+                assert_eq!(ids, vec![ClusterId(4), ClusterId(5), ClusterId(6)]);
+            }
+            other => panic!("expected overlapped zone, got {other:?}"),
+        }
+        // A shorter range creates single zones near RSUs.
+        match plan.join_zone(at_rsu5, 400.0) {
+            JoinZone::Single(id) => assert_eq!(id, ClusterId(5)),
+            other => panic!("expected single zone, got {other:?}"),
+        }
+        // Off the instrumented stretch.
+        assert_eq!(
+            plan.join_zone(Position::new(-5_000.0, 0.0), 400.0),
+            JoinZone::Uncovered
+        );
+    }
+
+    #[test]
+    fn boundary_positions_are_overlapped_for_midsize_range() {
+        let plan = ClusterPlan::paper_table1();
+        // At a segment boundary with 600 m range, both adjacent RSUs
+        // (each 500 m away) are in range.
+        match plan.join_zone(Position::new(1_000.0, 100.0), 600.0) {
+            JoinZone::Overlapped(ids) => assert_eq!(ids, vec![ClusterId(1), ClusterId(2)]),
+            other => panic!("expected overlapped zone, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adjacency() {
+        let plan = ClusterPlan::paper_table1();
+        assert!(plan.are_adjacent(ClusterId(3), ClusterId(4)));
+        assert!(plan.are_adjacent(ClusterId(4), ClusterId(3)));
+        assert!(!plan.are_adjacent(ClusterId(3), ClusterId(5)));
+        assert!(!plan.are_adjacent(ClusterId(3), ClusterId(3)));
+    }
+
+    #[test]
+    fn non_divisible_length_rounds_cluster_count_up() {
+        let plan = ClusterPlan::new(Highway::new(10_500.0, 200.0), 1000.0);
+        assert_eq!(plan.cluster_count(), 11);
+        // Positions in the stub segment map to the last cluster.
+        assert_eq!(
+            plan.cluster_of(Position::new(10_400.0, 0.0)),
+            Some(ClusterId(11))
+        );
+    }
+}

@@ -1,0 +1,418 @@
+//! An urban Manhattan-grid topology — the paper's future work ("the
+//! proposed detection protocol does not yet account for an urban topology
+//! network").
+//!
+//! The grid has `blocks_x × blocks_y` square blocks; streets run along
+//! every block boundary and RSUs sit at intersections. Vehicles follow
+//! street-aligned piecewise paths with turns at intersections.
+
+use blackdp_sim::{Position, Time};
+
+use crate::highway::Kmh;
+
+/// Identifies one intersection (and its RSU) in the grid, by column and
+/// row of the intersection lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntersectionId {
+    /// Column index, `0 ..= blocks_x`.
+    pub col: u32,
+    /// Row index, `0 ..= blocks_y`.
+    pub row: u32,
+}
+
+impl std::fmt::Display for IntersectionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i({},{})", self.col, self.row)
+    }
+}
+
+/// A Manhattan street grid with RSUs at intersections.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_mobility::{GridPlan, IntersectionId};
+/// use blackdp_sim::Position;
+///
+/// // A 3×2 grid of 500 m blocks: 4×3 intersections.
+/// let grid = GridPlan::new(3, 2, 500.0);
+/// assert_eq!(grid.intersection_count(), 12);
+/// let rsu = grid.intersection_position(IntersectionId { col: 1, row: 1 });
+/// assert_eq!(rsu, Some(Position::new(500.0, 500.0)));
+/// // Positions are claimed by their nearest intersection.
+/// assert_eq!(
+///     grid.nearest_intersection(Position::new(520.0, 480.0)),
+///     IntersectionId { col: 1, row: 1 }
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPlan {
+    blocks_x: u32,
+    blocks_y: u32,
+    block_m: f64,
+}
+
+impl GridPlan {
+    /// Creates a grid of `blocks_x × blocks_y` square blocks of side
+    /// `block_m` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `block_m` is not positive/finite.
+    pub fn new(blocks_x: u32, blocks_y: u32, block_m: f64) -> Self {
+        assert!(blocks_x > 0 && blocks_y > 0, "grid must have blocks");
+        assert!(
+            block_m > 0.0 && block_m.is_finite(),
+            "block size must be positive and finite"
+        );
+        GridPlan {
+            blocks_x,
+            blocks_y,
+            block_m,
+        }
+    }
+
+    /// Block side length in meters.
+    pub fn block_m(&self) -> f64 {
+        self.block_m
+    }
+
+    /// Total width (x extent) in meters.
+    pub fn width_m(&self) -> f64 {
+        f64::from(self.blocks_x) * self.block_m
+    }
+
+    /// Total height (y extent) in meters.
+    pub fn height_m(&self) -> f64 {
+        f64::from(self.blocks_y) * self.block_m
+    }
+
+    /// Number of intersections, `(blocks_x + 1) · (blocks_y + 1)`.
+    pub fn intersection_count(&self) -> u32 {
+        (self.blocks_x + 1) * (self.blocks_y + 1)
+    }
+
+    /// Iterates all intersections, row-major.
+    pub fn intersections(&self) -> impl Iterator<Item = IntersectionId> + '_ {
+        let cols = self.blocks_x + 1;
+        let rows = self.blocks_y + 1;
+        (0..rows).flat_map(move |row| (0..cols).map(move |col| IntersectionId { col, row }))
+    }
+
+    /// The position of an intersection (RSU site), if it exists.
+    pub fn intersection_position(&self, id: IntersectionId) -> Option<Position> {
+        (id.col <= self.blocks_x && id.row <= self.blocks_y).then(|| {
+            Position::new(
+                f64::from(id.col) * self.block_m,
+                f64::from(id.row) * self.block_m,
+            )
+        })
+    }
+
+    /// The intersection whose RSU is nearest to `pos` (ties broken toward
+    /// lower indices). This is the urban analogue of
+    /// [`ClusterPlan::cluster_of`](crate::ClusterPlan::cluster_of): every
+    /// street position belongs to the nearest intersection's cell.
+    pub fn nearest_intersection(&self, pos: Position) -> IntersectionId {
+        let col = (pos.x / self.block_m)
+            .round()
+            .clamp(0.0, f64::from(self.blocks_x)) as u32;
+        let row = (pos.y / self.block_m)
+            .round()
+            .clamp(0.0, f64::from(self.blocks_y)) as u32;
+        IntersectionId { col, row }
+    }
+
+    /// The four (or fewer, at edges) neighboring intersections.
+    pub fn neighbors(&self, id: IntersectionId) -> Vec<IntersectionId> {
+        let mut out = Vec::with_capacity(4);
+        if id.col > 0 {
+            out.push(IntersectionId {
+                col: id.col - 1,
+                row: id.row,
+            });
+        }
+        if id.col < self.blocks_x {
+            out.push(IntersectionId {
+                col: id.col + 1,
+                row: id.row,
+            });
+        }
+        if id.row > 0 {
+            out.push(IntersectionId {
+                col: id.col,
+                row: id.row - 1,
+            });
+        }
+        if id.row < self.blocks_y {
+            out.push(IntersectionId {
+                col: id.col,
+                row: id.row + 1,
+            });
+        }
+        out
+    }
+
+    /// True if `pos` lies on a street (within `tolerance_m` of a grid
+    /// line) inside the grid bounds.
+    pub fn on_street(&self, pos: Position, tolerance_m: f64) -> bool {
+        if pos.x < -tolerance_m
+            || pos.y < -tolerance_m
+            || pos.x > self.width_m() + tolerance_m
+            || pos.y > self.height_m() + tolerance_m
+        {
+            return false;
+        }
+        let fx = (pos.x / self.block_m).fract().abs();
+        let fy = (pos.y / self.block_m).fract().abs();
+        let near = |f: f64| {
+            let d = f.min(1.0 - f) * self.block_m;
+            d <= tolerance_m
+        };
+        near(fx) || near(fy)
+    }
+
+    /// Manhattan route (sequence of intersections) from `from` to `to`:
+    /// first along the x streets, then along y. The simplest shortest path
+    /// on the grid; used by [`GridTrajectory::through`].
+    pub fn route(&self, from: IntersectionId, to: IntersectionId) -> Vec<IntersectionId> {
+        let mut path = vec![from];
+        let mut cur = from;
+        while cur.col != to.col {
+            cur.col = if to.col > cur.col {
+                cur.col + 1
+            } else {
+                cur.col - 1
+            };
+            path.push(cur);
+        }
+        while cur.row != to.row {
+            cur.row = if to.row > cur.row {
+                cur.row + 1
+            } else {
+                cur.row - 1
+            };
+            path.push(cur);
+        }
+        path
+    }
+}
+
+/// A piecewise-linear constant-speed path through grid intersections.
+///
+/// The urban counterpart of the highway
+/// [`Trajectory`](crate::Trajectory): position is a pure function of time.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_mobility::{GridPlan, GridTrajectory, IntersectionId, Kmh};
+/// use blackdp_sim::Time;
+///
+/// let grid = GridPlan::new(2, 2, 100.0);
+/// let t = GridTrajectory::through(
+///     &grid,
+///     IntersectionId { col: 0, row: 0 },
+///     IntersectionId { col: 2, row: 1 },
+///     Kmh(36.0), // 10 m/s
+///     Time::ZERO,
+/// );
+/// // After 10 s it has covered 100 m: at the first intersection.
+/// let p = t.position_at(Time::from_secs(10));
+/// assert!((p.x - 100.0).abs() < 1e-9 && p.y.abs() < 1e-9);
+/// // The full 300 m path completes after 30 s and the vehicle parks there.
+/// assert!(t.completed(Time::from_secs(31)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridTrajectory {
+    waypoints: Vec<Position>,
+    speed_mps: f64,
+    started_at: Time,
+    /// Cumulative distance at each waypoint.
+    cumulative_m: Vec<f64>,
+}
+
+impl GridTrajectory {
+    /// Builds the Manhattan route between two intersections and follows it
+    /// at `speed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either intersection is outside the grid, or the speed is
+    /// not positive/finite.
+    pub fn through(
+        grid: &GridPlan,
+        from: IntersectionId,
+        to: IntersectionId,
+        speed: Kmh,
+        started_at: Time,
+    ) -> Self {
+        assert!(
+            speed.0 > 0.0 && speed.0.is_finite(),
+            "speed must be positive and finite"
+        );
+        let waypoints: Vec<Position> = grid
+            .route(from, to)
+            .into_iter()
+            .map(|i| {
+                grid.intersection_position(i)
+                    .expect("route stays inside the grid")
+            })
+            .collect();
+        let mut cumulative_m = Vec::with_capacity(waypoints.len());
+        let mut acc = 0.0;
+        for (i, w) in waypoints.iter().enumerate() {
+            if i > 0 {
+                acc += waypoints[i - 1].distance_to(*w);
+            }
+            cumulative_m.push(acc);
+        }
+        GridTrajectory {
+            waypoints,
+            speed_mps: speed.as_mps(),
+            started_at,
+            cumulative_m,
+        }
+    }
+
+    /// Total path length in meters.
+    pub fn length_m(&self) -> f64 {
+        self.cumulative_m.last().copied().unwrap_or(0.0)
+    }
+
+    /// The position at `now`; parks at the final waypoint after arrival.
+    pub fn position_at(&self, now: Time) -> Position {
+        let dist = now.saturating_since(self.started_at).as_secs_f64() * self.speed_mps;
+        let total = self.length_m();
+        if dist >= total {
+            return *self.waypoints.last().expect("route is never empty");
+        }
+        // Find the active segment.
+        let seg = self
+            .cumulative_m
+            .windows(2)
+            .position(|w| dist < w[1])
+            .unwrap_or(self.waypoints.len().saturating_sub(2));
+        let seg_start = self.cumulative_m[seg];
+        let seg_len = (self.cumulative_m[seg + 1] - seg_start).max(f64::EPSILON);
+        let frac = (dist - seg_start) / seg_len;
+        let a = self.waypoints[seg];
+        let b = self.waypoints[seg + 1];
+        Position::new(a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac)
+    }
+
+    /// True once the vehicle has reached its final waypoint.
+    pub fn completed(&self, now: Time) -> bool {
+        now.saturating_since(self.started_at).as_secs_f64() * self.speed_mps >= self.length_m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(col: u32, row: u32) -> IntersectionId {
+        IntersectionId { col, row }
+    }
+
+    #[test]
+    fn geometry_basics() {
+        let g = GridPlan::new(4, 3, 250.0);
+        assert_eq!(g.width_m(), 1000.0);
+        assert_eq!(g.height_m(), 750.0);
+        assert_eq!(g.intersection_count(), 5 * 4);
+        assert_eq!(g.intersections().count(), 20);
+        assert_eq!(
+            g.intersection_position(id(4, 3)),
+            Some(Position::new(1000.0, 750.0))
+        );
+        assert_eq!(g.intersection_position(id(5, 0)), None);
+    }
+
+    #[test]
+    fn nearest_intersection_partitions_the_plane() {
+        let g = GridPlan::new(2, 2, 100.0);
+        assert_eq!(g.nearest_intersection(Position::new(0.0, 0.0)), id(0, 0));
+        assert_eq!(g.nearest_intersection(Position::new(49.0, 0.0)), id(0, 0));
+        assert_eq!(g.nearest_intersection(Position::new(51.0, 0.0)), id(1, 0));
+        // Outside positions clamp to the boundary lattice.
+        assert_eq!(
+            g.nearest_intersection(Position::new(-500.0, 9999.0)),
+            id(0, 2)
+        );
+    }
+
+    #[test]
+    fn neighbors_respect_edges() {
+        let g = GridPlan::new(2, 2, 100.0);
+        assert_eq!(g.neighbors(id(0, 0)).len(), 2);
+        assert_eq!(g.neighbors(id(1, 0)).len(), 3);
+        assert_eq!(g.neighbors(id(1, 1)).len(), 4);
+    }
+
+    #[test]
+    fn streets_cover_grid_lines_only() {
+        let g = GridPlan::new(2, 2, 100.0);
+        assert!(g.on_street(Position::new(50.0, 0.0), 5.0)); // on a row street
+        assert!(g.on_street(Position::new(100.0, 37.0), 5.0)); // on a column street
+        assert!(!g.on_street(Position::new(50.0, 50.0), 5.0)); // mid-block
+        assert!(!g.on_street(Position::new(500.0, 0.0), 5.0)); // outside
+    }
+
+    #[test]
+    fn manhattan_route_lengths() {
+        let g = GridPlan::new(3, 3, 100.0);
+        let r = g.route(id(0, 0), id(2, 3));
+        assert_eq!(r.len(), 6, "2 east + 3 north + start");
+        assert_eq!(r.first(), Some(&id(0, 0)));
+        assert_eq!(r.last(), Some(&id(2, 3)));
+        // Each step moves exactly one lattice hop.
+        for w in r.windows(2) {
+            let d = w[0].col.abs_diff(w[1].col) + w[0].row.abs_diff(w[1].row);
+            assert_eq!(d, 1);
+        }
+    }
+
+    #[test]
+    fn trajectory_follows_streets_with_a_turn() {
+        let g = GridPlan::new(2, 2, 100.0);
+        let t = GridTrajectory::through(&g, id(0, 0), id(1, 1), Kmh(36.0), Time::ZERO);
+        assert_eq!(t.length_m(), 200.0);
+        // 5 s @ 10 m/s: halfway along the first (eastbound) street.
+        let p = t.position_at(Time::from_secs(5));
+        assert!((p.x - 50.0).abs() < 1e-9 && p.y.abs() < 1e-9);
+        // 15 s: turned north, halfway up.
+        let p = t.position_at(Time::from_secs(15));
+        assert!((p.x - 100.0).abs() < 1e-9 && (p.y - 50.0).abs() < 1e-9);
+        // On-street at every sampled instant.
+        for s in 0..=20 {
+            assert!(
+                g.on_street(t.position_at(Time::from_secs(s)), 0.5),
+                "left the street at t={s}s"
+            );
+        }
+        assert!(t.completed(Time::from_secs(20)));
+        assert_eq!(
+            t.position_at(Time::from_secs(99)),
+            Position::new(100.0, 100.0)
+        );
+    }
+
+    #[test]
+    fn degenerate_route_stays_put() {
+        let g = GridPlan::new(2, 2, 100.0);
+        let t = GridTrajectory::through(&g, id(1, 1), id(1, 1), Kmh(50.0), Time::ZERO);
+        assert_eq!(t.length_m(), 0.0);
+        assert!(t.completed(Time::ZERO));
+        assert_eq!(
+            t.position_at(Time::from_secs(5)),
+            Position::new(100.0, 100.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must have blocks")]
+    fn rejects_empty_grid() {
+        let _ = GridPlan::new(0, 2, 100.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Highway geometry and vehicle kinematics.
+
+use blackdp_sim::{Position, Time};
+
+/// Speed expressed in km/h, the unit Table I uses (vehicles: 50–90 km/h).
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_mobility::Kmh;
+///
+/// assert!((Kmh(90.0).as_mps() - 25.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Kmh(pub f64);
+
+impl Kmh {
+    /// Converts to meters per second.
+    pub fn as_mps(self) -> f64 {
+        self.0 / 3.6
+    }
+}
+
+impl std::fmt::Display for Kmh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}km/h", self.0)
+    }
+}
+
+/// Travel direction along the highway's `x` axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    /// Toward increasing `x` (the direction the paper's source→destination
+    /// traffic flows).
+    #[default]
+    Forward,
+    /// Toward decreasing `x`.
+    Backward,
+}
+
+impl Direction {
+    /// The sign of the velocity along `x`.
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => 1.0,
+            Direction::Backward => -1.0,
+        }
+    }
+}
+
+/// A controlled-access highway segment (Table I: 10 km long, 200 m wide).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Highway {
+    /// Length along `x`, in meters.
+    pub length_m: f64,
+    /// Width along `y`, in meters.
+    pub width_m: f64,
+}
+
+impl Highway {
+    /// The paper's Table I highway: 10 km × 200 m.
+    pub fn paper_table1() -> Self {
+        Highway {
+            length_m: 10_000.0,
+            width_m: 200.0,
+        }
+    }
+
+    /// Creates a highway with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive and finite.
+    pub fn new(length_m: f64, width_m: f64) -> Self {
+        assert!(
+            length_m > 0.0 && length_m.is_finite(),
+            "highway length must be positive and finite"
+        );
+        assert!(
+            width_m > 0.0 && width_m.is_finite(),
+            "highway width must be positive and finite"
+        );
+        Highway { length_m, width_m }
+    }
+
+    /// Returns true if `pos` lies on the highway surface.
+    pub fn contains(&self, pos: Position) -> bool {
+        (0.0..=self.length_m).contains(&pos.x) && (0.0..=self.width_m).contains(&pos.y)
+    }
+}
+
+/// A constant-velocity motion plan along the highway.
+///
+/// Vehicles in the paper's setup travel at a fixed random speed in
+/// 50–90 km/h; position is a pure function of time, which keeps the radio
+/// medium exact (no mobility tick quantization).
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_mobility::{Direction, Kmh, Trajectory};
+/// use blackdp_sim::{Position, Time};
+///
+/// let t = Trajectory::new(Position::new(0.0, 100.0), Kmh(72.0), Direction::Forward, Time::ZERO);
+/// let p = t.position_at(Time::from_secs(10));
+/// assert!((p.x - 200.0).abs() < 1e-9); // 72 km/h = 20 m/s
+/// assert_eq!(p.y, 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trajectory {
+    start: Position,
+    speed: Kmh,
+    direction: Direction,
+    spawned_at: Time,
+}
+
+impl Trajectory {
+    /// Creates a trajectory starting at `start` at time `spawned_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is negative or non-finite.
+    pub fn new(start: Position, speed: Kmh, direction: Direction, spawned_at: Time) -> Self {
+        assert!(
+            speed.0 >= 0.0 && speed.0.is_finite(),
+            "speed must be non-negative and finite"
+        );
+        Trajectory {
+            start,
+            speed,
+            direction,
+            spawned_at,
+        }
+    }
+
+    /// A trajectory that never moves (RSUs, parked vehicles).
+    pub fn stationary(at: Position) -> Self {
+        Trajectory::new(at, Kmh(0.0), Direction::Forward, Time::ZERO)
+    }
+
+    /// The position at virtual time `now`. Times before the spawn instant
+    /// return the start position.
+    pub fn position_at(&self, now: Time) -> Position {
+        let dt = now.saturating_since(self.spawned_at).as_secs_f64();
+        Position::new(
+            self.start.x + self.direction.sign() * self.speed.as_mps() * dt,
+            self.start.y,
+        )
+    }
+
+    /// The configured cruise speed.
+    pub fn speed(&self) -> Kmh {
+        self.speed
+    }
+
+    /// The travel direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Returns true if the vehicle has driven off either end of `highway`
+    /// at time `now`.
+    pub fn has_exited(&self, highway: &Highway, now: Time) -> bool {
+        let x = self.position_at(now).x;
+        x < 0.0 || x > highway.length_m
+    }
+
+    /// The time at which this trajectory crosses longitudinal coordinate
+    /// `x_m`, or `None` if it never does (stationary or moving away).
+    pub fn time_reaching_x(&self, x_m: f64) -> Option<Time> {
+        let v = self.direction.sign() * self.speed.as_mps();
+        let dx = x_m - self.start.x;
+        if v == 0.0 {
+            return (dx == 0.0).then_some(self.spawned_at);
+        }
+        let dt = dx / v;
+        if dt < 0.0 {
+            return None;
+        }
+        Some(self.spawned_at + blackdp_sim::Duration::from_secs_f64(dt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackdp_sim::Duration;
+
+    #[test]
+    fn kmh_to_mps() {
+        assert!((Kmh(50.0).as_mps() - 13.888_888_888).abs() < 1e-6);
+        assert!((Kmh(90.0).as_mps() - 25.0).abs() < 1e-12);
+        assert_eq!(Kmh(0.0).as_mps(), 0.0);
+    }
+
+    #[test]
+    fn highway_contains_checks_bounds() {
+        let hw = Highway::paper_table1();
+        assert!(hw.contains(Position::new(0.0, 0.0)));
+        assert!(hw.contains(Position::new(10_000.0, 200.0)));
+        assert!(!hw.contains(Position::new(-0.1, 100.0)));
+        assert!(!hw.contains(Position::new(10_000.1, 100.0)));
+        assert!(!hw.contains(Position::new(5000.0, 201.0)));
+    }
+
+    #[test]
+    fn forward_motion_advances_x() {
+        let t = Trajectory::new(
+            Position::new(100.0, 50.0),
+            Kmh(36.0), // 10 m/s
+            Direction::Forward,
+            Time::from_secs(5),
+        );
+        // Before spawn: stays at start.
+        assert_eq!(t.position_at(Time::ZERO), Position::new(100.0, 50.0));
+        let p = t.position_at(Time::from_secs(15));
+        assert!((p.x - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backward_motion_decreases_x() {
+        let t = Trajectory::new(
+            Position::new(1000.0, 50.0),
+            Kmh(36.0),
+            Direction::Backward,
+            Time::ZERO,
+        );
+        let p = t.position_at(Time::from_secs(10));
+        assert!((p.x - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exit_detection() {
+        let hw = Highway::paper_table1();
+        let t = Trajectory::new(
+            Position::new(9_990.0, 50.0),
+            Kmh(36.0),
+            Direction::Forward,
+            Time::ZERO,
+        );
+        assert!(!t.has_exited(&hw, Time::ZERO));
+        assert!(t.has_exited(&hw, Time::from_secs(2)));
+    }
+
+    #[test]
+    fn stationary_never_exits() {
+        let hw = Highway::paper_table1();
+        let t = Trajectory::stationary(Position::new(500.0, 100.0));
+        assert!(!t.has_exited(&hw, Time::from_secs(1_000_000)));
+        assert_eq!(
+            t.position_at(Time::from_secs(99)),
+            Position::new(500.0, 100.0)
+        );
+    }
+
+    #[test]
+    fn time_reaching_x_forward() {
+        let t = Trajectory::new(
+            Position::new(0.0, 0.0),
+            Kmh(36.0), // 10 m/s
+            Direction::Forward,
+            Time::from_secs(100),
+        );
+        let reach = t.time_reaching_x(500.0).expect("reaches x=500");
+        assert_eq!(reach, Time::from_secs(100) + Duration::from_secs(50));
+        assert!(t.time_reaching_x(-1.0).is_none(), "behind the start");
+    }
+
+    #[test]
+    fn time_reaching_x_stationary() {
+        let t = Trajectory::stationary(Position::new(5.0, 0.0));
+        assert_eq!(t.time_reaching_x(5.0), Some(Time::ZERO));
+        assert_eq!(t.time_reaching_x(6.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be non-negative")]
+    fn rejects_negative_speed() {
+        let _ = Trajectory::new(Position::ORIGIN, Kmh(-5.0), Direction::Forward, Time::ZERO);
+    }
+}

@@ -1,0 +1,39 @@
+//! # blackdp-mobility — highway geometry, trajectories, and cluster planning
+//!
+//! Implements the paper's "Connected Vehicles Network Model" (Section III-A):
+//! a controlled-access highway divided into equal static clusters, each
+//! supervised by a centrally placed RSU acting as cluster head, with
+//! vehicles moving at fixed random speeds (Table I: 50–90 km/h over a
+//! 10 km × 200 m highway with 1000 m clusters).
+//!
+//! Positions are pure functions of time ([`Trajectory::position_at`]), so
+//! the radio medium never quantizes motion.
+//!
+//! # Examples
+//!
+//! ```
+//! use blackdp_mobility::{ClusterPlan, Direction, Kmh, Trajectory};
+//! use blackdp_sim::{Position, Time};
+//!
+//! let plan = ClusterPlan::paper_table1();
+//! let car = Trajectory::new(Position::new(0.0, 100.0), Kmh(72.0), Direction::Forward, Time::ZERO);
+//!
+//! // After 100 s at 20 m/s the car is 2 km in: cluster 3.
+//! let pos = car.position_at(Time::from_secs(100));
+//! assert_eq!(plan.cluster_of(pos), Some(blackdp_mobility::ClusterId(3)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod grid;
+mod highway;
+mod spawn;
+
+pub use cluster::{ClusterId, ClusterPlan, JoinZone};
+pub use grid::{GridPlan, GridTrajectory, IntersectionId};
+pub use highway::{Direction, Highway, Kmh, Trajectory};
+pub use spawn::{
+    random_position, random_position_in_cluster, random_trajectory_in_cluster, SpawnConfig,
+};

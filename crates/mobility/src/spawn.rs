@@ -1,0 +1,143 @@
+//! Random vehicle placement matching the paper's setup ("the vehicles are
+//! randomly distributed within the clusters", speeds 50–90 km/h).
+
+use blackdp_sim::{Position, Time};
+use rand::RngExt;
+
+use crate::cluster::{ClusterId, ClusterPlan};
+use crate::highway::{Direction, Kmh, Trajectory};
+
+/// Parameters for random vehicle spawning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpawnConfig {
+    /// Minimum cruise speed (Table I: 50 km/h).
+    pub min_speed: Kmh,
+    /// Maximum cruise speed (Table I: 90 km/h).
+    pub max_speed: Kmh,
+}
+
+impl Default for SpawnConfig {
+    fn default() -> Self {
+        SpawnConfig {
+            min_speed: Kmh(50.0),
+            max_speed: Kmh(90.0),
+        }
+    }
+}
+
+impl SpawnConfig {
+    /// Draws a cruise speed uniformly from the configured interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_speed > max_speed`.
+    pub fn random_speed<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Kmh {
+        assert!(
+            self.min_speed.0 <= self.max_speed.0,
+            "min_speed must not exceed max_speed"
+        );
+        if self.min_speed == self.max_speed {
+            return self.min_speed;
+        }
+        Kmh(rng.random_range(self.min_speed.0..self.max_speed.0))
+    }
+}
+
+/// Draws a uniformly random position inside the given cluster's segment.
+pub fn random_position_in_cluster<R: rand::Rng + ?Sized>(
+    plan: &ClusterPlan,
+    cluster: ClusterId,
+    rng: &mut R,
+) -> Position {
+    assert!(
+        cluster.0 >= 1 && cluster.0 <= plan.cluster_count(),
+        "cluster {cluster} out of range 1..={}",
+        plan.cluster_count()
+    );
+    let seg_start = (cluster.0 as f64 - 1.0) * plan.cluster_len_m();
+    let seg_end = (seg_start + plan.cluster_len_m()).min(plan.highway().length_m);
+    let x = rng.random_range(seg_start..seg_end);
+    let y = rng.random_range(0.0..plan.highway().width_m);
+    Position::new(x, y)
+}
+
+/// Draws a uniformly random position anywhere on the highway.
+pub fn random_position<R: rand::Rng + ?Sized>(plan: &ClusterPlan, rng: &mut R) -> Position {
+    let x = rng.random_range(0.0..plan.highway().length_m);
+    let y = rng.random_range(0.0..plan.highway().width_m);
+    Position::new(x, y)
+}
+
+/// Spawns a forward-moving trajectory at a random position in `cluster`
+/// with a random Table-I speed.
+pub fn random_trajectory_in_cluster<R: rand::Rng + ?Sized>(
+    plan: &ClusterPlan,
+    cluster: ClusterId,
+    cfg: &SpawnConfig,
+    spawned_at: Time,
+    rng: &mut R,
+) -> Trajectory {
+    let pos = random_position_in_cluster(plan, cluster, rng);
+    Trajectory::new(pos, cfg.random_speed(rng), Direction::Forward, spawned_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn speeds_stay_in_band() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = SpawnConfig::default();
+        for _ in 0..1000 {
+            let s = cfg.random_speed(&mut rng);
+            assert!((50.0..90.0).contains(&s.0), "speed {s} out of band");
+        }
+    }
+
+    #[test]
+    fn degenerate_speed_band_is_allowed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = SpawnConfig {
+            min_speed: Kmh(60.0),
+            max_speed: Kmh(60.0),
+        };
+        assert_eq!(cfg.random_speed(&mut rng), Kmh(60.0));
+    }
+
+    #[test]
+    fn positions_land_in_requested_cluster() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = ClusterPlan::paper_table1();
+        for c in plan.clusters() {
+            for _ in 0..50 {
+                let p = random_position_in_cluster(&plan, c, &mut rng);
+                assert_eq!(plan.cluster_of(p), Some(c), "position {p} not in {c}");
+                assert!(plan.highway().contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn random_position_covers_highway() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = ClusterPlan::paper_table1();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let p = random_position(&plan, &mut rng);
+            assert!(plan.highway().contains(p));
+            seen.insert(plan.cluster_of(p).unwrap());
+        }
+        assert_eq!(seen.len(), 10, "500 draws should hit all 10 clusters");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_unknown_cluster() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = ClusterPlan::paper_table1();
+        let _ = random_position_in_cluster(&plan, ClusterId(11), &mut rng);
+    }
+}

@@ -1,0 +1,360 @@
+//! The simulated attacker vehicle: a [`BlackHole`] brain plus the
+//! legitimate-looking mobility and membership behaviour that keeps it
+//! registered (and therefore probe-able) in the cluster structure, and the
+//! evasion behaviours of the certificate-renewal zone.
+
+use blackdp::{BlackDpMessage, JoinBody, Sealed, Wire};
+use blackdp_aodv::{Addr, Message as AodvMessage};
+use blackdp_attacks::{AttackerAction, BlackHole, EvasionPolicy};
+use blackdp_crypto::{Keypair, TaId};
+use blackdp_mobility::{ClusterId, ClusterPlan, Trajectory};
+use blackdp_sim::{Channel, Context, Duration, Node, NodeId, Position, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::frame::{broadcast_wire, send_wire, Frame, L2Cache, Tick};
+
+/// Scenario-level behaviour knobs for the attacker vehicle.
+#[derive(Debug, Clone)]
+pub struct AttackerNodeConfig {
+    /// Tick cadence.
+    pub tick: Duration,
+    /// Hello beacon interval (mimics honest nodes).
+    pub hello_interval: Duration,
+    /// Clusters designated as the certificate-renewal zone (paper:
+    /// clusters 8–10), where the evasion policy activates.
+    pub renewal_zone: (u32, u32),
+    /// Departs to the next cluster right after answering the first
+    /// detection probe — the mobility that produces the paper's 8/9-packet
+    /// Figure 5 scenarios.
+    pub move_after_probe: bool,
+}
+
+impl Default for AttackerNodeConfig {
+    fn default() -> Self {
+        AttackerNodeConfig {
+            tick: Duration::from_millis(100),
+            hello_interval: Duration::from_secs(1),
+            renewal_zone: (8, 10),
+            move_after_probe: false,
+        }
+    }
+}
+
+/// The attacker vehicle node.
+pub struct AttackerNode {
+    bh: BlackHole,
+    trajectory: Trajectory,
+    plan: ClusterPlan,
+    cfg: AttackerNodeConfig,
+    issuer: TaId,
+    l2: L2Cache,
+    cluster: Option<ClusterId>,
+    ch_addr: Option<Addr>,
+    join_pending_since: Option<Time>,
+    pending_renew: Option<Keypair>,
+    renewed: bool,
+    addr_history: Vec<Addr>,
+    move_pending: bool,
+    fled: bool,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for AttackerNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttackerNode")
+            .field("addr", &self.bh.addr())
+            .field("cluster", &self.cluster)
+            .finish()
+    }
+}
+
+impl AttackerNode {
+    /// Creates the attacker vehicle.
+    pub fn new(
+        bh: BlackHole,
+        trajectory: Trajectory,
+        plan: ClusterPlan,
+        issuer: TaId,
+        cfg: AttackerNodeConfig,
+        seed: u64,
+    ) -> Self {
+        let addr = bh.addr();
+        AttackerNode {
+            bh,
+            trajectory,
+            plan,
+            cfg,
+            issuer,
+            l2: L2Cache::new(),
+            cluster: None,
+            ch_addr: None,
+            join_pending_since: None,
+            pending_renew: None,
+            renewed: false,
+            addr_history: vec![addr],
+            move_pending: false,
+            fled: false,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Every protocol address this attacker has ever used (for metrics:
+    /// a confirmation against any of them counts as a true positive).
+    pub fn addr_history(&self) -> &[Addr] {
+        &self.addr_history
+    }
+
+    /// The attacker's current address.
+    pub fn addr(&self) -> Addr {
+        self.bh.addr()
+    }
+
+    /// Data packets dropped by the black hole.
+    pub fn dropped_count(&self) -> u64 {
+        self.bh.dropped_count()
+    }
+
+    /// Victims lured.
+    pub fn lured_count(&self) -> u64 {
+        self.bh.lured_count()
+    }
+
+    /// True if the attacker fled the network.
+    pub fn has_fled(&self) -> bool {
+        self.fled
+    }
+
+    /// Read access to the black hole brain (for assertions in tests).
+    pub fn brain(&self) -> &BlackHole {
+        &self.bh
+    }
+
+    fn evasion(&self) -> EvasionPolicy {
+        self.bh.config().evasion
+    }
+
+    fn in_renewal_zone(&self, now: Time) -> bool {
+        let pos = self.trajectory.position_at(now);
+        self.plan
+            .cluster_of(pos)
+            .map(|c| (self.cfg.renewal_zone.0..=self.cfg.renewal_zone.1).contains(&c.0))
+            .unwrap_or(false)
+    }
+
+    fn run_attacker_actions(
+        &mut self,
+        ctx: &mut Context<'_, Frame, Tick>,
+        actions: Vec<AttackerAction>,
+    ) {
+        let my = self.bh.addr();
+        for action in actions {
+            match action {
+                AttackerAction::SendTo { to, wire } => {
+                    send_wire(ctx, &self.l2, my, to, wire);
+                }
+                AttackerAction::Broadcast { wire } => broadcast_wire(ctx, my, wire),
+                AttackerAction::Event(_) => ctx.count("attacker.event"),
+            }
+        }
+    }
+
+    /// Sends Leave + JREQ as the vehicle crosses (or pretends to cross)
+    /// into the next cluster.
+    fn rejoin(&mut self, ctx: &mut Context<'_, Frame, Tick>, target: Option<ClusterId>) {
+        let now = ctx.now();
+        if let (Some(_), Some(ch)) = (self.cluster, self.ch_addr) {
+            let my = self.bh.addr();
+            send_wire(
+                ctx,
+                &self.l2,
+                my,
+                ch,
+                Wire::BlackDp(BlackDpMessage::Leave {
+                    vehicle: self.bh.pseudonym(),
+                }),
+            );
+            self.cluster = None;
+            self.ch_addr = None;
+            self.bh.set_cluster(None);
+        }
+        let pos = self.trajectory.position_at(now);
+        // If moving "into" a target cluster, present a position just over
+        // the boundary (the attacker is near it anyway).
+        let claimed_x = match target {
+            Some(c) => ((c.0 as f64 - 1.0) * self.plan.cluster_len_m() + 10.0).max(pos.x),
+            None => pos.x,
+        };
+        let body = JoinBody {
+            pos_x: claimed_x,
+            pos_y: pos.y,
+            speed_kmh: self.trajectory.speed().0,
+            forward: true,
+        };
+        let sealed = Sealed::seal(body, *self.bh.cert(), None, self.bh.keys(), &mut self.rng);
+        broadcast_wire(
+            ctx,
+            self.bh.addr(),
+            Wire::BlackDp(BlackDpMessage::Jreq(sealed)),
+        );
+        self.join_pending_since = Some(now);
+    }
+
+    fn membership_tick(&mut self, ctx: &mut Context<'_, Frame, Tick>) {
+        let now = ctx.now();
+        let pos = self.trajectory.position_at(now);
+        let here = self.plan.cluster_of(pos);
+        if here == self.cluster && self.cluster.is_some() {
+            return;
+        }
+        if let Some(since) = self.join_pending_since {
+            if now.saturating_since(since) < Duration::from_millis(500) {
+                return;
+            }
+        }
+        self.rejoin(ctx, None);
+    }
+
+    fn renewal_tick(&mut self, ctx: &mut Context<'_, Frame, Tick>) {
+        let now = ctx.now();
+        let in_zone = self.in_renewal_zone(now);
+        match self.evasion() {
+            EvasionPolicy::ActLegitimately => {
+                // Dormant inside the zone, attacking outside it.
+                self.bh.set_dormant(in_zone);
+            }
+            EvasionPolicy::RenewIdentity => {
+                if in_zone && !self.renewed && self.pending_renew.is_none() {
+                    if let Some(ch) = self.ch_addr {
+                        let keys = Keypair::generate(&mut self.rng);
+                        let my = self.bh.addr();
+                        send_wire(
+                            ctx,
+                            &self.l2,
+                            my,
+                            ch,
+                            Wire::BlackDp(BlackDpMessage::RenewRequest {
+                                current: self.bh.pseudonym(),
+                                issuer: self.issuer,
+                                new_key: keys.public(),
+                                reply_cluster: self.cluster.unwrap_or(ClusterId(0)),
+                            }),
+                        );
+                        self.pending_renew = Some(keys);
+                        ctx.count("attacker.renew_requested");
+                    }
+                }
+            }
+            EvasionPolicy::None | EvasionPolicy::Flee => {}
+        }
+    }
+}
+
+impl Node<Frame, Tick> for AttackerNode {
+    fn position(&self, now: Time) -> Position {
+        self.trajectory.position_at(now)
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Frame, Tick>) {
+        let phase = Duration::from_micros(u64::from(ctx.self_id().index()) * 991 % 50_000);
+        ctx.set_timer(self.cfg.tick + phase, Tick);
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut Context<'_, Frame, Tick>,
+        from: NodeId,
+        frame: Frame,
+        _channel: Channel,
+    ) {
+        let now = ctx.now();
+        if let Some(dst) = frame.dst {
+            if dst != self.bh.addr() {
+                return;
+            }
+        }
+        self.l2.learn(frame.src, from);
+
+        // Evasion hooks before the brain reacts.
+        if let Wire::Aodv(AodvMessage::Rreq(rreq)) = &frame.wire {
+            let looks_like_probe = rreq.ttl <= 1;
+            if looks_like_probe {
+                ctx.count("attacker.probe_seen");
+                if self.evasion() == EvasionPolicy::Flee && self.in_renewal_zone(now) {
+                    // "The attacker fled from the network ... without
+                    // responding to the RSU detection packets."
+                    ctx.count("attacker.fled");
+                    self.fled = true;
+                    ctx.despawn();
+                    return;
+                }
+                if self.cfg.move_after_probe {
+                    self.move_pending = true;
+                }
+            }
+        }
+
+        // Membership / renewal plumbing the brain doesn't own.
+        match &frame.wire {
+            Wire::BlackDp(BlackDpMessage::Jrep {
+                cluster, ch_addr, ..
+            }) => {
+                self.cluster = Some(*cluster);
+                self.ch_addr = Some(*ch_addr);
+                self.join_pending_since = None;
+                self.bh.set_cluster(Some(*cluster));
+                return;
+            }
+            Wire::BlackDp(BlackDpMessage::RenewReply { current, cert }) => {
+                if *current == self.bh.pseudonym() {
+                    match (cert, self.pending_renew.take()) {
+                        (Some(new_cert), Some(keys)) => {
+                            ctx.count("attacker.renewed");
+                            self.renewed = true;
+                            self.bh.renew_identity(keys, *new_cert);
+                            self.addr_history.push(self.bh.addr());
+                            // Re-register under the fresh pseudonym.
+                            self.rejoin(ctx, None);
+                        }
+                        _ => ctx.count("attacker.renewal_refused"),
+                    }
+                }
+                return;
+            }
+            _ => {}
+        }
+
+        let actions = self.bh.handle_wire(frame.src, &frame.wire, now);
+        self.run_attacker_actions(ctx, actions);
+
+        // Cross into the next cluster right after answering the probe
+        // (Figure 5's moving-suspect scenarios).
+        if self.move_pending {
+            self.move_pending = false;
+            self.cfg.move_after_probe = false; // once
+            let next = self
+                .cluster
+                .map(|c| ClusterId(c.0 + 1))
+                .filter(|c| c.0 <= self.plan.cluster_count());
+            if next.is_some() {
+                ctx.count("attacker.moved_mid_detection");
+                self.rejoin(ctx, next);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Frame, Tick>, _token: Tick) {
+        let now = ctx.now();
+        if self.trajectory.has_exited(self.plan.highway(), now) {
+            // Malicious nodes do not bother to deregister.
+            self.fled = true;
+            ctx.despawn();
+            return;
+        }
+        self.membership_tick(ctx);
+        self.renewal_tick(ctx);
+        let actions = self.bh.tick(now, self.cfg.hello_interval);
+        self.run_attacker_actions(ctx, actions);
+        ctx.set_timer(self.cfg.tick, Tick);
+    }
+}

@@ -1,0 +1,77 @@
+//! The wired-backbone directory: which simulator node hosts each cluster
+//! head and each trusted authority.
+
+use std::collections::HashMap;
+
+use blackdp_aodv::Addr;
+use blackdp_crypto::TaId;
+use blackdp_mobility::ClusterId;
+use blackdp_sim::NodeId;
+
+/// Static addressing for the RSU/TA wired backbone.
+///
+/// Built once per scenario after all infrastructure nodes are spawned,
+/// then handed (cloned) to every RSU and TA node.
+#[derive(Debug, Clone, Default)]
+pub struct WiredDirectory {
+    chs: HashMap<ClusterId, NodeId>,
+    tas: HashMap<TaId, NodeId>,
+    ta_addrs: HashMap<Addr, TaId>,
+}
+
+impl WiredDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        WiredDirectory::default()
+    }
+
+    /// Registers the cluster head node for `cluster`.
+    pub fn add_ch(&mut self, cluster: ClusterId, node: NodeId) {
+        self.chs.insert(cluster, node);
+    }
+
+    /// Registers the authority node for `ta`, with its backbone address.
+    pub fn add_ta(&mut self, ta: TaId, node: NodeId, addr: Addr) {
+        self.tas.insert(ta, node);
+        self.ta_addrs.insert(addr, ta);
+    }
+
+    /// The node hosting `cluster`'s head.
+    pub fn ch(&self, cluster: ClusterId) -> Option<NodeId> {
+        self.chs.get(&cluster).copied()
+    }
+
+    /// The node hosting authority `ta`.
+    pub fn ta(&self, ta: TaId) -> Option<NodeId> {
+        self.tas.get(&ta).copied()
+    }
+
+    /// True if `addr` belongs to a trusted authority (used to distinguish
+    /// peer-TA traffic from CH traffic).
+    pub fn is_ta_addr(&self, addr: Addr) -> bool {
+        self.ta_addrs.contains_key(&addr)
+    }
+
+    /// Number of registered cluster heads.
+    pub fn ch_count(&self) -> usize {
+        self.chs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_round_trips() {
+        let mut d = WiredDirectory::new();
+        d.add_ch(ClusterId(1), NodeId::new(10));
+        d.add_ta(TaId(1), NodeId::new(20), Addr(999));
+        assert_eq!(d.ch(ClusterId(1)), Some(NodeId::new(10)));
+        assert_eq!(d.ch(ClusterId(2)), None);
+        assert_eq!(d.ta(TaId(1)), Some(NodeId::new(20)));
+        assert!(d.is_ta_addr(Addr(999)));
+        assert!(!d.is_ta_addr(Addr(1)));
+        assert_eq!(d.ch_count(), 1);
+    }
+}

@@ -1,0 +1,579 @@
+//! Experiment drivers: one function per figure/table of the paper, plus
+//! the comparison ablations.
+
+use blackdp_attacks::EvasionPolicy;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::build::run_trial;
+use crate::config::{AttackSetup, ScenarioConfig, TrialSpec};
+use crate::metrics::{RateSummary, TrialOutcome};
+use crate::vehicle::DefenseMode;
+
+/// One Figure 4 data point: the attacker's cluster and the aggregated
+/// rates for that placement.
+#[derive(Debug, Clone)]
+pub struct Fig4Point {
+    /// The attacker's starting cluster (x axis).
+    pub cluster: u32,
+    /// Aggregated detection rates (y axes).
+    pub rates: RateSummary,
+}
+
+/// Which attack family a Figure 4 series covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// One attacker.
+    Single,
+    /// Two cooperating attackers.
+    Cooperative,
+}
+
+/// Probability that an attacker inside the renewal zone (clusters 8–10)
+/// exercises an evasion behaviour in a given trial. The paper reports the
+/// accuracy drop there as a *mixture* of evasions and normal attacks.
+pub const RENEWAL_ZONE_EVASION_PROB: f64 = 0.4;
+
+/// Runs the Figure 4 experiment for one attack kind: `repetitions` trials
+/// per attacker cluster (the paper uses 150 across treatments).
+pub fn fig4(cfg: &ScenarioConfig, kind: AttackKind, repetitions: u32) -> Vec<Fig4Point> {
+    let cluster_count = cfg.plan().cluster_count();
+    let mut points = Vec::new();
+    for cluster in 1..=cluster_count {
+        let outcomes = fig4_cell(cfg, kind, cluster, repetitions);
+        points.push(Fig4Point {
+            cluster,
+            rates: RateSummary::from_outcomes(&outcomes),
+        });
+    }
+    points
+}
+
+/// Runs the trials for a single Figure 4 cell (one cluster).
+pub fn fig4_cell(
+    cfg: &ScenarioConfig,
+    kind: AttackKind,
+    cluster: u32,
+    repetitions: u32,
+) -> Vec<TrialOutcome> {
+    let cluster_count = cfg.plan().cluster_count();
+    let in_renewal_zone = (cfg.renewal_zone.0..=cfg.renewal_zone.1).contains(&cluster);
+    (0..repetitions)
+        .map(|rep| {
+            let seed = u64::from(cluster) * 10_000 + u64::from(rep) * 13 + 1;
+            let mut spec = match kind {
+                AttackKind::Single => TrialSpec::single(seed, cluster, cluster_count),
+                AttackKind::Cooperative => TrialSpec::cooperative(seed, cluster, cluster_count),
+            };
+            if in_renewal_zone {
+                // Attackers in the renewal zone may evade (Section IV-B):
+                // act legitimately, flee, or renew their identity.
+                let mut evasion_rng =
+                    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xE7A5);
+                if evasion_rng.random::<f64>() < RENEWAL_ZONE_EVASION_PROB {
+                    spec.evasion = match evasion_rng.random_range(0..3u8) {
+                        0 => EvasionPolicy::ActLegitimately,
+                        1 => EvasionPolicy::Flee,
+                        _ => EvasionPolicy::RenewIdentity,
+                    };
+                }
+            }
+            run_trial(cfg, &spec)
+        })
+        .collect()
+}
+
+/// One Figure 5 row: a named detection scenario and the packet counts it
+/// produced over its repetitions.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Scenario label.
+    pub label: &'static str,
+    /// The paper's reported packet range for this scenario.
+    pub paper_range: (u32, u32),
+    /// Measured detection-packet counts (one per repetition that produced
+    /// a concluded episode).
+    pub measured: Vec<u32>,
+}
+
+impl Fig5Row {
+    /// Minimum measured count.
+    pub fn min(&self) -> Option<u32> {
+        self.measured.iter().copied().min()
+    }
+
+    /// Maximum measured count.
+    pub fn max(&self) -> Option<u32> {
+        self.measured.iter().copied().max()
+    }
+}
+
+/// Runs the Figure 5 experiment: detection-packet counts per scenario.
+pub fn fig5(cfg: &ScenarioConfig, repetitions: u32) -> Vec<Fig5Row> {
+    let cluster_count = cfg.plan().cluster_count();
+    let mut rows = Vec::new();
+
+    let collect = |specs: Vec<TrialSpec>| -> Vec<u32> {
+        specs
+            .iter()
+            .filter_map(|spec| run_trial(cfg, spec).detection_packets)
+            .collect()
+    };
+
+    // No attacker: a legitimate node is falsely suspected; mixes the
+    // same-cluster (4–5 packets) and cross-cluster (5–6) reporting paths.
+    rows.push(Fig5Row {
+        label: "no attacker (false suspicion)",
+        paper_range: (4, 6),
+        measured: collect(
+            (0..repetitions)
+                .map(|rep| TrialSpec {
+                    seed: 31 + u64::from(rep) * 7,
+                    attack: AttackSetup::FalseSuspicion {
+                        cross_cluster: rep % 2 == 1,
+                    },
+                    evasion: EvasionPolicy::None,
+                    source_cluster: 1,
+                    dest_cluster: Some(4),
+                    attacker_moves: false,
+                    attacker_fake_hello: false,
+                })
+                .collect(),
+        ),
+    });
+
+    // Single black hole in the originator's own cluster.
+    rows.push(Fig5Row {
+        label: "single, same cluster",
+        paper_range: (6, 6),
+        measured: collect(
+            (0..repetitions)
+                .map(|rep| TrialSpec {
+                    seed: 101 + u64::from(rep) * 7,
+                    attack: AttackSetup::Single { cluster: 1 },
+                    evasion: EvasionPolicy::None,
+                    source_cluster: 1,
+                    dest_cluster: Some(4),
+                    attacker_moves: false,
+                    attacker_fake_hello: false,
+                })
+                .collect(),
+        ),
+    });
+
+    // Single black hole, same cluster, moving to the next cluster after
+    // answering the first probe.
+    rows.push(Fig5Row {
+        label: "single, same cluster, moves mid-detection",
+        paper_range: (8, 8),
+        measured: collect(
+            (0..repetitions)
+                .map(|rep| TrialSpec {
+                    seed: 201 + u64::from(rep) * 7,
+                    attack: AttackSetup::Single { cluster: 1 },
+                    evasion: EvasionPolicy::None,
+                    source_cluster: 1,
+                    dest_cluster: Some(5),
+                    attacker_moves: true,
+                    attacker_fake_hello: false,
+                })
+                .collect(),
+        ),
+    });
+
+    // Single black hole in a different cluster than the originator (the
+    // d_req must be forwarded), moving mid-detection.
+    rows.push(Fig5Row {
+        label: "single, different cluster, moves mid-detection",
+        paper_range: (9, 9),
+        measured: collect(
+            (0..repetitions)
+                .map(|rep| TrialSpec {
+                    seed: 301 + u64::from(rep) * 7,
+                    attack: AttackSetup::Single { cluster: 2 },
+                    evasion: EvasionPolicy::None,
+                    source_cluster: 1,
+                    dest_cluster: Some(5),
+                    attacker_moves: true,
+                    attacker_fake_hello: false,
+                })
+                .collect(),
+        ),
+    });
+
+    // Single black hole, different cluster, stationary: not separately
+    // enumerated by the paper; its single-attack band is 6–9 and the same
+    // bookkeeping predicts 8 (6 + forward + second response leg).
+    rows.push(Fig5Row {
+        label: "single, different cluster",
+        paper_range: (6, 9),
+        measured: collect(
+            (0..repetitions)
+                .map(|rep| TrialSpec {
+                    seed: 401 + u64::from(rep) * 7,
+                    attack: AttackSetup::Single { cluster: 2 },
+                    evasion: EvasionPolicy::None,
+                    source_cluster: 1,
+                    dest_cluster: Some(5),
+                    attacker_moves: false,
+                    attacker_fake_hello: false,
+                })
+                .collect(),
+        ),
+    });
+
+    // Cooperative black hole, same cluster: the single count + the
+    // teammate's probe exchange.
+    rows.push(Fig5Row {
+        label: "cooperative, same cluster",
+        paper_range: (8, 11),
+        measured: collect(
+            (0..repetitions)
+                .map(|rep| TrialSpec {
+                    seed: 501 + u64::from(rep) * 7,
+                    attack: AttackSetup::Cooperative { cluster: 1 },
+                    evasion: EvasionPolicy::None,
+                    source_cluster: 1,
+                    dest_cluster: Some(4),
+                    attacker_moves: false,
+                    attacker_fake_hello: false,
+                })
+                .collect(),
+        ),
+    });
+
+    // Cooperative, different cluster: upper end of the paper's band.
+    rows.push(Fig5Row {
+        label: "cooperative, different cluster",
+        paper_range: (8, 11),
+        measured: collect(
+            (0..repetitions)
+                .map(|rep| TrialSpec {
+                    seed: 601 + u64::from(rep) * 7,
+                    attack: AttackSetup::Cooperative { cluster: 2 },
+                    evasion: EvasionPolicy::None,
+                    source_cluster: 1,
+                    dest_cluster: Some(5),
+                    attacker_moves: false,
+                    attacker_fake_hello: false,
+                })
+                .collect(),
+        ),
+    });
+
+    let _ = cluster_count;
+    rows
+}
+
+/// One gray hole data point: drop probability vs detection & delivery.
+#[derive(Debug, Clone)]
+pub struct GrayHolePoint {
+    /// The gray hole's per-packet drop probability.
+    pub drop_probability: f64,
+    /// Aggregated rates over the repetitions.
+    pub rates: RateSummary,
+}
+
+/// Gray hole ablation: BlackDP's detection rate should be flat across drop
+/// probabilities (the probe behaviour does not depend on the data plane),
+/// while PDR degrades smoothly with the drop rate.
+pub fn grayhole_sweep(
+    cfg: &ScenarioConfig,
+    drop_probs: &[f64],
+    repetitions: u32,
+) -> Vec<GrayHolePoint> {
+    drop_probs
+        .iter()
+        .map(|&p| {
+            let outcomes: Vec<TrialOutcome> = (0..repetitions)
+                .map(|rep| {
+                    let spec = TrialSpec {
+                        seed: 60_000 + u64::from(rep) * 19 + (p * 1000.0) as u64,
+                        attack: AttackSetup::GrayHole {
+                            cluster: 2,
+                            drop_probability: p,
+                        },
+                        evasion: EvasionPolicy::None,
+                        source_cluster: 1,
+                        dest_cluster: Some(5),
+                        attacker_moves: false,
+                        attacker_fake_hello: false,
+                    };
+                    run_trial(cfg, &spec)
+                })
+                .collect();
+            GrayHolePoint {
+                drop_probability: p,
+                rates: RateSummary::from_outcomes(&outcomes),
+            }
+        })
+        .collect()
+}
+
+/// One sensitivity-sweep data point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub x: f64,
+    /// Aggregated rates at this value.
+    pub rates: RateSummary,
+    /// Mean detection latency (virtual seconds) where detections occurred.
+    pub mean_latency_s: Option<f64>,
+}
+
+fn sweep_summary(outcomes: Vec<TrialOutcome>, x: f64) -> SweepPoint {
+    let lat: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.detection_latency.map(|d| d.as_secs_f64()))
+        .collect();
+    SweepPoint {
+        x,
+        rates: RateSummary::from_outcomes(&outcomes),
+        mean_latency_s: (!lat.is_empty()).then(|| lat.iter().sum::<f64>() / lat.len() as f64),
+    }
+}
+
+/// Radio-loss sensitivity: detection accuracy and latency as the channel
+/// degrades (the paper assumes a lossless channel; this probes how far
+/// that assumption carries).
+pub fn loss_sweep(cfg: &ScenarioConfig, losses: &[f64], repetitions: u32) -> Vec<SweepPoint> {
+    losses
+        .iter()
+        .map(|&loss| {
+            let mut cfg = cfg.clone();
+            cfg.radio_loss = loss;
+            let outcomes: Vec<TrialOutcome> = (0..repetitions)
+                .map(|rep| {
+                    run_trial(
+                        &cfg,
+                        &TrialSpec::single(
+                            70_000 + u64::from(rep) * 23 + (loss * 1000.0) as u64,
+                            2,
+                            cfg.plan().cluster_count(),
+                        ),
+                    )
+                })
+                .collect();
+            sweep_summary(outcomes, loss)
+        })
+        .collect()
+}
+
+/// Vehicle-density sensitivity: with fewer vehicles the chain fragments
+/// (the paper chose 100 "to ensure the disconnectivity between some
+/// nodes" while keeping the network navigable).
+pub fn density_sweep(cfg: &ScenarioConfig, counts: &[u32], repetitions: u32) -> Vec<SweepPoint> {
+    counts
+        .iter()
+        .map(|&n| {
+            let mut cfg = cfg.clone();
+            cfg.vehicles = n;
+            let outcomes: Vec<TrialOutcome> = (0..repetitions)
+                .map(|rep| {
+                    run_trial(
+                        &cfg,
+                        &TrialSpec::single(
+                            71_000 + u64::from(rep) * 29 + u64::from(n),
+                            2,
+                            cfg.plan().cluster_count(),
+                        ),
+                    )
+                })
+                .collect();
+            sweep_summary(outcomes, n as f64)
+        })
+        .collect()
+}
+
+/// Fading-radio sensitivity: relaxes the paper's unit-disk assumption to a
+/// linear-decay reception model; `x` is the guaranteed-reception fraction
+/// of the range (1.0 ≈ unit disk).
+pub fn fading_sweep(cfg: &ScenarioConfig, fractions: &[f64], repetitions: u32) -> Vec<SweepPoint> {
+    fractions
+        .iter()
+        .map(|&f| {
+            let mut cfg = cfg.clone();
+            cfg.fading_full_fraction = Some(f);
+            let outcomes: Vec<TrialOutcome> = (0..repetitions)
+                .map(|rep| {
+                    run_trial(
+                        &cfg,
+                        &TrialSpec::single(
+                            74_000 + u64::from(rep) * 41 + (f * 1000.0) as u64,
+                            2,
+                            cfg.plan().cluster_count(),
+                        ),
+                    )
+                })
+                .collect();
+            sweep_summary(outcomes, f)
+        })
+        .collect()
+}
+
+/// Two-way traffic (a step toward the paper's "urban topology" future
+/// work): sweeps the fraction of opposing-direction vehicles.
+pub fn two_way_sweep(cfg: &ScenarioConfig, fractions: &[f64], repetitions: u32) -> Vec<SweepPoint> {
+    fractions
+        .iter()
+        .map(|&f| {
+            let mut cfg = cfg.clone();
+            cfg.backward_fraction = f;
+            let outcomes: Vec<TrialOutcome> = (0..repetitions)
+                .map(|rep| {
+                    run_trial(
+                        &cfg,
+                        &TrialSpec::single(
+                            72_000 + u64::from(rep) * 31 + (f * 1000.0) as u64,
+                            2,
+                            cfg.plan().cluster_count(),
+                        ),
+                    )
+                })
+                .collect();
+            sweep_summary(outcomes, f)
+        })
+        .collect()
+}
+
+/// Result of one congestion/dedup configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CongestionResult {
+    /// Whether verification-table dedup was enabled.
+    pub dedup: bool,
+    /// Mean detection episodes started per trial (1.0 = perfect dedup).
+    pub mean_episodes: f64,
+    /// Mean detection-plane radio/wired sends by RSUs per trial.
+    pub mean_probe_sends: f64,
+}
+
+/// Ablation A5 in-sim: `reporters` vehicles all report the same attacker
+/// within half a second (a congested segment). With dedup the CH runs one
+/// examination; without it, redundant probe ladders multiply.
+pub fn congestion_dedup(
+    cfg: &ScenarioConfig,
+    reporters: u32,
+    repetitions: u32,
+) -> Vec<CongestionResult> {
+    use crate::rsu_node::RsuNode;
+    use crate::vehicle::VehicleNode;
+    use blackdp::ChEvent;
+    use blackdp_sim::Time;
+
+    [true, false]
+        .into_iter()
+        .map(|dedup| {
+            let mut episodes = 0u32;
+            let mut probe_sends = 0u64;
+            for rep in 0..repetitions {
+                let mut cfg = cfg.clone();
+                cfg.blackdp.dedup_detection_requests = dedup;
+                let spec =
+                    TrialSpec::single(73_000 + u64::from(rep) * 37, 2, cfg.plan().cluster_count());
+                let mut built = crate::build::build_scenario(&cfg, &spec);
+                // Let membership settle, then have `reporters` same-cluster
+                // vehicles all report the attacker.
+                built.world.run_until(Time::from_secs(2));
+                let suspect = built
+                    .world
+                    .get::<crate::attacker_node::AttackerNode>(built.attackers[0])
+                    .map(|a| a.addr())
+                    .expect("attacker");
+                let suspect_cluster = Some(blackdp_mobility::ClusterId(2));
+                let candidates: Vec<_> = built
+                    .vehicles
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        built
+                            .world
+                            .get::<VehicleNode>(v)
+                            .and_then(|n| n.cluster())
+                            .is_some()
+                    })
+                    .take(reporters as usize)
+                    .collect();
+                for v in candidates {
+                    if let Some(node) = built.world.get_mut::<VehicleNode>(v) {
+                        node.force_report(suspect, suspect_cluster);
+                    }
+                }
+                built.world.run_until(Time::ZERO + cfg.sim_duration);
+                for &r in &built.rsus {
+                    if let Some(rsu) = built.world.get::<RsuNode>(r) {
+                        episodes += rsu
+                            .events()
+                            .iter()
+                            .filter(|e| matches!(e, ChEvent::DetectionStarted { .. }))
+                            .count() as u32;
+                    }
+                }
+                probe_sends += built.world.stats().get("tx.rreq");
+            }
+            CongestionResult {
+                dedup,
+                mean_episodes: f64::from(episodes) / f64::from(repetitions),
+                mean_probe_sends: probe_sends as f64 / f64::from(repetitions),
+            }
+        })
+        .collect()
+}
+
+/// One defense's aggregate result in the comparison ablation.
+#[derive(Debug, Clone)]
+pub struct DefenseResult {
+    /// Which defense ran.
+    pub defense: DefenseMode,
+    /// Rates with an attacker present.
+    pub under_attack: RateSummary,
+    /// Mean PDR without any attacker (overhead check).
+    pub clean_pdr: f64,
+}
+
+/// Ablation A3: packet delivery and detection across defenses, with and
+/// without a single attacker near the source.
+pub fn defense_comparison(cfg: &ScenarioConfig, repetitions: u32) -> Vec<DefenseResult> {
+    let cluster_count = cfg.plan().cluster_count();
+    [
+        DefenseMode::None,
+        DefenseMode::BaselineThreshold,
+        DefenseMode::BaselinePeak,
+        DefenseMode::BaselineFirstRrep,
+        DefenseMode::BlackDp,
+    ]
+    .into_iter()
+    .map(|defense| {
+        let mut cfg = cfg.clone();
+        cfg.defense = defense;
+        let attacked: Vec<TrialOutcome> = (0..repetitions)
+            .map(|rep| {
+                run_trial(
+                    &cfg,
+                    &TrialSpec::single(7_000 + u64::from(rep) * 11, 2, cluster_count),
+                )
+            })
+            .collect();
+        let clean: Vec<TrialOutcome> = (0..repetitions)
+            .map(|rep| {
+                run_trial(
+                    &cfg,
+                    &TrialSpec {
+                        seed: 8_000 + u64::from(rep) * 11,
+                        attack: AttackSetup::None,
+                        evasion: EvasionPolicy::None,
+                        source_cluster: 1,
+                        dest_cluster: Some(4),
+                        attacker_moves: false,
+                        attacker_fake_hello: false,
+                    },
+                )
+            })
+            .collect();
+        DefenseResult {
+            defense,
+            under_attack: RateSummary::from_outcomes(&attacked),
+            clean_pdr: clean.iter().map(|o| o.pdr()).sum::<f64>() / clean.len() as f64,
+        }
+    })
+    .collect()
+}

@@ -1,0 +1,112 @@
+//! The link-layer frame carried by the simulator, and shared plumbing.
+
+use std::collections::HashMap;
+
+use blackdp::Wire;
+use blackdp_aodv::Addr;
+use blackdp_sim::{Context, NodeId};
+
+/// The single payload type every simulated node exchanges: a [`Wire`]
+/// packet with a link-layer header (source address, optional unicast
+/// destination).
+///
+/// Radio frames with `dst: Some(a)` are filtered by receivers that do not
+/// own address `a`; `dst: None` is a link broadcast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The transmitting node's current protocol address (a pseudonym, an
+    /// RSU address, or a disposable probe identity).
+    pub src: Addr,
+    /// Unicast destination, or `None` for broadcast.
+    pub dst: Option<Addr>,
+    /// The payload.
+    pub wire: Wire,
+}
+
+/// The single timer token: every node runs one periodic tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tick;
+
+/// A learned mapping from protocol addresses to simulator node ids (the
+/// "ARP cache" of the link layer). Updated from every received frame.
+#[derive(Debug, Clone, Default)]
+pub struct L2Cache {
+    map: HashMap<Addr, NodeId>,
+}
+
+impl L2Cache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        L2Cache::default()
+    }
+
+    /// Records that `addr` was last heard from simulator node `node`.
+    pub fn learn(&mut self, addr: Addr, node: NodeId) {
+        self.map.insert(addr, node);
+    }
+
+    /// Resolves a protocol address to a node id, if known.
+    pub fn resolve(&self, addr: Addr) -> Option<NodeId> {
+        self.map.get(&addr).copied()
+    }
+
+    /// Number of learned addresses.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing has been learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Transmits `wire` to protocol address `to`: resolved unicast when the
+/// L2 cache knows the target, otherwise an addressed broadcast that only
+/// the owner of `to` will process.
+pub fn send_wire(
+    ctx: &mut Context<'_, Frame, Tick>,
+    l2: &L2Cache,
+    src: Addr,
+    to: Addr,
+    wire: Wire,
+) {
+    ctx.count(&format!("tx.{}", wire.kind()));
+    let frame = Frame {
+        src,
+        dst: Some(to),
+        wire,
+    };
+    match l2.resolve(to) {
+        Some(node) => ctx.send(node, frame),
+        None => ctx.broadcast(frame),
+    }
+}
+
+/// Broadcasts `wire` to everyone in radio range.
+pub fn broadcast_wire(ctx: &mut Context<'_, Frame, Tick>, src: Addr, wire: Wire) {
+    ctx.count(&format!("btx.{}", wire.kind()));
+    ctx.broadcast(Frame {
+        src,
+        dst: None,
+        wire,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_cache_learns_and_resolves() {
+        let mut l2 = L2Cache::new();
+        assert!(l2.is_empty());
+        l2.learn(Addr(5), NodeId::new(2));
+        assert_eq!(l2.resolve(Addr(5)), Some(NodeId::new(2)));
+        assert_eq!(l2.resolve(Addr(6)), None);
+        // Address moves to another radio (pseudonym reuse): latest wins.
+        l2.learn(Addr(5), NodeId::new(9));
+        assert_eq!(l2.resolve(Addr(5)), Some(NodeId::new(9)));
+        assert_eq!(l2.len(), 1);
+    }
+}

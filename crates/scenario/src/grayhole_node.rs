@@ -1,0 +1,186 @@
+//! The gray hole attacker vehicle (selective dropper).
+
+use blackdp::{BlackDpMessage, JoinBody, Sealed, Wire};
+use blackdp_aodv::Addr;
+use blackdp_attacks::{AttackerAction, GrayHole};
+use blackdp_mobility::{ClusterId, ClusterPlan, Trajectory};
+use blackdp_sim::{Channel, Context, Duration, Node, NodeId, Position, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::frame::{broadcast_wire, send_wire, Frame, L2Cache, Tick};
+
+/// The gray hole vehicle node: same membership plumbing as the black hole,
+/// but with probabilistic data forwarding as camouflage.
+pub struct GrayHoleNode {
+    gh: GrayHole,
+    trajectory: Trajectory,
+    plan: ClusterPlan,
+    tick: Duration,
+    hello_interval: Duration,
+    l2: L2Cache,
+    cluster: Option<ClusterId>,
+    ch_addr: Option<Addr>,
+    join_pending_since: Option<Time>,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for GrayHoleNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GrayHoleNode")
+            .field("addr", &self.gh.addr())
+            .field("cluster", &self.cluster)
+            .finish()
+    }
+}
+
+impl GrayHoleNode {
+    /// Creates the gray hole vehicle.
+    pub fn new(
+        gh: GrayHole,
+        trajectory: Trajectory,
+        plan: ClusterPlan,
+        tick: Duration,
+        hello_interval: Duration,
+        seed: u64,
+    ) -> Self {
+        GrayHoleNode {
+            gh,
+            trajectory,
+            plan,
+            tick,
+            hello_interval,
+            l2: L2Cache::new(),
+            cluster: None,
+            ch_addr: None,
+            join_pending_since: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The gray hole's current address.
+    pub fn addr(&self) -> Addr {
+        self.gh.addr()
+    }
+
+    /// Data packets dropped.
+    pub fn dropped_count(&self) -> u64 {
+        self.gh.dropped_count()
+    }
+
+    /// Data packets forwarded as camouflage.
+    pub fn forwarded_count(&self) -> u64 {
+        self.gh.forwarded_count()
+    }
+
+    /// Victims lured.
+    pub fn lured_count(&self) -> u64 {
+        self.gh.lured_count()
+    }
+
+    fn run_actions(&mut self, ctx: &mut Context<'_, Frame, Tick>, actions: Vec<AttackerAction>) {
+        let my = self.gh.addr();
+        for action in actions {
+            match action {
+                AttackerAction::SendTo { to, wire } => send_wire(ctx, &self.l2, my, to, wire),
+                AttackerAction::Broadcast { wire } => broadcast_wire(ctx, my, wire),
+                AttackerAction::Event(_) => ctx.count("grayhole.event"),
+            }
+        }
+    }
+
+    fn membership_tick(&mut self, ctx: &mut Context<'_, Frame, Tick>) {
+        let now = ctx.now();
+        let pos = self.trajectory.position_at(now);
+        let here = self.plan.cluster_of(pos);
+        if here == self.cluster && self.cluster.is_some() {
+            return;
+        }
+        if let Some(since) = self.join_pending_since {
+            if now.saturating_since(since) < Duration::from_millis(500) {
+                return;
+            }
+        }
+        if let (Some(_), Some(ch)) = (self.cluster, self.ch_addr) {
+            let my = self.gh.addr();
+            send_wire(
+                ctx,
+                &self.l2,
+                my,
+                ch,
+                Wire::BlackDp(BlackDpMessage::Leave {
+                    vehicle: self.gh.pseudonym(),
+                }),
+            );
+            self.cluster = None;
+            self.ch_addr = None;
+            self.gh.set_cluster(None);
+        }
+        if here.is_some() {
+            let body = JoinBody {
+                pos_x: pos.x,
+                pos_y: pos.y,
+                speed_kmh: self.trajectory.speed().0,
+                forward: true,
+            };
+            let sealed = Sealed::seal(body, *self.gh.cert(), None, self.gh.keys(), &mut self.rng);
+            broadcast_wire(
+                ctx,
+                self.gh.addr(),
+                Wire::BlackDp(BlackDpMessage::Jreq(sealed)),
+            );
+            self.join_pending_since = Some(now);
+        }
+    }
+}
+
+impl Node<Frame, Tick> for GrayHoleNode {
+    fn position(&self, now: Time) -> Position {
+        self.trajectory.position_at(now)
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Frame, Tick>) {
+        let phase = Duration::from_micros(u64::from(ctx.self_id().index()) * 983 % 50_000);
+        ctx.set_timer(self.tick + phase, Tick);
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut Context<'_, Frame, Tick>,
+        from: NodeId,
+        frame: Frame,
+        _channel: Channel,
+    ) {
+        let now = ctx.now();
+        if let Some(dst) = frame.dst {
+            if dst != self.gh.addr() {
+                return;
+            }
+        }
+        self.l2.learn(frame.src, from);
+        if let Wire::BlackDp(BlackDpMessage::Jrep {
+            cluster, ch_addr, ..
+        }) = &frame.wire
+        {
+            self.cluster = Some(*cluster);
+            self.ch_addr = Some(*ch_addr);
+            self.join_pending_since = None;
+            self.gh.set_cluster(Some(*cluster));
+            return;
+        }
+        let actions = self.gh.handle_wire(frame.src, &frame.wire, now);
+        self.run_actions(ctx, actions);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Frame, Tick>, _token: Tick) {
+        let now = ctx.now();
+        if self.trajectory.has_exited(self.plan.highway(), now) {
+            ctx.despawn();
+            return;
+        }
+        self.membership_tick(ctx);
+        let actions = self.gh.tick(now, self.hello_interval);
+        self.run_actions(ctx, actions);
+        ctx.set_timer(self.tick, Tick);
+    }
+}

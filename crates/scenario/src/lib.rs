@@ -1,0 +1,60 @@
+//! # blackdp-scenario — full-system simulation scenarios for BlackDP
+//!
+//! Glues every layer of the reproduction together into runnable trials:
+//! the deterministic simulator (`blackdp-sim`), the highway/cluster model
+//! (`blackdp-mobility`), the PKI (`blackdp-crypto`), the AODV routing
+//! substrate (`blackdp-aodv`), the BlackDP protocol (`blackdp`), the
+//! attackers (`blackdp-attacks`) and the related-work baselines
+//! (`blackdp-baselines`).
+//!
+//! The crate provides four node types implementing the simulator's
+//! [`Node`](blackdp_sim::Node) trait — honest [`VehicleNode`], malicious
+//! [`AttackerNode`], roadside [`RsuNode`], and off-road [`TaNode`] — plus
+//! a scenario builder, a trial runner with outcome harvesting, and the
+//! experiment drivers that regenerate the paper's Figure 4 and Figure 5.
+//!
+//! # Examples
+//!
+//! Run one single-black-hole trial on the Table I network:
+//!
+//! ```no_run
+//! use blackdp_scenario::{run_trial, ScenarioConfig, TrialSpec};
+//!
+//! let cfg = ScenarioConfig::paper_table1();
+//! let spec = TrialSpec::single(42, /* attacker cluster */ 2, 10);
+//! let outcome = run_trial(&cfg, &spec);
+//! assert!(outcome.attacker_confirmed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attacker_node;
+mod build;
+mod config;
+mod directory;
+mod experiment;
+mod frame;
+mod grayhole_node;
+mod journal;
+mod metrics;
+mod rsu_node;
+mod ta_node;
+mod vehicle;
+
+pub use attacker_node::{AttackerNode, AttackerNodeConfig};
+pub use build::{build_scenario, harvest, run_trial, BuiltScenario};
+pub use config::{ch_addr, far_destination, AttackSetup, ScenarioConfig, TrialSpec, CH_ADDR_BASE};
+pub use directory::WiredDirectory;
+pub use experiment::{
+    congestion_dedup, defense_comparison, density_sweep, fading_sweep, fig4, fig4_cell, fig5,
+    grayhole_sweep, loss_sweep, two_way_sweep, AttackKind, CongestionResult, DefenseResult,
+    Fig4Point, Fig5Row, GrayHolePoint, SweepPoint, RENEWAL_ZONE_EVASION_PROB,
+};
+pub use frame::{broadcast_wire, send_wire, Frame, L2Cache, Tick};
+pub use grayhole_node::GrayHoleNode;
+pub use journal::{attach_journal, FrameJournal, JournalEntry, JournalHandle};
+pub use metrics::{wilson_half_width, RateSummary, TrialClass, TrialOutcome};
+pub use rsu_node::RsuNode;
+pub use ta_node::TaNode;
+pub use vehicle::{DefenseMode, TrafficIntent, VehicleConfig, VehicleNode};

@@ -1,0 +1,224 @@
+//! Trial outcomes, classification, and rate aggregation.
+
+use blackdp::DetectionOutcome;
+use blackdp_aodv::Addr;
+use blackdp_sim::Duration;
+
+/// How one trial classifies for the Figure 4 rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialClass {
+    /// Attack present, confirmed and isolated.
+    TruePositive,
+    /// Attack present, not confirmed (evasion, flight, renewal, or never
+    /// reported).
+    FalseNegative,
+    /// No attack (or an honest node), yet something was confirmed.
+    FalsePositive,
+    /// No attack, nothing confirmed.
+    TrueNegative,
+}
+
+/// Everything measured in one simulation trial.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome {
+    /// Whether an attacker was staged.
+    pub attack_present: bool,
+    /// Every concluded detection episode: `(suspect, outcome, packets)`.
+    pub detections: Vec<(Addr, DetectionOutcome, u32)>,
+    /// Whether any vehicle raised a detection request.
+    pub reported: bool,
+    /// Whether an attacker pseudonym was confirmed (matched against the
+    /// attacker's full address history, so identity renewal cannot hide a
+    /// confirmation).
+    pub attacker_confirmed: bool,
+    /// Whether an honest (non-attacker) node was confirmed — a false
+    /// positive event.
+    pub honest_confirmed: bool,
+    /// Whether the TA revoked at least one attacker certificate.
+    pub attacker_revoked: bool,
+    /// Detection packets spent on the episode of interest (the first
+    /// concluded episode), for Figure 5.
+    pub detection_packets: Option<u32>,
+    /// Virtual time from trial start to the first concluded detection.
+    pub detection_latency: Option<Duration>,
+    /// Application packets the source sent.
+    pub data_sent: u64,
+    /// Of those, how many the destination received.
+    pub data_delivered: u64,
+    /// Data packets the attacker(s) swallowed.
+    pub data_dropped_by_attacker: u64,
+    /// The classification.
+    pub class: TrialClass,
+}
+
+impl TrialOutcome {
+    /// Packet delivery ratio (1.0 when nothing was sent).
+    pub fn pdr(&self) -> f64 {
+        if self.data_sent == 0 {
+            1.0
+        } else {
+            self.data_delivered as f64 / self.data_sent as f64
+        }
+    }
+
+    /// Classifies from the raw flags.
+    pub fn classify(
+        attack_present: bool,
+        attacker_confirmed: bool,
+        honest_confirmed: bool,
+    ) -> TrialClass {
+        match (attack_present, attacker_confirmed, honest_confirmed) {
+            (_, _, true) => TrialClass::FalsePositive,
+            (true, true, false) => TrialClass::TruePositive,
+            (true, false, false) => TrialClass::FalseNegative,
+            (false, _, false) => TrialClass::TrueNegative,
+        }
+    }
+}
+
+/// Aggregated rates over a batch of trials (one Figure 4 data point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSummary {
+    /// Number of trials aggregated.
+    pub trials: u32,
+    /// Fraction classified correctly (TP + TN).
+    pub accuracy: f64,
+    /// False-positive rate.
+    pub fp_rate: f64,
+    /// False-negative rate.
+    pub fn_rate: f64,
+    /// Mean packet delivery ratio.
+    pub mean_pdr: f64,
+}
+
+impl RateSummary {
+    /// Aggregates a batch of outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is empty.
+    pub fn from_outcomes(outcomes: &[TrialOutcome]) -> Self {
+        assert!(!outcomes.is_empty(), "cannot summarize zero trials");
+        let n = outcomes.len() as f64;
+        let count = |c: TrialClass| outcomes.iter().filter(|o| o.class == c).count() as f64;
+        let tp = count(TrialClass::TruePositive);
+        let tn = count(TrialClass::TrueNegative);
+        let fp = count(TrialClass::FalsePositive);
+        let fnr = count(TrialClass::FalseNegative);
+        RateSummary {
+            trials: outcomes.len() as u32,
+            accuracy: (tp + tn) / n,
+            fp_rate: fp / n,
+            fn_rate: fnr / n,
+            mean_pdr: outcomes.iter().map(|o| o.pdr()).sum::<f64>() / n,
+        }
+    }
+
+    /// The Wilson score interval half-width for the accuracy estimate at
+    /// 95 % confidence — used to annotate figure output.
+    pub fn accuracy_ci(&self) -> f64 {
+        wilson_half_width(self.accuracy, self.trials)
+    }
+}
+
+/// Wilson 95 % half-width for proportion `p` over `n` trials.
+pub fn wilson_half_width(p: f64, n: u32) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let z = 1.96f64;
+    let n = n as f64;
+    let denom = 1.0 + z * z / n;
+
+    (z / denom) * ((p * (1.0 - p) / n + z * z / (4.0 * n * n)).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(class: TrialClass) -> TrialOutcome {
+        TrialOutcome {
+            attack_present: matches!(class, TrialClass::TruePositive | TrialClass::FalseNegative),
+            detections: Vec::new(),
+            reported: true,
+            attacker_confirmed: class == TrialClass::TruePositive,
+            honest_confirmed: class == TrialClass::FalsePositive,
+            attacker_revoked: class == TrialClass::TruePositive,
+            detection_packets: Some(6),
+            detection_latency: Some(Duration::from_secs(5)),
+            data_sent: 10,
+            data_delivered: 8,
+            data_dropped_by_attacker: 2,
+            class,
+        }
+    }
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(
+            TrialOutcome::classify(true, true, false),
+            TrialClass::TruePositive
+        );
+        assert_eq!(
+            TrialOutcome::classify(true, false, false),
+            TrialClass::FalseNegative
+        );
+        assert_eq!(
+            TrialOutcome::classify(false, false, false),
+            TrialClass::TrueNegative
+        );
+        assert_eq!(
+            TrialOutcome::classify(false, false, true),
+            TrialClass::FalsePositive
+        );
+        // Confirming an honest node is a false positive even when an
+        // attacker was also present and caught.
+        assert_eq!(
+            TrialOutcome::classify(true, true, true),
+            TrialClass::FalsePositive
+        );
+    }
+
+    #[test]
+    fn rates_add_up() {
+        let outcomes: Vec<TrialOutcome> = [
+            TrialClass::TruePositive,
+            TrialClass::TruePositive,
+            TrialClass::TruePositive,
+            TrialClass::FalseNegative,
+        ]
+        .into_iter()
+        .map(outcome)
+        .collect();
+        let summary = RateSummary::from_outcomes(&outcomes);
+        assert_eq!(summary.trials, 4);
+        assert!((summary.accuracy - 0.75).abs() < 1e-12);
+        assert_eq!(summary.fp_rate, 0.0);
+        assert!((summary.fn_rate - 0.25).abs() < 1e-12);
+        assert!((summary.mean_pdr - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdr_handles_zero_sent() {
+        let mut o = outcome(TrialClass::TrueNegative);
+        o.data_sent = 0;
+        o.data_delivered = 0;
+        assert_eq!(o.pdr(), 1.0);
+    }
+
+    #[test]
+    fn wilson_width_shrinks_with_n() {
+        let w10 = wilson_half_width(0.9, 10);
+        let w1000 = wilson_half_width(0.9, 1000);
+        assert!(w10 > w1000);
+        assert!(w1000 > 0.0);
+        assert_eq!(wilson_half_width(0.5, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn summary_rejects_empty() {
+        let _ = RateSummary::from_outcomes(&[]);
+    }
+}

@@ -1,0 +1,130 @@
+//! The simulated trusted-authority node: wired backbone only.
+
+use blackdp::{AuthorityNode, TaAction, TaEvent, Wire};
+use blackdp_aodv::Addr;
+use blackdp_sim::{Channel, Context, Node, NodeId, Position, Time};
+
+use crate::directory::WiredDirectory;
+use crate::frame::{Frame, Tick};
+
+/// A trusted-authority node. Has no radio: it lives off-highway and talks
+/// only over the wired backbone.
+pub struct TaNode {
+    node: AuthorityNode,
+    addr: Addr,
+    dir: WiredDirectory,
+    events: Vec<TaEvent>,
+}
+
+impl std::fmt::Debug for TaNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaNode")
+            .field("ta", &self.node.id())
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+impl TaNode {
+    /// Creates the node. `addr` is its backbone address (used to recognise
+    /// peer-TA traffic).
+    pub fn new(node: AuthorityNode, addr: Addr) -> Self {
+        TaNode {
+            node,
+            addr,
+            dir: WiredDirectory::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// This authority's backbone address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Installs the wired-backbone directory.
+    pub fn set_directory(&mut self, dir: WiredDirectory) {
+        self.dir = dir;
+    }
+
+    /// The wrapped authority logic.
+    pub fn authority(&self) -> &AuthorityNode {
+        &self.node
+    }
+
+    /// Mutable access (scenario setup enrolls vehicles through this).
+    pub fn authority_mut(&mut self) -> &mut AuthorityNode {
+        &mut self.node
+    }
+
+    /// Observed events.
+    pub fn events(&self) -> &[TaEvent] {
+        &self.events
+    }
+
+    fn run_ta_actions(&mut self, ctx: &mut Context<'_, Frame, Tick>, actions: Vec<TaAction>) {
+        for action in actions {
+            match action {
+                TaAction::WiredCh { cluster, msg } => {
+                    if let Some(node) = self.dir.ch(cluster) {
+                        ctx.send_wired(
+                            node,
+                            Frame {
+                                src: self.addr,
+                                dst: None,
+                                wire: Wire::BlackDp(msg),
+                            },
+                        );
+                    } else {
+                        ctx.count("ta.wired_unknown_ch");
+                    }
+                }
+                TaAction::WiredTa { ta, msg } => {
+                    if let Some(node) = self.dir.ta(ta) {
+                        ctx.send_wired(
+                            node,
+                            Frame {
+                                src: self.addr,
+                                dst: None,
+                                wire: Wire::BlackDp(msg),
+                            },
+                        );
+                    } else {
+                        ctx.count("ta.wired_unknown_ta");
+                    }
+                }
+                TaAction::Event(e) => {
+                    ctx.count("ta.event");
+                    self.events.push(e);
+                }
+            }
+        }
+    }
+}
+
+impl Node<Frame, Tick> for TaNode {
+    fn position(&self, _now: Time) -> Position {
+        // Far off the highway plane: unreachable by radio by construction.
+        Position::new(-1.0e7, -1.0e7)
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut Context<'_, Frame, Tick>,
+        _from: NodeId,
+        frame: Frame,
+        channel: Channel,
+    ) {
+        if channel != Channel::Wired {
+            return; // authorities have no radio
+        }
+        let now = ctx.now();
+        let from_peer = self.dir.is_ta_addr(frame.src);
+        if let Wire::BlackDp(msg) = frame.wire {
+            let actions = self.node.handle(msg, from_peer, now);
+            self.run_ta_actions(ctx, actions);
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Frame, Tick>, _token: Tick) {}
+}

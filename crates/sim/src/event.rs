@@ -1,0 +1,175 @@
+//! The pending-event queue at the heart of the discrete-event engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{NodeId, Time};
+
+/// Identifies a scheduled timer so it can be cancelled.
+///
+/// Returned by [`Context::set_timer`](crate::Context::set_timer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+impl TimerId {
+    /// Returns the raw id, unique within one world.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// The transmission channel a packet travelled on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// Over-the-air DSRC radio (subject to range and loss).
+    Radio,
+    /// The high-speed wired backbone linking RSUs and trusted authorities.
+    Wired,
+}
+
+/// An occurrence scheduled for a particular node.
+#[derive(Debug, Clone)]
+pub(crate) enum Occurrence<P, T> {
+    /// A packet arrives at `to`.
+    Deliver {
+        from: NodeId,
+        payload: P,
+        channel: Channel,
+    },
+    /// A timer set by the node fires.
+    Timer { id: TimerId, token: T },
+}
+
+#[derive(Debug)]
+pub(crate) struct Scheduled<P, T> {
+    pub time: Time,
+    pub seq: u64,
+    pub node: NodeId,
+    pub occurrence: Occurrence<P, T>,
+}
+
+impl<P, T> PartialEq for Scheduled<P, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<P, T> Eq for Scheduled<P, T> {}
+
+impl<P, T> PartialOrd for Scheduled<P, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P, T> Ord for Scheduled<P, T> {
+    /// Reversed so the `BinaryHeap` (a max-heap) pops the *earliest* event.
+    /// The insertion sequence number breaks ties, making same-instant events
+    /// FIFO and runs deterministic.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug)]
+pub(crate) struct EventQueue<P, T> {
+    heap: BinaryHeap<Scheduled<P, T>>,
+    next_seq: u64,
+}
+
+impl<P, T> EventQueue<P, T> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, time: Time, node: NodeId, occurrence: Occurrence<P, T>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq,
+            node,
+            occurrence,
+        });
+    }
+
+    pub fn pop(&mut self) -> Option<Scheduled<P, T>> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)] // symmetry with len(); exercised in tests
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(n: u32) -> Occurrence<u32, ()> {
+        Occurrence::Deliver {
+            from: NodeId::new(0),
+            payload: n,
+            channel: Channel::Radio,
+        }
+    }
+
+    fn payload(occ: Occurrence<u32, ()>) -> u32 {
+        match occ {
+            Occurrence::Deliver { payload, .. } => payload,
+            Occurrence::Timer { .. } => panic!("expected a delivery"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u32, ()> = EventQueue::new();
+        q.push(Time::from_secs(3), NodeId::new(1), deliver(3));
+        q.push(Time::from_secs(1), NodeId::new(1), deliver(1));
+        q.push(Time::from_secs(2), NodeId::new(1), deliver(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|s| payload(s.occurrence))
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_events_are_fifo() {
+        let mut q: EventQueue<u32, ()> = EventQueue::new();
+        let t = Time::from_secs(1);
+        for i in 0..100 {
+            q.push(t, NodeId::new(0), deliver(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|s| payload(s.occurrence))
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q: EventQueue<u32, ()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_secs(5), NodeId::new(0), deliver(0));
+        q.push(Time::from_secs(2), NodeId::new(0), deliver(0));
+        assert_eq!(q.peek_time(), Some(Time::from_secs(2)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! The [`Node`] behaviour trait and the [`Context`] handed to node callbacks.
+
+use rand::rngs::StdRng;
+
+use crate::event::{Channel, TimerId};
+use crate::{Duration, NodeId, Position, Stats, Time};
+
+/// Behaviour of one simulated node (vehicle, RSU, trusted authority, …).
+///
+/// Implementations are plain state machines: every callback receives a
+/// [`Context`] used to emit effects (send packets, arm timers). Callbacks must
+/// not block; all interaction with the outside world goes through the context.
+///
+/// The world is generic over the packet payload type `P` and the timer token
+/// type `T`, so one simulation wires all protocols through a single payload
+/// enum.
+///
+/// The `Any` supertrait lets scenario code downcast nodes back to their
+/// concrete types for post-run inspection via
+/// [`World::get`](crate::World::get).
+pub trait Node<P, T>: std::any::Any {
+    /// The node's position at virtual time `now`, in meters.
+    ///
+    /// Called by the radio medium whenever a transmission must be resolved to
+    /// a set of in-range receivers. Implementations should be cheap and pure.
+    fn position(&self, now: Time) -> Position;
+
+    /// Invoked once when the node is spawned into the world.
+    ///
+    /// The default implementation does nothing. Typical uses: arming periodic
+    /// timers, announcing presence.
+    fn on_start(&mut self, ctx: &mut Context<'_, P, T>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when a packet addressed to (or broadcast near) this node
+    /// arrives.
+    fn on_packet(&mut self, ctx: &mut Context<'_, P, T>, from: NodeId, packet: P, channel: Channel);
+
+    /// Invoked when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, P, T>, token: T);
+}
+
+/// An effect emitted by a node callback, applied by the world afterwards.
+#[derive(Debug)]
+pub(crate) enum Effect<P, T> {
+    Unicast { to: NodeId, payload: P },
+    Broadcast { payload: P },
+    Wired { to: NodeId, payload: P },
+    SetTimer { id: TimerId, at: Time, token: T },
+    CancelTimer(TimerId),
+    Despawn,
+}
+
+/// The capability handle a [`Node`] uses to act on the world.
+///
+/// All effects are buffered and applied by the engine after the callback
+/// returns, in emission order.
+#[derive(Debug)]
+pub struct Context<'a, P, T> {
+    pub(crate) now: Time,
+    pub(crate) self_id: NodeId,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) stats: &'a mut Stats,
+    pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) effects: Vec<Effect<P, T>>,
+}
+
+impl<P, T> Context<'_, P, T> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The id of the node this context belongs to.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Deterministic random source (one stream per world, stable ordering).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Increments the named statistics counter.
+    pub fn count(&mut self, key: &str) {
+        self.stats.incr(key);
+    }
+
+    /// Increments the named statistics counter by `n`.
+    pub fn count_by(&mut self, key: &str, n: u64) {
+        self.stats.add(key, n);
+    }
+
+    /// Transmits `payload` to `to` over the radio.
+    ///
+    /// Delivery is subject to the radio range at transmission time and the
+    /// configured loss probability; out-of-range unicasts are silently
+    /// dropped, exactly like a real open wireless channel.
+    pub fn send(&mut self, to: NodeId, payload: P) {
+        self.effects.push(Effect::Unicast { to, payload });
+    }
+
+    /// Broadcasts `payload` to every active node currently in radio range.
+    pub fn broadcast(&mut self, payload: P) {
+        self.effects.push(Effect::Broadcast { payload });
+    }
+
+    /// Sends `payload` over the wired RSU/TA backbone (range-independent,
+    /// loss-free, fixed latency).
+    pub fn send_wired(&mut self, to: NodeId, payload: P) {
+        self.effects.push(Effect::Wired { to, payload });
+    }
+
+    /// Arms a timer that fires `after` from now, delivering `token` to
+    /// [`Node::on_timer`]. Returns an id usable with [`Self::cancel_timer`].
+    pub fn set_timer(&mut self, after: Duration, token: T) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.effects.push(Effect::SetTimer {
+            id,
+            at: self.now + after,
+            token,
+        });
+        id
+    }
+
+    /// Cancels a previously armed timer. Cancelling a timer that already
+    /// fired (or was already cancelled) is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer(id));
+    }
+
+    /// Removes this node from the world after the callback returns: no
+    /// further packets or timers will be delivered to it. Used for vehicles
+    /// leaving the highway (including attackers fleeing detection).
+    pub fn despawn(&mut self) {
+        self.effects.push(Effect::Despawn);
+    }
+}

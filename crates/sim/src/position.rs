@@ -1,0 +1,81 @@
+//! Planar positions used by the radio medium.
+
+use std::fmt;
+
+/// A position on the simulation plane, in meters.
+///
+/// The coordinate frame is shared with the mobility model: `x` runs along the
+/// highway, `y` across it.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_sim::Position;
+///
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// Longitudinal coordinate (meters along the highway).
+    pub x: f64,
+    /// Lateral coordinate (meters across the highway).
+    pub y: f64,
+}
+
+impl Position {
+    /// The origin of the plane.
+    pub const ORIGIN: Position = Position { x: 0.0, y: 0.0 };
+
+    /// Creates a position from coordinates in meters.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn distance_to(self, other: Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Returns true if `other` is within `range` meters (inclusive).
+    pub fn within_range(self, other: Position, range: f64) -> bool {
+        self.distance_to(other) <= range
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}m, {:.1}m)", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(1.0, 2.0);
+        let b = Position::new(4.0, 6.0);
+        assert!((a.distance_to(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance_to(a), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Position::new(-3.0, 7.5);
+        let b = Position::new(10.0, -2.0);
+        assert_eq!(a.distance_to(b), b.distance_to(a));
+    }
+
+    #[test]
+    fn range_check_is_inclusive() {
+        let a = Position::ORIGIN;
+        let b = Position::new(1000.0, 0.0);
+        assert!(a.within_range(b, 1000.0));
+        assert!(!a.within_range(b, 999.999));
+    }
+}

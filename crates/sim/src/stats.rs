@@ -1,0 +1,131 @@
+//! Named counters collected during a simulation run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A bag of monotonically increasing named counters.
+///
+/// The engine increments radio bookkeeping counters (`radio.tx`,
+/// `radio.rx`, `radio.drop.range`, `radio.drop.loss`, `wired.tx`); protocol
+/// code is free to add its own via [`Context::count`](crate::Context::count).
+/// Keys are ordered, so dumps are deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_sim::Stats;
+///
+/// let mut stats = Stats::new();
+/// stats.incr("detection.dreq");
+/// stats.add("detection.dreq", 2);
+/// assert_eq!(stats.get("detection.dreq"), 3);
+/// assert_eq!(stats.get("missing"), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Stats {
+    /// Creates an empty counter bag.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Increments `key` by one.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Increments `key` by `n`.
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_owned()).or_insert(0) += n;
+    }
+
+    /// Returns the current value of `key` (zero if never incremented).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Returns the number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Returns true if no counter was ever incremented.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Sums every counter whose key starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counters.is_empty() {
+            return write!(f, "(no counters)");
+        }
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.incr("a");
+        s.incr("a");
+        s.add("b", 5);
+        assert_eq!(s.get("a"), 2);
+        assert_eq!(s.get("b"), 5);
+        assert_eq!(s.get("c"), 0);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut s = Stats::new();
+        s.incr("z");
+        s.incr("a");
+        s.incr("m");
+        let keys: Vec<&str> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn sum_prefix_groups_counters() {
+        let mut s = Stats::new();
+        s.add("radio.tx", 3);
+        s.add("radio.rx", 2);
+        s.add("radiometer", 100); // shares a prefix string but not the dot
+        s.add("wired.tx", 9);
+        assert_eq!(s.sum_prefix("radio."), 5);
+        assert_eq!(s.sum_prefix("radio"), 105);
+        assert_eq!(s.sum_prefix("nothing"), 0);
+    }
+
+    #[test]
+    fn display_never_empty() {
+        let s = Stats::new();
+        assert_eq!(s.to_string(), "(no counters)");
+    }
+}

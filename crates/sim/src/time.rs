@@ -1,0 +1,266 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! Simulation time is a [`Time`] measured in integer microseconds since the
+//! start of the run. Integer time (rather than `f64` seconds) keeps event
+//! ordering exact and runs reproducible across platforms.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in microseconds since the simulation epoch.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_sim::{Duration, Time};
+///
+/// let t = Time::ZERO + Duration::from_millis(5);
+/// assert_eq!(t.as_micros(), 5_000);
+/// assert!(t > Time::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: Time = Time(0);
+    /// The greatest representable instant; useful as an "infinite" deadline.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from a raw microsecond count.
+    pub const fn from_micros(micros: u64) -> Self {
+        Time(micros)
+    }
+
+    /// Creates a time from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Time(millis * 1_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Time(secs * 1_000_000)
+    }
+
+    /// Returns the raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as fractional seconds (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`earlier` must not be later than `self`"),
+        )
+    }
+
+    /// Returns the duration since `earlier`, or [`Duration::ZERO`] if
+    /// `earlier` is in the future.
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+
+    fn add(self, rhs: Duration) -> Time {
+        Time(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulation time overflowed"),
+        )
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+
+    fn sub(self, rhs: Time) -> Duration {
+        self.since(rhs)
+    }
+}
+
+/// A span of virtual time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use blackdp_sim::Duration;
+///
+/// let d = Duration::from_millis(1) + Duration::from_micros(500);
+/// assert_eq!(d.as_micros(), 1_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from a raw microsecond count.
+    pub const fn from_micros(micros: u64) -> Self {
+        Duration(micros)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Duration(millis * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, non-finite, or too large to represent.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration seconds must be finite and non-negative"
+        );
+        let micros = secs * 1e6;
+        assert!(micros <= u64::MAX as f64, "duration too large");
+        Duration(micros.round() as u64)
+    }
+
+    /// Returns the raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional seconds (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Multiplies the duration by an integer factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub fn saturating_mul(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+
+    /// Returns true if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_add(rhs.0).expect("duration overflowed"))
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("duration subtraction underflowed"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Time::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Time::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(Duration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Duration::from_secs(2).as_micros(), 2_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::from_secs(1) + Duration::from_millis(500);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert_eq!(t - Time::from_secs(1), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn since_and_saturating_since() {
+        let a = Time::from_secs(1);
+        let b = Time::from_secs(3);
+        assert_eq!(b.since(a), Duration::from_secs(2));
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "`earlier` must not be later")]
+    fn since_panics_on_future() {
+        let _ = Time::from_secs(1).since(Time::from_secs(2));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(Duration::from_secs_f64(0.0000015).as_micros(), 2);
+        assert_eq!(Duration::from_secs_f64(1.5).as_micros(), 1_500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = Duration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut times = vec![Time::from_secs(3), Time::ZERO, Time::from_millis(10)];
+        times.sort();
+        assert_eq!(
+            times,
+            vec![Time::ZERO, Time::from_millis(10), Time::from_secs(3)]
+        );
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(Time::from_millis(1500).to_string(), "1.500000s");
+        assert_eq!(Duration::from_micros(250).to_string(), "0.000250s");
+    }
+}

@@ -1,0 +1,90 @@
+//! The Section III-B.3 illustrative example, end to end in the full
+//! simulator: two cooperating black holes (`B₁`, `B₂`) in one cluster, a
+//! source in cluster 1 talking across the highway, RSU detection with the
+//! teammate probe, and isolation via the trusted authorities.
+//!
+//! ```text
+//! cargo run --release --example cooperative_blackhole
+//! ```
+
+use blackdp::ChEvent;
+use blackdp_scenario::{build_scenario, harvest, AttackerNode, RsuNode, ScenarioConfig, TrialSpec};
+use blackdp_sim::Time;
+
+fn main() {
+    let cfg = ScenarioConfig::paper_table1();
+    let spec = TrialSpec::cooperative(/* seed */ 11, /* attacker cluster */ 2, 10);
+    let mut built = build_scenario(&cfg, &spec);
+
+    println!(
+        "world: {} nodes ({} vehicles, {} attackers, {} RSUs, {} TAs)",
+        built.world.node_count(),
+        built.vehicles.len(),
+        built.attackers.len(),
+        built.rsus.len(),
+        built.tas.len(),
+    );
+    let b1 = built
+        .world
+        .get::<AttackerNode>(built.attackers[0])
+        .unwrap()
+        .addr();
+    let b2 = built
+        .world
+        .get::<AttackerNode>(built.attackers[1])
+        .unwrap()
+        .addr();
+    println!("cooperative pair: B1 = {b1}, B2 = {b2} (each endorses the other)");
+
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+
+    // Narrate the detection from the RSU event logs.
+    for &r in &built.rsus {
+        let rsu = built.world.get::<RsuNode>(r).unwrap();
+        for event in rsu.events() {
+            match event {
+                ChEvent::DetectionStarted { suspect } => {
+                    println!(
+                        "cluster {}: detection started against {suspect}",
+                        rsu.cluster_head().cluster()
+                    );
+                }
+                ChEvent::DetectionConcluded {
+                    suspect,
+                    outcome,
+                    packets,
+                } => {
+                    println!(
+                        "cluster {}: {suspect} → {outcome:?} ({packets} detection packets)",
+                        rsu.cluster_head().cluster()
+                    );
+                }
+                ChEvent::IsolationRequested(p) => {
+                    println!(
+                        "cluster {}: revocation requested for {p}",
+                        rsu.cluster_head().cluster()
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let outcome = harvest(&cfg, &spec, &built);
+    println!();
+    println!("classification: {:?}", outcome.class);
+    println!(
+        "PDR {:.0}% — {} packets swallowed before isolation",
+        outcome.pdr() * 100.0,
+        outcome.data_dropped_by_attacker
+    );
+    assert!(outcome.attacker_confirmed);
+    assert!(
+        outcome
+            .detections
+            .iter()
+            .any(|(_, o, _)| matches!(o, blackdp::DetectionOutcome::ConfirmedCooperative { .. })),
+        "the teammate must be exposed: {:?}",
+        outcome.detections
+    );
+}

@@ -1,0 +1,40 @@
+//! Quickstart: stage a single black hole on the paper's Table-I highway,
+//! run BlackDP, and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use blackdp_scenario::{run_trial, ScenarioConfig, TrialSpec};
+
+fn main() {
+    // The paper's network: 10 km highway, 10 RSU-led clusters, 100
+    // vehicles at 50–90 km/h, 1000 m DSRC radios.
+    let cfg = ScenarioConfig::paper_table1();
+
+    // One attacker in cluster 2; the source drives in cluster 1 and talks
+    // to a destination in cluster 5.
+    let spec = TrialSpec::single(/* seed */ 7, /* attacker cluster */ 2, 10);
+
+    println!("running one Table-I trial (30 s of virtual time)…");
+    let outcome = run_trial(&cfg, &spec);
+
+    println!();
+    println!("attack present:      {}", outcome.attack_present);
+    println!("reported to RSU:     {}", outcome.reported);
+    println!("attacker confirmed:  {}", outcome.attacker_confirmed);
+    println!("certificate revoked: {}", outcome.attacker_revoked);
+    println!("classification:      {:?}", outcome.class);
+    for (suspect, verdict, packets) in &outcome.detections {
+        println!("episode: suspect {suspect} → {verdict:?} using {packets} detection packets");
+    }
+    println!(
+        "data: {} sent, {} delivered (PDR {:.0}%), {} swallowed by the attacker",
+        outcome.data_sent,
+        outcome.data_delivered,
+        outcome.pdr() * 100.0,
+        outcome.data_dropped_by_attacker
+    );
+
+    assert!(outcome.attacker_confirmed, "BlackDP should catch this one");
+}

@@ -1,0 +1,188 @@
+//! The Figure 1(a) / Section III-B walkthrough at the protocol level,
+//! without the full simulator: how a single black hole lures an AODV
+//! source, and how the cluster head's two-probe examination exposes it.
+//!
+//! ```text
+//! cargo run --example single_blackhole
+//! ```
+
+use blackdp::{
+    addr_of, BlackDpConfig, BlackDpMessage, ChAction, ChEvent, ClusterHead, DReq, DetectionOutcome,
+    JoinBody, Sealed, SuspicionReason, Wire,
+};
+use blackdp_aodv::{Addr, Message as AodvMessage, Rreq};
+use blackdp_attacks::{AttackerAction, AttackerConfig, BlackHole};
+use blackdp_crypto::{Keypair, LongTermId, TaId, TrustedAuthority};
+use blackdp_mobility::ClusterId;
+use blackdp_sim::{Duration, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut ta = TrustedAuthority::new(TaId(1), &mut rng);
+
+    // The attacker is a *certified insider*: its credential is perfectly
+    // valid.
+    let bh_keys = Keypair::generate(&mut rng);
+    let bh_cert = ta.enroll(
+        LongTermId(66),
+        bh_keys.public(),
+        Time::ZERO,
+        Duration::from_secs(600),
+        &mut rng,
+    );
+    let mut attacker = BlackHole::new(bh_keys, bh_cert, AttackerConfig::default(), 9);
+    println!(
+        "attacker enrolled with valid certificate, pseudonym {}",
+        bh_cert.pseudonym
+    );
+
+    // --- Phase 1: the lure (Figure 1a). ---
+    // Node 1 floods an RREQ for node 5; an honest node would answer from
+    // cache with SN 20 — the attacker answers with a far higher one.
+    let rreq = Rreq {
+        rreq_id: 1,
+        dest: Addr(5),
+        dest_seq: Some(0),
+        orig: Addr(1),
+        orig_seq: 1,
+        hop_count: 1,
+        ttl: 8,
+        next_hop_inquiry: false,
+    };
+    let actions = attacker.handle_wire(Addr(2), &Wire::Aodv(AodvMessage::Rreq(rreq)), Time::ZERO);
+    let forged = actions
+        .iter()
+        .find_map(|a| match a {
+            AttackerAction::SendTo {
+                wire: Wire::SecuredRrep { rrep, auth },
+                ..
+            } => Some((*rrep, auth.clone())),
+            _ => None,
+        })
+        .expect("the black hole answers every RREQ");
+    println!(
+        "attacker forges RREP: dest_seq = {} (an honest cache had 20) — freshest route wins",
+        forged.0.dest_seq
+    );
+    assert!(forged.0.dest_seq >= 120, "'a very high SN'");
+    assert!(
+        forged.1.verify(ta.public_key(), Time::ZERO).is_ok(),
+        "and the envelope VERIFIES: authentication alone cannot stop an insider"
+    );
+
+    // --- Phase 2: the examination (Section III-B). ---
+    // A cluster head receives the victim's detection request and probes the
+    // suspect under a disposable identity with a fake destination.
+    let mut ch = ClusterHead::new(
+        ClusterId(2),
+        Addr(900_002),
+        TaId(1),
+        ta.public_key(),
+        10,
+        BlackDpConfig::default(),
+        42,
+    );
+    // The attacker is a registered member (it behaves, to stay reachable).
+    let jreq = Sealed::seal(
+        JoinBody {
+            pos_x: 1_400.0,
+            pos_y: 60.0,
+            speed_kmh: 80.0,
+            forward: true,
+        },
+        *attacker.cert(),
+        None,
+        attacker.keys(),
+        &mut rng,
+    );
+    let _ = ch.handle_blackdp(attacker.addr(), BlackDpMessage::Jreq(jreq), Time::ZERO);
+
+    // The victim reports.
+    let (vkeys, vcert) = {
+        let k = Keypair::generate(&mut rng);
+        let c = ta.enroll(
+            LongTermId(1),
+            k.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut rng,
+        );
+        (k, c)
+    };
+    let dreq = Sealed::seal(
+        DReq {
+            reporter: vcert.pseudonym,
+            reporter_cluster: ClusterId(2),
+            suspect: attacker.addr(),
+            suspect_cluster: Some(ClusterId(2)),
+            reason: SuspicionReason::NoHelloResponse,
+        },
+        vcert,
+        Some(ClusterId(2)),
+        &vkeys,
+        &mut rng,
+    );
+    let mut t = Time::from_secs(1);
+    let mut pending = ch.handle_blackdp(
+        addr_of(vcert.pseudonym),
+        BlackDpMessage::DetectionRequest(dreq),
+        t,
+    );
+
+    // Drive the probe ladder: feed every probe RREQ to the attacker and its
+    // forged RREPs back to the CH, ticking the CH clock as we go.
+    let mut verdict = None;
+    for _ in 0..20 {
+        let mut next = Vec::new();
+        for action in pending.drain(..) {
+            match action {
+                ChAction::Radio {
+                    to,
+                    wire: wire @ Wire::Aodv(AodvMessage::Rreq(rreq)),
+                } => {
+                    println!(
+                        "CH → {to}: probe RREQ (fake dest {}, demanded seq {:?}, next-hop inquiry {})",
+                        rreq.dest, rreq.dest_seq, rreq.next_hop_inquiry
+                    );
+                    for back in attacker.handle_wire(rreq.orig, &wire, t) {
+                        if let AttackerAction::SendTo {
+                            wire: Wire::SecuredRrep { rrep, .. },
+                            ..
+                        } = back
+                        {
+                            println!(
+                                "attacker → CH: RREP seq {} {}",
+                                rrep.dest_seq,
+                                rrep.next_hop
+                                    .map(|n| format!("(discloses next hop {n})"))
+                                    .unwrap_or_default()
+                            );
+                            next.extend(ch.on_probe_rrep(to, &rrep, t));
+                        }
+                    }
+                }
+                ChAction::Event(ChEvent::DetectionConcluded {
+                    outcome, packets, ..
+                }) => {
+                    println!("CH verdict: {outcome:?} after {packets} detection packets");
+                    verdict = Some(outcome);
+                }
+                ChAction::Event(e) => println!("CH event: {e:?}"),
+                ChAction::WiredTa { msg, .. } => {
+                    println!("CH → TA (wired): {}", msg.kind());
+                }
+                other => println!("CH action: {other:?}"),
+            }
+        }
+        t += Duration::from_millis(150);
+        next.extend(ch.tick(t));
+        pending = next;
+        if verdict.is_some() && pending.is_empty() {
+            break;
+        }
+    }
+    assert_eq!(verdict, Some(DetectionOutcome::ConfirmedSingle));
+    println!("single black hole confirmed and reported for revocation.");
+}

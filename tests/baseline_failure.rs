@@ -1,0 +1,95 @@
+//! Section V-A's critique, reproduced: sequence-number defenses fail when
+//! the attacker is the sole responder, while BlackDP still detects it.
+
+use blackdp_aodv::{Addr, Rrep};
+use blackdp_attacks::EvasionPolicy;
+use blackdp_baselines::{FirstRrepComparator, PeakDetector, RrepJudge, ThresholdDetector, Verdict};
+use blackdp_scenario::{run_trial, AttackSetup, DefenseMode, ScenarioConfig, TrialSpec};
+use blackdp_sim::{Duration, Time};
+
+fn modest_forged_rrep() -> Rrep {
+    Rrep {
+        dest: Addr(7),
+        dest_seq: 90, // forged, but under every static threshold
+        orig: Addr(1),
+        hop_count: 3,
+        lifetime: Duration::from_secs(6),
+        next_hop: None,
+    }
+}
+
+#[test]
+fn first_rrep_comparator_is_blind_to_a_sole_responder() {
+    let mut cmp = FirstRrepComparator::new(2.0);
+    cmp.start(Time::ZERO);
+    cmp.add(Addr(66), 5_000, Time::from_millis(1)); // wildly forged
+    let judgement = cmp.conclude();
+    assert_eq!(judgement.suspect, None, "nothing to compare against");
+    assert_eq!(
+        judgement.winner,
+        Some(Addr(66)),
+        "the attacker gets the route"
+    );
+}
+
+#[test]
+fn threshold_passes_a_modest_forgery() {
+    let mut det = ThresholdDetector::medium();
+    assert_eq!(
+        det.judge(Addr(66), &modest_forged_rrep(), Time::ZERO),
+        Verdict::Accept
+    );
+}
+
+#[test]
+fn peak_passes_a_patient_forgery() {
+    let mut det = PeakDetector::new(100, Duration::from_secs(1));
+    // The attacker stays just under the growth allowance.
+    assert_eq!(
+        det.judge(Addr(66), &modest_forged_rrep(), Time::ZERO),
+        Verdict::Accept
+    );
+}
+
+fn sole_responder_spec(seed: u64) -> TrialSpec {
+    TrialSpec {
+        seed,
+        attack: AttackSetup::Single { cluster: 2 },
+        evasion: EvasionPolicy::None,
+        source_cluster: 1,
+        // The paper: "the destination may not exist in the clusters" — so
+        // the attacker's reply is the only one the source will ever get.
+        dest_cluster: None,
+        attacker_moves: false,
+        attacker_fake_hello: false,
+    }
+}
+
+#[test]
+fn blackdp_detects_the_sole_responder_in_simulation() {
+    let cfg = ScenarioConfig::small_test();
+    let outcome = run_trial(&cfg, &sole_responder_spec(41_001));
+    assert!(
+        outcome.attacker_confirmed,
+        "behavioural probing needs no second opinion: {:?}",
+        outcome.detections
+    );
+    assert!(!outcome.honest_confirmed);
+}
+
+#[test]
+fn baselines_never_confirm_the_sole_responder_in_simulation() {
+    for defense in [
+        DefenseMode::BaselineThreshold,
+        DefenseMode::BaselinePeak,
+        DefenseMode::BaselineFirstRrep,
+    ] {
+        let mut cfg = ScenarioConfig::small_test();
+        cfg.defense = defense;
+        let outcome = run_trial(&cfg, &sole_responder_spec(41_011));
+        assert!(
+            !outcome.attacker_confirmed,
+            "{defense:?} has no network-level confirmation path"
+        );
+    }
+}

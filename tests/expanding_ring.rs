@@ -1,0 +1,52 @@
+//! The expanding-ring search extension, exercised in the full simulator:
+//! discoveries for nearby destinations must cost fewer RREQ deliveries
+//! than full-diameter floods, without hurting delivery.
+
+use blackdp_attacks::EvasionPolicy;
+use blackdp_scenario::{
+    attach_journal, build_scenario, harvest, AttackSetup, ScenarioConfig, TrialSpec,
+};
+use blackdp_sim::Time;
+
+fn spec(seed: u64) -> TrialSpec {
+    TrialSpec {
+        seed,
+        attack: AttackSetup::None,
+        evasion: EvasionPolicy::None,
+        source_cluster: 1,
+        // Destination two clusters over: well within the first few rings.
+        dest_cluster: Some(3),
+        attacker_moves: false,
+        attacker_fake_hello: false,
+    }
+}
+
+fn rreq_deliveries_and_pdr(expanding_ring: bool, seed: u64) -> (usize, f64) {
+    let mut cfg = ScenarioConfig::small_test();
+    cfg.aodv.expanding_ring = expanding_ring;
+    let s = spec(seed);
+    let mut built = build_scenario(&cfg, &s);
+    let journal = attach_journal(&mut built);
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+    let outcome = harvest(&cfg, &s, &built);
+    let count = journal.borrow().count_kind("rreq");
+    (count, outcome.pdr())
+}
+
+#[test]
+fn expanding_ring_cuts_flood_cost_for_nearby_destinations() {
+    let mut flood_total = 0usize;
+    let mut ring_total = 0usize;
+    for seed in [81_001u64, 81_002, 81_003] {
+        let (flood, flood_pdr) = rreq_deliveries_and_pdr(false, seed);
+        let (ring, ring_pdr) = rreq_deliveries_and_pdr(true, seed);
+        assert!(flood_pdr > 0.0, "full flood must deliver (seed {seed})");
+        assert!(ring_pdr > 0.0, "expanding ring must deliver (seed {seed})");
+        flood_total += flood;
+        ring_total += ring;
+    }
+    assert!(
+        ring_total < flood_total,
+        "expanding ring must reduce RREQ deliveries: ring {ring_total} vs flood {flood_total}"
+    );
+}

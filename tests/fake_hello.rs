@@ -1,0 +1,54 @@
+//! The paper's "anonymity response" path in the full simulator: the
+//! attacker answers the secure Hello probe with a fake reply claiming to
+//! be the destination. The victim then "sends the detection request
+//! without performing the second route discovery" — detection is faster
+//! than the silent-swallow path, and the verdict is unchanged.
+
+use blackdp_attacks::EvasionPolicy;
+use blackdp_scenario::{run_trial, AttackSetup, ScenarioConfig, TrialClass, TrialSpec};
+
+fn spec(seed: u64, fake_hello: bool) -> TrialSpec {
+    TrialSpec {
+        seed,
+        attack: AttackSetup::Single { cluster: 2 },
+        evasion: EvasionPolicy::None,
+        source_cluster: 1,
+        dest_cluster: Some(5),
+        attacker_moves: false,
+        attacker_fake_hello: fake_hello,
+    }
+}
+
+#[test]
+fn fake_hello_reply_still_ends_in_isolation() {
+    let cfg = ScenarioConfig::small_test();
+    let outcome = run_trial(&cfg, &spec(57_001, true));
+    assert_eq!(
+        outcome.class,
+        TrialClass::TruePositive,
+        "{:?}",
+        outcome.detections
+    );
+    assert!(outcome.attacker_revoked);
+    assert!(!outcome.honest_confirmed);
+}
+
+#[test]
+fn anonymity_response_is_detected_faster_than_silence() {
+    let cfg = ScenarioConfig::small_test();
+    // Same seed, both ways: the only difference is the attacker's Hello
+    // behaviour.
+    let silent = run_trial(&cfg, &spec(57_011, false));
+    let faking = run_trial(&cfg, &spec(57_011, true));
+    let (silent_latency, faking_latency) = match (silent.detection_latency, faking.detection_latency)
+    {
+        (Some(a), Some(b)) => (a, b),
+        other => panic!("both runs must conclude a detection: {other:?}"),
+    };
+    // The fake reply skips the second discovery round (one full Hello
+    // timeout plus a rediscovery), so it must be strictly faster.
+    assert!(
+        faking_latency < silent_latency,
+        "faking {faking_latency} should beat silent {silent_latency}"
+    );
+}

@@ -1,0 +1,53 @@
+//! Reduced-scale figure-shape checks that run inside `cargo test` (the
+//! full-scale gates live in the `validate_shapes` binary). These use the
+//! small test network and few repetitions, asserting only the robust
+//! structural claims.
+
+use blackdp_scenario::{fig4_cell, fig5, AttackKind, RateSummary, ScenarioConfig};
+
+#[test]
+fn fig4_clean_zone_is_perfect_at_small_scale() {
+    let cfg = ScenarioConfig::small_test();
+    for kind in [AttackKind::Single, AttackKind::Cooperative] {
+        let rates = RateSummary::from_outcomes(&fig4_cell(&cfg, kind, 3, 3));
+        assert_eq!(rates.accuracy, 1.0, "{kind:?} cluster 3");
+        assert_eq!(rates.fp_rate, 0.0);
+        assert_eq!(rates.fn_rate, 0.0);
+    }
+}
+
+#[test]
+fn fig5_same_cluster_baseline_is_six_packets() {
+    let cfg = ScenarioConfig::small_test();
+    let rows = fig5(&cfg, 2);
+    let same = rows
+        .iter()
+        .find(|r| r.label == "single, same cluster")
+        .expect("row exists");
+    // The canonical episode: d_req + RREQ1 + RREP1 + RREQ2 + RREP2 +
+    // response = 6 (jitter orderings may add a stray packet).
+    assert!(
+        same.measured.iter().all(|&p| (6..=8).contains(&p)),
+        "measured {:?}",
+        same.measured
+    );
+    assert!(same.measured.contains(&6), "the 6-packet case must occur");
+}
+
+#[test]
+fn fig5_rows_preserve_the_papers_ordering() {
+    let cfg = ScenarioConfig::small_test();
+    let rows = fig5(&cfg, 2);
+    let mean = |label: &str| {
+        let r = rows.iter().find(|r| r.label == label).expect("row");
+        r.measured.iter().map(|&x| f64::from(x)).sum::<f64>() / r.measured.len() as f64
+    };
+    assert!(
+        mean("no attacker (false suspicion)") < mean("single, same cluster, moves mid-detection"),
+        "false suspicion must be cheaper than a moving confirmation"
+    );
+    assert!(
+        mean("single, same cluster") < mean("single, different cluster, moves mid-detection"),
+        "cross-cluster movement must cost the most among singles"
+    );
+}

@@ -1,0 +1,73 @@
+//! The gray hole (selective dropper) is caught exactly like the black
+//! hole: BlackDP's probes judge route-capture behaviour, not drop rate.
+
+use blackdp_attacks::EvasionPolicy;
+use blackdp_scenario::{
+    run_trial, AttackSetup, GrayHoleNode, ScenarioConfig, TrialClass, TrialSpec,
+};
+
+fn spec(seed: u64, drop_probability: f64) -> TrialSpec {
+    TrialSpec {
+        seed,
+        attack: AttackSetup::GrayHole {
+            cluster: 2,
+            drop_probability,
+        },
+        evasion: EvasionPolicy::None,
+        source_cluster: 1,
+        dest_cluster: Some(5),
+        attacker_moves: false,
+        attacker_fake_hello: false,
+    }
+}
+
+#[test]
+fn full_dropper_is_confirmed() {
+    let cfg = ScenarioConfig::small_test();
+    let outcome = run_trial(&cfg, &spec(61_001, 1.0));
+    assert_eq!(
+        outcome.class,
+        TrialClass::TruePositive,
+        "{:?}",
+        outcome.detections
+    );
+    assert!(outcome.attacker_revoked);
+}
+
+#[test]
+fn half_dropper_is_confirmed_despite_camouflage() {
+    let cfg = ScenarioConfig::small_test();
+    let outcome = run_trial(&cfg, &spec(61_011, 0.5));
+    assert!(
+        outcome.attacker_confirmed,
+        "probing is independent of the data plane: {:?}",
+        outcome.detections
+    );
+    assert!(!outcome.honest_confirmed);
+}
+
+#[test]
+fn zero_dropper_still_violates_aodv_and_is_confirmed() {
+    // Even a gray hole that forwards everything forges routes it does not
+    // have — the AODV violation the probe exposes.
+    let cfg = ScenarioConfig::small_test();
+    let outcome = run_trial(&cfg, &spec(61_021, 0.0));
+    assert!(outcome.attacker_confirmed, "{:?}", outcome.detections);
+    assert_eq!(outcome.data_dropped_by_attacker, 0, "it never dropped data");
+}
+
+#[test]
+fn grayhole_node_counters_are_exposed() {
+    use blackdp_sim::Time;
+    let cfg = ScenarioConfig::small_test();
+    let s = spec(61_031, 0.5);
+    let mut built = blackdp_scenario::build_scenario(&cfg, &s);
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+    let gh = built
+        .world
+        .get::<GrayHoleNode>(built.attackers[0])
+        .expect("a GrayHoleNode was spawned for the GrayHole setup");
+    // Whatever happened, the counters are consistent.
+    let _ = gh.lured_count();
+    assert!(gh.dropped_count() + gh.forwarded_count() >= gh.dropped_count());
+}

@@ -1,0 +1,113 @@
+//! The isolation phase end-state (Section III-B.2), audited across the
+//! whole network after a confirmed detection: revocation notices reach
+//! every cluster head in every TA region, the attacker is expelled from
+//! membership, blacklisted network-wide, refused renewal, and unable to
+//! rejoin.
+
+use blackdp_crypto::PseudonymId;
+use blackdp_scenario::{
+    build_scenario, harvest, AttackerNode, RsuNode, ScenarioConfig, TaNode, TrialSpec,
+};
+use blackdp_sim::Time;
+
+#[test]
+fn revocation_reaches_every_cluster_head() {
+    let cfg = ScenarioConfig::small_test();
+    let spec = TrialSpec::single(55_001, 2, 10);
+    let mut built = build_scenario(&cfg, &spec);
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+
+    let outcome = harvest(&cfg, &spec, &built);
+    assert!(outcome.attacker_confirmed, "{:?}", outcome.detections);
+    assert!(outcome.attacker_revoked);
+
+    let attacker_pseudonym = PseudonymId(
+        built
+            .world
+            .get::<AttackerNode>(built.attackers[0])
+            .unwrap()
+            .addr()
+            .0,
+    );
+
+    // Section III-B.2: the TA "informs other trusted authority nodes to
+    // pause attacker renewal certificates and sends a revocation notice to
+    // the surrounding CHs" — in our two-region deployment this reaches all
+    // ten cluster heads.
+    let mut blacklisted = 0;
+    for &r in &built.rsus {
+        let rsu = built.world.get::<RsuNode>(r).unwrap();
+        if rsu
+            .cluster_head()
+            .blacklist()
+            .is_revoked(attacker_pseudonym)
+        {
+            blacklisted += 1;
+        }
+        assert!(
+            !rsu.cluster_head().is_member(attacker_pseudonym),
+            "cluster {} still lists the attacker as a member",
+            rsu.cluster_head().cluster()
+        );
+    }
+    assert_eq!(
+        blacklisted,
+        built.rsus.len(),
+        "every CH must hold the revocation notice"
+    );
+
+    // Both TAs have the owner paused (cross-region pause propagation).
+    let mut paused_regions = 0;
+    for &t in &built.tas {
+        let ta = built.world.get::<TaNode>(t).unwrap();
+        // LongTermId(1_000) is the first attacker's enrollment identity
+        // (see the scenario builder).
+        if ta
+            .authority()
+            .authority()
+            .is_paused(blackdp_crypto::LongTermId(1_000))
+        {
+            paused_regions += 1;
+        }
+    }
+    assert_eq!(
+        paused_regions,
+        built.tas.len(),
+        "pause must propagate to every TA"
+    );
+}
+
+#[test]
+fn isolated_attacker_cannot_rejoin_anywhere() {
+    let cfg = ScenarioConfig::small_test();
+    let spec = TrialSpec::single(55_011, 2, 10);
+    let mut built = build_scenario(&cfg, &spec);
+    // Run well past isolation; the attacker keeps driving into new
+    // clusters and keeps sending JREQs (its membership logic is
+    // unchanged), but every join must now be rejected.
+    built.world.run_until(Time::from_secs(60));
+    let outcome = harvest(&cfg, &spec, &built);
+    assert!(outcome.attacker_confirmed);
+
+    let attacker_pseudonym = PseudonymId(
+        built
+            .world
+            .get::<AttackerNode>(built.attackers[0])
+            .unwrap()
+            .addr()
+            .0,
+    );
+    for &r in &built.rsus {
+        let rsu = built.world.get::<RsuNode>(r).unwrap();
+        assert!(
+            !rsu.cluster_head().is_member(attacker_pseudonym),
+            "the revoked attacker re-registered in cluster {}",
+            rsu.cluster_head().cluster()
+        );
+    }
+    // Join rejections were actually exercised (the attacker did try).
+    assert!(
+        built.world.stats().get("rsu.event.join_rejected") >= 1,
+        "expected at least one rejected rejoin attempt"
+    );
+}

@@ -1,0 +1,90 @@
+//! "There may be multiple black hole attackers in the network"
+//! (Section III-A, Attack Model): independent attackers in different
+//! clusters are detected in parallel by their respective cluster heads.
+
+use blackdp::DetectionOutcome;
+use blackdp_attacks::EvasionPolicy;
+use blackdp_scenario::{
+    build_scenario, harvest, run_trial, AttackSetup, AttackerNode, ScenarioConfig, TrialSpec,
+};
+use blackdp_sim::Time;
+
+fn spec(seed: u64) -> TrialSpec {
+    TrialSpec {
+        seed,
+        attack: AttackSetup::MultipleSingles {
+            clusters: [2, 4, 0, 0],
+        },
+        evasion: EvasionPolicy::None,
+        source_cluster: 1,
+        dest_cluster: Some(7),
+        attacker_moves: false,
+        attacker_fake_hello: false,
+    }
+}
+
+#[test]
+fn builder_places_each_attacker_in_its_cluster() {
+    let cfg = ScenarioConfig::small_test();
+    let built = build_scenario(&cfg, &spec(91_001));
+    assert_eq!(built.attackers.len(), 2);
+    let clusters: Vec<u32> = built
+        .attackers
+        .iter()
+        .map(|&a| {
+            let pos = built.world.position_of(a).unwrap();
+            built.plan.cluster_of(pos).unwrap().0
+        })
+        .collect();
+    assert_eq!(clusters, vec![2, 4]);
+}
+
+#[test]
+fn both_independent_attackers_are_confirmed() {
+    let cfg = ScenarioConfig::small_test();
+    let s = spec(91_011);
+    let mut built = build_scenario(&cfg, &s);
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+    let outcome = harvest(&cfg, &s, &built);
+
+    // Collect every attacker address and check each got its own
+    // ConfirmedSingle episode (not a cooperative misclassification).
+    let attacker_addrs: Vec<_> = built
+        .attackers
+        .iter()
+        .map(|&a| built.world.get::<AttackerNode>(a).unwrap().addr())
+        .collect();
+    for addr in &attacker_addrs {
+        let confirmed = outcome
+            .detections
+            .iter()
+            .any(|(s, o, _)| s == addr && matches!(o, DetectionOutcome::ConfirmedSingle));
+        assert!(
+            confirmed,
+            "attacker {addr} not confirmed: {:?}",
+            outcome.detections
+        );
+    }
+    assert!(
+        !outcome.honest_confirmed,
+        "zero false positives still holds"
+    );
+}
+
+#[test]
+fn classification_requires_all_attackers_nothing_extra() {
+    let cfg = ScenarioConfig::small_test();
+    let outcome = run_trial(&cfg, &spec(91_021));
+    assert!(outcome.attacker_confirmed);
+    assert!(outcome.attacker_revoked, "both certs revoked via the TAs");
+    assert_eq!(
+        outcome.detections.len(),
+        outcome
+            .detections
+            .iter()
+            .map(|(s, _, _)| *s)
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+        "each suspect concluded exactly once (verification-table dedup)"
+    );
+}

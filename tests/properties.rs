@@ -1,0 +1,143 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! protocol stack depends on.
+
+use blackdp_aodv::{Addr, RoutingTable};
+use blackdp_crypto::{
+    sha256, Keypair, LongTermId, PseudonymId, RevocationList, RevocationNotice, TaId,
+    TrustedAuthority,
+};
+use blackdp_mobility::{ClusterPlan, Direction, Kmh, Trajectory};
+use blackdp_sim::{Duration, Time};
+use proptest::prelude::*;
+
+// Re-exported by blackdp-sim; pull in explicitly for positions.
+use blackdp_sim::Position as SimPosition;
+
+proptest! {
+    /// Signatures verify for the signed message and fail for any other.
+    #[test]
+    fn sign_verify_roundtrip(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..256), tamper in any::<u8>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let keys = Keypair::generate(&mut rng);
+        let sig = keys.sign(&msg, &mut rng);
+        prop_assert!(keys.public().verify(&msg, &sig));
+        let mut tampered = msg.clone();
+        tampered.push(tamper);
+        prop_assert!(!keys.public().verify(&tampered, &sig));
+    }
+
+    /// SHA-256 streaming equals one-shot for any split point.
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in any::<prop::sample::Index>()) {
+        let cut = split.index(data.len() + 1);
+        let mut h = blackdp_crypto::Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Routing-table update rule: installed sequence numbers never go
+    /// backwards while the route stays valid.
+    #[test]
+    fn routing_table_seq_monotone_while_valid(updates in proptest::collection::vec((0u32..50, 1u64..6, 1u8..10), 1..60)) {
+        let mut table = RoutingTable::new();
+        let now = Time::ZERO;
+        let far = Time::from_secs(1_000);
+        let mut last_seq: Option<u32> = None;
+        for (seq, hop_src, hops) in updates {
+            table.update(Addr(9), Some(seq), Addr(hop_src), hops, far, now);
+            let entry = table.lookup_usable(Addr(9), now).expect("stays valid");
+            let cur = entry.dest_seq.expect("known seq");
+            if let Some(prev) = last_seq {
+                prop_assert!(cur >= prev, "seq went backwards: {} -> {}", prev, cur);
+            }
+            last_seq = Some(cur);
+        }
+    }
+
+    /// Every on-highway position belongs to exactly one cluster, and that
+    /// cluster's segment contains it.
+    #[test]
+    fn cluster_assignment_total_and_consistent(x in 0.0f64..10_000.0, y in 0.0f64..200.0) {
+        let plan = ClusterPlan::paper_table1();
+        let pos = SimPosition::new(x, y);
+        let c = plan.cluster_of(pos).expect("on-highway positions are covered");
+        prop_assert!(c.0 >= 1 && c.0 <= plan.cluster_count());
+        let seg_start = (c.0 as f64 - 1.0) * plan.cluster_len_m();
+        // The final boundary point folds into the last cluster.
+        prop_assert!(x >= seg_start && x <= seg_start + plan.cluster_len_m());
+    }
+
+    /// Trajectories advance monotonically along +x and never teleport:
+    /// distance covered equals speed times elapsed time.
+    #[test]
+    fn trajectory_kinematics(speed in 0.0f64..200.0, t1 in 0u64..10_000, dt in 0u64..10_000, x0 in -1_000.0f64..1_000.0) {
+        let tr = Trajectory::new(
+            SimPosition::new(x0, 50.0),
+            Kmh(speed),
+            Direction::Forward,
+            Time::ZERO,
+        );
+        let a = tr.position_at(Time::from_millis(t1));
+        let b = tr.position_at(Time::from_millis(t1 + dt));
+        prop_assert!(b.x >= a.x - 1e-9);
+        let expected = speed / 3.6 * (dt as f64 / 1000.0);
+        prop_assert!((b.x - a.x - expected).abs() < 1e-6);
+        prop_assert_eq!(a.y, b.y, "lane keeping");
+    }
+
+    /// Revocation lists: purging never removes unexpired notices and never
+    /// keeps expired ones.
+    #[test]
+    fn revocation_purge_is_exact(notices in proptest::collection::vec((any::<u64>(), 1u64..1_000), 0..40), cutoff in 1u64..1_000) {
+        let mut list = RevocationList::new();
+        for (p, exp) in &notices {
+            list.insert(RevocationNotice {
+                pseudonym: PseudonymId(*p),
+                serial: *p,
+                expires: Time::from_secs(*exp),
+            });
+        }
+        let now = Time::from_secs(cutoff);
+        list.purge_expired(now);
+        for n in list.iter() {
+            prop_assert!(n.expires > now);
+        }
+        // Every unexpired, distinct pseudonym survives (with its max expiry).
+        for (p, _) in &notices {
+            let max_exp = notices
+                .iter()
+                .filter(|(q, _)| q == p)
+                .map(|(_, e)| *e)
+                .max()
+                .unwrap();
+            if Time::from_secs(max_exp) > now {
+                prop_assert!(list.is_revoked(PseudonymId(*p)), "lost unexpired {p}");
+            }
+        }
+    }
+
+    /// TA invariant: once revoked, no sequence of renewals succeeds for
+    /// any pseudonym the owner ever held.
+    #[test]
+    fn revocation_starves_all_pseudonyms(seed in any::<u64>(), renewals in 0usize..5) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut ta = TrustedAuthority::new(TaId(0), &mut rng);
+        let keys = Keypair::generate(&mut rng);
+        let mut certs = vec![ta.enroll(LongTermId(7), keys.public(), Time::ZERO, Duration::from_secs(600), &mut rng)];
+        for _ in 0..renewals {
+            let cur = certs.last().unwrap().pseudonym;
+            certs.push(ta.renew(cur, keys.public(), Time::ZERO, Duration::from_secs(600), &mut rng).unwrap());
+        }
+        // Revoke the newest pseudonym…
+        ta.revoke(certs.last().unwrap().pseudonym).unwrap();
+        // …and every pseudonym the owner ever held is starved.
+        for cert in &certs {
+            prop_assert!(ta
+                .renew(cert.pseudonym, keys.public(), Time::ZERO, Duration::from_secs(600), &mut rng)
+                .is_err());
+        }
+    }
+}

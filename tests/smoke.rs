@@ -1,0 +1,48 @@
+//! End-to-end smoke tests: the full Table-I world must detect, isolate,
+//! and account for black hole attacks.
+
+use blackdp_scenario::{run_trial, AttackSetup, ScenarioConfig, TrialSpec};
+
+#[test]
+fn clean_network_delivers_data_with_no_detections() {
+    let cfg = ScenarioConfig::small_test();
+    let spec = TrialSpec {
+        seed: 1,
+        attack: AttackSetup::None,
+        evasion: blackdp_attacks::EvasionPolicy::None,
+        source_cluster: 1,
+        dest_cluster: Some(4),
+        attacker_moves: false,
+        attacker_fake_hello: false,
+    };
+    let outcome = run_trial(&cfg, &spec);
+    assert!(!outcome.attack_present);
+    assert!(
+        !outcome.honest_confirmed,
+        "no false positives on a clean run"
+    );
+    assert!(
+        outcome.data_delivered > 0,
+        "multi-hop data must flow: sent {} delivered {}",
+        outcome.data_sent,
+        outcome.data_delivered
+    );
+}
+
+#[test]
+fn single_black_hole_is_detected_and_isolated() {
+    let cfg = ScenarioConfig::small_test();
+    let spec = TrialSpec::single(2, 2, 10);
+    let outcome = run_trial(&cfg, &spec);
+    assert!(outcome.reported, "the source must raise a d_req");
+    assert!(
+        outcome.attacker_confirmed,
+        "the RSU must confirm the attacker: detections {:?}",
+        outcome.detections
+    );
+    assert!(!outcome.honest_confirmed, "zero false positives");
+    assert!(
+        outcome.attacker_revoked,
+        "the TA must revoke the certificate"
+    );
+}

@@ -1,0 +1,127 @@
+//! Wire-level protocol invariants, audited with the frame journal: what
+//! actually travels over the air must match what the paper's design
+//! promises.
+
+use blackdp_scenario::{
+    attach_journal, build_scenario, harvest, RsuNode, ScenarioConfig, TrialSpec,
+};
+use blackdp_sim::{Channel, Time};
+
+#[test]
+fn probe_frames_never_reveal_the_rsu_address() {
+    // Section III-B: the CH generates "a disposable identity that is used
+    // to fool the attacker ... make attacker feel safe". So no radio frame
+    // carrying a probe RREQ may use the RSU's protocol address as its
+    // link-layer source.
+    let cfg = ScenarioConfig::small_test();
+    let spec = TrialSpec::single(52_001, 2, 10);
+    let mut built = build_scenario(&cfg, &spec);
+    let journal = attach_journal(&mut built);
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+
+    let rsu_addrs: Vec<_> = built
+        .rsus
+        .iter()
+        .map(|&r| built.world.get::<RsuNode>(r).unwrap().cluster_head().addr())
+        .collect();
+    let journal = journal.borrow();
+    // Probe RREQs are TTL-limited unicasts sent by RSU nodes.
+    let rsu_nodes: Vec<_> = built.rsus.clone();
+    let leaked = journal
+        .entries()
+        .iter()
+        .filter(|e| e.kind == "rreq" && rsu_nodes.contains(&e.from))
+        .filter(|e| rsu_addrs.contains(&e.src))
+        .count();
+    assert_eq!(leaked, 0, "a probe RREQ leaked the RSU identity");
+    // ...and at least one disposable-identity probe actually flew.
+    let probes = journal
+        .entries()
+        .iter()
+        .filter(|e| e.kind == "rreq" && rsu_nodes.contains(&e.from))
+        .count();
+    assert!(probes >= 2, "expected RREQ1+RREQ2 probes, saw {probes}");
+}
+
+#[test]
+fn detection_traffic_is_a_sliver_of_total_traffic() {
+    // "Lightweight": the detection-plane frames (d_req, forwards,
+    // responses, revocations) must be a tiny fraction of overall traffic.
+    let cfg = ScenarioConfig::small_test();
+    let spec = TrialSpec::single(52_011, 2, 10);
+    let mut built = build_scenario(&cfg, &spec);
+    let journal = attach_journal(&mut built);
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+    let journal = journal.borrow();
+    let detection: usize = [
+        "dreq",
+        "dreq_fwd",
+        "handoff",
+        "dresp",
+        "revoke_req",
+        "revoked",
+    ]
+    .iter()
+    .map(|k| journal.count_kind(k))
+    .sum();
+    let total = journal.len();
+    assert!(detection > 0, "detection happened");
+    assert!(
+        detection * 20 < total,
+        "detection traffic {detection} of {total} frames is not lightweight"
+    );
+}
+
+#[test]
+fn wired_backbone_carries_only_blackdp_control_traffic() {
+    let cfg = ScenarioConfig::small_test();
+    let spec = TrialSpec::single(52_021, 2, 10);
+    let mut built = build_scenario(&cfg, &spec);
+    let journal = attach_journal(&mut built);
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+    let journal = journal.borrow();
+    for e in journal.entries() {
+        if e.channel == Channel::Wired {
+            assert!(
+                matches!(
+                    e.kind,
+                    "dreq_fwd"
+                        | "handoff"
+                        | "dresp"
+                        | "revoke_req"
+                        | "revoked"
+                        | "pause"
+                        | "renew_req"
+                        | "renew_reply"
+                ),
+                "unexpected wired frame kind {:?}",
+                e.kind
+            );
+        }
+    }
+}
+
+#[test]
+fn journal_agrees_with_harvested_outcome() {
+    let cfg = ScenarioConfig::small_test();
+    let spec = TrialSpec::single(52_031, 2, 10);
+    let mut built = build_scenario(&cfg, &spec);
+    let journal = attach_journal(&mut built);
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+    let outcome = harvest(&cfg, &spec, &built);
+    let journal = journal.borrow();
+    if outcome.attacker_confirmed {
+        assert!(
+            journal.count_kind("revoke_req") >= 1,
+            "a confirmation must produce a wired revocation request"
+        );
+        assert!(
+            journal.count_kind("revoked") >= 1,
+            "the TA must distribute revocation notices"
+        );
+        assert!(
+            journal.count_kind("blacklist") >= 1,
+            "CHs must advise members of the new blacklist entry"
+        );
+    }
+}
