@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# One-command CI gate: build, full test suite, then the two release-mode
+# shape gates (paper figures + fault-recovery). Each gate exits non-zero
+# on violation, so `./ci.sh` failing means a real regression.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> paper shape gate (validate_shapes quick)"
+cargo run --release -p blackdp-bench --bin validate_shapes -- quick
+
+echo "==> fault-recovery gate (faults quick)"
+cargo run --release -p blackdp-bench --bin faults -- quick
+
+echo "==> ci.sh: all gates passed"

@@ -1,0 +1,121 @@
+//! Robustness-under-failure gate (experiment E9): sweeps randomized
+//! infrastructure faults — RSU crash/restart, TA outages, backhaul
+//! partitions, radio bursts — of growing intensity against a staged black
+//! hole, printing detection rates and time-to-recover per intensity and
+//! asserting the recovery invariants. Exits non-zero on violation.
+//!
+//! ```text
+//! cargo run --release -p blackdp-bench --bin faults [quick|full]
+//! ```
+//!
+//! `quick` (default) uses few repetitions; `full` uses more.
+
+use blackdp_scenario::{fault_sweep, ScenarioConfig};
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, label: &str, ok: bool, detail: String) {
+        if ok {
+            println!("PASS  {label}");
+        } else {
+            println!("FAIL  {label}: {detail}");
+            self.failures.push(label.to_owned());
+        }
+    }
+}
+
+fn main() {
+    let full = std::env::args().nth(1).as_deref() == Some("full");
+    let reps: u32 = if full { 12 } else { 5 };
+    let cfg = ScenarioConfig::paper_table1();
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+
+    let intensities = [0.0, 0.3, 0.6, 1.0];
+    let points = fault_sweep(&cfg, &intensities, reps);
+
+    println!(
+        "{:>9}  {:>8}  {:>6}  {:>6}  {:>6}  {:>7}  {:>9}  {:>7}",
+        "intensity", "accuracy", "fp", "fn", "pdr", "crashes", "recover_s", "retries"
+    );
+    for p in &points {
+        println!(
+            "{:>9.1}  {:>8.3}  {:>6.3}  {:>6.3}  {:>6.3}  {:>7}  {:>9}  {:>7}",
+            p.intensity,
+            p.rates.accuracy,
+            p.rates.fp_rate,
+            p.rates.fn_rate,
+            p.rates.mean_pdr,
+            p.crashes,
+            p.mean_time_to_recover_s
+                .map_or_else(|| "-".to_owned(), |s| format!("{s:.2}")),
+            p.revocation_retries,
+        );
+    }
+    println!();
+
+    for p in &points {
+        gate.check(
+            &format!("faults/{:.1}: zero false positives", p.intensity),
+            p.rates.fp_rate == 0.0,
+            format!("fp_rate {:.3}", p.rates.fp_rate),
+        );
+    }
+
+    let baseline = &points[0];
+    gate.check(
+        "faults/0.0: fault-free sweep detects perfectly",
+        baseline.rates.accuracy >= 0.999 && baseline.crashes == 0,
+        format!(
+            "accuracy {:.3}, crashes {}",
+            baseline.rates.accuracy, baseline.crashes
+        ),
+    );
+
+    let faulted: Vec<_> = points.iter().filter(|p| p.intensity > 0.0).collect();
+    let total_crashes: u64 = faulted.iter().map(|p| p.crashes).sum();
+    let total_restarts: u64 = faulted.iter().map(|p| p.restarts).sum();
+    gate.check(
+        "faults: crashes were injected and all restarted",
+        total_crashes > 0 && total_restarts == total_crashes,
+        format!("crashes {total_crashes}, restarts {total_restarts}"),
+    );
+
+    for p in &faulted {
+        gate.check(
+            &format!("faults/{:.1}: accuracy floor under faults", p.intensity),
+            p.rates.accuracy >= 0.8,
+            format!("accuracy {:.3}", p.rates.accuracy),
+        );
+        if p.crashes > 0 {
+            gate.check(
+                &format!("faults/{:.1}: crashed segments repopulate", p.intensity),
+                p.mean_time_to_recover_s.is_some(),
+                "no restart ever saw a member re-join".to_owned(),
+            );
+        }
+    }
+
+    if let Some(worst) = faulted
+        .iter()
+        .filter_map(|p| p.mean_time_to_recover_s)
+        .fold(None::<f64>, |m, s| Some(m.map_or(s, |m| m.max(s))))
+    {
+        gate.check(
+            "faults: membership recovers within 5 virtual seconds",
+            worst <= 5.0,
+            format!("worst mean time-to-recover {worst:.2}s"),
+        );
+    }
+
+    if gate.failures.is_empty() {
+        println!("\nAll fault-recovery gates passed.");
+    } else {
+        println!("\n{} gate(s) failed: {:?}", gate.failures.len(), gate.failures);
+        std::process::exit(1);
+    }
+}

@@ -31,6 +31,24 @@ pub struct BlackDpConfig {
     /// (or past) examination are suppressed via the verification table
     /// (Section III-B). Disable only for the dedup ablation.
     pub dedup_detection_requests: bool,
+    /// Base delay before a revocation request unanswered by the TA is
+    /// retried; subsequent retries back off exponentially from here. In a
+    /// healthy deployment the TA acknowledges within a couple of wired
+    /// round trips, so the first retry never fires.
+    pub ta_retry_base: Duration,
+    /// Random extra delay added to each retry (drawn per attempt) so
+    /// cluster heads that lost the TA simultaneously do not retry in
+    /// lockstep.
+    pub ta_retry_jitter: Duration,
+    /// Retries before the CH abandons a revocation request (the local
+    /// blacklist entry placed when degraded mode engaged still isolates
+    /// the attacker until it expires).
+    pub ta_retry_max_attempts: u32,
+    /// For this long after a reboot, a detection request naming a suspect
+    /// that has not re-registered yet is parked instead of answered
+    /// `SuspectGone` — surviving members need a moment to hear the
+    /// `Resync` and re-join before the CH can probe them.
+    pub post_restart_grace: Duration,
 }
 
 impl Default for BlackDpConfig {
@@ -43,6 +61,10 @@ impl Default for BlackDpConfig {
             cert_validity: Duration::from_secs(600),
             max_verification_entries: 1024,
             dedup_detection_requests: true,
+            ta_retry_base: Duration::from_millis(500),
+            ta_retry_jitter: Duration::from_millis(100),
+            ta_retry_max_attempts: 5,
+            post_restart_grace: Duration::from_secs(2),
         }
     }
 }
@@ -57,5 +79,7 @@ mod tests {
         assert!(cfg.hello_probe_timeout > Duration::ZERO);
         assert!(cfg.probe_rrep_timeout > Duration::ZERO);
         assert!(cfg.max_verification_entries > 0);
+        assert!(cfg.ta_retry_base > Duration::ZERO);
+        assert!(cfg.ta_retry_max_attempts > 0);
     }
 }

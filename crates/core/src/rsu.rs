@@ -20,16 +20,17 @@
 use std::collections::BTreeMap;
 
 use blackdp_aodv::{Addr, Message as AodvMessage, Rrep, Rreq, SeqNo};
-use blackdp_crypto::{PseudonymId, PublicKey, RevocationList, TaId};
+use blackdp_crypto::{PseudonymId, PublicKey, RevocationList, RevocationNotice, TaId};
 use blackdp_mobility::ClusterId;
-use blackdp_sim::Time;
+use blackdp_sim::{Duration, Time};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::config::BlackDpConfig;
 use crate::table::{VerStatus, VerificationTable};
 use crate::wire::{
-    addr_of, BlackDpMessage, DReq, DetectionHandoff, DetectionOutcome, DetectionResponse, Wire,
+    addr_of, BlackDpMessage, DReq, DetectionHandoff, DetectionOutcome, DetectionResponse,
+    SuspicionReason, Wire,
 };
 
 /// An instruction for the host embedding a [`ClusterHead`].
@@ -91,6 +92,35 @@ pub enum ChEvent {
     },
     /// A revocation request was sent to the TA for `pseudonym`.
     IsolationRequested(PseudonymId),
+    /// The cluster head rebooted: volatile tables were lost and a fresh
+    /// membership epoch was announced (see [`ClusterHead::restart`]).
+    Restarted,
+    /// A revocation request unacknowledged by the TA was re-sent.
+    RevocationRetried {
+        /// The attacker whose revocation is still pending.
+        suspect: PseudonymId,
+        /// Which retry this was (1-based).
+        attempt: u32,
+    },
+    /// A revocation request exhausted its retries without a TA answer;
+    /// only the local (degraded-mode) blacklist entry isolates the
+    /// attacker now.
+    RevocationAbandoned(PseudonymId),
+    /// A detection request named a suspect that has not re-registered
+    /// since this CH rebooted; the request was parked for the
+    /// post-restart grace window instead of being answered `SuspectGone`.
+    DetectionDeferred {
+        /// The suspect awaited.
+        suspect: Addr,
+    },
+    /// A peer cluster head announced a fresh epoch (it rebooted), so a
+    /// detection request previously forwarded there was sent again.
+    ForwardReplayed {
+        /// The suspect whose forwarded request was replayed.
+        suspect: Addr,
+        /// The rebooted peer.
+        to: ClusterId,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -125,6 +155,26 @@ struct MemberInfo {
     joined: Time,
 }
 
+/// A revocation request awaiting the TA's `Revoked` acknowledgement.
+#[derive(Debug, Clone, Copy)]
+struct PendingRevocation {
+    next_retry: Time,
+    attempts: u32,
+}
+
+/// A detection request naming a suspect that has not (re-)registered yet,
+/// parked during the post-restart grace window.
+#[derive(Debug, Clone, Copy)]
+struct DeferredDreq {
+    dreq: DReq,
+    packets: u32,
+    deadline: Time,
+}
+
+/// How many consecutive ticks a restarted cluster head repeats its
+/// `Resync` broadcast (covers radio loss without a steady-state beacon).
+const RESYNC_BROADCASTS: u32 = 3;
+
 /// The RSU / cluster head protocol instance.
 ///
 /// Sans-io: feed messages via [`handle_blackdp`](Self::handle_blackdp) and
@@ -143,6 +193,17 @@ pub struct ClusterHead {
     verification: VerificationTable,
     detections: BTreeMap<Addr, DetectionState>,
     blacklist: RevocationList,
+    pending_revocations: BTreeMap<PseudonymId, PendingRevocation>,
+    epoch: u64,
+    resync_remaining: u32,
+    /// Latest epoch heard from each peer CH; a new value means the peer
+    /// rebooted and forwarded detections must be replayed.
+    peer_epochs: BTreeMap<ClusterId, u64>,
+    /// Detection requests parked until their suspect re-registers (or the
+    /// post-restart grace expires).
+    deferred_dreqs: BTreeMap<Addr, DeferredDreq>,
+    /// When this CH last rebooted, if ever.
+    restarted_at: Option<Time>,
     rng: StdRng,
 }
 
@@ -160,6 +221,8 @@ impl ClusterHead {
         seed: u64,
     ) -> Self {
         let max_entries = cfg.max_verification_entries;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let epoch = rng.random();
         ClusterHead {
             cluster,
             addr,
@@ -172,7 +235,13 @@ impl ClusterHead {
             verification: VerificationTable::new(max_entries),
             detections: BTreeMap::new(),
             blacklist: RevocationList::new(),
-            rng: StdRng::seed_from_u64(seed),
+            pending_revocations: BTreeMap::new(),
+            epoch,
+            resync_remaining: 0,
+            peer_epochs: BTreeMap::new(),
+            deferred_dreqs: BTreeMap::new(),
+            restarted_at: None,
+            rng,
         }
     }
 
@@ -201,6 +270,16 @@ impl ClusterHead {
         &self.blacklist
     }
 
+    /// The current membership epoch (redrawn on every [`restart`](Self::restart)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Revocation requests still awaiting a TA acknowledgement.
+    pub fn pending_revocation_count(&self) -> usize {
+        self.pending_revocations.len()
+    }
+
     /// The verification table (read access for tests and metrics).
     pub fn verification(&self) -> &VerificationTable {
         &self.verification
@@ -225,17 +304,24 @@ impl ClusterHead {
                 self.history.remove(&pseudonym);
                 self.members.insert(pseudonym, MemberInfo { joined: now });
                 let blacklist: Vec<_> = self.blacklist.iter().copied().collect();
-                vec![
+                let mut actions = vec![
                     ChAction::Radio {
                         to: addr_of(pseudonym),
                         wire: Wire::BlackDp(BlackDpMessage::Jrep {
                             cluster: self.cluster,
                             ch_addr: self.addr,
+                            epoch: self.epoch,
                             blacklist,
                         }),
                     },
                     ChAction::Event(ChEvent::MemberJoined(pseudonym)),
-                ]
+                ];
+                // A parked post-restart detection request waiting for this
+                // suspect can run now.
+                if let Some(d) = self.deferred_dreqs.remove(&addr_of(pseudonym)) {
+                    actions.extend(self.start_detection(d.dreq.suspect, d.packets, now));
+                }
+                actions
             }
             BlackDpMessage::Leave { vehicle } => {
                 let mut actions = Vec::new();
@@ -279,6 +365,9 @@ impl ClusterHead {
                 }]
             }
             BlackDpMessage::Revoked(notice) => {
+                // The authority's answer doubles as the acknowledgement for
+                // a pending (possibly retried) revocation request.
+                self.pending_revocations.remove(&notice.pseudonym);
                 self.blacklist.insert(notice);
                 vec![ChAction::RadioBroadcast {
                     wire: Wire::BlackDp(BlackDpMessage::BlacklistAdvisory {
@@ -311,6 +400,51 @@ impl ClusterHead {
                     to: addr_of(current),
                     wire: Wire::BlackDp(BlackDpMessage::RenewReply { current, cert }),
                 }]
+            }
+            BlackDpMessage::Resync { cluster, epoch, .. } => {
+                if cluster == self.cluster {
+                    return Vec::new(); // our own announcement echoed back
+                }
+                if self.peer_epochs.insert(cluster, epoch) == Some(epoch) {
+                    return Vec::new(); // rebroadcast of an epoch already handled
+                }
+                // The peer rebooted and lost its volatile tables: any
+                // detection we forwarded there died with it. Replay those
+                // requests — the peer's verification table dedups any that
+                // in fact survived, and its post-restart grace parks them
+                // until the suspect re-registers.
+                let forwarded: Vec<(Addr, Option<ClusterId>, Vec<(PseudonymId, ClusterId)>)> =
+                    self.verification
+                        .iter()
+                        .filter(|e| matches!(e.status, VerStatus::Forwarded { to } if to == cluster))
+                        .map(|e| (e.suspect, e.suspect_cluster, e.reporters.clone()))
+                        .collect();
+                let mut actions = Vec::new();
+                for (suspect, suspect_cluster, reporters) in forwarded {
+                    let Some(&(reporter, reporter_cluster)) = reporters.first() else {
+                        continue;
+                    };
+                    actions.push(ChAction::Event(ChEvent::ForwardReplayed {
+                        suspect,
+                        to: cluster,
+                    }));
+                    actions.push(ChAction::WiredCh {
+                        cluster,
+                        msg: BlackDpMessage::ForwardedDetection {
+                            dreq: DReq {
+                                reporter,
+                                reporter_cluster,
+                                suspect,
+                                suspect_cluster,
+                                // The original reason died with the peer;
+                                // the ladder it triggers is the same.
+                                reason: SuspicionReason::NoHelloResponse,
+                            },
+                            packets_so_far: 1, // the replay itself
+                        },
+                    });
+                }
+                actions
             }
             // Messages cluster heads never consume.
             BlackDpMessage::Jrep { .. }
@@ -417,24 +551,59 @@ impl ClusterHead {
         actions
     }
 
-    /// Periodic maintenance: probe timeouts and blacklist expiry.
+    /// Periodic maintenance: probe timeouts, TA-retry pumping, post-restart
+    /// resync broadcasts, and blacklist expiry.
     pub fn tick(&mut self, now: Time) -> Vec<ChAction> {
         self.blacklist.purge_expired(now);
+        let mut actions = Vec::new();
+        if self.resync_remaining > 0 {
+            self.resync_remaining -= 1;
+            actions.push(self.resync_action());
+        }
+        self.pump_revocation_retries(now, &mut actions);
+        // Parked post-restart requests whose suspect never re-registered.
+        let expired: Vec<Addr> = self
+            .deferred_dreqs
+            .iter()
+            .filter(|(_, d)| now >= d.deadline)
+            .map(|(&a, _)| a)
+            .collect();
+        for suspect in expired {
+            let d = self.deferred_dreqs.remove(&suspect).expect("just listed");
+            actions.extend(self.respond_all(
+                suspect,
+                DetectionOutcome::SuspectGone,
+                d.packets,
+                now,
+            ));
+            actions.push(ChAction::Event(ChEvent::DetectionConcluded {
+                suspect,
+                outcome: DetectionOutcome::SuspectGone,
+                packets: d.packets + 1,
+            }));
+        }
         let due: Vec<Addr> = self
             .detections
             .values()
             .filter(|d| now >= d.deadline)
             .map(|d| d.suspect)
             .collect();
-        let mut actions = Vec::new();
         for suspect in due {
             let mut state = self.detections.remove(&suspect).expect("just listed");
             match state.stage {
                 Stage::PendingRreq2 { s1 } => {
                     // RREQ₂: same fake destination, *higher* sequence
                     // demand, next-hop inquiry set (Section III-B.3).
-                    let rreq2 =
-                        self.make_probe_rreq(state.disposable, state.fake_dest, Some(s1 + 1), true);
+                    // Saturating: an attacker advertising u32::MAX in
+                    // RREP₁ must not panic the CH — the demand simply
+                    // becomes unsatisfiable and the episode concludes
+                    // Unconfirmed.
+                    let rreq2 = self.make_probe_rreq(
+                        state.disposable,
+                        state.fake_dest,
+                        Some(s1.saturating_add(1)),
+                        true,
+                    );
                     state.packets += 1;
                     state.stage = Stage::AwaitRrep2 { s1 };
                     state.deadline = now + self.cfg.probe_rrep_timeout;
@@ -543,6 +712,23 @@ impl ClusterHead {
             }];
         }
 
+        // Freshly rebooted: the suspect may simply not have re-registered
+        // yet. Park the request for the grace window instead of declaring
+        // it gone — a re-join releases it, expiry concludes `SuspectGone`.
+        let recovering = self
+            .restarted_at
+            .is_some_and(|t| now < t + self.cfg.post_restart_grace);
+        if recovering && dreq.suspect_cluster.is_none_or(|c| c == self.cluster) {
+            self.deferred_dreqs.entry(dreq.suspect).or_insert(DeferredDreq {
+                dreq,
+                packets,
+                deadline: now + self.cfg.post_restart_grace,
+            });
+            return vec![ChAction::Event(ChEvent::DetectionDeferred {
+                suspect: dreq.suspect,
+            })];
+        }
+
         // Unknown whereabouts (e.g. it already fled): answer SuspectGone.
         let mut actions =
             self.respond_all(dreq.suspect, DetectionOutcome::SuspectGone, packets, now);
@@ -585,7 +771,9 @@ impl ClusterHead {
         let (stage, rreq) = match handoff.rrep1_seq {
             Some(s1) => (
                 Stage::AwaitRrep2 { s1 },
-                self.make_probe_rreq(disposable, fake_dest, Some(s1 + 1), true),
+                // Saturating: the handoff's s1 arrives over the wire and
+                // may be forged as u32::MAX; never panic on it.
+                self.make_probe_rreq(disposable, fake_dest, Some(s1.saturating_add(1)), true),
             ),
             None => (
                 Stage::AwaitRrep1,
@@ -599,7 +787,7 @@ impl ClusterHead {
             stage,
             deadline: now + self.cfg.probe_rrep_timeout,
             retries_left: self.cfg.probe_retries,
-            packets: handoff.packets_so_far + 1, // the probe just sent
+            packets: handoff.packets_so_far.saturating_add(1), // the probe just sent
         };
         let suspect = handoff.suspect;
         self.detections.insert(suspect, state);
@@ -676,6 +864,19 @@ impl ClusterHead {
         let isolate = |this: &mut Self, addr: Addr, actions: &mut Vec<ChAction>| {
             let pseudonym = PseudonymId(addr.0);
             this.members.remove(&pseudonym);
+            // Track the request until the TA's `Revoked` answer lands: a TA
+            // outage triggers bounded retries plus local degraded-mode
+            // isolation (see `pump_revocation_retries`). A reachable TA
+            // acknowledges within a couple of wired hops, well inside the
+            // base delay, so the retry never fires in healthy runs.
+            let jitter = this.retry_jitter();
+            this.pending_revocations.insert(
+                pseudonym,
+                PendingRevocation {
+                    next_retry: now + this.cfg.ta_retry_base + jitter,
+                    attempts: 0,
+                },
+            );
             actions.push(ChAction::WiredTa {
                 ta: this.ta,
                 msg: BlackDpMessage::RevocationRequest {
@@ -743,6 +944,114 @@ impl ClusterHead {
                 msg: BlackDpMessage::Response(resp),
             }]
         }
+    }
+
+    /// Reboots the cluster head after a crash.
+    ///
+    /// Volatile state — member and history tables, the verification table,
+    /// in-flight probe ladders, and the TA retry queue — is lost; key
+    /// material, configuration, and the blacklist are modeled as persisted
+    /// to flash. Every in-flight detection concludes `Unconfirmed` (a
+    /// bookkeeping event only: a crashed CH cannot answer reporters, which
+    /// re-report through their normal traffic path), and a fresh membership
+    /// epoch is broadcast via `Resync` so surviving members re-register.
+    ///
+    /// For [`post_restart_grace`](BlackDpConfig::post_restart_grace) after
+    /// `now`, detection requests naming suspects that have not
+    /// re-registered yet are parked rather than answered `SuspectGone`.
+    pub fn restart(&mut self, now: Time) -> Vec<ChAction> {
+        let mut actions = vec![ChAction::Event(ChEvent::Restarted)];
+        for state in std::mem::take(&mut self.detections).into_values() {
+            actions.push(ChAction::Event(ChEvent::DetectionConcluded {
+                suspect: state.suspect,
+                outcome: DetectionOutcome::Unconfirmed,
+                packets: state.packets,
+            }));
+        }
+        self.members.clear();
+        self.history.clear();
+        self.verification = VerificationTable::new(self.cfg.max_verification_entries);
+        self.pending_revocations.clear();
+        self.peer_epochs.clear();
+        self.deferred_dreqs.clear();
+        self.restarted_at = Some(now);
+        self.epoch = self.rng.random();
+        self.resync_remaining = RESYNC_BROADCASTS;
+        actions.push(self.resync_action());
+        actions
+    }
+
+    fn resync_action(&self) -> ChAction {
+        ChAction::RadioBroadcast {
+            wire: Wire::BlackDp(BlackDpMessage::Resync {
+                cluster: self.cluster,
+                ch_addr: self.addr,
+                epoch: self.epoch,
+            }),
+        }
+    }
+
+    /// Re-sends revocation requests the TA has not acknowledged, backing
+    /// off exponentially, and engages degraded mode on the first retry:
+    /// the CH fabricates a provisional blacklist notice and advises its
+    /// members, so a confirmed attacker stays isolated locally while the
+    /// authority backhaul is down.
+    fn pump_revocation_retries(&mut self, now: Time, actions: &mut Vec<ChAction>) {
+        let due: Vec<PseudonymId> = self
+            .pending_revocations
+            .iter()
+            .filter(|(_, p)| now >= p.next_retry)
+            .map(|(s, _)| *s)
+            .collect();
+        for suspect in due {
+            let attempts = self.pending_revocations[&suspect].attempts;
+            if attempts >= self.cfg.ta_retry_max_attempts {
+                self.pending_revocations.remove(&suspect);
+                actions.push(ChAction::Event(ChEvent::RevocationAbandoned(suspect)));
+                continue;
+            }
+            let attempt = attempts + 1;
+            if attempt == 1 {
+                let notice = RevocationNotice {
+                    pseudonym: suspect,
+                    serial: 0, // provisional; a real TA notice supersedes it
+                    expires: now + self.cfg.cert_validity,
+                };
+                self.blacklist.insert(notice);
+                actions.push(ChAction::RadioBroadcast {
+                    wire: Wire::BlackDp(BlackDpMessage::BlacklistAdvisory {
+                        notices: vec![notice],
+                    }),
+                });
+            }
+            let gap = Duration::from_micros(
+                self.cfg
+                    .ta_retry_base
+                    .as_micros()
+                    .saturating_mul(1u64 << attempt.min(10)),
+            );
+            let jitter = self.retry_jitter();
+            if let Some(p) = self.pending_revocations.get_mut(&suspect) {
+                p.attempts = attempt;
+                p.next_retry = now + gap + jitter;
+            }
+            actions.push(ChAction::WiredTa {
+                ta: self.ta,
+                msg: BlackDpMessage::RevocationRequest {
+                    suspect,
+                    reporting_cluster: self.cluster,
+                },
+            });
+            actions.push(ChAction::Event(ChEvent::RevocationRetried { suspect, attempt }));
+        }
+    }
+
+    fn retry_jitter(&mut self) -> Duration {
+        let max = self.cfg.ta_retry_jitter.as_micros();
+        if max == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.rng.random_range(0..=max))
     }
 
     fn make_probe_rreq(
@@ -1343,5 +1652,342 @@ mod tests {
             }
             other => panic!("expected a TA relay, got {other:?}"),
         }
+    }
+
+    /// Starts a detection against a freshly joined member and returns the
+    /// suspect's address (episode left in `AwaitRrep1`).
+    fn start_episode(fx: &mut Fixture, lt: u64) -> Addr {
+        let (keys, cert) = enroll(fx, lt);
+        let _ = join(fx, &keys, cert, Time::ZERO);
+        let suspect = addr_of(cert.pseudonym);
+        let sealed = dreq_for(fx, suspect, lt + 100);
+        let actions =
+            fx.ch
+                .handle_blackdp(Addr(1), BlackDpMessage::DetectionRequest(sealed), Time::ZERO);
+        assert!(probe_sent_to(&actions, suspect).is_some());
+        suspect
+    }
+
+    #[test]
+    fn restart_loses_members_and_concludes_inflight_unconfirmed() {
+        let mut fx = fixture();
+        let suspect = start_episode(&mut fx, 66);
+        let old_epoch = fx.ch.epoch();
+        assert_eq!(fx.ch.storage_summary().4, 1, "one in-flight detection");
+
+        let actions = fx.ch.restart(Time::from_secs(1));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ChAction::Event(ChEvent::Restarted))));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ChAction::Event(ChEvent::DetectionConcluded {
+                suspect: s,
+                outcome: DetectionOutcome::Unconfirmed,
+                ..
+            }) if *s == suspect
+        )));
+        let resync_epoch = actions.iter().find_map(|a| match a {
+            ChAction::RadioBroadcast {
+                wire: Wire::BlackDp(BlackDpMessage::Resync { cluster, epoch, .. }),
+            } => Some((*cluster, *epoch)),
+            _ => None,
+        });
+        let (cluster, epoch) = resync_epoch.expect("resync broadcast");
+        assert_eq!(cluster, ClusterId(2));
+        assert_ne!(epoch, old_epoch, "epoch redrawn on restart");
+        assert_eq!(epoch, fx.ch.epoch());
+
+        // Everything volatile is gone; the next tick repeats the resync.
+        let (members, history, verification, _, detections) = fx.ch.storage_summary();
+        assert_eq!((members, history, verification, detections), (0, 0, 0, 0));
+        let tick = fx.ch.tick(Time::from_secs(3));
+        assert!(tick.iter().any(|a| matches!(
+            a,
+            ChAction::RadioBroadcast {
+                wire: Wire::BlackDp(BlackDpMessage::Resync { .. })
+            }
+        )));
+
+        // A member can re-register and be probed again afterwards.
+        let (keys2, cert2) = enroll(&mut fx, 66);
+        let t = Time::from_secs(4);
+        let _ = join(&mut fx, &keys2, cert2, t);
+        assert!(fx.ch.is_member(cert2.pseudonym));
+    }
+
+    #[test]
+    fn blacklist_survives_restart() {
+        let mut fx = fixture();
+        let (keys, cert) = enroll(&mut fx, 9);
+        let rev = fx.ta.revoke(cert.pseudonym).unwrap();
+        let _ = fx
+            .ch
+            .handle_blackdp(Addr(0), BlackDpMessage::Revoked(rev.notice), Time::ZERO);
+        let _ = fx.ch.restart(Time::ZERO);
+        assert!(fx.ch.blacklist().is_revoked(cert.pseudonym));
+        let actions = join(&mut fx, &keys, cert, Time::from_secs(1));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ChAction::Event(ChEvent::JoinRejected(_)))));
+    }
+
+    /// Drives the full ladder to a `ConfirmedSingle` verdict and returns
+    /// the confirmed pseudonym.
+    fn confirm_attacker(fx: &mut Fixture, lt: u64) -> PseudonymId {
+        let (keys, cert) = enroll(fx, lt);
+        let _ = join(fx, &keys, cert, Time::ZERO);
+        let suspect = addr_of(cert.pseudonym);
+        let sealed = dreq_for(fx, suspect, lt + 100);
+        let actions =
+            fx.ch
+                .handle_blackdp(Addr(1), BlackDpMessage::DetectionRequest(sealed), Time::ZERO);
+        let rreq1 = probe_sent_to(&actions, suspect).unwrap();
+        let rrep1 = Rrep {
+            dest: rreq1.dest,
+            dest_seq: 250,
+            orig: rreq1.orig,
+            hop_count: 4,
+            lifetime: Duration::from_secs(6),
+            next_hop: None,
+        };
+        let _ = fx.ch.on_probe_rrep(suspect, &rrep1, Time::from_millis(10));
+        let actions = fx.ch.tick(Time::from_millis(150));
+        let rreq2 = probe_sent_to(&actions, suspect).unwrap();
+        let rrep2 = Rrep {
+            dest: rreq2.dest,
+            dest_seq: 300,
+            orig: rreq2.orig,
+            hop_count: 4,
+            lifetime: Duration::from_secs(6),
+            next_hop: None,
+        };
+        let _ = fx.ch.on_probe_rrep(suspect, &rrep2, Time::from_millis(200));
+        cert.pseudonym
+    }
+
+    #[test]
+    fn revoked_ack_clears_the_retry_queue() {
+        let mut fx = fixture();
+        let pseudonym = confirm_attacker(&mut fx, 66);
+        assert_eq!(fx.ch.pending_revocation_count(), 1);
+        let rev = fx.ta.revoke(pseudonym).unwrap();
+        let _ = fx
+            .ch
+            .handle_blackdp(Addr(0), BlackDpMessage::Revoked(rev.notice), Time::from_millis(205));
+        assert_eq!(fx.ch.pending_revocation_count(), 0);
+        // Much later, no retry fires.
+        let actions = fx.ch.tick(Time::from_secs(30));
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, ChAction::Event(ChEvent::RevocationRetried { .. }))));
+    }
+
+    #[test]
+    fn unacked_revocation_goes_degraded_then_backs_off_then_abandons() {
+        let mut fx = fixture();
+        let pseudonym = confirm_attacker(&mut fx, 66);
+        assert_eq!(fx.ch.pending_revocation_count(), 1);
+        assert!(!fx.ch.blacklist().is_revoked(pseudonym));
+
+        // First retry (the TA never answers): degraded mode engages — a
+        // provisional local blacklist entry plus a member advisory.
+        let t1 = Time::from_secs(1);
+        let a1 = fx.ch.tick(t1);
+        assert!(a1.iter().any(|a| matches!(
+            a,
+            ChAction::Event(ChEvent::RevocationRetried { suspect, attempt: 1 }) if *suspect == pseudonym
+        )));
+        assert!(a1.iter().any(|a| matches!(
+            a,
+            ChAction::RadioBroadcast {
+                wire: Wire::BlackDp(BlackDpMessage::BlacklistAdvisory { .. })
+            }
+        )));
+        assert!(
+            fx.ch.blacklist().is_revoked(pseudonym),
+            "degraded mode isolates locally"
+        );
+        let resend = a1
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    ChAction::WiredTa {
+                        msg: BlackDpMessage::RevocationRequest { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(resend, 1);
+
+        // Backoff: immediately after the first retry nothing is due.
+        let a = fx.ch.tick(t1 + Duration::from_millis(100));
+        assert!(!a
+            .iter()
+            .any(|a| matches!(a, ChAction::Event(ChEvent::RevocationRetried { .. }))));
+
+        // Drive far past every backoff gap; the queue must drain with an
+        // abandonment event after `ta_retry_max_attempts` retries.
+        let mut retries = 1u32;
+        let mut abandoned = false;
+        for step in 2..4000u64 {
+            let actions = fx.ch.tick(Time::from_millis(step * 100));
+            for action in &actions {
+                match action {
+                    ChAction::Event(ChEvent::RevocationRetried { attempt, .. }) => {
+                        assert_eq!(*attempt, retries + 1, "attempts increase one at a time");
+                        retries = *attempt;
+                    }
+                    ChAction::Event(ChEvent::RevocationAbandoned(s)) => {
+                        assert_eq!(*s, pseudonym);
+                        abandoned = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(retries, fx.ch.cfg.ta_retry_max_attempts);
+        assert!(abandoned, "queue abandons after max attempts");
+        assert_eq!(fx.ch.pending_revocation_count(), 0);
+        assert!(
+            fx.ch.blacklist().is_revoked(pseudonym),
+            "local isolation outlives the abandoned request"
+        );
+    }
+
+    #[test]
+    fn peer_resync_replays_forwarded_dreq_once_per_epoch() {
+        let mut fx = fixture();
+        // A report for a cluster-5 suspect is forwarded there.
+        let suspect = Addr(12345);
+        let (rkeys, rcert) = enroll(&mut fx, 2);
+        let dreq = DReq {
+            reporter: rcert.pseudonym,
+            reporter_cluster: ClusterId(2),
+            suspect,
+            suspect_cluster: Some(ClusterId(5)),
+            reason: SuspicionReason::NoHelloResponse,
+        };
+        let sealed = Sealed::seal(dreq, rcert, Some(ClusterId(2)), &rkeys, &mut fx.rng);
+        let _ = fx.ch.handle_blackdp(
+            Addr(1),
+            BlackDpMessage::DetectionRequest(sealed),
+            Time::ZERO,
+        );
+
+        // Cluster 5's CH announces a fresh epoch: the forward is replayed.
+        let resync = |epoch| BlackDpMessage::Resync {
+            cluster: ClusterId(5),
+            ch_addr: Addr(9_000_005),
+            epoch,
+        };
+        let replayed = |actions: &[ChAction]| {
+            actions.iter().any(|a| matches!(
+                a,
+                ChAction::WiredCh {
+                    cluster: ClusterId(5),
+                    msg: BlackDpMessage::ForwardedDetection { dreq, .. },
+                } if dreq.suspect == suspect
+            ))
+        };
+        let a1 = fx
+            .ch
+            .handle_blackdp(Addr(2), resync(41), Time::from_secs(3));
+        assert!(replayed(&a1), "new epoch replays the forward: {a1:?}");
+        assert!(a1.iter().any(|a| matches!(
+            a,
+            ChAction::Event(ChEvent::ForwardReplayed { suspect: s, to: ClusterId(5) }) if *s == suspect
+        )));
+
+        // The same epoch again (a rebroadcast) is a no-op; a second reboot
+        // replays once more.
+        let a2 = fx
+            .ch
+            .handle_blackdp(Addr(2), resync(41), Time::from_secs(3));
+        assert!(a2.is_empty(), "duplicate resync suppressed: {a2:?}");
+        let a3 = fx
+            .ch
+            .handle_blackdp(Addr(2), resync(42), Time::from_secs(8));
+        assert!(replayed(&a3), "second reboot replays again");
+
+        // Our own cluster's resync echoed back is ignored.
+        let own = fx.ch.handle_blackdp(
+            Addr(3),
+            BlackDpMessage::Resync {
+                cluster: ClusterId(2),
+                ch_addr: fx.ch.addr(),
+                epoch: 9,
+            },
+            Time::from_secs(9),
+        );
+        assert!(own.is_empty());
+    }
+
+    #[test]
+    fn post_restart_dreq_is_parked_until_the_suspect_rejoins() {
+        let mut fx = fixture();
+        let (keys, cert) = enroll(&mut fx, 66);
+        let _ = join(&mut fx, &keys, cert, Time::ZERO);
+        let suspect = addr_of(cert.pseudonym);
+
+        let t_crash = Time::from_secs(1);
+        let _ = fx.ch.restart(t_crash);
+
+        // The re-submitted report lands before the suspect re-registered:
+        // parked, not `SuspectGone`.
+        let sealed = dreq_for(&mut fx, suspect, 3);
+        let t_report = Time::from_millis(1_100);
+        let actions =
+            fx.ch
+                .handle_blackdp(Addr(1), BlackDpMessage::DetectionRequest(sealed), t_report);
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                ChAction::Event(ChEvent::DetectionDeferred { suspect: s }) if *s == suspect
+            )),
+            "expected deferral, got {actions:?}"
+        );
+
+        // The suspect re-joins: the parked request starts the probe ladder.
+        let t_rejoin = Time::from_millis(1_400);
+        let actions = join(&mut fx, &keys, cert, t_rejoin);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ChAction::Event(ChEvent::DetectionStarted { suspect: s }) if *s == suspect
+        )));
+        assert!(probe_sent_to(&actions, suspect).is_some());
+    }
+
+    #[test]
+    fn parked_dreq_expires_to_suspect_gone() {
+        let mut fx = fixture();
+        let (keys, cert) = enroll(&mut fx, 66);
+        let _ = join(&mut fx, &keys, cert, Time::ZERO);
+        let suspect = addr_of(cert.pseudonym);
+
+        let _ = fx.ch.restart(Time::from_secs(1));
+        let sealed = dreq_for(&mut fx, suspect, 3);
+        let _ = fx.ch.handle_blackdp(
+            Addr(1),
+            BlackDpMessage::DetectionRequest(sealed),
+            Time::from_millis(1_100),
+        );
+
+        // No re-join within the grace window: the park expires.
+        let grace = fx.ch.cfg.post_restart_grace;
+        let actions = fx.ch.tick(Time::from_millis(1_100) + grace);
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                ChAction::Event(ChEvent::DetectionConcluded {
+                    suspect: s,
+                    outcome: DetectionOutcome::SuspectGone,
+                    ..
+                }) if *s == suspect
+            )),
+            "expected SuspectGone conclusion, got {actions:?}"
+        );
     }
 }

@@ -341,6 +341,9 @@ pub enum BlackDpMessage {
         cluster: ClusterId,
         /// The cluster head's protocol address.
         ch_addr: Addr,
+        /// The CH's membership epoch: redrawn on every restart, so a
+        /// member holding a stale epoch knows its registration was lost.
+        epoch: u64,
         /// Active revocation notices for the newcomer's blacklist.
         blacklist: Vec<RevocationNotice>,
     },
@@ -407,6 +410,17 @@ pub enum BlackDpMessage {
         /// The new certificate, or `None` when renewal is paused.
         cert: Option<Certificate>,
     },
+    /// CH → members (broadcast): the CH rebooted and rebuilt an empty
+    /// member table. Members of `cluster` holding a different epoch must
+    /// re-register with a fresh JREQ.
+    Resync {
+        /// The restarted cluster head's cluster.
+        cluster: ClusterId,
+        /// The restarted cluster head's protocol address.
+        ch_addr: Addr,
+        /// The post-restart membership epoch.
+        epoch: u64,
+    },
 }
 
 impl BlackDpMessage {
@@ -428,6 +442,7 @@ impl BlackDpMessage {
             BlackDpMessage::BlacklistAdvisory { .. } => "blacklist",
             BlackDpMessage::RenewRequest { .. } => "renew_req",
             BlackDpMessage::RenewReply { .. } => "renew_reply",
+            BlackDpMessage::Resync { .. } => "resync",
         }
     }
 }

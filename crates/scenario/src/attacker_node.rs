@@ -51,6 +51,7 @@ pub struct AttackerNode {
     l2: L2Cache,
     cluster: Option<ClusterId>,
     ch_addr: Option<Addr>,
+    ch_epoch: Option<u64>,
     join_pending_since: Option<Time>,
     pending_renew: Option<Keypair>,
     renewed: bool,
@@ -89,6 +90,7 @@ impl AttackerNode {
             l2: L2Cache::new(),
             cluster: None,
             ch_addr: None,
+            ch_epoch: None,
             join_pending_since: None,
             pending_renew: None,
             renewed: false,
@@ -297,12 +299,28 @@ impl Node<Frame, Tick> for AttackerNode {
         // Membership / renewal plumbing the brain doesn't own.
         match &frame.wire {
             Wire::BlackDp(BlackDpMessage::Jrep {
-                cluster, ch_addr, ..
+                cluster,
+                ch_addr,
+                epoch,
+                ..
             }) => {
                 self.cluster = Some(*cluster);
                 self.ch_addr = Some(*ch_addr);
+                self.ch_epoch = Some(*epoch);
                 self.join_pending_since = None;
                 self.bh.set_cluster(Some(*cluster));
+                return;
+            }
+            Wire::BlackDp(BlackDpMessage::Resync { cluster, epoch, .. }) => {
+                // The CH rebooted and forgot us. Re-registering keeps the
+                // attacker looking legitimate (and probe-able).
+                if self.cluster == Some(*cluster) && self.ch_epoch != Some(*epoch) {
+                    self.cluster = None;
+                    self.ch_addr = None;
+                    self.ch_epoch = None;
+                    self.join_pending_since = None;
+                    self.bh.set_cluster(None);
+                }
                 return;
             }
             Wire::BlackDp(BlackDpMessage::RenewReply { current, cert }) => {

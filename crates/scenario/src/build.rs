@@ -399,9 +399,16 @@ pub fn build_scenario(cfg: &ScenarioConfig, spec: &TrialSpec) -> BuiltScenario {
 /// Runs one trial to completion and harvests its outcome.
 pub fn run_trial(cfg: &ScenarioConfig, spec: &TrialSpec) -> TrialOutcome {
     let mut built = build_scenario(cfg, spec);
+    stage_false_suspicion(&mut built, spec);
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+    harvest(cfg, spec, &built)
+}
 
-    // The false-suspicion rows inject a fabricated report once membership
-    // has settled.
+/// For false-suspicion trials: runs the world until membership has settled
+/// (two virtual seconds), then injects the fabricated report. A no-op for
+/// every other attack setup. Shared by the plain and fault-injected
+/// runners.
+pub(crate) fn stage_false_suspicion(built: &mut BuiltScenario, spec: &TrialSpec) {
     if let AttackSetup::FalseSuspicion { cross_cluster } = spec.attack {
         built.world.run_until(Time::from_secs(2));
         let suspect_node = if cross_cluster {
@@ -447,9 +454,6 @@ pub fn run_trial(cfg: &ScenarioConfig, spec: &TrialSpec) -> TrialOutcome {
                 .force_report(suspect_addr, suspect_cluster);
         }
     }
-
-    built.world.run_until(Time::ZERO + cfg.sim_duration);
-    harvest(cfg, spec, &built)
 }
 
 /// Extracts the measured outcome from a finished world.

@@ -56,6 +56,12 @@ impl WiredDirectory {
     pub fn ch_count(&self) -> usize {
         self.chs.len()
     }
+
+    /// All registered cluster heads (unordered — sort before iterating
+    /// when determinism matters).
+    pub fn clusters(&self) -> impl Iterator<Item = (ClusterId, NodeId)> + '_ {
+        self.chs.iter().map(|(&c, &n)| (c, n))
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use rand::{RngExt, SeedableRng};
 
 use crate::build::run_trial;
 use crate::config::{AttackSetup, ScenarioConfig, TrialSpec};
+use crate::faults::{run_fault_trial, FaultSpec, FaultTrialOutcome};
 use crate::metrics::{RateSummary, TrialOutcome};
 use crate::vehicle::DefenseMode;
 
@@ -576,4 +577,70 @@ pub fn defense_comparison(cfg: &ScenarioConfig, repetitions: u32) -> Vec<Defense
         }
     })
     .collect()
+}
+
+/// One fault-intensity point of [`fault_sweep`].
+#[derive(Debug, Clone)]
+pub struct FaultSweepPoint {
+    /// The fault intensity in `[0, 1]` this point was run at.
+    pub intensity: f64,
+    /// Detection/delivery rates across repetitions.
+    pub rates: RateSummary,
+    /// Mean worst-case membership-recovery time across trials that had at
+    /// least one RSU restart (virtual seconds).
+    pub mean_time_to_recover_s: Option<f64>,
+    /// Total RSU crashes across repetitions.
+    pub crashes: u64,
+    /// Total restarts that came back.
+    pub restarts: u64,
+    /// Restarts after which the segment never repopulated.
+    pub unrecovered_restarts: u32,
+    /// Total TA revocation retries (degraded-backhaul activity).
+    pub revocation_retries: u64,
+    /// Deliveries swallowed by injected faults.
+    pub fault_drops: u64,
+}
+
+/// Robustness-under-failure sweep (experiment E9): randomized RSU
+/// crashes, TA outages, backhaul partitions, and radio bursts of growing
+/// intensity against a single staged black hole. Reports detection rates
+/// and time-to-recover per intensity.
+pub fn fault_sweep(
+    cfg: &ScenarioConfig,
+    intensities: &[f64],
+    repetitions: u32,
+) -> Vec<FaultSweepPoint> {
+    let cluster_count = cfg.plan().cluster_count();
+    intensities
+        .iter()
+        .map(|&intensity| {
+            let outcomes: Vec<FaultTrialOutcome> = (0..repetitions)
+                .map(|rep| {
+                    let seed = 90_000 + u64::from(rep) * 31 + (intensity * 1000.0) as u64;
+                    let faults = FaultSpec::randomized(seed, intensity, cfg);
+                    run_fault_trial(
+                        cfg,
+                        &TrialSpec::single(seed, 2, cluster_count),
+                        &faults,
+                    )
+                })
+                .collect();
+            let recover: Vec<f64> = outcomes
+                .iter()
+                .filter_map(|o| o.time_to_recover.map(|d| d.as_secs_f64()))
+                .collect();
+            let base: Vec<TrialOutcome> = outcomes.iter().map(|o| o.base.clone()).collect();
+            FaultSweepPoint {
+                intensity,
+                rates: RateSummary::from_outcomes(&base),
+                mean_time_to_recover_s: (!recover.is_empty())
+                    .then(|| recover.iter().sum::<f64>() / recover.len() as f64),
+                crashes: outcomes.iter().map(|o| o.crashes).sum(),
+                restarts: outcomes.iter().map(|o| o.restarts).sum(),
+                unrecovered_restarts: outcomes.iter().map(|o| o.unrecovered_restarts).sum(),
+                revocation_retries: outcomes.iter().map(|o| o.revocation_retries).sum(),
+                fault_drops: outcomes.iter().map(|o| o.fault_drops).sum(),
+            }
+        })
+        .collect()
 }

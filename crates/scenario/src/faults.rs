@@ -1,0 +1,360 @@
+//! Symbolic infrastructure-fault schedules for scenario trials.
+//!
+//! A [`FaultSpec`] names faults in scenario terms — "cluster 2's RSU
+//! crashes at t=3 s for 2 s", "TA region 0 is unreachable from t=4 s to
+//! t=8 s" — and is *realized* against a built scenario into the
+//! simulator-level [`FaultPlan`] of node ids. [`run_fault_trial`] wires
+//! the two together and harvests recovery metrics (time-to-recover,
+//! degraded-mode activity) on top of the usual [`TrialOutcome`].
+
+use blackdp::ChEvent;
+use blackdp_sim::{
+    CrashFault, Duration, FaultPlan, FaultWindow, RadioBurst, Time, WiredOutage,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::build::{build_scenario, harvest, stage_false_suspicion, BuiltScenario};
+use crate::config::{ScenarioConfig, TrialSpec};
+use crate::metrics::TrialOutcome;
+use crate::rsu_node::RsuNode;
+
+/// One scheduled RSU crash (offsets are from trial start).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RsuCrash {
+    /// Which cluster's RSU dies.
+    pub cluster: u32,
+    /// When it dies.
+    pub at: Duration,
+    /// How long it stays down; `None` means it never comes back.
+    pub down_for: Option<Duration>,
+}
+
+/// A trusted authority unreachable over the backbone for a window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaOutage {
+    /// Index into [`ScenarioConfig::ta_regions`].
+    pub region: usize,
+    /// Outage start.
+    pub from: Duration,
+    /// Outage end (exclusive).
+    pub until: Duration,
+}
+
+/// A backhaul partition: the wired link between two clusters' RSUs drops
+/// everything in both directions for a window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackhaulPartition {
+    /// One side of the severed link.
+    pub cluster_a: u32,
+    /// The other side.
+    pub cluster_b: u32,
+    /// Partition start.
+    pub from: Duration,
+    /// Partition end (exclusive).
+    pub until: Duration,
+}
+
+/// A window of extra radio loss on top of the configured channel model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioBurstSpec {
+    /// Burst start.
+    pub from: Duration,
+    /// Burst end (exclusive).
+    pub until: Duration,
+    /// Additional independent loss probability in `[0, 1]`.
+    pub extra_loss: f64,
+}
+
+/// A full symbolic fault schedule for one trial.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// RSU crash/restart events.
+    pub rsu_crashes: Vec<RsuCrash>,
+    /// TA backhaul outages.
+    pub ta_outages: Vec<TaOutage>,
+    /// Inter-RSU backhaul partitions.
+    pub backhaul_partitions: Vec<BackhaulPartition>,
+    /// Radio-degradation bursts.
+    pub radio_bursts: Vec<RadioBurstSpec>,
+}
+
+impl FaultSpec {
+    /// A schedule with no faults at all.
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// True when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.rsu_crashes.is_empty()
+            && self.ta_outages.is_empty()
+            && self.backhaul_partitions.is_empty()
+            && self.radio_bursts.is_empty()
+    }
+
+    /// Draws a randomized schedule scaled by `intensity` in `[0, 1]`.
+    ///
+    /// The schedule is shaped so recovery is *observable* within the run:
+    /// every crash restarts, and every fault window closes by ~60 % of the
+    /// horizon, leaving the tail for re-joins, replayed detections, and
+    /// retried revocations. Radio bursts land in the closing third, where
+    /// they stress data delivery rather than masking the detection
+    /// exchange entirely.
+    pub fn randomized(seed: u64, intensity: f64, cfg: &ScenarioConfig) -> Self {
+        let intensity = intensity.clamp(0.0, 1.0);
+        let mut spec = FaultSpec::none();
+        if intensity == 0.0 {
+            return spec;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0FA1_17ED_5EED);
+        let h = cfg.sim_duration.as_micros();
+        let clusters = cfg.plan().cluster_count();
+
+        let crashes = (intensity * 3.0).ceil() as usize;
+        for _ in 0..crashes {
+            let at = h / 10 + rng.random_range(0..h / 5);
+            let down = h / 20 + rng.random_range(0..h / 10);
+            spec.rsu_crashes.push(RsuCrash {
+                cluster: rng.random_range(1..=clusters),
+                at: Duration::from_micros(at),
+                down_for: Some(Duration::from_micros(down)),
+            });
+        }
+        if rng.random::<f64>() < intensity && !cfg.ta_regions.is_empty() {
+            let from = h / 8 + rng.random_range(0..h / 4);
+            let len = h / 10 + rng.random_range(0..h / 10);
+            spec.ta_outages.push(TaOutage {
+                region: rng.random_range(0..cfg.ta_regions.len()),
+                from: Duration::from_micros(from),
+                until: Duration::from_micros(from + len),
+            });
+        }
+        if rng.random::<f64>() < intensity && clusters >= 2 {
+            let a = rng.random_range(1..clusters);
+            let from = h / 8 + rng.random_range(0..h / 4);
+            let len = h / 10 + rng.random_range(0..h / 10);
+            spec.backhaul_partitions.push(BackhaulPartition {
+                cluster_a: a,
+                cluster_b: a + 1,
+                from: Duration::from_micros(from),
+                until: Duration::from_micros(from + len),
+            });
+        }
+        if rng.random::<f64>() < intensity {
+            let from = 2 * h / 3 + rng.random_range(0..h / 6);
+            let len = h / 10 + rng.random_range(0..h / 8);
+            spec.radio_bursts.push(RadioBurstSpec {
+                from: Duration::from_micros(from),
+                until: Duration::from_micros((from + len).min(h)),
+                extra_loss: 0.05 + 0.25 * intensity * rng.random::<f64>(),
+            });
+        }
+        spec
+    }
+
+    /// Translates the symbolic schedule into a node-level [`FaultPlan`]
+    /// for `built`. Entries naming clusters or regions the scenario does
+    /// not have are skipped.
+    pub fn realize(&self, cfg: &ScenarioConfig, built: &BuiltScenario) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        let rsu_of = |cluster: u32| {
+            (cluster >= 1)
+                .then(|| built.rsus.get((cluster - 1) as usize).copied())
+                .flatten()
+        };
+        for crash in &self.rsu_crashes {
+            let Some(node) = rsu_of(crash.cluster) else {
+                continue;
+            };
+            plan.crashes.push(CrashFault {
+                node,
+                at: Time::ZERO + crash.at,
+                restart_at: crash.down_for.map(|d| Time::ZERO + crash.at + d),
+            });
+        }
+        for outage in &self.ta_outages {
+            let Some(&node) = built.tas.get(outage.region) else {
+                continue;
+            };
+            plan.wired_isolations.push((
+                node,
+                FaultWindow::new(Time::ZERO + outage.from, Time::ZERO + outage.until),
+            ));
+        }
+        for part in &self.backhaul_partitions {
+            let (Some(a), Some(b)) = (rsu_of(part.cluster_a), rsu_of(part.cluster_b)) else {
+                continue;
+            };
+            plan.wired_outages.push(WiredOutage {
+                a,
+                b,
+                window: FaultWindow::new(Time::ZERO + part.from, Time::ZERO + part.until),
+            });
+        }
+        for burst in &self.radio_bursts {
+            plan.radio_bursts.push(RadioBurst {
+                window: FaultWindow::new(Time::ZERO + burst.from, Time::ZERO + burst.until),
+                extra_loss: burst.extra_loss,
+            });
+        }
+        let _ = cfg;
+        plan
+    }
+}
+
+/// A [`TrialOutcome`] extended with infrastructure-recovery metrics.
+#[derive(Debug, Clone)]
+pub struct FaultTrialOutcome {
+    /// The ordinary detection/delivery outcome.
+    pub base: TrialOutcome,
+    /// RSU crashes that fired (`fault.crash`).
+    pub crashes: u64,
+    /// Crashed nodes that came back (`fault.restart`).
+    pub restarts: u64,
+    /// Worst membership-recovery time across restarted RSUs: from the
+    /// restart to that RSU's first `MemberJoined` afterwards.
+    pub time_to_recover: Option<Duration>,
+    /// Restarts after which no member ever re-registered (an empty
+    /// segment at restart time also counts here).
+    pub unrecovered_restarts: u32,
+    /// Revocation-request retries across all RSUs
+    /// (`rsu.event.revocation_retried`).
+    pub revocation_retries: u64,
+    /// Revocation requests abandoned after exhausting retries.
+    pub revocations_abandoned: u64,
+    /// Deliveries swallowed by faults (`fault.drop.*`).
+    pub fault_drops: u64,
+}
+
+/// Runs one trial under `faults` and harvests outcome plus recovery
+/// metrics. With [`FaultSpec::none`] this is byte-for-byte [`run_trial`]
+/// (the injector installs nothing).
+///
+/// [`run_trial`]: crate::build::run_trial
+pub fn run_fault_trial(
+    cfg: &ScenarioConfig,
+    spec: &TrialSpec,
+    faults: &FaultSpec,
+) -> FaultTrialOutcome {
+    let mut built = build_scenario(cfg, spec);
+    let plan = faults.realize(cfg, &built);
+    if !plan.is_empty() {
+        built.world.install_faults(plan);
+    }
+    stage_false_suspicion(&mut built, spec);
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+
+    let base = harvest(cfg, spec, &built);
+    let stats = built.world.stats();
+
+    let mut time_to_recover: Option<Duration> = None;
+    let mut unrecovered = 0u32;
+    for &rsu in &built.rsus {
+        let Some(node) = built.world.get::<RsuNode>(rsu) else {
+            continue;
+        };
+        let timeline = node.timeline();
+        for (i, (t_restart, event)) in timeline.iter().enumerate() {
+            if !matches!(event, ChEvent::Restarted) {
+                continue;
+            }
+            let rejoin = timeline[i + 1..]
+                .iter()
+                .find(|(_, e)| matches!(e, ChEvent::MemberJoined(_)))
+                .map(|(t, _)| t.saturating_since(*t_restart));
+            match rejoin {
+                Some(d) => {
+                    time_to_recover = Some(time_to_recover.map_or(d, |m: Duration| m.max(d)))
+                }
+                None => unrecovered += 1,
+            }
+        }
+    }
+
+    FaultTrialOutcome {
+        base,
+        crashes: stats.get("fault.crash"),
+        restarts: stats.get("fault.restart"),
+        time_to_recover,
+        unrecovered_restarts: unrecovered,
+        revocation_retries: stats.get("rsu.event.revocation_retried"),
+        revocations_abandoned: stats.get("rsu.event.revocation_abandoned"),
+        fault_drops: stats.sum_prefix("fault.drop."),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randomized_is_deterministic_and_scales() {
+        let cfg = ScenarioConfig::small_test();
+        let a = FaultSpec::randomized(7, 0.6, &cfg);
+        let b = FaultSpec::randomized(7, 0.6, &cfg);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(!a.is_empty());
+        let c = FaultSpec::randomized(8, 0.6, &cfg);
+        assert_ne!(a, c, "different seeds draw different schedules");
+        assert!(FaultSpec::randomized(7, 0.0, &cfg).is_empty());
+    }
+
+    #[test]
+    fn randomized_windows_close_before_the_tail() {
+        let cfg = ScenarioConfig::small_test();
+        let h = cfg.sim_duration;
+        for seed in 0..30 {
+            let spec = FaultSpec::randomized(seed, 1.0, &cfg);
+            for c in &spec.rsu_crashes {
+                let restart = c.at + c.down_for.expect("randomized crashes always restart");
+                assert!(restart < Duration::from_micros(h.as_micros() * 6 / 10));
+            }
+            for o in &spec.ta_outages {
+                assert!(o.until < Duration::from_micros(h.as_micros() * 6 / 10));
+            }
+            for p in &spec.backhaul_partitions {
+                assert!(p.until < Duration::from_micros(h.as_micros() * 6 / 10));
+            }
+            for b in &spec.radio_bursts {
+                assert!(b.extra_loss > 0.0 && b.extra_loss < 0.5);
+                assert!(b.until <= h, "burst must end within the run");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_spec_realizes_to_empty_plan() {
+        let cfg = ScenarioConfig::small_test();
+        let spec = TrialSpec::single(1, 2, cfg.plan().cluster_count());
+        let built = build_scenario(&cfg, &spec);
+        assert!(FaultSpec::none().realize(&cfg, &built).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_entries_are_skipped() {
+        let cfg = ScenarioConfig::small_test();
+        let spec = TrialSpec::single(1, 2, cfg.plan().cluster_count());
+        let built = build_scenario(&cfg, &spec);
+        let faults = FaultSpec {
+            rsu_crashes: vec![RsuCrash {
+                cluster: 99,
+                at: Duration::from_secs(1),
+                down_for: None,
+            }],
+            ta_outages: vec![TaOutage {
+                region: 9,
+                from: Duration::from_secs(1),
+                until: Duration::from_secs(2),
+            }],
+            backhaul_partitions: vec![BackhaulPartition {
+                cluster_a: 0,
+                cluster_b: 98,
+                from: Duration::from_secs(1),
+                until: Duration::from_secs(2),
+            }],
+            radio_bursts: Vec::new(),
+        };
+        assert!(faults.realize(&cfg, &built).is_empty());
+    }
+}

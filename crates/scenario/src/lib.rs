@@ -34,6 +34,7 @@ mod build;
 mod config;
 mod directory;
 mod experiment;
+mod faults;
 mod frame;
 mod grayhole_node;
 mod journal;
@@ -47,9 +48,14 @@ pub use build::{build_scenario, harvest, run_trial, BuiltScenario};
 pub use config::{ch_addr, far_destination, AttackSetup, ScenarioConfig, TrialSpec, CH_ADDR_BASE};
 pub use directory::WiredDirectory;
 pub use experiment::{
-    congestion_dedup, defense_comparison, density_sweep, fading_sweep, fig4, fig4_cell, fig5,
-    grayhole_sweep, loss_sweep, two_way_sweep, AttackKind, CongestionResult, DefenseResult,
-    Fig4Point, Fig5Row, GrayHolePoint, SweepPoint, RENEWAL_ZONE_EVASION_PROB,
+    congestion_dedup, defense_comparison, density_sweep, fading_sweep, fault_sweep, fig4,
+    fig4_cell, fig5, grayhole_sweep, loss_sweep, two_way_sweep, AttackKind, CongestionResult,
+    DefenseResult, FaultSweepPoint, Fig4Point, Fig5Row, GrayHolePoint, SweepPoint,
+    RENEWAL_ZONE_EVASION_PROB,
+};
+pub use faults::{
+    run_fault_trial, BackhaulPartition, FaultSpec, FaultTrialOutcome, RadioBurstSpec, RsuCrash,
+    TaOutage,
 };
 pub use frame::{broadcast_wire, send_wire, Frame, L2Cache, Tick};
 pub use grayhole_node::GrayHoleNode;

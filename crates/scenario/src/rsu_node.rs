@@ -134,6 +134,11 @@ fn event_tag(e: &ChEvent) -> &'static str {
         ChEvent::DetectionStarted { .. } => "detection_started",
         ChEvent::DetectionConcluded { .. } => "detection_concluded",
         ChEvent::IsolationRequested(_) => "isolation_requested",
+        ChEvent::Restarted => "restarted",
+        ChEvent::RevocationRetried { .. } => "revocation_retried",
+        ChEvent::RevocationAbandoned(_) => "revocation_abandoned",
+        ChEvent::DetectionDeferred { .. } => "detection_deferred",
+        ChEvent::ForwardReplayed { .. } => "forward_replayed",
     }
 }
 
@@ -143,6 +148,39 @@ impl Node<Frame, Tick> for RsuNode {
     }
 
     fn on_start(&mut self, ctx: &mut Context<'_, Frame, Tick>) {
+        ctx.set_timer(self.tick, Tick);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Frame, Tick>) {
+        // The crash wiped the CH's volatile tables: run the protocol-level
+        // reboot (conclude in-flight episodes, announce a fresh epoch) and
+        // re-arm the maintenance timer the crash dropped.
+        let actions = self.ch.restart(ctx.now());
+        self.run_ch_actions(ctx, actions);
+        // Announce the fresh epoch to peer CHs over the backbone as well:
+        // inter-RSU radio reach is marginal, and peers must replay any
+        // detection they forwarded here before the crash.
+        let own = self.ch.cluster();
+        let mut peers: Vec<_> = self
+            .dir
+            .clusters()
+            .filter(|&(c, _)| c != own)
+            .collect();
+        peers.sort_by_key(|&(c, _)| c.0);
+        for (_, node) in peers {
+            ctx.send_wired(
+                node,
+                Frame {
+                    src: self.ch.addr(),
+                    dst: None,
+                    wire: Wire::BlackDp(BlackDpMessage::Resync {
+                        cluster: own,
+                        ch_addr: self.ch.addr(),
+                        epoch: self.ch.epoch(),
+                    }),
+                },
+            );
+        }
         ctx.set_timer(self.tick, Tick);
     }
 
@@ -182,10 +220,13 @@ impl Node<Frame, Tick> for RsuNode {
                 // routing among vehicles; RSUs do detection).
             }
             Wire::BlackDp(msg) => {
-                // Join requests are claimed only by the segment owner.
+                // Join requests are claimed by the segment owner — or by a
+                // CH a vehicle addressed directly (fail-over registration
+                // while its home CH is down).
                 if let BlackDpMessage::Jreq(sealed) = &msg {
                     let x = sealed.body.pos_x;
-                    if x < self.segment.0 || x >= self.segment.1 {
+                    let addressed = frame.dst == Some(self.ch.addr());
+                    if (x < self.segment.0 || x >= self.segment.1) && !addressed {
                         return;
                     }
                 }

@@ -4,7 +4,7 @@
 use std::collections::{HashMap, HashSet};
 
 use blackdp::{
-    addr_of, BlackDpConfig, BlackDpMessage, DetectionOutcome, DetectionResponse, HelloReply,
+    addr_of, BlackDpConfig, BlackDpMessage, DReq, DetectionOutcome, DetectionResponse, HelloReply,
     JoinBody, RouteAuth, RrepBody, Sealed, SourceVerifier, VerifierAction, Wire,
 };
 use blackdp_aodv::{
@@ -104,7 +104,10 @@ pub struct VehicleNode {
     l2: L2Cache,
     cluster: Option<ClusterId>,
     ch_addr: Option<Addr>,
+    ch_epoch: Option<u64>,
     join_pending_since: Option<Time>,
+    failed_joins: u32,
+    failover: bool,
     blacklist: RevocationList,
     local_blacklist: HashSet<Addr>,
     // Baseline machinery.
@@ -117,6 +120,13 @@ pub struct VehicleNode {
     verified: HashMap<Addr, RouteFingerprint>,
     intents: Vec<IntentState>,
     forced_report: Option<(Addr, Option<ClusterId>)>,
+    /// The last detection request sent, held until a verdict (or the
+    /// suspect's revocation) is observed, so it can be re-submitted to a
+    /// CH that rebooted or to a fail-over CH.
+    pending_report: Option<DReq>,
+    /// Set when the CH that received our report lost its state (resync /
+    /// fail-over); the next `Jrep` triggers a re-submission.
+    report_needs_resend: bool,
     // Metrics.
     delivered: Vec<(Addr, u64)>,
     data_sent: u64,
@@ -159,7 +169,10 @@ impl VehicleNode {
             l2: L2Cache::new(),
             cluster: None,
             ch_addr: None,
+            ch_epoch: None,
             join_pending_since: None,
+            failed_joins: 0,
+            failover: false,
             blacklist: RevocationList::new(),
             local_blacklist: HashSet::new(),
             peak: PeakDetector::new(100, Duration::from_secs(2)),
@@ -170,6 +183,8 @@ impl VehicleNode {
             verified: HashMap::new(),
             intents: Vec::new(),
             forced_report: None,
+            pending_report: None,
+            report_needs_resend: false,
             delivered: Vec::new(),
             data_sent: 0,
             responses: Vec::new(),
@@ -234,6 +249,12 @@ impl VehicleNode {
     /// The cluster the vehicle is registered with.
     pub fn cluster(&self) -> Option<ClusterId> {
         self.cluster
+    }
+
+    /// True while registered with a neighboring cluster because the home
+    /// cluster head stopped answering joins.
+    pub fn is_failed_over(&self) -> bool {
+        self.failover
     }
 
     /// True if a verified route to `dest` is currently held.
@@ -381,6 +402,12 @@ impl VehicleNode {
                 VerifierAction::Report(dreq) => {
                     ctx.count("vehicle.dreq_sent");
                     self.dreqs_sent += 1;
+                    self.pending_report = Some(dreq);
+                    if self.ch_addr.is_none() {
+                        // Mid-resync / mid-failover: deliver on the next
+                        // successful join instead of dropping the report.
+                        self.report_needs_resend = true;
+                    }
                     if let Some(ch) = self.ch_addr {
                         let sealed =
                             Sealed::seal(dreq, self.cert, self.cluster, &self.keys, &mut self.rng);
@@ -438,15 +465,77 @@ impl VehicleNode {
             BlackDpMessage::Jrep {
                 cluster,
                 ch_addr,
+                epoch,
                 blacklist,
             } => {
+                // Switching heads (e.g. the home CH answered again while we
+                // were failed over to a neighbor): deregister from the old
+                // one first.
+                if let (Some(old), Some(old_ch)) = (self.cluster, self.ch_addr) {
+                    if old != cluster {
+                        let my = self.addr();
+                        send_wire(
+                            ctx,
+                            &self.l2,
+                            my,
+                            old_ch,
+                            Wire::BlackDp(BlackDpMessage::Leave {
+                                vehicle: self.cert.pseudonym,
+                            }),
+                        );
+                    }
+                }
+                let pos = self.trajectory.position_at(now);
+                let home = self.plan.cluster_of(pos);
+                self.failover = home.is_some() && home != Some(cluster);
                 self.cluster = Some(cluster);
                 self.ch_addr = Some(ch_addr);
+                self.ch_epoch = Some(epoch);
                 self.join_pending_since = None;
+                self.failed_joins = 0;
                 self.verifier.set_cluster(Some(cluster));
                 for notice in blacklist {
                     self.blacklist.insert(notice);
                     self.aodv.purge_node(addr_of(notice.pseudonym));
+                }
+                self.drop_settled_report();
+                // This CH never saw our in-flight report (it rebooted, or
+                // we failed over to it): submit it again.
+                if self.report_needs_resend {
+                    self.report_needs_resend = false;
+                    if let Some(dreq) = self.pending_report {
+                        ctx.count("vehicle.dreq_resent");
+                        let sealed = Sealed::seal(
+                            dreq,
+                            self.cert,
+                            self.cluster,
+                            &self.keys,
+                            &mut self.rng,
+                        );
+                        let my = self.addr();
+                        send_wire(
+                            ctx,
+                            &self.l2,
+                            my,
+                            ch_addr,
+                            Wire::BlackDp(BlackDpMessage::DetectionRequest(sealed)),
+                        );
+                    }
+                }
+            }
+            BlackDpMessage::Resync { cluster, epoch, .. } => {
+                // Our CH rebooted and lost its member table: our
+                // registration is gone, so re-join at the next tick.
+                if self.cluster == Some(cluster) && self.ch_epoch != Some(epoch) {
+                    ctx.count("vehicle.resync_rejoin");
+                    self.cluster = None;
+                    self.ch_addr = None;
+                    self.ch_epoch = None;
+                    self.join_pending_since = None;
+                    self.verifier.set_cluster(None);
+                    // The reboot wiped the CH's verification table: an
+                    // unanswered report must be re-submitted on re-join.
+                    self.report_needs_resend |= self.pending_report.is_some();
                 }
             }
             BlackDpMessage::HelloProbe(sealed) => {
@@ -495,6 +584,10 @@ impl VehicleNode {
                     self.aodv.purge_node(resp.suspect);
                     self.local_blacklist.insert(resp.suspect);
                 }
+                if self.pending_report.is_some_and(|d| d.suspect == resp.suspect) {
+                    self.pending_report = None;
+                    self.report_needs_resend = false;
+                }
                 self.responses.push(resp);
             }
             BlackDpMessage::BlacklistAdvisory { notices } => {
@@ -502,6 +595,7 @@ impl VehicleNode {
                     self.blacklist.insert(notice);
                     self.aodv.purge_node(addr_of(notice.pseudonym));
                 }
+                self.drop_settled_report();
             }
             // Vehicle ignores CH/TA-plane traffic and others' joins.
             _ => {
@@ -538,28 +632,44 @@ impl VehicleNode {
         let pos = self.trajectory.position_at(now);
         let here = self.plan.cluster_of(pos);
         if here == self.cluster && self.cluster.is_some() {
+            self.failed_joins = 0;
             return;
         }
-        // Throttle join attempts to one per half second.
+        // Throttle join attempts: one per half second normally; the
+        // home-cluster retry while failed over to a neighbor runs at a
+        // slower cadence (the neighbor membership keeps us served).
+        let gap = if self.failover {
+            Duration::from_secs(2)
+        } else {
+            Duration::from_millis(500)
+        };
         if let Some(since) = self.join_pending_since {
-            if now.saturating_since(since) < Duration::from_millis(500) {
+            if now.saturating_since(since) < gap {
                 return;
             }
+            // The previous attempt went unanswered — a Jrep would have
+            // cleared `join_pending_since`.
+            self.failed_joins = self.failed_joins.saturating_add(1);
         }
-        // Leaving the previous cluster.
-        if let (Some(_old), Some(ch)) = (self.cluster, self.ch_addr) {
-            let my = self.addr();
-            send_wire(
-                ctx,
-                &self.l2,
-                my,
-                ch,
-                Wire::BlackDp(BlackDpMessage::Leave {
-                    vehicle: self.cert.pseudonym,
-                }),
-            );
-            self.cluster = None;
-            self.ch_addr = None;
+        // Leaving the previous cluster — except a fail-over membership,
+        // which is kept until the home CH answers again (the switch-back
+        // happens in the Jrep handler).
+        if !self.failover {
+            if let (Some(_old), Some(ch)) = (self.cluster, self.ch_addr) {
+                let my = self.addr();
+                send_wire(
+                    ctx,
+                    &self.l2,
+                    my,
+                    ch,
+                    Wire::BlackDp(BlackDpMessage::Leave {
+                        vehicle: self.cert.pseudonym,
+                    }),
+                );
+                self.cluster = None;
+                self.ch_addr = None;
+                self.ch_epoch = None;
+            }
         }
         if here.is_some() {
             let body = JoinBody {
@@ -570,6 +680,21 @@ impl VehicleNode {
             };
             let sealed = Sealed::seal(body, self.cert, None, &self.keys, &mut self.rng);
             let wire = Wire::BlackDp(BlackDpMessage::Jreq(sealed));
+            // Infrastructure-failure fail-over (beyond the paper): after
+            // several unanswered joins, a vehicle that can also hear a
+            // neighboring cluster's RSU registers there directly, so a
+            // crashed home CH does not orphan it.
+            if !self.failover && self.failed_joins >= 3 {
+                if let Some(neighbor) = self.failover_target(pos, here) {
+                    ctx.count("vehicle.join_failover");
+                    // The neighbor CH never saw our in-flight report.
+                    self.report_needs_resend |= self.pending_report.is_some();
+                    let my = self.addr();
+                    send_wire(ctx, &self.l2, my, crate::config::ch_addr(neighbor), wire);
+                    self.join_pending_since = Some(now);
+                    return;
+                }
+            }
             // Section III-A: in a single zone the vehicle "only needs to
             // send a join request to the CH"; in an overlapped zone "it is
             // required to broadcast a JREQ to all CHs".
@@ -586,6 +711,37 @@ impl VehicleNode {
             }
             self.join_pending_since = Some(now);
         }
+    }
+
+    /// Forgets the held detection request once its suspect appears on the
+    /// TA-backed blacklist — the report has served its purpose.
+    fn drop_settled_report(&mut self) {
+        if let Some(d) = self.pending_report {
+            if self.blacklist.is_revoked(PseudonymId(d.suspect.0)) {
+                self.pending_report = None;
+                self.report_needs_resend = false;
+            }
+        }
+    }
+
+    /// The nearest in-range cluster other than the local segment's own —
+    /// the fail-over registration target while the home CH is down.
+    fn failover_target(&self, pos: Position, here: Option<ClusterId>) -> Option<ClusterId> {
+        let dist = |c: ClusterId| {
+            self.plan
+                .rsu_position(c)
+                .map(|p| p.distance_to(pos))
+                .unwrap_or(f64::INFINITY)
+        };
+        self.plan
+            .rsus_in_range(pos, self.cfg.range_m)
+            .into_iter()
+            .filter(|&c| Some(c) != here)
+            .min_by(|&a, &b| {
+                dist(a)
+                    .partial_cmp(&dist(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
     }
 
     fn traffic_tick(&mut self, ctx: &mut Context<'_, Frame, Tick>) {

@@ -63,8 +63,15 @@ fn vehicles_register_with_their_segment_cluster() {
             registered += 1;
             // The registered cluster matches the vehicle's position (it may
             // lag by one segment right at a boundary crossing).
-            let pos = built.world.position_of(v).unwrap();
-            let actual = built.plan.cluster_of(pos).unwrap();
+            // A fast vehicle spawned near the end may have exited the
+            // instrumented strip (despawning) already; membership lapses
+            // with it.
+            let Some(pos) = built.world.position_of(v) else {
+                continue;
+            };
+            let Some(actual) = built.plan.cluster_of(pos) else {
+                continue;
+            };
             assert!(
                 cluster.0.abs_diff(actual.0) <= 1,
                 "vehicle registered {cluster} but is in {actual}"

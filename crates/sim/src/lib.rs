@@ -17,7 +17,12 @@
 //!   paper's assumption of an identical, bidirectional 1000 m DSRC range for
 //!   all nodes.
 //! * **The wired channel** models the paper's "high speed links" between
-//!   RSUs (and to trusted authorities); it ignores distance and never drops.
+//!   RSUs (and to trusted authorities); it ignores distance and never drops
+//!   — unless a fault plan severs it.
+//! * **Faults are first-class**: a [`FaultPlan`] schedules node
+//!   crash/restart windows, wired-backhaul outages, burst radio loss and
+//!   payload tampering in virtual time, all drawn from the same seeded
+//!   stream so faulty runs stay bit-for-bit reproducible.
 //!
 //! # Examples
 //!
@@ -56,6 +61,7 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fault;
 mod id;
 mod node;
 mod position;
@@ -64,9 +70,10 @@ mod time;
 mod world;
 
 pub use event::{Channel, TimerId};
+pub use fault::{CrashFault, FaultPlan, FaultWindow, RadioBurst, TamperBurst, WiredOutage};
 pub use id::NodeId;
 pub use node::{Context, Node};
 pub use position::Position;
 pub use stats::Stats;
 pub use time::{Duration, Time};
-pub use world::{RadioModel, Tap, World, WorldConfig};
+pub use world::{RadioModel, Tap, TamperHook, World, WorldConfig};

@@ -33,6 +33,18 @@ pub trait Node<P, T>: std::any::Any {
         let _ = ctx;
     }
 
+    /// Invoked when the node resumes after a crash window scheduled via
+    /// [`World::install_faults`](crate::World::install_faults) (or an
+    /// explicit [`World::resume`](crate::World::resume)).
+    ///
+    /// While crashed the node received no packets and all its timers were
+    /// dropped, so the default implementation re-runs [`Node::on_start`] to
+    /// re-arm timer chains. Nodes holding volatile state that would not
+    /// survive a real reboot should override this to clear that state first.
+    fn on_restart(&mut self, ctx: &mut Context<'_, P, T>) {
+        self.on_start(ctx);
+    }
+
     /// Invoked when a packet addressed to (or broadcast near) this node
     /// arrives.
     fn on_packet(&mut self, ctx: &mut Context<'_, P, T>, from: NodeId, packet: P, channel: Channel);

@@ -10,6 +10,18 @@ use std::fmt;
 /// code is free to add its own via [`Context::count`](crate::Context::count).
 /// Keys are ordered, so dumps are deterministic.
 ///
+/// Fault injection (see [`FaultPlan`](crate::FaultPlan)) reports under the
+/// `fault.*` namespace:
+///
+/// * `fault.crash` / `fault.restart` — crash and restart edges applied.
+/// * `fault.drop.crashed` — packets that arrived at a crashed node.
+/// * `fault.drop.timer` — timers forgotten because they were armed before
+///   the node's most recent crash.
+/// * `fault.drop.wired_outage` — wired sends severed by an outage window.
+/// * `fault.drop.radio_burst` — radio deliveries lost to a burst window's
+///   extra loss (on top of `radio.drop.loss`).
+/// * `fault.tamper` — payloads mutated by the tamper hook.
+///
 /// # Examples
 ///
 /// ```

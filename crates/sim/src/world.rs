@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::event::{Channel, EventQueue, Occurrence};
+use crate::fault::{FaultInjector, FaultPlan, Transition};
 use crate::node::{Context, Effect, Node};
 use crate::{Duration, NodeId, Stats, Time};
 
@@ -68,6 +69,12 @@ impl Default for WorldConfig {
 struct Slot<P, T> {
     node: Box<dyn Node<P, T>>,
     active: bool,
+    /// Crashed (fault-injected pause): the node keeps its slot and state
+    /// but receives nothing until resumed.
+    paused: bool,
+    /// Timers with an id below this were armed before the node's most
+    /// recent crash and are stale: a rebooted node does not remember them.
+    timer_barrier: u64,
 }
 
 /// A discrete-event simulation of radio-equipped nodes on a plane.
@@ -118,11 +125,19 @@ pub struct World<P, T> {
     stats: Stats,
     next_timer_id: u64,
     tap: Option<Tap<P>>,
+    injector: Option<FaultInjector>,
+    tamper: Option<TamperHook<P>>,
 }
 
 /// A delivery observer: called for every packet delivered to an active
 /// node, with `(time, from, to, payload, channel)`.
 pub type Tap<P> = Box<dyn FnMut(Time, NodeId, NodeId, &P, Channel)>;
+
+/// A payload-tampering hook installed via [`World::set_tamper_hook`]:
+/// called on deliveries selected by an active tamper window with a
+/// mutable payload and the world's RNG. Returns whether the payload was
+/// actually mutated (counted as `fault.tamper`).
+pub type TamperHook<P> = Box<dyn FnMut(&mut P, &mut StdRng) -> bool>;
 
 impl<P, T> std::fmt::Debug for World<P, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -162,7 +177,32 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             stats: Stats::new(),
             next_timer_id: 0,
             tap: None,
+            injector: None,
+            tamper: None,
         }
+    }
+
+    /// Installs a [`FaultPlan`], replacing any previous one. Crash and
+    /// restart edges are applied at their scheduled virtual times as the
+    /// world runs; window-based faults (wired outages, radio bursts,
+    /// tampering) take effect whenever the clock is inside their window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is internally inconsistent or schedules a crash
+    /// edge in the past.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        let injector = FaultInjector::new(plan);
+        if let Some(t) = injector.next_transition_at() {
+            assert!(t >= self.now, "fault plan schedules a crash in the past");
+        }
+        self.injector = Some(injector);
+    }
+
+    /// Installs the payload-tampering hook consulted during the plan's
+    /// tamper windows. Without a hook, tamper windows have no effect.
+    pub fn set_tamper_hook(&mut self, hook: TamperHook<P>) {
+        self.tamper = Some(hook);
     }
 
     /// Installs a delivery observer invoked for every packet that reaches
@@ -205,9 +245,57 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     pub fn spawn(&mut self, node: Box<dyn Node<P, T>>) -> NodeId {
         let id =
             NodeId::new(u32::try_from(self.nodes.len()).expect("more than u32::MAX nodes spawned"));
-        self.nodes.push(Slot { node, active: true });
+        self.nodes.push(Slot {
+            node,
+            active: true,
+            paused: false,
+            timer_barrier: 0,
+        });
         self.dispatch(id, |node, ctx| node.on_start(ctx));
         id
+    }
+
+    /// Returns true if `id` is currently crashed (paused by fault
+    /// injection or an explicit [`Self::pause`]).
+    pub fn is_paused(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id.as_usize())
+            .map(|s| s.paused)
+            .unwrap_or(false)
+    }
+
+    /// Crashes node `id`: it keeps its slot and in-memory state but
+    /// receives no packets and no timers until [`Self::resume`]. Timers
+    /// armed before the crash are forgotten, like on a real reboot — even
+    /// ones scheduled to fire after the restart. No-op if the node is
+    /// already paused or was despawned.
+    pub fn pause(&mut self, id: NodeId) {
+        let barrier = self.next_timer_id;
+        if let Some(slot) = self.nodes.get_mut(id.as_usize()) {
+            if slot.active && !slot.paused {
+                slot.paused = true;
+                slot.timer_barrier = barrier;
+                self.stats.incr("fault.crash");
+            }
+        }
+    }
+
+    /// Resumes a crashed node, invoking its
+    /// [`Node::on_restart`](crate::Node::on_restart) callback (which
+    /// defaults to re-running `on_start`). No-op if the node is not
+    /// paused.
+    pub fn resume(&mut self, id: NodeId) {
+        let Some(slot) = self.nodes.get_mut(id.as_usize()) else {
+            return;
+        };
+        if !slot.paused {
+            return;
+        }
+        slot.paused = false;
+        if slot.active {
+            self.stats.incr("fault.restart");
+            self.dispatch(id, |node, ctx| node.on_restart(ctx));
+        }
     }
 
     /// Marks a node inactive: no further packets or timers reach it. The
@@ -241,6 +329,12 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     /// Schedules an externally injected packet delivery — the way scenario
     /// drivers and tests kick off traffic.
     ///
+    /// This is a *reliable, out-of-band* control-plane operation: delivery
+    /// bypasses the radio medium entirely — no range check, no loss,
+    /// fading or burst draw, no jitter — and arrives exactly at `at`. Use
+    /// [`Self::inject_radio`] when an injected packet should experience
+    /// the medium like node-originated traffic.
+    ///
     /// # Panics
     ///
     /// Panics if `at` is in the past.
@@ -257,9 +351,38 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
         );
     }
 
+    /// Injects a packet *through* the radio medium: range, fading, loss
+    /// and burst-loss draws and jitter apply exactly as for a
+    /// node-originated unicast, with `at` as the transmission instant.
+    ///
+    /// Positions are evaluated and random draws made at call time from
+    /// the world's seeded stream, so calls must be issued in a
+    /// deterministic order to keep runs reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn inject_radio(&mut self, at: Time, from: NodeId, to: NodeId, payload: P) {
+        assert!(at >= self.now, "cannot inject an event in the past");
+        self.stats.incr("radio.tx");
+        self.try_radio_deliver(at, from, to, payload);
+    }
+
     /// Executes the next pending event. Returns `false` when the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
+        // Crash/restart edges interleave with queued events in time order.
+        // A restart may enqueue events *earlier* than the current queue
+        // head (e.g. a short timer from `on_restart`), so edges are
+        // applied one at a time before committing to an event.
+        while let Some(t) = self.queue.peek_time() {
+            match self.injector.as_ref().and_then(|i| i.next_transition_at()) {
+                Some(tr) if tr <= t => {
+                    self.apply_next_fault_transition(tr);
+                }
+                _ => break,
+            }
+        }
         let Some(event) = self.queue.pop() else {
             return false;
         };
@@ -270,12 +393,26 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
         match event.occurrence {
             Occurrence::Deliver {
                 from,
-                payload,
+                mut payload,
                 channel,
             } => {
                 if !active {
                     self.stats.incr("drop.inactive");
                     return true;
+                }
+                if self.is_paused(id) {
+                    self.stats.incr("fault.drop.crashed");
+                    return true;
+                }
+                if let Some(hook) = self.tamper.as_mut() {
+                    let p = self
+                        .injector
+                        .as_ref()
+                        .map_or(0.0, |i| i.tamper_probability(self.now));
+                    if p > 0.0 && self.rng.random::<f64>() < p && hook(&mut payload, &mut self.rng)
+                    {
+                        self.stats.incr("fault.tamper");
+                    }
                 }
                 match channel {
                     Channel::Radio => self.stats.incr("radio.rx"),
@@ -296,8 +433,35 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                 if !active {
                     return true;
                 }
+                let slot = &self.nodes[id.as_usize()];
+                if slot.paused || timer_id.0 < slot.timer_barrier {
+                    // Armed before the node's last crash: a rebooted node
+                    // does not remember it.
+                    self.stats.incr("fault.drop.timer");
+                    return true;
+                }
                 self.dispatch(id, |node, ctx| node.on_timer(ctx, token));
             }
+        }
+        true
+    }
+
+    /// Applies the single next due crash/restart edge at or before
+    /// `limit`, advancing the clock to its instant. Returns whether one
+    /// was applied.
+    fn apply_next_fault_transition(&mut self, limit: Time) -> bool {
+        let Some(injector) = self.injector.as_mut() else {
+            return false;
+        };
+        let Some((t, tr)) = injector.pop_due(limit) else {
+            return false;
+        };
+        if t > self.now {
+            self.now = t;
+        }
+        match tr {
+            Transition::Down(id) => self.pause(id),
+            Transition::Up(id) => self.resume(id),
         }
         true
     }
@@ -305,11 +469,19 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     /// Runs events until virtual time exceeds `deadline` (events at exactly
     /// `deadline` are executed). Afterwards `now() == deadline`.
     pub fn run_until(&mut self, deadline: Time) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
+        loop {
+            while let Some(t) = self.queue.peek_time() {
+                if t > deadline {
+                    break;
+                }
+                self.step();
+            }
+            // Idle stretches may still hold crash/restart edges, and a
+            // restart can enqueue fresh events, so alternate until both
+            // sides drain.
+            if !self.apply_next_fault_transition(deadline) {
                 break;
             }
-            self.step();
         }
         if self.now < deadline {
             self.now = deadline;
@@ -356,7 +528,7 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             match effect {
                 Effect::Unicast { to, payload } => {
                     self.stats.incr("radio.tx");
-                    self.try_radio_deliver(sender, to, payload);
+                    self.try_radio_deliver(self.now, sender, to, payload);
                 }
                 Effect::Broadcast { payload } => {
                     self.stats.incr("radio.tx");
@@ -369,11 +541,17 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                                 continue;
                             }
                         }
-                        self.try_radio_deliver_in_range(sender, to, payload.clone());
+                        self.try_radio_deliver_in_range(self.now, sender, to, payload.clone());
                     }
                 }
                 Effect::Wired { to, payload } => {
                     self.stats.incr("wired.tx");
+                    if let Some(inj) = &self.injector {
+                        if inj.wired_severed(sender, to, self.now) {
+                            self.stats.incr("fault.drop.wired_outage");
+                            continue;
+                        }
+                    }
                     let at = self.now + self.cfg.wired_latency;
                     self.queue.push(
                         at,
@@ -438,7 +616,9 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
         }
     }
 
-    fn try_radio_deliver(&mut self, from: NodeId, to: NodeId, payload: P) {
+    /// Full radio pipeline for a unicast transmitted at `base` (positions
+    /// are evaluated at the current time).
+    fn try_radio_deliver(&mut self, base: Time, from: NodeId, to: NodeId, payload: P) {
         let Some(from_pos) = self.position_of(from) else {
             self.stats.incr("radio.drop.sender_gone");
             return;
@@ -456,13 +636,23 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             self.stats.incr("radio.drop.fading");
             return;
         }
-        self.try_radio_deliver_in_range(from, to, payload);
+        self.try_radio_deliver_in_range(base, from, to, payload);
     }
 
-    /// Delivery once range has been established: applies loss and latency.
-    fn try_radio_deliver_in_range(&mut self, from: NodeId, to: NodeId, payload: P) {
+    /// Delivery once range has been established: applies loss (base rate,
+    /// then any active burst window) and latency relative to `base`.
+    ///
+    /// The burst draw is separate from — and composes with — the base
+    /// loss draw, and is only made while a burst window is active, so
+    /// runs without faults consume an identical random stream.
+    fn try_radio_deliver_in_range(&mut self, base: Time, from: NodeId, to: NodeId, payload: P) {
         if self.cfg.radio_loss > 0.0 && self.rng.random::<f64>() < self.cfg.radio_loss {
             self.stats.incr("radio.drop.loss");
+            return;
+        }
+        let burst = self.injector.as_ref().map_or(0.0, |i| i.burst_loss(base));
+        if burst > 0.0 && self.rng.random::<f64>() < burst {
+            self.stats.incr("fault.drop.radio_burst");
             return;
         }
         let jitter = if self.cfg.radio_jitter.is_zero() {
@@ -470,7 +660,7 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
         } else {
             Duration::from_micros(self.rng.random_range(0..=self.cfg.radio_jitter.as_micros()))
         };
-        let at = self.now + self.cfg.radio_latency + jitter;
+        let at = base + self.cfg.radio_latency + jitter;
         self.queue.push(
             at,
             to,
@@ -665,12 +855,6 @@ mod tests {
         };
         let mut w: World<u32, u8> = World::new(cfg);
         let rx = w.spawn(Box::new(Probe::new(100.0)));
-        let tx = w.spawn(Box::new(Probe::new(0.0)));
-        for i in 0..1000 {
-            w.inject(Time::from_millis(i), tx, rx, 1, Channel::Radio);
-        }
-        // Injected deliveries bypass loss; make the receiver echo instead.
-        // Simpler: drive loss through unicast effects.
         struct Spammer {
             to: NodeId,
         }
@@ -693,6 +877,271 @@ mod tests {
             (300..=700).contains(&dropped),
             "expected ~500 of 1000 dropped, got {dropped}"
         );
+    }
+
+    #[test]
+    fn inject_is_reliable_but_inject_radio_draws_loss() {
+        // `inject` is the out-of-band control-plane path: every packet
+        // arrives regardless of the loss rate. `inject_radio` goes
+        // through the medium and loses at the configured rate.
+        let cfg = WorldConfig {
+            radio_loss: 0.5,
+            radio_jitter: Duration::ZERO,
+            seed: 7,
+            ..WorldConfig::default()
+        };
+        let mut w: World<u32, u8> = World::new(cfg);
+        let rx = w.spawn(Box::new(Probe::new(100.0)));
+        let tx = w.spawn(Box::new(Probe::new(0.0)));
+        for i in 0..200 {
+            w.inject(Time::from_millis(i), tx, rx, 1, Channel::Radio);
+        }
+        for i in 0..1000 {
+            w.inject_radio(Time::from_millis(200 + i), tx, rx, 2);
+        }
+        w.run_to_completion(100_000);
+        let heard = &w.get::<Probe>(rx).unwrap().heard;
+        let out_of_band = heard.iter().filter(|(_, p, _)| *p == 1).count();
+        let through_medium = heard.iter().filter(|(_, p, _)| *p == 2).count() as u64;
+        let dropped = w.stats().get("radio.drop.loss");
+        assert_eq!(out_of_band, 200, "out-of-band injection is reliable");
+        assert_eq!(through_medium + dropped, 1000);
+        assert!(
+            (300..=700).contains(&dropped),
+            "expected ~500 of 1000 dropped, got {dropped}"
+        );
+    }
+
+    /// Arms a 1 s periodic timer chain and counts starts and beeps.
+    struct Beeper;
+    impl Node<u32, u8> for Beeper {
+        fn position(&self, _now: Time) -> Position {
+            Position::ORIGIN
+        }
+        fn on_start(&mut self, ctx: &mut Context<'_, u32, u8>) {
+            ctx.count("beeper.start");
+            ctx.set_timer(Duration::from_secs(1), 0);
+        }
+        fn on_packet(&mut self, _: &mut Context<'_, u32, u8>, _: NodeId, _: u32, _: Channel) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, u32, u8>, _: u8) {
+            ctx.count("beeper.beep");
+            ctx.set_timer(Duration::from_secs(1), 0);
+        }
+    }
+
+    #[test]
+    fn crash_window_silences_node_and_restart_reruns_start() {
+        use crate::fault::{CrashFault, FaultPlan};
+        let mut w: World<u32, u8> = World::new(quiet_config());
+        let b = w.spawn(Box::new(Beeper));
+        w.install_faults(FaultPlan {
+            crashes: vec![CrashFault {
+                node: b,
+                at: Time::from_millis(2500),
+                restart_at: Some(Time::from_millis(5500)),
+            }],
+            ..FaultPlan::default()
+        });
+        w.run_until(Time::from_secs(10));
+        // Beeps at 1 s and 2 s; the chain's 3 s timer was armed before the
+        // crash and is forgotten. `on_restart` (default: `on_start`)
+        // re-arms at 5.5 s → beeps at 6.5, 7.5, 8.5, 9.5 s.
+        assert_eq!(w.stats().get("beeper.start"), 2);
+        assert_eq!(w.stats().get("beeper.beep"), 6);
+        assert_eq!(w.stats().get("fault.crash"), 1);
+        assert_eq!(w.stats().get("fault.restart"), 1);
+        assert_eq!(w.stats().get("fault.drop.timer"), 1);
+        assert!(!w.is_paused(b));
+    }
+
+    #[test]
+    fn deliveries_to_crashed_node_are_dropped_until_restart() {
+        use crate::fault::{CrashFault, FaultPlan};
+        let mut w: World<u32, u8> = World::new(quiet_config());
+        let rx = w.spawn(Box::new(Probe::new(100.0)));
+        let tx = w.spawn(Box::new(Probe::new(0.0)));
+        w.install_faults(FaultPlan {
+            crashes: vec![CrashFault {
+                node: rx,
+                at: Time::from_secs(1),
+                restart_at: Some(Time::from_secs(3)),
+            }],
+            ..FaultPlan::default()
+        });
+        w.inject(Time::from_millis(500), tx, rx, 1, Channel::Radio); // before crash
+        w.inject(Time::from_secs(2), tx, rx, 2, Channel::Radio); // during crash
+        w.inject(Time::from_secs(4), tx, rx, 3, Channel::Radio); // after restart
+        w.run_until(Time::from_secs(5));
+        let heard: Vec<u32> = w
+            .get::<Probe>(rx)
+            .unwrap()
+            .heard
+            .iter()
+            .map(|&(_, p, _)| p)
+            .collect();
+        assert_eq!(heard, vec![1, 3]);
+        assert_eq!(w.stats().get("fault.drop.crashed"), 1);
+    }
+
+    #[test]
+    fn node_without_restart_stays_down() {
+        use crate::fault::{CrashFault, FaultPlan};
+        let mut w: World<u32, u8> = World::new(quiet_config());
+        let b = w.spawn(Box::new(Beeper));
+        w.install_faults(FaultPlan {
+            crashes: vec![CrashFault {
+                node: b,
+                at: Time::from_millis(1500),
+                restart_at: None,
+            }],
+            ..FaultPlan::default()
+        });
+        w.run_until(Time::from_secs(10));
+        assert_eq!(w.stats().get("beeper.beep"), 1);
+        assert_eq!(w.stats().get("fault.restart"), 0);
+        assert!(w.is_paused(b));
+        assert!(w.is_active(b), "crashed is not despawned");
+    }
+
+    #[test]
+    fn wired_outage_severs_backhaul_for_the_window() {
+        use crate::fault::{FaultPlan, FaultWindow, WiredOutage};
+        /// Sends one wired packet per second.
+        struct WiredTicker {
+            to: NodeId,
+        }
+        impl Node<u32, u8> for WiredTicker {
+            fn position(&self, _now: Time) -> Position {
+                Position::ORIGIN
+            }
+            fn on_start(&mut self, ctx: &mut Context<'_, u32, u8>) {
+                ctx.set_timer(Duration::from_secs(1), 0);
+            }
+            fn on_packet(&mut self, _: &mut Context<'_, u32, u8>, _: NodeId, _: u32, _: Channel) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u32, u8>, _: u8) {
+                ctx.send_wired(self.to, 1);
+                ctx.set_timer(Duration::from_secs(1), 0);
+            }
+        }
+        let mut w: World<u32, u8> = World::new(quiet_config());
+        let rx = w.spawn(Box::new(Probe::new(9000.0)));
+        let tx = w.spawn(Box::new(WiredTicker { to: rx }));
+        w.install_faults(FaultPlan {
+            wired_outages: vec![WiredOutage {
+                a: tx,
+                b: rx,
+                window: FaultWindow::new(Time::from_millis(2500), Time::from_millis(4500)),
+            }],
+            ..FaultPlan::default()
+        });
+        w.run_until(Time::from_millis(6500));
+        // Sends at 1..=6 s; those at 3 and 4 s fall inside the outage.
+        assert_eq!(w.stats().get("wired.tx"), 6);
+        assert_eq!(w.stats().get("fault.drop.wired_outage"), 2);
+        assert_eq!(w.stats().get("wired.rx"), 4);
+    }
+
+    #[test]
+    fn radio_burst_drops_everything_in_window() {
+        use crate::fault::{FaultPlan, FaultWindow, RadioBurst};
+        /// Sends one unicast per 100 ms.
+        struct RadioTicker {
+            to: NodeId,
+        }
+        impl Node<u32, u8> for RadioTicker {
+            fn position(&self, _now: Time) -> Position {
+                Position::ORIGIN
+            }
+            fn on_start(&mut self, ctx: &mut Context<'_, u32, u8>) {
+                ctx.set_timer(Duration::from_millis(100), 0);
+            }
+            fn on_packet(&mut self, _: &mut Context<'_, u32, u8>, _: NodeId, _: u32, _: Channel) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u32, u8>, _: u8) {
+                ctx.send(self.to, 1);
+                ctx.set_timer(Duration::from_millis(100), 0);
+            }
+        }
+        let mut w: World<u32, u8> = World::new(quiet_config());
+        let rx = w.spawn(Box::new(Probe::new(100.0)));
+        let tx = w.spawn(Box::new(RadioTicker { to: rx }));
+        w.install_faults(FaultPlan {
+            radio_bursts: vec![RadioBurst {
+                window: FaultWindow::new(Time::from_secs(1), Time::from_secs(2)),
+                extra_loss: 1.0,
+            }],
+            ..FaultPlan::default()
+        });
+        w.run_until(Time::from_millis(3050));
+        // Sends every 100 ms from 0.1 s to 3.0 s (30 sends); those in
+        // [1 s, 2 s) — 1.0 s through 1.9 s inclusive — all drop.
+        assert_eq!(w.stats().get("fault.drop.radio_burst"), 10);
+        assert_eq!(w.get::<Probe>(rx).unwrap().heard.len(), 20);
+        let _ = tx;
+    }
+
+    #[test]
+    fn tamper_window_mutates_payloads_via_hook() {
+        use crate::fault::{FaultPlan, FaultWindow, TamperBurst};
+        let mut w: World<u32, u8> = World::new(quiet_config());
+        let rx = w.spawn(Box::new(Probe::new(100.0)));
+        let tx = w.spawn(Box::new(Probe::new(0.0)));
+        w.install_faults(FaultPlan {
+            tampering: vec![TamperBurst {
+                window: FaultWindow::new(Time::from_secs(1), Time::from_secs(2)),
+                probability: 1.0,
+            }],
+            ..FaultPlan::default()
+        });
+        w.set_tamper_hook(Box::new(|p, _rng| {
+            *p = 999;
+            true
+        }));
+        w.inject(Time::from_millis(500), tx, rx, 7, Channel::Radio); // before window
+        w.inject(Time::from_millis(1500), tx, rx, 8, Channel::Radio); // inside window
+        w.run_until(Time::from_secs(3));
+        let heard: Vec<u32> = w
+            .get::<Probe>(rx)
+            .unwrap()
+            .heard
+            .iter()
+            .map(|&(_, p, _)| p)
+            .collect();
+        assert_eq!(heard, vec![7, 999]);
+        assert_eq!(w.stats().get("fault.tamper"), 1);
+    }
+
+    #[test]
+    fn empty_fault_plan_does_not_perturb_the_run() {
+        use crate::fault::{FaultPlan, FaultWindow, RadioBurst};
+        fn run(plan: Option<FaultPlan>) -> Vec<(NodeId, u32, Channel)> {
+            let cfg = WorldConfig {
+                radio_loss: 0.3,
+                seed: 11,
+                ..WorldConfig::default()
+            };
+            let mut w: World<u32, u8> = World::new(cfg);
+            let rx = w.spawn(Box::new(Probe::new(500.0)));
+            let tx = w.spawn(Box::new(Probe::new(0.0)));
+            if let Some(plan) = plan {
+                w.install_faults(plan);
+            }
+            for i in 0..50 {
+                w.inject_radio(Time::from_millis(i), tx, rx, i as u32);
+            }
+            w.run_until(Time::from_secs(1));
+            w.get::<Probe>(rx).unwrap().heard.clone()
+        }
+        let baseline = run(None);
+        assert_eq!(baseline, run(Some(FaultPlan::none())));
+        // Windows entirely after the traffic also leave the stream alone.
+        let late = FaultPlan {
+            radio_bursts: vec![RadioBurst {
+                window: FaultWindow::new(Time::from_secs(500), Time::from_secs(600)),
+                extra_loss: 1.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(baseline, run(Some(late)));
     }
 
     #[test]

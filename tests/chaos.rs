@@ -1,0 +1,147 @@
+//! Chaos harness: randomized infrastructure-fault schedules against the
+//! detection pipeline. The invariants under arbitrary (bounded) fault
+//! injection:
+//!
+//! - no trial panics;
+//! - no honest vehicle is ever confirmed (zero false positives survive
+//!   crashes, partitions, and degraded mode);
+//! - every injected crash restarts, and the staged attacker is still
+//!   confirmed after the infrastructure recovers;
+//! - an RSU crash *mid-detection* rebuilds its member table and re-runs
+//!   the probe ladder to a confirmation.
+
+use blackdp::ChEvent;
+use blackdp_scenario::{
+    build_scenario, harvest, run_fault_trial, FaultSpec, RsuCrash, RsuNode, ScenarioConfig,
+    TrialSpec,
+};
+use blackdp_sim::{Duration, Time};
+
+/// Twenty-plus randomized schedules: zero FP, full recovery, attacker
+/// still caught.
+#[test]
+fn randomized_fault_schedules_never_break_detection() {
+    let cfg = ScenarioConfig::small_test();
+    let clusters = cfg.plan().cluster_count();
+    for seed in 0..22u64 {
+        // Sweep the intensity band with the seed so every run mixes
+        // crash-only and full-chaos schedules.
+        let intensity = 0.4 + 0.2 * (seed % 4) as f64;
+        let faults = FaultSpec::randomized(seed, intensity, &cfg);
+        let spec = TrialSpec::single(4_000 + seed * 17, 2, clusters);
+        let outcome = run_fault_trial(&cfg, &spec, &faults);
+
+        assert!(
+            !outcome.base.honest_confirmed,
+            "seed {seed}: a fault schedule produced a false positive"
+        );
+        assert_eq!(
+            outcome.crashes, outcome.restarts,
+            "seed {seed}: every scheduled crash must restart within the run"
+        );
+        assert!(
+            outcome.base.attacker_confirmed,
+            "seed {seed} (intensity {intensity}): attacker escaped under faults {faults:?}"
+        );
+    }
+}
+
+/// A fault-free `run_fault_trial` is the plain trial, byte for byte.
+#[test]
+fn empty_fault_schedule_matches_plain_trial() {
+    let cfg = ScenarioConfig::small_test();
+    let spec = TrialSpec::single(77, 2, cfg.plan().cluster_count());
+    let plain = blackdp_scenario::run_trial(&cfg, &spec);
+    let faulted = run_fault_trial(&cfg, &spec, &FaultSpec::none());
+    assert_eq!(faulted.crashes, 0);
+    assert_eq!(faulted.time_to_recover, None);
+    assert_eq!(plain.class, faulted.base.class);
+    assert_eq!(plain.detections, faulted.base.detections);
+    assert_eq!(plain.data_delivered, faulted.base.data_delivered);
+    assert_eq!(plain.detection_packets, faulted.base.detection_packets);
+}
+
+/// The acceptance scenario: the suspect's own CH dies *mid-episode*,
+/// comes back with nothing, rebuilds its member table from re-joins, and
+/// re-runs the probe ladder to a confirmation.
+#[test]
+fn rsu_crash_mid_detection_recovers_and_reconfirms() {
+    let cfg = ScenarioConfig::small_test();
+    let clusters = cfg.plan().cluster_count();
+    // Attacker in the source's own cluster: the d_req lands directly at
+    // the CH we are about to kill.
+    let spec = TrialSpec::single(9_101, 1, clusters);
+
+    // Probe run: find when the episode is in flight.
+    let (t_start, t_end) = {
+        let mut built = build_scenario(&cfg, &spec);
+        built.world.run_until(Time::ZERO + cfg.sim_duration);
+        let rsu = built
+            .world
+            .get::<RsuNode>(built.rsus[0])
+            .expect("cluster-1 RSU");
+        let started = rsu
+            .timeline()
+            .iter()
+            .find(|(_, e)| matches!(e, ChEvent::DetectionStarted { .. }))
+            .map(|(t, _)| *t)
+            .expect("fault-free run must start a detection");
+        let concluded = rsu
+            .timeline()
+            .iter()
+            .find(|(_, e)| matches!(e, ChEvent::DetectionConcluded { .. }))
+            .map(|(t, _)| *t)
+            .expect("fault-free run must conclude");
+        assert!(harvest(&cfg, &spec, &built).attacker_confirmed);
+        (started, concluded)
+    };
+    assert!(t_end > t_start);
+
+    // Chaos run: same seed, CH crash halfway through the episode.
+    let crash_at = t_start + Duration::from_micros(t_end.saturating_since(t_start).as_micros() / 2);
+    let faults = FaultSpec {
+        rsu_crashes: vec![RsuCrash {
+            cluster: 1,
+            at: crash_at.saturating_since(Time::ZERO),
+            down_for: Some(Duration::from_secs(2)),
+        }],
+        ..FaultSpec::none()
+    };
+    let mut built = build_scenario(&cfg, &spec);
+    built.world.install_faults(faults.realize(&cfg, &built));
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+
+    let rsu = built
+        .world
+        .get::<RsuNode>(built.rsus[0])
+        .expect("cluster-1 RSU");
+    let timeline = rsu.timeline();
+    let restart_idx = timeline
+        .iter()
+        .position(|(_, e)| matches!(e, ChEvent::Restarted))
+        .expect("the crash must surface as a Restarted event");
+    let after = &timeline[restart_idx + 1..];
+    assert!(
+        after
+            .iter()
+            .any(|(_, e)| matches!(e, ChEvent::MemberJoined(_))),
+        "members must re-register after the restart: {timeline:?}"
+    );
+    assert!(
+        after
+            .iter()
+            .any(|(_, e)| matches!(e, ChEvent::DetectionStarted { .. })),
+        "the probe ladder must re-run after the restart: {timeline:?}"
+    );
+
+    let outcome = harvest(&cfg, &spec, &built);
+    assert!(
+        outcome.attacker_confirmed,
+        "the re-run ladder must still confirm the attacker"
+    );
+    assert!(!outcome.honest_confirmed);
+
+    // The world-level fault counters agree with what we scheduled.
+    assert_eq!(built.world.stats().get("fault.crash"), 1);
+    assert_eq!(built.world.stats().get("fault.restart"), 1);
+}

@@ -1,7 +1,7 @@
 //! Reproducibility: identical seeds must produce identical trials, and
 //! different seeds must actually vary the world.
 
-use blackdp_scenario::{run_trial, ScenarioConfig, TrialSpec};
+use blackdp_scenario::{run_fault_trial, run_trial, FaultSpec, ScenarioConfig, TrialSpec};
 
 fn fingerprint(outcome: &blackdp_scenario::TrialOutcome) -> String {
     format!(
@@ -22,6 +22,37 @@ fn same_seed_same_outcome() {
     let a = run_trial(&cfg, &spec);
     let b = run_trial(&cfg, &spec);
     assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn same_seed_same_fault_plan_same_outcome() {
+    let cfg = ScenarioConfig::small_test();
+    let spec = TrialSpec::single(1234, 2, 10);
+    let faults = FaultSpec::randomized(1234, 0.8, &cfg);
+    let a = run_fault_trial(&cfg, &spec, &faults);
+    let b = run_fault_trial(&cfg, &spec, &faults);
+    assert_eq!(fingerprint(&a.base), fingerprint(&b.base));
+    assert_eq!(a.crashes, b.crashes);
+    assert_eq!(a.restarts, b.restarts);
+    assert_eq!(a.fault_drops, b.fault_drops);
+    assert_eq!(a.time_to_recover, b.time_to_recover);
+    assert_eq!(a.revocation_retries, b.revocation_retries);
+}
+
+#[test]
+fn different_seeds_vary_fault_schedules() {
+    let cfg = ScenarioConfig::small_test();
+    let a = FaultSpec::randomized(1, 0.8, &cfg);
+    let b = FaultSpec::randomized(2, 0.8, &cfg);
+    assert_ne!(a, b, "fault schedules must be seed-dependent");
+    // And the realized trials must actually diverge, not just the specs.
+    let ta = run_fault_trial(&cfg, &TrialSpec::single(1, 2, 10), &a);
+    let tb = run_fault_trial(&cfg, &TrialSpec::single(2, 2, 10), &b);
+    assert_ne!(
+        (ta.crashes, ta.fault_drops, ta.time_to_recover),
+        (tb.crashes, tb.fault_drops, tb.time_to_recover),
+        "different seeds must realize different fault histories"
+    );
 }
 
 #[test]
