@@ -18,4 +18,11 @@ cargo run --release -p blackdp-bench --bin validate_shapes -- quick
 echo "==> fault-recovery gate (faults quick)"
 cargo run --release -p blackdp-bench --bin faults -- quick
 
+echo "==> perf regression gate (perf smoke)"
+cargo run --release -p blackdp-bench --bin perf -- smoke
+if [ ! -f results/BENCH_pr2.json ]; then
+    echo "ci.sh: results/BENCH_pr2.json missing after perf run" >&2
+    exit 1
+fi
+
 echo "==> ci.sh: all gates passed"

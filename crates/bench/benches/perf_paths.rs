@@ -1,0 +1,117 @@
+//! PR-2 hot paths — microbenchmarks for the routines the perf work
+//! optimized: SHA-256 hashing, Schnorr exponentiation with and without
+//! the fixed-base table, certificate verification with a cold and a warm
+//! cache, and broadcast neighbor queries (grid vs. brute-force scan) at
+//! three vehicle densities.
+
+use blackdp_bench::probe::probe_world;
+use blackdp_crypto::field::{pow_g, pow_mod, G, P, Q};
+use blackdp_crypto::{cert_cache_clear, Keypair, LongTermId, TaId, TrustedAuthority};
+use blackdp_sim::{Duration, Time};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/sha256");
+    for size in [256usize, 4096] {
+        let data = vec![0x5Au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| blackdp_crypto::sha256(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixed_base_exponentiation(c: &mut Criterion) {
+    // The same scalars through both paths: the generic square-and-multiply
+    // ladder and the precomputed fixed-base window table for G.
+    let scalars: Vec<u64> = (1..64u64).map(|i| (i.wrapping_mul(0x2545_F491) % Q).max(1)).collect();
+    let mut group = c.benchmark_group("perf/pow");
+    group.bench_function("generic_pow_mod", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % scalars.len();
+            pow_mod(G, black_box(scalars[i]), P)
+        })
+    });
+    group.bench_function("fixed_base_table", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % scalars.len();
+            pow_g(black_box(scalars[i]))
+        })
+    });
+    group.finish();
+}
+
+fn bench_sign_verify(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let keys = Keypair::generate(&mut rng);
+    let msg = b"RREP dest=7 seq=75 hops=3 lifetime=6s";
+    let sig = keys.sign(msg, &mut rng);
+    let mut group = c.benchmark_group("perf/schnorr");
+    group.bench_function("sign", |b| b.iter(|| keys.sign(black_box(msg), &mut rng)));
+    group.bench_function("verify", |b| {
+        b.iter(|| keys.public().verify(black_box(msg), black_box(&sig)))
+    });
+    group.finish();
+}
+
+fn bench_cert_cache(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut ta = TrustedAuthority::new(TaId(0), &mut rng);
+    let subject = Keypair::generate(&mut rng);
+    let cert = ta.enroll(
+        LongTermId(77),
+        subject.public(),
+        Time::from_secs(0),
+        Duration::from_secs(3600),
+        &mut rng,
+    );
+    let now = Time::from_secs(10);
+    let ta_key = ta.public_key();
+    let mut group = c.benchmark_group("perf/cert_verify");
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            cert_cache_clear();
+            black_box(cert.verify(ta_key, now)).is_ok()
+        })
+    });
+    group.bench_function("warm_cache", |b| {
+        cert_cache_clear();
+        let _ = cert.verify(ta_key, now);
+        b.iter(|| black_box(cert.verify(ta_key, now)).is_ok())
+    });
+    group.finish();
+    cert_cache_clear();
+}
+
+fn bench_neighbor_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/neighbors");
+    for n in [60usize, 250, 1000] {
+        let (mut world, ids) = probe_world(n, 300.0, 42);
+        let center = ids[n / 2];
+        group.bench_function(format!("grid_{n}"), |b| {
+            b.iter(|| black_box(world.neighbors_of(black_box(center))).len())
+        });
+        let (world, ids) = probe_world(n, 300.0, 42);
+        let center = ids[n / 2];
+        group.bench_function(format!("scan_{n}"), |b| {
+            b.iter(|| black_box(world.neighbors_of_scan(black_box(center))).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_fixed_base_exponentiation,
+    bench_sign_verify,
+    bench_cert_cache,
+    bench_neighbor_query
+);
+criterion_main!(benches);

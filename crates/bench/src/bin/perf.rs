@@ -1,0 +1,453 @@
+//! PR-2 performance gate: times the optimized hot paths — neighbor
+//! queries (spatial grid vs. brute-force scan), the crypto substrate
+//! (SHA-256, fixed-base exponentiation, Schnorr sign/verify, cached
+//! certificate verification) and end-to-end trial throughput (serial vs.
+//! parallel sweep) — then writes `results/BENCH_pr2.json` and fails if
+//! any gated metric regressed more than 25% against the recorded
+//! baseline.
+//!
+//! Usage: `perf [smoke|full]` (default `full`). Smoke shrinks repeat
+//! counts and the end-to-end scenario so CI finishes in seconds.
+//!
+//! Gating policy: per-operation metrics (`*_ns`, `*_mb_s`) are gated
+//! against the recorded baseline, normalized by a calibration probe so
+//! CPU-frequency drift is not read as a regression. Speedup ratios are
+//! quotients of two measurements — their noise compounds — so they are
+//! held to absolute floors (`SPEEDUP_FLOORS`) instead: a broken
+//! optimization collapses toward 1x, far below any floor. End-to-end
+//! wall-clock metrics are recorded for inspection but *not* gated —
+//! they track container load, not code. The parallel-sweep speedup is
+//! additionally required to reach 2x, but only when more than one
+//! worker thread is actually available (a single-core container cannot
+//! speed anything up).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use blackdp_bench::probe::probe_world;
+use blackdp_crypto::field::{pow_g, pow_mod, G, P, Q};
+use blackdp_crypto::{cert_cache_clear, sha256, Keypair, LongTermId, TaId, TrustedAuthority};
+use blackdp_scenario::{
+    fig4_cell, fig4_cell_serial, worker_count, AttackKind, ScenarioConfig,
+};
+use blackdp_sim::{Duration, Time};
+use std::hint::black_box;
+
+const OUT_PATH: &str = "results/BENCH_pr2.json";
+const SCHEMA: &str = "blackdp-perf/v1";
+const NEIGHBOR_COUNTS: [usize; 4] = [60, 250, 1000, 4000];
+/// Regression tolerance: latest may be at most 25% worse than baseline.
+const TOLERANCE: f64 = 1.25;
+/// Acceptance floor for the parallel sweep (when threads are available).
+const MIN_PARALLEL_SPEEDUP: f64 = 2.0;
+/// Absolute floors for speedup ratios. A ratio is the quotient of two
+/// measurements, so its run-to-run noise compounds — gating it against a
+/// recorded baseline flakes. A floor is what actually matters: if an
+/// optimization stops working its ratio collapses toward 1x, far below
+/// any of these.
+const SPEEDUP_FLOORS: &[(&str, f64)] = &[
+    ("neighbor_speedup_250", 2.0),
+    ("neighbor_speedup_1000", 5.0),
+    ("neighbor_speedup_4000", 5.0),
+    ("pow_g_speedup", 2.0),
+    ("cert_cache_speedup", 2.0),
+];
+
+/// This run's reference probe reading (`calib_lcg_ns`), as `f64` bits.
+/// Set once in `main` after warmup; single-threaded, so relaxed ordering.
+static REF_PROBE_NS: AtomicU64 = AtomicU64::new(0);
+
+fn ref_probe_ns() -> f64 {
+    f64::from_bits(REF_PROBE_NS.load(Ordering::Relaxed))
+}
+
+/// One fixed serial-dependency multiply/add chain — a proxy for the
+/// machine's current effective clock.
+#[inline(never)]
+fn lcg_chain() {
+    let mut x = black_box(0x243F_6A88_85A3_08D3u64);
+    for _ in 0..64 {
+        x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+    }
+    black_box(x);
+}
+
+/// Raw timing of `chains` probe chains, in ns per chain.
+fn probe_ns(chains: u32) -> f64 {
+    let start = Instant::now();
+    for _ in 0..chains {
+        lcg_chain();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(chains)
+}
+
+/// Best-of-`reps` raw probe reading. Recorded as `calib_lcg_ns`, used as
+/// this run's reference machine speed, and compared across runs by the
+/// gate so persistent CPU-frequency differences between a baseline
+/// recording and a CI run do not read as code regressions.
+fn calibrate(reps: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(probe_ns(20_000));
+    }
+    best
+}
+
+/// Best-of-`reps` timing of `inner` invocations of `f`, in ns per call.
+///
+/// The container is CPU-quota throttled: a measurement window either
+/// runs clean or is hit by a multi-millisecond stall that inflates it
+/// wildly. Short windows and best-of-many discard the stalls. Each rep
+/// is additionally bracketed by calibration probes; when even the
+/// cleaner probe ran >10% over the run's reference the whole
+/// neighbourhood was being throttled, and the reading is scaled back
+/// toward reference speed (at most 3x — the dead-band and the "never
+/// scale up" clamp keep probe jitter from deflating clean readings).
+/// Code regressions cannot hide behind this: slow *code* leaves the
+/// adjacent probes at full speed.
+fn time_ns(reps: u32, inner: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let pre = probe_ns(2_000);
+        let start = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / f64::from(inner);
+        let post = probe_ns(2_000);
+        let reference = ref_probe_ns();
+        let forgive = if reference > 0.0 {
+            (1.1 * reference / pre.min(post)).clamp(1.0 / 3.0, 1.0)
+        } else {
+            1.0
+        };
+        best = best.min(ns * forgive);
+    }
+    best
+}
+
+struct Metrics(Vec<(String, f64)>);
+
+impl Metrics {
+    fn put(&mut self, name: &str, value: f64) {
+        self.0.push((name.to_owned(), value));
+    }
+
+    fn get(&self, name: &str) -> Option<f64> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+fn measure_neighbors(m: &mut Metrics, reps: u32, inner: u32) {
+    for n in NEIGHBOR_COUNTS {
+        let (mut world, ids) = probe_world(n, 300.0, 42);
+        // Average over a spread of query centers so one lucky cell cannot
+        // skew the figure.
+        let centers: Vec<_> = (0..16).map(|i| ids[i * n / 16]).collect();
+        let grid_ns = time_ns(reps, inner, || {
+            for &c in &centers {
+                black_box(world.neighbors_of(black_box(c)));
+            }
+        }) / centers.len() as f64;
+        let (world, _) = probe_world(n, 300.0, 42);
+        let scan_ns = time_ns(reps, inner, || {
+            for &c in &centers {
+                black_box(world.neighbors_of_scan(black_box(c)));
+            }
+        }) / centers.len() as f64;
+        m.put(&format!("neighbor_grid_ns_{n}"), grid_ns);
+        m.put(&format!("neighbor_scan_ns_{n}"), scan_ns);
+        m.put(&format!("neighbor_speedup_{n}"), scan_ns / grid_ns);
+    }
+}
+
+fn measure_crypto(m: &mut Metrics, reps: u32, inner: u32) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // Hashing 4 KiB is slow per call; many short timing windows dodge
+    // scheduler interference better than a few long ones.
+    let data = vec![0x5Au8; 4096];
+    let ns = time_ns(reps * 5, (inner / 20).max(25), || {
+        black_box(sha256(black_box(&data)));
+    });
+    m.put("sha256_mb_s", data.len() as f64 * 1000.0 / ns);
+
+    let scalars: Vec<u64> = (1..64u64)
+        .map(|i| (i.wrapping_mul(0x2545_F491) % Q).max(1))
+        .collect();
+    let mut i = 0;
+    let pow_mod_ns = time_ns(reps, inner, || {
+        i = (i + 1) % scalars.len();
+        black_box(pow_mod(G, black_box(scalars[i]), P));
+    });
+    let mut i = 0;
+    let pow_g_ns = time_ns(reps, inner, || {
+        i = (i + 1) % scalars.len();
+        black_box(pow_g(black_box(scalars[i])));
+    });
+    m.put("pow_mod_ns", pow_mod_ns);
+    m.put("pow_g_ns", pow_g_ns);
+    m.put("pow_g_speedup", pow_mod_ns / pow_g_ns);
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let keys = Keypair::generate(&mut rng);
+    let msg = b"RREP dest=7 seq=75 hops=3 lifetime=6s";
+    let sig = keys.sign(msg, &mut rng);
+    m.put(
+        "sign_ns",
+        time_ns(reps, inner, || {
+            black_box(keys.sign(black_box(msg), &mut rng));
+        }),
+    );
+    m.put(
+        "verify_ns",
+        time_ns(reps, inner, || {
+            black_box(keys.public().verify(black_box(msg), black_box(&sig)));
+        }),
+    );
+
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut ta = TrustedAuthority::new(TaId(0), &mut rng);
+    let subject = Keypair::generate(&mut rng);
+    let cert = ta.enroll(
+        LongTermId(77),
+        subject.public(),
+        Time::from_secs(0),
+        Duration::from_secs(3600),
+        &mut rng,
+    );
+    let now = Time::from_secs(10);
+    let ta_key = ta.public_key();
+    let cold_ns = time_ns(reps, inner.min(2_000), || {
+        cert_cache_clear();
+        black_box(cert.verify(ta_key, now)).ok();
+    });
+    cert_cache_clear();
+    let _ = cert.verify(ta_key, now);
+    let warm_ns = time_ns(reps, inner, || {
+        black_box(cert.verify(ta_key, now)).ok();
+    });
+    cert_cache_clear();
+    m.put("cert_verify_cold_ns", cold_ns);
+    m.put("cert_verify_warm_ns", warm_ns);
+    m.put("cert_cache_speedup", cold_ns / warm_ns);
+}
+
+fn measure_e2e(m: &mut Metrics, smoke: bool) -> usize {
+    let cfg = if smoke {
+        ScenarioConfig::small_test()
+    } else {
+        ScenarioConfig::paper_table1()
+    };
+    let reps = if smoke { 4 } else { 10 };
+    let threads = worker_count();
+
+    let start = Instant::now();
+    let serial = fig4_cell_serial(&cfg, AttackKind::Single, 2, reps);
+    let serial_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let start = Instant::now();
+    let parallel = fig4_cell(&cfg, AttackKind::Single, 2, reps);
+    let parallel_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    // The parallel sweep must be a pure reordering of work: identical
+    // trial outcomes in identical order.
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{parallel:?}"),
+        "parallel sweep diverged from the serial reference"
+    );
+
+    m.put("e2e_threads", threads as f64);
+    m.put("e2e_serial_ms", serial_ms);
+    m.put("e2e_parallel_ms", parallel_ms);
+    m.put("e2e_parallel_speedup", serial_ms / parallel_ms);
+    m.put(
+        "e2e_trials_per_s",
+        f64::from(reps) / (parallel_ms / 1000.0),
+    );
+    threads
+}
+
+/// Metrics gated against the recorded baseline. End-to-end wall-clock is
+/// excluded (it measures machine load) and speedup ratios are gated by
+/// [`SPEEDUP_FLOORS`] instead; everything listed here is a per-operation
+/// figure that, after machine-speed normalization, is stable run-to-run.
+fn gated(name: &str) -> bool {
+    name.starts_with("neighbor_grid_ns_")
+        || matches!(
+            name,
+            "sha256_mb_s" | "pow_g_ns" | "sign_ns" | "verify_ns" | "cert_verify_warm_ns"
+        )
+}
+
+/// `true` when smaller values of this metric are better.
+fn lower_is_better(name: &str) -> bool {
+    // `_ns_` / `_ms_` catches per-size timings like `neighbor_grid_ns_60`.
+    ["_ns", "_ms"]
+        .iter()
+        .any(|u| name.ends_with(u) || name.contains(&format!("{u}_")))
+}
+
+fn render_json(mode: &str, threads: usize, baseline: &Metrics, latest: &Metrics) -> String {
+    let obj = |m: &Metrics| {
+        let mut s = String::new();
+        for (i, (name, value)) in m.0.iter().enumerate() {
+            let sep = if i + 1 == m.0.len() { "" } else { "," };
+            let _ = writeln!(s, "    \"{name}\": {value:.3}{sep}");
+        }
+        s
+    };
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"mode\": \"{mode}\",\n  \"threads\": {threads},\n  \"baseline\": {{\n{}  }},\n  \"latest\": {{\n{}  }}\n}}\n",
+        obj(baseline),
+        obj(latest)
+    )
+}
+
+/// Minimal parser for the files this binary writes: returns the stored
+/// `mode` and the `baseline` object's entries. Returns `None` when the
+/// file is absent or not recognizably ours.
+fn load_baseline(path: &str) -> Option<(String, Metrics)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return None;
+    }
+    let mode = text
+        .split("\"mode\": \"")
+        .nth(1)?
+        .split('"')
+        .next()?
+        .to_owned();
+    let body = text.split("\"baseline\": {").nth(1)?.split('}').next()?;
+    let mut metrics = Metrics(Vec::new());
+    for line in body.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_matches('"');
+        if let Ok(value) = value.trim().parse::<f64>() {
+            metrics.put(name, value);
+        }
+    }
+    Some((mode, metrics))
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "full".into());
+    let smoke = match mode.as_str() {
+        "smoke" => true,
+        "full" => false,
+        other => {
+            eprintln!("usage: perf [smoke|full] (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+    // Full mode buys precision with more repeats, NOT longer windows: on
+    // a quota-throttled container a long window is just a bigger target
+    // for a stall, while best-of-many short windows converges on clean
+    // hardware speed.
+    let (reps, inner) = if smoke { (5, 2_000) } else { (17, 2_500) };
+
+    // Let the CPU frequency governor ramp up before taking any timings;
+    // the first measurements otherwise land on a half-awake clock.
+    let warmup = Instant::now();
+    let mut spin = 0u64;
+    while warmup.elapsed() < std::time::Duration::from_millis(200) {
+        spin = spin.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+    }
+    black_box(spin);
+
+    let mut latest = Metrics(Vec::new());
+    let calib = calibrate(reps.max(7));
+    REF_PROBE_NS.store(calib.to_bits(), Ordering::Relaxed);
+    latest.put("calib_lcg_ns", calib);
+    println!("perf [{mode}]: timing neighbor queries...");
+    measure_neighbors(&mut latest, reps, inner.min(500));
+    println!("perf [{mode}]: timing crypto hot paths...");
+    measure_crypto(&mut latest, reps, inner);
+    println!("perf [{mode}]: timing end-to-end sweep...");
+    let threads = measure_e2e(&mut latest, smoke);
+
+    println!("\n{:<26} {:>12}", "metric", "value");
+    for (name, value) in &latest.0 {
+        println!("{name:<26} {value:>12.1}");
+    }
+
+    // Every gated metric is per-operation and mode-independent (smoke and
+    // full differ only in repeat counts), so a baseline recorded under
+    // either mode is comparable; only the ungated e2e wall-clock figures
+    // depend on the mode's scenario size.
+    let baseline = match load_baseline(OUT_PATH) {
+        Some((_stored_mode, stored)) => stored,
+        None => Metrics(latest.0.clone()),
+    };
+
+    // Machine-speed correction for absolute metrics: > 1 means this run's
+    // CPU is slower than the baseline's, and the tolerance widens so the
+    // drift does not read as a code regression. A faster machine needs no
+    // correction (raw comparison is already lenient in that direction),
+    // and the clamp keeps a broken calibration from masking real
+    // regressions.
+    let speed = match (latest.get("calib_lcg_ns"), baseline.get("calib_lcg_ns")) {
+        (Some(l), Some(b)) if b > 0.0 => (l / b).clamp(1.0, 2.0),
+        _ => 1.0,
+    };
+
+    let mut failures = Vec::new();
+    for (name, &(_, value)) in latest.0.iter().map(|e| (&e.0, e)) {
+        if !gated(name) {
+            continue;
+        }
+        let Some(base) = baseline.get(name) else {
+            continue;
+        };
+        let regressed = if lower_is_better(name) {
+            value > base * TOLERANCE * speed
+        } else {
+            value < base / TOLERANCE / speed
+        };
+        if regressed {
+            failures.push(format!(
+                "{name}: {value:.1} regressed >25% vs baseline {base:.1} (machine-speed factor {speed:.2})"
+            ));
+        }
+    }
+
+    for &(name, floor) in SPEEDUP_FLOORS {
+        let value = latest.get(name).unwrap_or(0.0);
+        if value < floor {
+            failures.push(format!(
+                "{name}: {value:.1}x below the required {floor:.0}x"
+            ));
+        }
+    }
+    let par_speedup = latest.get("e2e_parallel_speedup").unwrap_or(0.0);
+    if threads > 1 && par_speedup < MIN_PARALLEL_SPEEDUP {
+        failures.push(format!(
+            "e2e_parallel_speedup: {par_speedup:.2}x below the required {MIN_PARALLEL_SPEEDUP:.0}x with {threads} threads"
+        ));
+    }
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(OUT_PATH, render_json(&mode, threads, &baseline, &latest))
+        .expect("write BENCH_pr2.json");
+    println!("\nwrote {OUT_PATH}");
+
+    if failures.is_empty() {
+        println!("perf gate: PASS ({} metrics checked)", latest.0.len());
+    } else {
+        for f in &failures {
+            eprintln!("perf gate FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

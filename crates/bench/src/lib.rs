@@ -19,6 +19,8 @@
 
 use std::fmt::Write as _;
 
+pub mod probe;
+
 /// Formats a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:5.1}%", x * 100.0)

@@ -1,0 +1,164 @@
+//! Bounded cache of certificate signature checks.
+//!
+//! A vehicle re-verifies the same handful of certificates constantly: every
+//! heartbeat, RREP, and probe carries the sender's certificate, and the
+//! TA-signature check is by far the most expensive step (two modular
+//! exponentiations). The *signature* validity of a certificate under a
+//! given TA key is a pure function of its bytes, so it can be memoized;
+//! the validity-*window* checks depend on the current virtual time and are
+//! always re-evaluated by [`Certificate::verify`](crate::Certificate::verify).
+//! That makes the cache observationally transparent: cached and uncached
+//! verification return identical results at every instant.
+//!
+//! The cache is thread-local (parallel sweep workers each get their own;
+//! no locks on the hot path) and bounded by LRU eviction.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Maximum number of distinct certificates remembered per thread. Sized
+/// for several full highways' worth of pseudonyms (a Table-I trial enrolls
+/// ~100 and renewals add a few more) while keeping eviction scans cheap.
+const CAPACITY: usize = 1024;
+
+struct CertCache {
+    /// digest → (signature valid?, last-use stamp).
+    entries: HashMap<u128, (bool, u64)>,
+    /// Monotonic use counter backing the LRU stamps.
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+thread_local! {
+    static CACHE: RefCell<CertCache> = RefCell::new(CertCache {
+        entries: HashMap::new(),
+        clock: 0,
+        hits: 0,
+        misses: 0,
+    });
+}
+
+/// FNV-1a, widened to 128 bits to make accidental collisions across a
+/// simulation's certificate population negligible.
+pub(crate) fn fnv1a_128(chunks: &[&[u8]]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut hash = OFFSET;
+    for chunk in chunks {
+        for &byte in *chunk {
+            hash ^= byte as u128;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash
+}
+
+/// Looks up `digest`, or computes the signature check with `check` and
+/// caches the result, evicting the least-recently-used entry when full.
+pub(crate) fn check_signature(digest: u128, check: impl FnOnce() -> bool) -> bool {
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        cache.clock += 1;
+        let stamp = cache.clock;
+        if let Some(entry) = cache.entries.get_mut(&digest) {
+            entry.1 = stamp;
+            let valid = entry.0;
+            cache.hits += 1;
+            return valid;
+        }
+        cache.misses += 1;
+        let valid = check();
+        if cache.entries.len() >= CAPACITY {
+            if let Some(&oldest) = cache
+                .entries
+                .iter()
+                .min_by_key(|(_, &(_, used))| used)
+                .map(|(k, _)| k)
+            {
+                cache.entries.remove(&oldest);
+            }
+        }
+        cache.entries.insert(digest, (valid, stamp));
+        valid
+    })
+}
+
+/// `(hits, misses)` recorded by this thread's certificate cache.
+pub fn cert_cache_stats() -> (u64, u64) {
+    CACHE.with(|cache| {
+        let cache = cache.borrow();
+        (cache.hits, cache.misses)
+    })
+}
+
+/// Empties this thread's certificate cache and zeroes its counters.
+/// Benchmarks use this to measure cold-path costs.
+pub fn cert_cache_clear() {
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        cache.entries.clear();
+        cache.clock = 0;
+        cache.hits = 0;
+        cache.misses = 0;
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_counts() {
+        cert_cache_clear();
+        let mut computed = 0;
+        for _ in 0..3 {
+            assert!(check_signature(42, || {
+                computed += 1;
+                true
+            }));
+        }
+        assert_eq!(computed, 1, "signature check ran once");
+        assert_eq!(cert_cache_stats(), (2, 1));
+        cert_cache_clear();
+    }
+
+    #[test]
+    fn negative_results_are_cached_too() {
+        cert_cache_clear();
+        assert!(!check_signature(7, || false));
+        assert!(!check_signature(7, || panic!("must hit the cache")));
+        cert_cache_clear();
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        cert_cache_clear();
+        for i in 0..CAPACITY as u128 {
+            check_signature(i, || true);
+        }
+        // Touch entry 0 so it is no longer the oldest, then overflow.
+        check_signature(0, || panic!("entry 0 must still be cached"));
+        check_signature(u128::MAX, || true);
+        // Entry 1 was the LRU and is gone; entry 0 survived.
+        let (hits_before, _) = cert_cache_stats();
+        check_signature(0, || panic!("entry 0 must have survived eviction"));
+        let (hits_after, _) = cert_cache_stats();
+        assert_eq!(hits_after, hits_before + 1);
+        let mut recomputed = false;
+        check_signature(1, || {
+            recomputed = true;
+            true
+        });
+        assert!(recomputed, "entry 1 must have been evicted");
+        cert_cache_clear();
+    }
+
+    #[test]
+    fn fnv_distinguishes_chunk_contents() {
+        assert_ne!(fnv1a_128(&[b"ab"]), fnv1a_128(&[b"ba"]));
+        assert_ne!(fnv1a_128(&[b""]), fnv1a_128(&[b"\0"]));
+        // Chunking is an encoding detail: the hash covers concatenated bytes.
+        assert_eq!(fnv1a_128(&[b"ab", b"cd"]), fnv1a_128(&[b"abcd"]));
+    }
+}

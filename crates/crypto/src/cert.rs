@@ -143,13 +143,26 @@ impl Certificate {
 
     /// Checks the TA signature and the validity window at time `now`.
     ///
+    /// The signature check — a pure function of the certificate bytes and
+    /// `ta_key` — is memoized in a per-thread LRU cache (see
+    /// [`crate::cache`]); the time-window checks always run fresh, so
+    /// results are identical with or without the cache.
+    ///
     /// # Errors
     ///
     /// Returns [`CertError::BadSignature`] if the signature does not verify
     /// under `ta_key`, [`CertError::Expired`] / [`CertError::NotYetValid`]
     /// if `now` is outside the validity window.
     pub fn verify(&self, ta_key: PublicKey, now: Time) -> Result<(), CertError> {
-        if !ta_key.verify(&self.body(), &self.signature) {
+        let digest = crate::cache::fnv1a_128(&[
+            &self.body(),
+            &self.signature.e.to_be_bytes(),
+            &self.signature.s.to_be_bytes(),
+            &ta_key.raw().to_be_bytes(),
+        ]);
+        let sig_ok =
+            crate::cache::check_signature(digest, || ta_key.verify(&self.body(), &self.signature));
+        if !sig_ok {
             return Err(CertError::BadSignature);
         }
         if now < self.issued {

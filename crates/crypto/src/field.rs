@@ -46,6 +46,72 @@ pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
     acc
 }
 
+/// Number of 4-bit windows needed to cover every exponent below `2³²`
+/// (signing scalars are all below `Q < 2³¹`).
+const WINDOWS: usize = 8;
+
+/// Fixed-base precomputation table for the generator [`G`]:
+/// `table[w][d] = G^(d · 16^w) mod P`.
+///
+/// With the table, `G^e` for a 32-bit exponent costs at most 7 modular
+/// multiplications (one per nonzero window) instead of the ~31 squarings
+/// plus ~15 multiplications of generic square-and-multiply — the classic
+/// fixed-base windowing trade, profitable because every keygen, signature,
+/// and the `g^s` half of every verification uses the same base.
+struct FixedBaseTable {
+    table: [[u64; 16]; WINDOWS],
+}
+
+impl FixedBaseTable {
+    fn build() -> Self {
+        let mut table = [[1u64; 16]; WINDOWS];
+        // `base` walks G^(16^w) as w advances.
+        let mut base = G;
+        for row in table.iter_mut() {
+            let mut acc = 1u64;
+            for entry in row.iter_mut() {
+                *entry = acc;
+                acc = mul_mod(acc, base, P);
+            }
+            for _ in 0..4 {
+                base = mul_mod(base, base, P);
+            }
+        }
+        FixedBaseTable { table }
+    }
+
+    fn pow(&self, mut exp: u64) -> u64 {
+        debug_assert!(exp < 1 << (4 * WINDOWS));
+        let mut acc = 1u64;
+        let mut w = 0;
+        while exp > 0 {
+            let digit = (exp & 0xF) as usize;
+            if digit != 0 {
+                acc = mul_mod(acc, self.table[w][digit], P);
+            }
+            exp >>= 4;
+            w += 1;
+        }
+        acc
+    }
+}
+
+/// The lazily built process-wide table; `OnceLock` keeps initialization
+/// race-free when scenario sweeps verify from several worker threads.
+static G_TABLE: std::sync::OnceLock<FixedBaseTable> = std::sync::OnceLock::new();
+
+/// Fixed-base exponentiation `G^exp mod P` via the precomputation table.
+///
+/// Bit-identical to `pow_mod(G, exp, P)` for every exponent; exponents at
+/// or above `2³²` (never produced by the signing code, whose scalars are
+/// reduced modulo [`Q`]) fall back to the generic routine.
+pub fn pow_g(exp: u64) -> u64 {
+    if exp >= 1 << (4 * WINDOWS) {
+        return pow_mod(G, exp, P);
+    }
+    G_TABLE.get_or_init(FixedBaseTable::build).pow(exp)
+}
+
 /// Deterministic Miller–Rabin primality test, exact for all `u64`.
 ///
 /// Uses the known-sufficient witness set for 64-bit integers.
@@ -109,6 +175,24 @@ mod tests {
         let b = P - 2;
         // (P-1)(P-2) mod P = 2 mod P.
         assert_eq!(mul_mod(a, b, P), 2);
+    }
+
+    #[test]
+    fn pow_g_matches_pow_mod() {
+        for exp in [0u64, 1, 2, 15, 16, 17, 255, 256, Q - 1, Q, Q + 1] {
+            assert_eq!(pow_g(exp), pow_mod(G, exp, P), "exp = {exp}");
+        }
+        // A spread of scalars across the full signing range.
+        let mut x = 0x1234_5678u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let exp = x % Q;
+            assert_eq!(pow_g(exp), pow_mod(G, exp, P), "exp = {exp}");
+        }
+        // Above the table's 32-bit window coverage: the fallback path.
+        for exp in [1u64 << 32, (1 << 32) + 12345, u64::MAX] {
+            assert_eq!(pow_g(exp), pow_mod(G, exp, P), "exp = {exp}");
+        }
     }
 
     #[test]

@@ -44,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cert;
 pub mod field;
 pub mod sha256;
 pub mod sig;
 pub mod ta;
 
+pub use cache::{cert_cache_clear, cert_cache_stats};
 pub use cert::{
     CertError, Certificate, LongTermId, PseudonymId, RevocationList, RevocationNotice, TaId,
 };

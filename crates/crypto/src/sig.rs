@@ -14,7 +14,7 @@
 
 use rand::RngExt;
 
-use crate::field::{mul_mod, pow_mod, G, P, Q};
+use crate::field::{mul_mod, pow_g, pow_mod, P, Q};
 use crate::sha256::Sha256;
 
 /// A Schnorr secret key (a scalar modulo [`Q`]).
@@ -75,7 +75,7 @@ impl Keypair {
         let x = rng.random_range(1..Q);
         Keypair {
             secret: SecretKey(x),
-            public: PublicKey(pow_mod(G, x, P)),
+            public: PublicKey(pow_g(x)),
         }
     }
 
@@ -87,7 +87,7 @@ impl Keypair {
     /// Signs `message` with a random nonce from `rng`.
     pub fn sign<R: rand::Rng + ?Sized>(&self, message: &[u8], rng: &mut R) -> Signature {
         let k = rng.random_range(1..Q);
-        let r = pow_mod(G, k, P);
+        let r = pow_g(k);
         let e = challenge(r, message);
         let s = (k + mul_mod(self.secret.0, e, Q)) % Q;
         Signature { e, s }
@@ -101,7 +101,9 @@ impl PublicKey {
             return false;
         }
         // r' = g^s * y^(Q - e): cancels the secret key iff s = k + x*e.
-        let gs = pow_mod(G, sig.s, P);
+        // The g^s half is fixed-base (precomputed table); y varies per
+        // signer, so y^(Q-e) stays on the generic ladder.
+        let gs = pow_g(sig.s);
         let y_neg_e = pow_mod(self.0, Q - (sig.e % Q), P);
         let r = mul_mod(gs, y_neg_e, P);
         challenge(r, message) == sig.e

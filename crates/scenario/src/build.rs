@@ -76,6 +76,7 @@ pub fn build_scenario(cfg: &ScenarioConfig, spec: &TrialSpec) -> BuiltScenario {
         },
         wired_latency: Duration::from_millis(1),
         seed: spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        neighbor_index: cfg.neighbor_index,
     };
     let mut world: World<Frame, Tick> = World::new(world_cfg);
 

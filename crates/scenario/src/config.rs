@@ -4,7 +4,7 @@ use blackdp::BlackDpConfig;
 use blackdp_aodv::AodvConfig;
 use blackdp_attacks::EvasionPolicy;
 use blackdp_mobility::{ClusterPlan, Highway, Kmh, SpawnConfig};
-use blackdp_sim::Duration;
+use blackdp_sim::{Duration, NeighborIndex};
 
 use crate::vehicle::DefenseMode;
 use blackdp_aodv::Addr;
@@ -69,6 +69,9 @@ pub struct ScenarioConfig {
     /// fraction of the range, decaying to zero at the range edge.
     /// `None` = the paper's unit-disk assumption.
     pub fading_full_fraction: Option<f64>,
+    /// Broadcast receiver lookup strategy. `Grid` (the default) and `Scan`
+    /// are bit-identical; `Scan` is kept for differential testing.
+    pub neighbor_index: NeighborIndex,
 }
 
 impl ScenarioConfig {
@@ -96,6 +99,7 @@ impl ScenarioConfig {
             defense: DefenseMode::BlackDp,
             backward_fraction: 0.0,
             fading_full_fraction: None,
+            neighbor_index: NeighborIndex::Grid,
         }
     }
 

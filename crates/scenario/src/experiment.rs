@@ -9,6 +9,7 @@ use crate::build::run_trial;
 use crate::config::{AttackSetup, ScenarioConfig, TrialSpec};
 use crate::faults::{run_fault_trial, FaultSpec, FaultTrialOutcome};
 use crate::metrics::{RateSummary, TrialOutcome};
+use crate::parallel::parallel_map;
 use crate::vehicle::DefenseMode;
 
 /// One Figure 4 data point: the attacker's cluster and the aggregated
@@ -50,37 +51,64 @@ pub fn fig4(cfg: &ScenarioConfig, kind: AttackKind, repetitions: u32) -> Vec<Fig
     points
 }
 
-/// Runs the trials for a single Figure 4 cell (one cluster).
+/// The specification for repetition `rep` of one Figure 4 cell. The seed
+/// and the evasion draw depend only on `(cluster, rep)` — never on which
+/// thread runs the trial — which is what lets [`fig4_cell`] parallelize
+/// repetitions while staying bit-identical to the serial loop.
+pub fn fig4_cell_spec(
+    cfg: &ScenarioConfig,
+    kind: AttackKind,
+    cluster: u32,
+    rep: u32,
+) -> TrialSpec {
+    let cluster_count = cfg.plan().cluster_count();
+    let in_renewal_zone = (cfg.renewal_zone.0..=cfg.renewal_zone.1).contains(&cluster);
+    let seed = u64::from(cluster) * 10_000 + u64::from(rep) * 13 + 1;
+    let mut spec = match kind {
+        AttackKind::Single => TrialSpec::single(seed, cluster, cluster_count),
+        AttackKind::Cooperative => TrialSpec::cooperative(seed, cluster, cluster_count),
+    };
+    if in_renewal_zone {
+        // Attackers in the renewal zone may evade (Section IV-B):
+        // act legitimately, flee, or renew their identity.
+        let mut evasion_rng =
+            StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xE7A5);
+        if evasion_rng.random::<f64>() < RENEWAL_ZONE_EVASION_PROB {
+            spec.evasion = match evasion_rng.random_range(0..3u8) {
+                0 => EvasionPolicy::ActLegitimately,
+                1 => EvasionPolicy::Flee,
+                _ => EvasionPolicy::RenewIdentity,
+            };
+        }
+    }
+    spec
+}
+
+/// Runs the trials for a single Figure 4 cell (one cluster), with
+/// repetitions spread across worker threads. Results are returned in
+/// repetition order and are bit-identical to [`fig4_cell_serial`].
 pub fn fig4_cell(
     cfg: &ScenarioConfig,
     kind: AttackKind,
     cluster: u32,
     repetitions: u32,
 ) -> Vec<TrialOutcome> {
-    let cluster_count = cfg.plan().cluster_count();
-    let in_renewal_zone = (cfg.renewal_zone.0..=cfg.renewal_zone.1).contains(&cluster);
+    let specs: Vec<TrialSpec> = (0..repetitions)
+        .map(|rep| fig4_cell_spec(cfg, kind, cluster, rep))
+        .collect();
+    parallel_map(&specs, |spec| run_trial(cfg, spec))
+}
+
+/// Single-threaded reference implementation of [`fig4_cell`], kept for
+/// determinism tests and serial-vs-parallel benchmarking.
+pub fn fig4_cell_serial(
+    cfg: &ScenarioConfig,
+    kind: AttackKind,
+    cluster: u32,
+    repetitions: u32,
+) -> Vec<TrialOutcome> {
     (0..repetitions)
-        .map(|rep| {
-            let seed = u64::from(cluster) * 10_000 + u64::from(rep) * 13 + 1;
-            let mut spec = match kind {
-                AttackKind::Single => TrialSpec::single(seed, cluster, cluster_count),
-                AttackKind::Cooperative => TrialSpec::cooperative(seed, cluster, cluster_count),
-            };
-            if in_renewal_zone {
-                // Attackers in the renewal zone may evade (Section IV-B):
-                // act legitimately, flee, or renew their identity.
-                let mut evasion_rng =
-                    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xE7A5);
-                if evasion_rng.random::<f64>() < RENEWAL_ZONE_EVASION_PROB {
-                    spec.evasion = match evasion_rng.random_range(0..3u8) {
-                        0 => EvasionPolicy::ActLegitimately,
-                        1 => EvasionPolicy::Flee,
-                        _ => EvasionPolicy::RenewIdentity,
-                    };
-                }
-            }
-            run_trial(cfg, &spec)
-        })
+        .map(|rep| run_trial(cfg, &fig4_cell_spec(cfg, kind, cluster, rep)))
         .collect()
 }
 
@@ -115,9 +143,9 @@ pub fn fig5(cfg: &ScenarioConfig, repetitions: u32) -> Vec<Fig5Row> {
     let mut rows = Vec::new();
 
     let collect = |specs: Vec<TrialSpec>| -> Vec<u32> {
-        specs
-            .iter()
-            .filter_map(|spec| run_trial(cfg, spec).detection_packets)
+        parallel_map(&specs, |spec| run_trial(cfg, spec).detection_packets)
+            .into_iter()
+            .flatten()
             .collect()
     };
 
@@ -286,23 +314,21 @@ pub fn grayhole_sweep(
     drop_probs
         .iter()
         .map(|&p| {
-            let outcomes: Vec<TrialOutcome> = (0..repetitions)
-                .map(|rep| {
-                    let spec = TrialSpec {
-                        seed: 60_000 + u64::from(rep) * 19 + (p * 1000.0) as u64,
-                        attack: AttackSetup::GrayHole {
-                            cluster: 2,
-                            drop_probability: p,
-                        },
-                        evasion: EvasionPolicy::None,
-                        source_cluster: 1,
-                        dest_cluster: Some(5),
-                        attacker_moves: false,
-                        attacker_fake_hello: false,
-                    };
-                    run_trial(cfg, &spec)
+            let specs: Vec<TrialSpec> = (0..repetitions)
+                .map(|rep| TrialSpec {
+                    seed: 60_000 + u64::from(rep) * 19 + (p * 1000.0) as u64,
+                    attack: AttackSetup::GrayHole {
+                        cluster: 2,
+                        drop_probability: p,
+                    },
+                    evasion: EvasionPolicy::None,
+                    source_cluster: 1,
+                    dest_cluster: Some(5),
+                    attacker_moves: false,
+                    attacker_fake_hello: false,
                 })
                 .collect();
+            let outcomes = parallel_map(&specs, |spec| run_trial(cfg, spec));
             GrayHolePoint {
                 drop_probability: p,
                 rates: RateSummary::from_outcomes(&outcomes),
@@ -343,18 +369,16 @@ pub fn loss_sweep(cfg: &ScenarioConfig, losses: &[f64], repetitions: u32) -> Vec
         .map(|&loss| {
             let mut cfg = cfg.clone();
             cfg.radio_loss = loss;
-            let outcomes: Vec<TrialOutcome> = (0..repetitions)
+            let specs: Vec<TrialSpec> = (0..repetitions)
                 .map(|rep| {
-                    run_trial(
-                        &cfg,
-                        &TrialSpec::single(
-                            70_000 + u64::from(rep) * 23 + (loss * 1000.0) as u64,
-                            2,
-                            cfg.plan().cluster_count(),
-                        ),
+                    TrialSpec::single(
+                        70_000 + u64::from(rep) * 23 + (loss * 1000.0) as u64,
+                        2,
+                        cfg.plan().cluster_count(),
                     )
                 })
                 .collect();
+            let outcomes = parallel_map(&specs, |spec| run_trial(&cfg, spec));
             sweep_summary(outcomes, loss)
         })
         .collect()
@@ -369,18 +393,16 @@ pub fn density_sweep(cfg: &ScenarioConfig, counts: &[u32], repetitions: u32) -> 
         .map(|&n| {
             let mut cfg = cfg.clone();
             cfg.vehicles = n;
-            let outcomes: Vec<TrialOutcome> = (0..repetitions)
+            let specs: Vec<TrialSpec> = (0..repetitions)
                 .map(|rep| {
-                    run_trial(
-                        &cfg,
-                        &TrialSpec::single(
-                            71_000 + u64::from(rep) * 29 + u64::from(n),
-                            2,
-                            cfg.plan().cluster_count(),
-                        ),
+                    TrialSpec::single(
+                        71_000 + u64::from(rep) * 29 + u64::from(n),
+                        2,
+                        cfg.plan().cluster_count(),
                     )
                 })
                 .collect();
+            let outcomes = parallel_map(&specs, |spec| run_trial(&cfg, spec));
             sweep_summary(outcomes, n as f64)
         })
         .collect()
@@ -395,18 +417,16 @@ pub fn fading_sweep(cfg: &ScenarioConfig, fractions: &[f64], repetitions: u32) -
         .map(|&f| {
             let mut cfg = cfg.clone();
             cfg.fading_full_fraction = Some(f);
-            let outcomes: Vec<TrialOutcome> = (0..repetitions)
+            let specs: Vec<TrialSpec> = (0..repetitions)
                 .map(|rep| {
-                    run_trial(
-                        &cfg,
-                        &TrialSpec::single(
-                            74_000 + u64::from(rep) * 41 + (f * 1000.0) as u64,
-                            2,
-                            cfg.plan().cluster_count(),
-                        ),
+                    TrialSpec::single(
+                        74_000 + u64::from(rep) * 41 + (f * 1000.0) as u64,
+                        2,
+                        cfg.plan().cluster_count(),
                     )
                 })
                 .collect();
+            let outcomes = parallel_map(&specs, |spec| run_trial(&cfg, spec));
             sweep_summary(outcomes, f)
         })
         .collect()
@@ -420,18 +440,16 @@ pub fn two_way_sweep(cfg: &ScenarioConfig, fractions: &[f64], repetitions: u32) 
         .map(|&f| {
             let mut cfg = cfg.clone();
             cfg.backward_fraction = f;
-            let outcomes: Vec<TrialOutcome> = (0..repetitions)
+            let specs: Vec<TrialSpec> = (0..repetitions)
                 .map(|rep| {
-                    run_trial(
-                        &cfg,
-                        &TrialSpec::single(
-                            72_000 + u64::from(rep) * 31 + (f * 1000.0) as u64,
-                            2,
-                            cfg.plan().cluster_count(),
-                        ),
+                    TrialSpec::single(
+                        72_000 + u64::from(rep) * 31 + (f * 1000.0) as u64,
+                        2,
+                        cfg.plan().cluster_count(),
                     )
                 })
                 .collect();
+            let outcomes = parallel_map(&specs, |spec| run_trial(&cfg, spec));
             sweep_summary(outcomes, f)
         })
         .collect()
@@ -546,30 +564,22 @@ pub fn defense_comparison(cfg: &ScenarioConfig, repetitions: u32) -> Vec<Defense
     .map(|defense| {
         let mut cfg = cfg.clone();
         cfg.defense = defense;
-        let attacked: Vec<TrialOutcome> = (0..repetitions)
-            .map(|rep| {
-                run_trial(
-                    &cfg,
-                    &TrialSpec::single(7_000 + u64::from(rep) * 11, 2, cluster_count),
-                )
+        let attacked_specs: Vec<TrialSpec> = (0..repetitions)
+            .map(|rep| TrialSpec::single(7_000 + u64::from(rep) * 11, 2, cluster_count))
+            .collect();
+        let attacked = parallel_map(&attacked_specs, |spec| run_trial(&cfg, spec));
+        let clean_specs: Vec<TrialSpec> = (0..repetitions)
+            .map(|rep| TrialSpec {
+                seed: 8_000 + u64::from(rep) * 11,
+                attack: AttackSetup::None,
+                evasion: EvasionPolicy::None,
+                source_cluster: 1,
+                dest_cluster: Some(4),
+                attacker_moves: false,
+                attacker_fake_hello: false,
             })
             .collect();
-        let clean: Vec<TrialOutcome> = (0..repetitions)
-            .map(|rep| {
-                run_trial(
-                    &cfg,
-                    &TrialSpec {
-                        seed: 8_000 + u64::from(rep) * 11,
-                        attack: AttackSetup::None,
-                        evasion: EvasionPolicy::None,
-                        source_cluster: 1,
-                        dest_cluster: Some(4),
-                        attacker_moves: false,
-                        attacker_fake_hello: false,
-                    },
-                )
-            })
-            .collect();
+        let clean = parallel_map(&clean_specs, |spec| run_trial(&cfg, spec));
         DefenseResult {
             defense,
             under_attack: RateSummary::from_outcomes(&attacked),
@@ -614,17 +624,15 @@ pub fn fault_sweep(
     intensities
         .iter()
         .map(|&intensity| {
-            let outcomes: Vec<FaultTrialOutcome> = (0..repetitions)
+            let specs: Vec<(TrialSpec, FaultSpec)> = (0..repetitions)
                 .map(|rep| {
                     let seed = 90_000 + u64::from(rep) * 31 + (intensity * 1000.0) as u64;
                     let faults = FaultSpec::randomized(seed, intensity, cfg);
-                    run_fault_trial(
-                        cfg,
-                        &TrialSpec::single(seed, 2, cluster_count),
-                        &faults,
-                    )
+                    (TrialSpec::single(seed, 2, cluster_count), faults)
                 })
                 .collect();
+            let outcomes: Vec<FaultTrialOutcome> =
+                parallel_map(&specs, |(spec, faults)| run_fault_trial(cfg, spec, faults));
             let recover: Vec<f64> = outcomes
                 .iter()
                 .filter_map(|o| o.time_to_recover.map(|d| d.as_secs_f64()))

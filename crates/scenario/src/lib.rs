@@ -39,6 +39,7 @@ mod frame;
 mod grayhole_node;
 mod journal;
 mod metrics;
+mod parallel;
 mod rsu_node;
 mod ta_node;
 mod vehicle;
@@ -49,9 +50,9 @@ pub use config::{ch_addr, far_destination, AttackSetup, ScenarioConfig, TrialSpe
 pub use directory::WiredDirectory;
 pub use experiment::{
     congestion_dedup, defense_comparison, density_sweep, fading_sweep, fault_sweep, fig4,
-    fig4_cell, fig5, grayhole_sweep, loss_sweep, two_way_sweep, AttackKind, CongestionResult,
-    DefenseResult, FaultSweepPoint, Fig4Point, Fig5Row, GrayHolePoint, SweepPoint,
-    RENEWAL_ZONE_EVASION_PROB,
+    fig4_cell, fig4_cell_serial, fig4_cell_spec, fig5, grayhole_sweep, loss_sweep, two_way_sweep,
+    AttackKind, CongestionResult, DefenseResult, FaultSweepPoint, Fig4Point, Fig5Row,
+    GrayHolePoint, SweepPoint, RENEWAL_ZONE_EVASION_PROB,
 };
 pub use faults::{
     run_fault_trial, BackhaulPartition, FaultSpec, FaultTrialOutcome, RadioBurstSpec, RsuCrash,
@@ -61,6 +62,7 @@ pub use frame::{broadcast_wire, send_wire, Frame, L2Cache, Tick};
 pub use grayhole_node::GrayHoleNode;
 pub use journal::{attach_journal, FrameJournal, JournalEntry, JournalHandle};
 pub use metrics::{wilson_half_width, RateSummary, TrialClass, TrialOutcome};
+pub use parallel::{parallel_map, parallel_map_with, worker_count};
 pub use rsu_node::RsuNode;
 pub use ta_node::TaNode;
 pub use vehicle::{DefenseMode, TrafficIntent, VehicleConfig, VehicleNode};

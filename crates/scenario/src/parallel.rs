@@ -1,0 +1,115 @@
+//! Order-preserving parallel trial execution.
+//!
+//! Experiment sweeps run many *independent* trials: every trial derives its
+//! own seed from the repetition index and builds its own world, so trials
+//! share no mutable state. That makes them embarrassingly parallel — as
+//! long as results come back in the serial order, the output of a sweep is
+//! **bit-identical** to the single-threaded loop it replaces.
+//!
+//! [`parallel_map`] provides exactly that contract: items are claimed from
+//! an atomic counter by scoped `std::thread` workers, each result is tagged
+//! with its input index, and the merged output is sorted back into input
+//! order. Thread scheduling can change *when* a trial runs, never *what* it
+//! computes or *where* its result lands.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads sweeps use: the `BLACKDP_THREADS` environment
+/// variable when set (≥ 1), otherwise the machine's available parallelism.
+pub fn worker_count() -> usize {
+    if let Some(n) = std::env::var("BLACKDP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`worker_count`] threads, returning results in
+/// input order — bit-identical to `items.iter().map(f).collect()`.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_with(worker_count(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (1 = plain serial loop).
+pub fn parallel_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let mut tagged: Vec<(usize, U)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 200] {
+            assert_eq!(
+                parallel_map_with(workers, &items, |x| x * x),
+                expected,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map_with(4, &empty, |x| *x).is_empty());
+        assert_eq!(parallel_map_with(4, &[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_serial_for_stateful_per_item_work() {
+        // Each item seeds its own RNG — the per-trial pattern sweeps use.
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let seeds: Vec<u64> = (0..40).collect();
+        let draw = |&seed: &u64| StdRng::seed_from_u64(seed).random::<u64>();
+        let serial: Vec<u64> = seeds.iter().map(draw).collect();
+        assert_eq!(parallel_map_with(4, &seeds, draw), serial);
+    }
+}

@@ -62,6 +62,7 @@
 
 mod event;
 mod fault;
+mod grid;
 mod id;
 mod node;
 mod position;
@@ -76,4 +77,4 @@ pub use node::{Context, Node};
 pub use position::Position;
 pub use stats::Stats;
 pub use time::{Duration, Time};
-pub use world::{RadioModel, Tap, TamperHook, World, WorldConfig};
+pub use world::{NeighborIndex, RadioModel, Tap, TamperHook, World, WorldConfig};

@@ -8,6 +8,7 @@ use rand::{RngExt, SeedableRng};
 
 use crate::event::{Channel, EventQueue, Occurrence};
 use crate::fault::{FaultInjector, FaultPlan, Transition};
+use crate::grid::SpatialGrid;
 use crate::node::{Context, Effect, Node};
 use crate::{Duration, NodeId, Stats, Time};
 
@@ -26,6 +27,23 @@ pub enum RadioModel {
         /// Fraction of the range with guaranteed reception, in `(0, 1]`.
         full_fraction: f64,
     },
+}
+
+/// The data structure the radio medium uses to find broadcast receivers.
+///
+/// Both strategies yield **bit-identical** simulations: the grid applies the
+/// same inclusive range check to the same positions and hands receivers to
+/// the medium in the same ascending-id order as the scan, so every random
+/// draw (fading, loss, burst, jitter) happens in the same sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborIndex {
+    /// Spatial hash grid with cell size `radio_range_m`: O(neighbors) per
+    /// broadcast, rebuilt at most once per virtual timestamp. The default.
+    #[default]
+    Grid,
+    /// Brute-force scan over every node: O(N) per broadcast. Kept as the
+    /// reference implementation for differential tests and benchmarks.
+    Scan,
 }
 
 /// Physical-layer and engine configuration for a [`World`].
@@ -50,6 +68,8 @@ pub struct WorldConfig {
     pub wired_latency: Duration,
     /// Seed for the world's deterministic random stream.
     pub seed: u64,
+    /// How broadcast receivers are located (grid vs. brute-force scan).
+    pub neighbor_index: NeighborIndex,
 }
 
 impl Default for WorldConfig {
@@ -62,6 +82,7 @@ impl Default for WorldConfig {
             radio_model: RadioModel::UnitDisk,
             wired_latency: Duration::from_millis(1),
             seed: 0,
+            neighbor_index: NeighborIndex::Grid,
         }
     }
 }
@@ -127,6 +148,16 @@ pub struct World<P, T> {
     tap: Option<Tap<P>>,
     injector: Option<FaultInjector>,
     tamper: Option<TamperHook<P>>,
+    /// Spatial index over active-node positions, rebuilt lazily.
+    grid: SpatialGrid,
+    /// `(timestamp, slot count)` the grid was last built for. Positions are
+    /// pure functions of time and the active set only shrinks within a
+    /// timestamp (despawn is one-way; spawning bumps the slot count), so a
+    /// matching stamp guarantees the grid is a superset of the live active
+    /// set — stale entries are filtered at query time.
+    grid_stamp: Option<(Time, usize)>,
+    /// Reusable receiver buffer for the broadcast hot path.
+    recv_scratch: Vec<(u32, f64)>,
 }
 
 /// A delivery observer: called for every packet delivered to an active
@@ -179,6 +210,9 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             tap: None,
             injector: None,
             tamper: None,
+            grid: SpatialGrid::new(),
+            grid_stamp: None,
+            recv_scratch: Vec::new(),
         }
     }
 
@@ -532,17 +566,30 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                 }
                 Effect::Broadcast { payload } => {
                     self.stats.incr("radio.tx");
-                    let receivers: Vec<NodeId> = self.nodes_in_range_of(sender);
-                    let from_pos = self.position_of(sender);
-                    for to in receivers {
-                        if let (Some(fp), Some(tp)) = (from_pos, self.position_of(to)) {
-                            if !self.link_succeeds(fp.distance_to(tp)) {
-                                self.stats.incr("radio.drop.fading");
-                                continue;
-                            }
+                    // Take the scratch buffer out so the loop below can call
+                    // `&mut self` methods while iterating it; restored after.
+                    let mut receivers = std::mem::take(&mut self.recv_scratch);
+                    self.collect_broadcast_receivers(sender, &mut receivers);
+                    // The final receiver takes the payload by move — one
+                    // clone per broadcast saved, and a broadcast with a
+                    // single receiver (the unicast-like common case for
+                    // sparse traffic) clones nothing at all.
+                    let mut payload = Some(payload);
+                    let last = receivers.len().wrapping_sub(1);
+                    for (i, &(to, dist)) in receivers.iter().enumerate() {
+                        if !self.link_succeeds(dist) {
+                            self.stats.incr("radio.drop.fading");
+                            continue;
                         }
-                        self.try_radio_deliver_in_range(self.now, sender, to, payload.clone());
+                        let p = if i == last {
+                            payload.take().expect("broadcast payload already moved")
+                        } else {
+                            payload.clone().expect("broadcast payload already moved")
+                        };
+                        self.try_radio_deliver_in_range(self.now, sender, NodeId::new(to), p);
                     }
+                    receivers.clear();
+                    self.recv_scratch = receivers;
                 }
                 Effect::Wired { to, payload } => {
                     self.stats.incr("wired.tx");
@@ -576,9 +623,89 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
         }
     }
 
-    /// Active nodes (other than `sender`) within radio range of `sender` now.
-    fn nodes_in_range_of(&self, sender: NodeId) -> Vec<NodeId> {
+    /// Fills `out` with `(receiver index, distance)` pairs for every active
+    /// node (other than `sender`) within radio range of `sender` now, in
+    /// ascending index order — the order the linear scan enumerates nodes,
+    /// which fixes the sequence of per-receiver random draws.
+    fn collect_broadcast_receivers(&mut self, sender: NodeId, out: &mut Vec<(u32, f64)>) {
+        out.clear();
         let Some(from_pos) = self.position_of(sender) else {
+            // A node that despawned itself earlier in this callback
+            // broadcasts into the void, matching the scan path.
+            return;
+        };
+        let range = self.cfg.radio_range_m;
+        match self.cfg.neighbor_index {
+            NeighborIndex::Scan => {
+                for (i, slot) in self.nodes.iter().enumerate() {
+                    let index = i as u32;
+                    if index == sender.index() || !slot.active {
+                        continue;
+                    }
+                    let dist = from_pos.distance_to(slot.node.position(self.now));
+                    if dist <= range {
+                        out.push((index, dist));
+                    }
+                }
+            }
+            NeighborIndex::Grid => {
+                self.ensure_grid();
+                self.grid.query_into(from_pos, range, sender.index(), out);
+                // The grid was built at the start of this timestamp; drop
+                // nodes despawned since (the active set only shrinks). The
+                // query already yields ascending index order — the order
+                // the brute-force scan produces.
+                out.retain(|&(index, _)| self.nodes[index as usize].active);
+            }
+        }
+    }
+
+    /// Rebuilds the spatial grid if the cached one is not for the current
+    /// `(timestamp, slot count)`. Trajectories are pure functions of time,
+    /// so one build per timestamp is exact for every query in that tick.
+    fn ensure_grid(&mut self) {
+        let stamp = (self.now, self.nodes.len());
+        if self.grid_stamp == Some(stamp) {
+            return;
+        }
+        let World {
+            grid,
+            nodes,
+            now,
+            cfg,
+            ..
+        } = self;
+        let now = *now;
+        grid.rebuild(
+            cfg.radio_range_m,
+            nodes.len(),
+            nodes.iter().enumerate().filter_map(|(i, slot)| {
+                slot.active.then(|| (i as u32, slot.node.position(now)))
+            }),
+        );
+        self.grid_stamp = Some(stamp);
+    }
+
+    /// Active nodes (other than `id`) within radio range of `id` right now,
+    /// located via the spatial grid, in ascending id order. Public for
+    /// differential tests and benchmarks; the broadcast path uses the same
+    /// machinery internally.
+    pub fn neighbors_of(&mut self, id: NodeId) -> Vec<NodeId> {
+        let prev = self.cfg.neighbor_index;
+        self.cfg.neighbor_index = NeighborIndex::Grid;
+        let mut scratch = std::mem::take(&mut self.recv_scratch);
+        self.collect_broadcast_receivers(id, &mut scratch);
+        self.cfg.neighbor_index = prev;
+        let out = scratch.iter().map(|&(i, _)| NodeId::new(i)).collect();
+        scratch.clear();
+        self.recv_scratch = scratch;
+        out
+    }
+
+    /// Reference implementation of [`Self::neighbors_of`]: a brute-force
+    /// scan over every node. The two must agree exactly.
+    pub fn neighbors_of_scan(&self, id: NodeId) -> Vec<NodeId> {
+        let Some(from_pos) = self.position_of(id) else {
             return Vec::new();
         };
         let range = self.cfg.radio_range_m;
@@ -586,14 +713,14 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             .iter()
             .enumerate()
             .filter_map(|(i, slot)| {
-                let id = NodeId::new(i as u32);
-                if id == sender || !slot.active {
+                let nid = NodeId::new(i as u32);
+                if nid == id || !slot.active {
                     return None;
                 }
                 slot.node
                     .position(self.now)
                     .within_range(from_pos, range)
-                    .then_some(id)
+                    .then_some(nid)
             })
             .collect()
     }

@@ -1,7 +1,11 @@
 //! Reproducibility: identical seeds must produce identical trials, and
 //! different seeds must actually vary the world.
 
-use blackdp_scenario::{run_fault_trial, run_trial, FaultSpec, ScenarioConfig, TrialSpec};
+use blackdp_scenario::{
+    fig4_cell, fig4_cell_serial, fig4_cell_spec, parallel_map_with, run_fault_trial, run_trial,
+    AttackKind, FaultSpec, ScenarioConfig, TrialSpec,
+};
+use blackdp_sim::NeighborIndex;
 
 fn fingerprint(outcome: &blackdp_scenario::TrialOutcome) -> String {
     format!(
@@ -53,6 +57,66 @@ fn different_seeds_vary_fault_schedules() {
         (tb.crashes, tb.fault_drops, tb.time_to_recover),
         "different seeds must realize different fault histories"
     );
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let cfg = ScenarioConfig::small_test();
+    let reps = 6;
+    let serial: Vec<String> = fig4_cell_serial(&cfg, AttackKind::Single, 2, reps)
+        .iter()
+        .map(fingerprint)
+        .collect();
+
+    // The public entry point (however many workers this machine offers)...
+    let auto: Vec<String> = fig4_cell(&cfg, AttackKind::Single, 2, reps)
+        .iter()
+        .map(fingerprint)
+        .collect();
+    assert_eq!(serial, auto, "fig4_cell must reproduce the serial sweep");
+
+    // ...and explicit worker counts, so multi-threaded merging is
+    // exercised even on a single-core CI machine.
+    let specs: Vec<TrialSpec> = (0..reps)
+        .map(|rep| fig4_cell_spec(&cfg, AttackKind::Single, 2, rep))
+        .collect();
+    for workers in [2usize, 3, 8] {
+        let parallel: Vec<String> = parallel_map_with(workers, &specs, |s| run_trial(&cfg, s))
+            .iter()
+            .map(fingerprint)
+            .collect();
+        assert_eq!(
+            serial, parallel,
+            "sweep with {workers} workers must be bit-identical to serial"
+        );
+    }
+}
+
+#[test]
+fn grid_medium_matches_brute_force_scan() {
+    let grid_cfg = ScenarioConfig::small_test();
+    assert_eq!(
+        grid_cfg.neighbor_index,
+        NeighborIndex::Grid,
+        "grid must be the default medium"
+    );
+    let mut scan_cfg = ScenarioConfig::small_test();
+    scan_cfg.neighbor_index = NeighborIndex::Scan;
+
+    for kind in [AttackKind::Single, AttackKind::Cooperative] {
+        let with_grid: Vec<String> = fig4_cell_serial(&grid_cfg, kind, 2, 4)
+            .iter()
+            .map(fingerprint)
+            .collect();
+        let with_scan: Vec<String> = fig4_cell_serial(&scan_cfg, kind, 2, 4)
+            .iter()
+            .map(fingerprint)
+            .collect();
+        assert_eq!(
+            with_grid, with_scan,
+            "grid neighbor index must be observationally identical to the scan ({kind:?})"
+        );
+    }
 }
 
 #[test]
