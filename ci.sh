@@ -25,4 +25,7 @@ if [ ! -f results/BENCH_pr2.json ]; then
     exit 1
 fi
 
+echo "==> fuzz / trace-oracle gate (fuzz smoke)"
+cargo run --release -p blackdp-bench --bin fuzz -- smoke
+
 echo "==> ci.sh: all gates passed"

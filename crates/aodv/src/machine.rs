@@ -87,6 +87,9 @@ pub enum DropReason {
     TtlExpired,
     /// The per-destination discovery buffer was full.
     BufferFull,
+    /// This node already forwarded this exact packet (loop or broadcast
+    /// echo — a unicast forwarding chain never duplicates).
+    Duplicate,
 }
 
 #[derive(Debug)]
@@ -133,6 +136,7 @@ pub struct Aodv {
     next_data_seq: u64,
     routes: RoutingTable,
     rreq_seen: HashMap<(Addr, u64), Time>,
+    data_seen: HashMap<(Addr, u64), Time>,
     pending: BTreeMap<Addr, PendingDiscovery>,
     neighbors: BTreeMap<Addr, Time>,
     last_hello: Option<Time>,
@@ -149,6 +153,7 @@ impl Aodv {
             next_data_seq: 0,
             routes: RoutingTable::new(),
             rreq_seen: HashMap::new(),
+            data_seen: HashMap::new(),
             pending: BTreeMap::new(),
             neighbors: BTreeMap::new(),
             last_hello: None,
@@ -369,6 +374,9 @@ impl Aodv {
         let horizon = self.cfg.path_discovery_time();
         self.rreq_seen
             .retain(|_, &mut t| now.saturating_since(t) <= horizon);
+        let data_horizon = self.cfg.active_route_timeout;
+        self.data_seen
+            .retain(|_, &mut t| now.saturating_since(t) <= data_horizon);
 
         // Discovery retries / failures.
         let expired: Vec<Addr> = self
@@ -640,6 +648,17 @@ impl Aodv {
                 .refresh(data.orig, now + self.cfg.active_route_timeout, now);
             return vec![Action::Event(Event::DataDelivered(data))];
         }
+        // Forward each distinct packet at most once. `seq_no` is a
+        // monotone per-origin counter, so a repeat here is a routing loop
+        // or a broadcast echo (a misbehaving node rebroadcasting data);
+        // re-forwarding would let N neighbors amplify every copy into an
+        // exponential storm only capped by TTL.
+        if self.data_seen.contains_key(&(data.orig, data.seq_no)) {
+            return vec![Action::Event(Event::DataDropped {
+                packet: data,
+                reason: DropReason::Duplicate,
+            })];
+        }
         if data.ttl == 0 {
             return vec![Action::Event(Event::DataDropped {
                 packet: data,
@@ -647,6 +666,10 @@ impl Aodv {
             })];
         }
         if let Some(route) = self.routes.lookup_usable(data.dest, now) {
+            // Only a *forwarded* packet is marked seen: a copy we merely
+            // overheard without a route must not poison a later, genuine
+            // unicast hand-off through this node.
+            self.data_seen.insert((data.orig, data.seq_no), now);
             let next_hop = route.next_hop;
             let forwarded = DataPacket {
                 ttl: data.ttl - 1,

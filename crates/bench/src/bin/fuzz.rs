@@ -1,0 +1,452 @@
+//! Coverage-guided scenario fuzzer and CI fuzz gate.
+//!
+//! ```text
+//! cargo run --release -p blackdp-bench --bin fuzz -- smoke
+//! cargo run --release -p blackdp-bench --bin fuzz -- run 10000 [seed]
+//! cargo run --release -p blackdp-bench --bin fuzz -- replay <file.case>
+//! cargo run --release -p blackdp-bench --bin fuzz -- golden
+//! ```
+//!
+//! * `smoke` — the deterministic CI gate: replays the checked-in
+//!   regression corpus, runs a fixed-seed randomized budget, checks the
+//!   metamorphic oracles, requires ≥5 distinct invariants exercised, zero
+//!   false positives on attacker-free runs, and bit-identical
+//!   record→replay journals for 10 seeds. Exits non-zero on any failure.
+//! * `run N` — the exploration mode: N coverage-guided trials; any case
+//!   that panics, violates an invariant, or breaks a metamorphic oracle
+//!   is written to `results/fuzz_corpus/` for triage.
+//! * `replay FILE` — re-executes one corpus case verbosely.
+//! * `golden` — regenerates `results/golden/illustrative_example.trace`.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use blackdp_scenario::{
+    diff_traces, encode_trace, metamorphic_failures, parallel_map, record_trial, run_case,
+    CaseReport, FuzzCase, ScenarioConfig, TrialSpec,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Where triggering cases live, relative to the repo root.
+const CORPUS_DIR: &str = "results/fuzz_corpus";
+/// Where the golden illustrative-example trace lives.
+const GOLDEN_TRACE: &str = "results/golden/illustrative_example.trace";
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, label: &str, ok: bool, detail: String) {
+        if ok {
+            println!("PASS  {label}");
+        } else {
+            println!("FAIL  {label}: {detail}");
+            self.failures.push(label.to_owned());
+        }
+    }
+}
+
+/// The canonical illustrative-example trial pinned by the golden trace:
+/// Figure 5's single-attacker episode with a moving suspect, at
+/// test scale so the snapshot test replays it quickly in debug builds.
+pub fn golden_setup() -> (ScenarioConfig, TrialSpec) {
+    let cfg = ScenarioConfig::small_test();
+    let mut spec = TrialSpec::single(42, 2, cfg.plan().cluster_count());
+    spec.attacker_moves = true;
+    (cfg, spec)
+}
+
+fn load_corpus(dir: &Path) -> Vec<(PathBuf, FuzzCase)> {
+    let mut cases = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return cases;
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fuzz: unreadable corpus file {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match FuzzCase::parse_line(line) {
+                Ok(case) => cases.push((path.clone(), case)),
+                Err(e) => {
+                    eprintln!("fuzz: bad case in {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    cases
+}
+
+/// Runs a case plus its metamorphic oracles (the expensive part — twin
+/// runs — only fires on eligible cases).
+fn run_full(case: &FuzzCase) -> (CaseReport, Vec<String>) {
+    let report = run_case(case);
+    let meta = metamorphic_failures(case, &report);
+    (report, meta)
+}
+
+fn describe(report: &CaseReport, meta: &[String]) -> String {
+    if let Some(p) = &report.panic {
+        return format!("panicked: {p}");
+    }
+    let mut parts: Vec<String> = report.violations.iter().take(3).cloned().collect();
+    parts.extend(meta.iter().cloned());
+    parts.join("; ")
+}
+
+fn smoke() -> i32 {
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+    let mut exercised_names: BTreeSet<&'static str> = BTreeSet::new();
+
+    // --- 1. Regression corpus replays clean. ---
+    let corpus = load_corpus(Path::new(CORPUS_DIR));
+    let corpus_results = parallel_map(&corpus, |(_, case)| run_full(case));
+    let mut corpus_bad = Vec::new();
+    for ((path, _), (report, meta)) in corpus.iter().zip(&corpus_results) {
+        for (name, n) in &report.exercised {
+            if *n > 0 {
+                exercised_names.insert(name);
+            }
+        }
+        if !report.is_clean() || !meta.is_empty() {
+            corpus_bad.push(format!("{}: {}", path.display(), describe(report, meta)));
+        }
+    }
+    gate.check(
+        &format!("fuzz/corpus: {} checked-in cases replay clean", corpus.len()),
+        corpus_bad.is_empty(),
+        corpus_bad.join(" | "),
+    );
+
+    // --- 2. Fixed-seed randomized budget. ---
+    let mut cases: Vec<FuzzCase> = (0..40u64)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(0xF00D_0000 + i);
+            FuzzCase::random(&mut rng)
+        })
+        .collect();
+    // Guarantee attacker-free coverage for the FP oracle.
+    for i in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0xFACE_0000 + i);
+        let mut case = FuzzCase::random(&mut rng);
+        case.attack_kind = 0;
+        cases.push(case);
+    }
+    let results = parallel_map(&cases, run_full);
+    let mut random_bad = Vec::new();
+    let mut attacker_free = 0usize;
+    for (case, (report, meta)) in cases.iter().zip(&results) {
+        for (name, n) in &report.exercised {
+            if *n > 0 {
+                exercised_names.insert(name);
+            }
+        }
+        if case.attack_kind == 0 {
+            attacker_free += 1;
+        }
+        if !report.is_clean() || !meta.is_empty() {
+            random_bad.push(format!(
+                "`{}` → {}",
+                case.to_line(),
+                describe(report, meta)
+            ));
+        }
+    }
+    gate.check(
+        &format!(
+            "fuzz/random: {} fixed-seed cases clean ({attacker_free} attacker-free)",
+            cases.len()
+        ),
+        random_bad.is_empty(),
+        random_bad.join(" | "),
+    );
+    gate.check(
+        "fuzz/fp: attacker-free runs present and confirm nothing",
+        attacker_free >= 8,
+        format!("only {attacker_free} attacker-free cases"),
+    );
+
+    // --- 3. Invariant coverage. ---
+    gate.check(
+        &format!(
+            "fuzz/invariants: ≥5 distinct invariants exercised ({})",
+            exercised_names
+                .iter()
+                .copied()
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        exercised_names.len() >= 5,
+        format!("only {} exercised", exercised_names.len()),
+    );
+
+    // --- 4. Record → replay bit-identity for 10 seeds. ---
+    let seeds: Vec<u64> = (0..10).collect();
+    let replay_results = parallel_map(&seeds, |&seed| {
+        let case = FuzzCase::baseline(seed);
+        let (cfg, spec, faults) = (case.config(), case.spec(), case.faults());
+        let (_, first) = record_trial(&cfg, &spec, &faults);
+        let (_, second) = record_trial(&cfg, &spec, &faults);
+        let bit_identical = encode_trace(&first) == encode_trace(&second);
+        (
+            seed,
+            first.len(),
+            diff_traces(&first, &second).map(|d| d.to_string()),
+            bit_identical,
+        )
+    });
+    let mut replay_bad = Vec::new();
+    for (seed, len, divergence, bit_identical) in &replay_results {
+        if *len == 0 {
+            replay_bad.push(format!("seed {seed}: empty trace"));
+        }
+        if let Some(d) = divergence {
+            replay_bad.push(format!("seed {seed}: {d}"));
+        } else if !bit_identical {
+            replay_bad.push(format!("seed {seed}: encoded journals differ"));
+        }
+    }
+    gate.check(
+        "fuzz/replay: record→replay bit-identical for 10 seeds",
+        replay_bad.is_empty(),
+        replay_bad.join(" | "),
+    );
+
+    // --- 5. Golden trace still matches, when present. ---
+    match std::fs::read(GOLDEN_TRACE) {
+        Ok(bytes) => {
+            let (cfg, spec) = golden_setup();
+            let ok = match blackdp_scenario::decode_trace(&bytes) {
+                Ok(expected) => {
+                    let faults = blackdp_scenario::FaultSpec::none();
+                    match blackdp_scenario::replay_divergence(&cfg, &spec, &faults, &expected) {
+                        None => (true, String::new()),
+                        Some(d) => (false, d.to_string()),
+                    }
+                }
+                Err(e) => (false, e),
+            };
+            gate.check("fuzz/golden: illustrative-example trace replays", ok.0, ok.1);
+        }
+        Err(_) => println!("SKIP  fuzz/golden: {GOLDEN_TRACE} not present"),
+    }
+
+    finish(gate)
+}
+
+fn explore(budget: usize, seed: u64) -> i32 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut global: BTreeSet<String> = BTreeSet::new();
+    let mut interesting: Vec<FuzzCase> = vec![FuzzCase::baseline(seed)];
+    let mut executed = 0usize;
+    let mut found = 0usize;
+    let mut exercised_names: BTreeSet<&'static str> = BTreeSet::new();
+    let batch_size = 64usize;
+
+    std::fs::create_dir_all(CORPUS_DIR).ok();
+    while executed < budget {
+        let n = batch_size.min(budget - executed);
+        let batch: Vec<FuzzCase> = (0..n)
+            .map(|_| {
+                if !interesting.is_empty() && rng.random_range(0..100u32) < 70 {
+                    let parent = &interesting[rng.random_range(0..interesting.len())];
+                    parent.mutate(&mut rng)
+                } else {
+                    FuzzCase::random(&mut rng)
+                }
+            })
+            .collect();
+        // `BLACKDP_FUZZ_TRACE=1` echoes every case before it runs, so a
+        // hung or pathologically slow trial is identifiable from the log.
+        let trace = std::env::var_os("BLACKDP_FUZZ_TRACE").is_some();
+        let results = parallel_map(&batch, |case| {
+            if trace {
+                eprintln!("fuzz-trace: {}", case.to_line());
+            }
+            run_full(case)
+        });
+        for (case, (report, meta)) in batch.iter().zip(&results) {
+            executed += 1;
+            for (name, cnt) in &report.exercised {
+                if *cnt > 0 {
+                    exercised_names.insert(name);
+                }
+            }
+            if !report.is_clean() || !meta.is_empty() {
+                found += 1;
+                let path = format!("{CORPUS_DIR}/found-{:04}.case", found);
+                let body = format!(
+                    "# {}\n{}\n",
+                    describe(report, meta).replace('\n', " "),
+                    case.to_line()
+                );
+                if let Err(e) = std::fs::write(&path, body) {
+                    eprintln!("fuzz: cannot write {path}: {e}");
+                }
+                println!("TRIGGER  {} → {}", case.to_line(), describe(report, meta));
+            }
+            let new_features: Vec<String> = report
+                .features
+                .iter()
+                .filter(|f| !global.contains(*f))
+                .cloned()
+                .collect();
+            if !new_features.is_empty() {
+                global.extend(new_features);
+                interesting.push(case.clone());
+            }
+        }
+        println!(
+            "fuzz: {executed}/{budget} trials, {} features, {} interesting, {found} triggers",
+            global.len(),
+            interesting.len()
+        );
+    }
+    println!(
+        "fuzz: done — {executed} trials, {} features, invariants exercised: {}",
+        global.len(),
+        exercised_names
+            .iter()
+            .copied()
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if found == 0 {
+        0
+    } else {
+        println!("fuzz: {found} triggering case(s) written to {CORPUS_DIR}/");
+        1
+    }
+}
+
+fn replay(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fuzz: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let mut status = 0;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let case = match FuzzCase::parse_line(line) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("fuzz: {e}");
+                return 1;
+            }
+        };
+        let (report, meta) = run_full(&case);
+        println!("case: {}", case.to_line());
+        match &report.outcome {
+            Some(o) => println!(
+                "  class {:?}, pdr {:.3}, detections {}",
+                o.class,
+                o.pdr(),
+                o.detections.len()
+            ),
+            None => println!("  no outcome (panicked)"),
+        }
+        for (name, n) in &report.exercised {
+            println!("  exercised {name}: {n}");
+        }
+        if report.is_clean() && meta.is_empty() {
+            println!("  CLEAN");
+        } else {
+            status = 1;
+            if let Some(p) = &report.panic {
+                println!("  PANIC: {p}");
+            }
+            for v in &report.violations {
+                println!("  VIOLATION: {v}");
+            }
+            for m in &meta {
+                println!("  METAMORPHIC: {m}");
+            }
+        }
+    }
+    status
+}
+
+fn golden() -> i32 {
+    let (cfg, spec) = golden_setup();
+    let faults = blackdp_scenario::FaultSpec::none();
+    let (outcome, events) = record_trial(&cfg, &spec, &faults);
+    let bytes = encode_trace(&events);
+    if let Some(parent) = Path::new(GOLDEN_TRACE).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    if let Err(e) = std::fs::write(GOLDEN_TRACE, &bytes) {
+        eprintln!("fuzz: cannot write {GOLDEN_TRACE}: {e}");
+        return 1;
+    }
+    println!(
+        "fuzz: wrote {GOLDEN_TRACE} — {} events, {} bytes, class {:?}",
+        events.len(),
+        bytes.len(),
+        outcome.class
+    );
+    0
+}
+
+fn finish(gate: Gate) -> i32 {
+    println!();
+    if gate.failures.is_empty() {
+        println!("fuzz gate: all checks passed");
+        0
+    } else {
+        println!("fuzz gate: {} check(s) FAILED", gate.failures.len());
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        None | Some("smoke") => smoke(),
+        Some("run") => {
+            let budget = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1000usize);
+            let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1u64);
+            explore(budget, seed)
+        }
+        Some("replay") => match args.get(1) {
+            Some(path) => replay(path),
+            None => {
+                eprintln!("usage: fuzz replay <file.case>");
+                1
+            }
+        },
+        Some("golden") => golden(),
+        Some(other) => {
+            eprintln!("usage: fuzz [smoke|run N [seed]|replay FILE|golden] (got `{other}`)");
+            1
+        }
+    };
+    std::process::exit(code);
+}

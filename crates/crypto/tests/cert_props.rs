@@ -1,0 +1,173 @@
+//! Property tests on certificate lifecycle edges: exact-tick window
+//! boundaries, pseudonym hygiene across revocation, and coherence of the
+//! thread-local signature cache — the warm-cache fast path must be
+//! observationally identical to a cold verification and must never let a
+//! revoked certificate outlive its revocation.
+
+use blackdp_crypto::{
+    cert_cache_clear, cert_cache_stats, Keypair, LongTermId, PseudonymId, RevocationList, TaId,
+    TrustedAuthority,
+};
+use blackdp_sim::{Duration, Time};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn authority(seed: u64) -> (StdRng, TrustedAuthority) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ta = TrustedAuthority::new(TaId(1), &mut rng);
+    (rng, ta)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The validity window is `[issued, expires)`: valid on the very first
+    /// tick, invalid exactly at the expiry tick and ever after, not yet
+    /// valid one tick before issue.
+    #[test]
+    fn window_boundaries_are_exact(
+        seed in any::<u64>(),
+        issue_us in 1u64..1_000_000,
+        validity_us in 1u64..1_000_000,
+    ) {
+        let (mut rng, mut ta) = authority(seed);
+        let keys = Keypair::generate(&mut rng);
+        let issued = Time::ZERO + Duration::from_micros(issue_us);
+        let cert = ta.enroll(
+            LongTermId(7),
+            keys.public(),
+            issued,
+            Duration::from_micros(validity_us),
+            &mut rng,
+        );
+        let expires = cert.expires;
+        let key = ta.public_key();
+
+        prop_assert!(cert.verify(key, issued).is_ok(), "invalid at issue tick");
+        prop_assert!(
+            cert.verify(key, Time::from_micros(expires.as_micros() - 1)).is_ok(),
+            "invalid on the last tick of the window"
+        );
+        prop_assert!(
+            cert.verify(key, expires).is_err(),
+            "still valid exactly at expiry (window must be exclusive)"
+        );
+        prop_assert!(cert.verify(key, expires + Duration::from_micros(1)).is_err());
+        prop_assert!(
+            cert.verify(key, Time::from_micros(issued.as_micros() - 1)).is_err(),
+            "valid before issue"
+        );
+    }
+
+    /// Revoking a pseudonym pauses its owner everywhere: renewal under the
+    /// revoked pseudonym fails, and the pseudonym itself is never reissued
+    /// to a later enrollee — a revoked identity cannot come back.
+    #[test]
+    fn revoked_pseudonym_is_never_reused(
+        seed in any::<u64>(),
+        later_enrollments in 1usize..12,
+    ) {
+        let (mut rng, mut ta) = authority(seed);
+        let keys = Keypair::generate(&mut rng);
+        let validity = Duration::from_secs(600);
+        let cert = ta.enroll(LongTermId(1), keys.public(), Time::ZERO, validity, &mut rng);
+        let revoked = cert.pseudonym;
+        ta.revoke(revoked).expect("issued pseudonym revokes");
+
+        // The owner is starved of identities.
+        let fresh = Keypair::generate(&mut rng);
+        prop_assert!(
+            ta.renew(revoked, fresh.public(), Time::ZERO, validity, &mut rng).is_err(),
+            "renewal under a revoked pseudonym succeeded"
+        );
+
+        // No later certificate resurrects the revoked pseudonym.
+        for i in 0..later_enrollments {
+            let k = Keypair::generate(&mut rng);
+            let c = ta.enroll(
+                LongTermId(100 + i as u64),
+                k.public(),
+                Time::ZERO,
+                validity,
+                &mut rng,
+            );
+            prop_assert_ne!(c.pseudonym, revoked, "pseudonym reused after revocation");
+            prop_assert!(!ta.is_paused(LongTermId(100 + i as u64)));
+        }
+    }
+
+    /// The memoized signature cache is observationally transparent: for a
+    /// random sequence of query times (hitting warm and cold paths in every
+    /// order), the cached verdict equals what the validity window dictates.
+    #[test]
+    fn warm_cache_equals_cold_verification(
+        seed in any::<u64>(),
+        times_us in prop::collection::vec(0u64..4_000_000, 1..24),
+    ) {
+        cert_cache_clear();
+        let (mut rng, mut ta) = authority(seed);
+        let keys = Keypair::generate(&mut rng);
+        let issued = Time::ZERO + Duration::from_micros(1_000_000);
+        let cert = ta.enroll(
+            LongTermId(3),
+            keys.public(),
+            issued,
+            Duration::from_micros(2_000_000),
+            &mut rng,
+        );
+        let key = ta.public_key();
+        for &t_us in &times_us {
+            let now = Time::ZERO + Duration::from_micros(t_us);
+            let expect_valid = now >= cert.issued && now < cert.expires;
+            prop_assert_eq!(
+                cert.verify(key, now).is_ok(),
+                expect_valid,
+                "cached verdict disagrees with the window at t={}us",
+                t_us
+            );
+        }
+        let (hits, misses) = cert_cache_stats();
+        prop_assert!(hits + misses > 0, "cache never consulted");
+    }
+
+    /// Revocation dominates the warm cache: even after the signature check
+    /// is cached as good, the revocation list still rejects the cert, and
+    /// purging honors the notice's own expiry.
+    #[test]
+    fn warm_cache_does_not_outlive_revocation(seed in any::<u64>()) {
+        cert_cache_clear();
+        let (mut rng, mut ta) = authority(seed);
+        let keys = Keypair::generate(&mut rng);
+        let validity = Duration::from_secs(60);
+        let cert = ta.enroll(LongTermId(9), keys.public(), Time::ZERO, validity, &mut rng);
+        let key = ta.public_key();
+
+        // Warm the cache with a successful verification.
+        prop_assert!(cert.verify(key, Time::ZERO).is_ok());
+        let (_, misses_before) = cert_cache_stats();
+
+        // Revoke and distribute the notice.
+        let revocation = ta.revoke(cert.pseudonym).expect("revoke");
+        let mut blacklist = RevocationList::default();
+        blacklist.insert(revocation.notice.clone());
+
+        // The cached signature verdict is still (correctly) "good"…
+        prop_assert!(cert.verify(key, Time::ZERO).is_ok());
+        let (_, misses_after) = cert_cache_stats();
+        prop_assert_eq!(misses_before, misses_after, "revocation should not need re-verification");
+
+        // …but acceptance must consult the blacklist, which rejects it for
+        // as long as the certificate could possibly be alive.
+        prop_assert!(blacklist.is_revoked(cert.pseudonym));
+        prop_assert!(blacklist.is_serial_revoked(cert.serial));
+
+        // Once the revoked cert would have expired anyway, the notice can
+        // be purged — and only then does the pseudonym leave the list.
+        blacklist.purge_expired(Time::from_micros(cert.expires.as_micros() - 1));
+        prop_assert!(blacklist.is_revoked(cert.pseudonym), "purged while cert alive");
+        blacklist.purge_expired(cert.expires);
+        prop_assert!(!blacklist.is_revoked(cert.pseudonym));
+        prop_assert!(!blacklist.is_revoked(PseudonymId(0xDEAD)));
+    }
+}

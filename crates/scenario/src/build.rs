@@ -46,6 +46,8 @@ pub struct BuiltScenario {
     pub attackers: Vec<NodeId>,
     /// The cluster plan.
     pub plan: ClusterPlan,
+    /// The trusted authority's root public key (verifies every cert).
+    pub ta_key: blackdp_crypto::PublicKey,
 }
 
 impl std::fmt::Debug for BuiltScenario {
@@ -394,6 +396,7 @@ pub fn build_scenario(cfg: &ScenarioConfig, spec: &TrialSpec) -> BuiltScenario {
         dest_addr,
         attackers,
         plan,
+        ta_key,
     }
 }
 

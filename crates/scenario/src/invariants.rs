@@ -1,0 +1,576 @@
+//! Protocol-aware runtime invariants for Table-I scenario worlds.
+//!
+//! These are the concrete [`InvariantCheck`] implementations the fuzzer
+//! and gated tests install on a [`BuiltScenario`]'s world. Each check
+//! watches the engine's packet lifecycle ([`SimEvent`]) and reports when
+//! a cross-layer rule breaks:
+//!
+//! * [`PacketConservation`] — every dispatched or discarded frame was
+//!   first accepted onto the queue (no frames materialise from nowhere).
+//! * [`RadioRangeCheck`] — no radio frame is queued for a receiver beyond
+//!   the configured unit-disk range.
+//! * [`RreqIdMonotonic`] — AODV route discoveries carry strictly
+//!   increasing per-originator ids (RSU probes, which use disposable
+//!   random ids with `ttl = 1`, are out of scope by construction).
+//! * [`IsolationPermanence`] — once a node has *seen* a revocation for an
+//!   address, it never again forwards data toward that address (the
+//!   paper's isolation guarantee: a blacklisted node never re-enters a
+//!   route). Attackers are exempt — they may ignore blacklists.
+//! * [`CertAcceptance`] — certificate verification agrees with the
+//!   validity window at every observed instant (expired or not-yet-valid
+//!   certs never verify, in-window ones never report a window error), and
+//!   a revoked pseudonym is never re-credentialed.
+//! * [`NoSelfDelivery`] — the medium never loops a frame back to its
+//!   transmitter.
+//!
+//! Install the full set with [`attach_invariants`]; read results back
+//! through `world.violations()` / `world.invariants_exercised()`.
+
+use std::collections::{HashMap, HashSet};
+
+use blackdp::{BlackDpMessage, Wire};
+use blackdp_aodv::Message as AodvMessage;
+use blackdp_crypto::{CertError, Certificate, PublicKey, RevocationNotice};
+use blackdp_sim::{Channel, InvariantCheck, NodeId, SimEvent, Time, ViolationSink};
+
+use crate::build::BuiltScenario;
+use crate::config::ScenarioConfig;
+use crate::frame::Frame;
+
+/// Visits every certificate carried by a frame.
+fn each_cert<'a>(wire: &'a Wire, mut f: impl FnMut(&'a Certificate)) {
+    match wire {
+        Wire::SecuredRrep { auth, .. } => f(&auth.cert),
+        Wire::BlackDp(m) => match m {
+            BlackDpMessage::Jreq(s) => f(&s.cert),
+            BlackDpMessage::HelloProbe(s) => f(&s.cert),
+            BlackDpMessage::HelloReply(s) => f(&s.cert),
+            BlackDpMessage::DetectionRequest(s) => f(&s.cert),
+            BlackDpMessage::RenewReply { cert: Some(c), .. } => f(c),
+            _ => {}
+        },
+        Wire::Aodv(_) => {}
+    }
+}
+
+/// Visits every revocation notice carried by a frame.
+fn each_notice<'a>(wire: &'a Wire, mut f: impl FnMut(&'a RevocationNotice)) {
+    if let Wire::BlackDp(m) = wire {
+        match m {
+            BlackDpMessage::Revoked(n) => f(n),
+            BlackDpMessage::Jrep { blacklist, .. } => {
+                for n in blacklist {
+                    f(n);
+                }
+            }
+            BlackDpMessage::BlacklistAdvisory { notices } => {
+                for n in notices {
+                    f(n);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Every `Delivered`/`Dropped` frame was previously `Enqueued` between the
+/// same pair on the same channel.
+#[derive(Default)]
+pub struct PacketConservation {
+    pending: HashMap<(NodeId, NodeId, Channel), u64>,
+    exercised: u64,
+}
+
+impl InvariantCheck<Frame> for PacketConservation {
+    fn name(&self) -> &'static str {
+        "packet-conservation"
+    }
+
+    fn observe(&mut self, _now: Time, event: &SimEvent<'_, Frame>, sink: &mut ViolationSink) {
+        match event {
+            SimEvent::Enqueued {
+                from, to, channel, ..
+            } => {
+                *self.pending.entry((*from, *to, *channel)).or_insert(0) += 1;
+            }
+            SimEvent::Delivered {
+                from,
+                to,
+                channel,
+                payload,
+            }
+            | SimEvent::Dropped {
+                from,
+                to,
+                channel,
+                payload,
+            } => {
+                self.exercised += 1;
+                match self.pending.get_mut(&(*from, *to, *channel)) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => sink.report(format!(
+                        "{:?} frame {:?}→{:?} ({} ) left the queue without entering it",
+                        channel,
+                        from,
+                        to,
+                        payload.wire.kind()
+                    )),
+                }
+            }
+        }
+    }
+
+    fn exercised(&self) -> u64 {
+        self.exercised
+    }
+}
+
+/// No radio frame is accepted for a receiver beyond the unit-disk range.
+pub struct RadioRangeCheck {
+    range_m: f64,
+    exercised: u64,
+}
+
+impl RadioRangeCheck {
+    /// A check against the given unit-disk radius.
+    pub fn new(range_m: f64) -> Self {
+        RadioRangeCheck {
+            range_m,
+            exercised: 0,
+        }
+    }
+}
+
+impl InvariantCheck<Frame> for RadioRangeCheck {
+    fn name(&self) -> &'static str {
+        "radio-range"
+    }
+
+    fn observe(&mut self, _now: Time, event: &SimEvent<'_, Frame>, sink: &mut ViolationSink) {
+        if let SimEvent::Enqueued {
+            from,
+            to,
+            channel: Channel::Radio,
+            dist_m: Some(d),
+            ..
+        } = event
+        {
+            self.exercised += 1;
+            // Tolerate one ulp-scale slack: the medium compares the exact
+            // same f64, so anything materially above range is a real leak.
+            if *d > self.range_m * (1.0 + 1e-9) {
+                sink.report(format!(
+                    "radio frame {from:?}→{to:?} queued at {d:.1} m > range {} m",
+                    self.range_m
+                ));
+            }
+        }
+    }
+
+    fn exercised(&self) -> u64 {
+        self.exercised
+    }
+}
+
+/// AODV route discoveries carry strictly increasing ids per originator.
+///
+/// Scoped to the *first appearance* of each `(orig, rreq_id)` flood with
+/// `ttl ≥ 2`: forwarded copies of the same flood are deduplicated, and the
+/// RSU's disposable single-hop probes (`ttl = 1`, random ids) are excluded
+/// by construction.
+#[derive(Default)]
+pub struct RreqIdMonotonic {
+    seen: HashMap<u64, HashSet<u64>>,
+    last_routable: HashMap<u64, u64>,
+    exercised: u64,
+}
+
+impl InvariantCheck<Frame> for RreqIdMonotonic {
+    fn name(&self) -> &'static str {
+        "rreq-id-monotonic"
+    }
+
+    fn observe(&mut self, _now: Time, event: &SimEvent<'_, Frame>, sink: &mut ViolationSink) {
+        let SimEvent::Enqueued { payload, .. } = event else {
+            return;
+        };
+        let Wire::Aodv(AodvMessage::Rreq(r)) = &payload.wire else {
+            return;
+        };
+        if !self.seen.entry(r.orig.0).or_default().insert(r.rreq_id) {
+            return; // a forwarded copy of a flood we already scored
+        }
+        if r.ttl < 2 {
+            return; // single-hop probe: disposable random id, out of scope
+        }
+        self.exercised += 1;
+        if let Some(&prev) = self.last_routable.get(&r.orig.0) {
+            if r.rreq_id <= prev {
+                sink.report(format!(
+                    "originator {:?} started discovery id {} after id {}",
+                    r.orig, r.rreq_id, prev
+                ));
+            }
+        }
+        self.last_routable.insert(r.orig.0, r.rreq_id);
+    }
+
+    fn exercised(&self) -> u64 {
+        self.exercised
+    }
+}
+
+/// A node that has seen an address revoked never again forwards data
+/// toward that address.
+pub struct IsolationPermanence {
+    /// Revoked addresses each node has learned of (delivered notices).
+    learned: HashMap<NodeId, HashSet<u64>>,
+    /// Nodes allowed to ignore blacklists (the attackers themselves).
+    exempt: HashSet<NodeId>,
+    exercised: u64,
+}
+
+impl IsolationPermanence {
+    /// A check that exempts the given (attacker) nodes.
+    pub fn new(exempt: HashSet<NodeId>) -> Self {
+        IsolationPermanence {
+            learned: HashMap::new(),
+            exempt,
+            exercised: 0,
+        }
+    }
+}
+
+impl InvariantCheck<Frame> for IsolationPermanence {
+    fn name(&self) -> &'static str {
+        "isolation-permanence"
+    }
+
+    fn observe(&mut self, _now: Time, event: &SimEvent<'_, Frame>, sink: &mut ViolationSink) {
+        match event {
+            SimEvent::Delivered { to, payload, .. } => {
+                each_notice(&payload.wire, |n| {
+                    self.learned.entry(*to).or_default().insert(n.pseudonym.0);
+                });
+            }
+            SimEvent::Enqueued { from, payload, .. } => {
+                if self.exempt.contains(from) {
+                    return;
+                }
+                let Wire::Aodv(AodvMessage::Data(_)) = &payload.wire else {
+                    return;
+                };
+                let Some(dst) = payload.dst else { return };
+                let Some(known) = self.learned.get(from) else {
+                    return;
+                };
+                if known.is_empty() {
+                    return;
+                }
+                self.exercised += 1;
+                if known.contains(&dst.0) {
+                    sink.report(format!(
+                        "node {from:?} forwarded data to revoked address {dst:?}"
+                    ));
+                }
+            }
+            SimEvent::Dropped { .. } => {}
+        }
+    }
+
+    fn exercised(&self) -> u64 {
+        self.exercised
+    }
+}
+
+/// Certificate verification agrees with the validity window, and revoked
+/// pseudonyms are never re-credentialed.
+pub struct CertAcceptance {
+    ta_key: PublicKey,
+    /// Earliest observed revocation instant per pseudonym.
+    revoked_at: HashMap<u64, Time>,
+    exercised: u64,
+}
+
+impl CertAcceptance {
+    /// A check verifying against the trusted authority's root key.
+    pub fn new(ta_key: PublicKey) -> Self {
+        CertAcceptance {
+            ta_key,
+            revoked_at: HashMap::new(),
+            exercised: 0,
+        }
+    }
+}
+
+impl InvariantCheck<Frame> for CertAcceptance {
+    fn name(&self) -> &'static str {
+        "cert-acceptance"
+    }
+
+    fn observe(&mut self, now: Time, event: &SimEvent<'_, Frame>, sink: &mut ViolationSink) {
+        let SimEvent::Delivered { payload, .. } = event else {
+            return;
+        };
+        each_notice(&payload.wire, |n| {
+            self.revoked_at.entry(n.pseudonym.0).or_insert(now);
+        });
+        let ta_key = self.ta_key;
+        let revoked_at = &self.revoked_at;
+        let exercised = &mut self.exercised;
+        each_cert(&payload.wire, |cert| {
+            *exercised += 1;
+            let in_window = now >= cert.issued && now < cert.expires;
+            match cert.verify(ta_key, now) {
+                Ok(()) if !in_window => sink.report(format!(
+                    "cert serial {} (pseudonym {:?}) verified at t={now} outside \
+                     its window [{}, {})",
+                    cert.serial, cert.pseudonym, cert.issued, cert.expires
+                )),
+                Err(CertError::Expired) if now < cert.expires => sink.report(format!(
+                    "cert serial {} reported expired at t={now} before its \
+                     expiry {}",
+                    cert.serial, cert.expires
+                )),
+                Err(CertError::NotYetValid) if now >= cert.issued => sink.report(format!(
+                    "cert serial {} reported not-yet-valid at t={now} after its \
+                     issue {}",
+                    cert.serial, cert.issued
+                )),
+                _ => {}
+            }
+            if let Some(&t) = revoked_at.get(&cert.pseudonym.0) {
+                if cert.issued > t {
+                    sink.report(format!(
+                        "pseudonym {:?} re-credentialed at {} after its \
+                         revocation observed at {t}",
+                        cert.pseudonym, cert.issued
+                    ));
+                }
+            }
+        });
+    }
+
+    fn exercised(&self) -> u64 {
+        self.exercised
+    }
+}
+
+/// The medium never delivers a frame back to its transmitter.
+#[derive(Default)]
+pub struct NoSelfDelivery {
+    exercised: u64,
+}
+
+impl InvariantCheck<Frame> for NoSelfDelivery {
+    fn name(&self) -> &'static str {
+        "no-self-delivery"
+    }
+
+    fn observe(&mut self, _now: Time, event: &SimEvent<'_, Frame>, sink: &mut ViolationSink) {
+        if let SimEvent::Delivered {
+            from, to, payload, ..
+        } = event
+        {
+            self.exercised += 1;
+            if from == to {
+                sink.report(format!(
+                    "node {from:?} received its own {} transmission",
+                    payload.wire.kind()
+                ));
+            }
+        }
+    }
+
+    fn exercised(&self) -> u64 {
+        self.exercised
+    }
+}
+
+/// The full standard check set for a built scenario.
+pub fn standard_invariants(
+    built: &BuiltScenario,
+    cfg: &ScenarioConfig,
+) -> Vec<Box<dyn InvariantCheck<Frame>>> {
+    let exempt: HashSet<NodeId> = built.attackers.iter().copied().collect();
+    vec![
+        Box::new(PacketConservation::default()),
+        Box::new(RadioRangeCheck::new(cfg.range_m)),
+        Box::new(RreqIdMonotonic::default()),
+        Box::new(IsolationPermanence::new(exempt)),
+        Box::new(CertAcceptance::new(built.ta_key)),
+        Box::new(NoSelfDelivery::default()),
+    ]
+}
+
+/// Installs the standard invariant set on the scenario's world.
+pub fn attach_invariants(built: &mut BuiltScenario, cfg: &ScenarioConfig) {
+    for check in standard_invariants(&*built, cfg) {
+        built.world.add_invariant(check);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrialSpec;
+    use blackdp_aodv::{Addr, DataPacket, Rreq};
+    use blackdp_sim::Duration;
+
+    fn data_frame(src: u64, dst: u64) -> Frame {
+        Frame {
+            src: Addr(src),
+            dst: Some(Addr(dst)),
+            wire: Wire::Aodv(AodvMessage::Data(DataPacket {
+                orig: Addr(src),
+                dest: Addr(dst),
+                seq_no: 1,
+                ttl: 16,
+            })),
+        }
+    }
+
+    fn rreq_frame(orig: u64, rreq_id: u64, ttl: u8) -> Frame {
+        Frame {
+            src: Addr(orig),
+            dst: None,
+            wire: Wire::Aodv(AodvMessage::Rreq(Rreq {
+                rreq_id,
+                dest: Addr(0xD),
+                dest_seq: None,
+                orig: Addr(orig),
+                orig_seq: 1,
+                hop_count: 0,
+                ttl,
+                next_hop_inquiry: false,
+            })),
+        }
+    }
+
+    fn enqueued(frame: &Frame) -> SimEvent<'_, Frame> {
+        SimEvent::Enqueued {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            channel: Channel::Radio,
+            dist_m: None,
+            payload: frame,
+        }
+    }
+
+    #[test]
+    fn conservation_flags_unmatched_delivery() {
+        let mut check = PacketConservation::default();
+        let mut sink = ViolationSink::default();
+        sink.begin(check.name(), Time::ZERO);
+        let f = data_frame(1, 2);
+        check.observe(
+            Time::ZERO,
+            &SimEvent::Delivered {
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+                channel: Channel::Radio,
+                payload: &f,
+            },
+            &mut sink,
+        );
+        assert_eq!(sink.violations().len(), 1);
+        assert_eq!(check.exercised(), 1);
+    }
+
+    #[test]
+    fn rreq_monotonic_skips_probes_and_forwards() {
+        let mut check = RreqIdMonotonic::default();
+        let mut sink = ViolationSink::default();
+        sink.begin(check.name(), Time::ZERO);
+        // Routable discoveries in order: fine.
+        for id in [1u64, 2, 3] {
+            let f = rreq_frame(7, id, 4);
+            check.observe(Time::ZERO, &enqueued(&f), &mut sink);
+        }
+        // A forwarded copy of flood 3 (lower ttl): deduplicated, no score.
+        let fwd = rreq_frame(7, 3, 3);
+        check.observe(Time::ZERO, &enqueued(&fwd), &mut sink);
+        // An RSU-style probe with a random id and ttl 1: out of scope.
+        let probe = rreq_frame(7, 0xDEAD_BEEF, 1);
+        check.observe(Time::ZERO, &enqueued(&probe), &mut sink);
+        assert!(sink.violations().is_empty());
+        assert_eq!(check.exercised(), 3);
+        // A genuinely regressing id: flagged.
+        let bad = rreq_frame(7, 2, 4);
+        // id 2 was already seen, so use a fresh regressing one.
+        check.observe(Time::ZERO, &enqueued(&bad), &mut sink);
+        assert!(sink.violations().is_empty(), "dup id must not double-score");
+        let bad2 = rreq_frame(8, 5, 4);
+        check.observe(Time::ZERO, &enqueued(&bad2), &mut sink);
+        let bad3 = rreq_frame(8, 4, 4);
+        check.observe(Time::ZERO, &enqueued(&bad3), &mut sink);
+        assert_eq!(sink.violations().len(), 1);
+    }
+
+    #[test]
+    fn isolation_flags_forward_to_revoked_addr() {
+        use blackdp_crypto::PseudonymId;
+        let mut check = IsolationPermanence::new(HashSet::new());
+        let mut sink = ViolationSink::default();
+        sink.begin(check.name(), Time::ZERO);
+        let notice = Frame {
+            src: Addr(9),
+            dst: Some(Addr(1)),
+            wire: Wire::BlackDp(BlackDpMessage::Revoked(RevocationNotice {
+                pseudonym: PseudonymId(42),
+                serial: 7,
+                expires: Time::ZERO + Duration::from_secs(60),
+            })),
+        };
+        // Node 1 learns pseudonym 42 is revoked.
+        check.observe(
+            Time::ZERO,
+            &SimEvent::Delivered {
+                from: NodeId::new(9),
+                to: NodeId::new(1),
+                channel: Channel::Radio,
+                payload: &notice,
+            },
+            &mut sink,
+        );
+        // Node 1 then forwards data to address 42: violation.
+        let f = data_frame(5, 42);
+        check.observe(Time::ZERO, &enqueued(&f), &mut sink);
+        assert_eq!(sink.violations().len(), 1);
+        // Node 2 never saw the notice, so its forward is fine.
+        let g = data_frame(5, 42);
+        check.observe(
+            Time::ZERO,
+            &SimEvent::Enqueued {
+                from: NodeId::new(2),
+                to: NodeId::new(3),
+                channel: Channel::Radio,
+                dist_m: None,
+                payload: &g,
+            },
+            &mut sink,
+        );
+        assert_eq!(sink.violations().len(), 1);
+        assert_eq!(check.exercised(), 1);
+    }
+
+    #[test]
+    fn full_run_with_invariants_is_clean_and_exercises_them() {
+        let cfg = ScenarioConfig::small_test();
+        let spec = TrialSpec::single(11, 2, cfg.plan().cluster_count());
+        let mut built = crate::build::build_scenario(&cfg, &spec);
+        attach_invariants(&mut built, &cfg);
+        built.world.run_until(Time::ZERO + cfg.sim_duration);
+        built.world.finish_invariants();
+        let violations = built.world.violations();
+        assert!(
+            violations.is_empty(),
+            "unexpected violations: {:?}",
+            violations
+        );
+        let exercised = built.world.invariants_exercised();
+        assert_eq!(exercised.len(), 6);
+        let active = exercised.iter().filter(|(_, n)| *n > 0).count();
+        assert!(active >= 4, "too few invariants exercised: {exercised:?}");
+    }
+}

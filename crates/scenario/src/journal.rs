@@ -28,6 +28,28 @@ pub struct JournalEntry {
     pub dst: Option<Addr>,
     /// The payload kind tag (`rreq`, `dreq`, `hello_probe`, …).
     pub kind: &'static str,
+    /// FNV-64 digest of the full wire payload (its canonical `Debug`
+    /// rendering), so trace diffs catch content changes that keep the
+    /// same kind tag.
+    pub digest: u64,
+}
+
+/// FNV-1a 64-bit digest of a wire payload's canonical `Debug` rendering.
+pub(crate) fn wire_digest(wire: &blackdp::Wire) -> u64 {
+    use std::fmt::Write;
+    struct Fnv(u64);
+    impl Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for b in s.bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Ok(())
+        }
+    }
+    let mut h = Fnv(0xCBF2_9CE4_8422_2325);
+    let _ = write!(h, "{wire:?}");
+    h.0
 }
 
 /// The journal: a time-ordered record of every delivery in a run.
@@ -119,6 +141,7 @@ pub fn attach_journal(built: &mut BuiltScenario) -> JournalHandle {
                 src: frame.src,
                 dst: frame.dst,
                 kind: frame.wire.kind(),
+                digest: wire_digest(&frame.wire),
             });
         }));
     journal
@@ -137,6 +160,7 @@ mod tests {
             src: Addr(src),
             dst: dst.map(Addr),
             kind,
+            digest: 0,
         }
     }
 

@@ -36,12 +36,15 @@ mod directory;
 mod experiment;
 mod faults;
 mod frame;
+mod fuzz;
 mod grayhole_node;
+mod invariants;
 mod journal;
 mod metrics;
 mod parallel;
 mod rsu_node;
 mod ta_node;
+mod trace;
 mod vehicle;
 
 pub use attacker_node::{AttackerNode, AttackerNodeConfig};
@@ -59,10 +62,19 @@ pub use faults::{
     TaOutage,
 };
 pub use frame::{broadcast_wire, send_wire, Frame, L2Cache, Tick};
+pub use fuzz::{metamorphic_failures, run_case, CaseReport, FuzzCase, CORPUS_TAG};
 pub use grayhole_node::GrayHoleNode;
+pub use invariants::{
+    attach_invariants, standard_invariants, CertAcceptance, IsolationPermanence, NoSelfDelivery,
+    PacketConservation, RadioRangeCheck, RreqIdMonotonic,
+};
 pub use journal::{attach_journal, FrameJournal, JournalEntry, JournalHandle};
 pub use metrics::{wilson_half_width, RateSummary, TrialClass, TrialOutcome};
 pub use parallel::{parallel_map, parallel_map_with, worker_count};
 pub use rsu_node::RsuNode;
 pub use ta_node::TaNode;
+pub use trace::{
+    decode as decode_trace, diff as diff_traces, encode as encode_trace, record_trial,
+    replay_divergence, Divergence, TraceEvent,
+};
 pub use vehicle::{DefenseMode, TrafficIntent, VehicleConfig, VehicleNode};

@@ -1,0 +1,336 @@
+//! Structured trace recording and replay diffing.
+//!
+//! A *trace* is the time-ordered sequence of every frame delivery in one
+//! trial, flattened to plain integers and strings ([`TraceEvent`]) so it
+//! can be serialized to a compact binary journal ([`encode`]/[`decode`]),
+//! checked into `results/` as a golden snapshot, and compared
+//! event-by-event against a fresh run ([`diff`]). When a replay diverges,
+//! the differ reports the first mismatching event with the events leading
+//! up to it — turning any nondeterminism or protocol-visible behavior
+//! change into a one-command repro.
+
+use blackdp_sim::Time;
+
+use crate::build::{build_scenario, harvest, stage_false_suspicion};
+use crate::config::{ScenarioConfig, TrialSpec};
+use crate::faults::FaultSpec;
+use crate::journal::attach_journal;
+use crate::metrics::TrialOutcome;
+
+/// One delivered frame, flattened for serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Delivery time in virtual microseconds.
+    pub at_micros: u64,
+    /// Transmitting simulator node index.
+    pub from: u32,
+    /// Receiving simulator node index.
+    pub to: u32,
+    /// 0 = radio, 1 = wired backbone.
+    pub channel: u8,
+    /// The frame's link-layer source address.
+    pub src: u64,
+    /// The frame's link-layer destination (`None` = broadcast).
+    pub dst: Option<u64>,
+    /// The payload kind tag (`rreq`, `dreq`, …).
+    pub kind: String,
+    /// FNV-64 digest of the full wire payload.
+    pub digest: u64,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ch = if self.channel == 0 { "radio" } else { "wired" };
+        let dst = match self.dst {
+            Some(d) => format!("{d:#x}"),
+            None => "broadcast".into(),
+        };
+        write!(
+            f,
+            "t={}us n{}→n{} [{ch}] {} {:#x}→{dst} digest={:#018x}",
+            self.at_micros, self.from, self.to, self.kind, self.src, self.digest
+        )
+    }
+}
+
+/// Runs one trial with a journal attached and returns its outcome plus
+/// the full delivery trace.
+pub fn record_trial(
+    cfg: &ScenarioConfig,
+    spec: &TrialSpec,
+    faults: &FaultSpec,
+) -> (TrialOutcome, Vec<TraceEvent>) {
+    let mut built = build_scenario(cfg, spec);
+    let plan = faults.realize(cfg, &built);
+    if !plan.is_empty() {
+        built.world.install_faults(plan);
+    }
+    let journal = attach_journal(&mut built);
+    stage_false_suspicion(&mut built, spec);
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+    let outcome = harvest(cfg, spec, &built);
+    let events = journal
+        .borrow()
+        .entries()
+        .iter()
+        .map(|e| TraceEvent {
+            at_micros: e.at.as_micros(),
+            from: e.from.index(),
+            to: e.to.index(),
+            channel: match e.channel {
+                blackdp_sim::Channel::Radio => 0,
+                blackdp_sim::Channel::Wired => 1,
+            },
+            src: e.src.0,
+            dst: e.dst.map(|a| a.0),
+            kind: e.kind.to_string(),
+            digest: e.digest,
+        })
+        .collect();
+    (outcome, events)
+}
+
+/// Magic prefix of the binary trace format.
+const MAGIC: &[u8; 8] = b"BDPTRACE";
+/// Format version; bump on any wire change.
+const VERSION: u32 = 1;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Serializes a trace to the compact binary journal format: magic,
+/// version, event count, fixed-layout records, and a trailing FNV-64
+/// checksum over everything before it.
+pub fn encode(events: &[TraceEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + events.len() * 48);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(events.len() as u64).to_le_bytes());
+    for e in events {
+        out.extend_from_slice(&e.at_micros.to_le_bytes());
+        out.extend_from_slice(&e.from.to_le_bytes());
+        out.extend_from_slice(&e.to.to_le_bytes());
+        out.push(e.channel);
+        match e.dst {
+            Some(d) => {
+                out.push(1);
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&e.src.to_le_bytes());
+        let kind = e.kind.as_bytes();
+        out.extend_from_slice(&(kind.len() as u16).to_le_bytes());
+        out.extend_from_slice(kind);
+        out.extend_from_slice(&e.digest.to_le_bytes());
+    }
+    let checksum = fnv64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Reads `N` bytes from the cursor, or fails with the field name.
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize, what: &str) -> Result<&'a [u8], String> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| format!("trace truncated reading {what} at offset {pos}"))?;
+    let slice = &buf[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn u64_at(buf: &[u8], pos: &mut usize, what: &str) -> Result<u64, String> {
+    Ok(u64::from_le_bytes(
+        take(buf, pos, 8, what)?.try_into().unwrap(),
+    ))
+}
+
+fn u32_at(buf: &[u8], pos: &mut usize, what: &str) -> Result<u32, String> {
+    Ok(u32::from_le_bytes(
+        take(buf, pos, 4, what)?.try_into().unwrap(),
+    ))
+}
+
+/// Deserializes a binary trace, verifying magic, version, and checksum.
+pub fn decode(bytes: &[u8]) -> Result<Vec<TraceEvent>, String> {
+    if bytes.len() < MAGIC.len() + 4 + 8 + 8 {
+        return Err("trace too short for header".into());
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+    let computed = fnv64(body);
+    if stored != computed {
+        return Err(format!(
+            "trace checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+        ));
+    }
+    let mut pos = 0usize;
+    if take(body, &mut pos, MAGIC.len(), "magic")? != MAGIC {
+        return Err("bad trace magic".into());
+    }
+    let version = u32_at(body, &mut pos, "version")?;
+    if version != VERSION {
+        return Err(format!("unsupported trace version {version}"));
+    }
+    let count = u64_at(body, &mut pos, "event count")? as usize;
+    let mut events = Vec::with_capacity(count.min(1 << 20));
+    for i in 0..count {
+        let at_micros = u64_at(body, &mut pos, "at")?;
+        let from = u32_at(body, &mut pos, "from")?;
+        let to = u32_at(body, &mut pos, "to")?;
+        let channel = take(body, &mut pos, 1, "channel")?[0];
+        let has_dst = take(body, &mut pos, 1, "dst flag")?[0];
+        let dst_raw = u64_at(body, &mut pos, "dst")?;
+        let src = u64_at(body, &mut pos, "src")?;
+        let kind_len = u16::from_le_bytes(take(body, &mut pos, 2, "kind len")?.try_into().unwrap());
+        let kind = String::from_utf8(take(body, &mut pos, kind_len as usize, "kind")?.to_vec())
+            .map_err(|_| format!("event {i}: kind is not UTF-8"))?;
+        let digest = u64_at(body, &mut pos, "digest")?;
+        events.push(TraceEvent {
+            at_micros,
+            from,
+            to,
+            channel,
+            src,
+            dst: (has_dst != 0).then_some(dst_raw),
+            kind,
+            digest,
+        });
+    }
+    if pos != body.len() {
+        return Err(format!(
+            "{} trailing bytes after {count} events",
+            body.len() - pos
+        ));
+    }
+    Ok(events)
+}
+
+/// The first point where two traces disagree.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index of the first mismatching event.
+    pub index: usize,
+    /// What the recorded trace expected there (`None` = recorded trace
+    /// ended first).
+    pub expected: Option<TraceEvent>,
+    /// What the fresh run produced there (`None` = fresh run ended first).
+    pub actual: Option<TraceEvent>,
+    /// The last few matching events before the divergence, rendered.
+    pub context: Vec<String>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "traces diverge at event {}", self.index)?;
+        for line in &self.context {
+            writeln!(f, "    … {line}")?;
+        }
+        match &self.expected {
+            Some(e) => writeln!(f, "  expected: {e}")?,
+            None => writeln!(f, "  expected: <end of recorded trace>")?,
+        }
+        match &self.actual {
+            Some(a) => write!(f, "  actual:   {a}"),
+            None => write!(f, "  actual:   <end of fresh run>"),
+        }
+    }
+}
+
+/// How many matching events to show before a divergence.
+const CONTEXT_EVENTS: usize = 3;
+
+/// Compares two traces event-by-event; `None` means identical.
+pub fn diff(expected: &[TraceEvent], actual: &[TraceEvent]) -> Option<Divergence> {
+    let limit = expected.len().max(actual.len());
+    for i in 0..limit {
+        if expected.get(i) == actual.get(i) {
+            continue;
+        }
+        let start = i.saturating_sub(CONTEXT_EVENTS);
+        return Some(Divergence {
+            index: i,
+            expected: expected.get(i).cloned(),
+            actual: actual.get(i).cloned(),
+            context: expected[start..i].iter().map(|e| e.to_string()).collect(),
+        });
+    }
+    None
+}
+
+/// Re-runs the trial and diffs its trace against a recorded one; `None`
+/// means the replay was bit-identical.
+pub fn replay_divergence(
+    cfg: &ScenarioConfig,
+    spec: &TrialSpec,
+    faults: &FaultSpec,
+    recorded: &[TraceEvent],
+) -> Option<Divergence> {
+    let (_, fresh) = record_trial(cfg, spec, faults);
+    diff(recorded, &fresh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(i: u64) -> TraceEvent {
+        TraceEvent {
+            at_micros: i * 100,
+            from: i as u32,
+            to: (i + 1) as u32,
+            channel: (i % 2) as u8,
+            src: 0x1000 + i,
+            dst: (i % 3 == 0).then_some(0x2000 + i),
+            kind: if i % 2 == 0 { "rreq".into() } else { "data".into() },
+            digest: 0xABCD_0000 + i,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let events: Vec<_> = (0..17).map(event).collect();
+        let bytes = encode(&events);
+        assert_eq!(decode(&bytes).unwrap(), events);
+        assert!(decode(&encode(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let mut bytes = encode(&(0..5).map(event).collect::<Vec<_>>());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.contains("checksum"), "unexpected error: {err}");
+        let short = &bytes[..10];
+        assert!(decode(short).is_err());
+    }
+
+    #[test]
+    fn diff_reports_first_divergence_with_context() {
+        let a: Vec<_> = (0..10).map(event).collect();
+        let mut b = a.clone();
+        assert!(diff(&a, &b).is_none());
+        b[6].digest ^= 1;
+        let d = diff(&a, &b).unwrap();
+        assert_eq!(d.index, 6);
+        assert_eq!(d.context.len(), CONTEXT_EVENTS);
+        assert!(d.expected.is_some() && d.actual.is_some());
+        // Length mismatch: divergence at the shorter trace's end.
+        let d = diff(&a, &a[..4]).unwrap();
+        assert_eq!(d.index, 4);
+        assert!(d.actual.is_none());
+        let shown = d.to_string();
+        assert!(shown.contains("diverge at event 4"), "{shown}");
+    }
+}

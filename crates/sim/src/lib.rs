@@ -65,6 +65,7 @@ mod fault;
 mod grid;
 mod id;
 mod node;
+mod oracle;
 mod position;
 mod stats;
 mod time;
@@ -74,6 +75,7 @@ pub use event::{Channel, TimerId};
 pub use fault::{CrashFault, FaultPlan, FaultWindow, RadioBurst, TamperBurst, WiredOutage};
 pub use id::NodeId;
 pub use node::{Context, Node};
+pub use oracle::{InvariantCheck, SimEvent, Violation, ViolationSink};
 pub use position::Position;
 pub use stats::Stats;
 pub use time::{Duration, Time};

@@ -1,0 +1,254 @@
+//! Runtime invariant oracle: per-event hooks evaluated by the world.
+//!
+//! An [`InvariantCheck`] observes the engine's packet lifecycle — every
+//! payload accepted onto the delivery queue, every dispatch to a node,
+//! every drop of a queued payload — and reports [`Violation`]s to a
+//! bounded sink. Checks are engine-agnostic: the scenario layer installs
+//! protocol-aware implementations (packet conservation, radio-range
+//! discipline, AODV sequence monotonicity, isolation permanence, crypto
+//! acceptance rules) via [`World::add_invariant`](crate::World::add_invariant).
+//!
+//! With no checks installed the world pays a single branch per event;
+//! installing checks costs one virtual call per check per event, which is
+//! why the fuzzer and gated test builds install them but the benchmark
+//! paths do not.
+
+use crate::{Channel, NodeId, Time};
+
+/// One engine-level packet event, observed as it happens.
+///
+/// `Enqueued` fires when a payload is accepted onto the delivery queue —
+/// after range/fading/loss filtering for radio, after outage filtering for
+/// wired — so every `Delivered` or `Dropped` was preceded by a matching
+/// `Enqueued`. `dist_m` carries the sender–receiver distance at
+/// transmission time when the radio medium computed one (out-of-band
+/// injections bypass the medium and carry `None`).
+#[derive(Debug)]
+pub enum SimEvent<'a, P> {
+    /// A payload was accepted onto the delivery queue.
+    Enqueued {
+        /// Transmitting node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Radio or wired.
+        channel: Channel,
+        /// Sender–receiver distance at transmission time, when the radio
+        /// medium evaluated one.
+        dist_m: Option<f64>,
+        /// The payload.
+        payload: &'a P,
+    },
+    /// A queued payload reached its receiver's `on_packet`.
+    Delivered {
+        /// Transmitting node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Radio or wired.
+        channel: Channel,
+        /// The payload.
+        payload: &'a P,
+    },
+    /// A queued payload was discarded before dispatch (despawned or
+    /// crashed receiver).
+    Dropped {
+        /// Transmitting node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Radio or wired.
+        channel: Channel,
+        /// The payload.
+        payload: &'a P,
+    },
+}
+
+/// One invariant breach, with enough context to reproduce it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The [`InvariantCheck::name`] of the violated check.
+    pub invariant: &'static str,
+    /// Virtual time of the offending event.
+    pub at: Time,
+    /// Human-readable description of what broke.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] t={} {}", self.invariant, self.at, self.detail)
+    }
+}
+
+/// Upper bound on stored violations; a broken invariant usually fires on
+/// every subsequent event, and one screenful is enough to debug from.
+const MAX_VIOLATIONS: usize = 64;
+
+/// The bounded violation collector handed to checks.
+#[derive(Debug, Default)]
+pub struct ViolationSink {
+    items: Vec<Violation>,
+    /// Violations discarded after [`MAX_VIOLATIONS`] were stored.
+    overflow: u64,
+    /// Stamped by the world before each `observe`/`finish` call.
+    current: &'static str,
+    now: Time,
+}
+
+impl ViolationSink {
+    /// Records a violation against the currently observing check.
+    pub fn report(&mut self, detail: impl Into<String>) {
+        if self.items.len() >= MAX_VIOLATIONS {
+            self.overflow += 1;
+            return;
+        }
+        self.items.push(Violation {
+            invariant: self.current,
+            at: self.now,
+            detail: detail.into(),
+        });
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.items
+    }
+
+    /// Violations discarded because the sink was full.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Attributes subsequent [`Self::report`] calls to `invariant` at
+    /// virtual time `now`. The world calls this before every `observe`;
+    /// harnesses driving a check by hand should too.
+    pub fn begin(&mut self, invariant: &'static str, now: Time) {
+        self.current = invariant;
+        self.now = now;
+    }
+}
+
+/// A runtime invariant evaluated against every engine packet event.
+///
+/// Implementations keep whatever state they need across events and call
+/// [`ViolationSink::report`] when the invariant breaks. `exercised` counts
+/// how many times the check actually evaluated its property (not merely
+/// skipped an irrelevant event) so harnesses can assert coverage.
+pub trait InvariantCheck<P> {
+    /// Stable identifier used in violation reports and coverage counts.
+    fn name(&self) -> &'static str;
+
+    /// Observes one engine event at virtual time `now`.
+    fn observe(&mut self, now: Time, event: &SimEvent<'_, P>, sink: &mut ViolationSink);
+
+    /// Called once after the run, for end-of-run audits (e.g. leak
+    /// checks over accumulated state).
+    fn finish(&mut self, now: Time, sink: &mut ViolationSink) {
+        let _ = (now, sink);
+    }
+
+    /// How many times the invariant's property was actually evaluated.
+    fn exercised(&self) -> u64;
+}
+
+/// The world-owned oracle: installed checks plus the shared sink.
+pub(crate) struct Oracle<P> {
+    pub(crate) checks: Vec<Box<dyn InvariantCheck<P>>>,
+    pub(crate) sink: ViolationSink,
+    pub(crate) finished: bool,
+}
+
+impl<P> Oracle<P> {
+    pub(crate) fn new() -> Self {
+        Oracle {
+            checks: Vec::new(),
+            sink: ViolationSink::default(),
+            finished: false,
+        }
+    }
+
+    pub(crate) fn observe(&mut self, now: Time, event: &SimEvent<'_, P>) {
+        for check in &mut self.checks {
+            self.sink.begin(check.name(), now);
+            check.observe(now, event, &mut self.sink);
+        }
+    }
+
+    pub(crate) fn finish(&mut self, now: Time) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        for check in &mut self.checks {
+            self.sink.begin(check.name(), now);
+            check.finish(now, &mut self.sink);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountAll {
+        seen: u64,
+        flag_wired: bool,
+    }
+
+    impl InvariantCheck<u32> for CountAll {
+        fn name(&self) -> &'static str {
+            "count-all"
+        }
+        fn observe(&mut self, _now: Time, event: &SimEvent<'_, u32>, sink: &mut ViolationSink) {
+            self.seen += 1;
+            if self.flag_wired {
+                if let SimEvent::Delivered {
+                    channel: Channel::Wired,
+                    ..
+                } = event
+                {
+                    sink.report("wired delivery flagged");
+                }
+            }
+        }
+        fn exercised(&self) -> u64 {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn sink_is_bounded() {
+        let mut sink = ViolationSink::default();
+        sink.begin("x", Time::ZERO);
+        for i in 0..(MAX_VIOLATIONS as u64 + 10) {
+            sink.report(format!("v{i}"));
+        }
+        assert_eq!(sink.violations().len(), MAX_VIOLATIONS);
+        assert_eq!(sink.overflow(), 10);
+    }
+
+    #[test]
+    fn oracle_routes_events_and_finishes_once() {
+        let mut oracle: Oracle<u32> = Oracle::new();
+        oracle.checks.push(Box::new(CountAll {
+            seen: 0,
+            flag_wired: true,
+        }));
+        let payload = 7u32;
+        oracle.observe(
+            Time::ZERO,
+            &SimEvent::Delivered {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                channel: Channel::Wired,
+                payload: &payload,
+            },
+        );
+        oracle.finish(Time::ZERO);
+        oracle.finish(Time::ZERO); // idempotent
+        assert_eq!(oracle.checks[0].exercised(), 1);
+        assert_eq!(oracle.sink.violations().len(), 1);
+        assert_eq!(oracle.sink.violations()[0].invariant, "count-all");
+    }
+}

@@ -10,6 +10,7 @@ use crate::event::{Channel, EventQueue, Occurrence};
 use crate::fault::{FaultInjector, FaultPlan, Transition};
 use crate::grid::SpatialGrid;
 use crate::node::{Context, Effect, Node};
+use crate::oracle::{InvariantCheck, Oracle, SimEvent, Violation};
 use crate::{Duration, NodeId, Stats, Time};
 
 /// The radio propagation model.
@@ -148,6 +149,8 @@ pub struct World<P, T> {
     tap: Option<Tap<P>>,
     injector: Option<FaultInjector>,
     tamper: Option<TamperHook<P>>,
+    /// Installed invariant checks, if any (`None` = zero-cost path).
+    oracle: Option<Box<Oracle<P>>>,
     /// Spatial index over active-node positions, rebuilt lazily.
     grid: SpatialGrid,
     /// `(timestamp, slot count)` the grid was last built for. Positions are
@@ -210,6 +213,7 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             tap: None,
             injector: None,
             tamper: None,
+            oracle: None,
             grid: SpatialGrid::new(),
             grid_stamp: None,
             recv_scratch: Vec::new(),
@@ -244,6 +248,54 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     /// Replaces any previous tap. Used by scenario-level frame journals.
     pub fn set_tap(&mut self, tap: Tap<P>) {
         self.tap = Some(tap);
+    }
+
+    /// Installs a runtime invariant check, evaluated against every packet
+    /// event from this point on. Checks accumulate; violations from all of
+    /// them share one bounded sink (see [`Self::violations`]).
+    pub fn add_invariant(&mut self, check: Box<dyn InvariantCheck<P>>) {
+        self.oracle
+            .get_or_insert_with(|| Box::new(Oracle::new()))
+            .checks
+            .push(check);
+    }
+
+    /// Runs every installed check's end-of-run audit. Idempotent; called
+    /// by harnesses after the simulation horizon.
+    pub fn finish_invariants(&mut self) {
+        let now = self.now;
+        if let Some(oracle) = self.oracle.as_deref_mut() {
+            oracle.finish(now);
+        }
+    }
+
+    /// Invariant violations recorded so far (empty without checks).
+    pub fn violations(&self) -> &[Violation] {
+        self.oracle
+            .as_deref()
+            .map(|o| o.sink.violations())
+            .unwrap_or(&[])
+    }
+
+    /// Violations discarded because the bounded sink was full.
+    pub fn violations_overflow(&self) -> u64 {
+        self.oracle.as_deref().map_or(0, |o| o.sink.overflow())
+    }
+
+    /// `(name, times exercised)` for every installed invariant check.
+    pub fn invariants_exercised(&self) -> Vec<(&'static str, u64)> {
+        self.oracle
+            .as_deref()
+            .map(|o| o.checks.iter().map(|c| (c.name(), c.exercised())).collect())
+            .unwrap_or_default()
+    }
+
+    /// Routes one engine event to the installed checks, if any.
+    #[inline]
+    fn observe(&mut self, at: Time, event: SimEvent<'_, P>) {
+        if let Some(oracle) = self.oracle.as_deref_mut() {
+            oracle.observe(at, &event);
+        }
     }
 
     /// Current virtual time.
@@ -374,6 +426,16 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     /// Panics if `at` is in the past.
     pub fn inject(&mut self, at: Time, from: NodeId, to: NodeId, payload: P, channel: Channel) {
         assert!(at >= self.now, "cannot inject an event in the past");
+        self.observe(
+            at,
+            SimEvent::Enqueued {
+                from,
+                to,
+                channel,
+                dist_m: None,
+                payload: &payload,
+            },
+        );
         self.queue.push(
             at,
             to,
@@ -432,10 +494,28 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             } => {
                 if !active {
                     self.stats.incr("drop.inactive");
+                    self.observe(
+                        event.time,
+                        SimEvent::Dropped {
+                            from,
+                            to: id,
+                            channel,
+                            payload: &payload,
+                        },
+                    );
                     return true;
                 }
                 if self.is_paused(id) {
                     self.stats.incr("fault.drop.crashed");
+                    self.observe(
+                        event.time,
+                        SimEvent::Dropped {
+                            from,
+                            to: id,
+                            channel,
+                            payload: &payload,
+                        },
+                    );
                     return true;
                 }
                 if let Some(hook) = self.tamper.as_mut() {
@@ -455,6 +535,15 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                 if let Some(tap) = self.tap.as_mut() {
                     tap(self.now, from, id, &payload, channel);
                 }
+                self.observe(
+                    event.time,
+                    SimEvent::Delivered {
+                        from,
+                        to: id,
+                        channel,
+                        payload: &payload,
+                    },
+                );
                 self.dispatch(id, |node, ctx| node.on_packet(ctx, from, payload, channel));
             }
             Occurrence::Timer {
@@ -586,7 +675,13 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                         } else {
                             payload.clone().expect("broadcast payload already moved")
                         };
-                        self.try_radio_deliver_in_range(self.now, sender, NodeId::new(to), p);
+                        self.try_radio_deliver_in_range(
+                            self.now,
+                            sender,
+                            NodeId::new(to),
+                            p,
+                            Some(dist),
+                        );
                     }
                     receivers.clear();
                     self.recv_scratch = receivers;
@@ -600,6 +695,16 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                         }
                     }
                     let at = self.now + self.cfg.wired_latency;
+                    self.observe(
+                        at,
+                        SimEvent::Enqueued {
+                            from: sender,
+                            to,
+                            channel: Channel::Wired,
+                            dist_m: None,
+                            payload: &payload,
+                        },
+                    );
                     self.queue.push(
                         at,
                         to,
@@ -763,7 +868,7 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             self.stats.incr("radio.drop.fading");
             return;
         }
-        self.try_radio_deliver_in_range(base, from, to, payload);
+        self.try_radio_deliver_in_range(base, from, to, payload, Some(dist));
     }
 
     /// Delivery once range has been established: applies loss (base rate,
@@ -772,7 +877,14 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     /// The burst draw is separate from — and composes with — the base
     /// loss draw, and is only made while a burst window is active, so
     /// runs without faults consume an identical random stream.
-    fn try_radio_deliver_in_range(&mut self, base: Time, from: NodeId, to: NodeId, payload: P) {
+    fn try_radio_deliver_in_range(
+        &mut self,
+        base: Time,
+        from: NodeId,
+        to: NodeId,
+        payload: P,
+        dist_m: Option<f64>,
+    ) {
         if self.cfg.radio_loss > 0.0 && self.rng.random::<f64>() < self.cfg.radio_loss {
             self.stats.incr("radio.drop.loss");
             return;
@@ -788,6 +900,16 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             Duration::from_micros(self.rng.random_range(0..=self.cfg.radio_jitter.as_micros()))
         };
         let at = base + self.cfg.radio_latency + jitter;
+        self.observe(
+            at,
+            SimEvent::Enqueued {
+                from,
+                to,
+                channel: Channel::Radio,
+                dist_m,
+                payload: &payload,
+            },
+        );
         self.queue.push(
             at,
             to,
@@ -1413,6 +1535,129 @@ mod tests {
             0,
             "drops to inactive nodes are not observed"
         );
+    }
+
+    /// A conservation check usable against the `u32` payload tests: every
+    /// dispatched or dropped delivery must have a matching enqueue.
+    struct Conservation {
+        pending: std::collections::HashMap<(NodeId, NodeId), i64>,
+        exercised: u64,
+    }
+
+    impl Conservation {
+        fn new() -> Self {
+            Conservation {
+                pending: std::collections::HashMap::new(),
+                exercised: 0,
+            }
+        }
+    }
+
+    impl InvariantCheck<u32> for Conservation {
+        fn name(&self) -> &'static str {
+            "test-conservation"
+        }
+        fn observe(
+            &mut self,
+            _now: Time,
+            event: &SimEvent<'_, u32>,
+            sink: &mut crate::ViolationSink,
+        ) {
+            match *event {
+                SimEvent::Enqueued { from, to, .. } => {
+                    *self.pending.entry((from, to)).or_insert(0) += 1;
+                }
+                SimEvent::Delivered { from, to, .. } | SimEvent::Dropped { from, to, .. } => {
+                    self.exercised += 1;
+                    let n = self.pending.entry((from, to)).or_insert(0);
+                    *n -= 1;
+                    if *n < 0 {
+                        sink.report(format!("delivery {from}->{to} without a matching enqueue"));
+                    }
+                }
+            }
+        }
+        fn exercised(&self) -> u64 {
+            self.exercised
+        }
+    }
+
+    #[test]
+    fn oracle_observes_every_packet_path() {
+        // Unicast, broadcast, wired, lossy radio, and a despawned receiver
+        // all satisfy conservation; the check is exercised for each
+        // delivery and drop, and no violations fire.
+        let cfg = WorldConfig {
+            radio_loss: 0.3,
+            seed: 13,
+            ..WorldConfig::default()
+        };
+        let mut w: World<u32, u8> = World::new(cfg);
+        let near = w.spawn(Box::new(Probe::new(500.0)));
+        let gone = w.spawn(Box::new(Probe::new(600.0)));
+        w.add_invariant(Box::new(Conservation::new()));
+        let chatter = w.spawn(Box::new(Chatter {
+            at: Position::new(0.0, 0.0),
+            unicast_to: near,
+        }));
+        w.inject(Time::from_millis(50), chatter, gone, 3, Channel::Radio);
+        w.inject(Time::from_millis(60), chatter, near, 4, Channel::Wired);
+        w.despawn(gone);
+        w.run_to_completion(1000);
+        w.finish_invariants();
+        assert_eq!(w.violations(), &[], "conservation holds");
+        let exercised = w.invariants_exercised();
+        assert_eq!(exercised.len(), 1);
+        assert_eq!(exercised[0].0, "test-conservation");
+        assert!(exercised[0].1 >= 2, "deliveries and drops were observed");
+    }
+
+    #[test]
+    fn oracle_reports_violations_with_context() {
+        struct AlwaysFail;
+        impl InvariantCheck<u32> for AlwaysFail {
+            fn name(&self) -> &'static str {
+                "always-fail"
+            }
+            fn observe(
+                &mut self,
+                _now: Time,
+                event: &SimEvent<'_, u32>,
+                sink: &mut crate::ViolationSink,
+            ) {
+                if let SimEvent::Delivered { payload, .. } = event {
+                    sink.report(format!("saw {payload}"));
+                }
+            }
+            fn finish(&mut self, _now: Time, sink: &mut crate::ViolationSink) {
+                sink.report("end-of-run audit");
+            }
+            fn exercised(&self) -> u64 {
+                1
+            }
+        }
+        let mut w: World<u32, u8> = World::new(quiet_config());
+        let rx = w.spawn(Box::new(Probe::new(100.0)));
+        let tx = w.spawn(Box::new(Probe::new(0.0)));
+        w.add_invariant(Box::new(AlwaysFail));
+        w.inject(Time::from_millis(1), tx, rx, 41, Channel::Radio);
+        w.run_to_completion(10);
+        w.finish_invariants();
+        w.finish_invariants(); // idempotent: the audit fires once
+        let violations = w.violations();
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].invariant, "always-fail");
+        assert!(violations[0].detail.contains("41"));
+        assert_eq!(violations[1].detail, "end-of-run audit");
+        assert_eq!(w.violations_overflow(), 0);
+    }
+
+    #[test]
+    fn world_without_invariants_reports_nothing() {
+        let w: World<u32, u8> = World::new(quiet_config());
+        assert!(w.violations().is_empty());
+        assert!(w.invariants_exercised().is_empty());
+        assert_eq!(w.violations_overflow(), 0);
     }
 
     #[test]

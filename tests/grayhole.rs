@@ -71,3 +71,70 @@ fn grayhole_node_counters_are_exposed() {
     let _ = gh.lured_count();
     assert!(gh.dropped_count() + gh.forwarded_count() >= gh.dropped_count());
 }
+
+/// Differential sweep of the gray hole's forwarding probability: as the
+/// dropper turns more aggressive (0.0 → 1.0), the data plane under every
+/// defense degrades monotonically — mean PDR never *improves* with a
+/// higher drop rate. Seeds are shared across sweep points so the
+/// comparison is differential, not statistical. (The attacker's own
+/// dropped-packet counter is *not* monotone in the drop probability:
+/// at low rates, camouflage re-broadcasts and ttl exhaustion inflate it.)
+#[test]
+fn pdr_degrades_monotonically_with_drop_probability() {
+    use blackdp_scenario::{parallel_map, DefenseMode};
+
+    const DROPS: [f64; 4] = [0.0, 0.35, 0.7, 1.0];
+    const SEEDS: [u64; 2] = [61_041, 61_042];
+    const DEFENSES: [DefenseMode; 3] = [
+        DefenseMode::BlackDp,
+        DefenseMode::BaselineFirstRrep,
+        DefenseMode::None,
+    ];
+    // Mean-PDR slack for re-routing noise: dropping a packet changes the
+    // subsequent event stream, so individual seeds can wiggle slightly.
+    const TOLERANCE: f64 = 0.15;
+
+    let mut jobs = Vec::new();
+    for &defense in &DEFENSES {
+        for &p in &DROPS {
+            for &seed in &SEEDS {
+                jobs.push((defense, p, seed));
+            }
+        }
+    }
+    let outcomes = parallel_map(&jobs, |&(defense, p, seed)| {
+        let mut cfg = ScenarioConfig::small_test();
+        cfg.vehicles = 24;
+        cfg.sim_duration = blackdp_sim::Duration::from_secs(15);
+        cfg.data_packets = 10;
+        cfg.defense = defense;
+        run_trial(&cfg, &spec(seed, p)).pdr()
+    });
+
+    for (d, &defense) in DEFENSES.iter().enumerate() {
+        let mean_pdrs: Vec<f64> = (0..DROPS.len())
+            .map(|i| {
+                let base = d * DROPS.len() * SEEDS.len() + i * SEEDS.len();
+                outcomes[base..base + SEEDS.len()].iter().sum::<f64>() / SEEDS.len() as f64
+            })
+            .collect();
+        for w in 0..DROPS.len() - 1 {
+            assert!(
+                mean_pdrs[w + 1] <= mean_pdrs[w] + TOLERANCE,
+                "{defense:?}: mean PDR improved from {:.3} to {:.3} when drop \
+                 probability rose {} → {}",
+                mean_pdrs[w],
+                mean_pdrs[w + 1],
+                DROPS[w],
+                DROPS[w + 1],
+            );
+        }
+        assert!(
+            mean_pdrs[DROPS.len() - 1] <= mean_pdrs[0] + 1e-9,
+            "{defense:?}: a full dropper must not beat a pure forwarder \
+             ({:.3} vs {:.3})",
+            mean_pdrs[DROPS.len() - 1],
+            mean_pdrs[0],
+        );
+    }
+}

@@ -261,3 +261,45 @@ fn section_3b3_walkthrough() {
         }
     )));
 }
+
+/// Golden-trace snapshot: the full-simulation version of the illustrative
+/// example (single attacker in cluster 2 that moves after answering the
+/// first probe, Table-I test geometry, seed 42) must replay the exact
+/// event journal pinned under `results/golden/`. Any protocol-visible
+/// behavior change shows up as a first-divergence diff here and requires
+/// an explicit snapshot refresh:
+///
+/// ```text
+/// cargo run --release -p blackdp-bench --bin fuzz -- golden
+/// ```
+///
+/// (or run this test with `BLACKDP_UPDATE_GOLDEN=1`).
+#[test]
+fn golden_trace_snapshot_matches() {
+    use blackdp_scenario::{
+        decode_trace, diff_traces, encode_trace, record_trial, FaultSpec, ScenarioConfig,
+        TrialSpec,
+    };
+
+    let cfg = ScenarioConfig::small_test();
+    let mut spec = TrialSpec::single(42, 2, cfg.plan().cluster_count());
+    spec.attacker_moves = true;
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/golden/illustrative_example.trace");
+    let (_, fresh) = record_trial(&cfg, &spec, &FaultSpec::none());
+    assert!(!fresh.is_empty(), "illustrative example produced no events");
+
+    if std::env::var_os("BLACKDP_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, encode_trace(&fresh)).expect("write golden trace");
+        return;
+    }
+
+    let bytes = std::fs::read(path).expect(
+        "golden trace missing — generate with `cargo run --release -p \
+         blackdp-bench --bin fuzz -- golden`",
+    );
+    let expected = decode_trace(&bytes).expect("golden trace decodes");
+    if let Some(divergence) = diff_traces(&expected, &fresh) {
+        panic!("illustrative example diverged from golden trace:\n{divergence}");
+    }
+}
