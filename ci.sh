@@ -9,6 +9,11 @@ cd "$(dirname "$0")"
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
 
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+# The vendored offline stand-ins (crates/rand, crates/proptest,
+# crates/criterion) are workspace members and held to the same bar.
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 

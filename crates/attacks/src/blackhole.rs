@@ -1,12 +1,15 @@
-//! The black hole attacker state machine.
+//! The black hole attacker, composed from middleware interceptors.
 
-use blackdp::{addr_of, BlackDpMessage, HelloReply, RrepBody, Sealed, Wire};
-use blackdp_aodv::{Addr, DataPacket, Hello, Message as AodvMessage, Rrep, Rreq, SeqNo};
+use blackdp::Wire;
+use blackdp_aodv::{Addr, DataPacket, SeqNo};
 use blackdp_crypto::{Certificate, Keypair, PseudonymId};
 use blackdp_mobility::ClusterId;
 use blackdp_sim::{Duration, Time};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+use crate::forge::ForgeParams;
+use crate::middleware::{
+    AttackerStack, DropData, Evasion, FakeHelloReply, ForgeRrep, Interceptor,
+};
 
 /// How the attacker behaves once it believes detection is possible
 /// (Section IV-B lists these as the reasons accuracy drops in the
@@ -47,6 +50,17 @@ pub struct AttackerConfig {
     pub fake_hello_reply: bool,
     /// Evasion behaviour in the renewal zone.
     pub evasion: EvasionPolicy,
+}
+
+impl AttackerConfig {
+    /// The forged-RREP shape shared with the gray hole.
+    pub fn forge_params(&self) -> ForgeParams {
+        ForgeParams {
+            seq_margin: self.seq_margin,
+            fake_hop_count: self.fake_hop_count,
+            fake_lifetime: self.fake_lifetime,
+        }
+    }
 }
 
 impl Default for AttackerConfig {
@@ -99,6 +113,10 @@ pub enum AttackerEvent {
 
 /// A single (or cooperative-half) black hole attacker.
 ///
+/// Since the middleware refactor this is a thin facade over an
+/// [`AttackerStack`] with the chain `[Evasion, ForgeRrep,
+/// DropData::blackhole(), FakeHelloReply?]`.
+///
 /// # Examples
 ///
 /// ```
@@ -123,58 +141,48 @@ pub enum AttackerEvent {
 /// ```
 #[derive(Debug)]
 pub struct BlackHole {
-    keys: Keypair,
-    cert: Certificate,
-    cluster: Option<ClusterId>,
     cfg: AttackerConfig,
-    highest_seen: SeqNo,
-    dormant: bool,
-    seq_counter: SeqNo,
-    last_hello: Option<Time>,
-    dropped: u64,
-    lured: u64,
-    rng: StdRng,
+    stack: AttackerStack,
 }
 
 impl BlackHole {
     /// Creates an attacker holding a valid (compromised-insider)
     /// credential.
     pub fn new(keys: Keypair, cert: Certificate, cfg: AttackerConfig, seed: u64) -> Self {
+        let mut chain: Vec<Box<dyn Interceptor>> = vec![
+            Box::new(Evasion),
+            Box::new(ForgeRrep::new(cfg.forge_params(), cfg.teammate)),
+            Box::new(DropData::blackhole()),
+        ];
+        if cfg.fake_hello_reply {
+            chain.push(Box::new(FakeHelloReply));
+        }
         BlackHole {
-            keys,
-            cert,
-            cluster: None,
             cfg,
-            highest_seen: 0,
-            dormant: false,
-            seq_counter: 0,
-            last_hello: None,
-            dropped: 0,
-            lured: 0,
-            rng: StdRng::seed_from_u64(seed),
+            stack: AttackerStack::new(keys, cert, seed, chain),
         }
     }
 
     /// The attacker's current protocol address (its pseudonym).
     pub fn addr(&self) -> Addr {
-        addr_of(self.cert.pseudonym)
+        self.stack.core().addr()
     }
 
     /// The attacker's current pseudonym.
     pub fn pseudonym(&self) -> PseudonymId {
-        self.cert.pseudonym
+        self.stack.core().pseudonym()
     }
 
     /// The attacker's current (valid!) certificate — used by host nodes to
     /// produce the legitimate-looking membership traffic (JREQ signing)
     /// that keeps the attacker registered in its cluster.
     pub fn cert(&self) -> &Certificate {
-        &self.cert
+        self.stack.core().cert()
     }
 
     /// The attacker's current signing keys (see [`Self::cert`]).
     pub fn keys(&self) -> &Keypair {
-        &self.keys
+        self.stack.core().keys()
     }
 
     /// The configuration.
@@ -184,174 +192,56 @@ impl BlackHole {
 
     /// Data packets dropped so far.
     pub fn dropped_count(&self) -> u64 {
-        self.dropped
+        self.stack.core().dropped_count()
     }
 
     /// Victims lured so far.
     pub fn lured_count(&self) -> u64 {
-        self.lured
+        self.stack.core().lured_count()
     }
 
     /// True if the attacker is currently dormant (acting legitimately).
     pub fn is_dormant(&self) -> bool {
-        self.dormant
+        self.stack.core().is_dormant()
     }
 
     /// Puts the attacker to sleep or wakes it (the `ActLegitimately`
     /// evasion, driven by the scenario when entering the renewal zone).
     pub fn set_dormant(&mut self, dormant: bool) {
-        self.dormant = dormant;
+        self.stack.core_mut().set_dormant(dormant);
     }
 
     /// Swaps in a renewed identity (`RenewIdentity` evasion): new keys and
     /// certificate, fresh pseudonym.
     pub fn renew_identity(&mut self, keys: Keypair, cert: Certificate) {
-        self.keys = keys;
-        self.cert = cert;
+        self.stack.core_mut().renew_identity(keys, cert);
     }
 
     /// Records the cluster learned from a JREP.
     pub fn set_cluster(&mut self, cluster: Option<ClusterId>) {
-        self.cluster = cluster;
+        self.stack.core_mut().set_cluster(cluster);
     }
 
     /// Processes an incoming packet.
     pub fn handle_wire(&mut self, from: Addr, wire: &Wire, now: Time) -> Vec<AttackerAction> {
-        match wire {
-            Wire::Aodv(AodvMessage::Rreq(rreq)) => self.handle_rreq(from, *rreq, now),
-            Wire::Aodv(AodvMessage::Rrep(rrep)) | Wire::SecuredRrep { rrep, .. } => {
-                // Learn the going rate of sequence numbers, then swallow the
-                // reply (a competitor's route helps nobody).
-                self.highest_seen = self.highest_seen.max(rrep.dest_seq);
-                Vec::new()
-            }
-            Wire::Aodv(AodvMessage::Data(data)) => {
-                if data.dest == self.addr() {
-                    return Vec::new(); // traffic genuinely for us
-                }
-                self.dropped += 1;
-                vec![AttackerAction::Event(AttackerEvent::DroppedData(*data))]
-            }
-            Wire::Aodv(AodvMessage::Hello(h)) => {
-                self.highest_seen = self.highest_seen.max(h.seq);
-                Vec::new()
-            }
-            Wire::Aodv(AodvMessage::Rerr(_)) => Vec::new(),
-            Wire::BlackDp(BlackDpMessage::HelloProbe(sealed)) => {
-                if sealed.body.dest == self.addr() {
-                    return Vec::new(); // probing us as a *destination* is legitimate
-                }
-                let mut actions = vec![AttackerAction::Event(AttackerEvent::SwallowedProbe)];
-                if self.cfg.fake_hello_reply && !self.dormant {
-                    // Claim to be the destination: sign a reply with our own
-                    // credential. The verifier will notice the signer is not
-                    // the destination — the paper's "anonymity response".
-                    let reply = HelloReply {
-                        probe_id: sealed.body.probe_id,
-                        src: sealed.body.dest, // the lie
-                        dest: sealed.body.src,
-                        ttl: 16,
-                    };
-                    let sealed_reply =
-                        Sealed::seal(reply, self.cert, self.cluster, &self.keys, &mut self.rng);
-                    actions.push(AttackerAction::SendTo {
-                        to: from,
-                        wire: Wire::BlackDp(BlackDpMessage::HelloReply(sealed_reply)),
-                    });
-                }
-                actions
-            }
-            Wire::BlackDp(BlackDpMessage::Jrep { cluster, .. }) => {
-                self.cluster = Some(*cluster);
-                Vec::new()
-            }
-            Wire::BlackDp(_) => Vec::new(),
-        }
+        self.stack.handle_wire(from, wire, now)
     }
 
     /// Periodic behaviour: beacon hellos like a legitimate node so
     /// neighbors keep routing through us.
     pub fn tick(&mut self, now: Time, hello_interval: Duration) -> Vec<AttackerAction> {
-        let due = match self.last_hello {
-            None => true,
-            Some(t) => now.saturating_since(t) >= hello_interval,
-        };
-        if !due {
-            return Vec::new();
-        }
-        self.last_hello = Some(now);
-        self.seq_counter += 1;
-        vec![AttackerAction::Broadcast {
-            wire: Wire::Aodv(AodvMessage::Hello(Hello {
-                orig: self.addr(),
-                seq: self.seq_counter,
-            })),
-        }]
-    }
-
-    fn handle_rreq(&mut self, from: Addr, rreq: Rreq, now: Time) -> Vec<AttackerAction> {
-        let _ = now;
-        if let Some(ds) = rreq.dest_seq {
-            self.highest_seen = self.highest_seen.max(ds);
-        }
-        if rreq.dest == self.addr() || rreq.orig == self.addr() {
-            return Vec::new(); // genuine traffic involving us
-        }
-        if self.dormant {
-            // Acting legitimately: behave like an honest node with no route
-            // — reflood and stay quiet.
-            let mut actions = vec![AttackerAction::Event(AttackerEvent::WentDormant)];
-            if rreq.ttl > 0 {
-                actions.push(AttackerAction::Broadcast {
-                    wire: Wire::Aodv(AodvMessage::Rreq(Rreq {
-                        hop_count: rreq.hop_count.saturating_add(1),
-                        ttl: rreq.ttl - 1,
-                        ..rreq
-                    })),
-                });
-            }
-            return actions;
-        }
-        // The attack: claim the freshest possible route, as fast as
-        // possible.
-        let forged_seq = self
-            .highest_seen
-            .max(rreq.dest_seq.unwrap_or(0))
-            .saturating_add(self.cfg.seq_margin);
-        self.highest_seen = forged_seq;
-        let rrep = Rrep {
-            dest: rreq.dest,
-            dest_seq: forged_seq,
-            orig: rreq.orig,
-            hop_count: self.cfg.fake_hop_count,
-            lifetime: self.cfg.fake_lifetime,
-            next_hop: rreq.next_hop_inquiry.then(|| {
-                // Disclose the teammate (cooperative) or invent one.
-                self.cfg.teammate.unwrap_or(self.addr())
-            }),
-        };
-        let auth = Sealed::seal(
-            RrepBody(rrep),
-            self.cert,
-            self.cluster,
-            &self.keys,
-            &mut self.rng,
-        );
-        self.lured += 1;
-        vec![
-            AttackerAction::SendTo {
-                to: from,
-                wire: Wire::SecuredRrep { rrep, auth },
-            },
-            AttackerAction::Event(AttackerEvent::LuredVictim { victim: rreq.orig }),
-        ]
+        self.stack.tick(now, hello_interval)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blackdp::{BlackDpMessage, Sealed};
+    use blackdp_aodv::{Message as AodvMessage, Rrep, Rreq};
     use blackdp_crypto::{LongTermId, TaId, TrustedAuthority};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     struct Fixture {
         rng: StdRng,

@@ -1,0 +1,147 @@
+//! Shared forged-RREP construction.
+//!
+//! Both the black hole and the gray hole capture routes the same way: an
+//! immediate RREP whose destination sequence number sits `seq_margin`
+//! above anything the attacker has observed ("a very high SN … to
+//! guarantee its RREP is selected", Section II-C). This module is the
+//! single implementation both attackers — and any interceptor composition
+//! built from [`crate::middleware`] — share.
+
+use blackdp_aodv::{Addr, Rrep, Rreq, SeqNo};
+use blackdp_sim::Duration;
+
+/// The knobs of a forged route reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForgeParams {
+    /// How far above the highest sequence number seen so far the forged
+    /// RREP climbs (the paper's example forges SN 120 against a legitimate
+    /// 20, and 200 against 75).
+    pub seq_margin: SeqNo,
+    /// The hop count advertised in forged RREPs (the paper's example
+    /// uses 4).
+    pub fake_hop_count: u8,
+    /// Lifetime advertised in forged RREPs.
+    pub fake_lifetime: Duration,
+}
+
+impl Default for ForgeParams {
+    fn default() -> Self {
+        ForgeParams {
+            seq_margin: 120,
+            fake_hop_count: 4,
+            fake_lifetime: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Builds the forged RREP answering `rreq` and escalates `highest_seen`
+/// past the claimed sequence number so consecutive forgeries keep
+/// outbidding both the competition and the attacker's own earlier lies.
+///
+/// `disclose` is the next hop revealed when the RREQ carries a next-hop
+/// inquiry: the cooperative primary names its teammate here, a lone
+/// attacker names itself.
+pub fn forge_rrep(
+    params: &ForgeParams,
+    highest_seen: &mut SeqNo,
+    rreq: &Rreq,
+    disclose: Addr,
+) -> Rrep {
+    let forged_seq = (*highest_seen)
+        .max(rreq.dest_seq.unwrap_or(0))
+        .saturating_add(params.seq_margin);
+    *highest_seen = forged_seq;
+    Rrep {
+        dest: rreq.dest,
+        dest_seq: forged_seq,
+        orig: rreq.orig,
+        hop_count: params.fake_hop_count,
+        lifetime: params.fake_lifetime,
+        next_hop: rreq.next_hop_inquiry.then_some(disclose),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rreq(dest_seq: Option<SeqNo>, inquiry: bool) -> Rreq {
+        Rreq {
+            rreq_id: 1,
+            dest: Addr(7),
+            dest_seq,
+            orig: Addr(1),
+            orig_seq: 1,
+            hop_count: 0,
+            ttl: 5,
+            next_hop_inquiry: inquiry,
+        }
+    }
+
+    #[test]
+    fn outbids_the_highest_seen_sequence_number() {
+        let params = ForgeParams::default();
+        let mut highest = 500;
+        let rrep = forge_rrep(&params, &mut highest, &rreq(Some(20), false), Addr(9));
+        assert_eq!(rrep.dest_seq, 620, "500 seen + margin 120");
+        assert_eq!(highest, 620, "the lie becomes the new floor");
+    }
+
+    #[test]
+    fn outbids_the_rreq_hint_when_it_is_fresher() {
+        let params = ForgeParams::default();
+        let mut highest = 0;
+        let rrep = forge_rrep(&params, &mut highest, &rreq(Some(251), false), Addr(9));
+        assert_eq!(rrep.dest_seq, 371, "251 hinted + margin 120");
+    }
+
+    #[test]
+    fn unknown_seq_flag_still_forges_from_the_margin() {
+        let params = ForgeParams::default();
+        let mut highest = 0;
+        let rrep = forge_rrep(&params, &mut highest, &rreq(None, false), Addr(9));
+        assert_eq!(rrep.dest_seq, params.seq_margin);
+    }
+
+    #[test]
+    fn consecutive_forgeries_escalate_monotonically() {
+        let params = ForgeParams::default();
+        let mut highest = 0;
+        let a = forge_rrep(&params, &mut highest, &rreq(Some(10), false), Addr(9));
+        let b = forge_rrep(&params, &mut highest, &rreq(Some(10), false), Addr(9));
+        assert!(b.dest_seq > a.dest_seq, "{} then {}", a.dest_seq, b.dest_seq);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let params = ForgeParams::default();
+        let mut highest = SeqNo::MAX - 5;
+        let rrep = forge_rrep(&params, &mut highest, &rreq(None, false), Addr(9));
+        assert_eq!(rrep.dest_seq, SeqNo::MAX);
+        assert_eq!(highest, SeqNo::MAX);
+    }
+
+    #[test]
+    fn discloses_the_named_next_hop_only_on_inquiry() {
+        let params = ForgeParams::default();
+        let mut highest = 0;
+        let quiet = forge_rrep(&params, &mut highest, &rreq(Some(1), false), Addr(42));
+        assert_eq!(quiet.next_hop, None);
+        let asked = forge_rrep(&params, &mut highest, &rreq(Some(1), true), Addr(42));
+        assert_eq!(asked.next_hop, Some(Addr(42)));
+    }
+
+    #[test]
+    fn copies_the_advertised_shape_from_params() {
+        let params = ForgeParams {
+            seq_margin: 7,
+            fake_hop_count: 2,
+            fake_lifetime: Duration::from_secs(3),
+        };
+        let mut highest = 0;
+        let rrep = forge_rrep(&params, &mut highest, &rreq(Some(0), false), Addr(9));
+        assert_eq!(rrep.hop_count, 2);
+        assert_eq!(rrep.lifetime, Duration::from_secs(3));
+        assert_eq!(rrep.dest_seq, 7);
+    }
+}

@@ -7,16 +7,21 @@
 //! selective black holes) treats it as the harder variant; BlackDP's
 //! behavioural probes still catch it, because its RREP-forging behaviour
 //! is identical — which the `grayhole` ablation bench demonstrates.
+//!
+//! Since the middleware refactor this is a thin facade over an
+//! [`AttackerStack`] with the chain `[ForgeRrep, DropData::grayhole(p,
+//! forward_probes)]` — the same forging slot as the black hole, a
+//! probabilistic drop slot instead of the unconditional one.
 
-use blackdp::{BlackDpMessage, RrepBody, Sealed, Wire};
-use blackdp_aodv::{Addr, DataPacket, Hello, Message as AodvMessage, Rrep, Rreq, SeqNo};
+use blackdp::Wire;
+use blackdp_aodv::{Addr, SeqNo};
 use blackdp_crypto::{Certificate, Keypair, PseudonymId};
 use blackdp_mobility::ClusterId;
 use blackdp_sim::{Duration, Time};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
-use crate::blackhole::{AttackerAction, AttackerEvent};
+use crate::blackhole::AttackerAction;
+use crate::forge::ForgeParams;
+use crate::middleware::{AttackerStack, DropData, ForgeRrep, Interceptor};
 
 /// Gray hole behaviour knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +39,17 @@ pub struct GrayHoleConfig {
     /// probability (a stealthier gray hole lets some probes through,
     /// delaying the verifier's timeout ladder).
     pub forward_probes: bool,
+}
+
+impl GrayHoleConfig {
+    /// The forged-RREP shape shared with the black hole.
+    pub fn forge_params(&self) -> ForgeParams {
+        ForgeParams {
+            seq_margin: self.seq_margin,
+            fake_hop_count: self.fake_hop_count,
+            fake_lifetime: self.fake_lifetime,
+        }
+    }
 }
 
 impl Default for GrayHoleConfig {
@@ -67,17 +83,8 @@ impl Default for GrayHoleConfig {
 /// ```
 #[derive(Debug)]
 pub struct GrayHole {
-    keys: Keypair,
-    cert: Certificate,
-    cluster: Option<ClusterId>,
     cfg: GrayHoleConfig,
-    highest_seen: SeqNo,
-    seq_counter: SeqNo,
-    last_hello: Option<Time>,
-    dropped: u64,
-    forwarded: u64,
-    lured: u64,
-    rng: StdRng,
+    stack: AttackerStack,
 }
 
 impl GrayHole {
@@ -87,63 +94,59 @@ impl GrayHole {
     ///
     /// Panics if `cfg.drop_probability` is not a probability.
     pub fn new(keys: Keypair, cert: Certificate, cfg: GrayHoleConfig, seed: u64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&cfg.drop_probability),
-            "drop_probability must be in [0, 1]"
-        );
+        let chain: Vec<Box<dyn Interceptor>> = vec![
+            Box::new(ForgeRrep::new(cfg.forge_params(), None)),
+            Box::new(DropData::grayhole(cfg.drop_probability, cfg.forward_probes)),
+        ];
         GrayHole {
-            keys,
-            cert,
-            cluster: None,
             cfg,
-            highest_seen: 0,
-            seq_counter: 0,
-            last_hello: None,
-            dropped: 0,
-            forwarded: 0,
-            lured: 0,
-            rng: StdRng::seed_from_u64(seed),
+            stack: AttackerStack::new(keys, cert, seed, chain),
         }
     }
 
     /// Current protocol address.
     pub fn addr(&self) -> Addr {
-        Addr(self.cert.pseudonym.0)
+        self.stack.core().addr()
     }
 
     /// Current pseudonym.
     pub fn pseudonym(&self) -> PseudonymId {
-        self.cert.pseudonym
+        self.stack.core().pseudonym()
     }
 
     /// The credential (for membership traffic).
     pub fn cert(&self) -> &Certificate {
-        &self.cert
+        self.stack.core().cert()
     }
 
     /// The signing keys (for membership traffic).
     pub fn keys(&self) -> &Keypair {
-        &self.keys
+        self.stack.core().keys()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GrayHoleConfig {
+        &self.cfg
     }
 
     /// Records the cluster from a JREP.
     pub fn set_cluster(&mut self, cluster: Option<ClusterId>) {
-        self.cluster = cluster;
+        self.stack.core_mut().set_cluster(cluster);
     }
 
     /// Data packets dropped so far.
     pub fn dropped_count(&self) -> u64 {
-        self.dropped
+        self.stack.core().dropped_count()
     }
 
     /// Data packets deliberately forwarded (the camouflage).
     pub fn forwarded_count(&self) -> u64 {
-        self.forwarded
+        self.stack.core().forwarded_count()
     }
 
     /// Victims lured.
     pub fn lured_count(&self) -> u64 {
-        self.lured
+        self.stack.core().lured_count()
     }
 
     /// Processes an incoming packet.
@@ -154,120 +157,24 @@ impl GrayHole {
     /// re-broadcast, which statistically reaches the real next hop when
     /// one exists.
     pub fn handle_wire(&mut self, from: Addr, wire: &Wire, now: Time) -> Vec<AttackerAction> {
-        match wire {
-            Wire::Aodv(AodvMessage::Rreq(rreq)) => self.handle_rreq(from, *rreq, now),
-            Wire::Aodv(AodvMessage::Rrep(rrep)) | Wire::SecuredRrep { rrep, .. } => {
-                self.highest_seen = self.highest_seen.max(rrep.dest_seq);
-                Vec::new()
-            }
-            Wire::Aodv(AodvMessage::Data(data)) => self.handle_data(*data),
-            Wire::Aodv(AodvMessage::Hello(h)) => {
-                self.highest_seen = self.highest_seen.max(h.seq);
-                Vec::new()
-            }
-            Wire::Aodv(AodvMessage::Rerr(_)) => Vec::new(),
-            Wire::BlackDp(BlackDpMessage::HelloProbe(sealed)) => {
-                if sealed.body.dest == self.addr() {
-                    return Vec::new();
-                }
-                if self.cfg.forward_probes && self.rng.random::<f64>() >= self.cfg.drop_probability
-                {
-                    self.forwarded += 1;
-                    return vec![AttackerAction::Broadcast { wire: wire.clone() }];
-                }
-                vec![AttackerAction::Event(AttackerEvent::SwallowedProbe)]
-            }
-            Wire::BlackDp(BlackDpMessage::Jrep { cluster, .. }) => {
-                self.cluster = Some(*cluster);
-                Vec::new()
-            }
-            Wire::BlackDp(_) => Vec::new(),
-        }
+        self.stack.handle_wire(from, wire, now)
     }
 
     /// Periodic hello beaconing (stays in neighbors' tables).
     pub fn tick(&mut self, now: Time, hello_interval: Duration) -> Vec<AttackerAction> {
-        let due = match self.last_hello {
-            None => true,
-            Some(t) => now.saturating_since(t) >= hello_interval,
-        };
-        if !due {
-            return Vec::new();
-        }
-        self.last_hello = Some(now);
-        self.seq_counter += 1;
-        vec![AttackerAction::Broadcast {
-            wire: Wire::Aodv(AodvMessage::Hello(Hello {
-                orig: self.addr(),
-                seq: self.seq_counter,
-            })),
-        }]
-    }
-
-    fn handle_rreq(&mut self, from: Addr, rreq: Rreq, _now: Time) -> Vec<AttackerAction> {
-        if let Some(ds) = rreq.dest_seq {
-            self.highest_seen = self.highest_seen.max(ds);
-        }
-        if rreq.dest == self.addr() || rreq.orig == self.addr() {
-            return Vec::new();
-        }
-        let forged_seq = self
-            .highest_seen
-            .max(rreq.dest_seq.unwrap_or(0))
-            .saturating_add(self.cfg.seq_margin);
-        self.highest_seen = forged_seq;
-        let rrep = Rrep {
-            dest: rreq.dest,
-            dest_seq: forged_seq,
-            orig: rreq.orig,
-            hop_count: self.cfg.fake_hop_count,
-            lifetime: self.cfg.fake_lifetime,
-            next_hop: rreq.next_hop_inquiry.then_some(self.addr()),
-        };
-        let auth = Sealed::seal(
-            RrepBody(rrep),
-            self.cert,
-            self.cluster,
-            &self.keys,
-            &mut self.rng,
-        );
-        self.lured += 1;
-        vec![
-            AttackerAction::SendTo {
-                to: from,
-                wire: Wire::SecuredRrep { rrep, auth },
-            },
-            AttackerAction::Event(AttackerEvent::LuredVictim { victim: rreq.orig }),
-        ]
-    }
-
-    fn handle_data(&mut self, data: DataPacket) -> Vec<AttackerAction> {
-        if data.dest == self.addr() {
-            return Vec::new();
-        }
-        if self.rng.random::<f64>() < self.cfg.drop_probability {
-            self.dropped += 1;
-            return vec![AttackerAction::Event(AttackerEvent::DroppedData(data))];
-        }
-        // Camouflage: push the packet back into the network.
-        self.forwarded += 1;
-        if data.ttl == 0 {
-            self.dropped += 1;
-            return vec![AttackerAction::Event(AttackerEvent::DroppedData(data))];
-        }
-        vec![AttackerAction::Broadcast {
-            wire: Wire::Aodv(AodvMessage::Data(DataPacket {
-                ttl: data.ttl - 1,
-                ..data
-            })),
-        }]
+        self.stack.tick(now, hello_interval)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blackhole::AttackerEvent;
+    use blackdp::{BlackDpMessage, Sealed};
+    use blackdp_aodv::{DataPacket, Message as AodvMessage, Rreq};
     use blackdp_crypto::{LongTermId, TaId, TrustedAuthority};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn grayhole(drop_probability: f64) -> GrayHole {
         let mut rng = StdRng::seed_from_u64(17);
@@ -492,5 +399,43 @@ mod tests {
             })
             .expect("answers the probe");
         assert!(forged.dest_seq > 251, "the AODV violation BlackDP confirms");
+    }
+
+    #[test]
+    fn probe_swallow_still_emits_the_event() {
+        // With forward_probes off the probe dies with a SwallowedProbe
+        // event and no RNG draw — identical to the black hole's swallow.
+        let mut gh = grayhole(0.5);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut ta = TrustedAuthority::new(TaId(9), &mut rng);
+        let prober_keys = Keypair::generate(&mut rng);
+        let prober_cert = ta.enroll(
+            LongTermId(1),
+            prober_keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut rng,
+        );
+        let probe = Sealed::seal(
+            blackdp::HelloProbe {
+                probe_id: 3,
+                src: Addr(1),
+                dest: Addr(7),
+                ttl: 10,
+            },
+            prober_cert,
+            None,
+            &prober_keys,
+            &mut rng,
+        );
+        let actions = gh.handle_wire(
+            Addr(1),
+            &Wire::BlackDp(BlackDpMessage::HelloProbe(probe)),
+            Time::ZERO,
+        );
+        assert_eq!(
+            actions,
+            vec![AttackerAction::Event(AttackerEvent::SwallowedProbe)]
+        );
     }
 }

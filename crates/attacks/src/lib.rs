@@ -22,7 +22,14 @@
 #![warn(missing_docs)]
 
 mod blackhole;
+pub mod forge;
 mod grayhole;
+pub mod middleware;
 
 pub use blackhole::{AttackerAction, AttackerConfig, AttackerEvent, BlackHole, EvasionPolicy};
+pub use forge::{forge_rrep, ForgeParams};
 pub use grayhole::{GrayHole, GrayHoleConfig};
+pub use middleware::{
+    AttackerCore, AttackerStack, DropData, Evasion, FakeHelloReply, ForgeRrep, Intercept,
+    Interceptor,
+};

@@ -1,0 +1,542 @@
+//! Attacker behaviours as middleware interceptors over an honest base.
+//!
+//! The honest part of an attacker — terminating traffic addressed to
+//! itself, learning sequence numbers from overheard packets, beaconing
+//! hellos, tracking its cluster — lives in [`AttackerCore`]. Everything
+//! *malicious* is an [`Interceptor`] layered in front of it:
+//!
+//! * [`Evasion`] — dormancy: act like an honest router while detection is
+//!   suspected (reflood RREQs instead of forging).
+//! * [`ForgeRrep`] — route capture: answer transit RREQs with a forged,
+//!   *signed* RREP escalated past every sequence number seen.
+//! * [`DropData`] — the hole itself: unconditionally ([`DropData::blackhole`])
+//!   or probabilistically ([`DropData::grayhole`]) discard transit data,
+//!   re-broadcasting the remainder as camouflage.
+//! * [`FakeHelloReply`] — the "anonymity response": answer end-to-end
+//!   Hello probes while claiming to be the destination.
+//!
+//! An [`AttackerStack`] drives a chain of interceptors in order; the
+//! first one to return [`Intercept::Handled`] consumes the packet. The
+//! classic attackers are just compositions: a black hole is
+//! `[Evasion, ForgeRrep, DropData::blackhole(), FakeHelloReply]`, a gray
+//! hole is `[ForgeRrep, DropData::grayhole(p, …)]` — and novel variants
+//! (a cooperative gray hole with evasion, say) need no new node type.
+
+use blackdp::{addr_of, BlackDpMessage, HelloReply, RrepBody, Sealed, SignBytes, Wire};
+use blackdp_aodv::{Addr, Hello, Message as AodvMessage, Rreq, SeqNo};
+use blackdp_crypto::{Certificate, Keypair, PseudonymId};
+use blackdp_mobility::ClusterId;
+use blackdp_sim::{Duration, Time};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::blackhole::{AttackerAction, AttackerEvent};
+use crate::forge::{forge_rrep, ForgeParams};
+
+/// The honest substrate every attacker shares: credential, cluster
+/// membership, the sequence-number gossip an AODV node passively learns,
+/// the hello beacon, and the metric counters interceptors report into.
+#[derive(Debug)]
+pub struct AttackerCore {
+    keys: Keypair,
+    cert: Certificate,
+    cluster: Option<ClusterId>,
+    highest_seen: SeqNo,
+    dormant: bool,
+    seq_counter: SeqNo,
+    last_hello: Option<Time>,
+    dropped: u64,
+    forwarded: u64,
+    lured: u64,
+    rng: StdRng,
+}
+
+impl AttackerCore {
+    fn new(keys: Keypair, cert: Certificate, seed: u64) -> Self {
+        AttackerCore {
+            keys,
+            cert,
+            cluster: None,
+            highest_seen: 0,
+            dormant: false,
+            seq_counter: 0,
+            last_hello: None,
+            dropped: 0,
+            forwarded: 0,
+            lured: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The attacker's current protocol address (its pseudonym).
+    pub fn addr(&self) -> Addr {
+        addr_of(self.cert.pseudonym)
+    }
+
+    /// The attacker's current pseudonym.
+    pub fn pseudonym(&self) -> PseudonymId {
+        self.cert.pseudonym
+    }
+
+    /// The (valid, compromised-insider) certificate.
+    pub fn cert(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// The signing keys matching [`Self::cert`].
+    pub fn keys(&self) -> &Keypair {
+        &self.keys
+    }
+
+    /// The cluster learned from the latest JREP.
+    pub fn cluster(&self) -> Option<ClusterId> {
+        self.cluster
+    }
+
+    /// Records the cluster (JREP from the scenario's membership shell).
+    pub fn set_cluster(&mut self, cluster: Option<ClusterId>) {
+        self.cluster = cluster;
+    }
+
+    /// True while the attacker is acting legitimately.
+    pub fn is_dormant(&self) -> bool {
+        self.dormant
+    }
+
+    /// Puts the attacker to sleep or wakes it (the `ActLegitimately`
+    /// evasion, driven by the host node in the renewal zone).
+    pub fn set_dormant(&mut self, dormant: bool) {
+        self.dormant = dormant;
+    }
+
+    /// Swaps in a renewed identity (`RenewIdentity` evasion).
+    pub fn renew_identity(&mut self, keys: Keypair, cert: Certificate) {
+        self.keys = keys;
+        self.cert = cert;
+    }
+
+    /// The highest destination sequence number observed (or claimed) so
+    /// far, escalated by [`ForgeRrep`].
+    pub fn highest_seen(&self) -> SeqNo {
+        self.highest_seen
+    }
+
+    /// Mutable handle for interceptors that escalate the forged floor.
+    pub fn highest_seen_mut(&mut self) -> &mut SeqNo {
+        &mut self.highest_seen
+    }
+
+    /// Transit data packets discarded so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Transit packets deliberately forwarded (gray-hole camouflage).
+    pub fn forwarded_count(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Victims lured with forged RREPs so far.
+    pub fn lured_count(&self) -> u64 {
+        self.lured
+    }
+
+    /// Records a discarded transit packet.
+    pub fn note_dropped(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Records a camouflage forward.
+    pub fn note_forwarded(&mut self) {
+        self.forwarded += 1;
+    }
+
+    /// Records a lured victim.
+    pub fn note_lured(&mut self) {
+        self.lured += 1;
+    }
+
+    /// Signs `body` with the attacker's own valid credential — the
+    /// signature verifies; only behaviour exposes the insider.
+    pub fn seal<T: SignBytes>(&mut self, body: T) -> Sealed<T> {
+        Sealed::seal(body, self.cert, self.cluster, &self.keys, &mut self.rng)
+    }
+
+    /// The attacker's deterministic RNG (drop lotteries etc.). Draw order
+    /// is part of the scenario's reproducibility contract.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Passive learning applied to every packet before the interceptor
+    /// chain runs: sequence-number gossip and JREP membership.
+    fn observe(&mut self, wire: &Wire) {
+        match wire {
+            Wire::Aodv(AodvMessage::Rreq(rreq)) => {
+                if let Some(ds) = rreq.dest_seq {
+                    self.highest_seen = self.highest_seen.max(ds);
+                }
+            }
+            Wire::Aodv(AodvMessage::Rrep(rrep)) | Wire::SecuredRrep { rrep, .. } => {
+                self.highest_seen = self.highest_seen.max(rrep.dest_seq);
+            }
+            Wire::Aodv(AodvMessage::Hello(h)) => {
+                self.highest_seen = self.highest_seen.max(h.seq);
+            }
+            Wire::BlackDp(BlackDpMessage::Jrep { cluster, .. }) => {
+                self.cluster = Some(*cluster);
+            }
+            _ => {}
+        }
+    }
+
+    /// True when the packet terminates at this node as genuine endpoint
+    /// traffic — the honest stack consumes it and no interceptor runs.
+    fn terminates_here(&self, wire: &Wire) -> bool {
+        let me = self.addr();
+        match wire {
+            Wire::Aodv(AodvMessage::Rreq(rreq)) => rreq.dest == me || rreq.orig == me,
+            Wire::Aodv(AodvMessage::Data(data)) => data.dest == me,
+            Wire::BlackDp(BlackDpMessage::HelloProbe(sealed)) => sealed.body.dest == me,
+            _ => false,
+        }
+    }
+}
+
+/// What an interceptor did with a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intercept {
+    /// Not mine (or only annotated): pass to the next interceptor.
+    Continue,
+    /// Consumed: stop the chain.
+    Handled,
+}
+
+/// One middleware slot in an [`AttackerStack`].
+///
+/// Interceptors see every packet the honest base did not terminate, in
+/// chain order, and push their output actions onto `out`. Returning
+/// [`Intercept::Handled`] stops propagation.
+pub trait Interceptor: std::fmt::Debug {
+    /// A short stable name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Inspects (and possibly consumes) an incoming packet.
+    fn on_wire(
+        &mut self,
+        core: &mut AttackerCore,
+        from: Addr,
+        wire: &Wire,
+        now: Time,
+        out: &mut Vec<AttackerAction>,
+    ) -> Intercept;
+
+    /// Periodic hook, driven after the base hello beacon.
+    fn on_tick(&mut self, core: &mut AttackerCore, now: Time, out: &mut Vec<AttackerAction>) {
+        let _ = (core, now, out);
+    }
+}
+
+/// Dormancy middleware (`ActLegitimately`): while the host has put the
+/// core to sleep, transit RREQs are reflooded like an honest node with no
+/// route instead of being answered with forgeries.
+#[derive(Debug, Default)]
+pub struct Evasion;
+
+impl Interceptor for Evasion {
+    fn name(&self) -> &'static str {
+        "evasion"
+    }
+
+    fn on_wire(
+        &mut self,
+        core: &mut AttackerCore,
+        _from: Addr,
+        wire: &Wire,
+        _now: Time,
+        out: &mut Vec<AttackerAction>,
+    ) -> Intercept {
+        let Wire::Aodv(AodvMessage::Rreq(rreq)) = wire else {
+            return Intercept::Continue;
+        };
+        if !core.is_dormant() {
+            return Intercept::Continue;
+        }
+        out.push(AttackerAction::Event(AttackerEvent::WentDormant));
+        if rreq.ttl > 0 {
+            out.push(AttackerAction::Broadcast {
+                wire: Wire::Aodv(AodvMessage::Rreq(Rreq {
+                    hop_count: rreq.hop_count.saturating_add(1),
+                    ttl: rreq.ttl - 1,
+                    ..*rreq
+                })),
+            });
+        }
+        Intercept::Handled
+    }
+}
+
+/// Route-capture middleware: answer any transit RREQ immediately with a
+/// forged, signed RREP (see [`crate::forge`]). On a next-hop inquiry the
+/// cooperative primary discloses its `teammate`; a lone attacker names
+/// itself.
+#[derive(Debug)]
+pub struct ForgeRrep {
+    params: ForgeParams,
+    teammate: Option<Addr>,
+}
+
+impl ForgeRrep {
+    /// Forging middleware with the given shape and optional teammate.
+    pub fn new(params: ForgeParams, teammate: Option<Addr>) -> Self {
+        ForgeRrep { params, teammate }
+    }
+}
+
+impl Interceptor for ForgeRrep {
+    fn name(&self) -> &'static str {
+        "forge-rrep"
+    }
+
+    fn on_wire(
+        &mut self,
+        core: &mut AttackerCore,
+        from: Addr,
+        wire: &Wire,
+        _now: Time,
+        out: &mut Vec<AttackerAction>,
+    ) -> Intercept {
+        let Wire::Aodv(AodvMessage::Rreq(rreq)) = wire else {
+            return Intercept::Continue;
+        };
+        let disclose = self.teammate.unwrap_or(core.addr());
+        let mut highest = core.highest_seen();
+        let rrep = forge_rrep(&self.params, &mut highest, rreq, disclose);
+        *core.highest_seen_mut() = highest;
+        let auth = core.seal(RrepBody(rrep));
+        core.note_lured();
+        out.push(AttackerAction::SendTo {
+            to: from,
+            wire: Wire::SecuredRrep { rrep, auth },
+        });
+        out.push(AttackerAction::Event(AttackerEvent::LuredVictim {
+            victim: rreq.orig,
+        }));
+        Intercept::Handled
+    }
+}
+
+/// The hole itself: discard transit data packets, and swallow end-to-end
+/// Hello probes (optionally forwarding some as gray-hole camouflage).
+#[derive(Debug)]
+pub struct DropData {
+    /// `None` drops unconditionally (black hole, no RNG draw); `Some(p)`
+    /// runs the gray hole's per-packet drop lottery.
+    probability: Option<f64>,
+    forward_probes: bool,
+}
+
+impl DropData {
+    /// The black hole: every transit data packet dies here, silently.
+    pub fn blackhole() -> Self {
+        DropData {
+            probability: None,
+            forward_probes: false,
+        }
+    }
+
+    /// The gray hole: drop with probability `p`, re-broadcast the rest as
+    /// camouflage; `forward_probes` extends the lottery to Hello probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn grayhole(p: f64, forward_probes: bool) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop_probability must be in [0, 1]"
+        );
+        DropData {
+            probability: Some(p),
+            forward_probes,
+        }
+    }
+}
+
+impl Interceptor for DropData {
+    fn name(&self) -> &'static str {
+        "drop-data"
+    }
+
+    fn on_wire(
+        &mut self,
+        core: &mut AttackerCore,
+        _from: Addr,
+        wire: &Wire,
+        _now: Time,
+        out: &mut Vec<AttackerAction>,
+    ) -> Intercept {
+        match wire {
+            Wire::Aodv(AodvMessage::Data(data)) => {
+                match self.probability {
+                    // Black hole: unconditional, drawless drop.
+                    None => {
+                        core.note_dropped();
+                        out.push(AttackerAction::Event(AttackerEvent::DroppedData(*data)));
+                    }
+                    Some(p) => {
+                        if core.rng().random::<f64>() < p {
+                            core.note_dropped();
+                            out.push(AttackerAction::Event(AttackerEvent::DroppedData(*data)));
+                            return Intercept::Handled;
+                        }
+                        // Camouflage: push the packet back into the network.
+                        core.note_forwarded();
+                        if data.ttl == 0 {
+                            core.note_dropped();
+                            out.push(AttackerAction::Event(AttackerEvent::DroppedData(*data)));
+                            return Intercept::Handled;
+                        }
+                        out.push(AttackerAction::Broadcast {
+                            wire: Wire::Aodv(AodvMessage::Data(blackdp_aodv::DataPacket {
+                                ttl: data.ttl - 1,
+                                ..*data
+                            })),
+                        });
+                    }
+                }
+                Intercept::Handled
+            }
+            Wire::BlackDp(BlackDpMessage::HelloProbe(_)) => {
+                if let Some(p) = self.probability {
+                    if self.forward_probes && core.rng().random::<f64>() >= p {
+                        core.note_forwarded();
+                        out.push(AttackerAction::Broadcast { wire: wire.clone() });
+                        return Intercept::Handled;
+                    }
+                }
+                // The probe dies here; a later FakeHelloReply slot may
+                // still answer it with a lie, so the chain continues.
+                out.push(AttackerAction::Event(AttackerEvent::SwallowedProbe));
+                Intercept::Continue
+            }
+            _ => Intercept::Continue,
+        }
+    }
+}
+
+/// The "anonymity response": answer a swallowed Hello probe with a reply
+/// that claims to be the destination, signed with the attacker's own
+/// credential — valid signature, wrong signer, which is exactly what the
+/// verifier catches.
+#[derive(Debug, Default)]
+pub struct FakeHelloReply;
+
+impl Interceptor for FakeHelloReply {
+    fn name(&self) -> &'static str {
+        "fake-hello-reply"
+    }
+
+    fn on_wire(
+        &mut self,
+        core: &mut AttackerCore,
+        from: Addr,
+        wire: &Wire,
+        _now: Time,
+        out: &mut Vec<AttackerAction>,
+    ) -> Intercept {
+        let Wire::BlackDp(BlackDpMessage::HelloProbe(sealed)) = wire else {
+            return Intercept::Continue;
+        };
+        if core.is_dormant() {
+            return Intercept::Handled;
+        }
+        let reply = HelloReply {
+            probe_id: sealed.body.probe_id,
+            src: sealed.body.dest, // the lie
+            dest: sealed.body.src,
+            ttl: 16,
+        };
+        let sealed_reply = core.seal(reply);
+        out.push(AttackerAction::SendTo {
+            to: from,
+            wire: Wire::BlackDp(BlackDpMessage::HelloReply(sealed_reply)),
+        });
+        Intercept::Handled
+    }
+}
+
+/// An honest base plus a chain of malicious interceptors: the whole
+/// attacker, expressed as middleware composition.
+#[derive(Debug)]
+pub struct AttackerStack {
+    core: AttackerCore,
+    chain: Vec<Box<dyn Interceptor>>,
+}
+
+impl AttackerStack {
+    /// Builds a stack from a credential and an interceptor chain.
+    pub fn new(
+        keys: Keypair,
+        cert: Certificate,
+        seed: u64,
+        chain: Vec<Box<dyn Interceptor>>,
+    ) -> Self {
+        AttackerStack {
+            core: AttackerCore::new(keys, cert, seed),
+            chain,
+        }
+    }
+
+    /// The shared honest substrate.
+    pub fn core(&self) -> &AttackerCore {
+        &self.core
+    }
+
+    /// Mutable access to the substrate (host membership shells record
+    /// clusters and renewed identities here).
+    pub fn core_mut(&mut self) -> &mut AttackerCore {
+        &mut self.core
+    }
+
+    /// Processes an incoming packet: passive learning, honest endpoint
+    /// termination, then the interceptor chain in order.
+    pub fn handle_wire(&mut self, from: Addr, wire: &Wire, now: Time) -> Vec<AttackerAction> {
+        self.core.observe(wire);
+        let mut out = Vec::new();
+        if self.core.terminates_here(wire) {
+            return out;
+        }
+        for interceptor in &mut self.chain {
+            if interceptor.on_wire(&mut self.core, from, wire, now, &mut out) == Intercept::Handled
+            {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Periodic behaviour: beacon hellos like a legitimate node so
+    /// neighbors keep routing through us, then tick the chain.
+    pub fn tick(&mut self, now: Time, hello_interval: Duration) -> Vec<AttackerAction> {
+        let mut out = Vec::new();
+        let due = match self.core.last_hello {
+            None => true,
+            Some(t) => now.saturating_since(t) >= hello_interval,
+        };
+        if due {
+            self.core.last_hello = Some(now);
+            self.core.seq_counter += 1;
+            out.push(AttackerAction::Broadcast {
+                wire: Wire::Aodv(AodvMessage::Hello(Hello {
+                    orig: self.core.addr(),
+                    seq: self.core.seq_counter,
+                })),
+            });
+        }
+        for interceptor in &mut self.chain {
+            interceptor.on_tick(&mut self.core, now, &mut out);
+        }
+        out
+    }
+}

@@ -413,12 +413,13 @@ impl ClusterHead {
                 // requests — the peer's verification table dedups any that
                 // in fact survived, and its post-restart grace parks them
                 // until the suspect re-registers.
-                let forwarded: Vec<(Addr, Option<ClusterId>, Vec<(PseudonymId, ClusterId)>)> =
-                    self.verification
-                        .iter()
-                        .filter(|e| matches!(e.status, VerStatus::Forwarded { to } if to == cluster))
-                        .map(|e| (e.suspect, e.suspect_cluster, e.reporters.clone()))
-                        .collect();
+                type ReplayEntry = (Addr, Option<ClusterId>, Vec<(PseudonymId, ClusterId)>);
+                let forwarded: Vec<ReplayEntry> = self
+                    .verification
+                    .iter()
+                    .filter(|e| matches!(e.status, VerStatus::Forwarded { to } if to == cluster))
+                    .map(|e| (e.suspect, e.suspect_cluster, e.reporters.clone()))
+                    .collect();
                 let mut actions = Vec::new();
                 for (suspect, suspect_cluster, reporters) in forwarded {
                     let Some(&(reporter, reporter_cluster)) = reporters.first() else {

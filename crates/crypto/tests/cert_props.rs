@@ -150,7 +150,7 @@ proptest! {
         // Revoke and distribute the notice.
         let revocation = ta.revoke(cert.pseudonym).expect("revoke");
         let mut blacklist = RevocationList::default();
-        blacklist.insert(revocation.notice.clone());
+        blacklist.insert(revocation.notice);
 
         // The cached signature verdict is still (correctly) "good"…
         prop_assert!(cert.verify(key, Time::ZERO).is_ok());

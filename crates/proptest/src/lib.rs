@@ -529,7 +529,7 @@ mod tests {
         /// The macro itself: bindings, asserts, config all work.
         #[test]
         fn macro_smoke(a in any::<u64>(), b in 1u64..100, flag in any::<bool>()) {
-            prop_assert!(b >= 1 && b < 100);
+            prop_assert!((1..100).contains(&b));
             prop_assert_eq!(a, a);
             prop_assert_ne!(b, 0, "b must be positive, got {}", b);
             let _ = flag;

@@ -2,18 +2,20 @@
 
 use blackdp::{addr_of, AuthorityNode, ChEvent, ClusterHead, DetectionOutcome, TaEvent};
 use blackdp_aodv::Addr;
-use blackdp_attacks::{AttackerConfig, BlackHole};
+use blackdp_attacks::{
+    AttackerConfig, AttackerStack, DropData, Evasion, FakeHelloReply, ForgeRrep, GrayHoleConfig,
+    Interceptor,
+};
 use blackdp_crypto::{Keypair, LongTermId, TaId, TrustedAuthority};
 use blackdp_mobility::{random_position_in_cluster, ClusterId, ClusterPlan, Direction, Trajectory};
 use blackdp_sim::{Duration, NodeId, Position, Time, World, WorldConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::attacker_node::{AttackerNode, AttackerNodeConfig};
 use crate::config::{AttackSetup, ScenarioConfig, TrialSpec};
 use crate::directory::WiredDirectory;
 use crate::frame::{Frame, Tick};
-use crate::grayhole_node::GrayHoleNode;
+use crate::malicious_node::{MaliciousNode, MaliciousNodeConfig, MaliciousProfile};
 use crate::metrics::{TrialClass, TrialOutcome};
 use crate::rsu_node::RsuNode;
 use crate::ta_node::TaNode;
@@ -293,8 +295,12 @@ pub fn build_scenario(cfg: &ScenarioConfig, spec: &TrialSpec) -> BuiltScenario {
     let source = vehicles[0];
     let dest = spec.dest_cluster.map(|_| vehicles[1]);
 
-    // --- Spawn attackers. ---
-    let cooperative = matches!(spec.attack, AttackSetup::Cooperative { .. });
+    // --- Spawn attackers: each is an interceptor chain over the honest
+    // --- AttackerCore, inside the shared MaliciousNode shell.
+    let cooperative = matches!(
+        spec.attack,
+        AttackSetup::Cooperative { .. } | AttackSetup::CooperativeGrayHole { .. }
+    );
     let teammate_addr = cooperative
         .then(|| attacker_plans.get(1).map(|p| addr_of(p.cert.pseudonym)))
         .flatten();
@@ -303,57 +309,96 @@ pub fn build_scenario(cfg: &ScenarioConfig, spec: &TrialSpec) -> BuiltScenario {
         .flatten();
     let mut attackers = Vec::new();
     for (i, p) in attacker_plans.into_iter().enumerate() {
-        if let AttackSetup::GrayHole {
-            drop_probability, ..
-        } = spec.attack
-        {
-            let gh = blackdp_attacks::GrayHole::new(
-                p.keys,
-                p.cert,
-                blackdp_attacks::GrayHoleConfig {
-                    drop_probability,
-                    ..blackdp_attacks::GrayHoleConfig::default()
-                },
-                spec.seed.wrapping_add(700 + i as u64),
-            );
-            let node = GrayHoleNode::new(
-                gh,
-                p.trajectory,
-                plan.clone(),
-                cfg.tick,
-                cfg.aodv.hello_interval,
-                spec.seed.wrapping_add(800 + i as u64),
-            );
-            attackers.push(world.spawn(Box::new(node)));
-            continue;
-        }
+        let issuer = TaId(p.region as u32 + 1);
+        let brain_seed = spec.seed.wrapping_add(700 + i as u64);
+        let node_seed = spec.seed.wrapping_add(800 + i as u64);
         let teammate = if i == 0 { teammate_addr } else { primary_addr };
-        let attack_cfg = AttackerConfig {
-            teammate,
-            evasion: spec.evasion,
-            fake_hello_reply: spec.attacker_fake_hello,
-            ..AttackerConfig::default()
+        let (chain, node_cfg): (Vec<Box<dyn Interceptor>>, MaliciousNodeConfig) = match spec.attack
+        {
+            AttackSetup::GrayHole {
+                drop_probability, ..
+            } => {
+                let gh_cfg = GrayHoleConfig {
+                    drop_probability,
+                    ..GrayHoleConfig::default()
+                };
+                (
+                    vec![
+                        Box::new(ForgeRrep::new(gh_cfg.forge_params(), None)),
+                        Box::new(DropData::grayhole(
+                            gh_cfg.drop_probability,
+                            gh_cfg.forward_probes,
+                        )),
+                    ],
+                    MaliciousNodeConfig {
+                        tick: cfg.tick,
+                        hello_interval: cfg.aodv.hello_interval,
+                        ..MaliciousNodeConfig::gray_hole(issuer)
+                    },
+                )
+            }
+            AttackSetup::CooperativeGrayHole {
+                drop_probability, ..
+            } => {
+                // The composed variant: cooperative endorsement + gray-hole
+                // dropping + evasion, with the black hole's probe hooks so
+                // Flee/move manoeuvres work.
+                let gh_cfg = GrayHoleConfig {
+                    drop_probability,
+                    ..GrayHoleConfig::default()
+                };
+                (
+                    vec![
+                        Box::new(Evasion),
+                        Box::new(ForgeRrep::new(gh_cfg.forge_params(), teammate)),
+                        Box::new(DropData::grayhole(
+                            gh_cfg.drop_probability,
+                            gh_cfg.forward_probes,
+                        )),
+                    ],
+                    MaliciousNodeConfig {
+                        tick: cfg.tick,
+                        hello_interval: cfg.aodv.hello_interval,
+                        renewal_zone: cfg.renewal_zone,
+                        evasion: spec.evasion,
+                        profile: MaliciousProfile {
+                            probe_hooks: true,
+                            ..MaliciousProfile::GRAY_HOLE
+                        },
+                        ..MaliciousNodeConfig::gray_hole(issuer)
+                    },
+                )
+            }
+            _ => {
+                let attack_cfg = AttackerConfig {
+                    teammate,
+                    evasion: spec.evasion,
+                    fake_hello_reply: spec.attacker_fake_hello,
+                    ..AttackerConfig::default()
+                };
+                let mut chain: Vec<Box<dyn Interceptor>> = vec![
+                    Box::new(Evasion),
+                    Box::new(ForgeRrep::new(attack_cfg.forge_params(), attack_cfg.teammate)),
+                    Box::new(DropData::blackhole()),
+                ];
+                if attack_cfg.fake_hello_reply {
+                    chain.push(Box::new(FakeHelloReply));
+                }
+                (
+                    chain,
+                    MaliciousNodeConfig {
+                        tick: cfg.tick,
+                        hello_interval: cfg.aodv.hello_interval,
+                        renewal_zone: cfg.renewal_zone,
+                        move_after_probe: spec.attacker_moves && i == 0,
+                        evasion: spec.evasion,
+                        ..MaliciousNodeConfig::black_hole(issuer)
+                    },
+                )
+            }
         };
-        let bh = BlackHole::new(
-            p.keys,
-            p.cert,
-            attack_cfg,
-            spec.seed.wrapping_add(700 + i as u64),
-        );
-        let node_cfg = AttackerNodeConfig {
-            tick: cfg.tick,
-            hello_interval: cfg.aodv.hello_interval,
-            renewal_zone: cfg.renewal_zone,
-            move_after_probe: spec.attacker_moves && i == 0,
-        };
-        let node = AttackerNode::new(
-            bh,
-            p.trajectory,
-            plan.clone(),
-            TaId(p.region as u32 + 1),
-            node_cfg,
-            spec.seed.wrapping_add(800 + i as u64),
-        );
+        let stack = AttackerStack::new(p.keys, p.cert, brain_seed, chain);
+        let node = MaliciousNode::new(stack, p.trajectory, plan.clone(), node_cfg, node_seed);
         attackers.push(world.spawn(Box::new(node)));
     }
 
@@ -468,10 +513,8 @@ pub fn harvest(cfg: &ScenarioConfig, spec: &TrialSpec, built: &BuiltScenario) ->
     // Attacker address histories (identity renewal included).
     let mut attacker_addrs: Vec<Addr> = Vec::new();
     for &a in &built.attackers {
-        if let Some(node) = world.get::<AttackerNode>(a) {
+        if let Some(node) = world.get::<MaliciousNode>(a) {
             attacker_addrs.extend_from_slice(node.addr_history());
-        } else if let Some(node) = world.get::<GrayHoleNode>(a) {
-            attacker_addrs.push(node.addr());
         }
     }
     let is_attacker = |addr: Addr| attacker_addrs.contains(&addr);
@@ -580,9 +623,8 @@ pub fn harvest(cfg: &ScenarioConfig, spec: &TrialSpec, built: &BuiltScenario) ->
         .iter()
         .map(|&a| {
             world
-                .get::<AttackerNode>(a)
+                .get::<MaliciousNode>(a)
                 .map(|n| n.dropped_count())
-                .or_else(|| world.get::<GrayHoleNode>(a).map(|n| n.dropped_count()))
                 .unwrap_or(0)
         })
         .sum();

@@ -170,6 +170,17 @@ pub enum AttackSetup {
         /// Probability of dropping each transit data packet.
         drop_probability: f64,
     },
+    /// Two cooperating *gray* holes in the given cluster: the cooperative
+    /// next-hop endorsement of [`AttackSetup::Cooperative`] combined with
+    /// probabilistic dropping, plus whatever renewal-zone evasion the
+    /// trial's [`TrialSpec::evasion`] selects. A composed attacker the
+    /// middleware stack expresses without a dedicated node type.
+    CooperativeGrayHole {
+        /// The attackers' starting cluster.
+        cluster: u32,
+        /// Probability of dropping each transit data packet.
+        drop_probability: f64,
+    },
     /// Several *independent* single black holes, one per listed cluster
     /// (the paper: "there may be multiple black hole attackers in the
     /// network"). Up to four; zero entries in the array are ignored.
@@ -185,7 +196,7 @@ impl AttackSetup {
         match self {
             AttackSetup::None | AttackSetup::FalseSuspicion { .. } => 0,
             AttackSetup::Single { .. } | AttackSetup::GrayHole { .. } => 1,
-            AttackSetup::Cooperative { .. } => 2,
+            AttackSetup::Cooperative { .. } | AttackSetup::CooperativeGrayHole { .. } => 2,
             AttackSetup::MultipleSingles { clusters } => {
                 clusters.iter().filter(|&&c| c > 0).count() as u32
             }
@@ -197,7 +208,8 @@ impl AttackSetup {
         match self {
             AttackSetup::Single { cluster }
             | AttackSetup::Cooperative { cluster }
-            | AttackSetup::GrayHole { cluster, .. } => Some(*cluster),
+            | AttackSetup::GrayHole { cluster, .. }
+            | AttackSetup::CooperativeGrayHole { cluster, .. } => Some(*cluster),
             AttackSetup::MultipleSingles { clusters } => clusters.iter().copied().find(|&c| c > 0),
             _ => None,
         }
@@ -210,7 +222,10 @@ impl AttackSetup {
             AttackSetup::Single { cluster } | AttackSetup::GrayHole { cluster, .. } => {
                 vec![*cluster]
             }
-            AttackSetup::Cooperative { cluster } => vec![*cluster, *cluster],
+            AttackSetup::Cooperative { cluster }
+            | AttackSetup::CooperativeGrayHole { cluster, .. } => {
+                vec![*cluster, *cluster]
+            }
             AttackSetup::MultipleSingles { clusters } => {
                 clusters.iter().copied().filter(|&c| c > 0).collect()
             }

@@ -495,7 +495,7 @@ pub fn congestion_dedup(
                 built.world.run_until(Time::from_secs(2));
                 let suspect = built
                     .world
-                    .get::<crate::attacker_node::AttackerNode>(built.attackers[0])
+                    .get::<crate::malicious_node::MaliciousNode>(built.attackers[0])
                     .map(|a| a.addr())
                     .expect("attacker");
                 let suspect_cluster = Some(blackdp_mobility::ClusterId(2));

@@ -56,7 +56,7 @@ pub struct FuzzCase {
     /// Application packets the source sends.
     pub data_packets: u32,
     /// Attack family: 0 none, 1 false-suspicion, 2 single, 3 cooperative,
-    /// 4 gray hole, 5 multiple singles.
+    /// 4 gray hole, 5 multiple singles, 6 cooperative gray hole.
     pub attack_kind: u8,
     /// First attack parameter (cluster; for false-suspicion, 1 =
     /// cross-cluster).
@@ -122,6 +122,10 @@ impl FuzzCase {
                     ],
                 }
             }
+            6 => AttackSetup::CooperativeGrayHole {
+                cluster: c(self.attack_a),
+                drop_probability: f64::from(self.attack_b.min(100)) / 100.0,
+            },
             _ => AttackSetup::None,
         }
     }
@@ -291,7 +295,7 @@ impl FuzzCase {
             vehicles: rng.random_range(10..=60),
             sim_secs: rng.random_range(10..=25),
             data_packets: rng.random_range(2..=20),
-            attack_kind: rng.random_range(0..=5),
+            attack_kind: rng.random_range(0..=6),
             attack_a: rng.random_range(1..=CLUSTERS),
             attack_b: rng.random_range(0..=100),
             attack_c: rng.random_range(0..=CLUSTERS),
@@ -327,7 +331,7 @@ impl FuzzCase {
             match rng.random_range(0..13u32) {
                 0 => next.seed = rng.random(),
                 1 => next.vehicles = rng.random_range(10..=60),
-                2 => next.attack_kind = rng.random_range(0..=5),
+                2 => next.attack_kind = rng.random_range(0..=6),
                 3 => next.attack_a = rng.random_range(1..=CLUSTERS),
                 4 => next.attack_b = rng.random_range(0..=100),
                 5 => next.evasion = rng.random_range(0..=3),
@@ -541,13 +545,13 @@ pub fn metamorphic_failures(case: &FuzzCase, report: &CaseReport) -> Vec<String>
 
     // FP stays zero without attackers: nothing may ever be confirmed in
     // an attacker-free world, faults and bad radio included.
-    if case.attack_kind == 0 {
-        if outcome.honest_confirmed || outcome.class == TrialClass::FalsePositive {
-            failures.push(format!(
-                "false positive in attacker-free run: class {:?}",
-                outcome.class
-            ));
-        }
+    if case.attack_kind == 0
+        && (outcome.honest_confirmed || outcome.class == TrialClass::FalsePositive)
+    {
+        failures.push(format!(
+            "false positive in attacker-free run: class {:?}",
+            outcome.class
+        ));
     }
 
     // Adding a black hole never increases PDR — on the *undefended* data

@@ -9,7 +9,7 @@
 //!
 //! The crate provides four node types implementing the simulator's
 //! [`Node`](blackdp_sim::Node) trait — honest [`VehicleNode`], malicious
-//! [`AttackerNode`], roadside [`RsuNode`], and off-road [`TaNode`] — plus
+//! [`MaliciousNode`], roadside [`RsuNode`], and off-road [`TaNode`] — plus
 //! a scenario builder, a trial runner with outcome harvesting, and the
 //! experiment drivers that regenerate the paper's Figure 4 and Figure 5.
 //!
@@ -29,7 +29,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod attacker_node;
 mod build;
 mod config;
 mod directory;
@@ -37,17 +36,17 @@ mod experiment;
 mod faults;
 mod frame;
 mod fuzz;
-mod grayhole_node;
 mod invariants;
 mod journal;
+mod malicious_node;
 mod metrics;
 mod parallel;
 mod rsu_node;
+pub mod stack;
 mod ta_node;
 mod trace;
 mod vehicle;
 
-pub use attacker_node::{AttackerNode, AttackerNodeConfig};
 pub use build::{build_scenario, harvest, run_trial, BuiltScenario};
 pub use config::{ch_addr, far_destination, AttackSetup, ScenarioConfig, TrialSpec, CH_ADDR_BASE};
 pub use directory::WiredDirectory;
@@ -63,12 +62,12 @@ pub use faults::{
 };
 pub use frame::{broadcast_wire, send_wire, Frame, L2Cache, Tick};
 pub use fuzz::{metamorphic_failures, run_case, CaseReport, FuzzCase, CORPUS_TAG};
-pub use grayhole_node::GrayHoleNode;
 pub use invariants::{
     attach_invariants, standard_invariants, CertAcceptance, IsolationPermanence, NoSelfDelivery,
     PacketConservation, RadioRangeCheck, RreqIdMonotonic,
 };
 pub use journal::{attach_journal, FrameJournal, JournalEntry, JournalHandle};
+pub use malicious_node::{MaliciousNode, MaliciousNodeConfig, MaliciousProfile};
 pub use metrics::{wilson_half_width, RateSummary, TrialClass, TrialOutcome};
 pub use parallel::{parallel_map, parallel_map_with, worker_count};
 pub use rsu_node::RsuNode;

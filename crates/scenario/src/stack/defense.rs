@@ -1,0 +1,538 @@
+//! The route-defense slot of the vehicle stack.
+//!
+//! Every defense the reproduction compares — the paper's BlackDP protocol
+//! and the related-work baselines from `blackdp-baselines` — plugs into
+//! the same slot between routing and traffic, as a [`RouteDefense`] trait
+//! object. The stack driver consults the defense at seven well-defined
+//! points (see the trait methods); each implementation fills in only the
+//! hooks its scheme uses, so swapping `defense` in [`VehicleConfig`]
+//! swaps the whole scheme without touching any other layer.
+
+use std::collections::HashMap;
+
+use blackdp::{DReq, HelloReply, RouteAuth, Sealed, SourceVerifier, VerifierAction};
+use blackdp_aodv::{Addr, Rrep};
+use blackdp_baselines::{FirstRrepComparator, PeakDetector, RrepJudge, ThresholdDetector, Verdict};
+use blackdp_crypto::{PseudonymId, PublicKey};
+use blackdp_mobility::ClusterId;
+use blackdp_sim::{Duration, Time};
+
+use super::routing::Routing;
+use super::{RouteFingerprint, VehicleConfig};
+
+/// Which route-acceptance defense the vehicle runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefenseMode {
+    /// The paper's protocol: secure RREPs, Hello probes, RSU detection.
+    BlackDp,
+    /// Jaiswal-style first-RREP comparison (collect window then judge).
+    BaselineFirstRrep,
+    /// Jhaveri-style dynamic PEAK bound.
+    BaselinePeak,
+    /// Tan-style static sequence-number threshold.
+    BaselineThreshold,
+    /// No defense: accept the freshest RREP blindly (plain AODV).
+    None,
+}
+
+impl DefenseMode {
+    /// Instantiates the defense implementation for this mode.
+    pub fn build(
+        self,
+        cfg: &VehicleConfig,
+        ta_key: PublicKey,
+        identity: PseudonymId,
+    ) -> Box<dyn RouteDefense> {
+        match self {
+            DefenseMode::BlackDp => Box::new(BlackDpDefense::new(cfg, ta_key, identity)),
+            DefenseMode::BaselineFirstRrep => {
+                Box::new(FirstRrepDefense::new(cfg.first_rrep_window))
+            }
+            DefenseMode::BaselinePeak => Box::new(PeakDefense::new()),
+            DefenseMode::BaselineThreshold => Box::new(ThresholdDefense::new()),
+            DefenseMode::None => Box::new(NoDefense),
+        }
+    }
+}
+
+/// An effect requested by the defense, executed by the stack driver (the
+/// defense itself is sans-io and never touches the radio or the RNG).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefenseAction {
+    /// Seal and route this Hello probe toward its destination.
+    SendProbe(blackdp::HelloProbe),
+    /// Tear down the unverified route and rerun AODV route discovery.
+    RestartDiscovery {
+        /// The destination to rediscover.
+        dest: Addr,
+    },
+    /// Begin a route discovery without invalidating existing state (used
+    /// when a traffic intent has no route at all yet).
+    StartDiscovery {
+        /// The destination to discover.
+        dest: Addr,
+    },
+    /// Seal this detection request and send it to the cluster head.
+    Report(DReq),
+    /// The route to `dest` is authenticated; record its fingerprint.
+    Verified {
+        /// The verified destination.
+        dest: Addr,
+    },
+    /// Verification could not complete; the attack — if any — was
+    /// prevented but nothing is reportable.
+    GaveUp {
+        /// The abandoned destination.
+        dest: Addr,
+    },
+}
+
+/// Lifts the sans-io verifier's actions into stack-level effects.
+fn lift(actions: Vec<VerifierAction>) -> Vec<DefenseAction> {
+    actions
+        .into_iter()
+        .map(|a| match a {
+            VerifierAction::SendProbe(p) => DefenseAction::SendProbe(p),
+            VerifierAction::RestartDiscovery { dest } => DefenseAction::RestartDiscovery { dest },
+            VerifierAction::Report(d) => DefenseAction::Report(d),
+            VerifierAction::Verified { dest } => DefenseAction::Verified { dest },
+            VerifierAction::GaveUp { dest } => DefenseAction::GaveUp { dest },
+        })
+        .collect()
+}
+
+/// The defense's verdict on an inbound RREP, before AODV sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RrepVerdict {
+    /// Hand the reply down to routing immediately.
+    Deliver,
+    /// Drop the reply and locally blacklist the judged sender.
+    Reject {
+        /// The identity the verdict is charged to (the envelope signer
+        /// when present, else the relaying neighbor).
+        judged: Addr,
+    },
+    /// The reply was absorbed into a collection window; it may be
+    /// delivered later by [`RouteDefense::conclude_window`].
+    Buffered,
+}
+
+/// The outcome of a closed first-RREP collection window.
+#[derive(Debug)]
+pub struct WindowConclusion {
+    /// The sender judged malicious, if any.
+    pub suspect: Option<Addr>,
+    /// Surviving buffered replies in arrival order, already filtered by
+    /// the judged identity: `(relaying neighbor, reply, envelope)`.
+    pub deliver: Vec<(Addr, Rrep, Option<RouteAuth>)>,
+}
+
+/// The pluggable route-acceptance defense.
+///
+/// The stack driver calls these hooks at fixed points; default
+/// implementations are no-ops so each scheme overrides only what it uses:
+///
+/// * [`intercept_rrep`](RouteDefense::intercept_rrep) — every inbound
+///   RREP, before routing (Peak/Threshold judge here; first-RREP
+///   buffers here).
+/// * [`on_rrep_installed`](RouteDefense::on_rrep_installed) — after AODV
+///   accepted a reply (BlackDP starts its verification ladder here).
+/// * [`traffic_ready`](RouteDefense::traffic_ready) /
+///   [`kick`](RouteDefense::kick) — gate and un-stall application
+///   traffic.
+/// * [`tick`](RouteDefense::tick) /
+///   [`conclude_window`](RouteDefense::conclude_window) — the defense's
+///   two slots in the periodic tick schedule.
+pub trait RouteDefense {
+    /// A short name for reports and debugging.
+    fn name(&self) -> &'static str;
+
+    /// The mode this defense was built from.
+    fn mode(&self) -> DefenseMode;
+
+    /// Vets an inbound RREP before the routing layer sees it. `signer` is
+    /// the authenticated envelope signer for secured replies.
+    fn intercept_rrep(
+        &mut self,
+        src: Addr,
+        signer: Option<Addr>,
+        rrep: &Rrep,
+        auth: Option<&RouteAuth>,
+        now: Time,
+    ) -> RrepVerdict {
+        let _ = (src, signer, rrep, auth, now);
+        RrepVerdict::Deliver
+    }
+
+    /// Routing accepted `rrep` (delivered by neighbor `from`) as the
+    /// route toward its destination; `has_intent` says whether the
+    /// application wants to talk to that destination.
+    fn on_rrep_installed(
+        &mut self,
+        routing: &Routing,
+        has_intent: bool,
+        from: Addr,
+        rrep: &Rrep,
+        auth: Option<&RouteAuth>,
+        now: Time,
+    ) -> Vec<DefenseAction> {
+        let _ = (routing, has_intent, from, rrep, auth, now);
+        Vec::new()
+    }
+
+    /// AODV reported that route discovery for `dest` failed outright.
+    fn on_discovery_failed(&mut self, dest: Addr) -> Vec<DefenseAction> {
+        let _ = dest;
+        Vec::new()
+    }
+
+    /// A sealed Hello reply addressed to this vehicle arrived.
+    fn on_hello_reply(&mut self, sealed: &Sealed<HelloReply>, now: Time) -> Vec<DefenseAction> {
+        let _ = (sealed, now);
+        Vec::new()
+    }
+
+    /// The membership layer's cluster registration changed.
+    fn set_cluster(&mut self, cluster: Option<ClusterId>) {
+        let _ = cluster;
+    }
+
+    /// True when application data for `dest` may be sent now.
+    fn traffic_ready(&self, routing: &Routing, dest: Addr, now: Time) -> bool {
+        let _ = (routing, dest, now);
+        true
+    }
+
+    /// A traffic intent for `dest` is stalled; begin whatever acquisition
+    /// this defense needs (verification, a judged discovery window, …).
+    fn kick(&mut self, routing: &Routing, dest: Addr, now: Time) -> Vec<DefenseAction> {
+        let _ = (routing, dest, now);
+        Vec::new()
+    }
+
+    /// The defense's slot in the periodic tick schedule (probe timeouts).
+    fn tick(&mut self, now: Time) -> Vec<DefenseAction> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// The defense's late tick slot: close an elapsed collection window
+    /// and release the surviving buffered replies.
+    fn conclude_window(&mut self, now: Time) -> Option<WindowConclusion> {
+        let _ = now;
+        None
+    }
+
+    /// Records that the route to `dest` (identified by `fp`) verified.
+    fn note_verified(&mut self, dest: Addr, fp: RouteFingerprint) {
+        let _ = (dest, fp);
+    }
+
+    /// True if a verified route to `dest` is currently held.
+    fn is_verified(&self, dest: Addr) -> bool {
+        let _ = dest;
+        false
+    }
+}
+
+/// The paper's protocol: source verification (Hello probes) over secured
+/// RREPs, escalating to a detection request at the cluster head.
+#[derive(Debug)]
+pub struct BlackDpDefense {
+    verifier: SourceVerifier,
+    /// Fingerprints of verified routes, used to decide when a route
+    /// change requires re-verification.
+    verified: HashMap<Addr, RouteFingerprint>,
+}
+
+impl BlackDpDefense {
+    /// Creates the defense for the vehicle holding `identity`.
+    pub fn new(cfg: &VehicleConfig, ta_key: PublicKey, identity: PseudonymId) -> Self {
+        BlackDpDefense {
+            verifier: SourceVerifier::new(cfg.blackdp.clone(), ta_key, identity),
+            verified: HashMap::new(),
+        }
+    }
+}
+
+impl RouteDefense for BlackDpDefense {
+    fn name(&self) -> &'static str {
+        "blackdp"
+    }
+
+    fn mode(&self) -> DefenseMode {
+        DefenseMode::BlackDp
+    }
+
+    fn on_rrep_installed(
+        &mut self,
+        routing: &Routing,
+        has_intent: bool,
+        from: Addr,
+        rrep: &Rrep,
+        auth: Option<&RouteAuth>,
+        now: Time,
+    ) -> Vec<DefenseAction> {
+        // Only verify if this reply is what the route now uses.
+        let Some(fp) = routing.current_fingerprint(rrep.dest, now) else {
+            return Vec::new();
+        };
+        if fp.1 != rrep.dest_seq {
+            return Vec::new(); // an older reply; the installed route is fresher
+        }
+        if self.verified.get(&rrep.dest) == Some(&fp) {
+            return Vec::new(); // already verified this exact route
+        }
+        // The route changed (or is new): (re-)verify before use.
+        self.verified.remove(&rrep.dest);
+        if has_intent || self.verifier.pending().any(|d| d == rrep.dest) {
+            self.verifier.begin(rrep.dest);
+            lift(self
+                .verifier
+                .on_route_established(rrep.dest, from, rrep, auth, now))
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_discovery_failed(&mut self, dest: Addr) -> Vec<DefenseAction> {
+        lift(self.verifier.on_discovery_failed(dest))
+    }
+
+    fn on_hello_reply(&mut self, sealed: &Sealed<HelloReply>, now: Time) -> Vec<DefenseAction> {
+        lift(self.verifier.on_hello_reply(sealed, now))
+    }
+
+    fn set_cluster(&mut self, cluster: Option<ClusterId>) {
+        self.verifier.set_cluster(cluster);
+    }
+
+    fn traffic_ready(&self, routing: &Routing, dest: Addr, now: Time) -> bool {
+        // The paper's source holds traffic until the route is
+        // authenticated end to end — and only while the installed route
+        // still IS the verified one (a fresher forged RREP flipping the
+        // route un-readies it immediately).
+        let current = routing.current_fingerprint(dest, now);
+        current.is_some() && self.verified.get(&dest) == current.as_ref()
+    }
+
+    fn kick(&mut self, routing: &Routing, dest: Addr, now: Time) -> Vec<DefenseAction> {
+        self.verifier.begin(dest);
+        if !routing.has_route(dest, now) {
+            vec![DefenseAction::StartDiscovery { dest }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn tick(&mut self, now: Time) -> Vec<DefenseAction> {
+        lift(self.verifier.tick(now))
+    }
+
+    fn note_verified(&mut self, dest: Addr, fp: RouteFingerprint) {
+        self.verified.insert(dest, fp);
+    }
+
+    fn is_verified(&self, dest: Addr) -> bool {
+        self.verified.contains_key(&dest)
+    }
+}
+
+/// Jaiswal-style baseline: hold the first discovery in a collection
+/// window, compare the first reply against the rest, blacklist outliers.
+#[derive(Debug)]
+pub struct FirstRrepDefense {
+    cmp: FirstRrepComparator,
+    /// Open collection window: `(destination, deadline)`.
+    window: Option<(Addr, Time)>,
+    /// Replies held until the window concludes:
+    /// `(relaying neighbor, judged identity, reply, envelope)`.
+    buffer: Vec<(Addr, Addr, Rrep, Option<RouteAuth>)>,
+    window_len: Duration,
+}
+
+impl FirstRrepDefense {
+    /// Creates the baseline with the given collection window length.
+    pub fn new(window_len: Duration) -> Self {
+        FirstRrepDefense {
+            cmp: FirstRrepComparator::new(2.0),
+            window: None,
+            buffer: Vec::new(),
+            window_len,
+        }
+    }
+}
+
+impl RouteDefense for FirstRrepDefense {
+    fn name(&self) -> &'static str {
+        "first_rrep"
+    }
+
+    fn mode(&self) -> DefenseMode {
+        DefenseMode::BaselineFirstRrep
+    }
+
+    fn intercept_rrep(
+        &mut self,
+        src: Addr,
+        signer: Option<Addr>,
+        rrep: &Rrep,
+        auth: Option<&RouteAuth>,
+        now: Time,
+    ) -> RrepVerdict {
+        if self.window.is_none() {
+            return RrepVerdict::Deliver;
+        }
+        let judged = signer.unwrap_or(src);
+        self.cmp.add(judged, rrep.dest_seq, now);
+        self.buffer.push((src, judged, *rrep, auth.cloned()));
+        RrepVerdict::Buffered
+    }
+
+    fn traffic_ready(&self, routing: &Routing, dest: Addr, now: Time) -> bool {
+        // Hold traffic until the judged discovery window produced a route.
+        routing.has_route(dest, now)
+    }
+
+    fn kick(&mut self, _routing: &Routing, dest: Addr, now: Time) -> Vec<DefenseAction> {
+        if self.window.is_some() {
+            return Vec::new(); // a window is already collecting
+        }
+        self.cmp.start(now);
+        self.window = Some((dest, now + self.window_len));
+        vec![DefenseAction::StartDiscovery { dest }]
+    }
+
+    fn conclude_window(&mut self, now: Time) -> Option<WindowConclusion> {
+        let (dest, deadline) = self.window?;
+        if now < deadline {
+            return None;
+        }
+        self.window = None;
+        let judgement = self.cmp.conclude();
+        // Release the surviving replies in arrival order, filtered by the
+        // *judged identity* (the envelope signer when present — the relay
+        // that delivered the frame is not the culprit).
+        let buffered = std::mem::take(&mut self.buffer);
+        let deliver = buffered
+            .into_iter()
+            .filter(|(_, judged, _, _)| Some(*judged) != judgement.suspect)
+            .map(|(src, _, rrep, auth)| (src, rrep, auth))
+            .collect();
+        let _ = dest;
+        Some(WindowConclusion {
+            suspect: judgement.suspect,
+            deliver,
+        })
+    }
+}
+
+/// Jhaveri-style baseline: reject RREPs whose sequence number exceeds a
+/// dynamically-tracked peak.
+#[derive(Debug)]
+pub struct PeakDefense {
+    peak: PeakDetector,
+}
+
+impl PeakDefense {
+    /// Creates the baseline with the reproduction's standard parameters.
+    pub fn new() -> Self {
+        PeakDefense {
+            peak: PeakDetector::new(100, Duration::from_secs(2)),
+        }
+    }
+}
+
+impl Default for PeakDefense {
+    fn default() -> Self {
+        PeakDefense::new()
+    }
+}
+
+impl RouteDefense for PeakDefense {
+    fn name(&self) -> &'static str {
+        "peak"
+    }
+
+    fn mode(&self) -> DefenseMode {
+        DefenseMode::BaselinePeak
+    }
+
+    fn intercept_rrep(
+        &mut self,
+        src: Addr,
+        signer: Option<Addr>,
+        rrep: &Rrep,
+        _auth: Option<&RouteAuth>,
+        now: Time,
+    ) -> RrepVerdict {
+        let judged = signer.unwrap_or(src);
+        if self.peak.judge(judged, rrep, now) == Verdict::Suspect {
+            RrepVerdict::Reject { judged }
+        } else {
+            RrepVerdict::Deliver
+        }
+    }
+}
+
+/// Tan-style baseline: reject RREPs whose sequence number exceeds a
+/// static threshold.
+#[derive(Debug)]
+pub struct ThresholdDefense {
+    threshold: ThresholdDetector,
+}
+
+impl ThresholdDefense {
+    /// Creates the baseline with the reproduction's standard parameters.
+    pub fn new() -> Self {
+        ThresholdDefense {
+            threshold: ThresholdDetector::medium(),
+        }
+    }
+}
+
+impl Default for ThresholdDefense {
+    fn default() -> Self {
+        ThresholdDefense::new()
+    }
+}
+
+impl RouteDefense for ThresholdDefense {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn mode(&self) -> DefenseMode {
+        DefenseMode::BaselineThreshold
+    }
+
+    fn intercept_rrep(
+        &mut self,
+        src: Addr,
+        signer: Option<Addr>,
+        rrep: &Rrep,
+        _auth: Option<&RouteAuth>,
+        now: Time,
+    ) -> RrepVerdict {
+        let judged = signer.unwrap_or(src);
+        if self.threshold.judge(judged, rrep, now) == Verdict::Suspect {
+            RrepVerdict::Reject { judged }
+        } else {
+            RrepVerdict::Deliver
+        }
+    }
+}
+
+/// No defense: accept the freshest RREP blindly (plain AODV).
+#[derive(Debug)]
+pub struct NoDefense;
+
+impl RouteDefense for NoDefense {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn mode(&self) -> DefenseMode {
+        DefenseMode::None
+    }
+}

@@ -1,0 +1,248 @@
+//! The L2 membership slot of the vehicle stack: cluster registration
+//! (Section III-A joins), resync handling after a cluster-head reboot,
+//! and the infrastructure-failure fail-over to a neighboring cluster.
+//!
+//! The layer owns the registration state (`cluster` / `ch_addr` /
+//! `ch_epoch`) and the join retry machinery; it claims `Jrep` and
+//! `Resync` frames. Cross-layer consequences of a membership change —
+//! telling the defense its cluster, purging freshly-revoked nodes from
+//! the routing table — are returned as [`StackOp`]s for the driver.
+
+use blackdp::{addr_of, BlackDpMessage, JoinBody, Wire};
+use blackdp_aodv::Addr;
+use blackdp_crypto::RevocationNotice;
+use blackdp_mobility::{ClusterId, JoinZone};
+use blackdp_sim::{Duration, Position};
+
+use super::{Layer, LayerIo, StackOp};
+use crate::frame::Frame;
+
+/// The cluster-membership layer.
+#[derive(Debug, Default)]
+pub struct L2Membership {
+    cluster: Option<ClusterId>,
+    ch_addr: Option<Addr>,
+    ch_epoch: Option<u64>,
+    join_pending_since: Option<blackdp_sim::Time>,
+    failed_joins: u32,
+    failover: bool,
+}
+
+impl L2Membership {
+    /// Creates an unregistered membership layer.
+    pub(crate) fn new() -> Self {
+        L2Membership::default()
+    }
+
+    /// The cluster the vehicle is registered with.
+    pub fn cluster(&self) -> Option<ClusterId> {
+        self.cluster
+    }
+
+    /// The registered cluster head's address.
+    pub fn ch_addr(&self) -> Option<Addr> {
+        self.ch_addr
+    }
+
+    /// True while registered with a neighboring cluster because the home
+    /// cluster head stopped answering joins.
+    pub fn is_failed_over(&self) -> bool {
+        self.failover
+    }
+
+    /// A join reply arrived: register with the answering cluster head.
+    fn on_jrep(
+        &mut self,
+        io: &mut LayerIo<'_, '_, '_>,
+        cluster: ClusterId,
+        ch_addr: Addr,
+        epoch: u64,
+        notices: &[RevocationNotice],
+    ) -> Vec<StackOp> {
+        let now = io.now();
+        // Switching heads (e.g. the home CH answered again while we were
+        // failed over to a neighbor): deregister from the old one first.
+        if let (Some(old), Some(old_ch)) = (self.cluster, self.ch_addr) {
+            if old != cluster {
+                let vehicle = io.core.cert.pseudonym;
+                io.send(old_ch, Wire::BlackDp(BlackDpMessage::Leave { vehicle }));
+            }
+        }
+        let pos = io.core.trajectory.position_at(now);
+        let home = io.core.plan.cluster_of(pos);
+        self.failover = home.is_some() && home != Some(cluster);
+        self.cluster = Some(cluster);
+        self.ch_addr = Some(ch_addr);
+        self.ch_epoch = Some(epoch);
+        self.join_pending_since = None;
+        self.failed_joins = 0;
+        let mut ops = vec![StackOp::SetDefenseCluster(Some(cluster))];
+        for notice in notices {
+            io.core.blacklist.insert(*notice);
+            ops.push(StackOp::PurgeRoute(addr_of(notice.pseudonym)));
+        }
+        io.core.drop_settled_report();
+        // This CH never saw our in-flight report (it rebooted, or we
+        // failed over to it): submit it again.
+        if io.core.report_needs_resend {
+            io.core.report_needs_resend = false;
+            if let Some(dreq) = io.core.pending_report {
+                io.count("vehicle.dreq_resent");
+                let sealed = io.core.seal(dreq, Some(cluster));
+                io.send(
+                    ch_addr,
+                    Wire::BlackDp(BlackDpMessage::DetectionRequest(sealed)),
+                );
+            }
+        }
+        ops
+    }
+
+    /// Our CH rebooted and lost its member table: our registration is
+    /// gone, so re-join at the next tick.
+    fn on_resync(
+        &mut self,
+        io: &mut LayerIo<'_, '_, '_>,
+        cluster: ClusterId,
+        epoch: u64,
+    ) -> Vec<StackOp> {
+        if self.cluster == Some(cluster) && self.ch_epoch != Some(epoch) {
+            io.count("vehicle.resync_rejoin");
+            self.cluster = None;
+            self.ch_addr = None;
+            self.ch_epoch = None;
+            self.join_pending_since = None;
+            // The reboot wiped the CH's verification table: an unanswered
+            // report must be re-submitted on re-join.
+            io.core.report_needs_resend |= io.core.pending_report.is_some();
+            vec![StackOp::SetDefenseCluster(None)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// The nearest in-range cluster other than the local segment's own —
+    /// the fail-over registration target while the home CH is down.
+    fn failover_target(
+        &self,
+        io: &LayerIo<'_, '_, '_>,
+        pos: Position,
+        here: Option<ClusterId>,
+    ) -> Option<ClusterId> {
+        let dist = |c: ClusterId| {
+            io.core
+                .plan
+                .rsu_position(c)
+                .map(|p| p.distance_to(pos))
+                .unwrap_or(f64::INFINITY)
+        };
+        io.core
+            .plan
+            .rsus_in_range(pos, io.core.cfg.range_m)
+            .into_iter()
+            .filter(|&c| Some(c) != here)
+            .min_by(|&a, &b| {
+                dist(a)
+                    .partial_cmp(&dist(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+}
+
+impl Layer for L2Membership {
+    fn name(&self) -> &'static str {
+        "l2-membership"
+    }
+
+    fn on_frame(&mut self, io: &mut LayerIo<'_, '_, '_>, frame: &Frame) -> Option<Vec<StackOp>> {
+        match &frame.wire {
+            Wire::BlackDp(BlackDpMessage::Jrep {
+                cluster,
+                ch_addr,
+                epoch,
+                blacklist,
+            }) => Some(self.on_jrep(io, *cluster, *ch_addr, *epoch, blacklist)),
+            Wire::BlackDp(BlackDpMessage::Resync { cluster, epoch, .. }) => {
+                Some(self.on_resync(io, *cluster, *epoch))
+            }
+            _ => None,
+        }
+    }
+
+    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>) -> Vec<StackOp> {
+        let now = io.now();
+        let pos = io.core.trajectory.position_at(now);
+        let here = io.core.plan.cluster_of(pos);
+        if here == self.cluster && self.cluster.is_some() {
+            self.failed_joins = 0;
+            return Vec::new();
+        }
+        // Throttle join attempts: one per half second normally; the
+        // home-cluster retry while failed over to a neighbor runs at a
+        // slower cadence (the neighbor membership keeps us served).
+        let gap = if self.failover {
+            Duration::from_secs(2)
+        } else {
+            Duration::from_millis(500)
+        };
+        if let Some(since) = self.join_pending_since {
+            if now.saturating_since(since) < gap {
+                return Vec::new();
+            }
+            // The previous attempt went unanswered — a Jrep would have
+            // cleared `join_pending_since`.
+            self.failed_joins = self.failed_joins.saturating_add(1);
+        }
+        // Leaving the previous cluster — except a fail-over membership,
+        // which is kept until the home CH answers again (the switch-back
+        // happens in the Jrep handler).
+        if !self.failover {
+            if let (Some(_old), Some(ch)) = (self.cluster, self.ch_addr) {
+                let vehicle = io.core.cert.pseudonym;
+                io.send(ch, Wire::BlackDp(BlackDpMessage::Leave { vehicle }));
+                self.cluster = None;
+                self.ch_addr = None;
+                self.ch_epoch = None;
+            }
+        }
+        if here.is_some() {
+            let body = JoinBody {
+                pos_x: pos.x,
+                pos_y: pos.y,
+                speed_kmh: io.core.trajectory.speed().0,
+                forward: true,
+            };
+            let sealed = io.core.seal(body, None);
+            let wire = Wire::BlackDp(BlackDpMessage::Jreq(sealed));
+            // Infrastructure-failure fail-over (beyond the paper): after
+            // several unanswered joins, a vehicle that can also hear a
+            // neighboring cluster's RSU registers there directly, so a
+            // crashed home CH does not orphan it.
+            if !self.failover && self.failed_joins >= 3 {
+                if let Some(neighbor) = self.failover_target(io, pos, here) {
+                    io.count("vehicle.join_failover");
+                    // The neighbor CH never saw our in-flight report.
+                    io.core.report_needs_resend |= io.core.pending_report.is_some();
+                    io.send(crate::config::ch_addr(neighbor), wire);
+                    self.join_pending_since = Some(now);
+                    return Vec::new();
+                }
+            }
+            // Section III-A: in a single zone the vehicle "only needs to
+            // send a join request to the CH"; in an overlapped zone "it is
+            // required to broadcast a JREQ to all CHs".
+            match io.core.plan.join_zone(pos, io.core.cfg.range_m) {
+                JoinZone::Single(cluster) => {
+                    io.count("vehicle.join_unicast");
+                    io.send(crate::config::ch_addr(cluster), wire);
+                }
+                _ => {
+                    io.count("vehicle.join_broadcast");
+                    io.broadcast(wire);
+                }
+            }
+            self.join_pending_since = Some(now);
+        }
+        Vec::new()
+    }
+}

@@ -1,0 +1,872 @@
+//! The honest vehicle's layered protocol stack.
+//!
+//! [`VehicleNode`](crate::VehicleNode) used to be a god-object mixing
+//! cluster membership, AODV routing, five route defenses and application
+//! traffic in one `impl`. This module decomposes it into four composable
+//! layers driven by a deterministic [`Stack`]:
+//!
+//! ```text
+//!   Traffic        application intents, delivery bookkeeping
+//!   RouteDefense   BlackDP | first-RREP | peak | threshold | none
+//!   Routing        the sans-io AODV state machine
+//!   L2Membership   cluster joins, resync, fail-over
+//! ```
+//!
+//! Inbound frames are offered bottom-up (`membership → routing → defense
+//! → traffic`); the first layer to claim one returns [`StackOp`]s that
+//! the driver executes eagerly. Route replies deliberately *skip*
+//! routing on the way up — the defense slot vets every RREP first and
+//! hands survivors back down via [`StackOp::DeliverRrep`]. The periodic
+//! tick runs one [`Layer::on_tick`] slot per layer in the same order,
+//! then the defense's late window-conclusion slot.
+//!
+//! # Equivalence guarantee
+//!
+//! The decomposition is a pure refactor of the original `VehicleNode`:
+//! all [`StackOp`]s are executed **eagerly and in claim order**, every
+//! counter string is preserved, and the single [`StackCore`] RNG is
+//! drawn at exactly the original call sites (sealing envelopes), so RNG
+//! draw order, event order and emitted frames are bit-identical — the
+//! PR-3 golden trace replays unchanged on top of this module.
+
+mod defense;
+mod membership;
+mod routing;
+mod traffic;
+
+pub use defense::{
+    BlackDpDefense, DefenseAction, DefenseMode, FirstRrepDefense, NoDefense, PeakDefense,
+    RouteDefense, RrepVerdict, ThresholdDefense, WindowConclusion,
+};
+pub use membership::L2Membership;
+pub use routing::Routing;
+pub use traffic::{Traffic, TrafficIntent};
+
+use std::collections::HashSet;
+
+use blackdp::{
+    addr_of, BlackDpConfig, BlackDpMessage, DetectionOutcome, DetectionResponse, DReq, HelloReply,
+    RouteAuth, RrepBody, Sealed, SignBytes, SuspicionReason, Wire,
+};
+use blackdp_aodv::{
+    Action as AodvAction, Addr, AodvConfig, Event as AodvEvent, Message as AodvMessage,
+};
+use blackdp_crypto::{Certificate, Keypair, PseudonymId, PublicKey, RevocationList};
+use blackdp_mobility::{ClusterId, ClusterPlan, Trajectory};
+use blackdp_sim::{Context, Duration, NodeId, Position, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::frame::{broadcast_wire, send_wire, Frame, L2Cache, Tick};
+
+/// Statistics and protocol configuration for a vehicle.
+#[derive(Debug, Clone)]
+pub struct VehicleConfig {
+    /// AODV parameters.
+    pub aodv: AodvConfig,
+    /// BlackDP parameters.
+    pub blackdp: BlackDpConfig,
+    /// Defense mode.
+    pub defense: DefenseMode,
+    /// Tick cadence.
+    pub tick: Duration,
+    /// Collection window for the first-RREP baseline.
+    pub first_rrep_window: Duration,
+    /// Radio range, used to classify join zones (single vs. overlapped,
+    /// Section III-A).
+    pub range_m: f64,
+}
+
+impl Default for VehicleConfig {
+    fn default() -> Self {
+        VehicleConfig {
+            aodv: AodvConfig::default(),
+            blackdp: BlackDpConfig::default(),
+            defense: DefenseMode::BlackDp,
+            tick: Duration::from_millis(100),
+            first_rrep_window: Duration::from_millis(600),
+            range_m: 1000.0,
+        }
+    }
+}
+
+/// A route identity snapshot used to decide when re-verification is
+/// needed: the route changed if its next hop or sequence number did.
+pub type RouteFingerprint = (Addr, u32);
+
+/// State shared by every layer: identity, credentials, mobility, the
+/// link-layer cache, report bookkeeping, metrics, and the node's single
+/// RNG (one RNG, drawn only when sealing, keeps draw order identical to
+/// the pre-stack vehicle).
+pub struct StackCore {
+    pub(crate) trajectory: Trajectory,
+    pub(crate) plan: ClusterPlan,
+    pub(crate) keys: Keypair,
+    pub(crate) cert: Certificate,
+    pub(crate) ta_key: PublicKey,
+    pub(crate) cfg: VehicleConfig,
+    pub(crate) l2: L2Cache,
+    pub(crate) blacklist: RevocationList,
+    pub(crate) local_blacklist: HashSet<Addr>,
+    /// The last detection request sent, held until a verdict (or the
+    /// suspect's revocation) is observed, so it can be re-submitted to a
+    /// CH that rebooted or to a fail-over CH.
+    pub(crate) pending_report: Option<DReq>,
+    /// Set when the CH that received our report lost its state (resync /
+    /// fail-over); the next `Jrep` triggers a re-submission.
+    pub(crate) report_needs_resend: bool,
+    pub(crate) forced_report: Option<(Addr, Option<ClusterId>)>,
+    pub(crate) responses: Vec<DetectionResponse>,
+    pub(crate) dreqs_sent: u32,
+    pub(crate) gave_up: Vec<Addr>,
+    pub(crate) rng: StdRng,
+}
+
+impl StackCore {
+    /// The vehicle's current protocol address.
+    pub fn addr(&self) -> Addr {
+        addr_of(self.cert.pseudonym)
+    }
+
+    /// The vehicle's pseudonym.
+    pub fn pseudonym(&self) -> PseudonymId {
+        self.cert.pseudonym
+    }
+
+    /// True if `addr` is on the TA-backed or the local blacklist.
+    pub fn is_banned(&self, addr: Addr) -> bool {
+        self.blacklist.is_revoked(PseudonymId(addr.0)) || self.local_blacklist.contains(&addr)
+    }
+
+    /// Seals `body` with this vehicle's credential and the given cluster
+    /// registration. This is the stack's only RNG draw site.
+    pub(crate) fn seal<T: SignBytes>(&mut self, body: T, cluster: Option<ClusterId>) -> Sealed<T> {
+        Sealed::seal(body, self.cert, cluster, &self.keys, &mut self.rng)
+    }
+
+    /// Forgets the held detection request once its suspect appears on the
+    /// TA-backed blacklist — the report has served its purpose.
+    pub(crate) fn drop_settled_report(&mut self) {
+        if let Some(d) = self.pending_report {
+            if self.blacklist.is_revoked(PseudonymId(d.suspect.0)) {
+                self.pending_report = None;
+                self.report_needs_resend = false;
+            }
+        }
+    }
+}
+
+/// The per-call environment handed to a [`Layer`] hook: mutable access
+/// to the shared [`StackCore`] and the simulator context, plus read-only
+/// views of lower layers where the schedule provides them.
+pub struct LayerIo<'a, 'b, 'c> {
+    pub(crate) core: &'a mut StackCore,
+    pub(crate) ctx: &'a mut Context<'b, Frame, Tick>,
+    /// Read view of the routing layer; only present for layers above it.
+    pub(crate) routing: Option<&'c Routing>,
+    /// Read view of the defense slot; only present for layers above it.
+    pub(crate) defense: Option<&'c dyn RouteDefense>,
+}
+
+impl LayerIo<'_, '_, '_> {
+    /// The current simulation time.
+    pub fn now(&self) -> Time {
+        self.ctx.now()
+    }
+
+    /// Increments a named statistics counter.
+    pub fn count(&mut self, key: &str) {
+        self.ctx.count(key);
+    }
+
+    /// Emits `wire` to protocol address `to` (resolved unicast when the
+    /// L2 cache knows the target).
+    pub fn send(&mut self, to: Addr, wire: Wire) {
+        let my = self.core.addr();
+        send_wire(self.ctx, &self.core.l2, my, to, wire);
+    }
+
+    /// Emits `wire` to everyone in radio range.
+    pub fn broadcast(&mut self, wire: Wire) {
+        let my = self.core.addr();
+        broadcast_wire(self.ctx, my, wire);
+    }
+}
+
+/// A cross-layer operation requested by a layer and executed eagerly by
+/// the [`Stack`] driver, in order. Layers never call each other
+/// directly; everything that crosses a layer boundary is a `StackOp`,
+/// which is what makes the composition pluggable without perturbing
+/// event order.
+#[derive(Debug)]
+pub enum StackOp {
+    /// Run routing-protocol actions through the stack executor.
+    /// `rrep_auth` carries the envelope context when the batch came from
+    /// handling an (optionally secured) route reply.
+    Aodv {
+        /// The actions emitted by the AODV state machine.
+        actions: Vec<AodvAction>,
+        /// `None`: not an RREP batch (locally-originated replies are
+        /// sealed fresh). `Some(None)`: a plain unsigned RREP.
+        /// `Some(Some(_))`: a secured RREP's envelope, kept on forward.
+        rrep_auth: Option<Option<RouteAuth>>,
+    },
+    /// Hand a defense-vetted route reply down to the routing layer.
+    DeliverRrep {
+        /// The relaying neighbor the reply arrived from.
+        src: Addr,
+        /// The vetted reply.
+        rrep: blackdp_aodv::Rrep,
+        /// Its authentication envelope, when it was a secured reply.
+        auth: Option<RouteAuth>,
+    },
+    /// Run defense effects (probes, reports, rediscoveries, verdicts).
+    Defense(Vec<DefenseAction>),
+    /// Tell the defense slot its cluster registration changed.
+    SetDefenseCluster(Option<ClusterId>),
+    /// Purge a revoked or blacklisted node from the routing table.
+    PurgeRoute(Addr),
+    /// Kick a stalled traffic intent through the defense's route
+    /// acquisition path.
+    KickIntent(Addr),
+    /// Send one application data packet toward the destination.
+    SendData(Addr),
+}
+
+/// One slot of the vehicle's protocol stack.
+///
+/// The driver offers every inbound frame to each layer bottom-up
+/// ([`Layer::on_frame`]) and runs one [`Layer::on_tick`] slot per layer
+/// per timer tick in the same order. Emission happens either directly
+/// through [`LayerIo::send`] / [`LayerIo::broadcast`], or indirectly by
+/// returning [`StackOp`]s for effects that cross a layer boundary.
+pub trait Layer {
+    /// A short name for debugging and reports.
+    fn name(&self) -> &'static str;
+
+    /// Offered an inbound frame. Return `None` to pass it up the stack,
+    /// or `Some(ops)` to claim it (the driver executes `ops` and stops
+    /// offering the frame).
+    fn on_frame(&mut self, io: &mut LayerIo<'_, '_, '_>, frame: &Frame) -> Option<Vec<StackOp>>;
+
+    /// This layer's slot in the periodic tick schedule.
+    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>) -> Vec<StackOp>;
+}
+
+/// The defense slot participates in the stack as a layer: it claims
+/// route replies (plain and secured) on the way up and runs the
+/// verifier's probe-timeout ladder in its tick slot.
+impl Layer for Box<dyn RouteDefense> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_frame(&mut self, io: &mut LayerIo<'_, '_, '_>, frame: &Frame) -> Option<Vec<StackOp>> {
+        let now = io.now();
+        let (src, signer, rrep, auth) = match &frame.wire {
+            Wire::Aodv(AodvMessage::Rrep(r)) => (frame.src, None, *r, None),
+            Wire::SecuredRrep { rrep, auth } => {
+                let signer = addr_of(auth.signer());
+                if io.core.is_banned(signer) {
+                    io.count("vehicle.dropped_blacklisted");
+                    return Some(Vec::new());
+                }
+                (frame.src, Some(signer), *rrep, Some(auth.clone()))
+            }
+            _ => return None,
+        };
+        match self.intercept_rrep(src, signer, &rrep, auth.as_ref(), now) {
+            RrepVerdict::Deliver => Some(vec![StackOp::DeliverRrep { src, rrep, auth }]),
+            RrepVerdict::Reject { judged } => {
+                io.core.local_blacklist.insert(judged);
+                io.count("baseline.rrep_rejected");
+                Some(Vec::new())
+            }
+            RrepVerdict::Buffered => Some(Vec::new()),
+        }
+    }
+
+    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>) -> Vec<StackOp> {
+        vec![StackOp::Defense((**self).tick(io.now()))]
+    }
+}
+
+/// The composed vehicle stack: shared core plus the four layers, driven
+/// deterministically from the simulator's packet and timer events.
+pub struct Stack {
+    core: StackCore,
+    membership: L2Membership,
+    routing: Routing,
+    defense: Box<dyn RouteDefense>,
+    traffic: Traffic,
+}
+
+impl std::fmt::Debug for Stack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stack")
+            .field("addr", &self.core.addr())
+            .field("defense", &self.defense.name())
+            .field("cluster", &self.membership.cluster())
+            .finish()
+    }
+}
+
+impl Stack {
+    /// Builds the stack for a vehicle with the given motion plan and
+    /// credential.
+    pub fn new(
+        trajectory: Trajectory,
+        plan: ClusterPlan,
+        keys: Keypair,
+        cert: Certificate,
+        ta_key: PublicKey,
+        cfg: VehicleConfig,
+        seed: u64,
+    ) -> Self {
+        let addr = addr_of(cert.pseudonym);
+        let routing = Routing::new(addr, cfg.aodv.clone());
+        let defense = cfg.defense.build(&cfg, ta_key, cert.pseudonym);
+        Stack {
+            core: StackCore {
+                trajectory,
+                plan,
+                keys,
+                cert,
+                ta_key,
+                cfg,
+                l2: L2Cache::new(),
+                blacklist: RevocationList::new(),
+                local_blacklist: HashSet::new(),
+                pending_report: None,
+                report_needs_resend: false,
+                forced_report: None,
+                responses: Vec::new(),
+                dreqs_sent: 0,
+                gave_up: Vec::new(),
+                rng: StdRng::seed_from_u64(seed),
+            },
+            membership: L2Membership::new(),
+            routing,
+            defense,
+            traffic: Traffic::new(),
+        }
+    }
+
+    /// The shared layer state.
+    pub fn core(&self) -> &StackCore {
+        &self.core
+    }
+
+    /// Mutable access to the shared layer state.
+    pub fn core_mut(&mut self) -> &mut StackCore {
+        &mut self.core
+    }
+
+    /// The membership layer.
+    pub fn membership(&self) -> &L2Membership {
+        &self.membership
+    }
+
+    /// The routing layer.
+    pub fn routing(&self) -> &Routing {
+        &self.routing
+    }
+
+    /// The defense slot.
+    pub fn defense(&self) -> &dyn RouteDefense {
+        self.defense.as_ref()
+    }
+
+    /// The traffic layer.
+    pub fn traffic(&self) -> &Traffic {
+        &self.traffic
+    }
+
+    /// Mutable access to the traffic layer (intent registration).
+    pub fn traffic_mut(&mut self) -> &mut Traffic {
+        &mut self.traffic
+    }
+
+    /// The stack's protocol configuration.
+    pub fn config(&self) -> &VehicleConfig {
+        &self.core.cfg
+    }
+
+    /// Forces a report of `suspect` to the cluster head at the next tick
+    /// (drives the "no attacker / false suspicion" experiment row).
+    pub fn force_report(&mut self, suspect: Addr, suspect_cluster: Option<ClusterId>) {
+        self.core.forced_report = Some((suspect, suspect_cluster));
+    }
+
+    /// Detection verdicts received from the cluster head.
+    pub fn responses(&self) -> &[DetectionResponse] {
+        &self.core.responses
+    }
+
+    /// Detection requests this vehicle has raised.
+    pub fn dreqs_sent(&self) -> u32 {
+        self.core.dreqs_sent
+    }
+
+    /// Destinations whose verification was abandoned.
+    pub fn gave_up(&self) -> &[Addr] {
+        &self.core.gave_up
+    }
+
+    /// Addresses locally blacklisted by a baseline detector.
+    pub fn local_blacklist(&self) -> &HashSet<Addr> {
+        &self.core.local_blacklist
+    }
+
+    /// The vehicle's position at `now`.
+    pub fn position(&self, now: Time) -> Position {
+        self.core.trajectory.position_at(now)
+    }
+
+    /// Handles one inbound frame: L2 learning and blacklist filtering in
+    /// the core, then the frame is offered up the stack.
+    pub fn on_packet(&mut self, ctx: &mut Context<'_, Frame, Tick>, from: NodeId, frame: Frame) {
+        if let Some(dst) = frame.dst {
+            if dst != self.core.addr() {
+                return;
+            }
+        }
+        self.core.l2.learn(frame.src, from);
+        if self.core.is_banned(frame.src) {
+            ctx.count("vehicle.dropped_blacklisted");
+            return;
+        }
+        ctx.count(&format!("vrx.{}", frame.wire.kind()));
+        // Offer the frame up the stack; the first claimant wins.
+        let ops = {
+            let mut io = LayerIo {
+                core: &mut self.core,
+                ctx,
+                routing: None,
+                defense: None,
+            };
+            self.membership.on_frame(&mut io, &frame)
+        };
+        if let Some(ops) = ops {
+            self.exec_ops(ctx, ops);
+            return;
+        }
+        let ops = {
+            let mut io = LayerIo {
+                core: &mut self.core,
+                ctx,
+                routing: None,
+                defense: None,
+            };
+            self.routing.on_frame(&mut io, &frame)
+        };
+        if let Some(ops) = ops {
+            self.exec_ops(ctx, ops);
+            return;
+        }
+        let ops = {
+            let mut io = LayerIo {
+                core: &mut self.core,
+                ctx,
+                routing: None,
+                defense: None,
+            };
+            self.defense.on_frame(&mut io, &frame)
+        };
+        if let Some(ops) = ops {
+            self.exec_ops(ctx, ops);
+            return;
+        }
+        let ops = {
+            let Stack {
+                core,
+                routing,
+                defense,
+                traffic,
+                ..
+            } = self;
+            let mut io = LayerIo {
+                core,
+                ctx,
+                routing: Some(routing),
+                defense: Some(defense.as_ref()),
+            };
+            traffic.on_frame(&mut io, &frame)
+        };
+        if let Some(ops) = ops {
+            self.exec_ops(ctx, ops);
+            return;
+        }
+        // Unclaimed: the stack's own transport floor terminates BlackDP
+        // end-to-end messages (probe/reply relaying, verdicts,
+        // advisories).
+        if let Wire::BlackDp(msg) = frame.wire {
+            self.blackdp_transport(ctx, frame.src, msg);
+        }
+    }
+
+    /// Runs one timer tick: highway-exit check, then one `on_tick` slot
+    /// per layer bottom-up, the defense's late window slot, and any
+    /// forced report. Re-arms the tick timer unless the vehicle exited.
+    pub fn on_timer(&mut self, ctx: &mut Context<'_, Frame, Tick>) {
+        let now = ctx.now();
+        // Exit the highway?
+        if self.core.trajectory.has_exited(self.core.plan.highway(), now) {
+            if let Some(ch) = self.membership.ch_addr() {
+                let my = self.core.addr();
+                send_wire(
+                    ctx,
+                    &self.core.l2,
+                    my,
+                    ch,
+                    Wire::BlackDp(BlackDpMessage::Leave {
+                        vehicle: self.core.cert.pseudonym,
+                    }),
+                );
+            }
+            ctx.despawn();
+            return;
+        }
+        let ops = {
+            let mut io = LayerIo {
+                core: &mut self.core,
+                ctx,
+                routing: None,
+                defense: None,
+            };
+            self.membership.on_tick(&mut io)
+        };
+        self.exec_ops(ctx, ops);
+        let ops = {
+            let mut io = LayerIo {
+                core: &mut self.core,
+                ctx,
+                routing: None,
+                defense: None,
+            };
+            self.routing.on_tick(&mut io)
+        };
+        self.exec_ops(ctx, ops);
+        let ops = {
+            let mut io = LayerIo {
+                core: &mut self.core,
+                ctx,
+                routing: None,
+                defense: None,
+            };
+            self.defense.on_tick(&mut io)
+        };
+        self.exec_ops(ctx, ops);
+        let ops = {
+            let Stack {
+                core,
+                routing,
+                defense,
+                traffic,
+                ..
+            } = self;
+            let mut io = LayerIo {
+                core,
+                ctx,
+                routing: Some(routing),
+                defense: Some(defense.as_ref()),
+            };
+            traffic.on_tick(&mut io)
+        };
+        self.exec_ops(ctx, ops);
+        // The defense's late slot: close an elapsed collection window and
+        // replay the surviving buffered replies through routing.
+        if let Some(conclusion) = self.defense.conclude_window(now) {
+            if let Some(suspect) = conclusion.suspect {
+                ctx.count("baseline.first_rrep_suspect");
+                self.core.local_blacklist.insert(suspect);
+            }
+            for (src, rrep, auth) in conclusion.deliver {
+                let actions = self.routing.handle_message(src, AodvMessage::Rrep(rrep), now);
+                self.run_aodv_actions(ctx, actions, Some(auth.as_ref()));
+            }
+        }
+        // A forced (false-suspicion) report, once registered.
+        if let Some((suspect, suspect_cluster)) = self.core.forced_report {
+            if let (Some(cluster), Some(_ch)) = (self.membership.cluster(), self.membership.ch_addr())
+            {
+                self.core.forced_report = None;
+                let dreq = DReq {
+                    reporter: self.core.cert.pseudonym,
+                    reporter_cluster: cluster,
+                    suspect,
+                    suspect_cluster,
+                    reason: SuspicionReason::NoHelloResponse,
+                };
+                self.run_defense_actions(ctx, vec![DefenseAction::Report(dreq)]);
+            }
+        }
+        ctx.set_timer(self.core.cfg.tick, Tick);
+    }
+
+    /// Executes layer-requested operations eagerly, in order.
+    fn exec_ops(&mut self, ctx: &mut Context<'_, Frame, Tick>, ops: Vec<StackOp>) {
+        let now = ctx.now();
+        for op in ops {
+            match op {
+                StackOp::Aodv { actions, rrep_auth } => {
+                    self.run_aodv_actions(ctx, actions, rrep_auth.as_ref().map(|o| o.as_ref()));
+                }
+                StackOp::DeliverRrep { src, rrep, auth } => {
+                    let actions = self.routing.handle_message(src, AodvMessage::Rrep(rrep), now);
+                    self.run_aodv_actions(ctx, actions, Some(auth.as_ref()));
+                }
+                StackOp::Defense(actions) => self.run_defense_actions(ctx, actions),
+                StackOp::SetDefenseCluster(cluster) => self.defense.set_cluster(cluster),
+                StackOp::PurgeRoute(addr) => self.routing.purge_node(addr),
+                StackOp::KickIntent(dest) => {
+                    ctx.count("vehicle.intent_kick");
+                    let actions = self.defense.kick(&self.routing, dest, now);
+                    self.run_defense_actions(ctx, actions);
+                }
+                StackOp::SendData(dest) => {
+                    self.traffic.note_sent();
+                    ctx.count("vehicle.data_sent");
+                    let actions = self.routing.send_data(dest, now);
+                    self.run_aodv_actions(ctx, actions, None);
+                }
+            }
+        }
+    }
+
+    /// Executes AODV actions; `rrep_auth` carries the envelope context
+    /// when this batch came from handling an (optionally secured) RREP.
+    fn run_aodv_actions(
+        &mut self,
+        ctx: &mut Context<'_, Frame, Tick>,
+        actions: Vec<AodvAction>,
+        rrep_auth: Option<Option<&RouteAuth>>,
+    ) {
+        let my_addr = self.core.addr();
+        for action in actions {
+            match action {
+                AodvAction::SendTo { next_hop, msg } => {
+                    let wire = match &msg {
+                        AodvMessage::Rrep(r) => match rrep_auth {
+                            // Forwarding a reply we received: keep (or lack)
+                            // its original envelope.
+                            Some(Some(auth)) => Wire::SecuredRrep {
+                                rrep: *r,
+                                auth: auth.clone(),
+                            },
+                            Some(None) => Wire::Aodv(msg.clone()),
+                            // Locally originated reply (we are the
+                            // destination, or we answered from cache): seal
+                            // it with our own credential.
+                            None => {
+                                let auth =
+                                    self.core.seal(RrepBody(*r), self.membership.cluster());
+                                Wire::SecuredRrep { rrep: *r, auth }
+                            }
+                        },
+                        _ => Wire::Aodv(msg.clone()),
+                    };
+                    send_wire(ctx, &self.core.l2, my_addr, next_hop, wire);
+                }
+                AodvAction::Broadcast { msg } => {
+                    broadcast_wire(ctx, my_addr, Wire::Aodv(msg));
+                }
+                AodvAction::Event(event) => self.on_aodv_event(ctx, event, rrep_auth),
+            }
+        }
+    }
+
+    /// Feeds a routing event to the layers above routing.
+    fn on_aodv_event(
+        &mut self,
+        ctx: &mut Context<'_, Frame, Tick>,
+        event: AodvEvent,
+        rrep_auth: Option<Option<&RouteAuth>>,
+    ) {
+        let now = ctx.now();
+        match event {
+            AodvEvent::DataDelivered(d) => {
+                ctx.count("vehicle.data_delivered");
+                self.traffic.note_delivered(d.orig, d.seq_no);
+            }
+            AodvEvent::RrepReceived { from, rrep } => {
+                ctx.count("vehicle.rrep_received");
+                let has_intent = self.traffic.has_intent(rrep.dest);
+                let actions = self.defense.on_rrep_installed(
+                    &self.routing,
+                    has_intent,
+                    from,
+                    &rrep,
+                    rrep_auth.flatten(),
+                    now,
+                );
+                self.run_defense_actions(ctx, actions);
+            }
+            AodvEvent::DiscoveryFailed { dest } => {
+                let actions = self.defense.on_discovery_failed(dest);
+                self.run_defense_actions(ctx, actions);
+            }
+            AodvEvent::DataDropped { .. } => ctx.count("vehicle.data_dropped"),
+            AodvEvent::RouteEstablished { .. } | AodvEvent::LinkBroken { .. } => {}
+        }
+    }
+
+    /// Executes defense effects: probes are sealed and routed, reports
+    /// go to the cluster head, discovery requests go through routing.
+    fn run_defense_actions(
+        &mut self,
+        ctx: &mut Context<'_, Frame, Tick>,
+        actions: Vec<DefenseAction>,
+    ) {
+        let now = ctx.now();
+        for action in actions {
+            match action {
+                DefenseAction::SendProbe(probe) => {
+                    ctx.count("vehicle.probe_sent");
+                    let sealed = self.core.seal(probe, self.membership.cluster());
+                    self.route_blackdp(ctx, probe.dest, BlackDpMessage::HelloProbe(sealed));
+                }
+                DefenseAction::RestartDiscovery { dest } => {
+                    ctx.count("vehicle.rediscovery");
+                    self.routing.invalidate_route(dest);
+                    let actions = self.routing.start_discovery(dest, now);
+                    self.run_aodv_actions(ctx, actions, None);
+                }
+                DefenseAction::StartDiscovery { dest } => {
+                    let actions = self.routing.start_discovery(dest, now);
+                    self.run_aodv_actions(ctx, actions, None);
+                }
+                DefenseAction::Report(dreq) => {
+                    ctx.count("vehicle.dreq_sent");
+                    self.core.dreqs_sent += 1;
+                    self.core.pending_report = Some(dreq);
+                    if self.membership.ch_addr().is_none() {
+                        // Mid-resync / mid-failover: deliver on the next
+                        // successful join instead of dropping the report.
+                        self.core.report_needs_resend = true;
+                    }
+                    if let Some(ch) = self.membership.ch_addr() {
+                        let sealed = self.core.seal(dreq, self.membership.cluster());
+                        let my = self.core.addr();
+                        send_wire(
+                            ctx,
+                            &self.core.l2,
+                            my,
+                            ch,
+                            Wire::BlackDp(BlackDpMessage::DetectionRequest(sealed)),
+                        );
+                    }
+                }
+                DefenseAction::Verified { dest } => {
+                    ctx.count("vehicle.route_verified");
+                    if let Some(fp) = self.routing.current_fingerprint(dest, now) {
+                        self.defense.note_verified(dest, fp);
+                    }
+                }
+                DefenseAction::GaveUp { dest } => {
+                    ctx.count("vehicle.gave_up");
+                    self.core.gave_up.push(dest);
+                }
+            }
+        }
+    }
+
+    /// Routes a BlackDP end-to-end message (probe/reply) toward `dest`
+    /// using the routing table; drops silently with a counter when no
+    /// route exists.
+    fn route_blackdp(
+        &mut self,
+        ctx: &mut Context<'_, Frame, Tick>,
+        dest: Addr,
+        msg: BlackDpMessage,
+    ) {
+        let now = ctx.now();
+        let Some(next_hop) = self.routing.next_hop(dest, now) else {
+            ctx.count("vehicle.blackdp_no_route");
+            return;
+        };
+        let my = self.core.addr();
+        send_wire(ctx, &self.core.l2, my, next_hop, Wire::BlackDp(msg));
+    }
+
+    /// The stack's transport floor: BlackDP end-to-end messages that no
+    /// layer claimed (probe/reply relaying and termination, detection
+    /// verdicts, blacklist advisories).
+    fn blackdp_transport(
+        &mut self,
+        ctx: &mut Context<'_, Frame, Tick>,
+        src: Addr,
+        msg: BlackDpMessage,
+    ) {
+        let now = ctx.now();
+        match msg {
+            BlackDpMessage::HelloProbe(sealed) => {
+                let probe = sealed.body;
+                if probe.dest == self.core.addr() {
+                    // We are the destination: authenticate the prober and
+                    // answer with our own signed Hello.
+                    if sealed.verify(self.core.ta_key, now).is_err() {
+                        ctx.count("vehicle.probe_bad_auth");
+                        return;
+                    }
+                    let reply = HelloReply {
+                        probe_id: probe.probe_id,
+                        src: self.core.addr(),
+                        dest: probe.src,
+                        ttl: 16,
+                    };
+                    let sealed_reply = self.core.seal(reply, self.membership.cluster());
+                    self.route_blackdp(ctx, probe.src, BlackDpMessage::HelloReply(sealed_reply));
+                } else if probe.ttl > 0 {
+                    // Forward along the route like data.
+                    let mut fwd = sealed;
+                    fwd.body.ttl -= 1;
+                    self.route_blackdp(ctx, probe.dest, BlackDpMessage::HelloProbe(fwd));
+                }
+            }
+            BlackDpMessage::HelloReply(sealed) => {
+                let reply = sealed.body;
+                if reply.dest == self.core.addr() {
+                    let actions = self.defense.on_hello_reply(&sealed, now);
+                    self.run_defense_actions(ctx, actions);
+                } else if reply.ttl > 0 {
+                    let mut fwd = sealed;
+                    fwd.body.ttl -= 1;
+                    self.route_blackdp(ctx, reply.dest, BlackDpMessage::HelloReply(fwd));
+                }
+            }
+            BlackDpMessage::Response(resp) => {
+                ctx.count("vehicle.response_received");
+                if matches!(
+                    resp.outcome,
+                    DetectionOutcome::ConfirmedSingle
+                        | DetectionOutcome::ConfirmedCooperative { .. }
+                ) {
+                    self.routing.purge_node(resp.suspect);
+                    self.core.local_blacklist.insert(resp.suspect);
+                }
+                if self
+                    .core
+                    .pending_report
+                    .is_some_and(|d| d.suspect == resp.suspect)
+                {
+                    self.core.pending_report = None;
+                    self.core.report_needs_resend = false;
+                }
+                self.core.responses.push(resp);
+            }
+            BlackDpMessage::BlacklistAdvisory { notices } => {
+                for notice in notices {
+                    self.core.blacklist.insert(notice);
+                    self.routing.purge_node(addr_of(notice.pseudonym));
+                }
+                self.core.drop_settled_report();
+            }
+            // The vehicle stack ignores CH/TA-plane traffic and others'
+            // joins.
+            _ => {
+                let _ = src;
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The routing slot of the vehicle stack: a thin layer over the sans-io
+//! AODV state machine from `blackdp-aodv`.
+//!
+//! Routing claims every plain AODV frame *except* route replies — RREPs
+//! pass up to the defense slot first ([`super::defense::RouteDefense`])
+//! and come back down through [`super::StackOp::DeliverRrep`] once
+//! vetted. All emitted actions are executed by the stack driver, which
+//! knows how to seal locally-originated replies and to feed routing
+//! events (delivery, discovery failure) to the layers above.
+
+use blackdp::Wire;
+use blackdp_aodv::{Addr, Aodv, AodvConfig, Message as AodvMessage};
+use blackdp_sim::Time;
+
+use super::{Layer, LayerIo, RouteFingerprint, StackOp};
+use crate::frame::Frame;
+
+/// The AODV routing layer.
+#[derive(Debug)]
+pub struct Routing {
+    aodv: Aodv,
+}
+
+impl Routing {
+    /// Creates the routing layer for the vehicle at `addr`. Public so
+    /// tests (and alternative stacks) can compose layers directly.
+    pub fn new(addr: Addr, cfg: AodvConfig) -> Self {
+        Routing {
+            aodv: Aodv::new(addr, cfg),
+        }
+    }
+
+    /// Read access to the AODV state machine (tests and metrics).
+    pub fn aodv(&self) -> &Aodv {
+        &self.aodv
+    }
+
+    /// The identity snapshot of the currently installed route to `dest`:
+    /// `(next hop, destination sequence number)`. The defense uses it to
+    /// decide when a route change requires re-verification.
+    pub fn current_fingerprint(&self, dest: Addr, now: Time) -> Option<RouteFingerprint> {
+        self.aodv
+            .routes()
+            .lookup_usable(dest, now)
+            .map(|r| (r.next_hop, r.dest_seq.unwrap_or(0)))
+    }
+
+    /// The next hop of a usable route to `dest`, if any.
+    pub fn next_hop(&self, dest: Addr, now: Time) -> Option<Addr> {
+        self.aodv
+            .routes()
+            .lookup_usable(dest, now)
+            .map(|r| r.next_hop)
+    }
+
+    /// True if a usable route to `dest` exists.
+    pub fn has_route(&self, dest: Addr, now: Time) -> bool {
+        self.aodv.has_route(dest, now)
+    }
+
+    pub(crate) fn handle_message(
+        &mut self,
+        from: Addr,
+        msg: AodvMessage,
+        now: Time,
+    ) -> Vec<blackdp_aodv::Action> {
+        self.aodv.handle_message(from, msg, now)
+    }
+
+    pub(crate) fn start_discovery(&mut self, dest: Addr, now: Time) -> Vec<blackdp_aodv::Action> {
+        self.aodv.start_discovery(dest, now)
+    }
+
+    pub(crate) fn send_data(&mut self, dest: Addr, now: Time) -> Vec<blackdp_aodv::Action> {
+        self.aodv.send_data(dest, now)
+    }
+
+    pub(crate) fn invalidate_route(&mut self, dest: Addr) {
+        self.aodv.invalidate_route(dest);
+    }
+
+    pub(crate) fn purge_node(&mut self, addr: Addr) {
+        self.aodv.purge_node(addr);
+    }
+}
+
+impl Layer for Routing {
+    fn name(&self) -> &'static str {
+        "routing"
+    }
+
+    fn on_frame(&mut self, io: &mut LayerIo<'_, '_, '_>, frame: &Frame) -> Option<Vec<StackOp>> {
+        let Wire::Aodv(msg) = &frame.wire else {
+            return None;
+        };
+        if matches!(msg, AodvMessage::Rrep(_)) {
+            // Route replies are vetted by the defense slot first and come
+            // back down via `StackOp::DeliverRrep`.
+            return None;
+        }
+        let actions = self.aodv.handle_message(frame.src, msg.clone(), io.now());
+        Some(vec![StackOp::Aodv {
+            actions,
+            rrep_auth: None,
+        }])
+    }
+
+    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>) -> Vec<StackOp> {
+        vec![StackOp::Aodv {
+            actions: self.aodv.tick(io.now()),
+            rrep_auth: None,
+        }]
+    }
+}

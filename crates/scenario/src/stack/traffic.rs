@@ -1,0 +1,135 @@
+//! The application-traffic slot of the vehicle stack.
+//!
+//! Owns the declared traffic intents and the delivery/send bookkeeping.
+//! Each tick it consults the defense layer (through the read-only views
+//! in [`LayerIo`]) to decide which intents may transmit and which are
+//! stalled and need a kick; the actual sends and kicks are returned as
+//! [`StackOp`]s so the driver can run them through routing and the
+//! defense in the original order.
+
+use blackdp_aodv::Addr;
+use blackdp_sim::{Duration, Time};
+
+use super::{Layer, LayerIo, StackOp};
+use crate::frame::Frame;
+
+/// One application traffic intent: send `count` packets to `dest`,
+/// `interval` apart, starting at `start`.
+#[derive(Debug, Clone)]
+pub struct TrafficIntent {
+    /// The destination address.
+    pub dest: Addr,
+    /// When to begin.
+    pub start: Time,
+    /// Number of data packets to send.
+    pub count: u32,
+    /// Gap between packets.
+    pub interval: Duration,
+}
+
+#[derive(Debug)]
+struct IntentState {
+    intent: TrafficIntent,
+    sent: u32,
+    next_at: Time,
+    last_kick: Option<Time>,
+}
+
+/// The application-traffic layer.
+#[derive(Debug, Default)]
+pub struct Traffic {
+    intents: Vec<IntentState>,
+    data_sent: u64,
+    delivered: Vec<(Addr, u64)>,
+}
+
+impl Traffic {
+    /// Creates the layer with no registered intents.
+    pub(crate) fn new() -> Self {
+        Traffic::default()
+    }
+
+    /// Registers an application traffic intent.
+    pub fn add_intent(&mut self, intent: TrafficIntent) {
+        self.intents.push(IntentState {
+            next_at: intent.start,
+            intent,
+            sent: 0,
+            last_kick: None,
+        });
+    }
+
+    /// True if any intent targets `dest`.
+    pub fn has_intent(&self, dest: Addr) -> bool {
+        self.intents.iter().any(|i| i.intent.dest == dest)
+    }
+
+    /// Data packets delivered to this vehicle, as `(source, seq)` pairs.
+    pub fn delivered(&self) -> &[(Addr, u64)] {
+        &self.delivered
+    }
+
+    /// Application packets this vehicle has sent.
+    pub fn data_sent(&self) -> u64 {
+        self.data_sent
+    }
+
+    /// Records an inbound application packet (fed from routing events).
+    pub(crate) fn note_delivered(&mut self, orig: Addr, seq: u64) {
+        self.delivered.push((orig, seq));
+    }
+
+    /// Records an outbound application packet.
+    pub(crate) fn note_sent(&mut self) {
+        self.data_sent += 1;
+    }
+}
+
+impl Layer for Traffic {
+    fn name(&self) -> &'static str {
+        "traffic"
+    }
+
+    fn on_frame(&mut self, _io: &mut LayerIo<'_, '_, '_>, _frame: &Frame) -> Option<Vec<StackOp>> {
+        // Application data arrives through routing's DataDelivered event,
+        // not as raw frames.
+        None
+    }
+
+    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>) -> Vec<StackOp> {
+        let now = io.now();
+        let routing = io.routing.expect("traffic runs above routing");
+        let defense = io.defense.expect("traffic runs above the defense");
+        let mut ops = Vec::new();
+        let mut send_data: Vec<Addr> = Vec::new();
+        for state in &mut self.intents {
+            if now < state.intent.start || state.sent >= state.intent.count {
+                continue;
+            }
+            let dest = state.intent.dest;
+            if !defense.traffic_ready(routing, dest, now) {
+                let due = state
+                    .last_kick
+                    .map(|t| now.saturating_since(t) >= Duration::from_secs(3))
+                    .unwrap_or(true);
+                if due {
+                    state.last_kick = Some(now);
+                    ops.push(StackOp::KickIntent(dest));
+                }
+                // Keep the schedule current so packets do not burst once
+                // the route verifies.
+                if now > state.next_at {
+                    state.next_at = now;
+                }
+                continue;
+            }
+            if now >= state.next_at {
+                state.sent += 1;
+                state.next_at = now + state.intent.interval;
+                send_data.push(dest);
+            }
+        }
+        ops.extend(send_data.into_iter().map(StackOp::SendData));
+        ops
+    }
+}

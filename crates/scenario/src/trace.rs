@@ -291,8 +291,8 @@ mod tests {
             to: (i + 1) as u32,
             channel: (i % 2) as u8,
             src: 0x1000 + i,
-            dst: (i % 3 == 0).then_some(0x2000 + i),
-            kind: if i % 2 == 0 { "rreq".into() } else { "data".into() },
+            dst: i.is_multiple_of(3).then_some(0x2000 + i),
+            kind: if i.is_multiple_of(2) { "rreq".into() } else { "data".into() },
             digest: 0xABCD_0000 + i,
         }
     }

@@ -1,146 +1,29 @@
-//! The honest vehicle node: AODV routing + BlackDP verification +
-//! cluster membership + application traffic, in one simulated entity.
+//! The honest vehicle node: a thin simulator-facing shell around the
+//! layered protocol stack in [`crate::stack`] (L2 membership → AODV
+//! routing → route defense → application traffic).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use blackdp::{
-    addr_of, BlackDpConfig, BlackDpMessage, DReq, DetectionOutcome, DetectionResponse, HelloReply,
-    JoinBody, RouteAuth, RrepBody, Sealed, SourceVerifier, VerifierAction, Wire,
-};
-use blackdp_aodv::{
-    Action as AodvAction, Addr, Aodv, AodvConfig, Event as AodvEvent, Message as AodvMessage, Rrep,
-};
-use blackdp_baselines::{FirstRrepComparator, PeakDetector, RrepJudge, ThresholdDetector, Verdict};
-use blackdp_crypto::{Certificate, Keypair, PseudonymId, PublicKey, RevocationList};
+use blackdp::DetectionResponse;
+use blackdp_aodv::{Addr, Aodv};
+use blackdp_crypto::{Certificate, Keypair, PseudonymId, PublicKey};
 use blackdp_mobility::{ClusterId, ClusterPlan, Trajectory};
 use blackdp_sim::{Channel, Context, Duration, Node, NodeId, Position, Time};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use crate::frame::{broadcast_wire, send_wire, Frame, L2Cache, Tick};
-
-/// Which route-acceptance defense the vehicle runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DefenseMode {
-    /// The paper's protocol: secure RREPs, Hello probes, RSU detection.
-    BlackDp,
-    /// Jaiswal-style first-RREP comparison (collect window then judge).
-    BaselineFirstRrep,
-    /// Jhaveri-style dynamic PEAK bound.
-    BaselinePeak,
-    /// Tan-style static sequence-number threshold.
-    BaselineThreshold,
-    /// No defense: accept the freshest RREP blindly (plain AODV).
-    None,
-}
-
-/// One application traffic intent: send `count` packets to `dest`,
-/// `interval` apart, starting at `start`.
-#[derive(Debug, Clone)]
-pub struct TrafficIntent {
-    /// The destination address.
-    pub dest: Addr,
-    /// When to begin.
-    pub start: Time,
-    /// Number of data packets to send.
-    pub count: u32,
-    /// Gap between packets.
-    pub interval: Duration,
-}
-
-#[derive(Debug)]
-struct IntentState {
-    intent: TrafficIntent,
-    sent: u32,
-    next_at: Time,
-    last_kick: Option<Time>,
-}
-
-/// Statistics and protocol configuration for a vehicle.
-#[derive(Debug, Clone)]
-pub struct VehicleConfig {
-    /// AODV parameters.
-    pub aodv: AodvConfig,
-    /// BlackDP parameters.
-    pub blackdp: BlackDpConfig,
-    /// Defense mode.
-    pub defense: DefenseMode,
-    /// Tick cadence.
-    pub tick: Duration,
-    /// Collection window for the first-RREP baseline.
-    pub first_rrep_window: Duration,
-    /// Radio range, used to classify join zones (single vs. overlapped,
-    /// Section III-A).
-    pub range_m: f64,
-}
-
-impl Default for VehicleConfig {
-    fn default() -> Self {
-        VehicleConfig {
-            aodv: AodvConfig::default(),
-            blackdp: BlackDpConfig::default(),
-            defense: DefenseMode::BlackDp,
-            tick: Duration::from_millis(100),
-            first_rrep_window: Duration::from_millis(600),
-            range_m: 1000.0,
-        }
-    }
-}
-
-/// A route identity snapshot used to decide when re-verification is
-/// needed: the route changed if its next hop or sequence number did.
-type RouteFingerprint = (Addr, u32);
+use crate::frame::{Frame, Tick};
+use crate::stack::Stack;
+pub use crate::stack::{DefenseMode, TrafficIntent, VehicleConfig};
 
 /// The honest vehicle.
 pub struct VehicleNode {
-    trajectory: Trajectory,
-    plan: ClusterPlan,
-    keys: Keypair,
-    cert: Certificate,
-    ta_key: PublicKey,
-    cfg: VehicleConfig,
-    aodv: Aodv,
-    verifier: SourceVerifier,
-    l2: L2Cache,
-    cluster: Option<ClusterId>,
-    ch_addr: Option<Addr>,
-    ch_epoch: Option<u64>,
-    join_pending_since: Option<Time>,
-    failed_joins: u32,
-    failover: bool,
-    blacklist: RevocationList,
-    local_blacklist: HashSet<Addr>,
-    // Baseline machinery.
-    peak: PeakDetector,
-    threshold: ThresholdDetector,
-    first_cmp: FirstRrepComparator,
-    first_window: Option<(Addr, Time)>,
-    first_buffer: Vec<(Addr, Addr, Rrep, Option<RouteAuth>)>,
-    // Verification bookkeeping.
-    verified: HashMap<Addr, RouteFingerprint>,
-    intents: Vec<IntentState>,
-    forced_report: Option<(Addr, Option<ClusterId>)>,
-    /// The last detection request sent, held until a verdict (or the
-    /// suspect's revocation) is observed, so it can be re-submitted to a
-    /// CH that rebooted or to a fail-over CH.
-    pending_report: Option<DReq>,
-    /// Set when the CH that received our report lost its state (resync /
-    /// fail-over); the next `Jrep` triggers a re-submission.
-    report_needs_resend: bool,
-    // Metrics.
-    delivered: Vec<(Addr, u64)>,
-    data_sent: u64,
-    responses: Vec<DetectionResponse>,
-    dreqs_sent: u32,
-    gave_up: Vec<Addr>,
-    rng: StdRng,
+    stack: Stack,
 }
 
 impl std::fmt::Debug for VehicleNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("VehicleNode")
             .field("addr", &self.addr())
-            .field("cluster", &self.cluster)
+            .field("cluster", &self.cluster())
             .finish()
     }
 }
@@ -156,711 +39,98 @@ impl VehicleNode {
         cfg: VehicleConfig,
         seed: u64,
     ) -> Self {
-        let aodv = Aodv::new(addr_of(cert.pseudonym), cfg.aodv.clone());
-        let verifier = SourceVerifier::new(cfg.blackdp.clone(), ta_key, cert.pseudonym);
         VehicleNode {
-            trajectory,
-            plan,
-            keys,
-            cert,
-            ta_key,
-            aodv,
-            verifier,
-            l2: L2Cache::new(),
-            cluster: None,
-            ch_addr: None,
-            ch_epoch: None,
-            join_pending_since: None,
-            failed_joins: 0,
-            failover: false,
-            blacklist: RevocationList::new(),
-            local_blacklist: HashSet::new(),
-            peak: PeakDetector::new(100, Duration::from_secs(2)),
-            threshold: ThresholdDetector::medium(),
-            first_cmp: FirstRrepComparator::new(2.0),
-            first_window: None,
-            first_buffer: Vec::new(),
-            verified: HashMap::new(),
-            intents: Vec::new(),
-            forced_report: None,
-            pending_report: None,
-            report_needs_resend: false,
-            delivered: Vec::new(),
-            data_sent: 0,
-            responses: Vec::new(),
-            dreqs_sent: 0,
-            gave_up: Vec::new(),
-            cfg,
-            rng: StdRng::seed_from_u64(seed),
+            stack: Stack::new(trajectory, plan, keys, cert, ta_key, cfg, seed),
         }
+    }
+
+    /// The vehicle's layered protocol stack.
+    pub fn stack(&self) -> &Stack {
+        &self.stack
     }
 
     /// The vehicle's current protocol address.
     pub fn addr(&self) -> Addr {
-        addr_of(self.cert.pseudonym)
+        self.stack.core().addr()
     }
 
     /// The vehicle's pseudonym.
     pub fn pseudonym(&self) -> PseudonymId {
-        self.cert.pseudonym
+        self.stack.core().pseudonym()
     }
 
     /// Registers an application traffic intent.
     pub fn add_intent(&mut self, intent: TrafficIntent) {
-        self.intents.push(IntentState {
-            next_at: intent.start,
-            intent,
-            sent: 0,
-            last_kick: None,
-        });
+        self.stack.traffic_mut().add_intent(intent);
     }
 
     /// Forces this vehicle to report `suspect` to its CH at the next tick
     /// (drives the "no attacker / false suspicion" experiment row).
     pub fn force_report(&mut self, suspect: Addr, suspect_cluster: Option<ClusterId>) {
-        self.forced_report = Some((suspect, suspect_cluster));
+        self.stack.force_report(suspect, suspect_cluster);
     }
 
     /// Data packets delivered to this vehicle, as `(source, seq)` pairs.
     pub fn delivered(&self) -> &[(Addr, u64)] {
-        &self.delivered
+        self.stack.traffic().delivered()
     }
 
     /// Application packets this vehicle has sent.
     pub fn data_sent(&self) -> u64 {
-        self.data_sent
+        self.stack.traffic().data_sent()
     }
 
     /// Detection verdicts received from the cluster head.
     pub fn responses(&self) -> &[DetectionResponse] {
-        &self.responses
+        self.stack.responses()
     }
 
     /// Detection requests this vehicle has raised.
     pub fn dreqs_sent(&self) -> u32 {
-        self.dreqs_sent
+        self.stack.dreqs_sent()
     }
 
     /// Destinations whose verification was abandoned.
     pub fn gave_up(&self) -> &[Addr] {
-        &self.gave_up
+        self.stack.gave_up()
     }
 
     /// The cluster the vehicle is registered with.
     pub fn cluster(&self) -> Option<ClusterId> {
-        self.cluster
+        self.stack.membership().cluster()
     }
 
     /// True while registered with a neighboring cluster because the home
     /// cluster head stopped answering joins.
     pub fn is_failed_over(&self) -> bool {
-        self.failover
+        self.stack.membership().is_failed_over()
     }
 
     /// True if a verified route to `dest` is currently held.
     pub fn is_verified(&self, dest: Addr) -> bool {
-        self.verified.contains_key(&dest)
+        self.stack.defense().is_verified(dest)
     }
 
     /// Read access to the routing layer (tests and metrics).
     pub fn aodv(&self) -> &Aodv {
-        &self.aodv
+        self.stack.routing().aodv()
     }
 
     /// Addresses locally blacklisted by a baseline detector.
     pub fn local_blacklist(&self) -> &HashSet<Addr> {
-        &self.local_blacklist
-    }
-
-    fn is_banned(&self, addr: Addr) -> bool {
-        self.blacklist.is_revoked(PseudonymId(addr.0)) || self.local_blacklist.contains(&addr)
-    }
-
-    fn current_fingerprint(&self, dest: Addr, now: Time) -> Option<RouteFingerprint> {
-        self.aodv
-            .routes()
-            .lookup_usable(dest, now)
-            .map(|r| (r.next_hop, r.dest_seq.unwrap_or(0)))
-    }
-
-    /// Executes AODV actions; `rrep_auth` carries the envelope when this
-    /// batch came from handling an (optionally secured) RREP.
-    fn run_aodv_actions(
-        &mut self,
-        ctx: &mut Context<'_, Frame, Tick>,
-        actions: Vec<AodvAction>,
-        rrep_auth: Option<Option<&RouteAuth>>,
-    ) {
-        let my_addr = self.addr();
-        for action in actions {
-            match action {
-                AodvAction::SendTo { next_hop, msg } => {
-                    let wire = match &msg {
-                        AodvMessage::Rrep(r) => match rrep_auth {
-                            // Forwarding a reply we received: keep (or lack)
-                            // its original envelope.
-                            Some(Some(auth)) => Wire::SecuredRrep {
-                                rrep: *r,
-                                auth: auth.clone(),
-                            },
-                            Some(None) => Wire::Aodv(msg.clone()),
-                            // Locally originated reply (we are the
-                            // destination, or we answered from cache): seal
-                            // it with our own credential.
-                            None => {
-                                let auth = Sealed::seal(
-                                    RrepBody(*r),
-                                    self.cert,
-                                    self.cluster,
-                                    &self.keys,
-                                    &mut self.rng,
-                                );
-                                Wire::SecuredRrep { rrep: *r, auth }
-                            }
-                        },
-                        _ => Wire::Aodv(msg.clone()),
-                    };
-                    send_wire(ctx, &self.l2, my_addr, next_hop, wire);
-                }
-                AodvAction::Broadcast { msg } => {
-                    broadcast_wire(ctx, my_addr, Wire::Aodv(msg));
-                }
-                AodvAction::Event(event) => self.on_aodv_event(ctx, event, rrep_auth),
-            }
-        }
-    }
-
-    fn on_aodv_event(
-        &mut self,
-        ctx: &mut Context<'_, Frame, Tick>,
-        event: AodvEvent,
-        rrep_auth: Option<Option<&RouteAuth>>,
-    ) {
-        let now = ctx.now();
-        match event {
-            AodvEvent::DataDelivered(d) => {
-                ctx.count("vehicle.data_delivered");
-                self.delivered.push((d.orig, d.seq_no));
-            }
-            AodvEvent::RrepReceived { from, rrep } => {
-                ctx.count("vehicle.rrep_received");
-                if self.cfg.defense != DefenseMode::BlackDp {
-                    return;
-                }
-                // Only verify if this reply is what the route now uses.
-                let Some(fp) = self.current_fingerprint(rrep.dest, now) else {
-                    return;
-                };
-                if fp.1 != rrep.dest_seq {
-                    return; // an older reply; the installed route is fresher
-                }
-                if self.verified.get(&rrep.dest) == Some(&fp) {
-                    return; // already verified this exact route
-                }
-                // The route changed (or is new): (re-)verify before use.
-                self.verified.remove(&rrep.dest);
-                if self.intents.iter().any(|i| i.intent.dest == rrep.dest)
-                    || self.verifier.pending().any(|d| d == rrep.dest)
-                {
-                    self.verifier.begin(rrep.dest);
-                    let auth = rrep_auth.flatten();
-                    let actions = self
-                        .verifier
-                        .on_route_established(rrep.dest, from, &rrep, auth, now);
-                    self.run_verifier_actions(ctx, actions);
-                }
-            }
-            AodvEvent::DiscoveryFailed { dest } => {
-                let actions = self.verifier.on_discovery_failed(dest);
-                self.run_verifier_actions(ctx, actions);
-            }
-            AodvEvent::DataDropped { .. } => ctx.count("vehicle.data_dropped"),
-            AodvEvent::RouteEstablished { .. } | AodvEvent::LinkBroken { .. } => {}
-        }
-    }
-
-    fn run_verifier_actions(
-        &mut self,
-        ctx: &mut Context<'_, Frame, Tick>,
-        actions: Vec<VerifierAction>,
-    ) {
-        let now = ctx.now();
-        for action in actions {
-            match action {
-                VerifierAction::SendProbe(probe) => {
-                    ctx.count("vehicle.probe_sent");
-                    let sealed =
-                        Sealed::seal(probe, self.cert, self.cluster, &self.keys, &mut self.rng);
-                    self.route_blackdp(ctx, probe.dest, BlackDpMessage::HelloProbe(sealed));
-                }
-                VerifierAction::RestartDiscovery { dest } => {
-                    ctx.count("vehicle.rediscovery");
-                    self.aodv.invalidate_route(dest);
-                    let actions = self.aodv.start_discovery(dest, now);
-                    self.run_aodv_actions(ctx, actions, None);
-                }
-                VerifierAction::Report(dreq) => {
-                    ctx.count("vehicle.dreq_sent");
-                    self.dreqs_sent += 1;
-                    self.pending_report = Some(dreq);
-                    if self.ch_addr.is_none() {
-                        // Mid-resync / mid-failover: deliver on the next
-                        // successful join instead of dropping the report.
-                        self.report_needs_resend = true;
-                    }
-                    if let Some(ch) = self.ch_addr {
-                        let sealed =
-                            Sealed::seal(dreq, self.cert, self.cluster, &self.keys, &mut self.rng);
-                        let my = self.addr();
-                        send_wire(
-                            ctx,
-                            &self.l2,
-                            my,
-                            ch,
-                            Wire::BlackDp(BlackDpMessage::DetectionRequest(sealed)),
-                        );
-                    }
-                }
-                VerifierAction::Verified { dest } => {
-                    ctx.count("vehicle.route_verified");
-                    if let Some(fp) = self.current_fingerprint(dest, now) {
-                        self.verified.insert(dest, fp);
-                    }
-                }
-                VerifierAction::GaveUp { dest } => {
-                    ctx.count("vehicle.gave_up");
-                    self.gave_up.push(dest);
-                }
-            }
-        }
-    }
-
-    /// Routes a BlackDP end-to-end message (probe/reply) toward `dest`
-    /// using the AODV table; drops silently with a counter when no route
-    /// exists.
-    fn route_blackdp(
-        &mut self,
-        ctx: &mut Context<'_, Frame, Tick>,
-        dest: Addr,
-        msg: BlackDpMessage,
-    ) {
-        let now = ctx.now();
-        let Some(route) = self.aodv.routes().lookup_usable(dest, now) else {
-            ctx.count("vehicle.blackdp_no_route");
-            return;
-        };
-        let next_hop = route.next_hop;
-        let my = self.addr();
-        send_wire(ctx, &self.l2, my, next_hop, Wire::BlackDp(msg));
-    }
-
-    fn handle_blackdp(
-        &mut self,
-        ctx: &mut Context<'_, Frame, Tick>,
-        src: Addr,
-        msg: BlackDpMessage,
-    ) {
-        let now = ctx.now();
-        match msg {
-            BlackDpMessage::Jrep {
-                cluster,
-                ch_addr,
-                epoch,
-                blacklist,
-            } => {
-                // Switching heads (e.g. the home CH answered again while we
-                // were failed over to a neighbor): deregister from the old
-                // one first.
-                if let (Some(old), Some(old_ch)) = (self.cluster, self.ch_addr) {
-                    if old != cluster {
-                        let my = self.addr();
-                        send_wire(
-                            ctx,
-                            &self.l2,
-                            my,
-                            old_ch,
-                            Wire::BlackDp(BlackDpMessage::Leave {
-                                vehicle: self.cert.pseudonym,
-                            }),
-                        );
-                    }
-                }
-                let pos = self.trajectory.position_at(now);
-                let home = self.plan.cluster_of(pos);
-                self.failover = home.is_some() && home != Some(cluster);
-                self.cluster = Some(cluster);
-                self.ch_addr = Some(ch_addr);
-                self.ch_epoch = Some(epoch);
-                self.join_pending_since = None;
-                self.failed_joins = 0;
-                self.verifier.set_cluster(Some(cluster));
-                for notice in blacklist {
-                    self.blacklist.insert(notice);
-                    self.aodv.purge_node(addr_of(notice.pseudonym));
-                }
-                self.drop_settled_report();
-                // This CH never saw our in-flight report (it rebooted, or
-                // we failed over to it): submit it again.
-                if self.report_needs_resend {
-                    self.report_needs_resend = false;
-                    if let Some(dreq) = self.pending_report {
-                        ctx.count("vehicle.dreq_resent");
-                        let sealed = Sealed::seal(
-                            dreq,
-                            self.cert,
-                            self.cluster,
-                            &self.keys,
-                            &mut self.rng,
-                        );
-                        let my = self.addr();
-                        send_wire(
-                            ctx,
-                            &self.l2,
-                            my,
-                            ch_addr,
-                            Wire::BlackDp(BlackDpMessage::DetectionRequest(sealed)),
-                        );
-                    }
-                }
-            }
-            BlackDpMessage::Resync { cluster, epoch, .. } => {
-                // Our CH rebooted and lost its member table: our
-                // registration is gone, so re-join at the next tick.
-                if self.cluster == Some(cluster) && self.ch_epoch != Some(epoch) {
-                    ctx.count("vehicle.resync_rejoin");
-                    self.cluster = None;
-                    self.ch_addr = None;
-                    self.ch_epoch = None;
-                    self.join_pending_since = None;
-                    self.verifier.set_cluster(None);
-                    // The reboot wiped the CH's verification table: an
-                    // unanswered report must be re-submitted on re-join.
-                    self.report_needs_resend |= self.pending_report.is_some();
-                }
-            }
-            BlackDpMessage::HelloProbe(sealed) => {
-                let probe = sealed.body;
-                if probe.dest == self.addr() {
-                    // We are the destination: authenticate the prober and
-                    // answer with our own signed Hello.
-                    if sealed.verify(self.ta_key, now).is_err() {
-                        ctx.count("vehicle.probe_bad_auth");
-                        return;
-                    }
-                    let reply = HelloReply {
-                        probe_id: probe.probe_id,
-                        src: self.addr(),
-                        dest: probe.src,
-                        ttl: 16,
-                    };
-                    let sealed_reply =
-                        Sealed::seal(reply, self.cert, self.cluster, &self.keys, &mut self.rng);
-                    self.route_blackdp(ctx, probe.src, BlackDpMessage::HelloReply(sealed_reply));
-                } else if probe.ttl > 0 {
-                    // Forward along the route like data.
-                    let mut fwd = sealed;
-                    fwd.body.ttl -= 1;
-                    self.route_blackdp(ctx, probe.dest, BlackDpMessage::HelloProbe(fwd));
-                }
-            }
-            BlackDpMessage::HelloReply(sealed) => {
-                let reply = sealed.body;
-                if reply.dest == self.addr() {
-                    let actions = self.verifier.on_hello_reply(&sealed, now);
-                    self.run_verifier_actions(ctx, actions);
-                } else if reply.ttl > 0 {
-                    let mut fwd = sealed;
-                    fwd.body.ttl -= 1;
-                    self.route_blackdp(ctx, reply.dest, BlackDpMessage::HelloReply(fwd));
-                }
-            }
-            BlackDpMessage::Response(resp) => {
-                ctx.count("vehicle.response_received");
-                if matches!(
-                    resp.outcome,
-                    DetectionOutcome::ConfirmedSingle
-                        | DetectionOutcome::ConfirmedCooperative { .. }
-                ) {
-                    self.aodv.purge_node(resp.suspect);
-                    self.local_blacklist.insert(resp.suspect);
-                }
-                if self.pending_report.is_some_and(|d| d.suspect == resp.suspect) {
-                    self.pending_report = None;
-                    self.report_needs_resend = false;
-                }
-                self.responses.push(resp);
-            }
-            BlackDpMessage::BlacklistAdvisory { notices } => {
-                for notice in notices {
-                    self.blacklist.insert(notice);
-                    self.aodv.purge_node(addr_of(notice.pseudonym));
-                }
-                self.drop_settled_report();
-            }
-            // Vehicle ignores CH/TA-plane traffic and others' joins.
-            _ => {
-                let _ = src;
-            }
-        }
-    }
-
-    /// Baseline route filtering: returns `true` when the RREP should be
-    /// dropped before AODV sees it.
-    fn baseline_rejects(
-        &mut self,
-        src: Addr,
-        rrep: &Rrep,
-        signer: Option<Addr>,
-        now: Time,
-    ) -> bool {
-        let judged = signer.unwrap_or(src);
-        let verdict = match self.cfg.defense {
-            DefenseMode::BaselinePeak => self.peak.judge(judged, rrep, now),
-            DefenseMode::BaselineThreshold => self.threshold.judge(judged, rrep, now),
-            _ => return false,
-        };
-        if verdict == Verdict::Suspect {
-            self.local_blacklist.insert(judged);
-            true
-        } else {
-            false
-        }
-    }
-
-    fn membership_tick(&mut self, ctx: &mut Context<'_, Frame, Tick>) {
-        let now = ctx.now();
-        let pos = self.trajectory.position_at(now);
-        let here = self.plan.cluster_of(pos);
-        if here == self.cluster && self.cluster.is_some() {
-            self.failed_joins = 0;
-            return;
-        }
-        // Throttle join attempts: one per half second normally; the
-        // home-cluster retry while failed over to a neighbor runs at a
-        // slower cadence (the neighbor membership keeps us served).
-        let gap = if self.failover {
-            Duration::from_secs(2)
-        } else {
-            Duration::from_millis(500)
-        };
-        if let Some(since) = self.join_pending_since {
-            if now.saturating_since(since) < gap {
-                return;
-            }
-            // The previous attempt went unanswered — a Jrep would have
-            // cleared `join_pending_since`.
-            self.failed_joins = self.failed_joins.saturating_add(1);
-        }
-        // Leaving the previous cluster — except a fail-over membership,
-        // which is kept until the home CH answers again (the switch-back
-        // happens in the Jrep handler).
-        if !self.failover {
-            if let (Some(_old), Some(ch)) = (self.cluster, self.ch_addr) {
-                let my = self.addr();
-                send_wire(
-                    ctx,
-                    &self.l2,
-                    my,
-                    ch,
-                    Wire::BlackDp(BlackDpMessage::Leave {
-                        vehicle: self.cert.pseudonym,
-                    }),
-                );
-                self.cluster = None;
-                self.ch_addr = None;
-                self.ch_epoch = None;
-            }
-        }
-        if here.is_some() {
-            let body = JoinBody {
-                pos_x: pos.x,
-                pos_y: pos.y,
-                speed_kmh: self.trajectory.speed().0,
-                forward: true,
-            };
-            let sealed = Sealed::seal(body, self.cert, None, &self.keys, &mut self.rng);
-            let wire = Wire::BlackDp(BlackDpMessage::Jreq(sealed));
-            // Infrastructure-failure fail-over (beyond the paper): after
-            // several unanswered joins, a vehicle that can also hear a
-            // neighboring cluster's RSU registers there directly, so a
-            // crashed home CH does not orphan it.
-            if !self.failover && self.failed_joins >= 3 {
-                if let Some(neighbor) = self.failover_target(pos, here) {
-                    ctx.count("vehicle.join_failover");
-                    // The neighbor CH never saw our in-flight report.
-                    self.report_needs_resend |= self.pending_report.is_some();
-                    let my = self.addr();
-                    send_wire(ctx, &self.l2, my, crate::config::ch_addr(neighbor), wire);
-                    self.join_pending_since = Some(now);
-                    return;
-                }
-            }
-            // Section III-A: in a single zone the vehicle "only needs to
-            // send a join request to the CH"; in an overlapped zone "it is
-            // required to broadcast a JREQ to all CHs".
-            match self.plan.join_zone(pos, self.cfg.range_m) {
-                blackdp_mobility::JoinZone::Single(cluster) => {
-                    let my = self.addr();
-                    ctx.count("vehicle.join_unicast");
-                    send_wire(ctx, &self.l2, my, crate::config::ch_addr(cluster), wire);
-                }
-                _ => {
-                    ctx.count("vehicle.join_broadcast");
-                    broadcast_wire(ctx, self.addr(), wire);
-                }
-            }
-            self.join_pending_since = Some(now);
-        }
-    }
-
-    /// Forgets the held detection request once its suspect appears on the
-    /// TA-backed blacklist — the report has served its purpose.
-    fn drop_settled_report(&mut self) {
-        if let Some(d) = self.pending_report {
-            if self.blacklist.is_revoked(PseudonymId(d.suspect.0)) {
-                self.pending_report = None;
-                self.report_needs_resend = false;
-            }
-        }
-    }
-
-    /// The nearest in-range cluster other than the local segment's own —
-    /// the fail-over registration target while the home CH is down.
-    fn failover_target(&self, pos: Position, here: Option<ClusterId>) -> Option<ClusterId> {
-        let dist = |c: ClusterId| {
-            self.plan
-                .rsu_position(c)
-                .map(|p| p.distance_to(pos))
-                .unwrap_or(f64::INFINITY)
-        };
-        self.plan
-            .rsus_in_range(pos, self.cfg.range_m)
-            .into_iter()
-            .filter(|&c| Some(c) != here)
-            .min_by(|&a, &b| {
-                dist(a)
-                    .partial_cmp(&dist(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-    }
-
-    fn traffic_tick(&mut self, ctx: &mut Context<'_, Frame, Tick>) {
-        let now = ctx.now();
-        let defense = self.cfg.defense;
-        let mut send_data: Vec<Addr> = Vec::new();
-        let mut kick: Vec<Addr> = Vec::new();
-        for state in &mut self.intents {
-            if now < state.intent.start || state.sent >= state.intent.count {
-                continue;
-            }
-            let dest = state.intent.dest;
-            let ready = match defense {
-                // The paper's source holds traffic until the route is
-                // authenticated end to end — and only while the installed
-                // route still IS the verified one (a fresher forged RREP
-                // flipping the route un-readies it immediately).
-                DefenseMode::BlackDp => {
-                    let current = self
-                        .aodv
-                        .routes()
-                        .lookup_usable(dest, now)
-                        .map(|r| (r.next_hop, r.dest_seq.unwrap_or(0)));
-                    current.is_some() && self.verified.get(&dest) == current.as_ref()
-                }
-                // The first-RREP baseline holds traffic until the judged
-                // discovery window produced a route.
-                DefenseMode::BaselineFirstRrep => self.aodv.has_route(dest, now),
-                // Peak/threshold/no-defense: send immediately; AODV buffers
-                // during discovery.
-                _ => true,
-            };
-            if !ready {
-                let due = state
-                    .last_kick
-                    .map(|t| now.saturating_since(t) >= Duration::from_secs(3))
-                    .unwrap_or(true);
-                if due {
-                    state.last_kick = Some(now);
-                    kick.push(dest);
-                }
-                // Keep the schedule current so packets do not burst once
-                // the route verifies.
-                if now > state.next_at {
-                    state.next_at = now;
-                }
-                continue;
-            }
-            if now >= state.next_at {
-                state.sent += 1;
-                state.next_at = now + state.intent.interval;
-                send_data.push(dest);
-            }
-        }
-        for dest in kick {
-            ctx.count("vehicle.intent_kick");
-            match defense {
-                DefenseMode::BlackDp => {
-                    self.verifier.begin(dest);
-                    if !self.aodv.has_route(dest, now) {
-                        let actions = self.aodv.start_discovery(dest, now);
-                        self.run_aodv_actions(ctx, actions, None);
-                    }
-                }
-                DefenseMode::BaselineFirstRrep if self.first_window.is_none() => {
-                    self.first_cmp.start(now);
-                    self.first_window = Some((dest, now + self.cfg.first_rrep_window));
-                    let actions = self.aodv.start_discovery(dest, now);
-                    self.run_aodv_actions(ctx, actions, None);
-                }
-                _ => {}
-            }
-        }
-        for dest in send_data {
-            self.data_sent += 1;
-            ctx.count("vehicle.data_sent");
-            let actions = self.aodv.send_data(dest, now);
-            self.run_aodv_actions(ctx, actions, None);
-        }
-    }
-
-    fn first_rrep_tick(&mut self, ctx: &mut Context<'_, Frame, Tick>) {
-        let now = ctx.now();
-        let Some((dest, deadline)) = self.first_window else {
-            return;
-        };
-        if now < deadline {
-            return;
-        }
-        self.first_window = None;
-        let judgement = self.first_cmp.conclude();
-        if let Some(suspect) = judgement.suspect {
-            ctx.count("baseline.first_rrep_suspect");
-            self.local_blacklist.insert(suspect);
-        }
-        // Feed the surviving replies into AODV in arrival order, filtered
-        // by the *judged identity* (the envelope signer when present — the
-        // relay that delivered the frame is not the culprit).
-        let buffered = std::mem::take(&mut self.first_buffer);
-        for (src, judged, rrep, auth) in buffered {
-            if Some(judged) == judgement.suspect {
-                continue;
-            }
-            let actions = self.aodv.handle_message(src, AodvMessage::Rrep(rrep), now);
-            self.run_aodv_actions(ctx, actions, Some(auth.as_ref()));
-        }
-        let _ = dest;
+        self.stack.local_blacklist()
     }
 }
 
 impl Node<Frame, Tick> for VehicleNode {
     fn position(&self, now: Time) -> Position {
-        self.trajectory.position_at(now)
+        self.stack.position(now)
     }
 
     fn on_start(&mut self, ctx: &mut Context<'_, Frame, Tick>) {
         // Stagger ticks a little so 100 vehicles don't beat in lockstep.
         let phase = Duration::from_micros(u64::from(ctx.self_id().index()) * 997 % 50_000);
-        ctx.set_timer(self.cfg.tick + phase, Tick);
+        ctx.set_timer(self.stack.config().tick + phase, Tick);
     }
 
     fn on_packet(
@@ -870,100 +140,10 @@ impl Node<Frame, Tick> for VehicleNode {
         frame: Frame,
         _channel: Channel,
     ) {
-        let now = ctx.now();
-        if let Some(dst) = frame.dst {
-            if dst != self.addr() {
-                return;
-            }
-        }
-        self.l2.learn(frame.src, from);
-        if self.is_banned(frame.src) {
-            ctx.count("vehicle.dropped_blacklisted");
-            return;
-        }
-        ctx.count(&format!("vrx.{}", frame.wire.kind()));
-        match frame.wire {
-            Wire::Aodv(msg) => {
-                if let AodvMessage::Rrep(r) = &msg {
-                    if self.baseline_rejects(frame.src, r, None, now) {
-                        ctx.count("baseline.rrep_rejected");
-                        return;
-                    }
-                    if self.first_window.is_some() {
-                        self.first_cmp.add(frame.src, r.dest_seq, now);
-                        self.first_buffer.push((frame.src, frame.src, *r, None));
-                        return;
-                    }
-                }
-                let actions = self.aodv.handle_message(frame.src, msg.clone(), now);
-                let auth_ctx = matches!(msg, AodvMessage::Rrep(_)).then_some(None);
-                self.run_aodv_actions(ctx, actions, auth_ctx);
-            }
-            Wire::SecuredRrep { rrep, auth } => {
-                let signer = addr_of(auth.signer());
-                if self.is_banned(signer) {
-                    ctx.count("vehicle.dropped_blacklisted");
-                    return;
-                }
-                if self.baseline_rejects(frame.src, &rrep, Some(signer), now) {
-                    ctx.count("baseline.rrep_rejected");
-                    return;
-                }
-                if self.first_window.is_some() {
-                    self.first_cmp.add(signer, rrep.dest_seq, now);
-                    self.first_buffer
-                        .push((frame.src, signer, rrep, Some(auth)));
-                    return;
-                }
-                let actions = self
-                    .aodv
-                    .handle_message(frame.src, AodvMessage::Rrep(rrep), now);
-                self.run_aodv_actions(ctx, actions, Some(Some(&auth)));
-            }
-            Wire::BlackDp(msg) => self.handle_blackdp(ctx, frame.src, msg),
-        }
+        self.stack.on_packet(ctx, from, frame);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Frame, Tick>, _token: Tick) {
-        let now = ctx.now();
-        // Exit the highway?
-        if self.trajectory.has_exited(self.plan.highway(), now) {
-            if let Some(ch) = self.ch_addr {
-                let my = self.addr();
-                send_wire(
-                    ctx,
-                    &self.l2,
-                    my,
-                    ch,
-                    Wire::BlackDp(BlackDpMessage::Leave {
-                        vehicle: self.cert.pseudonym,
-                    }),
-                );
-            }
-            ctx.despawn();
-            return;
-        }
-        self.membership_tick(ctx);
-        let actions = self.aodv.tick(now);
-        self.run_aodv_actions(ctx, actions, None);
-        let actions = self.verifier.tick(now);
-        self.run_verifier_actions(ctx, actions);
-        self.traffic_tick(ctx);
-        self.first_rrep_tick(ctx);
-        // A forced (false-suspicion) report, once registered.
-        if let Some((suspect, suspect_cluster)) = self.forced_report {
-            if let (Some(cluster), Some(_ch)) = (self.cluster, self.ch_addr) {
-                self.forced_report = None;
-                let dreq = blackdp::DReq {
-                    reporter: self.cert.pseudonym,
-                    reporter_cluster: cluster,
-                    suspect,
-                    suspect_cluster,
-                    reason: blackdp::SuspicionReason::NoHelloResponse,
-                };
-                self.run_verifier_actions(ctx, vec![VerifierAction::Report(dreq)]);
-            }
-        }
-        ctx.set_timer(self.cfg.tick, Tick);
+        self.stack.on_timer(ctx);
     }
 }

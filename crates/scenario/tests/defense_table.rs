@@ -1,0 +1,216 @@
+//! Table-driven accept/reject contract for every [`RouteDefense`]
+//! implementation, exercised directly through the stack's layer API: a
+//! forged high-SN RREP (built by the attackers' own forge helper) and a
+//! legitimate low-SN RREP are offered to each defense mode, and the
+//! verdicts must match the scheme's published behaviour. First-RREP's
+//! collection window gets its own edge-case walk (open, buffer, conclude
+//! exactly at the deadline).
+
+use blackdp_aodv::{Addr, AodvConfig, Rrep, Rreq};
+use blackdp_attacks::{forge_rrep, ForgeParams};
+use blackdp_crypto::{Keypair, PseudonymId};
+use blackdp_scenario::stack::{DefenseMode, RouteDefense, Routing, RrepVerdict, VehicleConfig};
+use blackdp_sim::{Duration, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SRC: Addr = Addr(40);
+const ATTACKER: Addr = Addr(66);
+const HONEST: Addr = Addr(41);
+const DEST: Addr = Addr(7);
+
+fn build(mode: DefenseMode) -> Box<dyn RouteDefense> {
+    let cfg = VehicleConfig::default();
+    let mut rng = StdRng::seed_from_u64(42);
+    let ta_key = Keypair::generate(&mut rng).public();
+    mode.build(&cfg, ta_key, PseudonymId(99))
+}
+
+/// A legitimate reply: low sequence number, plausible shape.
+fn legitimate_rrep() -> Rrep {
+    Rrep {
+        dest: DEST,
+        dest_seq: 10,
+        orig: SRC,
+        hop_count: 3,
+        lifetime: Duration::from_secs(10),
+        next_hop: None,
+    }
+}
+
+/// The attack reply, built exactly the way the attackers build it.
+fn forged_rrep() -> Rrep {
+    let mut highest_seen = 500; // gossip put the network around SN 500
+    let rreq = Rreq {
+        rreq_id: 1,
+        dest: DEST,
+        dest_seq: Some(10),
+        orig: SRC,
+        orig_seq: 1,
+        hop_count: 0,
+        ttl: 5,
+        next_hop_inquiry: false,
+    };
+    forge_rrep(&ForgeParams::default(), &mut highest_seen, &rreq, ATTACKER)
+}
+
+/// What a defense must do with an RREP offered at the intercept hook.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Expect {
+    Deliver,
+    RejectSender,
+}
+
+#[test]
+fn intercept_verdicts_match_the_published_scheme_per_mode() {
+    // (mode, verdict on forged high-SN RREP, verdict on legitimate RREP).
+    // BlackDP never judges at intercept — it verifies installed routes
+    // with probes instead — and the undefended mode accepts everything.
+    // Peak (bound 100 at t=0) and Threshold (static 500) both reject the
+    // forged SN 620 and pass the legitimate SN 10. First-RREP is a
+    // windowed scheme and is covered by the dedicated tests below.
+    let table: &[(DefenseMode, Expect, Expect)] = &[
+        (DefenseMode::BlackDp, Expect::Deliver, Expect::Deliver),
+        (DefenseMode::BaselinePeak, Expect::RejectSender, Expect::Deliver),
+        (DefenseMode::BaselineThreshold, Expect::RejectSender, Expect::Deliver),
+        (DefenseMode::None, Expect::Deliver, Expect::Deliver),
+    ];
+
+    for &(mode, on_forged, on_legit) in table {
+        for (rrep, sender, expect) in [
+            (forged_rrep(), ATTACKER, on_forged),
+            (legitimate_rrep(), HONEST, on_legit),
+        ] {
+            let mut defense = build(mode);
+            assert_eq!(defense.mode(), mode);
+            let verdict =
+                defense.intercept_rrep(sender, Some(sender), &rrep, None, Time::ZERO);
+            let got = match verdict {
+                RrepVerdict::Deliver => Expect::Deliver,
+                RrepVerdict::Reject { judged } => {
+                    assert_eq!(judged, sender, "{mode:?} must charge the signer");
+                    Expect::RejectSender
+                }
+                RrepVerdict::Buffered => {
+                    panic!("{mode:?} buffered outside a collection window")
+                }
+            };
+            assert_eq!(
+                got, expect,
+                "{mode:?} on {} (SN {})",
+                if sender == ATTACKER { "forged" } else { "legitimate" },
+                rrep.dest_seq,
+            );
+        }
+    }
+}
+
+#[test]
+fn rejecting_modes_judge_the_relay_when_the_envelope_is_unsigned() {
+    for mode in [DefenseMode::BaselinePeak, DefenseMode::BaselineThreshold] {
+        let mut defense = build(mode);
+        let verdict = defense.intercept_rrep(SRC, None, &forged_rrep(), None, Time::ZERO);
+        assert_eq!(
+            verdict,
+            RrepVerdict::Reject { judged: SRC },
+            "{mode:?}: without a signer the relaying neighbor is judged",
+        );
+    }
+}
+
+#[test]
+fn peak_bound_consolidates_so_gradual_growth_stays_accepted() {
+    // Window edge for the dynamic bound: SN 90 is fine now, and after the
+    // 2 s interval rolls the base forward, SN 170 (≤ 90 + growth 100) is
+    // fine too — only a jump past the rolling bound is rejected.
+    let mut defense = build(DefenseMode::BaselinePeak);
+    let mut rrep = legitimate_rrep();
+    rrep.dest_seq = 90;
+    assert_eq!(
+        defense.intercept_rrep(HONEST, Some(HONEST), &rrep, None, Time::ZERO),
+        RrepVerdict::Deliver
+    );
+    let later = Time::ZERO + Duration::from_secs(2);
+    rrep.dest_seq = 170;
+    assert_eq!(
+        defense.intercept_rrep(HONEST, Some(HONEST), &rrep, None, later),
+        RrepVerdict::Deliver
+    );
+    rrep.dest_seq = 620;
+    assert_eq!(
+        defense.intercept_rrep(ATTACKER, Some(ATTACKER), &rrep, None, later),
+        RrepVerdict::Reject { judged: ATTACKER }
+    );
+}
+
+/// First-RREP buffers during a window and names the forged first reply.
+#[test]
+fn first_rrep_window_buffers_judges_and_releases_survivors() {
+    let mut defense = build(DefenseMode::BaselineFirstRrep);
+
+    // Outside any window the scheme is transparent.
+    assert_eq!(
+        defense.intercept_rrep(HONEST, Some(HONEST), &legitimate_rrep(), None, Time::ZERO),
+        RrepVerdict::Deliver
+    );
+
+    // `kick` opens the judged discovery window…
+    let routing = Routing::new(SRC, AodvConfig::default());
+    let actions = defense.kick(&routing, DEST, Time::ZERO);
+    assert!(!actions.is_empty(), "the kick must start a discovery");
+
+    // …and a second kick while it is collecting is a no-op.
+    assert!(defense.kick(&routing, DEST, Time::ZERO).is_empty());
+
+    // …inside it every reply is absorbed; the forged one arrives first
+    // (that is the attack: outrunning the real destination).
+    assert_eq!(
+        defense.intercept_rrep(ATTACKER, Some(ATTACKER), &forged_rrep(), None, Time::ZERO),
+        RrepVerdict::Buffered
+    );
+    let t1 = Time::ZERO + Duration::from_millis(100);
+    assert_eq!(
+        defense.intercept_rrep(HONEST, Some(HONEST), &legitimate_rrep(), None, t1),
+        RrepVerdict::Buffered
+    );
+
+    // One microsecond before the deadline the window stays open.
+    let window = VehicleConfig::default().first_rrep_window;
+    let just_before = Time::ZERO + (window - Duration::from_micros(1));
+    assert!(defense.conclude_window(just_before).is_none());
+
+    // Exactly at the deadline it concludes: the forged first reply is
+    // judged, and only the legitimate reply is released.
+    let conclusion = defense
+        .conclude_window(Time::ZERO + window)
+        .expect("the elapsed window must conclude");
+    assert_eq!(conclusion.suspect, Some(ATTACKER));
+    assert_eq!(conclusion.deliver.len(), 1);
+    assert_eq!(conclusion.deliver[0].0, HONEST);
+    assert_eq!(conclusion.deliver[0].1.dest_seq, legitimate_rrep().dest_seq);
+
+    // And the window is spent: a second conclude is a no-op.
+    assert!(defense.conclude_window(Time::ZERO + window).is_none());
+}
+
+/// A window of honest replies concludes with no suspect and releases all.
+#[test]
+fn first_rrep_window_with_agreeing_replies_clears_everyone() {
+    let mut defense = build(DefenseMode::BaselineFirstRrep);
+    let routing = Routing::new(SRC, AodvConfig::default());
+    defense.kick(&routing, DEST, Time::ZERO);
+    let mut second = legitimate_rrep();
+    second.dest_seq = 12;
+    assert_eq!(
+        defense.intercept_rrep(HONEST, Some(HONEST), &legitimate_rrep(), None, Time::ZERO),
+        RrepVerdict::Buffered
+    );
+    assert_eq!(
+        defense.intercept_rrep(SRC, Some(SRC), &second, None, Time::ZERO),
+        RrepVerdict::Buffered
+    );
+    let window = VehicleConfig::default().first_rrep_window;
+    let conclusion = defense.conclude_window(Time::ZERO + window).unwrap();
+    assert_eq!(conclusion.suspect, None);
+    assert_eq!(conclusion.deliver.len(), 2);
+}

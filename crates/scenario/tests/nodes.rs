@@ -4,7 +4,7 @@
 use blackdp::ChEvent;
 use blackdp_attacks::EvasionPolicy;
 use blackdp_scenario::{
-    build_scenario, AttackSetup, AttackerNode, RsuNode, ScenarioConfig, TrialSpec, VehicleNode,
+    build_scenario, AttackSetup, MaliciousNode, RsuNode, ScenarioConfig, TrialSpec, VehicleNode,
 };
 use blackdp_sim::{Duration, Time};
 
@@ -121,7 +121,7 @@ fn attacker_stays_registered_like_an_honest_node() {
     built.world.run_until(Time::from_secs(3));
     let attacker_addr = built
         .world
-        .get::<AttackerNode>(built.attackers[0])
+        .get::<MaliciousNode>(built.attackers[0])
         .unwrap()
         .addr();
     let registered_somewhere = built.rsus.iter().any(|&r| {

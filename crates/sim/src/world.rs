@@ -784,9 +784,11 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
         grid.rebuild(
             cfg.radio_range_m,
             nodes.len(),
-            nodes.iter().enumerate().filter_map(|(i, slot)| {
-                slot.active.then(|| (i as u32, slot.node.position(now)))
-            }),
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| slot.active)
+                .map(|(i, slot)| (i as u32, slot.node.position(now))),
         );
         self.grid_stamp = Some(stamp);
     }

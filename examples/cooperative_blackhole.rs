@@ -8,7 +8,7 @@
 //! ```
 
 use blackdp::ChEvent;
-use blackdp_scenario::{build_scenario, harvest, AttackerNode, RsuNode, ScenarioConfig, TrialSpec};
+use blackdp_scenario::{build_scenario, harvest, MaliciousNode, RsuNode, ScenarioConfig, TrialSpec};
 use blackdp_sim::Time;
 
 fn main() {
@@ -26,12 +26,12 @@ fn main() {
     );
     let b1 = built
         .world
-        .get::<AttackerNode>(built.attackers[0])
+        .get::<MaliciousNode>(built.attackers[0])
         .unwrap()
         .addr();
     let b2 = built
         .world
-        .get::<AttackerNode>(built.attackers[1])
+        .get::<MaliciousNode>(built.attackers[1])
         .unwrap()
         .addr();
     println!("cooperative pair: B1 = {b1}, B2 = {b2} (each endorses the other)");

@@ -1,0 +1,93 @@
+//! End-to-end runs of attacker variants that exist only as interceptor
+//! compositions — no dedicated node type. The cooperative gray hole
+//! stacks the teammate endorsement of the cooperative black hole on top
+//! of probabilistic data dropping, optionally with a renewal-zone
+//! evasion manoeuvre.
+
+use blackdp_attacks::EvasionPolicy;
+use blackdp_scenario::{
+    run_trial, AttackSetup, MaliciousNode, ScenarioConfig, TrialSpec,
+};
+
+fn spec(seed: u64, cluster: u32, drop_probability: f64, evasion: EvasionPolicy) -> TrialSpec {
+    TrialSpec {
+        seed,
+        attack: AttackSetup::CooperativeGrayHole {
+            cluster,
+            drop_probability,
+        },
+        evasion,
+        source_cluster: 1,
+        dest_cluster: Some(5),
+        attacker_moves: false,
+        attacker_fake_hello: false,
+    }
+}
+
+#[test]
+fn cooperative_grayhole_pair_is_confirmed() {
+    let cfg = ScenarioConfig::small_test();
+    let outcome = run_trial(&cfg, &spec(73_001, 2, 0.5, EvasionPolicy::None));
+    // The probes judge route capture, not drop rate, and the teammate
+    // endorsement marks the pair as cooperative.
+    assert!(outcome.attacker_confirmed, "{:?}", outcome.detections);
+    assert!(!outcome.honest_confirmed);
+}
+
+#[test]
+fn cooperative_grayhole_spawns_two_malicious_nodes() {
+    use blackdp_sim::Time;
+    let cfg = ScenarioConfig::small_test();
+    let s = spec(73_011, 2, 0.7, EvasionPolicy::None);
+    let mut built = blackdp_scenario::build_scenario(&cfg, &s);
+    assert_eq!(built.attackers.len(), 2, "a cooperative pair");
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+    for &a in &built.attackers {
+        let node = built
+            .world
+            .get::<MaliciousNode>(a)
+            .expect("both attackers use the shared shell");
+        assert!(!node.addr_history().is_empty());
+        let _ = node.dropped_count() + node.forwarded_count() + node.lured_count();
+    }
+}
+
+#[test]
+fn cooperative_grayhole_with_flee_evasion_runs_end_to_end() {
+    // The acceptance scenario: a composed variant (endorsement +
+    // probabilistic dropping + Flee) driven purely by middleware chain
+    // and profile knobs. Whatever the timing yields, no honest node may
+    // be framed for it.
+    let cfg = ScenarioConfig::small_test();
+    let outcome = run_trial(&cfg, &spec(73_021, 9, 0.5, EvasionPolicy::Flee));
+    assert!(!outcome.honest_confirmed, "{:?}", outcome.detections);
+}
+
+#[test]
+fn cooperative_grayhole_acting_legitimately_never_frames_honest_nodes() {
+    let cfg = ScenarioConfig::small_test();
+    let outcome = run_trial(&cfg, &spec(73_031, 9, 0.5, EvasionPolicy::ActLegitimately));
+    assert!(!outcome.honest_confirmed, "{:?}", outcome.detections);
+}
+
+#[test]
+fn fuzz_kind_six_round_trips_and_runs_clean() {
+    use blackdp_scenario::{metamorphic_failures, run_case, FuzzCase};
+    let mut case = FuzzCase::baseline(73_041);
+    case.attack_kind = 6;
+    case.attack_a = 2; // cluster
+    case.attack_b = 60; // drop %
+    assert!(matches!(
+        case.attack(),
+        AttackSetup::CooperativeGrayHole {
+            cluster: 2,
+            drop_probability,
+        } if (drop_probability - 0.6).abs() < 1e-9
+    ));
+    let line = case.to_line();
+    assert_eq!(FuzzCase::parse_line(&line).unwrap(), case);
+
+    let report = run_case(&case);
+    assert!(report.is_clean(), "{:?}", report);
+    assert!(metamorphic_failures(&case, &report).is_empty());
+}

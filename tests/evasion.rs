@@ -5,7 +5,7 @@
 
 use blackdp_attacks::EvasionPolicy;
 use blackdp_scenario::{
-    run_trial, AttackSetup, AttackerNode, ScenarioConfig, TrialClass, TrialSpec,
+    run_trial, AttackSetup, MaliciousNode, ScenarioConfig, TrialClass, TrialSpec,
 };
 
 fn zone_spec(seed: u64, evasion: EvasionPolicy) -> TrialSpec {
@@ -80,7 +80,7 @@ fn renewed_identity_is_tracked_in_addr_history() {
     built.world.run_until(Time::ZERO + cfg.sim_duration);
     let attacker = built
         .world
-        .get::<AttackerNode>(built.attackers[0])
+        .get::<MaliciousNode>(built.attackers[0])
         .expect("attacker node");
     // If the renewal went through, the history has both pseudonyms — the
     // metrics layer uses this to avoid misclassifying a confirmation of

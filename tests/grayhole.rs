@@ -3,7 +3,7 @@
 
 use blackdp_attacks::EvasionPolicy;
 use blackdp_scenario::{
-    run_trial, AttackSetup, GrayHoleNode, ScenarioConfig, TrialClass, TrialSpec,
+    run_trial, AttackSetup, MaliciousNode, ScenarioConfig, TrialClass, TrialSpec,
 };
 
 fn spec(seed: u64, drop_probability: f64) -> TrialSpec {
@@ -65,8 +65,8 @@ fn grayhole_node_counters_are_exposed() {
     built.world.run_until(Time::ZERO + cfg.sim_duration);
     let gh = built
         .world
-        .get::<GrayHoleNode>(built.attackers[0])
-        .expect("a GrayHoleNode was spawned for the GrayHole setup");
+        .get::<MaliciousNode>(built.attackers[0])
+        .expect("a MaliciousNode was spawned for the GrayHole setup");
     // Whatever happened, the counters are consistent.
     let _ = gh.lured_count();
     assert!(gh.dropped_count() + gh.forwarded_count() >= gh.dropped_count());

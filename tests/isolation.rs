@@ -6,7 +6,7 @@
 
 use blackdp_crypto::PseudonymId;
 use blackdp_scenario::{
-    build_scenario, harvest, AttackerNode, RsuNode, ScenarioConfig, TaNode, TrialSpec,
+    build_scenario, harvest, MaliciousNode, RsuNode, ScenarioConfig, TaNode, TrialSpec,
 };
 use blackdp_sim::Time;
 
@@ -24,7 +24,7 @@ fn revocation_reaches_every_cluster_head() {
     let attacker_pseudonym = PseudonymId(
         built
             .world
-            .get::<AttackerNode>(built.attackers[0])
+            .get::<MaliciousNode>(built.attackers[0])
             .unwrap()
             .addr()
             .0,
@@ -92,7 +92,7 @@ fn isolated_attacker_cannot_rejoin_anywhere() {
     let attacker_pseudonym = PseudonymId(
         built
             .world
-            .get::<AttackerNode>(built.attackers[0])
+            .get::<MaliciousNode>(built.attackers[0])
             .unwrap()
             .addr()
             .0,

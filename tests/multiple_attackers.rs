@@ -5,7 +5,7 @@
 use blackdp::DetectionOutcome;
 use blackdp_attacks::EvasionPolicy;
 use blackdp_scenario::{
-    build_scenario, harvest, run_trial, AttackSetup, AttackerNode, ScenarioConfig, TrialSpec,
+    build_scenario, harvest, run_trial, AttackSetup, MaliciousNode, ScenarioConfig, TrialSpec,
 };
 use blackdp_sim::Time;
 
@@ -52,7 +52,7 @@ fn both_independent_attackers_are_confirmed() {
     let attacker_addrs: Vec<_> = built
         .attackers
         .iter()
-        .map(|&a| built.world.get::<AttackerNode>(a).unwrap().addr())
+        .map(|&a| built.world.get::<MaliciousNode>(a).unwrap().addr())
         .collect();
     for addr in &attacker_addrs {
         let confirmed = outcome
