@@ -33,4 +33,10 @@ fi
 echo "==> fuzz / trace-oracle gate (fuzz smoke)"
 cargo run --release -p blackdp-bench --bin fuzz -- smoke
 
+echo "==> crash-resume gate (sweepd smoke)"
+# SIGKILLs every worker once mid-batch, then the orchestrator itself
+# mid-campaign, and requires the resumed merged output to be
+# byte-identical to the uninterrupted serial oracle.
+cargo run --release -p blackdp-bench --bin sweepd -- smoke
+
 echo "==> ci.sh: all gates passed"

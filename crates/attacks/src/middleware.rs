@@ -168,6 +168,34 @@ impl AttackerCore {
         &mut self.rng
     }
 
+    /// Deterministic digest of the core's full mutable state — identity,
+    /// gossip, dormancy, beacon phase, metric counters, and the private
+    /// RNG's exact position in its stream. Checkpoint stamps fold this in
+    /// so divergence *inside* an attacker (a drop lottery gone off-script,
+    /// say) is caught even when no packet has betrayed it yet.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut mix = |w: u64| {
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(self.cert.pseudonym.0);
+        mix(self.cluster.map_or(u64::MAX, |c| u64::from(c.0)));
+        mix(u64::from(self.highest_seen));
+        mix(u64::from(self.dormant));
+        mix(u64::from(self.seq_counter));
+        mix(self.last_hello.map_or(u64::MAX, |t| t.as_micros()));
+        mix(self.dropped);
+        mix(self.forwarded);
+        mix(self.lured);
+        for w in self.rng.state() {
+            mix(w);
+        }
+        h
+    }
+
     /// Passive learning applied to every packet before the interceptor
     /// chain runs: sequence-number gossip and JREP membership.
     fn observe(&mut self, wire: &Wire) {
@@ -234,6 +262,15 @@ pub trait Interceptor: std::fmt::Debug {
     /// Periodic hook, driven after the base hello beacon.
     fn on_tick(&mut self, core: &mut AttackerCore, now: Time, out: &mut Vec<AttackerAction>) {
         let _ = (core, now, out);
+    }
+
+    /// Deterministic digest of any mutable state the interceptor carries,
+    /// folded into [`AttackerStack::state_digest`] for checkpoint
+    /// verification. The shipped interceptors are configuration-only
+    /// (their dynamic state lives in [`AttackerCore`]), so the default
+    /// returns 0; a stateful interceptor should override it.
+    fn state_digest(&self) -> u64 {
+        0
     }
 }
 
@@ -497,6 +534,25 @@ impl AttackerStack {
     /// clusters and renewed identities here).
     pub fn core_mut(&mut self) -> &mut AttackerCore {
         &mut self.core
+    }
+
+    /// Deterministic digest of the whole attacker's mutable state: the
+    /// honest core plus every interceptor, folded in chain order (so a
+    /// reordered chain digests differently). This is the middleware state
+    /// a checkpoint stamp captures for malicious nodes.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = self.core.state_digest();
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for interceptor in &self.chain {
+            mix(interceptor.name().as_bytes());
+            mix(&interceptor.state_digest().to_le_bytes());
+        }
+        h
     }
 
     /// Processes an incoming packet: passive learning, honest endpoint

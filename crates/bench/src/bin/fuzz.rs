@@ -243,7 +243,7 @@ fn smoke() -> i32 {
                         Some(d) => (false, d.to_string()),
                     }
                 }
-                Err(e) => (false, e),
+                Err(e) => (false, e.to_string()),
             };
             gate.check("fuzz/golden: illustrative-example trace replays", ok.0, ok.1);
         }
@@ -299,7 +299,7 @@ fn explore(budget: usize, seed: u64) -> i32 {
                     describe(report, meta).replace('\n', " "),
                     case.to_line()
                 );
-                if let Err(e) = std::fs::write(&path, body) {
+                if let Err(e) = blackdp_scenario::atomic_write(Path::new(&path), body.as_bytes()) {
                     eprintln!("fuzz: cannot write {path}: {e}");
                 }
                 println!("TRIGGER  {} → {}", case.to_line(), describe(report, meta));
@@ -396,10 +396,7 @@ fn golden() -> i32 {
     let faults = blackdp_scenario::FaultSpec::none();
     let (outcome, events) = record_trial(&cfg, &spec, &faults);
     let bytes = encode_trace(&events);
-    if let Some(parent) = Path::new(GOLDEN_TRACE).parent() {
-        std::fs::create_dir_all(parent).ok();
-    }
-    if let Err(e) = std::fs::write(GOLDEN_TRACE, &bytes) {
+    if let Err(e) = blackdp_scenario::atomic_write(Path::new(GOLDEN_TRACE), &bytes) {
         eprintln!("fuzz: cannot write {GOLDEN_TRACE}: {e}");
         return 1;
     }

@@ -22,6 +22,7 @@
 //! speed anything up).
 
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -437,9 +438,11 @@ fn main() {
         ));
     }
 
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write(OUT_PATH, render_json(&mode, threads, &baseline, &latest))
-        .expect("write BENCH_pr2.json");
+    blackdp_scenario::atomic_write(
+        Path::new(OUT_PATH),
+        render_json(&mode, threads, &baseline, &latest).as_bytes(),
+    )
+    .expect("write BENCH_pr2.json");
     println!("\nwrote {OUT_PATH}");
 
     if failures.is_empty() {

@@ -1,0 +1,417 @@
+//! `sweepd` — supervised, crash-resumable sweep driver.
+//!
+//! Runs a fixed campaign of fuzz-corpus trials through the scenario
+//! orchestrator with checkpointing workers, and proves the crash-safety
+//! story end to end:
+//!
+//! * `sweepd serial` — compute the campaign serially and print the
+//!   canonical merged result text (the oracle).
+//! * `sweepd run --dir D [--workers N] [--chaos] [--dawdle] [--die-after K]`
+//!   — run the campaign under supervision. `--chaos` makes every worker
+//!   SIGKILL itself on its first attempt *after* persisting its checkpoint
+//!   snapshot (the retry resumes from it); `--die-after K` SIGKILLs the
+//!   orchestrator itself once `K` batch results exist, leaving a
+//!   half-finished campaign directory for a later resume.
+//! * `sweepd worker [--chaos] [--dawdle] <dir> <index> <arg> <attempt>` —
+//!   the per-batch worker (spawned by `run`; not for direct use).
+//! * `sweepd smoke` — the CI gate: serial oracle vs. a worker-chaos
+//!   campaign vs. an orchestrator-kill-then-resume campaign, asserting
+//!   every merged result is byte-identical to the oracle.
+//!
+//! Worker results are written atomically, so a SIGKILL at any instant
+//! leaves either a complete result or none — never a torn file — and the
+//! merged campaign output is bit-identical to the serial run regardless
+//! of crash, retry, steal, or resume interleavings.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration as WallDuration;
+
+use blackdp_scenario::{
+    atomic_write, chain_trace, done_path, heartbeat_path, merge_results, nearest_checkpoint,
+    record_trial_with_checkpoints, resume_trial, run_campaign, trial_fingerprint, BatchSpec,
+    FuzzCase, OrchestratorConfig, Snapshot, TraceEvent, TrialOutcome, WorkerCommand,
+};
+use blackdp_sim::Duration;
+
+/// Seeds of the fixed smoke campaign (one batch per seed).
+const CAMPAIGN_SEEDS: [u64; 5] = [11, 23, 37, 51, 68];
+
+/// Checkpoints per trial.
+const CHECKPOINTS: u64 = 4;
+
+/// How long `--dawdle` workers stall before committing their result, so
+/// an orchestrator kill reliably lands mid-campaign.
+const DAWDLE: WallDuration = WallDuration::from_millis(300);
+
+fn campaign_batches() -> Vec<BatchSpec> {
+    CAMPAIGN_SEEDS
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            let mut case = FuzzCase::baseline(seed);
+            case.sim_secs = 12;
+            case.vehicles = 24;
+            BatchSpec {
+                index: i as u32,
+                arg: case.to_line(),
+            }
+        })
+        .collect()
+}
+
+/// Canonical per-batch result text — a pure function of the case and the
+/// (deterministic) trial, so any two honest computations of a batch
+/// render byte-identical results.
+fn render_result(case: &FuzzCase, outcome: &TrialOutcome, events: &[TraceEvent]) -> String {
+    format!(
+        "case {}\nclass={:?} reported={} attacker_confirmed={} honest_confirmed={} \
+         revoked={} sent={} delivered={} events={} chain={:#018x}\n",
+        case.to_line(),
+        outcome.class,
+        outcome.reported,
+        outcome.attacker_confirmed,
+        outcome.honest_confirmed,
+        outcome.attacker_revoked,
+        outcome.data_sent,
+        outcome.data_delivered,
+        events.len(),
+        chain_trace(events),
+    )
+}
+
+fn snap_path(dir: &Path, index: u32) -> PathBuf {
+    dir.join(format!("batch_{index}.snap"))
+}
+
+fn sigkill_self() -> ! {
+    let _ = Command::new("kill")
+        .arg("-9")
+        .arg(std::process::id().to_string())
+        .status();
+    // SIGKILL is not catchable; if the kill binary itself was missing,
+    // fall back to an abnormal exit so the supervisor still sees a crash.
+    std::process::exit(9);
+}
+
+/// Computes one batch: record with checkpoints (persisting the snapshot),
+/// or — when a snapshot from a killed predecessor exists — resume from
+/// its mid-flight checkpoint instead of starting over.
+fn compute_batch(dir: &Path, index: u32, case: &FuzzCase, chaos_crash: bool) -> String {
+    let (cfg, spec, faults) = (case.config(), case.spec(), case.faults());
+    let horizon = cfg.sim_duration.as_micros();
+    let interval = Duration::from_micros((horizon / CHECKPOINTS).max(1));
+
+    let resumed = std::fs::read(snap_path(dir, index))
+        .ok()
+        .and_then(|bytes| Snapshot::decode(&bytes).ok())
+        .filter(|snap| snap.fingerprint == trial_fingerprint(&cfg, &spec, &faults))
+        .and_then(|snap| {
+            let from = nearest_checkpoint(&snap, horizon / 2)?;
+            resume_trial(&cfg, &spec, &faults, &snap, from).ok()
+        });
+
+    let (outcome, events) = match resumed {
+        Some(pair) => pair,
+        None => {
+            let (outcome, events, snapshot) =
+                record_trial_with_checkpoints(&cfg, &spec, &faults, interval);
+            let _ = atomic_write(&snap_path(dir, index), &snapshot.encode());
+            if chaos_crash {
+                // Die *after* the checkpoint snapshot is durable but
+                // before the result commits: the retry must resume.
+                sigkill_self();
+            }
+            (outcome, events)
+        }
+    };
+    render_result(case, &outcome, &events)
+}
+
+fn worker_main(mut args: Vec<String>) -> i32 {
+    let mut chaos = false;
+    let mut dawdle = false;
+    while args.first().map(String::as_str) == Some("--chaos")
+        || args.first().map(String::as_str) == Some("--dawdle")
+    {
+        match args.remove(0).as_str() {
+            "--chaos" => chaos = true,
+            _ => dawdle = true,
+        }
+    }
+    let [dir, index, arg, attempt] = &args[..] else {
+        eprintln!("sweepd worker: expected <dir> <index> <arg> <attempt>");
+        return 2;
+    };
+    let dir = PathBuf::from(dir);
+    let index: u32 = index.parse().expect("batch index");
+    let attempt: u32 = attempt.parse().expect("attempt");
+    let case = match FuzzCase::parse_line(arg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sweepd worker: bad case line: {e}");
+            return 2;
+        }
+    };
+
+    // Heartbeat: touch the per-attempt file every 100 ms while computing.
+    let hb = heartbeat_path(&dir, index, attempt);
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let (hb, stop) = (hb.clone(), stop.clone());
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let _ = std::fs::write(&hb, b"hb");
+                std::thread::sleep(WallDuration::from_millis(100));
+            }
+        })
+    };
+
+    let text = compute_batch(&dir, index, &case, chaos && attempt == 1);
+    if dawdle {
+        std::thread::sleep(DAWDLE);
+    }
+    let write = atomic_write(&done_path(&dir, index), text.as_bytes());
+    stop.store(true, Ordering::Relaxed);
+    let _ = beat.join();
+    match write {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("sweepd worker: cannot write result: {e}");
+            1
+        }
+    }
+}
+
+fn orchestrator_cfg(dir: PathBuf, workers: usize) -> OrchestratorConfig {
+    OrchestratorConfig {
+        campaign_dir: dir,
+        max_workers: workers,
+        batch_timeout: WallDuration::from_secs(120),
+        heartbeat_timeout: WallDuration::from_secs(15),
+        max_attempts: 3,
+        backoff_base: WallDuration::from_millis(50),
+        steal_after: WallDuration::from_secs(60),
+        poll_interval: WallDuration::from_millis(20),
+    }
+}
+
+fn worker_command(chaos: bool, dawdle: bool) -> WorkerCommand {
+    let mut args = vec!["worker".to_string()];
+    if chaos {
+        args.push("--chaos".into());
+    }
+    if dawdle {
+        args.push("--dawdle".into());
+    }
+    WorkerCommand {
+        program: std::env::current_exe().expect("current exe"),
+        args,
+    }
+}
+
+fn run_main(args: &[String]) -> i32 {
+    let mut dir = None;
+    let mut workers = 2usize;
+    let mut chaos = false;
+    let mut dawdle = false;
+    let mut die_after = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => dir = it.next().cloned(),
+            "--workers" => workers = it.next().and_then(|v| v.parse().ok()).unwrap_or(2),
+            "--chaos" => chaos = true,
+            "--dawdle" => dawdle = true,
+            "--die-after" => die_after = it.next().and_then(|v| v.parse::<u32>().ok()),
+            other => {
+                eprintln!("sweepd run: unknown argument {other}");
+                return 2;
+            }
+        }
+    }
+    let Some(dir) = dir.map(PathBuf::from) else {
+        eprintln!("sweepd run: --dir is required");
+        return 2;
+    };
+    let batches = campaign_batches();
+
+    if let Some(k) = die_after {
+        // Chaos monitor: SIGKILL ourselves — the orchestrator — once k
+        // batch results exist, simulating a mid-campaign daemon crash.
+        let dir = dir.clone();
+        let total = batches.len() as u32;
+        std::thread::spawn(move || loop {
+            let done = (0..total).filter(|&i| done_path(&dir, i).exists()).count() as u32;
+            if done >= k {
+                sigkill_self();
+            }
+            std::thread::sleep(WallDuration::from_millis(20));
+        });
+    }
+
+    let cfg = orchestrator_cfg(dir.clone(), workers);
+    let report = match run_campaign(&worker_command(chaos, dawdle), &batches, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweepd run: orchestrator failure: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "sweepd: {} batches, {} launches, resumed {:?}, retried {:?}, stolen {:?}, failed {:?}",
+        report.batches.len(),
+        report.launches,
+        report.resumed(),
+        report.retried(),
+        report.stolen(),
+        report.failed(),
+    );
+    i32::from(!report.all_completed())
+}
+
+fn serial_oracle() -> String {
+    campaign_batches()
+        .iter()
+        .map(|b| {
+            let case = FuzzCase::parse_line(&b.arg).expect("campaign case");
+            // Compute in a throwaway directory so no snapshot can leak in.
+            let scratch = std::env::temp_dir().join(format!(
+                "blackdp_sweepd_serial_{}_{}",
+                std::process::id(),
+                b.index
+            ));
+            let _ = std::fs::remove_dir_all(&scratch);
+            let text = compute_batch(&scratch, b.index, &case, false);
+            let _ = std::fs::remove_dir_all(&scratch);
+            text
+        })
+        .collect()
+}
+
+fn smoke_main() -> i32 {
+    let exe = std::env::current_exe().expect("current exe");
+    let root = std::env::temp_dir().join(format!("blackdp_sweepd_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut failures: Vec<String> = Vec::new();
+
+    println!("sweepd smoke: computing serial oracle…");
+    let oracle = serial_oracle();
+
+    // --- Gate 1: every worker SIGKILLed mid-batch; retries must resume
+    // from their persisted checkpoints and the merge must match the oracle.
+    println!("sweepd smoke: worker-chaos campaign (every worker SIGKILLs once)…");
+    let chaos_dir = root.join("worker_chaos");
+    let batches = campaign_batches();
+    let cfg = orchestrator_cfg(chaos_dir.clone(), 3);
+    match run_campaign(&worker_command(true, false), &batches, &cfg) {
+        Ok(report) => {
+            if !report.all_completed() {
+                failures.push(format!("worker-chaos campaign failed: {:?}", report.failed()));
+            }
+            if report.retried().len() != batches.len() {
+                failures.push(format!(
+                    "every chaos worker should have died once: retried {:?}",
+                    report.retried()
+                ));
+            }
+            match merge_results(&chaos_dir, batches.len() as u32) {
+                Ok(merged) if merged == oracle.as_bytes() => {
+                    println!("sweepd smoke: worker-chaos merge is byte-identical to the oracle");
+                }
+                Ok(merged) => failures.push(format!(
+                    "worker-chaos merge differs from oracle ({} vs {} bytes)",
+                    merged.len(),
+                    oracle.len()
+                )),
+                Err(e) => failures.push(format!("worker-chaos merge failed: {e}")),
+            }
+        }
+        Err(e) => failures.push(format!("worker-chaos campaign did not run: {e}")),
+    }
+
+    // --- Gate 2: the orchestrator itself is SIGKILLed mid-campaign; a
+    // fresh orchestrator must resume from the completed batches on disk
+    // and still merge byte-identically.
+    println!("sweepd smoke: orchestrator-kill campaign (daemon dies after 2 batches)…");
+    let kill_dir = root.join("orch_kill");
+    let status = Command::new(&exe)
+        .args(["run", "--workers", "2", "--dawdle", "--die-after", "2", "--dir"])
+        .arg(&kill_dir)
+        .status()
+        .expect("spawn sweepd run");
+    if status.success() {
+        // The monitor should have killed it; a clean exit means the whole
+        // campaign outran the chaos, which defeats the resume assertion.
+        failures.push("orchestrator survived its own kill switch".into());
+    }
+    let done_before_resume = (0..batches.len() as u32)
+        .filter(|&i| done_path(&kill_dir, i).exists())
+        .count();
+    if done_before_resume == 0 || done_before_resume >= batches.len() {
+        failures.push(format!(
+            "orchestrator kill should leave a partial campaign, found {done_before_resume}/{} done",
+            batches.len()
+        ));
+    }
+    let cfg = orchestrator_cfg(kill_dir.clone(), 2);
+    match run_campaign(&worker_command(false, false), &batches, &cfg) {
+        Ok(report) => {
+            if !report.all_completed() {
+                failures.push(format!("resumed campaign failed: {:?}", report.failed()));
+            }
+            if report.resumed() as usize != done_before_resume {
+                failures.push(format!(
+                    "resume should skip the {done_before_resume} finished batches, skipped {}",
+                    report.resumed()
+                ));
+            }
+            match merge_results(&kill_dir, batches.len() as u32) {
+                Ok(merged) if merged == oracle.as_bytes() => {
+                    println!(
+                        "sweepd smoke: resumed merge is byte-identical to the oracle \
+                         ({done_before_resume} batches survived the kill)"
+                    );
+                }
+                Ok(merged) => failures.push(format!(
+                    "resumed merge differs from oracle ({} vs {} bytes)",
+                    merged.len(),
+                    oracle.len()
+                )),
+                Err(e) => failures.push(format!("resumed merge failed: {e}")),
+            }
+        }
+        Err(e) => failures.push(format!("resumed campaign did not run: {e}")),
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+    if failures.is_empty() {
+        println!("sweepd smoke: PASS — crash-resume output is bit-identical to the serial oracle");
+        0
+    } else {
+        for f in &failures {
+            eprintln!("sweepd smoke: FAIL — {f}");
+        }
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("serial") => {
+            print!("{}", serial_oracle());
+            0
+        }
+        Some("run") => run_main(&args[1..]),
+        Some("worker") => worker_main(args[1..].to_vec()),
+        Some("smoke") | None => smoke_main(),
+        Some(other) => {
+            eprintln!("sweepd: unknown mode {other} (expected serial|run|worker|smoke)");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -40,8 +40,11 @@ mod invariants;
 mod journal;
 mod malicious_node;
 mod metrics;
+mod orchestrator;
 mod parallel;
+mod persist;
 mod rsu_node;
+mod snapshot;
 pub mod stack;
 mod ta_node;
 mod trace;
@@ -69,11 +72,20 @@ pub use invariants::{
 pub use journal::{attach_journal, FrameJournal, JournalEntry, JournalHandle};
 pub use malicious_node::{MaliciousNode, MaliciousNodeConfig, MaliciousProfile};
 pub use metrics::{wilson_half_width, RateSummary, TrialClass, TrialOutcome};
+pub use orchestrator::{
+    done_path, heartbeat_path, merge_results, run_campaign, BatchSpec, BatchState, CampaignReport,
+    OrchestratorConfig, WorkerCommand,
+};
 pub use parallel::{parallel_map, parallel_map_with, worker_count};
+pub use persist::atomic_write;
 pub use rsu_node::RsuNode;
+pub use snapshot::{
+    bisect_divergence, nearest_checkpoint, record_trial_with_checkpoints, resume_trial,
+    trial_fingerprint, CheckpointStamp, ResumeError, Snapshot, SnapshotError,
+};
 pub use ta_node::TaNode;
 pub use trace::{
-    decode as decode_trace, diff as diff_traces, encode as encode_trace, record_trial,
-    replay_divergence, Divergence, TraceEvent,
+    chain_events as chain_trace, decode as decode_trace, diff as diff_traces, diff_encoded,
+    encode as encode_trace, record_trial, replay_divergence, Divergence, TraceError, TraceEvent,
 };
 pub use vehicle::{DefenseMode, TrafficIntent, VehicleConfig, VehicleNode};

@@ -480,4 +480,11 @@ impl Node<Frame, Tick> for MaliciousNode {
         self.run_attacker_actions(ctx, actions);
         ctx.set_timer(self.cfg.tick, Tick);
     }
+
+    fn state_digest(&self) -> u64 {
+        // The attacker stack holds trace-invisible state (private RNG, drop
+        // counters); surfacing it lets checkpoint verification catch silent
+        // divergence inside the middleware chain.
+        self.stack.state_digest()
+    }
 }

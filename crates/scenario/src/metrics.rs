@@ -19,7 +19,7 @@ pub enum TrialClass {
 }
 
 /// Everything measured in one simulation trial.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialOutcome {
     /// Whether an attacker was staged.
     pub attack_present: bool,

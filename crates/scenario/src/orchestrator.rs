@@ -1,0 +1,523 @@
+//! Supervised multi-process sweep orchestration.
+//!
+//! [`run_campaign`] shards a list of batches across worker *processes* and
+//! supervises them: heartbeat-based hang detection, per-batch timeouts,
+//! exponential-backoff retries with a cap, work-stealing of stragglers,
+//! and graceful degradation (the campaign completes with whatever workers
+//! survive, reporting which batches failed or had to be rerun).
+//!
+//! ## Worker contract
+//!
+//! The orchestrator launches the configured command with four extra
+//! trailing arguments:
+//!
+//! ```text
+//! <program> <fixed args…> <campaign_dir> <batch_index> <batch_arg> <attempt>
+//! ```
+//!
+//! A worker must:
+//!
+//! 1. periodically touch `<campaign_dir>/hb_<index>_<attempt>` while it
+//!    works (any write updates the mtime the supervisor watches), and
+//! 2. write its result **atomically** to `<campaign_dir>/batch_<index>.done`
+//!    (see [`crate::atomic_write`]); the *presence* of that file is the
+//!    sole completion criterion.
+//!
+//! Because results land atomically and workers are deterministic
+//! functions of `(index, arg)`, every failure-handling policy is safe by
+//! construction: a SIGKILLed worker leaves no torn file, a retry or a
+//! stolen twin rewrites byte-identical content, and resuming a campaign
+//! is just skipping batches whose `.done` file already exists. Merging
+//! reads the files in batch-index order, so merged output is bit-identical
+//! to a serial run regardless of crash/retry/steal interleaving.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// One unit of work: an opaque argument string handed to a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSpec {
+    /// Stable index; determines the result file name and merge order.
+    pub index: u32,
+    /// Worker-interpreted payload (e.g. a corpus line or seed list).
+    pub arg: String,
+}
+
+/// The worker process to launch for each batch.
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    /// Program path (e.g. `std::env::current_exe()` for self-exec).
+    pub program: PathBuf,
+    /// Fixed arguments placed before the per-batch ones.
+    pub args: Vec<String>,
+}
+
+/// Supervision policy knobs.
+#[derive(Debug, Clone)]
+pub struct OrchestratorConfig {
+    /// Directory for heartbeats and batch results (created if missing).
+    pub campaign_dir: PathBuf,
+    /// Maximum concurrently running worker processes.
+    pub max_workers: usize,
+    /// Hard wall-clock cap per worker attempt; exceeding it gets the
+    /// worker killed and the batch retried.
+    pub batch_timeout: Duration,
+    /// A worker whose heartbeat file goes stale for this long (or never
+    /// appears within it) is presumed hung and killed.
+    pub heartbeat_timeout: Duration,
+    /// Total attempts allowed per batch before it is marked failed.
+    pub max_attempts: u32,
+    /// First retry delay; doubles per subsequent attempt.
+    pub backoff_base: Duration,
+    /// A batch still running after this long becomes eligible for
+    /// work-stealing: a duplicate attempt races it, first result wins.
+    pub steal_after: Duration,
+    /// Supervisor poll cadence.
+    pub poll_interval: Duration,
+}
+
+impl OrchestratorConfig {
+    /// Conservative defaults for real sweeps.
+    pub fn new(campaign_dir: PathBuf) -> Self {
+        OrchestratorConfig {
+            campaign_dir,
+            max_workers: 4,
+            batch_timeout: Duration::from_secs(300),
+            heartbeat_timeout: Duration::from_secs(30),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(100),
+            steal_after: Duration::from_secs(60),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Final disposition of one batch after a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchState {
+    /// The batch's index.
+    pub index: u32,
+    /// Worker attempts launched for it *this campaign* (0 if resumed).
+    pub attempts: u32,
+    /// Whether its result file exists.
+    pub completed: bool,
+    /// Result already existed when the campaign started (resume skip).
+    pub resumed: bool,
+    /// A work-stealing twin was launched for it.
+    pub stolen: bool,
+}
+
+/// What happened across a whole campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Per-batch final states, in batch order.
+    pub batches: Vec<BatchState>,
+    /// Total worker processes launched.
+    pub launches: u32,
+}
+
+impl CampaignReport {
+    /// True when every batch has a result on disk.
+    pub fn all_completed(&self) -> bool {
+        self.batches.iter().all(|b| b.completed)
+    }
+
+    /// Indices that exhausted their attempts without a result.
+    pub fn failed(&self) -> Vec<u32> {
+        self.batches
+            .iter()
+            .filter(|b| !b.completed)
+            .map(|b| b.index)
+            .collect()
+    }
+
+    /// Indices that needed more than one attempt (crash/hang reruns).
+    pub fn retried(&self) -> Vec<u32> {
+        self.batches
+            .iter()
+            .filter(|b| b.attempts > 1 && !b.stolen)
+            .map(|b| b.index)
+            .collect()
+    }
+
+    /// Indices that had a work-stealing twin launched.
+    pub fn stolen(&self) -> Vec<u32> {
+        self.batches
+            .iter()
+            .filter(|b| b.stolen)
+            .map(|b| b.index)
+            .collect()
+    }
+
+    /// How many batches were already done on disk at campaign start.
+    pub fn resumed(&self) -> u32 {
+        self.batches.iter().filter(|b| b.resumed).count() as u32
+    }
+}
+
+/// The result-file path for a batch (presence = batch complete).
+pub fn done_path(dir: &Path, index: u32) -> PathBuf {
+    dir.join(format!("batch_{index}.done"))
+}
+
+/// The heartbeat-file path a worker attempt must keep touching.
+pub fn heartbeat_path(dir: &Path, index: u32, attempt: u32) -> PathBuf {
+    dir.join(format!("hb_{index}_{attempt}"))
+}
+
+struct Runner {
+    child: Child,
+    started: Instant,
+    attempt: u32,
+}
+
+struct Supervised {
+    spec: BatchSpec,
+    runners: Vec<Runner>,
+    attempts: u32,
+    next_eligible: Instant,
+    done: bool,
+    failed: bool,
+    resumed: bool,
+    stolen: bool,
+}
+
+impl Supervised {
+    fn settled(&self) -> bool {
+        self.done || self.failed
+    }
+}
+
+fn mtime_age(path: &Path, now: std::time::SystemTime) -> Option<Duration> {
+    let modified = fs::metadata(path).and_then(|m| m.modified()).ok()?;
+    now.duration_since(modified).ok()
+}
+
+fn kill_runner(r: &mut Runner) {
+    let _ = r.child.kill();
+    let _ = r.child.wait();
+}
+
+/// Runs `batches` through worker processes under full supervision.
+///
+/// Returns once every batch is either complete or has exhausted its
+/// attempts — worker crashes, hangs, and even losing every worker for a
+/// batch degrade to a [`CampaignReport`] entry, never an error. `Err` is
+/// reserved for the orchestrator itself being unable to operate (campaign
+/// directory not creatable, worker binary unspawnable).
+pub fn run_campaign(
+    cmd: &WorkerCommand,
+    batches: &[BatchSpec],
+    cfg: &OrchestratorConfig,
+) -> io::Result<CampaignReport> {
+    fs::create_dir_all(&cfg.campaign_dir)?;
+    let start = Instant::now();
+    let mut launches = 0u32;
+    let mut slots: Vec<Supervised> = batches
+        .iter()
+        .map(|spec| {
+            let done = done_path(&cfg.campaign_dir, spec.index).exists();
+            Supervised {
+                spec: spec.clone(),
+                runners: Vec::new(),
+                attempts: 0,
+                next_eligible: start,
+                done,
+                failed: false,
+                resumed: done,
+                stolen: false,
+            }
+        })
+        .collect();
+
+    let spawn = |spec: &BatchSpec, attempt: u32| -> io::Result<Child> {
+        Command::new(&cmd.program)
+            .args(&cmd.args)
+            .arg(&cfg.campaign_dir)
+            .arg(spec.index.to_string())
+            .arg(&spec.arg)
+            .arg(attempt.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+    };
+
+    while slots.iter().any(|s| !s.settled()) {
+        let now = Instant::now();
+        let wall = std::time::SystemTime::now();
+
+        for slot in slots.iter_mut().filter(|s| !s.settled()) {
+            // Result file appearing settles the batch immediately; any
+            // still-running attempts (stolen twins, slow originals) are
+            // redundant and reaped.
+            if done_path(&cfg.campaign_dir, slot.spec.index).exists() {
+                slot.done = true;
+                for r in &mut slot.runners {
+                    kill_runner(r);
+                }
+                slot.runners.clear();
+                continue;
+            }
+
+            // Reap exits and kill hung attempts.
+            let had_runners = !slot.runners.is_empty();
+            let mut kept = Vec::new();
+            for mut r in slot.runners.drain(..) {
+                let exited = matches!(r.child.try_wait(), Ok(Some(_)));
+                if exited {
+                    continue; // no result file yet ⇒ this attempt failed
+                }
+                let age = now.duration_since(r.started);
+                let hb = heartbeat_path(&cfg.campaign_dir, slot.spec.index, r.attempt);
+                let hb_age = mtime_age(&hb, wall).unwrap_or(age);
+                if age > cfg.batch_timeout || hb_age > cfg.heartbeat_timeout {
+                    kill_runner(&mut r);
+                    continue;
+                }
+                kept.push(r);
+            }
+            slot.runners = kept;
+
+            // Last attempt just died: back off before retrying, or give
+            // up. Scheduling happens only on the poll that observed the
+            // death, so the backoff clock is armed exactly once.
+            if slot.runners.is_empty() && had_runners {
+                if slot.attempts >= cfg.max_attempts {
+                    slot.failed = true;
+                } else {
+                    let backoff = cfg.backoff_base * 2u32.saturating_pow(slot.attempts - 1);
+                    slot.next_eligible = now + backoff;
+                }
+            }
+        }
+
+        // Fill free worker slots: first fresh/retry launches in batch
+        // order, then steal stragglers.
+        let mut active: usize = slots.iter().map(|s| s.runners.len()).sum();
+        for slot in slots.iter_mut() {
+            if active >= cfg.max_workers {
+                break;
+            }
+            if slot.settled() || !slot.runners.is_empty() || slot.next_eligible > now {
+                continue;
+            }
+            slot.attempts += 1;
+            let child = spawn(&slot.spec, slot.attempts)?;
+            launches += 1;
+            slot.runners.push(Runner {
+                child,
+                started: now,
+                attempt: slot.attempts,
+            });
+            active += 1;
+        }
+        if active < cfg.max_workers {
+            // Straggler with exactly one live attempt, running the
+            // longest past the steal threshold, gets a racing twin.
+            let candidate = slots
+                .iter_mut()
+                .filter(|s| !s.settled() && s.runners.len() == 1 && s.attempts < cfg.max_attempts)
+                .filter(|s| now.duration_since(s.runners[0].started) > cfg.steal_after)
+                .max_by_key(|s| now.duration_since(s.runners[0].started));
+            if let Some(slot) = candidate {
+                slot.attempts += 1;
+                slot.stolen = true;
+                let child = spawn(&slot.spec, slot.attempts)?;
+                launches += 1;
+                slot.runners.push(Runner {
+                    child,
+                    started: now,
+                    attempt: slot.attempts,
+                });
+            }
+        }
+
+        std::thread::sleep(cfg.poll_interval);
+    }
+
+    for slot in &mut slots {
+        for r in &mut slot.runners {
+            kill_runner(r);
+        }
+        slot.runners.clear();
+    }
+
+    Ok(CampaignReport {
+        batches: slots
+            .iter()
+            .map(|s| BatchState {
+                index: s.spec.index,
+                attempts: s.attempts,
+                completed: s.done,
+                resumed: s.resumed,
+                stolen: s.stolen,
+            })
+            .collect(),
+        launches,
+    })
+}
+
+/// Concatenates every batch result in index order.
+///
+/// Deterministic by construction: result files are pure functions of
+/// `(index, arg)` written atomically, and the read order is the batch
+/// order — so the merge is byte-identical to a serial run no matter how
+/// many crashes, retries, steals, or resumes produced the files. Fails
+/// with `NotFound` if any batch result is missing (check
+/// [`CampaignReport::all_completed`] first).
+pub fn merge_results(dir: &Path, batch_count: u32) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    for index in 0..batch_count {
+        let path = done_path(dir, index);
+        let bytes = fs::read(&path).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("batch {index} result missing at {}: {e}", path.display()),
+            )
+        })?;
+        out.extend_from_slice(&bytes);
+    }
+    Ok(out)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    /// A worker implemented as an inline shell script. The orchestrator
+    /// appends `<dir> <index> <arg> <attempt>`, which the script sees as
+    /// `$1 $2 $3 $4`.
+    fn sh_worker(script: &str) -> WorkerCommand {
+        WorkerCommand {
+            program: PathBuf::from("/bin/sh"),
+            args: vec!["-c".into(), script.into(), "worker".into()],
+        }
+    }
+
+    /// Atomically writes "r<index>:<arg>\n" to the done file.
+    const WRITE_DONE: &str = r#"printf 'r%s:%s\n' "$2" "$3" > "$1/.t$2.$4" && mv "$1/.t$2.$4" "$1/batch_$2.done""#;
+
+    fn fast_cfg(tag: &str) -> OrchestratorConfig {
+        let dir = std::env::temp_dir().join(format!("blackdp_orch_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        OrchestratorConfig {
+            campaign_dir: dir,
+            max_workers: 2,
+            batch_timeout: Duration::from_secs(20),
+            heartbeat_timeout: Duration::from_secs(20),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            steal_after: Duration::from_secs(60),
+            poll_interval: Duration::from_millis(10),
+        }
+    }
+
+    fn specs(n: u32) -> Vec<BatchSpec> {
+        (0..n)
+            .map(|index| BatchSpec {
+                index,
+                arg: format!("a{index}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn happy_path_completes_and_merges_in_order() {
+        let cfg = fast_cfg("happy");
+        let report = run_campaign(&sh_worker(WRITE_DONE), &specs(4), &cfg).unwrap();
+        assert!(report.all_completed());
+        assert!(report.failed().is_empty());
+        assert_eq!(report.resumed(), 0);
+        let merged = merge_results(&cfg.campaign_dir, 4).unwrap();
+        assert_eq!(
+            String::from_utf8(merged).unwrap(),
+            "r0:a0\nr1:a1\nr2:a2\nr3:a3\n"
+        );
+        let _ = fs::remove_dir_all(&cfg.campaign_dir);
+    }
+
+    #[test]
+    fn crashed_worker_is_retried_with_backoff() {
+        let cfg = fast_cfg("crash");
+        // Attempt 1 dies by SIGKILL (kill -9 $$) before writing; attempt 2
+        // succeeds.
+        let script = format!(r#"if [ "$4" -lt 2 ]; then kill -9 $$; fi; {WRITE_DONE}"#);
+        let report = run_campaign(&sh_worker(&script), &specs(2), &cfg).unwrap();
+        assert!(report.all_completed());
+        assert_eq!(report.retried(), vec![0, 1]);
+        let merged = merge_results(&cfg.campaign_dir, 2).unwrap();
+        assert_eq!(String::from_utf8(merged).unwrap(), "r0:a0\nr1:a1\n");
+        let _ = fs::remove_dir_all(&cfg.campaign_dir);
+    }
+
+    #[test]
+    fn hung_worker_is_killed_and_retried() {
+        let mut cfg = fast_cfg("hang");
+        cfg.heartbeat_timeout = Duration::from_millis(200);
+        // Attempt 1 never heartbeats and sleeps forever; the supervisor
+        // must kill it on heartbeat staleness and retry.
+        let script = format!(r#"if [ "$4" -lt 2 ]; then sleep 60; fi; {WRITE_DONE}"#);
+        let t0 = Instant::now();
+        let report = run_campaign(&sh_worker(&script), &specs(1), &cfg).unwrap();
+        assert!(report.all_completed());
+        assert_eq!(report.retried(), vec![0]);
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "hang detection took {:?}",
+            t0.elapsed()
+        );
+        let _ = fs::remove_dir_all(&cfg.campaign_dir);
+    }
+
+    #[test]
+    fn existing_results_are_resumed_not_rerun() {
+        let cfg = fast_cfg("resume");
+        fs::create_dir_all(&cfg.campaign_dir).unwrap();
+        fs::write(done_path(&cfg.campaign_dir, 0), "pre-existing\n").unwrap();
+        let report = run_campaign(&sh_worker(WRITE_DONE), &specs(2), &cfg).unwrap();
+        assert!(report.all_completed());
+        assert_eq!(report.resumed(), 1);
+        assert_eq!(report.batches[0].attempts, 0, "resumed batch relaunched");
+        // The pre-existing result is preserved verbatim.
+        let merged = merge_results(&cfg.campaign_dir, 2).unwrap();
+        assert_eq!(String::from_utf8(merged).unwrap(), "pre-existing\nr1:a1\n");
+        let _ = fs::remove_dir_all(&cfg.campaign_dir);
+    }
+
+    #[test]
+    fn straggler_is_stolen_and_loser_is_reaped() {
+        let mut cfg = fast_cfg("steal");
+        cfg.steal_after = Duration::from_millis(100);
+        // Attempt 1 heartbeats forever without finishing; the stolen twin
+        // (attempt 2) completes instantly and the orchestrator kills the
+        // straggler.
+        let script = format!(
+            r#"if [ "$4" -lt 2 ]; then while :; do : > "$1/hb_$2_$4"; sleep 0.02; done; fi; {WRITE_DONE}"#
+        );
+        let report = run_campaign(&sh_worker(&script), &specs(1), &cfg).unwrap();
+        assert!(report.all_completed());
+        assert_eq!(report.stolen(), vec![0]);
+        let merged = merge_results(&cfg.campaign_dir, 1).unwrap();
+        assert_eq!(String::from_utf8(merged).unwrap(), "r0:a0\n");
+        let _ = fs::remove_dir_all(&cfg.campaign_dir);
+    }
+
+    #[test]
+    fn campaign_degrades_gracefully_when_a_batch_cannot_complete() {
+        let mut cfg = fast_cfg("degrade");
+        cfg.max_attempts = 2;
+        // Batch 0 always dies; batch 1 succeeds.
+        let script = format!(r#"if [ "$2" = 0 ]; then exit 1; fi; {WRITE_DONE}"#);
+        let report = run_campaign(&sh_worker(&script), &specs(2), &cfg).unwrap();
+        assert!(!report.all_completed());
+        assert_eq!(report.failed(), vec![0]);
+        assert_eq!(report.batches[0].attempts, 2);
+        assert!(report.batches[1].completed);
+        assert!(merge_results(&cfg.campaign_dir, 2).is_err());
+        let _ = fs::remove_dir_all(&cfg.campaign_dir);
+    }
+}

@@ -1,0 +1,90 @@
+//! Crash-safe file persistence.
+//!
+//! Every artifact the campaign machinery writes (trace journals, benchmark
+//! JSON, orchestrator batch results) goes through [`atomic_write`]: the bytes
+//! land in a temporary file in the *same directory*, are fsynced, and only
+//! then renamed over the destination. A reader therefore observes either the
+//! old file, the new file, or no file — never a torn prefix. The orchestrator
+//! leans on this: the mere *presence* of a batch result file proves the
+//! worker finished it, so resume-after-SIGKILL can trust whatever is on disk.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// `fsync`, rename, best-effort directory sync.
+///
+/// Parent directories are created if missing. The temp file name is derived
+/// from the destination plus a `.tmp.<pid>` suffix so concurrent writers of
+/// *different* destinations never collide; concurrent writers of the *same*
+/// destination (work-stealing duplicates) race only at the rename, which is
+/// atomic, and both sides write identical bytes by construction.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    fs::create_dir_all(&dir)?;
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = dir.join(tmp_name);
+
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return result;
+    }
+
+    // Durability of the rename itself needs the directory synced; platforms
+    // that refuse to fsync a directory handle (or sandboxed filesystems)
+    // still gave us atomicity above, so failures here are non-fatal.
+    if let Ok(d) = fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("blackdp_persist_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("basic");
+        let path = dir.join("nested").join("out.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        // No stray temp files left behind.
+        let leftovers: Vec<_> = fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("out.bin")]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_directory_destination() {
+        let dir = tmp_dir("dirdest");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(atomic_write(&dir, b"x").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -8,13 +8,17 @@
 //! the differ reports the first mismatching event with the events leading
 //! up to it — turning any nondeterminism or protocol-visible behavior
 //! change into a one-command repro.
+//!
+//! Decoding returns a structured [`TraceError`] — a truncated or
+//! bit-flipped journal (a crashed writer, a corrupt disk) is reported,
+//! never panicked on.
 
 use blackdp_sim::Time;
 
 use crate::build::{build_scenario, harvest, stage_false_suspicion};
 use crate::config::{ScenarioConfig, TrialSpec};
 use crate::faults::FaultSpec;
-use crate::journal::attach_journal;
+use crate::journal::{attach_journal, JournalEntry};
 use crate::metrics::TrialOutcome;
 
 /// One delivered frame, flattened for serialization.
@@ -53,6 +57,23 @@ impl std::fmt::Display for TraceEvent {
     }
 }
 
+/// Flattens one journal entry into its serializable trace form.
+pub(crate) fn entry_to_event(e: &JournalEntry) -> TraceEvent {
+    TraceEvent {
+        at_micros: e.at.as_micros(),
+        from: e.from.index(),
+        to: e.to.index(),
+        channel: match e.channel {
+            blackdp_sim::Channel::Radio => 0,
+            blackdp_sim::Channel::Wired => 1,
+        },
+        src: e.src.0,
+        dst: e.dst.map(|a| a.0),
+        kind: e.kind.to_string(),
+        digest: e.digest,
+    }
+}
+
 /// Runs one trial with a journal attached and returns its outcome plus
 /// the full delivery trace.
 pub fn record_trial(
@@ -69,24 +90,7 @@ pub fn record_trial(
     stage_false_suspicion(&mut built, spec);
     built.world.run_until(Time::ZERO + cfg.sim_duration);
     let outcome = harvest(cfg, spec, &built);
-    let events = journal
-        .borrow()
-        .entries()
-        .iter()
-        .map(|e| TraceEvent {
-            at_micros: e.at.as_micros(),
-            from: e.from.index(),
-            to: e.to.index(),
-            channel: match e.channel {
-                blackdp_sim::Channel::Radio => 0,
-                blackdp_sim::Channel::Wired => 1,
-            },
-            src: e.src.0,
-            dst: e.dst.map(|a| a.0),
-            kind: e.kind.to_string(),
-            digest: e.digest,
-        })
-        .collect();
+    let events = journal.borrow().entries().iter().map(entry_to_event).collect();
     (outcome, events)
 }
 
@@ -95,13 +99,66 @@ const MAGIC: &[u8; 8] = b"BDPTRACE";
 /// Format version; bump on any wire change.
 const VERSION: u32 = 1;
 
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
+pub(crate) const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Continues an FNV-1a 64-bit hash over `bytes` from state `h`.
+pub(crate) fn fnv64_continue(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        h = h.wrapping_mul(FNV_PRIME);
     }
     h
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_continue(FNV_OFFSET, bytes)
+}
+
+/// Appends one event's fixed-layout record to `out`.
+fn write_record(out: &mut Vec<u8>, e: &TraceEvent) {
+    out.extend_from_slice(&e.at_micros.to_le_bytes());
+    out.extend_from_slice(&e.from.to_le_bytes());
+    out.extend_from_slice(&e.to.to_le_bytes());
+    out.push(e.channel);
+    match e.dst {
+        Some(d) => {
+            out.push(1);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        None => {
+            out.push(0);
+            out.extend_from_slice(&0u64.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&e.src.to_le_bytes());
+    let kind = e.kind.as_bytes();
+    out.extend_from_slice(&(kind.len() as u16).to_le_bytes());
+    out.extend_from_slice(kind);
+    out.extend_from_slice(&e.digest.to_le_bytes());
+}
+
+/// Folds one event into a running chained checksum.
+///
+/// Checkpoint stamps store the chain value over the trace prefix up to the
+/// checkpoint boundary, so a resumed run can prove — without keeping the
+/// whole prefix around — that the events it skipped are exactly the events
+/// the original run produced. The chain hashes the same record bytes
+/// [`encode`] writes, so it inherits the wire format's injectivity.
+pub(crate) fn chain_event(h: u64, e: &TraceEvent) -> u64 {
+    let mut buf = Vec::with_capacity(48 + e.kind.len());
+    write_record(&mut buf, e);
+    fnv64_continue(h, &buf)
+}
+
+/// The chained checksum of a whole event sequence, starting from the FNV
+/// offset basis.
+///
+/// This is the same chain checkpoint stamps carry, so external tooling
+/// (sweep drivers rendering per-trial digests) can compare a full trace
+/// against a stamp without re-encoding the journal.
+pub fn chain_events(events: &[TraceEvent]) -> u64 {
+    events.iter().fold(FNV_OFFSET, chain_event)
 }
 
 /// Serializes a trace to the compact binary journal format: magic,
@@ -113,74 +170,128 @@ pub fn encode(events: &[TraceEvent]) -> Vec<u8> {
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&(events.len() as u64).to_le_bytes());
     for e in events {
-        out.extend_from_slice(&e.at_micros.to_le_bytes());
-        out.extend_from_slice(&e.from.to_le_bytes());
-        out.extend_from_slice(&e.to.to_le_bytes());
-        out.push(e.channel);
-        match e.dst {
-            Some(d) => {
-                out.push(1);
-                out.extend_from_slice(&d.to_le_bytes());
-            }
-            None => {
-                out.push(0);
-                out.extend_from_slice(&0u64.to_le_bytes());
-            }
-        }
-        out.extend_from_slice(&e.src.to_le_bytes());
-        let kind = e.kind.as_bytes();
-        out.extend_from_slice(&(kind.len() as u16).to_le_bytes());
-        out.extend_from_slice(kind);
-        out.extend_from_slice(&e.digest.to_le_bytes());
+        write_record(&mut out, e);
     }
     let checksum = fnv64(&out);
     out.extend_from_slice(&checksum.to_le_bytes());
     out
 }
 
+/// Why a binary trace failed to decode.
+///
+/// Every variant is a recoverable report about the *bytes* — corrupt or
+/// truncated journals (crashed writers, bit rot) surface here instead of
+/// panicking the replay tooling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Fewer bytes than the fixed header + checksum require.
+    TooShort {
+        /// Actual byte length of the input.
+        len: usize,
+    },
+    /// The trailing FNV-64 checksum does not match the body.
+    ChecksumMismatch {
+        /// Checksum stored in the trailer.
+        stored: u64,
+        /// Checksum computed over the body.
+        computed: u64,
+    },
+    /// The file does not start with the `BDPTRACE` magic.
+    BadMagic,
+    /// The version field names a format this build cannot read.
+    UnsupportedVersion(u32),
+    /// The body ended in the middle of a field.
+    Truncated {
+        /// Which field was being read.
+        what: &'static str,
+        /// Byte offset where the read started.
+        offset: usize,
+    },
+    /// An event's kind tag is not valid UTF-8.
+    BadKind {
+        /// Index of the offending event.
+        event: usize,
+    },
+    /// Bytes remain after the declared event count was read.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+        /// The declared event count.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::TooShort { len } => {
+                write!(f, "trace too short for header: {len} bytes")
+            }
+            TraceError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "trace checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            TraceError::BadMagic => write!(f, "bad trace magic"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated { what, offset } => {
+                write!(f, "trace truncated reading {what} at offset {offset}")
+            }
+            TraceError::BadKind { event } => write!(f, "event {event}: kind is not UTF-8"),
+            TraceError::TrailingBytes { extra, count } => {
+                write!(f, "{extra} trailing bytes after {count} events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// Reads `N` bytes from the cursor, or fails with the field name.
-fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize, what: &str) -> Result<&'a [u8], String> {
+fn take<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    n: usize,
+    what: &'static str,
+) -> Result<&'a [u8], TraceError> {
     let end = pos
         .checked_add(n)
         .filter(|&e| e <= buf.len())
-        .ok_or_else(|| format!("trace truncated reading {what} at offset {pos}"))?;
+        .ok_or(TraceError::Truncated { what, offset: *pos })?;
     let slice = &buf[*pos..end];
     *pos = end;
     Ok(slice)
 }
 
-fn u64_at(buf: &[u8], pos: &mut usize, what: &str) -> Result<u64, String> {
+fn u64_at(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, TraceError> {
     Ok(u64::from_le_bytes(
         take(buf, pos, 8, what)?.try_into().unwrap(),
     ))
 }
 
-fn u32_at(buf: &[u8], pos: &mut usize, what: &str) -> Result<u32, String> {
+fn u32_at(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u32, TraceError> {
     Ok(u32::from_le_bytes(
         take(buf, pos, 4, what)?.try_into().unwrap(),
     ))
 }
 
 /// Deserializes a binary trace, verifying magic, version, and checksum.
-pub fn decode(bytes: &[u8]) -> Result<Vec<TraceEvent>, String> {
+pub fn decode(bytes: &[u8]) -> Result<Vec<TraceEvent>, TraceError> {
     if bytes.len() < MAGIC.len() + 4 + 8 + 8 {
-        return Err("trace too short for header".into());
+        return Err(TraceError::TooShort { len: bytes.len() });
     }
     let (body, trailer) = bytes.split_at(bytes.len() - 8);
     let stored = u64::from_le_bytes(trailer.try_into().unwrap());
     let computed = fnv64(body);
     if stored != computed {
-        return Err(format!(
-            "trace checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
-        ));
+        return Err(TraceError::ChecksumMismatch { stored, computed });
     }
     let mut pos = 0usize;
     if take(body, &mut pos, MAGIC.len(), "magic")? != MAGIC {
-        return Err("bad trace magic".into());
+        return Err(TraceError::BadMagic);
     }
     let version = u32_at(body, &mut pos, "version")?;
     if version != VERSION {
-        return Err(format!("unsupported trace version {version}"));
+        return Err(TraceError::UnsupportedVersion(version));
     }
     let count = u64_at(body, &mut pos, "event count")? as usize;
     let mut events = Vec::with_capacity(count.min(1 << 20));
@@ -194,7 +305,7 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<TraceEvent>, String> {
         let src = u64_at(body, &mut pos, "src")?;
         let kind_len = u16::from_le_bytes(take(body, &mut pos, 2, "kind len")?.try_into().unwrap());
         let kind = String::from_utf8(take(body, &mut pos, kind_len as usize, "kind")?.to_vec())
-            .map_err(|_| format!("event {i}: kind is not UTF-8"))?;
+            .map_err(|_| TraceError::BadKind { event: i })?;
         let digest = u64_at(body, &mut pos, "digest")?;
         events.push(TraceEvent {
             at_micros,
@@ -208,10 +319,10 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<TraceEvent>, String> {
         });
     }
     if pos != body.len() {
-        return Err(format!(
-            "{} trailing bytes after {count} events",
-            body.len() - pos
-        ));
+        return Err(TraceError::TrailingBytes {
+            extra: body.len() - pos,
+            count,
+        });
     }
     Ok(events)
 }
@@ -268,6 +379,20 @@ pub fn diff(expected: &[TraceEvent], actual: &[TraceEvent]) -> Option<Divergence
     None
 }
 
+/// Decodes a recorded journal and diffs it against a trace of events.
+///
+/// The byte-level entry point replay tooling should prefer: a truncated or
+/// corrupt journal on disk becomes a [`TraceError`], not a panic, while a
+/// healthy journal that merely disagrees with the fresh events becomes a
+/// [`Divergence`].
+pub fn diff_encoded(
+    recorded: &[u8],
+    actual: &[TraceEvent],
+) -> Result<Option<Divergence>, TraceError> {
+    let expected = decode(recorded)?;
+    Ok(diff(&expected, actual))
+}
+
 /// Re-runs the trial and diffs its trace against a recorded one; `None`
 /// means the replay was bit-identical.
 pub fn replay_divergence(
@@ -306,14 +431,80 @@ mod tests {
     }
 
     #[test]
-    fn decode_rejects_corruption() {
+    fn decode_rejects_corruption_with_structured_errors() {
         let mut bytes = encode(&(0..5).map(event).collect::<Vec<_>>());
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
-        let err = decode(&bytes).unwrap_err();
-        assert!(err.contains("checksum"), "unexpected error: {err}");
-        let short = &bytes[..10];
-        assert!(decode(short).is_err());
+        match decode(&bytes).unwrap_err() {
+            TraceError::ChecksumMismatch { stored, computed } => assert_ne!(stored, computed),
+            other => panic!("expected checksum mismatch, got {other}"),
+        }
+        assert_eq!(decode(&bytes[..10]).unwrap_err(), TraceError::TooShort { len: 10 });
+    }
+
+    #[test]
+    fn decode_reports_truncation_not_panic() {
+        let good = encode(&(0..5).map(event).collect::<Vec<_>>());
+        // Chop mid-record and re-seal with a valid checksum so the cursor,
+        // not the checksum, is what trips — the journal of a writer that
+        // died mid-record but whose trailer happened to survive.
+        for cut in [good.len() - 20, good.len() - 9, 21] {
+            let mut cropped = good[..cut].to_vec();
+            let sum = fnv64(&cropped);
+            cropped.extend_from_slice(&sum.to_le_bytes());
+            match decode(&cropped) {
+                Err(TraceError::Truncated { .. }) | Err(TraceError::TrailingBytes { .. }) => {}
+                other => panic!("cut at {cut}: expected truncation report, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_magic_and_version() {
+        let mut bad_magic = encode(&[event(0)]);
+        bad_magic[0] ^= 0x20;
+        let sum = fnv64(&bad_magic[..bad_magic.len() - 8]);
+        let len = bad_magic.len();
+        bad_magic[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode(&bad_magic).unwrap_err(), TraceError::BadMagic);
+
+        let mut bad_version = encode(&[event(0)]);
+        bad_version[8] = 99;
+        let sum = fnv64(&bad_version[..bad_version.len() - 8]);
+        let len = bad_version.len();
+        bad_version[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            decode(&bad_version).unwrap_err(),
+            TraceError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn chained_checksum_is_prefix_consistent() {
+        let events: Vec<_> = (0..10).map(event).collect();
+        let full = chain_events(&events);
+        let mut h = chain_events(&events[..4]);
+        for e in &events[4..] {
+            h = chain_event(h, e);
+        }
+        assert_eq!(h, full);
+        // Sensitive to content and order.
+        let mut swapped = events.clone();
+        swapped.swap(2, 3);
+        assert_ne!(chain_events(&swapped), full);
+    }
+
+    #[test]
+    fn diff_encoded_separates_corruption_from_divergence() {
+        let events: Vec<_> = (0..6).map(event).collect();
+        let bytes = encode(&events);
+        assert!(diff_encoded(&bytes, &events).unwrap().is_none());
+        let mut other = events.clone();
+        other[3].digest ^= 1;
+        assert_eq!(diff_encoded(&bytes, &other).unwrap().unwrap().index, 3);
+        let mut corrupt = bytes.clone();
+        corrupt[12] ^= 0xFF;
+        assert!(diff_encoded(&corrupt, &events).is_err());
     }
 
     #[test]

@@ -108,6 +108,13 @@ impl<P, T> EventQueue<P, T> {
         self.heap.peek().map(|s| s.time)
     }
 
+    /// Total events ever pushed (the next insertion sequence number). Two
+    /// runs that agree on this at the same virtual time scheduled exactly
+    /// as many occurrences — part of the checkpoint engine stamp.
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+
     pub fn len(&self) -> usize {
         self.heap.len()
     }

@@ -79,4 +79,4 @@ pub use oracle::{InvariantCheck, SimEvent, Violation, ViolationSink};
 pub use position::Position;
 pub use stats::Stats;
 pub use time::{Duration, Time};
-pub use world::{NeighborIndex, RadioModel, Tap, TamperHook, World, WorldConfig};
+pub use world::{EngineStamp, NeighborIndex, RadioModel, Tap, TamperHook, World, WorldConfig};

@@ -51,6 +51,20 @@ pub trait Node<P, T>: std::any::Any {
 
     /// Invoked when a timer armed via [`Context::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Context<'_, P, T>, token: T);
+
+    /// A deterministic digest of the node's mutable state, folded into the
+    /// engine's checkpoint stamp
+    /// ([`World::engine_stamp`](crate::World::engine_stamp)).
+    ///
+    /// The default returns 0 (the node contributes nothing beyond its
+    /// existence). Nodes carrying state the packet trace cannot witness —
+    /// attacker middleware with private RNGs and drop counters, say —
+    /// should override this so checkpoint verification catches silent
+    /// divergence inside them. Must be cheap, pure, and a function of node
+    /// state only.
+    fn state_digest(&self) -> u64 {
+        0
+    }
 }
 
 /// An effect emitted by a node callback, applied by the world afterwards.

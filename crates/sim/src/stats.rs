@@ -82,6 +82,29 @@ impl Stats {
             .map(|(_, v)| *v)
             .sum()
     }
+
+    /// FNV-1a 64-bit digest over every `key=value` pair in key order.
+    ///
+    /// Because keys are ordered and counters only ever grow, two runs with
+    /// the same digest at the same virtual time have counted exactly the
+    /// same things — checkpoint witnesses use this as a cheap whole-engine
+    /// equality check.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for (k, v) in &self.counters {
+            eat(k.as_bytes());
+            eat(b"=");
+            eat(&v.to_le_bytes());
+            eat(b"\n");
+        }
+        h
+    }
 }
 
 impl fmt::Display for Stats {
@@ -133,6 +156,21 @@ mod tests {
         assert_eq!(s.sum_prefix("radio."), 5);
         assert_eq!(s.sum_prefix("radio"), 105);
         assert_eq!(s.sum_prefix("nothing"), 0);
+    }
+
+    #[test]
+    fn digest_tracks_content_not_history() {
+        let mut a = Stats::new();
+        a.add("x", 3);
+        a.incr("y");
+        let mut b = Stats::new();
+        b.incr("y");
+        b.incr("x");
+        b.add("x", 2);
+        assert_eq!(a.digest(), b.digest(), "same counters, same digest");
+        b.incr("x");
+        assert_ne!(a.digest(), b.digest(), "changed counter, changed digest");
+        assert_eq!(Stats::new().digest(), Stats::new().digest());
     }
 
     #[test]

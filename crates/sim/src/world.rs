@@ -163,6 +163,43 @@ pub struct World<P, T> {
     recv_scratch: Vec<(u32, f64)>,
 }
 
+/// A verification witness of the engine's full dynamic state at one
+/// instant, captured by [`World::engine_stamp`].
+///
+/// The simulation is deterministic: its state at any virtual time is a
+/// pure function of the construction inputs and the event history. A
+/// stamp therefore does not need to serialize nodes or queued payloads —
+/// it pins down the trajectory with a handful of exact witnesses (clock,
+/// scheduling counters, the RNG's full internal state, digests of the
+/// counters and of every node's opt-in
+/// [`Node::state_digest`](crate::Node::state_digest)). Two runs whose
+/// stamps agree at a checkpoint boundary have made identical random
+/// draws, scheduled identical occurrences, and hold identical witnessed
+/// node state — which is what checkpoint/restore verifies before resuming
+/// a trial mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStamp {
+    /// Current virtual time in microseconds.
+    pub now_micros: u64,
+    /// Occurrences ever scheduled (the queue's insertion counter).
+    pub scheduled: u64,
+    /// Occurrences still pending in the queue.
+    pub pending: u64,
+    /// Timers ever armed.
+    pub timers_armed: u64,
+    /// The engine RNG's full internal state (xoshiro256++ words).
+    pub rng_state: [u64; 4],
+    /// Digest of every statistics counter ([`Stats::digest`]).
+    pub stats_digest: u64,
+    /// Order-sensitive fold of every spawned node's
+    /// [`Node::state_digest`](crate::Node::state_digest) (inactive slots
+    /// contribute their liveness flags, so despawn/crash state is pinned
+    /// too).
+    pub node_digest: u64,
+    /// Spawned nodes still active.
+    pub active_nodes: u32,
+}
+
 /// A delivery observer: called for every packet delivered to an active
 /// node, with `(time, from, to, payload, channel)`.
 pub type Tap<P> = Box<dyn FnMut(Time, NodeId, NodeId, &P, Channel)>;
@@ -316,6 +353,39 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     /// Number of spawned nodes (active or not).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Captures an [`EngineStamp`] witnessing the engine's dynamic state
+    /// right now. Cheap (one pass over nodes and counters, no payload
+    /// serialization); used by scenario checkpointing at tick boundaries.
+    pub fn engine_stamp(&self) -> EngineStamp {
+        let mut node_digest = 0xCBF2_9CE4_8422_2325u64;
+        let mut active_nodes = 0u32;
+        let mut mix = |w: u64| {
+            for b in w.to_le_bytes() {
+                node_digest ^= u64::from(b);
+                node_digest = node_digest.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for (i, slot) in self.nodes.iter().enumerate() {
+            if slot.active {
+                active_nodes += 1;
+            }
+            mix(i as u64);
+            mix(u64::from(slot.active) | u64::from(slot.paused) << 1);
+            mix(slot.timer_barrier);
+            mix(slot.node.state_digest());
+        }
+        EngineStamp {
+            now_micros: self.now.as_micros(),
+            scheduled: self.queue.pushed(),
+            pending: self.queue.len() as u64,
+            timers_armed: self.next_timer_id,
+            rng_state: self.rng.state(),
+            stats_digest: self.stats.digest(),
+            node_digest,
+            active_nodes,
+        }
     }
 
     /// Returns true if `id` is spawned and still active (not despawned).
@@ -1496,6 +1566,59 @@ mod tests {
         }
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12)); // different seed, different losses/jitter
+    }
+
+    #[test]
+    fn engine_stamp_witnesses_the_trajectory() {
+        fn run(seed: u64, probe_mid: bool) -> (Option<EngineStamp>, EngineStamp) {
+            let cfg = WorldConfig {
+                radio_loss: 0.3,
+                seed,
+                ..WorldConfig::default()
+            };
+            let mut w: World<u32, u8> = World::new(cfg);
+            let rx = w.spawn(Box::new(Probe::new(500.0)));
+            let tx = w.spawn(Box::new(Probe::new(0.0)));
+            for i in 0..50 {
+                w.inject_radio(Time::from_millis(i), tx, rx, i as u32);
+            }
+            w.run_until(Time::from_millis(25));
+            let mid = probe_mid.then(|| w.engine_stamp());
+            w.run_until(Time::from_secs(1));
+            (mid, w.engine_stamp())
+        }
+        let (mid_a, end_a) = run(11, true);
+        let (_, end_b) = run(11, false);
+        // Same seed: identical final stamp, and capturing a stamp
+        // mid-flight perturbs nothing.
+        assert_eq!(end_a, end_b);
+        assert_ne!(mid_a.unwrap(), end_a, "clock advanced between stamps");
+        let (_, end_c) = run(12, false);
+        assert_ne!(end_a.rng_state, end_c.rng_state, "different seed differs");
+    }
+
+    #[test]
+    fn engine_stamp_folds_node_state_digests() {
+        struct Digested(u64);
+        impl Node<u32, u8> for Digested {
+            fn position(&self, _now: Time) -> Position {
+                Position::ORIGIN
+            }
+            fn on_packet(&mut self, _: &mut Context<'_, u32, u8>, _: NodeId, _: u32, _: Channel) {}
+            fn on_timer(&mut self, _: &mut Context<'_, u32, u8>, _: u8) {}
+            fn state_digest(&self) -> u64 {
+                self.0
+            }
+        }
+        let mut a: World<u32, u8> = World::new(quiet_config());
+        a.spawn(Box::new(Digested(1)));
+        let mut b: World<u32, u8> = World::new(quiet_config());
+        b.spawn(Box::new(Digested(2)));
+        assert_ne!(
+            a.engine_stamp().node_digest,
+            b.engine_stamp().node_digest,
+            "node-internal state reaches the stamp"
+        );
     }
 
     #[test]

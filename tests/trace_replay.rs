@@ -50,7 +50,10 @@ fn journal_round_trips_and_detects_tampering() {
     let mid = tampered.len() / 2;
     tampered[mid] ^= 0x01;
     assert!(
-        decode_trace(&tampered).unwrap_err().contains("checksum"),
+        matches!(
+            decode_trace(&tampered).unwrap_err(),
+            blackdp_scenario::TraceError::ChecksumMismatch { .. }
+        ),
         "flipped byte not caught"
     );
     assert!(decode_trace(&bytes[..bytes.len() - 1]).is_err());
