@@ -24,11 +24,15 @@ echo "==> fault-recovery gate (faults quick)"
 cargo run --release -p blackdp-bench --bin faults -- quick
 
 echo "==> perf regression gate (perf smoke)"
+# Covers the PR-2 hot paths plus the PR-7 raw-speed track: batch Schnorr
+# verification, multi-lane SHA-256, and the zero-allocs-per-event probe.
 cargo run --release -p blackdp-bench --bin perf -- smoke
-if [ ! -f results/BENCH_pr2.json ]; then
-    echo "ci.sh: results/BENCH_pr2.json missing after perf run" >&2
-    exit 1
-fi
+for bench in results/BENCH_pr2.json results/BENCH_pr7.json; do
+    if [ ! -f "$bench" ]; then
+        echo "ci.sh: $bench missing after perf run" >&2
+        exit 1
+    fi
+done
 
 echo "==> fuzz / trace-oracle gate (fuzz smoke)"
 cargo run --release -p blackdp-bench --bin fuzz -- smoke

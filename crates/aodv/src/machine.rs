@@ -369,14 +369,20 @@ impl Aodv {
             }
         }
 
-        // Route expiry and RREQ-id cache cleanup.
+        // Route expiry and RREQ-id cache cleanup. The emptiness guards
+        // matter: `HashMap::retain` walks the whole bucket array even when
+        // `len` is zero, and these run on every maintenance tick.
         self.routes.expire_stale(now);
-        let horizon = self.cfg.path_discovery_time();
-        self.rreq_seen
-            .retain(|_, &mut t| now.saturating_since(t) <= horizon);
-        let data_horizon = self.cfg.active_route_timeout;
-        self.data_seen
-            .retain(|_, &mut t| now.saturating_since(t) <= data_horizon);
+        if !self.rreq_seen.is_empty() {
+            let horizon = self.cfg.path_discovery_time();
+            self.rreq_seen
+                .retain(|_, &mut t| now.saturating_since(t) <= horizon);
+        }
+        if !self.data_seen.is_empty() {
+            let data_horizon = self.cfg.active_route_timeout;
+            self.data_seen
+                .retain(|_, &mut t| now.saturating_since(t) <= data_horizon);
+        }
 
         // Discovery retries / failures.
         let expired: Vec<Addr> = self

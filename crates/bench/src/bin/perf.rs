@@ -1,10 +1,17 @@
-//! PR-2 performance gate: times the optimized hot paths — neighbor
-//! queries (spatial grid vs. brute-force scan), the crypto substrate
-//! (SHA-256, fixed-base exponentiation, Schnorr sign/verify, cached
-//! certificate verification) and end-to-end trial throughput (serial vs.
-//! parallel sweep) — then writes `results/BENCH_pr2.json` and fails if
-//! any gated metric regressed more than 25% against the recorded
-//! baseline.
+//! Performance gate: times the optimized hot paths — neighbor queries
+//! (spatial grid vs. brute-force scan), the crypto substrate (SHA-256,
+//! fixed-base exponentiation, Schnorr sign/verify, cached certificate
+//! verification) and end-to-end trial throughput (serial vs. parallel
+//! sweep) — then writes `results/BENCH_pr2.json` and fails if any gated
+//! metric regressed more than 25% against the recorded baseline.
+//!
+//! The PR-7 raw-speed track adds batch Schnorr verification (per-sig
+//! cost at storm batch sizes vs. the inline `verify_ns`), multi-lane
+//! SHA-256 throughput, and a steady-state allocation probe for the
+//! event loop (the binary runs under a counting allocator; after the
+//! probe workload warms up, processing further events must allocate
+//! nothing and the event slab must not grow). Those metrics land in
+//! `results/BENCH_pr7.json` with the same baseline-comparison format.
 //!
 //! Usage: `perf [smoke|full]` (default `full`). Smoke shrinks repeat
 //! counts and the end-to-end scenario so CI finishes in seconds.
@@ -21,6 +28,7 @@
 //! worker thread is actually available (a single-core container cannot
 //! speed anything up).
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,20 +36,62 @@ use std::time::Instant;
 
 use blackdp_bench::probe::probe_world;
 use blackdp_crypto::field::{pow_g, pow_mod, G, P, Q};
+use blackdp_crypto::sha256::lanes;
+use blackdp_crypto::sig::VerifyBatch;
 use blackdp_crypto::{cert_cache_clear, sha256, Keypair, LongTermId, TaId, TrustedAuthority};
 use blackdp_scenario::{
     fig4_cell, fig4_cell_serial, worker_count, AttackKind, ScenarioConfig,
 };
-use blackdp_sim::{Duration, Time};
+use blackdp_sim::{
+    Channel, Context, Duration, Node, NodeId, Position, Time, World, WorldConfig,
+};
 use std::hint::black_box;
 
+/// Counts every heap allocation the process makes, so the event-loop
+/// probe can assert the sim's steady state allocates nothing per event.
+/// Deallocations are uncounted on purpose: a free/alloc churn pair per
+/// event is exactly the regression the probe exists to catch.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
 const OUT_PATH: &str = "results/BENCH_pr2.json";
+const OUT_PATH_PR7: &str = "results/BENCH_pr7.json";
 const SCHEMA: &str = "blackdp-perf/v1";
 const NEIGHBOR_COUNTS: [usize; 4] = [60, 250, 1000, 4000];
 /// Regression tolerance: latest may be at most 25% worse than baseline.
 const TOLERANCE: f64 = 1.25;
 /// Acceptance floor for the parallel sweep (when threads are available).
 const MIN_PARALLEL_SPEEDUP: f64 = 2.0;
+/// The seed tree's end-to-end throughput (`e2e_trials_per_s` recorded in
+/// BENCH_pr2.json before the raw-speed pass), the denominator for
+/// `e2e_speedup_vs_seed`. ROADMAP item 3 targets 5x this figure.
+const SEED_TRIALS_PER_S: f64 = 157.5;
+/// Signatures per batch in the RREP-storm measurement. Well past the
+/// "batch ≥ 16" point the acceptance gate cares about, and big enough
+/// that per-batch fixed costs stop dominating the per-signature figure.
+const STORM_BATCH: usize = 64;
 /// Absolute floors for speedup ratios. A ratio is the quotient of two
 /// measurements, so its run-to-run noise compounds — gating it against a
 /// recorded baseline flakes. A floor is what actually matters: if an
@@ -53,6 +103,14 @@ const SPEEDUP_FLOORS: &[(&str, f64)] = &[
     ("neighbor_speedup_4000", 5.0),
     ("pow_g_speedup", 2.0),
     ("cert_cache_speedup", 2.0),
+    ("batch_verify_speedup", 3.0),
+    ("sha256_lanes_speedup", 2.0),
+    // Honest floor, not the 5x aspiration: the in-loop improvement that
+    // survives bit-identical-trace discipline lands near 2x (see
+    // EXPERIMENTS E13), and both this ratio's terms are wall-clock, so
+    // the floor keeps margin for container load. A collapsed
+    // optimization still lands at ~1x, well below it.
+    ("e2e_speedup_vs_seed", 1.5),
 ];
 
 /// This run's reference probe reading (`calib_lcg_ns`), as `f64` bits.
@@ -128,6 +186,33 @@ fn time_ns(reps: u32, inner: u32, mut f: impl FnMut()) -> f64 {
         best = best.min(ns * forgive);
     }
     best
+}
+
+/// Robust speedup measurement: times `base` and `fast` in immediately
+/// adjacent windows within each rep and takes the median of the per-rep
+/// ratios. Pairing cancels slow drift (CPU frequency, container
+/// contention) that plagues ratios of independently-timed best-of
+/// readings, and the median discards reps where a quota stall hit one
+/// window of the pair.
+fn ratio_median(
+    reps: u32,
+    inner_base: u32,
+    mut base: impl FnMut(),
+    inner_fast: u32,
+    mut fast: impl FnMut(),
+) -> f64 {
+    let window = |inner: u32, f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / f64::from(inner)
+    };
+    let mut ratios: Vec<f64> = (0..reps.max(9))
+        .map(|_| window(inner_base, &mut base) / window(inner_fast, &mut fast))
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
 }
 
 struct Metrics(Vec<(String, f64)>);
@@ -277,16 +362,218 @@ fn measure_e2e(m: &mut Metrics, smoke: bool) -> usize {
     threads
 }
 
+/// Batch Schnorr verification at RREP-storm shape: one destination
+/// answering many route discoveries, so every signature is under the
+/// same key and the shared-signer fixed-base fast path is live. The
+/// per-signature figure divides the whole round — pushes (arena staging,
+/// lane hashing) plus `verify_all` — by the batch size, so it is
+/// directly comparable to the inline `verify_ns`.
+fn measure_batch_verify(m: &mut Metrics, reps: u32, inner: u32) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(13);
+    let keys = Keypair::generate(&mut rng);
+    let msgs: Vec<Vec<u8>> = (0..STORM_BATCH)
+        .map(|i| format!("RREP dest=7 seq={} hops=3 lifetime=6s", 75 + i).into_bytes())
+        .collect();
+    let sigs: Vec<_> = msgs.iter().map(|msg| keys.sign(msg, &mut rng)).collect();
+    let mut batch = VerifyBatch::new();
+    let rounds = (inner / STORM_BATCH as u32).max(50);
+    let storm_ns = time_ns(reps, rounds, || {
+        for (msg, &sig) in msgs.iter().zip(&sigs) {
+            batch.push(msg, sig, keys.public());
+        }
+        assert!(batch.verify_all().all_valid());
+    }) / STORM_BATCH as f64;
+    m.put("batch_verify_ns_per_sig", storm_ns);
+
+    // Distinct signers (a Hello burst from many neighbors): the general
+    // interleaved-ladder path, no shared-base shortcut.
+    let signers: Vec<Keypair> = (0..STORM_BATCH).map(|_| Keypair::generate(&mut rng)).collect();
+    let multi_sigs: Vec<_> = msgs
+        .iter()
+        .zip(&signers)
+        .map(|(msg, k)| k.sign(msg, &mut rng))
+        .collect();
+    let multi_ns = time_ns(reps, rounds, || {
+        for ((msg, &sig), k) in msgs.iter().zip(&multi_sigs).zip(&signers) {
+            batch.push(msg, sig, k.public());
+        }
+        assert!(batch.verify_all().all_valid());
+    }) / STORM_BATCH as f64;
+    m.put("batch_verify_multi_ns_per_sig", multi_ns);
+
+    // Speedup ratios come from paired windows (single verifies against a
+    // whole batch round, back to back within each rep, median across
+    // reps) rather than dividing the independently-timed figures above:
+    // the container's load varies enough across a run that unpaired
+    // ratios flake the floor gate. One fast window covers a full
+    // `STORM_BATCH`-signature round, hence the scale factor.
+    let mut batch = VerifyBatch::new();
+    let mut i = 0;
+    let speedup = STORM_BATCH as f64
+        * ratio_median(
+            reps,
+            (inner / 8).max(64),
+            || {
+                i = (i + 1) % msgs.len();
+                black_box(keys.public().verify(black_box(&msgs[i]), black_box(&sigs[i])));
+            },
+            (inner / 512).max(4),
+            || {
+                for (msg, &sig) in msgs.iter().zip(&sigs) {
+                    batch.push(msg, sig, keys.public());
+                }
+                assert!(batch.verify_all().all_valid());
+            },
+        );
+    let mut batch = VerifyBatch::new();
+    let mut i = 0;
+    let multi_speedup = STORM_BATCH as f64
+        * ratio_median(
+            reps,
+            (inner / 8).max(64),
+            || {
+                i = (i + 1) % msgs.len();
+                black_box(keys.public().verify(black_box(&msgs[i]), black_box(&sigs[i])));
+            },
+            (inner / 512).max(4),
+            || {
+                for ((msg, &sig), k) in msgs.iter().zip(&multi_sigs).zip(&signers) {
+                    batch.push(msg, sig, k.public());
+                }
+                assert!(batch.verify_all().all_valid());
+            },
+        );
+    m.put("batch_verify_speedup", speedup);
+    m.put("batch_verify_multi_speedup", multi_speedup);
+}
+
+/// Multi-lane SHA-256 throughput over a full complement of independent
+/// messages, against the streaming scalar core's `sha256_mb_s`.
+fn measure_lanes(m: &mut Metrics, reps: u32, inner: u32) {
+    let bufs: Vec<Vec<u8>> = (0..STORM_BATCH)
+        .map(|i| vec![0x5Au8 ^ i as u8; 4096])
+        .collect();
+    let refs: Vec<&[u8]> = bufs.iter().map(Vec::as_slice).collect();
+    let total_bytes: usize = bufs.iter().map(Vec::len).sum();
+    let mut out = Vec::new();
+    let ns = time_ns(reps * 5, (inner / 600).max(8), || {
+        lanes::sha256_many(black_box(&refs), &mut out);
+        black_box(&out);
+    });
+    let lanes_mb_s = total_bytes as f64 * 1000.0 / ns;
+    m.put("sha256_lanes_mb_s", lanes_mb_s);
+    // Paired-window median for the ratio (see `ratio_median`): one fast
+    // window hashes all `STORM_BATCH` buffers, one base window hashes a
+    // single equal-sized buffer, hence the scale factor.
+    let mut out2 = Vec::new();
+    let speedup = STORM_BATCH as f64
+        * ratio_median(
+            reps,
+            (inner / 40).max(16),
+            || {
+                black_box(sha256(black_box(&bufs[0])));
+            },
+            (inner / 1280).max(2),
+            || {
+                lanes::sha256_many(black_box(&refs), &mut out2);
+                black_box(&out2);
+            },
+        );
+    m.put("sha256_lanes_speedup", speedup);
+}
+
+/// Two nodes lobbing a `u64` back and forth forever: every event is a
+/// radio delivery, with nothing in the node logic that could allocate.
+/// Whatever the steady state allocates is therefore the engine's own
+/// per-event cost — which the slab queue and recycled scratch buffers
+/// are supposed to have driven to zero.
+struct PingNode {
+    at: Position,
+}
+
+impl Node<u64, ()> for PingNode {
+    fn position(&self, _now: Time) -> Position {
+        self.at
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_, u64, ()>, from: NodeId, ball: u64, _ch: Channel) {
+        ctx.send(from, ball.wrapping_add(1));
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_, u64, ()>, _token: ()) {}
+}
+
+/// Steady-state allocation probe for the event loop. Warms the world
+/// past its allocation plateau (buffer growth, stats-key interning, heap
+/// and slab sizing all happen here), then counts allocator calls and
+/// event-slab growth across a long steady-state window. Both must be
+/// exactly zero — gated as hard failures, not baseline comparisons.
+fn measure_event_loop_allocs(m: &mut Metrics) {
+    const WARMUP_EVENTS: u64 = 20_000;
+    const MEASURED_EVENTS: u64 = 50_000;
+
+    let mut world: World<u64, ()> = World::new(WorldConfig::default());
+    let a = world.spawn(Box::new(PingNode {
+        at: Position::new(0.0, 0.0),
+    }));
+    let b = world.spawn(Box::new(PingNode {
+        at: Position::new(500.0, 0.0),
+    }));
+    world.inject(Time::ZERO, a, b, 0, Channel::Radio);
+    let warmed = world.run_to_completion(WARMUP_EVENTS);
+    assert_eq!(warmed, WARMUP_EVENTS, "ping-pong must self-sustain");
+
+    let slots_before = world.event_slab_slots();
+    let allocs_before = ALLOC_COUNT.load(Ordering::Relaxed);
+    let events = world.run_to_completion(MEASURED_EVENTS);
+    let allocs_after = ALLOC_COUNT.load(Ordering::Relaxed);
+    let slots_after = world.event_slab_slots();
+    assert_eq!(events, MEASURED_EVENTS, "ping-pong must self-sustain");
+
+    m.put(
+        "event_loop_allocs_per_event",
+        (allocs_after - allocs_before) as f64 / events as f64,
+    );
+    m.put(
+        "event_loop_slab_growth",
+        (slots_after - slots_before) as f64,
+    );
+}
+
 /// Metrics gated against the recorded baseline. End-to-end wall-clock is
 /// excluded (it measures machine load) and speedup ratios are gated by
 /// [`SPEEDUP_FLOORS`] instead; everything listed here is a per-operation
 /// figure that, after machine-speed normalization, is stable run-to-run.
 fn gated(name: &str) -> bool {
-    name.starts_with("neighbor_grid_ns_")
+    // `neighbor_grid_ns_60` is excluded: worlds at or below
+    // `SMALL_WORLD_SCAN_MAX` (64) slots deliberately answer neighbor
+    // queries by brute-force scan — in the sim every jittered broadcast
+    // lands on a fresh timestamp, so the grid would rebuild per query —
+    // and the bench's repeated same-timestamp queries make that engine
+    // choice look like a grid regression when it is the opposite trade.
+    (name.starts_with("neighbor_grid_ns_") && name != "neighbor_grid_ns_60")
         || matches!(
             name,
-            "sha256_mb_s" | "pow_g_ns" | "sign_ns" | "verify_ns" | "cert_verify_warm_ns"
+            "sha256_mb_s"
+                | "pow_g_ns"
+                | "sign_ns"
+                | "verify_ns"
+                | "cert_verify_warm_ns"
+                | "batch_verify_ns_per_sig"
+                | "batch_verify_multi_ns_per_sig"
+                | "sha256_lanes_mb_s"
         )
+}
+
+/// Metrics belonging to the PR-7 raw-speed track, written to
+/// `BENCH_pr7.json` (everything else stays in `BENCH_pr2.json`).
+fn pr7_metric(name: &str) -> bool {
+    name == "calib_lcg_ns"
+        || name.starts_with("batch_verify_")
+        || name.starts_with("sha256_lanes_")
+        || name.starts_with("event_loop_")
+        || matches!(name, "e2e_trials_per_s" | "e2e_speedup_vs_seed")
 }
 
 /// `true` when smaller values of this metric are better.
@@ -375,22 +662,63 @@ fn main() {
     measure_neighbors(&mut latest, reps, inner.min(500));
     println!("perf [{mode}]: timing crypto hot paths...");
     measure_crypto(&mut latest, reps, inner);
+    println!("perf [{mode}]: timing batch verification...");
+    measure_batch_verify(&mut latest, reps, inner);
+    println!("perf [{mode}]: timing multi-lane SHA-256...");
+    measure_lanes(&mut latest, reps, inner);
+    println!("perf [{mode}]: probing event-loop allocations...");
+    measure_event_loop_allocs(&mut latest);
     println!("perf [{mode}]: timing end-to-end sweep...");
     let threads = measure_e2e(&mut latest, smoke);
+    let trials_per_s = latest.get("e2e_trials_per_s").unwrap_or(0.0);
+    latest.put("e2e_speedup_vs_seed", trials_per_s / SEED_TRIALS_PER_S);
 
-    println!("\n{:<26} {:>12}", "metric", "value");
+    println!("\n{:<30} {:>12}", "metric", "value");
     for (name, value) in &latest.0 {
-        println!("{name:<26} {value:>12.1}");
+        println!("{name:<30} {value:>12.1}");
     }
+    // The ROADMAP throughput claim drifts; keep the measured figure in
+    // everyone's face so it gets corrected instead of quoted.
+    println!(
+        "\ne2e throughput: {trials_per_s:.1} trials/s vs the recorded {SEED_TRIALS_PER_S:.1}/s \
+         seed baseline ({:+.1} trials/s, {:.2}x; ROADMAP item 3 targets 5x = {:.1}/s)",
+        trials_per_s - SEED_TRIALS_PER_S,
+        trials_per_s / SEED_TRIALS_PER_S,
+        5.0 * SEED_TRIALS_PER_S,
+    );
 
     // Every gated metric is per-operation and mode-independent (smoke and
     // full differ only in repeat counts), so a baseline recorded under
     // either mode is comparable; only the ungated e2e wall-clock figures
-    // depend on the mode's scenario size.
-    let baseline = match load_baseline(OUT_PATH) {
+    // depend on the mode's scenario size. PR-7 track metrics baseline
+    // from their own file; absent entries simply go ungated this run.
+    let mut baseline = match load_baseline(OUT_PATH) {
         Some((_stored_mode, stored)) => stored,
-        None => Metrics(latest.0.clone()),
+        None => Metrics(
+            latest
+                .0
+                .iter()
+                .filter(|(n, _)| !pr7_metric(n) || n == "calib_lcg_ns")
+                .cloned()
+                .collect(),
+        ),
     };
+    match load_baseline(OUT_PATH_PR7) {
+        Some((_stored_mode, stored)) => {
+            for (name, value) in stored.0 {
+                if baseline.get(&name).is_none() {
+                    baseline.put(&name, value);
+                }
+            }
+        }
+        None => {
+            for entry in latest.0.iter().filter(|(n, _)| pr7_metric(n)) {
+                if baseline.get(&entry.0).is_none() {
+                    baseline.0.push(entry.clone());
+                }
+            }
+        }
+    }
 
     // Machine-speed correction for absolute metrics: > 1 means this run's
     // CPU is slower than the baseline's, and the tolerance widens so the
@@ -437,13 +765,42 @@ fn main() {
             "e2e_parallel_speedup: {par_speedup:.2}x below the required {MIN_PARALLEL_SPEEDUP:.0}x with {threads} threads"
         ));
     }
+    // The allocation probe gates on exact zero, not a baseline: one
+    // alloc per event is a churn regression no tolerance should absorb.
+    let allocs_per_event = latest.get("event_loop_allocs_per_event").unwrap_or(f64::NAN);
+    if allocs_per_event != 0.0 {
+        failures.push(format!(
+            "event_loop_allocs_per_event: {allocs_per_event} in steady state (must be exactly 0)"
+        ));
+    }
+    let slab_growth = latest.get("event_loop_slab_growth").unwrap_or(f64::NAN);
+    if slab_growth != 0.0 {
+        failures.push(format!(
+            "event_loop_slab_growth: {slab_growth} slots in steady state (must be exactly 0)"
+        ));
+    }
 
+    let subset = |keep: &dyn Fn(&str) -> bool, m: &Metrics| {
+        Metrics(m.0.iter().filter(|(n, _)| keep(n)).cloned().collect())
+    };
+    let pr2 = |name: &str| !pr7_metric(name) || matches!(name, "calib_lcg_ns" | "e2e_trials_per_s");
     blackdp_scenario::atomic_write(
         Path::new(OUT_PATH),
-        render_json(&mode, threads, &baseline, &latest).as_bytes(),
+        render_json(&mode, threads, &subset(&pr2, &baseline), &subset(&pr2, &latest)).as_bytes(),
     )
     .expect("write BENCH_pr2.json");
-    println!("\nwrote {OUT_PATH}");
+    blackdp_scenario::atomic_write(
+        Path::new(OUT_PATH_PR7),
+        render_json(
+            &mode,
+            threads,
+            &subset(&pr7_metric, &baseline),
+            &subset(&pr7_metric, &latest),
+        )
+        .as_bytes(),
+    )
+    .expect("write BENCH_pr7.json");
+    println!("\nwrote {OUT_PATH} and {OUT_PATH_PR7}");
 
     if failures.is_empty() {
         println!("perf gate: PASS ({} metrics checked)", latest.0.len());

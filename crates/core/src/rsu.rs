@@ -28,6 +28,7 @@ use rand::{RngExt, SeedableRng};
 
 use crate::config::BlackDpConfig;
 use crate::table::{VerStatus, VerificationTable};
+use crate::verifier::VerifyQueue;
 use crate::wire::{
     addr_of, BlackDpMessage, DReq, DetectionHandoff, DetectionOutcome, DetectionResponse,
     SuspicionReason, Wire,
@@ -204,6 +205,9 @@ pub struct ClusterHead {
     deferred_dreqs: BTreeMap<Addr, DeferredDreq>,
     /// When this CH last rebooted, if ever.
     restarted_at: Option<Time>,
+    /// Batch-backed envelope verification with retained buffers; see
+    /// [`VerifyQueue`].
+    queue: VerifyQueue,
     rng: StdRng,
 }
 
@@ -241,6 +245,7 @@ impl ClusterHead {
             peer_epochs: BTreeMap::new(),
             deferred_dreqs: BTreeMap::new(),
             restarted_at: None,
+            queue: VerifyQueue::new(),
             rng,
         }
     }
@@ -297,7 +302,8 @@ impl ClusterHead {
         match msg {
             BlackDpMessage::Jreq(sealed) => {
                 let pseudonym = sealed.signer();
-                if self.blacklist.is_revoked(pseudonym) || sealed.verify(self.ta_key, now).is_err()
+                if self.blacklist.is_revoked(pseudonym)
+                    || self.queue.verify_one(&sealed, self.ta_key, now).is_err()
                 {
                     return vec![ChAction::Event(ChEvent::JoinRejected(pseudonym))];
                 }
@@ -338,7 +344,7 @@ impl ClusterHead {
                 actions
             }
             BlackDpMessage::DetectionRequest(sealed) => {
-                if sealed.verify(self.ta_key, now).is_err() {
+                if self.queue.verify_one(&sealed, self.ta_key, now).is_err() {
                     return Vec::new(); // unauthenticated report: ignored
                 }
                 // The vehicle's radio d_req is the episode's first packet.

@@ -21,12 +21,165 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use blackdp_aodv::{Addr, Rrep};
+use blackdp_crypto::cert::CertError;
+use blackdp_crypto::sig::VerifyBatch;
 use blackdp_crypto::{PseudonymId, PublicKey};
 use blackdp_mobility::ClusterId;
 use blackdp_sim::Time;
 
 use crate::config::BlackDpConfig;
-use crate::wire::{addr_of, DReq, HelloProbe, HelloReply, RouteAuth, Sealed, SuspicionReason};
+use crate::wire::{
+    addr_of, AuthError, DReq, HelloProbe, HelloReply, RouteAuth, Sealed, SignBytes,
+    SuspicionReason,
+};
+
+/// Bookkeeping for one enqueued envelope verification.
+#[derive(Debug, Clone, Copy)]
+struct VerifyJob {
+    /// Index of the certificate's TA signature in the batch, with the
+    /// digest to memoize after the flush — `None` when the per-thread
+    /// certificate cache already knew the answer.
+    cert_slot: Option<(u32, u128)>,
+    /// The cache's answer for the certificate signature, when it had one.
+    cert_cached: Option<bool>,
+    /// The validity-window verdict, evaluated eagerly (it depends on the
+    /// enqueue-time `now`, which must not drift to the flush).
+    window: Option<CertError>,
+    /// Index of the body signature in the batch.
+    body_slot: u32,
+}
+
+/// Deferred, batch-backed verification of [`Sealed`] envelopes.
+///
+/// Callers [`enqueue`](VerifyQueue::enqueue) any number of envelopes and
+/// then [`flush`](VerifyQueue::flush) once: every signature the flush
+/// still has to prove — body signatures, plus certificate signatures the
+/// per-thread cache has not memoized — runs through one
+/// [`VerifyBatch`], sharing its fixed-base tables, interleaved
+/// exponentiation ladders, and multi-lane challenge hashing. Per-job
+/// results reproduce [`Sealed::verify`] exactly, including error
+/// precedence (certificate signature, then validity window, then body
+/// signature); the differential tests below pin that equivalence.
+///
+/// Determinism: the batch's acceptance-fold coefficients come from an
+/// FNV stream over the batch contents — never a caller RNG — and the
+/// cheap checks (cache lookups, window comparisons) are evaluated at
+/// enqueue time, so routing verification through a queue instead of
+/// calling [`Sealed::verify`] inline cannot perturb a simulation.
+///
+/// All buffers (the batch arena and scratch, the job and result lists)
+/// are retained across flushes: steady-state use is allocation-free
+/// once warm.
+#[derive(Debug, Default)]
+pub struct VerifyQueue {
+    batch: VerifyBatch,
+    jobs: Vec<VerifyJob>,
+    results: Vec<Result<(), AuthError>>,
+    scratch: Vec<u8>,
+}
+
+impl VerifyQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        VerifyQueue::default()
+    }
+
+    /// Queues `sealed` for verification at time `now` under the TA root
+    /// key. Returns the job's index into [`flush`](VerifyQueue::flush)'s
+    /// result slice.
+    pub fn enqueue<T: SignBytes>(
+        &mut self,
+        sealed: &Sealed<T>,
+        ta_key: PublicKey,
+        now: Time,
+    ) -> usize {
+        // Certificate signature: consult the memo cache now; only a miss
+        // costs batch work.
+        let digest = sealed.cert.cache_digest(ta_key);
+        let cert_cached = blackdp_crypto::lookup_signature(digest);
+        let cert_slot = if cert_cached.is_none() {
+            let slot = u32::try_from(self.batch.len()).expect("batch < 4G items");
+            self.scratch.clear();
+            sealed.cert.write_body(&mut self.scratch);
+            self.batch
+                .push(&self.scratch, sealed.cert.signature, ta_key);
+            Some((slot, digest))
+        } else {
+            None
+        };
+        // Validity window: time-dependent, so decided here, not at flush.
+        let window = sealed.cert.check_window(now).err();
+        // Body signature under the certificate's key.
+        let body_slot = u32::try_from(self.batch.len()).expect("batch < 4G items");
+        self.scratch.clear();
+        sealed.full_bytes_into(&mut self.scratch);
+        self.batch
+            .push(&self.scratch, sealed.signature, sealed.cert.public_key);
+        self.jobs.push(VerifyJob {
+            cert_slot,
+            cert_cached,
+            window,
+            body_slot,
+        });
+        self.jobs.len() - 1
+    }
+
+    /// Number of envelopes queued since the last flush.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Verifies everything queued in one batch and returns the per-job
+    /// verdicts, indexed by [`enqueue`](VerifyQueue::enqueue) order. The
+    /// queue resets for reuse (capacity retained).
+    pub fn flush(&mut self) -> &[Result<(), AuthError>] {
+        let outcome = self.batch.verify_all();
+        self.results.clear();
+        for job in self.jobs.drain(..) {
+            let cert_ok = match (job.cert_cached, job.cert_slot) {
+                (Some(valid), _) => valid,
+                (None, Some((slot, digest))) => {
+                    let valid = outcome.is_valid(slot as usize);
+                    blackdp_crypto::store_signature(digest, valid);
+                    valid
+                }
+                (None, None) => unreachable!("cache miss queues a cert slot"),
+            };
+            // Same precedence as `Sealed::verify`: certificate signature,
+            // then validity window, then body signature.
+            self.results.push(if !cert_ok {
+                Err(AuthError::Cert(CertError::BadSignature))
+            } else if let Some(w) = job.window {
+                Err(AuthError::Cert(w))
+            } else if !outcome.is_valid(job.body_slot as usize) {
+                Err(AuthError::BadSignature)
+            } else {
+                Ok(())
+            });
+        }
+        &self.results
+    }
+
+    /// Verifies a single envelope through the queue: enqueue plus flush.
+    /// Below the batch's lane threshold this runs the exact scalar
+    /// verifications [`Sealed::verify`] would, minus its per-call
+    /// allocations.
+    pub fn verify_one<T: SignBytes>(
+        &mut self,
+        sealed: &Sealed<T>,
+        ta_key: PublicKey,
+        now: Time,
+    ) -> Result<(), AuthError> {
+        debug_assert!(self.is_empty(), "verify_one on a non-empty queue");
+        self.enqueue(sealed, ta_key, now);
+        self.flush()[0]
+    }
+}
 
 /// An instruction for the host embedding a [`SourceVerifier`].
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +235,9 @@ pub struct SourceVerifier {
     /// Repliers already reported to the cluster head; their routes are
     /// held (neither probed again nor used) until the verdict arrives.
     reported: BTreeSet<Addr>,
+    /// Batch-backed envelope verification with retained buffers; see
+    /// [`VerifyQueue`].
+    queue: VerifyQueue,
     next_probe_id: u64,
 }
 
@@ -97,6 +253,7 @@ impl SourceVerifier {
             states: BTreeMap::new(),
             strikes: HashMap::new(),
             reported: BTreeSet::new(),
+            queue: VerifyQueue::new(),
             next_probe_id: 0,
         }
     }
@@ -162,7 +319,7 @@ impl SourceVerifier {
                 return vec![VerifierAction::Report(dreq)];
             }
         };
-        if envelope.verify(self.ta_key, now).is_err() {
+        if self.queue.verify_one(envelope, self.ta_key, now).is_err() {
             let suspect = addr_of(envelope.signer());
             let dreq = self.make_dreq(suspect, envelope.cluster, SuspicionReason::AuthViolation);
             self.states.remove(&dest);
@@ -215,7 +372,7 @@ impl SourceVerifier {
             return Vec::new(); // stale reply from an earlier round
         }
 
-        let authentic = envelope.verify(self.ta_key, now).is_ok();
+        let authentic = self.queue.verify_one(envelope, self.ta_key, now).is_ok();
         let is_destination = addr_of(envelope.signer()) == dest;
         if authentic && is_destination {
             self.states.remove(&dest);
@@ -781,5 +938,140 @@ mod tests {
             vec![VerifierAction::RestartDiscovery { dest }],
             "suspect 2's first strike must not inherit suspect 1's"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // VerifyQueue: batch-backed verification must be observationally
+    // identical to `Sealed::verify`, error precedence included.
+    // ------------------------------------------------------------------
+
+    fn enroll_at(
+        fx: &mut Fixture,
+        long_term: u64,
+        issued: Time,
+        lifetime: Duration,
+    ) -> (Keypair, Certificate) {
+        let keys = Keypair::generate(&mut fx.rng);
+        let cert = fx
+            .ta
+            .enroll(LongTermId(long_term), keys.public(), issued, lifetime, &mut fx.rng);
+        (keys, cert)
+    }
+
+    /// Every interesting envelope shape: valid, corrupt body signature,
+    /// corrupt certificate signature, not-yet-valid, expired, and the
+    /// precedence pairs (bad cert + bad window, bad window + bad body).
+    fn verdict_zoo(fx: &mut Fixture) -> Vec<Sealed<RrepBody>> {
+        let mut zoo = Vec::new();
+        let life = Duration::from_secs(600);
+        // Valid.
+        let (k, c) = enroll_at(fx, 100, Time::ZERO, life);
+        zoo.push(Sealed::seal(RrepBody(rrep(Addr(9), 1)), c, None, &k, &mut fx.rng));
+        // Corrupt body signature.
+        let (k, c) = enroll_at(fx, 101, Time::ZERO, life);
+        let mut s = Sealed::seal(RrepBody(rrep(Addr(9), 2)), c, Some(ClusterId(1)), &k, &mut fx.rng);
+        s.signature.e ^= 1;
+        zoo.push(s);
+        // Corrupt certificate signature.
+        let (k, c) = enroll_at(fx, 102, Time::ZERO, life);
+        let mut s = Sealed::seal(RrepBody(rrep(Addr(9), 3)), c, None, &k, &mut fx.rng);
+        s.cert.signature.s ^= 1;
+        zoo.push(s);
+        // Not yet valid at t = 1 s.
+        let (k, c) = enroll_at(fx, 103, Time::from_secs(30), life);
+        zoo.push(Sealed::seal(RrepBody(rrep(Addr(9), 4)), c, None, &k, &mut fx.rng));
+        // Expired at t = 1 s.
+        let (k, c) = enroll_at(fx, 104, Time::ZERO, Duration::from_millis(10));
+        zoo.push(Sealed::seal(RrepBody(rrep(Addr(9), 5)), c, None, &k, &mut fx.rng));
+        // Bad certificate signature on an expired certificate: the
+        // signature error must win.
+        let (k, c) = enroll_at(fx, 105, Time::ZERO, Duration::from_millis(10));
+        let mut s = Sealed::seal(RrepBody(rrep(Addr(9), 6)), c, None, &k, &mut fx.rng);
+        s.cert.signature.e ^= 1;
+        zoo.push(s);
+        // Expired certificate and a bad body signature: the window error
+        // must win.
+        let (k, c) = enroll_at(fx, 106, Time::ZERO, Duration::from_millis(10));
+        let mut s = Sealed::seal(RrepBody(rrep(Addr(9), 7)), c, None, &k, &mut fx.rng);
+        s.signature.s ^= 1;
+        zoo.push(s);
+        zoo
+    }
+
+    #[test]
+    fn queue_verify_one_matches_scalar() {
+        blackdp_crypto::cert_cache_clear();
+        let mut fx = fixture();
+        let now = Time::from_secs(1);
+        let mut queue = VerifyQueue::new();
+        for sealed in verdict_zoo(&mut fx) {
+            let scalar = sealed.verify(fx.ta.public_key(), now);
+            blackdp_crypto::cert_cache_clear(); // no cross-talk via the memo cache
+            let batched = queue.verify_one(&sealed, fx.ta.public_key(), now);
+            assert_eq!(batched, scalar);
+            assert!(queue.is_empty(), "verify_one must reset the queue");
+            blackdp_crypto::cert_cache_clear();
+        }
+    }
+
+    #[test]
+    fn queue_flush_matches_scalar_for_a_full_batch() {
+        blackdp_crypto::cert_cache_clear();
+        let mut fx = fixture();
+        let now = Time::from_secs(1);
+        let zoo = verdict_zoo(&mut fx);
+        // Pad with valid envelopes so the flush crosses the batch's lane
+        // threshold and takes the shared-exponentiation path.
+        let mut envelopes = zoo;
+        for i in 0..16 {
+            let (k, c) = enroll_at(&mut fx, 200 + i, Time::ZERO, Duration::from_secs(600));
+            envelopes.push(Sealed::seal(
+                RrepBody(rrep(Addr(9), 100 + i as u32)),
+                c,
+                Some(ClusterId(2)),
+                &k,
+                &mut fx.rng,
+            ));
+        }
+        let scalar: Vec<_> = envelopes
+            .iter()
+            .map(|s| s.verify(fx.ta.public_key(), now))
+            .collect();
+        blackdp_crypto::cert_cache_clear();
+        let mut queue = VerifyQueue::new();
+        for (i, sealed) in envelopes.iter().enumerate() {
+            assert_eq!(queue.enqueue(sealed, fx.ta.public_key(), now), i);
+        }
+        assert_eq!(queue.len(), envelopes.len());
+        assert_eq!(queue.flush(), &scalar[..]);
+        blackdp_crypto::cert_cache_clear();
+    }
+
+    #[test]
+    fn queue_flush_memoizes_certificate_checks() {
+        blackdp_crypto::cert_cache_clear();
+        let mut fx = fixture();
+        let now = Time::from_secs(1);
+        let (k, c) = enroll_at(&mut fx, 300, Time::ZERO, Duration::from_secs(600));
+        let first = Sealed::seal(RrepBody(rrep(Addr(9), 1)), c, None, &k, &mut fx.rng);
+        let second = Sealed::seal(RrepBody(rrep(Addr(9), 2)), c, None, &k, &mut fx.rng);
+        let mut queue = VerifyQueue::new();
+        assert!(queue.verify_one(&first, fx.ta.public_key(), now).is_ok());
+        let (_, misses_after_first) = blackdp_crypto::cert_cache_stats();
+        assert!(queue.verify_one(&second, fx.ta.public_key(), now).is_ok());
+        let (hits, misses) = blackdp_crypto::cert_cache_stats();
+        assert_eq!(
+            misses, misses_after_first,
+            "the flush must have stored the certificate verdict"
+        );
+        assert!(hits >= 1, "the second envelope must reuse the stored verdict");
+        // A cached *negative* verdict must also round-trip through the queue.
+        let mut bad = Sealed::seal(RrepBody(rrep(Addr(9), 3)), c, None, &k, &mut fx.rng);
+        bad.cert.signature.e ^= 1;
+        let verdict = queue.verify_one(&bad, fx.ta.public_key(), now);
+        assert_eq!(verdict, Err(AuthError::Cert(CertError::BadSignature)));
+        let verdict = queue.verify_one(&bad, fx.ta.public_key(), now);
+        assert_eq!(verdict, Err(AuthError::Cert(CertError::BadSignature)));
+        blackdp_crypto::cert_cache_clear();
     }
 }

@@ -21,8 +21,17 @@ pub fn addr_of(pseudonym: PseudonymId) -> Addr {
 
 /// A type with a canonical byte encoding covered by signatures.
 pub trait SignBytes {
+    /// Appends the canonical byte encoding of `self` to `out` — the
+    /// allocation-free form the batch-verification path uses with a
+    /// retained scratch buffer.
+    fn write_sign_bytes(&self, out: &mut Vec<u8>);
+
     /// Produces the canonical byte encoding of `self`.
-    fn sign_bytes(&self) -> Vec<u8>;
+    fn sign_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(44);
+        self.write_sign_bytes(&mut out);
+        out
+    }
 }
 
 /// Why an authentication envelope failed verification.
@@ -112,6 +121,18 @@ impl<T: SignBytes> Sealed<T> {
 
     fn full_bytes(body: &T, cluster: Option<ClusterId>) -> Vec<u8> {
         let mut bytes = body.sign_bytes();
+        Self::append_cluster_tag(&mut bytes, cluster);
+        bytes
+    }
+
+    /// Appends the signed byte encoding (body plus cluster tag) to `out`
+    /// without allocating.
+    pub fn full_bytes_into(&self, out: &mut Vec<u8>) {
+        self.body.write_sign_bytes(out);
+        Self::append_cluster_tag(out, self.cluster);
+    }
+
+    fn append_cluster_tag(bytes: &mut Vec<u8>, cluster: Option<ClusterId>) {
         match cluster {
             Some(c) => {
                 bytes.push(1);
@@ -119,7 +140,6 @@ impl<T: SignBytes> Sealed<T> {
             }
             None => bytes.push(0),
         }
-        bytes
     }
 }
 
@@ -134,9 +154,8 @@ impl<T: SignBytes> Sealed<T> {
 pub struct RrepBody(pub Rrep);
 
 impl SignBytes for RrepBody {
-    fn sign_bytes(&self) -> Vec<u8> {
+    fn write_sign_bytes(&self, out: &mut Vec<u8>) {
         let r = &self.0;
-        let mut out = Vec::with_capacity(40);
         out.extend_from_slice(b"RREP");
         out.extend_from_slice(&r.dest.0.to_be_bytes());
         out.extend_from_slice(&r.dest_seq.to_be_bytes());
@@ -149,7 +168,6 @@ impl SignBytes for RrepBody {
             }
             None => out.push(0),
         }
-        out
     }
 }
 
@@ -169,14 +187,12 @@ pub struct HelloProbe {
 }
 
 impl SignBytes for HelloProbe {
-    fn sign_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(29);
+    fn write_sign_bytes(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(b"HPRB");
         out.extend_from_slice(&self.probe_id.to_be_bytes());
         out.extend_from_slice(&self.src.0.to_be_bytes());
         out.extend_from_slice(&self.dest.0.to_be_bytes());
         out.push(0); // ttl excluded (mutable)
-        out
     }
 }
 
@@ -194,14 +210,12 @@ pub struct HelloReply {
 }
 
 impl SignBytes for HelloReply {
-    fn sign_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(29);
+    fn write_sign_bytes(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(b"HRPL");
         out.extend_from_slice(&self.probe_id.to_be_bytes());
         out.extend_from_slice(&self.src.0.to_be_bytes());
         out.extend_from_slice(&self.dest.0.to_be_bytes());
         out.push(0);
-        out
     }
 }
 
@@ -220,8 +234,7 @@ pub enum SuspicionReason {
 }
 
 impl SignBytes for DReq {
-    fn sign_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(40);
+    fn write_sign_bytes(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(b"DREQ");
         out.extend_from_slice(&self.reporter.0.to_be_bytes());
         out.extend_from_slice(&self.reporter_cluster.0.to_be_bytes());
@@ -238,7 +251,6 @@ impl SignBytes for DReq {
             SuspicionReason::FakeHelloReply => 1,
             SuspicionReason::AuthViolation => 2,
         });
-        out
     }
 }
 
@@ -318,14 +330,12 @@ pub struct JoinBody {
 }
 
 impl SignBytes for JoinBody {
-    fn sign_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(29);
+    fn write_sign_bytes(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(b"JREQ");
         out.extend_from_slice(&self.pos_x.to_be_bytes());
         out.extend_from_slice(&self.pos_y.to_be_bytes());
         out.extend_from_slice(&self.speed_kmh.to_be_bytes());
         out.push(self.forward as u8);
-        out
     }
 }
 
@@ -470,6 +480,36 @@ pub enum Wire {
     BlackDp(BlackDpMessage),
 }
 
+/// Generates `tx_key`/`btx_key`/`vrx_key`: pre-concatenated statistics
+/// keys for every wire kind, so per-frame counting needs no `format!`.
+macro_rules! wire_stat_keys {
+    ($($kind:literal),+ $(,)?) => {
+        /// The `tx.<kind>` statistics key for this wire.
+        pub fn tx_key(&self) -> &'static str {
+            match self.kind() {
+                $($kind => concat!("tx.", $kind),)+
+                other => unreachable!("unmapped wire kind {other}"),
+            }
+        }
+
+        /// The `btx.<kind>` statistics key for this wire.
+        pub fn btx_key(&self) -> &'static str {
+            match self.kind() {
+                $($kind => concat!("btx.", $kind),)+
+                other => unreachable!("unmapped wire kind {other}"),
+            }
+        }
+
+        /// The `vrx.<kind>` statistics key for this wire.
+        pub fn vrx_key(&self) -> &'static str {
+            match self.kind() {
+                $($kind => concat!("vrx.", $kind),)+
+                other => unreachable!("unmapped wire kind {other}"),
+            }
+        }
+    };
+}
+
 impl Wire {
     /// A short kind tag for statistics keys.
     pub fn kind(&self) -> &'static str {
@@ -479,6 +519,31 @@ impl Wire {
             Wire::BlackDp(m) => m.kind(),
         }
     }
+
+    wire_stat_keys!(
+        "rreq",
+        "rrep",
+        "rerr",
+        "hello",
+        "data",
+        "secured_rrep",
+        "jreq",
+        "jrep",
+        "leave",
+        "hello_probe",
+        "hello_reply",
+        "dreq",
+        "dreq_fwd",
+        "handoff",
+        "dresp",
+        "revoke_req",
+        "revoked",
+        "pause",
+        "blacklist",
+        "renew_req",
+        "renew_reply",
+        "resync",
+    );
 }
 
 #[cfg(test)]

@@ -84,6 +84,48 @@ pub(crate) fn check_signature(digest: u128, check: impl FnOnce() -> bool) -> boo
     })
 }
 
+/// Looks up a previously memoized signature check without computing it on
+/// a miss. A hit refreshes the entry's LRU stamp, exactly like
+/// [`check_signature`]. Deferred (batched) verification uses this to
+/// decide which certificate signatures still need real work.
+pub fn lookup_signature(digest: u128) -> Option<bool> {
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        cache.clock += 1;
+        let stamp = cache.clock;
+        if let Some(entry) = cache.entries.get_mut(&digest) {
+            entry.1 = stamp;
+            let valid = entry.0;
+            cache.hits += 1;
+            Some(valid)
+        } else {
+            cache.misses += 1;
+            None
+        }
+    })
+}
+
+/// Memoizes an externally computed signature check (the batch verifier's
+/// flush), with the same LRU eviction as [`check_signature`].
+pub fn store_signature(digest: u128, valid: bool) {
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        cache.clock += 1;
+        let stamp = cache.clock;
+        if cache.entries.len() >= CAPACITY && !cache.entries.contains_key(&digest) {
+            if let Some(&oldest) = cache
+                .entries
+                .iter()
+                .min_by_key(|(_, &(_, used))| used)
+                .map(|(k, _)| k)
+            {
+                cache.entries.remove(&oldest);
+            }
+        }
+        cache.entries.insert(digest, (valid, stamp));
+    })
+}
+
 /// `(hits, misses)` recorded by this thread's certificate cache.
 pub fn cert_cache_stats() -> (u64, u64) {
     CACHE.with(|cache| {

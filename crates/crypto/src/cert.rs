@@ -131,14 +131,52 @@ impl Certificate {
 
     /// This certificate's canonical signed body.
     pub fn body(&self) -> Vec<u8> {
-        Certificate::signing_bytes(
-            self.pseudonym,
-            self.public_key,
-            self.serial,
-            self.issuer,
-            self.issued,
-            self.expires,
-        )
+        let mut out = Vec::with_capacity(44);
+        self.write_body(&mut out);
+        out
+    }
+
+    /// Appends the canonical signed body to `out` without allocating —
+    /// the batch-verification path reuses one scratch buffer across
+    /// envelopes.
+    pub fn write_body(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(b"CERT");
+        out.extend_from_slice(&self.pseudonym.0.to_be_bytes());
+        out.extend_from_slice(&self.public_key.raw().to_be_bytes());
+        out.extend_from_slice(&self.serial.to_be_bytes());
+        out.extend_from_slice(&self.issuer.0.to_be_bytes());
+        out.extend_from_slice(&self.issued.as_micros().to_be_bytes());
+        out.extend_from_slice(&self.expires.as_micros().to_be_bytes());
+    }
+
+    /// The digest keying this certificate's memoized TA-signature check
+    /// in the per-thread cache (see [`crate::cache`]).
+    pub fn cache_digest(&self, ta_key: PublicKey) -> u128 {
+        crate::cache::fnv1a_128(&[
+            &self.body(),
+            &self.signature.e.to_be_bytes(),
+            &self.signature.s.to_be_bytes(),
+            &ta_key.raw().to_be_bytes(),
+        ])
+    }
+
+    /// The validity-window half of [`Certificate::verify`] alone: no
+    /// signature work, just the time comparisons. Deferred verification
+    /// evaluates this eagerly (it depends on `now`) while the signature
+    /// check rides a batch flush.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::NotYetValid`] / [`CertError::Expired`] when `now` is
+    /// outside `[issued, expires)`.
+    pub fn check_window(&self, now: Time) -> Result<(), CertError> {
+        if now < self.issued {
+            return Err(CertError::NotYetValid);
+        }
+        if now >= self.expires {
+            return Err(CertError::Expired);
+        }
+        Ok(())
     }
 
     /// Checks the TA signature and the validity window at time `now`.
@@ -154,24 +192,13 @@ impl Certificate {
     /// under `ta_key`, [`CertError::Expired`] / [`CertError::NotYetValid`]
     /// if `now` is outside the validity window.
     pub fn verify(&self, ta_key: PublicKey, now: Time) -> Result<(), CertError> {
-        let digest = crate::cache::fnv1a_128(&[
-            &self.body(),
-            &self.signature.e.to_be_bytes(),
-            &self.signature.s.to_be_bytes(),
-            &ta_key.raw().to_be_bytes(),
-        ]);
+        let digest = self.cache_digest(ta_key);
         let sig_ok =
             crate::cache::check_signature(digest, || ta_key.verify(&self.body(), &self.signature));
         if !sig_ok {
             return Err(CertError::BadSignature);
         }
-        if now < self.issued {
-            return Err(CertError::NotYetValid);
-        }
-        if now >= self.expires {
-            return Err(CertError::Expired);
-        }
-        Ok(())
+        self.check_window(now)
     }
 }
 

@@ -51,7 +51,7 @@ pub mod sha256;
 pub mod sig;
 pub mod ta;
 
-pub use cache::{cert_cache_clear, cert_cache_stats};
+pub use cache::{cert_cache_clear, cert_cache_stats, lookup_signature, store_signature};
 pub use cert::{
     CertError, Certificate, LongTermId, PseudonymId, RevocationList, RevocationNotice, TaId,
 };

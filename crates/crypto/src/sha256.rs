@@ -217,6 +217,262 @@ pub fn sha256(data: &[u8]) -> Digest {
     h.finalize()
 }
 
+/// Multi-lane SHA-256: several independent messages hashed in lockstep.
+///
+/// The compression function's round operations are all 32-bit adds,
+/// rotates, and bitwise logic — run over struct-of-arrays lanes
+/// (`[u32; LANES]` per working variable) they autovectorize, amortizing
+/// the round schedule across messages. Lanes are fully independent: each
+/// keeps its own message schedule and padding, so messages of unequal
+/// length work — a lane that runs out of blocks freezes its state while
+/// the longer lanes continue. The scalar [`Sha256`] path is the
+/// differential oracle (`sha256_lanes_match_scalar` here plus the
+/// proptests in `crypto/tests/`).
+pub mod lanes {
+    use super::{Digest, H0, K};
+
+    /// Messages hashed per lockstep group. Eight 32-bit lanes fill two
+    /// SSE2 registers (the x86-64 baseline) per working variable and
+    /// still vectorize cleanly on narrower targets.
+    pub const LANES: usize = 8;
+
+    /// Padded SHA-256 block count for a message of `len` bytes.
+    fn block_count(len: usize) -> usize {
+        (len + 9).div_ceil(64)
+    }
+
+    /// Materializes block `b` of `msg`'s padded form (FIPS 180-4 §5.1.1):
+    /// message bytes, then `0x80`, zeros, and the big-endian bit length in
+    /// the final block.
+    fn padded_block(msg: &[u8], b: usize) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        let start = b * 64;
+        let n = msg.len();
+        if start + 64 <= n {
+            out.copy_from_slice(&msg[start..start + 64]);
+            return out;
+        }
+        if start < n {
+            out[..n - start].copy_from_slice(&msg[start..]);
+        }
+        if (start..start + 64).contains(&n) {
+            out[n - start] = 0x80;
+        }
+        if b + 1 == block_count(n) {
+            out[56..].copy_from_slice(&((n as u64) * 8).to_be_bytes());
+        }
+        out
+    }
+
+    #[inline(always)]
+    #[allow(clippy::manual_rotate)]
+    fn rotr(x: [u32; LANES], r: u32) -> [u32; LANES] {
+        // Written as shift-or rather than `rotate_right`: SSE2 has no
+        // vector rotate, and LLVM leaves the rotate intrinsic as scalar
+        // `rol`s, whereas shift and or lanes vectorize.
+        let mut out = [0u32; LANES];
+        for l in 0..LANES {
+            out[l] = (x[l] >> r) | (x[l] << (32 - r));
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn xor3(a: [u32; LANES], b: [u32; LANES], c: [u32; LANES]) -> [u32; LANES] {
+        let mut out = [0u32; LANES];
+        for l in 0..LANES {
+            out[l] = a[l] ^ b[l] ^ c[l];
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn add(a: [u32; LANES], b: [u32; LANES]) -> [u32; LANES] {
+        let mut out = [0u32; LANES];
+        for l in 0..LANES {
+            out[l] = a[l].wrapping_add(b[l]);
+        }
+        out
+    }
+
+    /// One compression round group over all lanes; `active` masks lanes
+    /// whose message already ended (their state must stay frozen).
+    fn compress_lanes(
+        state: &mut [[u32; LANES]; 8],
+        blocks: &[[u8; 64]; LANES],
+        active: &[bool; LANES],
+    ) {
+        // Message schedule, struct-of-arrays: w[t][l] is word t of lane l.
+        let mut w = [[0u32; LANES]; 64];
+        for l in 0..LANES {
+            for t in 0..16 {
+                w[t][l] = u32::from_be_bytes(blocks[l][t * 4..t * 4 + 4].try_into().expect("4B"));
+            }
+        }
+        for t in 16..64 {
+            let s0 = xor3(rotr(w[t - 15], 7), rotr(w[t - 15], 18), {
+                let mut sh = [0u32; LANES];
+                for l in 0..LANES {
+                    sh[l] = w[t - 15][l] >> 3;
+                }
+                sh
+            });
+            let s1 = xor3(rotr(w[t - 2], 17), rotr(w[t - 2], 19), {
+                let mut sh = [0u32; LANES];
+                for l in 0..LANES {
+                    sh[l] = w[t - 2][l] >> 10;
+                }
+                sh
+            });
+            w[t] = add(add(w[t - 16], s0), add(w[t - 7], s1));
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+        for t in 0..64 {
+            let s1 = xor3(rotr(e, 6), rotr(e, 11), rotr(e, 25));
+            let mut ch = [0u32; LANES];
+            for l in 0..LANES {
+                ch[l] = (e[l] & f[l]) ^ (!e[l] & g[l]);
+            }
+            let kt = [K[t]; LANES];
+            let temp1 = add(add(h, s1), add(add(ch, kt), w[t]));
+            let s0 = xor3(rotr(a, 2), rotr(a, 13), rotr(a, 22));
+            let mut maj = [0u32; LANES];
+            for l in 0..LANES {
+                maj[l] = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+            }
+            let temp2 = add(s0, maj);
+            h = g;
+            g = f;
+            f = e;
+            e = add(d, temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = add(temp1, temp2);
+        }
+        let work = [a, b, c, d, e, f, g, h];
+        for (i, word) in work.iter().enumerate() {
+            for l in 0..LANES {
+                if active[l] {
+                    state[i][l] = state[i][l].wrapping_add(word[l]);
+                }
+            }
+        }
+    }
+
+    /// Hashes up to [`LANES`] messages in lockstep. Bit-identical to
+    /// hashing each message with [`super::sha256`].
+    pub fn sha256_x(msgs: &[&[u8]; LANES]) -> [Digest; LANES] {
+        let mut state = [[0u32; LANES]; 8];
+        for (i, &h) in H0.iter().enumerate() {
+            state[i] = [h; LANES];
+        }
+        let mut nblocks = [0usize; LANES];
+        for l in 0..LANES {
+            nblocks[l] = block_count(msgs[l].len());
+        }
+        let max = nblocks.iter().copied().max().unwrap_or(0);
+        for b in 0..max {
+            let mut blocks = [[0u8; 64]; LANES];
+            let mut active = [false; LANES];
+            for l in 0..LANES {
+                if b < nblocks[l] {
+                    blocks[l] = padded_block(msgs[l], b);
+                    active[l] = true;
+                }
+            }
+            compress_lanes(&mut state, &blocks, &active);
+        }
+        let mut out = [Digest([0u8; 32]); LANES];
+        for l in 0..LANES {
+            let mut bytes = [0u8; 32];
+            for i in 0..8 {
+                bytes[i * 4..i * 4 + 4].copy_from_slice(&state[i][l].to_be_bytes());
+            }
+            out[l] = Digest(bytes);
+        }
+        out
+    }
+
+    /// Like [`sha256_many`], but the messages are `(start, end)` spans
+    /// into one backing buffer — callers batching many small inputs can
+    /// stage them in an arena and hash without building a slice list.
+    /// Results land in `out` (cleared, capacity retained).
+    pub fn sha256_spans(bytes: &[u8], spans: &[(u32, u32)], out: &mut Vec<Digest>) {
+        out.clear();
+        out.reserve(spans.len());
+        let span = |&(a, b): &(u32, u32)| -> &[u8] { &bytes[a as usize..b as usize] };
+        let mut chunks = spans.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            let group: [&[u8]; LANES] = std::array::from_fn(|l| span(&chunk[l]));
+            out.extend_from_slice(&sha256_x(&group));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut group: [&[u8]; LANES] = [&[]; LANES];
+            for (l, sp) in rest.iter().enumerate() {
+                group[l] = span(sp);
+            }
+            out.extend_from_slice(&sha256_x(&group)[..rest.len()]);
+        }
+    }
+
+    /// Hashes an arbitrary number of messages, full [`LANES`]-wide groups
+    /// in lockstep and the remainder padded with empty dummy lanes.
+    /// Results land in `out` (cleared, capacity retained).
+    pub fn sha256_many(msgs: &[&[u8]], out: &mut Vec<Digest>) {
+        out.clear();
+        out.reserve(msgs.len());
+        let mut chunks = msgs.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            let group: &[&[u8]; LANES] = chunk.try_into().expect("exact chunk");
+            out.extend_from_slice(&sha256_x(group));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut group: [&[u8]; LANES] = [&[]; LANES];
+            group[..rest.len()].copy_from_slice(rest);
+            out.extend_from_slice(&sha256_x(&group)[..rest.len()]);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::sha256::sha256;
+
+        #[test]
+        fn sha256_lanes_match_scalar() {
+            // Unequal lengths across every padding boundary, in one group.
+            let msgs: Vec<Vec<u8>> = [0usize, 3, 55, 56, 63, 64, 65, 200]
+                .iter()
+                .map(|&n| (0..n).map(|i| (i * 37 % 251) as u8).collect())
+                .collect();
+            let refs: [&[u8]; LANES] = std::array::from_fn(|i| msgs[i].as_slice());
+            let got = sha256_x(&refs);
+            for (m, d) in msgs.iter().zip(&got) {
+                assert_eq!(*d, sha256(m), "len {}", m.len());
+            }
+        }
+
+        #[test]
+        fn sha256_many_handles_remainders() {
+            for count in [0usize, 1, 7, 8, 9, 17] {
+                let msgs: Vec<Vec<u8>> = (0..count)
+                    .map(|i| vec![i as u8; (i * 13) % 130])
+                    .collect();
+                let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+                let mut out = Vec::new();
+                sha256_many(&refs, &mut out);
+                assert_eq!(out.len(), count);
+                for (m, d) in msgs.iter().zip(&out) {
+                    assert_eq!(*d, sha256(m), "count {count} len {}", m.len());
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,196 @@
+//! Differential property tests for the batched fast paths.
+//!
+//! Both accelerated primitives ship with a scalar reference that stays in
+//! the tree precisely so these tests can hold them together: the batch
+//! Schnorr verifier must agree with [`PublicKey::verify`] on every item of
+//! every batch (including which items a corrupted batch bisects down to),
+//! and the multi-lane SHA-256 must be bit-identical to the streaming
+//! scalar [`sha256`] for any mix of message lengths and lane occupancies.
+
+use blackdp_crypto::sha256::{lanes, sha256, Digest};
+use blackdp_crypto::sig::{Keypair, Signature, VerifyBatch};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How a batch item gets sabotaged, if at all.
+#[derive(Debug, Clone, Copy)]
+enum Tamper {
+    None,
+    FlipE,
+    FlipS,
+    Message,
+    WrongKey,
+}
+
+fn tamper_strategy() -> impl Strategy<Value = Tamper> {
+    // Repeated arms stand in for weights (the oneof is uniform): valid
+    // items dominate, as in real traffic.
+    prop_oneof![
+        Just(Tamper::None),
+        Just(Tamper::None),
+        Just(Tamper::None),
+        Just(Tamper::None),
+        Just(Tamper::FlipE),
+        Just(Tamper::FlipS),
+        Just(Tamper::Message),
+        Just(Tamper::WrongKey),
+    ]
+}
+
+/// Message lengths biased toward SHA-256 block boundaries (55/56/64 and
+/// the two-block equivalents) where padding bugs live.
+fn len_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![0usize..10, 50usize..71, 114usize..135, 0usize..300]
+}
+
+/// Deterministic pseudo-random message bytes for the given lengths
+/// (an xorshift keeps content varied without a byte-level strategy).
+fn fill_messages(seed: u64, lens: &[usize]) -> Vec<Vec<u8>> {
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x as u8
+    };
+    lens.iter()
+        .map(|&n| (0..n).map(|_| next()).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any batch — any size, any tamper pattern, shared or distinct
+    /// signers — `VerifyBatch` must classify every item exactly as the
+    /// scalar `PublicKey::verify` does. This exercises the random-linear-
+    /// combination accept path (all valid), the bisecting reject path
+    /// (any invalid), and the shared-signer fixed-base fast path.
+    #[test]
+    fn batch_classifies_items_like_scalar_verify(
+        seed in any::<u64>(),
+        tampers in proptest::collection::vec(tamper_strategy(), 0..40),
+        shared_signer in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shared = Keypair::generate(&mut rng);
+        let decoy = Keypair::generate(&mut rng);
+        let mut batch = VerifyBatch::new();
+        let mut items = Vec::new();
+        for (i, &tamper) in tampers.iter().enumerate() {
+            let keys = if shared_signer {
+                shared
+            } else {
+                Keypair::generate(&mut rng)
+            };
+            let mut msg = format!("pkt {i} seq {}", i * 31).into_bytes();
+            let mut sig = keys.sign(&msg, &mut rng);
+            let mut key = keys.public();
+            match tamper {
+                Tamper::None => {}
+                Tamper::FlipE => sig = Signature { e: sig.e ^ 1, s: sig.s },
+                Tamper::FlipS => sig = Signature { e: sig.e, s: sig.s ^ 1 },
+                Tamper::Message => msg[0] ^= 0x80,
+                Tamper::WrongKey => key = decoy.public(),
+            }
+            batch.push(&msg, sig, key);
+            items.push((msg, sig, key));
+        }
+        let outcome = batch.verify_all();
+        for (i, (msg, sig, key)) in items.iter().enumerate() {
+            let scalar = key.verify(msg, sig);
+            prop_assert_eq!(
+                outcome.is_valid(i),
+                scalar,
+                "item {} diverged (tamper {:?})",
+                i,
+                tampers[i]
+            );
+        }
+        prop_assert_eq!(
+            outcome.all_valid(),
+            items.iter().all(|(m, s, k)| k.verify(m, s))
+        );
+        prop_assert!(batch.is_empty(), "verify_all must reset the batch");
+    }
+
+    /// A reused `VerifyBatch` (buffers retained across rounds, as the
+    /// verify queue does) must behave like a fresh one.
+    #[test]
+    fn batch_reuse_is_stateless(seed in any::<u64>(), rounds in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut batch = VerifyBatch::new();
+        for round in 0..rounds {
+            let n = 1 + (seed as usize).wrapping_add(round) % 20;
+            let corrupt = (seed as usize).wrapping_mul(31).wrapping_add(round) % n;
+            for i in 0..n {
+                let keys = Keypair::generate(&mut rng);
+                let msg = [round as u8, i as u8, 0xAB];
+                let mut sig = keys.sign(&msg, &mut rng);
+                if i == corrupt {
+                    sig.s ^= 1;
+                }
+                batch.push(&msg, sig, keys.public());
+            }
+            let outcome = batch.verify_all();
+            for i in 0..n {
+                prop_assert_eq!(outcome.is_valid(i), i != corrupt, "round {} item {}", round, i);
+            }
+        }
+    }
+
+    /// Multi-lane SHA-256 over any number of messages of any lengths is
+    /// bit-identical to hashing each message with the scalar core —
+    /// including ragged final groups and empty inputs.
+    #[test]
+    fn sha256_many_matches_scalar(
+        seed in any::<u64>(),
+        lens in proptest::collection::vec(len_strategy(), 0..27),
+    ) {
+        let msgs = fill_messages(seed, &lens);
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let mut out: Vec<Digest> = Vec::new();
+        lanes::sha256_many(&refs, &mut out);
+        let expected: Vec<Digest> = msgs.iter().map(|m| sha256(m)).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    /// The span-based entry point (messages staged back-to-back in one
+    /// arena, as the verify queue stages them) agrees with the scalar
+    /// core for any packing.
+    #[test]
+    fn sha256_spans_matches_scalar(
+        seed in any::<u64>(),
+        lens in proptest::collection::vec(len_strategy(), 0..27),
+    ) {
+        let msgs = fill_messages(seed, &lens);
+        let mut arena = Vec::new();
+        let mut spans = Vec::new();
+        for msg in &msgs {
+            let start = arena.len() as u32;
+            arena.extend_from_slice(msg);
+            spans.push((start, arena.len() as u32));
+        }
+        let mut out: Vec<Digest> = Vec::new();
+        lanes::sha256_spans(&arena, &spans, &mut out);
+        let expected: Vec<Digest> = msgs.iter().map(|m| sha256(m)).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    /// A full lane group hashed in lockstep matches per-message hashing
+    /// even when lane lengths force different block counts per lane.
+    #[test]
+    fn sha256_x_matches_scalar_per_lane(
+        seed in any::<u64>(),
+        lens in proptest::collection::vec(len_strategy(), lanes::LANES..lanes::LANES + 1),
+    ) {
+        let msgs = fill_messages(seed, &lens);
+        let group: [&[u8]; lanes::LANES] =
+            std::array::from_fn(|l| msgs[l].as_slice());
+        let out = lanes::sha256_x(&group);
+        for l in 0..lanes::LANES {
+            prop_assert_eq!(out[l], sha256(&msgs[l]), "lane {}", l);
+        }
+    }
+}

@@ -71,7 +71,7 @@ pub fn send_wire(
     to: Addr,
     wire: Wire,
 ) {
-    ctx.count(&format!("tx.{}", wire.kind()));
+    ctx.count(wire.tx_key());
     let frame = Frame {
         src,
         dst: Some(to),
@@ -85,7 +85,7 @@ pub fn send_wire(
 
 /// Broadcasts `wire` to everyone in radio range.
 pub fn broadcast_wire(ctx: &mut Context<'_, Frame, Tick>, src: Addr, wire: Wire) {
-    ctx.count(&format!("btx.{}", wire.kind()));
+    ctx.count(wire.btx_key());
     ctx.broadcast(Frame {
         src,
         dst: None,

@@ -58,7 +58,8 @@ impl L2Membership {
         ch_addr: Addr,
         epoch: u64,
         notices: &[RevocationNotice],
-    ) -> Vec<StackOp> {
+        ops: &mut Vec<StackOp>,
+    ) {
         let now = io.now();
         // Switching heads (e.g. the home CH answered again while we were
         // failed over to a neighbor): deregister from the old one first.
@@ -76,7 +77,7 @@ impl L2Membership {
         self.ch_epoch = Some(epoch);
         self.join_pending_since = None;
         self.failed_joins = 0;
-        let mut ops = vec![StackOp::SetDefenseCluster(Some(cluster))];
+        ops.push(StackOp::SetDefenseCluster(Some(cluster)));
         for notice in notices {
             io.core.blacklist.insert(*notice);
             ops.push(StackOp::PurgeRoute(addr_of(notice.pseudonym)));
@@ -95,7 +96,6 @@ impl L2Membership {
                 );
             }
         }
-        ops
     }
 
     /// Our CH rebooted and lost its member table: our registration is
@@ -105,7 +105,8 @@ impl L2Membership {
         io: &mut LayerIo<'_, '_, '_>,
         cluster: ClusterId,
         epoch: u64,
-    ) -> Vec<StackOp> {
+        ops: &mut Vec<StackOp>,
+    ) {
         if self.cluster == Some(cluster) && self.ch_epoch != Some(epoch) {
             io.count("vehicle.resync_rejoin");
             self.cluster = None;
@@ -115,9 +116,7 @@ impl L2Membership {
             // The reboot wiped the CH's verification table: an unanswered
             // report must be re-submitted on re-join.
             io.core.report_needs_resend |= io.core.pending_report.is_some();
-            vec![StackOp::SetDefenseCluster(None)]
-        } else {
-            Vec::new()
+            ops.push(StackOp::SetDefenseCluster(None));
         }
     }
 
@@ -154,28 +153,37 @@ impl Layer for L2Membership {
         "l2-membership"
     }
 
-    fn on_frame(&mut self, io: &mut LayerIo<'_, '_, '_>, frame: &Frame) -> Option<Vec<StackOp>> {
+    fn on_frame(
+        &mut self,
+        io: &mut LayerIo<'_, '_, '_>,
+        frame: &Frame,
+        ops: &mut Vec<StackOp>,
+    ) -> bool {
         match &frame.wire {
             Wire::BlackDp(BlackDpMessage::Jrep {
                 cluster,
                 ch_addr,
                 epoch,
                 blacklist,
-            }) => Some(self.on_jrep(io, *cluster, *ch_addr, *epoch, blacklist)),
-            Wire::BlackDp(BlackDpMessage::Resync { cluster, epoch, .. }) => {
-                Some(self.on_resync(io, *cluster, *epoch))
+            }) => {
+                self.on_jrep(io, *cluster, *ch_addr, *epoch, blacklist, ops);
+                true
             }
-            _ => None,
+            Wire::BlackDp(BlackDpMessage::Resync { cluster, epoch, .. }) => {
+                self.on_resync(io, *cluster, *epoch, ops);
+                true
+            }
+            _ => false,
         }
     }
 
-    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>) -> Vec<StackOp> {
+    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>, _ops: &mut Vec<StackOp>) {
         let now = io.now();
         let pos = io.core.trajectory.position_at(now);
         let here = io.core.plan.cluster_of(pos);
         if here == self.cluster && self.cluster.is_some() {
             self.failed_joins = 0;
-            return Vec::new();
+            return;
         }
         // Throttle join attempts: one per half second normally; the
         // home-cluster retry while failed over to a neighbor runs at a
@@ -187,7 +195,7 @@ impl Layer for L2Membership {
         };
         if let Some(since) = self.join_pending_since {
             if now.saturating_since(since) < gap {
-                return Vec::new();
+                return;
             }
             // The previous attempt went unanswered — a Jrep would have
             // cleared `join_pending_since`.
@@ -225,7 +233,7 @@ impl Layer for L2Membership {
                     io.core.report_needs_resend |= io.core.pending_report.is_some();
                     io.send(crate::config::ch_addr(neighbor), wire);
                     self.join_pending_since = Some(now);
-                    return Vec::new();
+                    return;
                 }
             }
             // Section III-A: in a single zone the vehicle "only needs to
@@ -243,6 +251,5 @@ impl Layer for L2Membership {
             }
             self.join_pending_since = Some(now);
         }
-        Vec::new()
     }
 }

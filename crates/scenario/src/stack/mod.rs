@@ -46,7 +46,7 @@ use std::collections::HashSet;
 
 use blackdp::{
     addr_of, BlackDpConfig, BlackDpMessage, DetectionOutcome, DetectionResponse, DReq, HelloReply,
-    RouteAuth, RrepBody, Sealed, SignBytes, SuspicionReason, Wire,
+    RouteAuth, RrepBody, Sealed, SignBytes, SuspicionReason, VerifyQueue, Wire,
 };
 use blackdp_aodv::{
     Action as AodvAction, Addr, AodvConfig, Event as AodvEvent, Message as AodvMessage,
@@ -119,6 +119,9 @@ pub struct StackCore {
     pub(crate) responses: Vec<DetectionResponse>,
     pub(crate) dreqs_sent: u32,
     pub(crate) gave_up: Vec<Addr>,
+    /// Batch-backed envelope verification with retained buffers; see
+    /// [`VerifyQueue`].
+    pub(crate) queue: VerifyQueue,
     pub(crate) rng: StdRng,
 }
 
@@ -244,13 +247,21 @@ pub trait Layer {
     /// A short name for debugging and reports.
     fn name(&self) -> &'static str;
 
-    /// Offered an inbound frame. Return `None` to pass it up the stack,
-    /// or `Some(ops)` to claim it (the driver executes `ops` and stops
-    /// offering the frame).
-    fn on_frame(&mut self, io: &mut LayerIo<'_, '_, '_>, frame: &Frame) -> Option<Vec<StackOp>>;
+    /// Offered an inbound frame. Return `false` to pass it up the stack,
+    /// or `true` to claim it; cross-layer consequences are pushed into
+    /// `ops` (the driver executes them in order and stops offering the
+    /// frame). The buffer is driver-owned scratch, recycled across calls
+    /// so the per-frame hot path never allocates.
+    fn on_frame(
+        &mut self,
+        io: &mut LayerIo<'_, '_, '_>,
+        frame: &Frame,
+        ops: &mut Vec<StackOp>,
+    ) -> bool;
 
-    /// This layer's slot in the periodic tick schedule.
-    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>) -> Vec<StackOp>;
+    /// This layer's slot in the periodic tick schedule. Requested
+    /// operations are pushed into the driver-owned `ops` scratch buffer.
+    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>, ops: &mut Vec<StackOp>);
 }
 
 /// The defense slot participates in the stack as a layer: it claims
@@ -261,7 +272,12 @@ impl Layer for Box<dyn RouteDefense> {
         (**self).name()
     }
 
-    fn on_frame(&mut self, io: &mut LayerIo<'_, '_, '_>, frame: &Frame) -> Option<Vec<StackOp>> {
+    fn on_frame(
+        &mut self,
+        io: &mut LayerIo<'_, '_, '_>,
+        frame: &Frame,
+        ops: &mut Vec<StackOp>,
+    ) -> bool {
         let now = io.now();
         let (src, signer, rrep, auth) = match &frame.wire {
             Wire::Aodv(AodvMessage::Rrep(r)) => (frame.src, None, *r, None),
@@ -269,25 +285,28 @@ impl Layer for Box<dyn RouteDefense> {
                 let signer = addr_of(auth.signer());
                 if io.core.is_banned(signer) {
                     io.count("vehicle.dropped_blacklisted");
-                    return Some(Vec::new());
+                    return true;
                 }
                 (frame.src, Some(signer), *rrep, Some(auth.clone()))
             }
-            _ => return None,
+            _ => return false,
         };
         match self.intercept_rrep(src, signer, &rrep, auth.as_ref(), now) {
-            RrepVerdict::Deliver => Some(vec![StackOp::DeliverRrep { src, rrep, auth }]),
+            RrepVerdict::Deliver => ops.push(StackOp::DeliverRrep { src, rrep, auth }),
             RrepVerdict::Reject { judged } => {
                 io.core.local_blacklist.insert(judged);
                 io.count("baseline.rrep_rejected");
-                Some(Vec::new())
             }
-            RrepVerdict::Buffered => Some(Vec::new()),
+            RrepVerdict::Buffered => {}
         }
+        true
     }
 
-    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>) -> Vec<StackOp> {
-        vec![StackOp::Defense((**self).tick(io.now()))]
+    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>, ops: &mut Vec<StackOp>) {
+        let actions = (**self).tick(io.now());
+        if !actions.is_empty() {
+            ops.push(StackOp::Defense(actions));
+        }
     }
 }
 
@@ -299,6 +318,9 @@ pub struct Stack {
     routing: Routing,
     defense: Box<dyn RouteDefense>,
     traffic: Traffic,
+    /// Recycled [`StackOp`] scratch handed to every layer hook, so the
+    /// per-frame and per-tick hot paths stay allocation-free.
+    ops_buf: Vec<StackOp>,
 }
 
 impl std::fmt::Debug for Stack {
@@ -343,12 +365,14 @@ impl Stack {
                 responses: Vec::new(),
                 dreqs_sent: 0,
                 gave_up: Vec::new(),
+                queue: VerifyQueue::new(),
                 rng: StdRng::seed_from_u64(seed),
             },
             membership: L2Membership::new(),
             routing,
             defense,
             traffic: Traffic::new(),
+            ops_buf: Vec::new(),
         }
     }
 
@@ -436,48 +460,55 @@ impl Stack {
             ctx.count("vehicle.dropped_blacklisted");
             return;
         }
-        ctx.count(&format!("vrx.{}", frame.wire.kind()));
-        // Offer the frame up the stack; the first claimant wins.
-        let ops = {
+        ctx.count(frame.wire.vrx_key());
+        // Offer the frame up the stack; the first claimant wins. The ops
+        // scratch is recycled across events (a reentrant call would fall
+        // back to a fresh allocation via `mem::take`).
+        let mut ops = std::mem::take(&mut self.ops_buf);
+        debug_assert!(ops.is_empty());
+        let claimed = {
             let mut io = LayerIo {
                 core: &mut self.core,
                 ctx,
                 routing: None,
                 defense: None,
             };
-            self.membership.on_frame(&mut io, &frame)
+            self.membership.on_frame(&mut io, &frame, &mut ops)
         };
-        if let Some(ops) = ops {
-            self.exec_ops(ctx, ops);
+        if claimed {
+            self.exec_ops(ctx, &mut ops);
+            self.ops_buf = ops;
             return;
         }
-        let ops = {
+        let claimed = {
             let mut io = LayerIo {
                 core: &mut self.core,
                 ctx,
                 routing: None,
                 defense: None,
             };
-            self.routing.on_frame(&mut io, &frame)
+            self.routing.on_frame(&mut io, &frame, &mut ops)
         };
-        if let Some(ops) = ops {
-            self.exec_ops(ctx, ops);
+        if claimed {
+            self.exec_ops(ctx, &mut ops);
+            self.ops_buf = ops;
             return;
         }
-        let ops = {
+        let claimed = {
             let mut io = LayerIo {
                 core: &mut self.core,
                 ctx,
                 routing: None,
                 defense: None,
             };
-            self.defense.on_frame(&mut io, &frame)
+            self.defense.on_frame(&mut io, &frame, &mut ops)
         };
-        if let Some(ops) = ops {
-            self.exec_ops(ctx, ops);
+        if claimed {
+            self.exec_ops(ctx, &mut ops);
+            self.ops_buf = ops;
             return;
         }
-        let ops = {
+        let claimed = {
             let Stack {
                 core,
                 routing,
@@ -491,12 +522,14 @@ impl Stack {
                 routing: Some(routing),
                 defense: Some(defense.as_ref()),
             };
-            traffic.on_frame(&mut io, &frame)
+            traffic.on_frame(&mut io, &frame, &mut ops)
         };
-        if let Some(ops) = ops {
-            self.exec_ops(ctx, ops);
+        if claimed {
+            self.exec_ops(ctx, &mut ops);
+            self.ops_buf = ops;
             return;
         }
+        self.ops_buf = ops;
         // Unclaimed: the stack's own transport floor terminates BlackDP
         // end-to-end messages (probe/reply relaying, verdicts,
         // advisories).
@@ -527,37 +560,39 @@ impl Stack {
             ctx.despawn();
             return;
         }
-        let ops = {
+        let mut ops = std::mem::take(&mut self.ops_buf);
+        debug_assert!(ops.is_empty());
+        {
             let mut io = LayerIo {
                 core: &mut self.core,
                 ctx,
                 routing: None,
                 defense: None,
             };
-            self.membership.on_tick(&mut io)
-        };
-        self.exec_ops(ctx, ops);
-        let ops = {
+            self.membership.on_tick(&mut io, &mut ops);
+        }
+        self.exec_ops(ctx, &mut ops);
+        {
             let mut io = LayerIo {
                 core: &mut self.core,
                 ctx,
                 routing: None,
                 defense: None,
             };
-            self.routing.on_tick(&mut io)
-        };
-        self.exec_ops(ctx, ops);
-        let ops = {
+            self.routing.on_tick(&mut io, &mut ops);
+        }
+        self.exec_ops(ctx, &mut ops);
+        {
             let mut io = LayerIo {
                 core: &mut self.core,
                 ctx,
                 routing: None,
                 defense: None,
             };
-            self.defense.on_tick(&mut io)
-        };
-        self.exec_ops(ctx, ops);
-        let ops = {
+            self.defense.on_tick(&mut io, &mut ops);
+        }
+        self.exec_ops(ctx, &mut ops);
+        {
             let Stack {
                 core,
                 routing,
@@ -571,9 +606,10 @@ impl Stack {
                 routing: Some(routing),
                 defense: Some(defense.as_ref()),
             };
-            traffic.on_tick(&mut io)
-        };
-        self.exec_ops(ctx, ops);
+            traffic.on_tick(&mut io, &mut ops);
+        }
+        self.exec_ops(ctx, &mut ops);
+        self.ops_buf = ops;
         // The defense's late slot: close an elapsed collection window and
         // replay the surviving buffered replies through routing.
         if let Some(conclusion) = self.defense.conclude_window(now) {
@@ -604,10 +640,11 @@ impl Stack {
         ctx.set_timer(self.core.cfg.tick, Tick);
     }
 
-    /// Executes layer-requested operations eagerly, in order.
-    fn exec_ops(&mut self, ctx: &mut Context<'_, Frame, Tick>, ops: Vec<StackOp>) {
+    /// Executes layer-requested operations eagerly, in order, draining
+    /// (and thereby recycling) the driver's scratch buffer.
+    fn exec_ops(&mut self, ctx: &mut Context<'_, Frame, Tick>, ops: &mut Vec<StackOp>) {
         let now = ctx.now();
-        for op in ops {
+        for op in ops.drain(..) {
             match op {
                 StackOp::Aodv { actions, rrep_auth } => {
                     self.run_aodv_actions(ctx, actions, rrep_auth.as_ref().map(|o| o.as_ref()));
@@ -805,7 +842,12 @@ impl Stack {
                 if probe.dest == self.core.addr() {
                     // We are the destination: authenticate the prober and
                     // answer with our own signed Hello.
-                    if sealed.verify(self.core.ta_key, now).is_err() {
+                    if self
+                        .core
+                        .queue
+                        .verify_one(&sealed, self.core.ta_key, now)
+                        .is_err()
+                    {
                         ctx.count("vehicle.probe_bad_auth");
                         return;
                     }

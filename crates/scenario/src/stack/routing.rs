@@ -89,26 +89,37 @@ impl Layer for Routing {
         "routing"
     }
 
-    fn on_frame(&mut self, io: &mut LayerIo<'_, '_, '_>, frame: &Frame) -> Option<Vec<StackOp>> {
+    fn on_frame(
+        &mut self,
+        io: &mut LayerIo<'_, '_, '_>,
+        frame: &Frame,
+        ops: &mut Vec<StackOp>,
+    ) -> bool {
         let Wire::Aodv(msg) = &frame.wire else {
-            return None;
+            return false;
         };
         if matches!(msg, AodvMessage::Rrep(_)) {
             // Route replies are vetted by the defense slot first and come
             // back down via `StackOp::DeliverRrep`.
-            return None;
+            return false;
         }
         let actions = self.aodv.handle_message(frame.src, msg.clone(), io.now());
-        Some(vec![StackOp::Aodv {
-            actions,
-            rrep_auth: None,
-        }])
+        if !actions.is_empty() {
+            ops.push(StackOp::Aodv {
+                actions,
+                rrep_auth: None,
+            });
+        }
+        true
     }
 
-    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>) -> Vec<StackOp> {
-        vec![StackOp::Aodv {
-            actions: self.aodv.tick(io.now()),
-            rrep_auth: None,
-        }]
+    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>, ops: &mut Vec<StackOp>) {
+        let actions = self.aodv.tick(io.now());
+        if !actions.is_empty() {
+            ops.push(StackOp::Aodv {
+                actions,
+                rrep_auth: None,
+            });
+        }
     }
 }

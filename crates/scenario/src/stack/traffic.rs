@@ -90,17 +90,25 @@ impl Layer for Traffic {
         "traffic"
     }
 
-    fn on_frame(&mut self, _io: &mut LayerIo<'_, '_, '_>, _frame: &Frame) -> Option<Vec<StackOp>> {
+    fn on_frame(
+        &mut self,
+        _io: &mut LayerIo<'_, '_, '_>,
+        _frame: &Frame,
+        _ops: &mut Vec<StackOp>,
+    ) -> bool {
         // Application data arrives through routing's DataDelivered event,
         // not as raw frames.
-        None
+        false
     }
 
-    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>) -> Vec<StackOp> {
+    fn on_tick(&mut self, io: &mut LayerIo<'_, '_, '_>, ops: &mut Vec<StackOp>) {
         let now = io.now();
         let routing = io.routing.expect("traffic runs above routing");
         let defense = io.defense.expect("traffic runs above the defense");
-        let mut ops = Vec::new();
+        // Kicks go straight into the shared scratch; sends are staged in a
+        // small local list so the original kicks-then-sends order (and
+        // thus the golden trace) is preserved. The local list allocates
+        // only on ticks that actually transmit.
         let mut send_data: Vec<Addr> = Vec::new();
         for state in &mut self.intents {
             if now < state.intent.start || state.sent >= state.intent.count {
@@ -130,6 +138,5 @@ impl Layer for Traffic {
             }
         }
         ops.extend(send_data.into_iter().map(StackOp::SendData));
-        ops
     }
 }

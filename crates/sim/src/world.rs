@@ -30,6 +30,11 @@ pub enum RadioModel {
     },
 }
 
+/// Worlds with at most this many node slots answer broadcast queries by
+/// brute-force scan regardless of the configured [`NeighborIndex`]: one
+/// grid rebuild costs more than scanning the whole population.
+const SMALL_WORLD_SCAN_MAX: usize = 64;
+
 /// The data structure the radio medium uses to find broadcast receivers.
 ///
 /// Both strategies yield **bit-identical** simulations: the grid applies the
@@ -161,6 +166,8 @@ pub struct World<P, T> {
     grid_stamp: Option<(Time, usize)>,
     /// Reusable receiver buffer for the broadcast hot path.
     recv_scratch: Vec<(u32, f64)>,
+    /// Reusable effect buffer for the dispatch hot path.
+    effects_scratch: Vec<Effect<P, T>>,
 }
 
 /// A verification witness of the engine's full dynamic state at one
@@ -254,6 +261,7 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             grid: SpatialGrid::new(),
             grid_stamp: None,
             recv_scratch: Vec::new(),
+            effects_scratch: Vec::new(),
         }
     }
 
@@ -353,6 +361,14 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     /// Number of spawned nodes (active or not).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Event-slab slots ever created — the queue's allocation high-water
+    /// mark. Steady-state traffic recycles slots, so once a workload
+    /// reaches its plateau this stops growing; the perf harness uses it to
+    /// assert the event loop runs allocation-free per event.
+    pub fn event_slab_slots(&self) -> usize {
+        self.queue.slab_capacity()
     }
 
     /// Captures an [`EngineStamp`] witnessing the engine's dynamic state
@@ -620,7 +636,9 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                 id: timer_id,
                 token,
             } => {
-                if self.cancelled_timers.remove(&timer_id.0) {
+                // The emptiness guard skips hashing entirely on the common
+                // path — most runs cancel no or very few timers.
+                if !self.cancelled_timers.is_empty() && self.cancelled_timers.remove(&timer_id.0) {
                     return true;
                 }
                 if !active {
@@ -697,13 +715,18 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     where
         F: FnOnce(&mut dyn Node<P, T>, &mut Context<'_, P, T>),
     {
+        // The effect buffer is recycled across dispatches; a (reentrant)
+        // `spawn` from inside `apply_effects` would simply fall back to a
+        // fresh allocation via `mem::take`.
+        let mut effects = std::mem::take(&mut self.effects_scratch);
+        effects.clear();
         let mut ctx = Context {
             now: self.now,
             self_id: id,
             rng: &mut self.rng,
             stats: &mut self.stats,
             next_timer_id: &mut self.next_timer_id,
-            effects: Vec::new(),
+            effects,
         };
         // Split borrows: the node lives in `self.nodes`, the context borrows
         // the engine's RNG/stats, so no aliasing occurs.
@@ -712,12 +735,14 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             .get_mut(id.as_usize())
             .expect("dispatch to unspawned node");
         f(slot.node.as_mut(), &mut ctx);
-        let effects = ctx.effects;
-        self.apply_effects(id, effects);
+        let mut effects = ctx.effects;
+        self.apply_effects(id, &mut effects);
+        effects.clear();
+        self.effects_scratch = effects;
     }
 
-    fn apply_effects(&mut self, sender: NodeId, effects: Vec<Effect<P, T>>) {
-        for effect in effects {
+    fn apply_effects(&mut self, sender: NodeId, effects: &mut Vec<Effect<P, T>>) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Unicast { to, payload } => {
                     self.stats.incr("radio.tx");
@@ -732,26 +757,38 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                     // The final receiver takes the payload by move — one
                     // clone per broadcast saved, and a broadcast with a
                     // single receiver (the unicast-like common case for
-                    // sparse traffic) clones nothing at all.
-                    let mut payload = Some(payload);
-                    let last = receivers.len().wrapping_sub(1);
-                    for (i, &(to, dist)) in receivers.iter().enumerate() {
-                        if !self.link_succeeds(dist) {
-                            self.stats.incr("radio.drop.fading");
-                            continue;
+                    // sparse traffic) clones nothing at all. `split_last`
+                    // makes the split structural: the move-vs-clone choice
+                    // cannot drift out of sync with the iteration, so there
+                    // is no "payload already moved" state to guard against.
+                    // The fading draws stay in receiver order (clones first,
+                    // then the final move) to keep RNG consumption, and
+                    // therefore traces, bit-identical.
+                    if let Some((&(last_to, last_dist), rest)) = receivers.split_last() {
+                        for &(to, dist) in rest {
+                            if !self.link_succeeds(dist) {
+                                self.stats.incr("radio.drop.fading");
+                                continue;
+                            }
+                            self.try_radio_deliver_in_range(
+                                self.now,
+                                sender,
+                                NodeId::new(to),
+                                payload.clone(),
+                                Some(dist),
+                            );
                         }
-                        let p = if i == last {
-                            payload.take().expect("broadcast payload already moved")
+                        if self.link_succeeds(last_dist) {
+                            self.try_radio_deliver_in_range(
+                                self.now,
+                                sender,
+                                NodeId::new(last_to),
+                                payload,
+                                Some(last_dist),
+                            );
                         } else {
-                            payload.clone().expect("broadcast payload already moved")
-                        };
-                        self.try_radio_deliver_in_range(
-                            self.now,
-                            sender,
-                            NodeId::new(to),
-                            p,
-                            Some(dist),
-                        );
+                            self.stats.incr("radio.drop.fading");
+                        }
                     }
                     receivers.clear();
                     self.recv_scratch = receivers;
@@ -810,7 +847,18 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             return;
         };
         let range = self.cfg.radio_range_m;
-        match self.cfg.neighbor_index {
+        // Small worlds: the O(N) scan beats the grid outright. Jittered
+        // transmissions land on fresh timestamps, so nearly every broadcast
+        // would pay a full grid rebuild to answer a single query — more
+        // work than walking a few dozen slots directly. Both strategies
+        // are bit-identical (same inclusive range check, same ascending-id
+        // order), so the switch cannot perturb a trace.
+        let index = if self.nodes.len() <= SMALL_WORLD_SCAN_MAX {
+            NeighborIndex::Scan
+        } else {
+            self.cfg.neighbor_index
+        };
+        match index {
             NeighborIndex::Scan => {
                 for (i, slot) in self.nodes.iter().enumerate() {
                     let index = i as u32;
