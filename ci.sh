@@ -34,6 +34,18 @@ for bench in results/BENCH_pr2.json results/BENCH_pr7.json; do
     fi
 done
 
+echo "==> shard scaling gate (scale smoke)"
+# N = 100,000 events/s vs shard count: the sharded backend must land on
+# the serial oracle's exact EngineStamp/Stats witnesses, beat it by ≥ 3x
+# (rebuild avoidance is algorithmic — it must hold on one core), keep a
+# non-collapsing scaling curve, and push cross-band sealed envelopes
+# through batch-width boundary audits with zero failures.
+cargo run --release -p blackdp-bench --bin scale -- smoke
+if [ ! -f results/BENCH_pr8.json ]; then
+    echo "ci.sh: results/BENCH_pr8.json missing after scale run" >&2
+    exit 1
+fi
+
 echo "==> fuzz / trace-oracle gate (fuzz smoke)"
 cargo run --release -p blackdp-bench --bin fuzz -- smoke
 

@@ -245,7 +245,11 @@ pub enum Intercept {
 /// Interceptors see every packet the honest base did not terminate, in
 /// chain order, and push their output actions onto `out`. Returning
 /// [`Intercept::Handled`] stops propagation.
-pub trait Interceptor: std::fmt::Debug {
+///
+/// `Send + Sync` rides along from the engine's `Node` bounds (the sharded
+/// backend reads node positions from scoped threads); interceptors are only
+/// ever invoked from the single-threaded event loop.
+pub trait Interceptor: std::fmt::Debug + Send + Sync {
     /// A short stable name for diagnostics.
     fn name(&self) -> &'static str;
 

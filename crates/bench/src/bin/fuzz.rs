@@ -25,6 +25,7 @@ use blackdp_scenario::{
     diff_traces, encode_trace, metamorphic_failures, parallel_map, record_trial, run_case,
     CaseReport, FuzzCase, ScenarioConfig, TrialSpec,
 };
+use blackdp_sim::WorldBackend;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -249,6 +250,53 @@ fn smoke() -> i32 {
         }
         Err(_) => println!("SKIP  fuzz/golden: {GOLDEN_TRACE} not present"),
     }
+
+    // --- 6. Backend equivalence under shards: the golden Figure-5 trace
+    // and the serial trace of every corpus case must replay byte-
+    // identically through the sharded backend at shard counts 1, 2 and 7
+    // — no golden refresh, ever: the sharded engine reproduces the serial
+    // bytes or it is wrong. ---
+    let shard_counts = [1u32, 2, 7];
+    let mut backend_bad = Vec::new();
+    if let Ok(bytes) = std::fs::read(GOLDEN_TRACE) {
+        if let Ok(expected) = blackdp_scenario::decode_trace(&bytes) {
+            let (cfg, spec) = golden_setup();
+            let faults = blackdp_scenario::FaultSpec::none();
+            for &shards in &shard_counts {
+                let mut cfg = cfg.clone();
+                cfg.backend = WorldBackend::Sharded { shards };
+                if let Some(d) =
+                    blackdp_scenario::replay_divergence(&cfg, &spec, &faults, &expected)
+                {
+                    backend_bad.push(format!("golden trace under {shards} shard(s): {d}"));
+                }
+            }
+        }
+    }
+    let shard_checks: Vec<(FuzzCase, u32)> = corpus
+        .iter()
+        .flat_map(|(_, case)| shard_counts.iter().map(|&s| (case.clone(), s)))
+        .collect();
+    let shard_results = parallel_map(&shard_checks, |(case, shards)| {
+        let (spec, faults) = (case.spec(), case.faults());
+        let mut serial_cfg = case.config();
+        serial_cfg.backend = WorldBackend::Serial;
+        let (_, expected) = record_trial(&serial_cfg, &spec, &faults);
+        let mut sharded_cfg = case.config();
+        sharded_cfg.backend = WorldBackend::Sharded { shards: *shards };
+        blackdp_scenario::replay_divergence(&sharded_cfg, &spec, &faults, &expected)
+            .map(|d| format!("`{}` under {shards} shard(s): {d}", case.to_line()))
+    });
+    backend_bad.extend(shard_results.into_iter().flatten());
+    gate.check(
+        &format!(
+            "fuzz/shards: golden + {} corpus case(s) replay byte-identically \
+             at shard counts {shard_counts:?}",
+            corpus.len()
+        ),
+        backend_bad.is_empty(),
+        backend_bad.join(" | "),
+    );
 
     finish(gate)
 }

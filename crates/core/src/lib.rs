@@ -101,7 +101,9 @@ pub use authority::{AuthorityNode, TaAction, TaEvent};
 pub use config::BlackDpConfig;
 pub use rsu::{ChAction, ChEvent, ClusterHead};
 pub use table::{VerEntry, VerStatus, VerificationTable};
-pub use verifier::{SourceVerifier, VerifierAction, VerifyQueue};
+pub use verifier::{
+    BoundaryAuditStats, BoundaryAuditor, SourceVerifier, VerifierAction, VerifyQueue,
+};
 pub use wire::{
     addr_of, AuthError, BlackDpMessage, DReq, DetectionHandoff, DetectionOutcome,
     DetectionResponse, HelloProbe, HelloReply, JoinBody, RouteAuth, RrepBody, Sealed, SignBytes,

@@ -181,6 +181,112 @@ impl VerifyQueue {
     }
 }
 
+/// Aggregate counters reported by a [`BoundaryAuditor`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundaryAuditStats {
+    /// Envelopes observed (enqueued) so far.
+    pub enqueued: u64,
+    /// Batched flushes executed.
+    pub flushes: u64,
+    /// Widest single flush, in envelopes. The PR-7 in-sim ceiling was ≤ 2
+    /// signatures per flush; boundary auditing exists to push this past
+    /// the batch verifier's lane threshold.
+    pub max_width: usize,
+    /// Envelopes whose audit verification failed.
+    pub failures: u64,
+}
+
+/// Batched out-of-band verification of envelopes crossing shard
+/// boundaries.
+///
+/// The in-simulation [`VerifyQueue`] is structurally limited to ≤ 2
+/// signatures per flush — one envelope per delivery event, and wider
+/// deferral would break trace byte-identity (the PR-7 finding). The
+/// boundary auditor sits **outside** the protocol: it observes the sealed
+/// envelopes of radio deliveries that crossed a shard-band boundary (via
+/// the world's boundary tap), accumulates them to a target width, and
+/// flushes them through one [`VerifyQueue`] batch. Because the audit makes
+/// no RNG draws, touches no [`Stats`](blackdp_sim::Stats) counter, and
+/// feeds nothing back into any node, attaching it cannot perturb a
+/// simulation — which is exactly what lets it batch freely where the
+/// in-sim queue cannot.
+///
+/// Verdicts reproduce [`Sealed::verify`] exactly (see [`VerifyQueue`]);
+/// honest traffic must audit clean, so a nonzero
+/// [`failures`](BoundaryAuditStats::failures) on an attacker-free run is a
+/// bug detector in its own right.
+#[derive(Debug)]
+pub struct BoundaryAuditor {
+    queue: VerifyQueue,
+    ta_key: PublicKey,
+    target_width: usize,
+    pending: usize,
+    stats: BoundaryAuditStats,
+}
+
+impl BoundaryAuditor {
+    /// Default flush width: comfortably past the batch verifier's lane
+    /// threshold while keeping audit latency (and peak arena size) small.
+    pub const DEFAULT_WIDTH: usize = 64;
+
+    /// Creates an auditor verifying against the TA root key `ta_key`,
+    /// flushing whenever `target_width` envelopes are pending (values
+    /// below 1 are treated as 1).
+    pub fn new(ta_key: PublicKey, target_width: usize) -> Self {
+        BoundaryAuditor {
+            queue: VerifyQueue::new(),
+            ta_key,
+            target_width: target_width.max(1),
+            pending: 0,
+            stats: BoundaryAuditStats::default(),
+        }
+    }
+
+    /// Observes one boundary-crossing envelope at time `now`. When the
+    /// accumulated batch reaches the target width this flushes and returns
+    /// the batch's verdicts (in observation order); otherwise `None`.
+    pub fn observe<T: SignBytes>(
+        &mut self,
+        sealed: &Sealed<T>,
+        now: Time,
+    ) -> Option<&[Result<(), AuthError>]> {
+        self.queue.enqueue(sealed, self.ta_key, now);
+        self.pending += 1;
+        self.stats.enqueued += 1;
+        if self.pending >= self.target_width {
+            Some(self.flush())
+        } else {
+            None
+        }
+    }
+
+    /// Flushes any pending envelopes through one batched verification and
+    /// returns their verdicts (empty if nothing was pending). Call once
+    /// after the run to drain the final partial batch.
+    pub fn flush(&mut self) -> &[Result<(), AuthError>] {
+        if self.pending == 0 {
+            return &[];
+        }
+        self.stats.flushes += 1;
+        self.stats.max_width = self.stats.max_width.max(self.pending);
+        self.pending = 0;
+        let results = self.queue.flush();
+        self.stats.failures += results.iter().filter(|r| r.is_err()).count() as u64;
+        results
+    }
+
+    /// Envelopes accumulated toward the next flush.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Aggregate audit counters so far. Drain with
+    /// [`flush`](BoundaryAuditor::flush) first for final numbers.
+    pub fn stats(&self) -> BoundaryAuditStats {
+        self.stats
+    }
+}
+
 /// An instruction for the host embedding a [`SourceVerifier`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum VerifierAction {
@@ -1072,6 +1178,52 @@ mod tests {
         assert_eq!(verdict, Err(AuthError::Cert(CertError::BadSignature)));
         let verdict = queue.verify_one(&bad, fx.ta.public_key(), now);
         assert_eq!(verdict, Err(AuthError::Cert(CertError::BadSignature)));
+        blackdp_crypto::cert_cache_clear();
+    }
+
+    #[test]
+    fn boundary_auditor_batches_to_width_and_matches_scalar() {
+        blackdp_crypto::cert_cache_clear();
+        let mut fx = fixture();
+        let now = Time::from_secs(1);
+        // Zoo (7 mixed verdicts) + 10 valid envelopes = 17 observations:
+        // at width 4 that is 4 full flushes and a 1-wide final drain.
+        let mut envelopes = verdict_zoo(&mut fx);
+        for i in 0..10 {
+            let (k, c) = enroll_at(&mut fx, 400 + i, Time::ZERO, Duration::from_secs(600));
+            envelopes.push(Sealed::seal(
+                RrepBody(rrep(Addr(9), 200 + i as u32)),
+                c,
+                None,
+                &k,
+                &mut fx.rng,
+            ));
+        }
+        let scalar: Vec<_> = envelopes
+            .iter()
+            .map(|s| s.verify(fx.ta.public_key(), now))
+            .collect();
+        let expected_failures = scalar.iter().filter(|r| r.is_err()).count() as u64;
+        blackdp_crypto::cert_cache_clear();
+        let mut auditor = BoundaryAuditor::new(fx.ta.public_key(), 4);
+        let mut verdicts = Vec::new();
+        for sealed in &envelopes {
+            if let Some(batch) = auditor.observe(sealed, now) {
+                verdicts.extend_from_slice(batch);
+            }
+        }
+        assert_eq!(auditor.pending(), 1, "17 observations at width 4");
+        verdicts.extend_from_slice(auditor.flush());
+        assert_eq!(auditor.pending(), 0);
+        assert_eq!(verdicts, scalar, "audit verdicts must match Sealed::verify");
+        let stats = auditor.stats();
+        assert_eq!(stats.enqueued, 17);
+        assert_eq!(stats.flushes, 5);
+        assert_eq!(stats.max_width, 4);
+        assert_eq!(stats.failures, expected_failures);
+        // Draining an empty auditor is a no-op.
+        assert!(auditor.flush().is_empty());
+        assert_eq!(auditor.stats().flushes, 5);
         blackdp_crypto::cert_cache_clear();
     }
 }

@@ -7,7 +7,9 @@ use blackdp_attacks::{
     Interceptor,
 };
 use blackdp_crypto::{Keypair, LongTermId, TaId, TrustedAuthority};
-use blackdp_mobility::{random_position_in_cluster, ClusterId, ClusterPlan, Direction, Trajectory};
+use blackdp_mobility::{
+    random_position_in_cluster, ClusterId, ClusterPlan, Direction, Kmh, Trajectory,
+};
 use blackdp_sim::{Duration, NodeId, Position, Time, World, WorldConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -81,6 +83,13 @@ pub fn build_scenario(cfg: &ScenarioConfig, spec: &TrialSpec) -> BuiltScenario {
         wired_latency: Duration::from_millis(1),
         seed: spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         neighbor_index: cfg.neighbor_index,
+        backend: cfg.backend,
+        // Every spawned trajectory (vehicles, attackers; RSUs/TAs are
+        // static) is bounded by the Table-I speed band, so the sharded
+        // backend's staleness horizon is sound. The 25% margin keeps the
+        // coverage proof comfortable even if a future mobility model
+        // rounds speeds up slightly.
+        motion_bound_mps: Kmh(cfg.max_speed_kmh).as_mps() * 1.25,
     };
     let mut world: World<Frame, Tick> = World::new(world_cfg);
 

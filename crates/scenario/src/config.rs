@@ -4,7 +4,7 @@ use blackdp::BlackDpConfig;
 use blackdp_aodv::AodvConfig;
 use blackdp_attacks::EvasionPolicy;
 use blackdp_mobility::{ClusterPlan, Highway, Kmh, SpawnConfig};
-use blackdp_sim::{Duration, NeighborIndex};
+use blackdp_sim::{Duration, NeighborIndex, WorldBackend};
 
 use crate::vehicle::DefenseMode;
 use blackdp_aodv::Addr;
@@ -72,6 +72,14 @@ pub struct ScenarioConfig {
     /// Broadcast receiver lookup strategy. `Grid` (the default) and `Scan`
     /// are bit-identical; `Scan` is kept for differential testing.
     pub neighbor_index: NeighborIndex,
+    /// Engine backend answering grid-indexed neighbor queries: the serial
+    /// grid (the default, and the differential oracle) or the sharded
+    /// band index. Every backend and shard count is bit-identical —
+    /// traces, `Stats::digest`, detection verdicts, and checkpoint
+    /// witnesses do not change — so this is purely a throughput knob.
+    /// The motion-bound staleness horizon is derived from
+    /// `max_speed_kmh`, which already bounds every spawned trajectory.
+    pub backend: WorldBackend,
 }
 
 impl ScenarioConfig {
@@ -100,6 +108,7 @@ impl ScenarioConfig {
             backward_fraction: 0.0,
             fading_full_fraction: None,
             neighbor_index: NeighborIndex::Grid,
+            backend: WorldBackend::Serial,
         }
     }
 

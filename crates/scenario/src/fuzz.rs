@@ -25,7 +25,7 @@
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use blackdp_sim::{Duration, Time};
+use blackdp_sim::{Duration, Time, WorldBackend};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -91,6 +91,11 @@ pub struct FuzzCase {
     /// Route-acceptance defense: 0 BlackDP, 1 first-RREP baseline,
     /// 2 peak baseline, 3 threshold baseline, 4 undefended.
     pub defense: u8,
+    /// Spatial backend shard count: 0 = the serial oracle, n ≥ 1 =
+    /// `WorldBackend::Sharded { shards: n }`. Bit-identical to serial by
+    /// design, which is exactly what the shard-invariance metamorphic
+    /// oracle checks. Absent from pre-PR-8 corpus lines (defaults to 0).
+    pub shards: u32,
 }
 
 impl FuzzCase {
@@ -152,6 +157,13 @@ impl FuzzCase {
             4 => DefenseMode::None,
             _ => DefenseMode::BlackDp,
         };
+        cfg.backend = if self.shards == 0 {
+            WorldBackend::Serial
+        } else {
+            WorldBackend::Sharded {
+                shards: self.shards.min(8),
+            }
+        };
         cfg
     }
 
@@ -198,7 +210,7 @@ impl FuzzCase {
              evasion={} source_cluster={} dest_cluster={} attacker_moves={} \
              attacker_fake_hello={} radio_loss_pct={} fading_pct={} \
              backward_pct={} fault_intensity_pct={} cert_validity_secs={} \
-             defense={}",
+             defense={} shards={}",
             self.seed,
             self.vehicles,
             self.sim_secs,
@@ -219,6 +231,7 @@ impl FuzzCase {
             self.fault_intensity_pct,
             self.cert_validity_secs,
             self.defense,
+            self.shards,
         )
     }
 
@@ -256,6 +269,7 @@ impl FuzzCase {
                 "fault_intensity_pct" => case.fault_intensity_pct = n32,
                 "cert_validity_secs" => case.cert_validity_secs = n32,
                 "defense" => case.defense = n as u8,
+                "shards" => case.shards = n32,
                 _ => return Err(format!("unknown field `{k}`")),
             }
         }
@@ -285,6 +299,7 @@ impl FuzzCase {
             fault_intensity_pct: 0,
             cert_validity_secs: 600,
             defense: 0,
+            shards: 0,
         }
     }
 
@@ -292,7 +307,10 @@ impl FuzzCase {
     pub fn random(rng: &mut StdRng) -> FuzzCase {
         FuzzCase {
             seed: rng.random(),
-            vehicles: rng.random_range(10..=60),
+            // Upper range reaches past the small-world scan threshold
+            // (64 slots) so drawn shard counts actually exercise the
+            // sharded index, not the scan override.
+            vehicles: rng.random_range(10..=80),
             sim_secs: rng.random_range(10..=25),
             data_packets: rng.random_range(2..=20),
             attack_kind: rng.random_range(0..=6),
@@ -321,6 +339,9 @@ impl FuzzCase {
             defense: *[0u8, 0, 0, 0, 1, 2, 3, 4]
                 .get(rng.random_range(0..8usize))
                 .unwrap(),
+            shards: *[0u32, 0, 0, 0, 1, 2, 3, 7]
+                .get(rng.random_range(0..8usize))
+                .unwrap(),
         }
     }
 
@@ -328,9 +349,9 @@ impl FuzzCase {
     pub fn mutate(&self, rng: &mut StdRng) -> FuzzCase {
         let mut next = self.clone();
         for _ in 0..rng.random_range(1..=2u32) {
-            match rng.random_range(0..13u32) {
+            match rng.random_range(0..14u32) {
                 0 => next.seed = rng.random(),
-                1 => next.vehicles = rng.random_range(10..=60),
+                1 => next.vehicles = rng.random_range(10..=80),
                 2 => next.attack_kind = rng.random_range(0..=6),
                 3 => next.attack_a = rng.random_range(1..=CLUSTERS),
                 4 => next.attack_b = rng.random_range(0..=100),
@@ -341,6 +362,7 @@ impl FuzzCase {
                 9 => next.fading_pct = *[0u32, 60, 80, 95].get(rng.random_range(0..4usize)).unwrap(),
                 10 => next.fault_intensity_pct = rng.random_range(0..=100),
                 11 => next.defense = rng.random_range(0..=4),
+                12 => next.shards = *[0u32, 1, 2, 3, 7].get(rng.random_range(0..5usize)).unwrap(),
                 _ => next.cert_validity_secs = *[600u32, 60, 15, 8].get(rng.random_range(0..4usize)).unwrap(),
             }
         }
@@ -543,6 +565,30 @@ pub fn metamorphic_failures(case: &FuzzCase, report: &CaseReport) -> Vec<String>
         return failures;
     };
 
+    // Shard count never changes any detection outcome: the sharded
+    // backend is bit-identical to the serial oracle *by construction*, so
+    // re-running the same case under a different shard count must
+    // reproduce the exact `TrialOutcome` — class, every detection tuple,
+    // PDR numerators, all of it. This is a differential oracle, not a
+    // statistical one; any drift is an engine bug. Always eligible.
+    {
+        let mut resharded = case.clone();
+        resharded.shards = if case.shards == 2 { 7 } else { 2 };
+        let reshard_report = run_case(&resharded);
+        match &reshard_report.outcome {
+            Some(other) if other != outcome => failures.push(format!(
+                "shard count changed the detection outcome: shards={} \
+                 classed {:?}, shards={} classed {:?}",
+                case.shards, outcome.class, resharded.shards, other.class
+            )),
+            None => failures.push(format!(
+                "resharded twin (shards={}) panicked: {:?}",
+                resharded.shards, reshard_report.panic
+            )),
+            _ => {}
+        }
+    }
+
     // FP stays zero without attackers: nothing may ever be confirmed in
     // an attacker-free world, faults and bad radio included.
     if case.attack_kind == 0
@@ -663,6 +709,31 @@ mod tests {
         assert!(report.is_clean());
         let failures = metamorphic_failures(&case, &report);
         assert!(failures.is_empty(), "failures: {failures:?}");
+    }
+
+    #[test]
+    fn legacy_corpus_lines_parse_with_serial_backend() {
+        // Pre-PR-8 corpus lines carry no `shards=` field; they must keep
+        // parsing and land on the serial oracle.
+        let line = format!("{CORPUS_TAG} seed=5 vehicles=30 attack_kind=2");
+        let case = FuzzCase::parse_line(&line).unwrap();
+        assert_eq!(case.shards, 0);
+        assert_eq!(case.config().backend, WorldBackend::Serial);
+    }
+
+    #[test]
+    fn shard_count_never_changes_the_detection_outcome() {
+        // Above the small-world scan threshold so the sharded index is
+        // actually on the query path, not the scan override.
+        let mut case = FuzzCase::baseline(21);
+        case.vehicles = 70;
+        let serial = run_case(&case).outcome.unwrap();
+        for shards in [1u32, 2, 7] {
+            let mut sharded = case.clone();
+            sharded.shards = shards;
+            let outcome = run_case(&sharded).outcome.unwrap();
+            assert_eq!(outcome, serial, "shards = {shards}");
+        }
     }
 
     #[test]

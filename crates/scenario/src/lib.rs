@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod boundary;
 mod build;
 mod config;
 mod directory;
@@ -50,6 +51,7 @@ mod ta_node;
 mod trace;
 mod vehicle;
 
+pub use boundary::{attach_boundary_audit, drain as drain_boundary_audit, AuditorHandle};
 pub use build::{build_scenario, harvest, run_trial, BuiltScenario};
 pub use config::{ch_addr, far_destination, AttackSetup, ScenarioConfig, TrialSpec, CH_ADDR_BASE};
 pub use directory::WiredDirectory;

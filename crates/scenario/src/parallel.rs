@@ -14,18 +14,14 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// How many worker threads sweeps use: the `BLACKDP_THREADS` environment
-/// variable when set (≥ 1), otherwise the machine's available parallelism.
+/// How many worker threads sweeps use. Delegates to the engine-wide
+/// [`blackdp_sim::thread_budget`] (the `BLACKDP_THREADS` environment
+/// variable when set to ≥ 1, otherwise the machine's available
+/// parallelism), so sweep workers and shard rebuild workers draw from the
+/// **same** budget instead of each claiming every core — the PR-8 fix for
+/// `BLACKDP_THREADS` only governing sweeps.
 pub fn worker_count() -> usize {
-    if let Some(n) = std::env::var("BLACKDP_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-    {
-        return n.max(1);
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    blackdp_sim::thread_budget()
 }
 
 /// Maps `f` over `items` on [`worker_count`] threads, returning results in

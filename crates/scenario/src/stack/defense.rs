@@ -143,7 +143,11 @@ pub struct WindowConclusion {
 /// * [`tick`](RouteDefense::tick) /
 ///   [`conclude_window`](RouteDefense::conclude_window) — the defense's
 ///   two slots in the periodic tick schedule.
-pub trait RouteDefense {
+///
+/// `Send + Sync` rides along from the engine's `Node` bounds (the sharded
+/// backend reads node positions from scoped threads); defenses are only
+/// ever invoked from the single-threaded event loop.
+pub trait RouteDefense: Send + Sync {
     /// A short name for reports and debugging.
     fn name(&self) -> &'static str;
 

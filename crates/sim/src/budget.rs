@@ -1,0 +1,49 @@
+//! Unified thread budget for every parallel subsystem.
+//!
+//! Before PR 8, `BLACKDP_THREADS` only governed sweep workers
+//! (`scenario/src/parallel.rs`); the sharded world introduced a second
+//! consumer of host parallelism (band rebuild workers) and the two must not
+//! each independently claim every core. This module is the single source of
+//! truth: sweep-level workers and shard-level rebuild workers both call
+//! [`thread_budget`], so one environment variable bounds the process-wide
+//! parallelism regardless of which layer spends it.
+//!
+//! Precedence (documented in the README):
+//!
+//! 1. `BLACKDP_THREADS`, if set and parseable as an integer ≥ 1;
+//! 2. otherwise [`std::thread::available_parallelism`];
+//! 3. otherwise 1.
+//!
+//! Determinism note: the budget only ever controls **how many workers** chew
+//! through deterministically ordered work lists (sweep trials, shard bands);
+//! results are merged in fixed order, so the budget never affects output
+//! bytes — only wall-clock time.
+
+/// Maximum worker threads any parallel subsystem may use.
+///
+/// Reads `BLACKDP_THREADS` (values below 1 are ignored), falling back to the
+/// host's available parallelism. Never returns 0.
+pub fn thread_budget() -> usize {
+    if let Ok(raw) = std::env::var("BLACKDP_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_at_least_one() {
+        // Whatever the environment says, the budget must be usable as a
+        // worker count.
+        assert!(thread_budget() >= 1);
+    }
+}

@@ -31,7 +31,7 @@ use crate::Position;
 /// is rebuilt from simulation state, not attacker input — so a two-multiply
 /// hash is safe and much faster.
 #[derive(Default)]
-struct CellHasher(u64);
+pub(crate) struct CellHasher(u64);
 
 impl CellHasher {
     #[inline]
@@ -59,7 +59,7 @@ impl Hasher for CellHasher {
     }
 }
 
-type CellMap = HashMap<(i64, i64), Vec<u32>, BuildHasherDefault<CellHasher>>;
+pub(crate) type CellMap = HashMap<(i64, i64), Vec<u32>, BuildHasherDefault<CellHasher>>;
 
 /// Incrementally reusable spatial hash over node positions.
 ///
@@ -89,8 +89,11 @@ pub(crate) struct SpatialGrid {
     cand_mask: Vec<u64>,
 }
 
+/// The grid cell containing `p` for the given cell side length. Shared
+/// with the sharded backend so band geometry and the serial grid agree on
+/// cell boundaries.
 #[inline]
-fn cell_of(cell_size: f64, p: Position) -> (i64, i64) {
+pub(crate) fn cell_of(cell_size: f64, p: Position) -> (i64, i64) {
     ((p.x / cell_size).floor() as i64, (p.y / cell_size).floor() as i64)
 }
 

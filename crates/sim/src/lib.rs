@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod event;
 mod fault;
 mod grid;
@@ -67,16 +68,22 @@ mod id;
 mod node;
 mod oracle;
 mod position;
+mod shard;
 mod stats;
 mod time;
 mod world;
 
+pub use budget::thread_budget;
 pub use event::{Channel, TimerId};
 pub use fault::{CrashFault, FaultPlan, FaultWindow, RadioBurst, TamperBurst, WiredOutage};
 pub use id::NodeId;
 pub use node::{Context, Node};
 pub use oracle::{InvariantCheck, SimEvent, Violation, ViolationSink};
 pub use position::Position;
+pub use shard::ShardDiagnostics;
 pub use stats::Stats;
 pub use time::{Duration, Time};
-pub use world::{EngineStamp, NeighborIndex, RadioModel, Tap, TamperHook, World, WorldConfig};
+pub use world::{
+    BoundaryTap, EngineStamp, NeighborIndex, RadioModel, Tap, TamperHook, World, WorldBackend,
+    WorldConfig,
+};

@@ -18,7 +18,13 @@ use crate::{Duration, NodeId, Position, Stats, Time};
 /// The `Any` supertrait lets scenario code downcast nodes back to their
 /// concrete types for post-run inspection via
 /// [`World::get`](crate::World::get).
-pub trait Node<P, T>: std::any::Any {
+///
+/// The `Send + Sync` supertraits exist for the sharded backend: band
+/// rebuild workers evaluate `position` for disjoint resident sets through a
+/// shared `&[Slot]` view on scoped threads. Nodes are still only ever
+/// *mutated* from the single-threaded event loop — the bounds assert that
+/// shared position reads are safe, nothing more.
+pub trait Node<P, T>: std::any::Any + Send + Sync {
     /// The node's position at virtual time `now`, in meters.
     ///
     /// Called by the radio medium whenever a transmission must be resolved to

@@ -11,6 +11,7 @@ use crate::fault::{FaultInjector, FaultPlan, Transition};
 use crate::grid::SpatialGrid;
 use crate::node::{Context, Effect, Node};
 use crate::oracle::{InvariantCheck, Oracle, SimEvent, Violation};
+use crate::shard::{ShardDiagnostics, ShardedIndex, SlotView};
 use crate::{Duration, NodeId, Stats, Time};
 
 /// The radio propagation model.
@@ -52,6 +53,35 @@ pub enum NeighborIndex {
     Scan,
 }
 
+/// The engine answering broadcast neighbor queries.
+///
+/// Mirrors [`NeighborIndex`]: every backend is **bit-identical** — same
+/// inclusive range check on the same live-evaluated positions, same
+/// ascending-id receiver order, hence the same RNG draw sequence, traces,
+/// `Stats::digest`, and [`EngineStamp`] witnesses for any shard count. The
+/// backend only changes how fast queries are answered.
+///
+/// The backend applies when [`NeighborIndex::Grid`] is selected (the
+/// default); `NeighborIndex::Scan` and small worlds
+/// (≤ `SMALL_WORLD_SCAN_MAX` slots) always use the brute-force scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorldBackend {
+    /// The serial [`SpatialGrid`], rebuilt once per `(timestamp, slots)`
+    /// stamp. The default, and the differential oracle for the sharded
+    /// backend.
+    #[default]
+    Serial,
+    /// Spatially sharded index: contiguous bands of grid-cell columns with
+    /// parallel per-band rebuilds, deterministic boundary handoff merges,
+    /// and a motion-bound staleness horizon (see
+    /// [`WorldConfig::motion_bound_mps`]) that makes rebuilds rare instead
+    /// of per-timestamp. See the `shard` module docs for the design.
+    Sharded {
+        /// Number of bands (shard count); `0` is treated as `1`.
+        shards: u32,
+    },
+}
+
 /// Physical-layer and engine configuration for a [`World`].
 ///
 /// Defaults follow the paper's Table I: a 1000 m DSRC transmission range
@@ -76,6 +106,20 @@ pub struct WorldConfig {
     pub seed: u64,
     /// How broadcast receivers are located (grid vs. brute-force scan).
     pub neighbor_index: NeighborIndex,
+    /// Which engine answers grid-indexed neighbor queries (serial grid vs.
+    /// sharded bands). Bit-identical by construction; see [`WorldBackend`].
+    pub backend: WorldBackend,
+    /// Upper bound on any node's speed in meters per virtual second,
+    /// consumed by the sharded backend's staleness horizon: the index
+    /// stays provably exact while no node can have drifted past its cell
+    /// slack, so rebuilds happen every `~range / (2 · bound)` virtual
+    /// seconds instead of every timestamp. `f64::INFINITY` (the default)
+    /// disables the horizon — the sharded index rebuilds on every new
+    /// timestamp, exact for arbitrary motion. `0.0` declares a static
+    /// world (never rebuild). Declaring a bound smaller than a node's
+    /// actual speed breaks the coverage guarantee; the serial backend
+    /// ignores this field.
+    pub motion_bound_mps: f64,
 }
 
 impl Default for WorldConfig {
@@ -89,6 +133,8 @@ impl Default for WorldConfig {
             wired_latency: Duration::from_millis(1),
             seed: 0,
             neighbor_index: NeighborIndex::Grid,
+            backend: WorldBackend::Serial,
+            motion_bound_mps: f64::INFINITY,
         }
     }
 }
@@ -102,6 +148,26 @@ struct Slot<P, T> {
     /// Timers with an id below this were armed before the node's most
     /// recent crash and are stale: a rebooted node does not remember them.
     timer_barrier: u64,
+}
+
+/// Narrow, `Sync` view over the slot vector handed to the sharded index so
+/// its band workers can evaluate positions from scoped threads.
+/// (`dyn Node` is `Send + Sync` by trait bound, so sharing `&[Slot]` is
+/// safe; nothing else of the world crosses a thread boundary.)
+struct SlotsView<'a, P, T>(&'a [Slot<P, T>]);
+
+impl<P: 'static, T: 'static> SlotView for SlotsView<'_, P, T> {
+    fn slot_count(&self) -> usize {
+        self.0.len()
+    }
+
+    fn is_active(&self, index: u32) -> bool {
+        self.0[index as usize].active
+    }
+
+    fn position(&self, index: u32, now: Time) -> crate::Position {
+        self.0[index as usize].node.position(now)
+    }
 }
 
 /// A discrete-event simulation of radio-equipped nodes on a plane.
@@ -164,6 +230,13 @@ pub struct World<P, T> {
     /// matching stamp guarantees the grid is a superset of the live active
     /// set — stale entries are filtered at query time.
     grid_stamp: Option<(Time, usize)>,
+    /// Sharded spatial index, built lazily on first use when the backend
+    /// is [`WorldBackend::Sharded`]. Like `grid`, this is a derived cache:
+    /// it never appears in [`EngineStamp`] witnesses.
+    sharded: Option<ShardedIndex>,
+    /// Observer of radio deliveries whose sender and receiver sit in
+    /// different shard bands; `None` costs nothing.
+    boundary_tap: Option<BoundaryTap<P>>,
     /// Reusable receiver buffer for the broadcast hot path.
     recv_scratch: Vec<(u32, f64)>,
     /// Reusable effect buffer for the dispatch hot path.
@@ -217,6 +290,15 @@ pub type Tap<P> = Box<dyn FnMut(Time, NodeId, NodeId, &P, Channel)>;
 /// actually mutated (counted as `fault.tamper`).
 pub type TamperHook<P> = Box<dyn FnMut(&mut P, &mut StdRng) -> bool>;
 
+/// A cross-shard delivery observer installed via
+/// [`World::set_boundary_tap`]: called with
+/// `(time, from, to, payload, from_band, to_band)` for every radio packet
+/// delivered to an active node whose sender and receiver currently sit in
+/// **different** shard bands. Only fires under [`WorldBackend::Sharded`]
+/// once the band geometry exists; purely observational (no RNG draws, no
+/// stats), so installing it cannot perturb a trace.
+pub type BoundaryTap<P> = Box<dyn FnMut(Time, NodeId, NodeId, &P, u32, u32)>;
+
 impl<P, T> std::fmt::Debug for World<P, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
@@ -244,6 +326,10 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                 "full_fraction must be in (0, 1]"
             );
         }
+        assert!(
+            cfg.motion_bound_mps >= 0.0,
+            "motion_bound_mps must be non-negative (or infinite for exact mode)"
+        );
         let rng = StdRng::seed_from_u64(cfg.seed);
         World {
             cfg,
@@ -260,6 +346,8 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             oracle: None,
             grid: SpatialGrid::new(),
             grid_stamp: None,
+            sharded: None,
+            boundary_tap: None,
             recv_scratch: Vec::new(),
             effects_scratch: Vec::new(),
         }
@@ -293,6 +381,30 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     /// Replaces any previous tap. Used by scenario-level frame journals.
     pub fn set_tap(&mut self, tap: Tap<P>) {
         self.tap = Some(tap);
+    }
+
+    /// Installs a [`BoundaryTap`] observing radio deliveries that cross a
+    /// shard-band boundary. Replaces any previous tap. Inert unless the
+    /// backend is [`WorldBackend::Sharded`] and large enough to index.
+    pub fn set_boundary_tap(&mut self, tap: BoundaryTap<P>) {
+        self.boundary_tap = Some(tap);
+    }
+
+    /// Activity counters of the sharded backend ([`ShardDiagnostics`]),
+    /// once a sharded query has run. `None` under the serial backend (or
+    /// before the first broadcast). Deliberately not part of
+    /// [`Stats`]: these counters depend on the backend, while
+    /// `Stats::digest` must stay backend-invariant.
+    pub fn shard_diagnostics(&self) -> Option<ShardDiagnostics> {
+        self.sharded.as_ref().map(|s| s.diagnostics())
+    }
+
+    /// The shard band owning `id`'s current position, once band geometry
+    /// exists. `None` under the serial backend, before the first sharded
+    /// query, or if `id` is not active.
+    pub fn shard_band_of(&self, id: NodeId) -> Option<u32> {
+        let map = self.sharded.as_ref()?.band_map()?;
+        Some(map.band_of_pos(self.position_of(id)?) as u32)
     }
 
     /// Installs a runtime invariant check, evaluated against every packet
@@ -621,6 +733,9 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                 if let Some(tap) = self.tap.as_mut() {
                     tap(self.now, from, id, &payload, channel);
                 }
+                if self.boundary_tap.is_some() && matches!(channel, Channel::Radio) {
+                    self.fire_boundary_tap(from, id, &payload);
+                }
                 self.observe(
                     event.time,
                     SimEvent::Delivered {
@@ -871,14 +986,67 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                     }
                 }
             }
-            NeighborIndex::Grid => {
-                self.ensure_grid();
-                self.grid.query_into(from_pos, range, sender.index(), out);
-                // The grid was built at the start of this timestamp; drop
-                // nodes despawned since (the active set only shrinks). The
-                // query already yields ascending index order — the order
-                // the brute-force scan produces.
-                out.retain(|&(index, _)| self.nodes[index as usize].active);
+            NeighborIndex::Grid => match self.cfg.backend {
+                WorldBackend::Serial => {
+                    self.ensure_grid();
+                    self.grid.query_into(from_pos, range, sender.index(), out);
+                    // The grid was built at the start of this timestamp;
+                    // drop nodes despawned since (the active set only
+                    // shrinks). The query already yields ascending index
+                    // order — the order the brute-force scan produces.
+                    out.retain(|&(index, _)| self.nodes[index as usize].active);
+                }
+                WorldBackend::Sharded { shards } => {
+                    self.ensure_sharded(shards);
+                    let World {
+                        sharded, nodes, now, ..
+                    } = self;
+                    let view = SlotsView(nodes.as_slice());
+                    let index = sharded.as_mut().expect("ensure_sharded installed it");
+                    // The sharded index filters `active` per candidate and
+                    // evaluates positions live, so no retain pass is
+                    // needed: the emitted set already matches the scan.
+                    index.refresh(&view, *now);
+                    index.query_into(&view, *now, from_pos, sender.index(), out);
+                }
+            },
+        }
+    }
+
+    /// Installs (or re-shards) the sharded index for the configured shard
+    /// count. Geometry and counters persist across calls with an unchanged
+    /// count.
+    fn ensure_sharded(&mut self, shards: u32) {
+        let shards = shards.max(1) as usize;
+        if self.sharded.as_ref().map(ShardedIndex::shard_count) != Some(shards) {
+            self.sharded = Some(ShardedIndex::new(
+                shards,
+                self.cfg.radio_range_m,
+                self.cfg.motion_bound_mps,
+            ));
+        }
+    }
+
+    /// Fires the boundary tap if this radio delivery crossed a shard-band
+    /// boundary. Observational only — no RNG, no stats.
+    fn fire_boundary_tap(&mut self, from: NodeId, to: NodeId, payload: &P) {
+        let Some(map) = self.sharded.as_ref().and_then(ShardedIndex::band_map) else {
+            return;
+        };
+        let (Some(from_pos), Some(to_pos)) = (self.position_of(from), self.position_of(to)) else {
+            return;
+        };
+        let (from_band, to_band) = (map.band_of_pos(from_pos), map.band_of_pos(to_pos));
+        if from_band != to_band {
+            if let Some(tap) = self.boundary_tap.as_mut() {
+                tap(
+                    self.now,
+                    from,
+                    to,
+                    payload,
+                    from_band as u32,
+                    to_band as u32,
+                );
             }
         }
     }

@@ -102,6 +102,55 @@ fn false_suspicion_trials_resume_identically() {
 }
 
 #[test]
+fn snapshots_resume_across_backends_in_both_directions() {
+    // The execution backend is normalized out of the trial fingerprint,
+    // so a snapshot recorded under one backend must resume under any
+    // other — and every checkpoint witness (engine stamp, chained trace
+    // checksum) is verified during the replay, so a passing resume *is*
+    // the proof that the backends agree bit-for-bit at every boundary.
+    // 70 vehicles put the world past the small-world scan threshold.
+    let mut case = FuzzCase::baseline(11);
+    case.vehicles = 70;
+    case.sim_secs = 6;
+    let (spec, faults) = (case.spec(), case.faults());
+
+    let serial_cfg = case.config();
+    let mut sharded = case.clone();
+    sharded.shards = 2;
+    let sharded_cfg = sharded.config();
+
+    // Record serially, resume sharded (shard counts 2 and 7)…
+    let (outcome, events, snapshot) =
+        record_trial_with_checkpoints(&serial_cfg, &spec, &faults, checkpoint_interval(&case));
+    for shards in [2u32, 7] {
+        let mut resume_case = case.clone();
+        resume_case.shards = shards;
+        let cfg = resume_case.config();
+        for from in 0..snapshot.stamps.len() {
+            let (resumed_outcome, resumed_events) =
+                resume_trial(&cfg, &spec, &faults, &snapshot, from).unwrap_or_else(|e| {
+                    panic!("serial snapshot failed to resume under {shards} shard(s): {e}")
+                });
+            assert_eq!(resumed_outcome, outcome, "outcome drift, {shards} shard(s)");
+            assert_eq!(resumed_events, events, "trace drift, {shards} shard(s)");
+        }
+    }
+
+    // …and record sharded, resume serially.
+    let (sh_outcome, sh_events, sh_snapshot) =
+        record_trial_with_checkpoints(&sharded_cfg, &spec, &faults, checkpoint_interval(&case));
+    assert_eq!(sh_outcome, outcome, "sharded recorder diverged from serial");
+    assert_eq!(sh_events, events);
+    for from in 0..sh_snapshot.stamps.len() {
+        let (resumed_outcome, resumed_events) =
+            resume_trial(&serial_cfg, &spec, &faults, &sh_snapshot, from)
+                .unwrap_or_else(|e| panic!("sharded snapshot failed to resume serially: {e}"));
+        assert_eq!(resumed_outcome, outcome);
+        assert_eq!(resumed_events, events);
+    }
+}
+
+#[test]
 fn snapshot_survives_a_disk_round_trip() {
     let case = capped(FuzzCase::baseline(3));
     let (cfg, spec, faults) = (case.config(), case.spec(), case.faults());

@@ -2,10 +2,10 @@
 //! different seeds must actually vary the world.
 
 use blackdp_scenario::{
-    fig4_cell, fig4_cell_serial, fig4_cell_spec, parallel_map_with, run_fault_trial, run_trial,
-    AttackKind, FaultSpec, ScenarioConfig, TrialSpec,
+    fig4_cell, fig4_cell_serial, fig4_cell_spec, parallel_map_with, record_trial, run_fault_trial,
+    run_trial, AttackKind, FaultSpec, ScenarioConfig, TrialSpec,
 };
-use blackdp_sim::NeighborIndex;
+use blackdp_sim::{Duration, NeighborIndex, WorldBackend};
 
 fn fingerprint(outcome: &blackdp_scenario::TrialOutcome) -> String {
     format!(
@@ -116,6 +116,68 @@ fn grid_medium_matches_brute_force_scan() {
             with_grid, with_scan,
             "grid neighbor index must be observationally identical to the scan ({kind:?})"
         );
+    }
+}
+
+/// A config big enough (70 vehicles + 10 RSUs + 2 TAs = 82 slots) to put
+/// the world past the small-world scan threshold, so the sharded backend
+/// is genuinely answering broadcast queries rather than the scan override.
+fn sharded_exercising_config() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::small_test();
+    cfg.vehicles = 70;
+    cfg.sim_duration = Duration::from_secs(10);
+    cfg
+}
+
+#[test]
+fn sharded_backend_is_bit_identical_for_any_shard_count() {
+    let cfg = sharded_exercising_config();
+    let spec = TrialSpec::single(77, 3, 10);
+    let faults = FaultSpec::none();
+    let (serial_outcome, serial_trace) = record_trial(&cfg, &spec, &faults);
+
+    for shards in [1u32, 2, 3, 7] {
+        let mut sharded_cfg = cfg.clone();
+        sharded_cfg.backend = WorldBackend::Sharded { shards };
+        let (outcome, trace) = record_trial(&sharded_cfg, &spec, &faults);
+        assert_eq!(
+            fingerprint(&outcome),
+            fingerprint(&serial_outcome),
+            "outcome diverged under {shards} shard(s)"
+        );
+        assert_eq!(
+            trace, serial_trace,
+            "delivery trace diverged under {shards} shard(s)"
+        );
+    }
+}
+
+#[test]
+fn attacker_straddling_a_band_boundary_matches_serial() {
+    // Shard bands are columns of 2 · radio_range = 2000 m cells, so the
+    // edge of cluster 2 (x = 2000 m) is exactly a band boundary under any
+    // shard count: a cluster-2 attacker's victim set straddles it. The
+    // cooperative variant adds a teammate, widening the straddling set.
+    let cfg = sharded_exercising_config();
+    let faults = FaultSpec::none();
+    for (kind, spec) in [
+        ("single", TrialSpec::single(31, 2, 10)),
+        ("cooperative", TrialSpec::cooperative(31, 2, 10)),
+    ] {
+        let (serial_outcome, serial_trace) = record_trial(&cfg, &spec, &faults);
+        let mut sharded_cfg = cfg.clone();
+        sharded_cfg.backend = WorldBackend::Sharded { shards: 5 };
+        let (outcome, trace) = record_trial(&sharded_cfg, &spec, &faults);
+        assert_eq!(
+            outcome.detections, serial_outcome.detections,
+            "{kind}: detection verdicts diverged"
+        );
+        assert_eq!(
+            fingerprint(&outcome),
+            fingerprint(&serial_outcome),
+            "{kind}: outcome diverged"
+        );
+        assert_eq!(trace, serial_trace, "{kind}: trace diverged");
     }
 }
 
