@@ -55,4 +55,13 @@ echo "==> crash-resume gate (sweepd smoke)"
 # byte-identical to the uninterrupted serial oracle.
 cargo run --release -p blackdp-bench --bin sweepd -- smoke
 
+echo "==> live testbed gate (testbed smoke)"
+# Eight real `blackdpd` processes on loopback UDP — TA, RSU, five honest
+# vehicles, one black-hole attacker — provisioned over live enrollment
+# and run end-to-end at 10x compressed wall time. Fails unless the
+# attacker is confirmed, its certificate revoked, AND the canonical
+# verdicts match a discrete-event simulator run of the same scenario
+# through the trace oracle.
+cargo run --release -p blackdp-daemon --bin testbed -- smoke
+
 echo "==> ci.sh: all gates passed"

@@ -1,0 +1,923 @@
+//! Byte codec for [`Wire`] — the on-air encoding the `blackdpd` daemon
+//! speaks over real UDP sockets.
+//!
+//! Until this module existed the only canonical byte form was
+//! [`SignBytes`](crate::SignBytes), which covers signed *subsets* of fields;
+//! the simulator moved `Wire` values between nodes as in-memory clones. The
+//! daemon needs the whole value on the wire, so every variant gets a full
+//! `encode`/`decode` here.
+//!
+//! ## Framing
+//!
+//! The frame reuses the BDPTRACE journal conventions from
+//! `scenario/src/trace.rs`: a magic tag, a little-endian `u32` version, a
+//! length prefix, fixed-layout little-endian fields (`Option` as a flag
+//! byte then the value, `Vec` as a `u32` count then items, `f64` by bits),
+//! and a trailing FNV-64 checksum over everything before it:
+//!
+//! ```text
+//! "BDPW" | version u32 | body_len u32 | body … | fnv64 checksum
+//! ```
+//!
+//! The checksum is verified **first** on decode, so any corruption —
+//! including of the magic, version, or length fields it covers — surfaces as
+//! [`WireDecodeError::ChecksumMismatch`] rather than a mis-parse. Signed
+//! floats and signatures round-trip bit-exactly, so a [`Sealed`] envelope
+//! still verifies after decode.
+
+use blackdp_aodv::{Addr, DataPacket, Hello, Message as AodvMessage, Rerr, Rreq, Rrep, SeqNo};
+use blackdp_crypto::{
+    Certificate, LongTermId, PseudonymId, PublicKey, RevocationNotice, Signature, TaId,
+};
+use blackdp_mobility::ClusterId;
+use blackdp_sim::{Duration, Time};
+
+use crate::wire::{
+    BlackDpMessage, DReq, DetectionHandoff, DetectionOutcome, DetectionResponse, HelloProbe,
+    HelloReply, JoinBody, Sealed, SuspicionReason, Wire,
+};
+
+/// Frame magic: "BlackDP Wire".
+const MAGIC: [u8; 4] = *b"BDPW";
+/// Current codec version.
+const VERSION: u32 = 1;
+/// Magic + version + body length.
+const HEADER_LEN: usize = 4 + 4 + 4;
+/// Trailing FNV-64 checksum.
+const TRAILER_LEN: usize = 8;
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Why a byte buffer failed to decode as a [`Wire`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireDecodeError {
+    /// The buffer is smaller than the fixed header + checksum trailer.
+    TooShort {
+        /// Observed buffer length.
+        len: usize,
+    },
+    /// The trailing checksum does not match the frame contents.
+    ChecksumMismatch {
+        /// Checksum stored in the trailer.
+        stored: u64,
+        /// Checksum computed over the frame.
+        computed: u64,
+    },
+    /// The frame does not start with the `BDPW` magic.
+    BadMagic,
+    /// The frame declares a codec version this decoder does not speak.
+    UnsupportedVersion(u32),
+    /// The declared body length disagrees with the buffer size.
+    LengthMismatch {
+        /// Body length from the header.
+        declared: usize,
+        /// Body bytes actually present.
+        actual: usize,
+    },
+    /// The body ended in the middle of a field.
+    Truncated {
+        /// The field being read.
+        what: &'static str,
+        /// Byte offset within the body where the read started.
+        offset: usize,
+    },
+    /// A variant/flag byte holds a value outside its domain.
+    BadTag {
+        /// The tagged domain (e.g. `"wire"`, `"option"`).
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+        /// Byte offset within the body.
+        offset: usize,
+    },
+    /// The body parsed completely but bytes were left over.
+    TrailingBytes {
+        /// Unconsumed body bytes.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for WireDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireDecodeError::TooShort { len } => {
+                write!(f, "frame too short ({len} bytes) for header + checksum")
+            }
+            WireDecodeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            WireDecodeError::BadMagic => write!(f, "bad magic (expected \"BDPW\")"),
+            WireDecodeError::UnsupportedVersion(v) => write!(f, "unsupported codec version {v}"),
+            WireDecodeError::LengthMismatch { declared, actual } => write!(
+                f,
+                "declared body length {declared} but {actual} body bytes present"
+            ),
+            WireDecodeError::Truncated { what, offset } => {
+                write!(f, "body truncated reading {what} at offset {offset}")
+            }
+            WireDecodeError::BadTag { what, tag, offset } => {
+                write!(f, "bad {what} tag {tag} at offset {offset}")
+            }
+            WireDecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireDecodeError {}
+
+// ---------------------------------------------------------------------------
+// Body reader
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireDecodeError> {
+        let start = self.pos;
+        let end = start
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireDecodeError::Truncated { what, offset: start })?;
+        self.pos = end;
+        Ok(&self.buf[start..end])
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireDecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireDecodeError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireDecodeError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, WireDecodeError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool, WireDecodeError> {
+        let offset = self.pos;
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireDecodeError::BadTag { what, tag, offset }),
+        }
+    }
+
+    /// Reads an `Option` flag byte, then `inner` when present.
+    fn option<T>(
+        &mut self,
+        what: &'static str,
+        inner: impl FnOnce(&mut Self) -> Result<T, WireDecodeError>,
+    ) -> Result<Option<T>, WireDecodeError> {
+        if self.bool(what)? {
+            Ok(Some(inner(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a `u32` count then that many items. The count is sanity-checked
+    /// against the bytes remaining (each item is at least one byte), so a
+    /// corrupted length can never force a huge allocation.
+    fn vec<T>(
+        &mut self,
+        what: &'static str,
+        item: impl Fn(&mut Self) -> Result<T, WireDecodeError>,
+    ) -> Result<Vec<T>, WireDecodeError> {
+        let offset = self.pos;
+        let count = self.u32(what)? as usize;
+        if count > self.buf.len() - self.pos {
+            return Err(WireDecodeError::Truncated { what, offset });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(item(self)?);
+        }
+        Ok(out)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field encoders / decoders (little-endian throughout, like BDPTRACE)
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_option<T>(out: &mut Vec<u8>, v: &Option<T>, put: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        Some(inner) => {
+            out.push(1);
+            put(out, inner);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_signature(out: &mut Vec<u8>, sig: &Signature) {
+    put_u64(out, sig.e);
+    put_u64(out, sig.s);
+}
+
+fn get_signature(r: &mut Reader<'_>) -> Result<Signature, WireDecodeError> {
+    Ok(Signature {
+        e: r.u64("signature.e")?,
+        s: r.u64("signature.s")?,
+    })
+}
+
+fn put_cert(out: &mut Vec<u8>, cert: &Certificate) {
+    put_u64(out, cert.pseudonym.0);
+    put_u64(out, cert.public_key.raw());
+    put_u64(out, cert.serial);
+    put_u32(out, cert.issuer.0);
+    put_u64(out, cert.issued.as_micros());
+    put_u64(out, cert.expires.as_micros());
+    put_signature(out, &cert.signature);
+}
+
+fn get_cert(r: &mut Reader<'_>) -> Result<Certificate, WireDecodeError> {
+    Ok(Certificate {
+        pseudonym: PseudonymId(r.u64("cert.pseudonym")?),
+        public_key: PublicKey::from_raw(r.u64("cert.public_key")?),
+        serial: r.u64("cert.serial")?,
+        issuer: TaId(r.u32("cert.issuer")?),
+        issued: Time::from_micros(r.u64("cert.issued")?),
+        expires: Time::from_micros(r.u64("cert.expires")?),
+        signature: get_signature(r)?,
+    })
+}
+
+fn put_notice(out: &mut Vec<u8>, n: &RevocationNotice) {
+    put_u64(out, n.pseudonym.0);
+    put_u64(out, n.serial);
+    put_u64(out, n.expires.as_micros());
+}
+
+fn get_notice(r: &mut Reader<'_>) -> Result<RevocationNotice, WireDecodeError> {
+    Ok(RevocationNotice {
+        pseudonym: PseudonymId(r.u64("notice.pseudonym")?),
+        serial: r.u64("notice.serial")?,
+        expires: Time::from_micros(r.u64("notice.expires")?),
+    })
+}
+
+fn put_sealed<T>(out: &mut Vec<u8>, s: &Sealed<T>, put_body: impl FnOnce(&mut Vec<u8>, &T)) {
+    put_body(out, &s.body);
+    put_cert(out, &s.cert);
+    put_option(out, &s.cluster, |o, c| put_u32(o, c.0));
+    put_signature(out, &s.signature);
+}
+
+fn get_sealed<T>(
+    r: &mut Reader<'_>,
+    get_body: impl FnOnce(&mut Reader<'_>) -> Result<T, WireDecodeError>,
+) -> Result<Sealed<T>, WireDecodeError> {
+    Ok(Sealed {
+        body: get_body(r)?,
+        cert: get_cert(r)?,
+        cluster: r.option("sealed.cluster", |r| Ok(ClusterId(r.u32("cluster")?)))?,
+        signature: get_signature(r)?,
+    })
+}
+
+fn put_rreq(out: &mut Vec<u8>, m: &Rreq) {
+    put_u64(out, m.rreq_id);
+    put_u64(out, m.dest.0);
+    put_option(out, &m.dest_seq, |o, s| put_u32(o, *s));
+    put_u64(out, m.orig.0);
+    put_u32(out, m.orig_seq);
+    out.push(m.hop_count);
+    out.push(m.ttl);
+    out.push(m.next_hop_inquiry as u8);
+}
+
+fn get_rreq(r: &mut Reader<'_>) -> Result<Rreq, WireDecodeError> {
+    Ok(Rreq {
+        rreq_id: r.u64("rreq.id")?,
+        dest: Addr(r.u64("rreq.dest")?),
+        dest_seq: r.option("rreq.dest_seq", |r| r.u32("rreq.dest_seq"))?,
+        orig: Addr(r.u64("rreq.orig")?),
+        orig_seq: r.u32("rreq.orig_seq")?,
+        hop_count: r.u8("rreq.hop_count")?,
+        ttl: r.u8("rreq.ttl")?,
+        next_hop_inquiry: r.bool("rreq.next_hop_inquiry")?,
+    })
+}
+
+fn put_rrep(out: &mut Vec<u8>, m: &Rrep) {
+    put_u64(out, m.dest.0);
+    put_u32(out, m.dest_seq);
+    put_u64(out, m.orig.0);
+    out.push(m.hop_count);
+    put_u64(out, m.lifetime.as_micros());
+    put_option(out, &m.next_hop, |o, a| put_u64(o, a.0));
+}
+
+fn get_rrep(r: &mut Reader<'_>) -> Result<Rrep, WireDecodeError> {
+    Ok(Rrep {
+        dest: Addr(r.u64("rrep.dest")?),
+        dest_seq: r.u32("rrep.dest_seq")?,
+        orig: Addr(r.u64("rrep.orig")?),
+        hop_count: r.u8("rrep.hop_count")?,
+        lifetime: Duration::from_micros(r.u64("rrep.lifetime")?),
+        next_hop: r.option("rrep.next_hop", |r| Ok(Addr(r.u64("rrep.next_hop")?)))?,
+    })
+}
+
+fn put_aodv(out: &mut Vec<u8>, m: &AodvMessage) {
+    match m {
+        AodvMessage::Rreq(rreq) => {
+            out.push(0);
+            put_rreq(out, rreq);
+        }
+        AodvMessage::Rrep(rrep) => {
+            out.push(1);
+            put_rrep(out, rrep);
+        }
+        AodvMessage::Rerr(rerr) => {
+            out.push(2);
+            put_u32(out, rerr.unreachable.len() as u32);
+            for (addr, seq) in &rerr.unreachable {
+                put_u64(out, addr.0);
+                put_u32(out, *seq);
+            }
+        }
+        AodvMessage::Hello(h) => {
+            out.push(3);
+            put_u64(out, h.orig.0);
+            put_u32(out, h.seq);
+        }
+        AodvMessage::Data(d) => {
+            out.push(4);
+            put_u64(out, d.orig.0);
+            put_u64(out, d.dest.0);
+            put_u64(out, d.seq_no);
+            out.push(d.ttl);
+        }
+    }
+}
+
+fn get_aodv(r: &mut Reader<'_>) -> Result<AodvMessage, WireDecodeError> {
+    let offset = r.pos;
+    let tag = r.u8("aodv tag")?;
+    Ok(match tag {
+        0 => AodvMessage::Rreq(get_rreq(r)?),
+        1 => AodvMessage::Rrep(get_rrep(r)?),
+        2 => AodvMessage::Rerr(Rerr {
+            unreachable: r.vec("rerr.unreachable", |r| {
+                Ok((
+                    Addr(r.u64("rerr.addr")?),
+                    r.u32("rerr.seq")? as SeqNo,
+                ))
+            })?,
+        }),
+        3 => AodvMessage::Hello(Hello {
+            orig: Addr(r.u64("hello.orig")?),
+            seq: r.u32("hello.seq")?,
+        }),
+        4 => AodvMessage::Data(DataPacket {
+            orig: Addr(r.u64("data.orig")?),
+            dest: Addr(r.u64("data.dest")?),
+            seq_no: r.u64("data.seq_no")?,
+            ttl: r.u8("data.ttl")?,
+        }),
+        tag => {
+            return Err(WireDecodeError::BadTag {
+                what: "aodv",
+                tag,
+                offset,
+            })
+        }
+    })
+}
+
+fn put_probe(out: &mut Vec<u8>, p: &HelloProbe) {
+    put_u64(out, p.probe_id);
+    put_u64(out, p.src.0);
+    put_u64(out, p.dest.0);
+    out.push(p.ttl);
+}
+
+fn get_probe(r: &mut Reader<'_>) -> Result<HelloProbe, WireDecodeError> {
+    Ok(HelloProbe {
+        probe_id: r.u64("probe.id")?,
+        src: Addr(r.u64("probe.src")?),
+        dest: Addr(r.u64("probe.dest")?),
+        ttl: r.u8("probe.ttl")?,
+    })
+}
+
+fn put_reply(out: &mut Vec<u8>, p: &HelloReply) {
+    put_u64(out, p.probe_id);
+    put_u64(out, p.src.0);
+    put_u64(out, p.dest.0);
+    out.push(p.ttl);
+}
+
+fn get_reply(r: &mut Reader<'_>) -> Result<HelloReply, WireDecodeError> {
+    Ok(HelloReply {
+        probe_id: r.u64("reply.id")?,
+        src: Addr(r.u64("reply.src")?),
+        dest: Addr(r.u64("reply.dest")?),
+        ttl: r.u8("reply.ttl")?,
+    })
+}
+
+fn put_dreq(out: &mut Vec<u8>, d: &DReq) {
+    put_u64(out, d.reporter.0);
+    put_u32(out, d.reporter_cluster.0);
+    put_u64(out, d.suspect.0);
+    put_option(out, &d.suspect_cluster, |o, c| put_u32(o, c.0));
+    out.push(match d.reason {
+        SuspicionReason::NoHelloResponse => 0,
+        SuspicionReason::FakeHelloReply => 1,
+        SuspicionReason::AuthViolation => 2,
+    });
+}
+
+fn get_dreq(r: &mut Reader<'_>) -> Result<DReq, WireDecodeError> {
+    let reporter = PseudonymId(r.u64("dreq.reporter")?);
+    let reporter_cluster = ClusterId(r.u32("dreq.reporter_cluster")?);
+    let suspect = Addr(r.u64("dreq.suspect")?);
+    let suspect_cluster =
+        r.option("dreq.suspect_cluster", |r| Ok(ClusterId(r.u32("cluster")?)))?;
+    let offset = r.pos;
+    let reason = match r.u8("dreq.reason")? {
+        0 => SuspicionReason::NoHelloResponse,
+        1 => SuspicionReason::FakeHelloReply,
+        2 => SuspicionReason::AuthViolation,
+        tag => {
+            return Err(WireDecodeError::BadTag {
+                what: "suspicion reason",
+                tag,
+                offset,
+            })
+        }
+    };
+    Ok(DReq {
+        reporter,
+        reporter_cluster,
+        suspect,
+        suspect_cluster,
+        reason,
+    })
+}
+
+fn put_outcome(out: &mut Vec<u8>, o: &DetectionOutcome) {
+    match o {
+        DetectionOutcome::ConfirmedSingle => out.push(0),
+        DetectionOutcome::ConfirmedCooperative { teammate } => {
+            out.push(1);
+            put_u64(out, teammate.0);
+        }
+        DetectionOutcome::Unconfirmed => out.push(2),
+        DetectionOutcome::SuspectGone => out.push(3),
+    }
+}
+
+fn get_outcome(r: &mut Reader<'_>) -> Result<DetectionOutcome, WireDecodeError> {
+    let offset = r.pos;
+    Ok(match r.u8("outcome tag")? {
+        0 => DetectionOutcome::ConfirmedSingle,
+        1 => DetectionOutcome::ConfirmedCooperative {
+            teammate: Addr(r.u64("outcome.teammate")?),
+        },
+        2 => DetectionOutcome::Unconfirmed,
+        3 => DetectionOutcome::SuspectGone,
+        tag => {
+            return Err(WireDecodeError::BadTag {
+                what: "detection outcome",
+                tag,
+                offset,
+            })
+        }
+    })
+}
+
+fn put_join(out: &mut Vec<u8>, j: &JoinBody) {
+    put_u64(out, j.pos_x.to_bits());
+    put_u64(out, j.pos_y.to_bits());
+    put_u64(out, j.speed_kmh.to_bits());
+    out.push(j.forward as u8);
+}
+
+fn get_join(r: &mut Reader<'_>) -> Result<JoinBody, WireDecodeError> {
+    Ok(JoinBody {
+        pos_x: r.f64("join.pos_x")?,
+        pos_y: r.f64("join.pos_y")?,
+        speed_kmh: r.f64("join.speed_kmh")?,
+        forward: r.bool("join.forward")?,
+    })
+}
+
+fn put_blackdp(out: &mut Vec<u8>, m: &BlackDpMessage) {
+    match m {
+        BlackDpMessage::Jreq(sealed) => {
+            out.push(0);
+            put_sealed(out, sealed, put_join);
+        }
+        BlackDpMessage::Jrep {
+            cluster,
+            ch_addr,
+            epoch,
+            blacklist,
+        } => {
+            out.push(1);
+            put_u32(out, cluster.0);
+            put_u64(out, ch_addr.0);
+            put_u64(out, *epoch);
+            put_u32(out, blacklist.len() as u32);
+            for n in blacklist {
+                put_notice(out, n);
+            }
+        }
+        BlackDpMessage::Leave { vehicle } => {
+            out.push(2);
+            put_u64(out, vehicle.0);
+        }
+        BlackDpMessage::HelloProbe(sealed) => {
+            out.push(3);
+            put_sealed(out, sealed, put_probe);
+        }
+        BlackDpMessage::HelloReply(sealed) => {
+            out.push(4);
+            put_sealed(out, sealed, put_reply);
+        }
+        BlackDpMessage::DetectionRequest(sealed) => {
+            out.push(5);
+            put_sealed(out, sealed, put_dreq);
+        }
+        BlackDpMessage::ForwardedDetection {
+            dreq,
+            packets_so_far,
+        } => {
+            out.push(6);
+            put_dreq(out, dreq);
+            put_u32(out, *packets_so_far);
+        }
+        BlackDpMessage::Handoff(h) => {
+            out.push(7);
+            put_u64(out, h.suspect.0);
+            put_option(out, &h.rrep1_seq, |o, s| put_u32(o, *s));
+            put_u32(out, h.reporters.len() as u32);
+            for (p, c) in &h.reporters {
+                put_u64(out, p.0);
+                put_u32(out, c.0);
+            }
+            put_u32(out, h.packets_so_far);
+        }
+        BlackDpMessage::Response(resp) => {
+            out.push(8);
+            put_u64(out, resp.suspect.0);
+            put_outcome(out, &resp.outcome);
+            put_u64(out, resp.reporter.0);
+        }
+        BlackDpMessage::RevocationRequest {
+            suspect,
+            reporting_cluster,
+        } => {
+            out.push(9);
+            put_u64(out, suspect.0);
+            put_u32(out, reporting_cluster.0);
+        }
+        BlackDpMessage::Revoked(n) => {
+            out.push(10);
+            put_notice(out, n);
+        }
+        BlackDpMessage::PauseRenewal { owner } => {
+            out.push(11);
+            put_u64(out, owner.0);
+        }
+        BlackDpMessage::BlacklistAdvisory { notices } => {
+            out.push(12);
+            put_u32(out, notices.len() as u32);
+            for n in notices {
+                put_notice(out, n);
+            }
+        }
+        BlackDpMessage::RenewRequest {
+            current,
+            issuer,
+            new_key,
+            reply_cluster,
+        } => {
+            out.push(13);
+            put_u64(out, current.0);
+            put_u32(out, issuer.0);
+            put_u64(out, new_key.raw());
+            put_u32(out, reply_cluster.0);
+        }
+        BlackDpMessage::RenewReply { current, cert } => {
+            out.push(14);
+            put_u64(out, current.0);
+            put_option(out, cert, put_cert);
+        }
+        BlackDpMessage::Resync {
+            cluster,
+            ch_addr,
+            epoch,
+        } => {
+            out.push(15);
+            put_u32(out, cluster.0);
+            put_u64(out, ch_addr.0);
+            put_u64(out, *epoch);
+        }
+    }
+}
+
+fn get_blackdp(r: &mut Reader<'_>) -> Result<BlackDpMessage, WireDecodeError> {
+    let offset = r.pos;
+    let tag = r.u8("blackdp tag")?;
+    Ok(match tag {
+        0 => BlackDpMessage::Jreq(get_sealed(r, get_join)?),
+        1 => BlackDpMessage::Jrep {
+            cluster: ClusterId(r.u32("jrep.cluster")?),
+            ch_addr: Addr(r.u64("jrep.ch_addr")?),
+            epoch: r.u64("jrep.epoch")?,
+            blacklist: r.vec("jrep.blacklist", get_notice)?,
+        },
+        2 => BlackDpMessage::Leave {
+            vehicle: PseudonymId(r.u64("leave.vehicle")?),
+        },
+        3 => BlackDpMessage::HelloProbe(get_sealed(r, get_probe)?),
+        4 => BlackDpMessage::HelloReply(get_sealed(r, get_reply)?),
+        5 => BlackDpMessage::DetectionRequest(get_sealed(r, get_dreq)?),
+        6 => BlackDpMessage::ForwardedDetection {
+            dreq: get_dreq(r)?,
+            packets_so_far: r.u32("fwd.packets_so_far")?,
+        },
+        7 => BlackDpMessage::Handoff(DetectionHandoff {
+            suspect: Addr(r.u64("handoff.suspect")?),
+            rrep1_seq: r.option("handoff.rrep1_seq", |r| r.u32("handoff.rrep1_seq"))?,
+            reporters: r.vec("handoff.reporters", |r| {
+                Ok((
+                    PseudonymId(r.u64("reporter.pseudonym")?),
+                    ClusterId(r.u32("reporter.cluster")?),
+                ))
+            })?,
+            packets_so_far: r.u32("handoff.packets_so_far")?,
+        }),
+        8 => BlackDpMessage::Response(DetectionResponse {
+            suspect: Addr(r.u64("resp.suspect")?),
+            outcome: get_outcome(r)?,
+            reporter: PseudonymId(r.u64("resp.reporter")?),
+        }),
+        9 => BlackDpMessage::RevocationRequest {
+            suspect: PseudonymId(r.u64("revreq.suspect")?),
+            reporting_cluster: ClusterId(r.u32("revreq.cluster")?),
+        },
+        10 => BlackDpMessage::Revoked(get_notice(r)?),
+        11 => BlackDpMessage::PauseRenewal {
+            owner: LongTermId(r.u64("pause.owner")?),
+        },
+        12 => BlackDpMessage::BlacklistAdvisory {
+            notices: r.vec("advisory.notices", get_notice)?,
+        },
+        13 => BlackDpMessage::RenewRequest {
+            current: PseudonymId(r.u64("renew.current")?),
+            issuer: TaId(r.u32("renew.issuer")?),
+            new_key: PublicKey::from_raw(r.u64("renew.new_key")?),
+            reply_cluster: ClusterId(r.u32("renew.reply_cluster")?),
+        },
+        14 => BlackDpMessage::RenewReply {
+            current: PseudonymId(r.u64("renew.current")?),
+            cert: r.option("renew.cert", get_cert)?,
+        },
+        15 => BlackDpMessage::Resync {
+            cluster: ClusterId(r.u32("resync.cluster")?),
+            ch_addr: Addr(r.u64("resync.ch_addr")?),
+            epoch: r.u64("resync.epoch")?,
+        },
+        tag => {
+            return Err(WireDecodeError::BadTag {
+                what: "blackdp",
+                tag,
+                offset,
+            })
+        }
+    })
+}
+
+impl Wire {
+    /// Encodes the message as a self-delimiting, checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(96);
+        match self {
+            Wire::Aodv(m) => {
+                body.push(0);
+                put_aodv(&mut body, m);
+            }
+            Wire::SecuredRrep { rrep, auth } => {
+                body.push(1);
+                put_rrep(&mut body, rrep);
+                put_sealed(&mut body, auth, |o, b| put_rrep(o, &b.0));
+            }
+            Wire::BlackDp(m) => {
+                body.push(2);
+                put_blackdp(&mut body, m);
+            }
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, VERSION);
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        let checksum = fnv64(&out);
+        put_u64(&mut out, checksum);
+        out
+    }
+
+    /// Decodes a frame produced by [`Wire::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireDecodeError`] naming the first failing check:
+    /// checksum (verified before anything else, so arbitrary corruption is
+    /// always caught), then magic, version, length, and field-level parses.
+    pub fn decode(bytes: &[u8]) -> Result<Wire, WireDecodeError> {
+        if bytes.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(WireDecodeError::TooShort { len: bytes.len() });
+        }
+        let (framed, trailer) = bytes.split_at(bytes.len() - TRAILER_LEN);
+        let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+        let computed = fnv64(framed);
+        if stored != computed {
+            return Err(WireDecodeError::ChecksumMismatch { stored, computed });
+        }
+        if framed[..4] != MAGIC {
+            return Err(WireDecodeError::BadMagic);
+        }
+        let version = u32::from_le_bytes(framed[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(WireDecodeError::UnsupportedVersion(version));
+        }
+        let declared = u32::from_le_bytes(framed[8..12].try_into().unwrap()) as usize;
+        let body = &framed[HEADER_LEN..];
+        if declared != body.len() {
+            return Err(WireDecodeError::LengthMismatch {
+                declared,
+                actual: body.len(),
+            });
+        }
+        let mut r = Reader::new(body);
+        let offset = r.pos;
+        let wire = match r.u8("wire tag")? {
+            0 => Wire::Aodv(get_aodv(&mut r)?),
+            1 => {
+                let rrep = get_rrep(&mut r)?;
+                let auth = get_sealed(&mut r, |r| Ok(crate::wire::RrepBody(get_rrep(r)?)))?;
+                Wire::SecuredRrep { rrep, auth }
+            }
+            2 => Wire::BlackDp(get_blackdp(&mut r)?),
+            tag => {
+                return Err(WireDecodeError::BadTag {
+                    what: "wire",
+                    tag,
+                    offset,
+                })
+            }
+        };
+        if r.remaining() != 0 {
+            return Err(WireDecodeError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        Ok(wire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::RrepBody;
+    use blackdp_crypto::{Keypair, TrustedAuthority};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn round_trip(wire: Wire) {
+        let bytes = wire.encode();
+        assert_eq!(Wire::decode(&bytes).as_ref(), Ok(&wire));
+    }
+
+    #[test]
+    fn plain_aodv_round_trips() {
+        round_trip(Wire::Aodv(AodvMessage::Hello(Hello {
+            orig: Addr(9),
+            seq: 3,
+        })));
+        round_trip(Wire::Aodv(AodvMessage::Rerr(Rerr {
+            unreachable: vec![(Addr(1), 5), (Addr(2), 9)],
+        })));
+    }
+
+    #[test]
+    fn sealed_envelope_still_verifies_after_decode() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ta = TrustedAuthority::new(TaId(1), &mut rng);
+        let keys = Keypair::generate(&mut rng);
+        let cert = ta.enroll(
+            LongTermId(4),
+            keys.public(),
+            Time::ZERO,
+            Duration::from_secs(600),
+            &mut rng,
+        );
+        let rrep = Rrep {
+            dest: Addr(7),
+            dest_seq: 75,
+            orig: Addr(1),
+            hop_count: 3,
+            lifetime: Duration::from_secs(6),
+            next_hop: Some(Addr(4)),
+        };
+        let auth = Sealed::seal(RrepBody(rrep), cert, Some(ClusterId(2)), &keys, &mut rng);
+        let wire = Wire::SecuredRrep { rrep, auth };
+        let bytes = wire.encode();
+        let decoded = Wire::decode(&bytes).unwrap();
+        let Wire::SecuredRrep { auth, .. } = &decoded else {
+            panic!("wrong variant after decode");
+        };
+        assert_eq!(
+            auth.verify(ta.public_key(), Time::from_secs(1)),
+            Ok(()),
+            "signature must survive the byte round trip bit-exactly"
+        );
+    }
+
+    #[test]
+    fn corrupted_length_cannot_force_allocation() {
+        let wire = Wire::BlackDp(BlackDpMessage::BlacklistAdvisory {
+            notices: vec![RevocationNotice {
+                pseudonym: PseudonymId(4),
+                serial: 9,
+                expires: Time::from_secs(10),
+            }],
+        });
+        let mut bytes = wire.encode();
+        // Blow up the notice count field (first 4 body bytes after the two
+        // tags), then fix up the checksum so the parser actually runs.
+        let count_at = HEADER_LEN + 2;
+        bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let fixed = fnv64(&bytes[..bytes.len() - TRAILER_LEN]);
+        let len = bytes.len();
+        bytes[len - TRAILER_LEN..].copy_from_slice(&fixed.to_le_bytes());
+        assert!(matches!(
+            Wire::decode(&bytes),
+            Err(WireDecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn structured_errors_name_the_failure() {
+        assert_eq!(
+            Wire::decode(&[1, 2, 3]),
+            Err(WireDecodeError::TooShort { len: 3 })
+        );
+        let wire = Wire::BlackDp(BlackDpMessage::Leave {
+            vehicle: PseudonymId(1),
+        });
+        let mut bytes = wire.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(
+            Wire::decode(&bytes),
+            Err(WireDecodeError::ChecksumMismatch { .. })
+        ));
+    }
+}

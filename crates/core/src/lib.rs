@@ -91,11 +91,14 @@
 #![warn(missing_docs)]
 
 mod authority;
+mod codec;
 mod config;
 mod rsu;
 mod table;
 mod verifier;
 mod wire;
+
+pub use codec::WireDecodeError;
 
 pub use authority::{AuthorityNode, TaAction, TaEvent};
 pub use config::BlackDpConfig;

@@ -1,0 +1,468 @@
+//! `testbed` — a multi-process BlackDP deployment on localhost.
+//!
+//! ```text
+//! testbed run   [--seed N] [--scale N] [--out DIR] [--keep]
+//! testbed smoke
+//! ```
+//!
+//! Launches one `blackdpd` process per node — 1 TA, 1 RSU, 5 honest
+//! vehicles, 1 black-hole attacker — on loopback UDP, provisions every
+//! identity through the live TA (`blackdpd init`), runs the detection
+//! protocol end-to-end in compressed wall time, then runs the *same*
+//! scenario in the discrete-event simulator and demands verdict
+//! equivalence through the trace oracle. `smoke` is the CI entry point:
+//! it fails unless the attacker is confirmed, revoked, and the two runs
+//! agree.
+
+use std::fs;
+use std::io::Write as _;
+use std::net::UdpSocket;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+use blackdp_daemon::config::{NodeConfig, Peer, Role};
+use blackdp_daemon::net::Envelope;
+use blackdp_daemon::verdict::{
+    canon_events, compare, sim_verdicts, testbed_scenario, CanonVerdict, RunVerdicts,
+};
+
+/// Node ids: TA, RSU, honest vehicles (first is the traffic source), and
+/// the black-hole attacker.
+const TA: u32 = 0;
+const RSU: u32 = 1;
+const VEHICLES: std::ops::RangeInclusive<u32> = 2..=6;
+const ATTACKER: u32 = 7;
+const ALL: std::ops::RangeInclusive<u32> = 0..=7;
+
+const DEFAULT_SEED: u64 = 42;
+const DEFAULT_SCALE: u64 = 10;
+const RUN_SECS: u64 = 25;
+
+struct Options {
+    seed: u64,
+    scale: u64,
+    out: Option<PathBuf>,
+    keep: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, opts)) = parse_args(&args) else {
+        eprintln!("usage: testbed <run|smoke> [--seed N] [--scale N] [--out DIR] [--keep]");
+        return ExitCode::from(2);
+    };
+    if cmd == "dump" {
+        // Debug helper: decode and print a per-node trace journal.
+        return match opts.out.as_deref().map(dump_trace) {
+            Some(Ok(())) => ExitCode::SUCCESS,
+            _ => {
+                eprintln!("usage: testbed dump --out <node trace file>");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd != "run" && cmd != "smoke" {
+        eprintln!("testbed: unknown command {cmd:?}");
+        return ExitCode::from(2);
+    }
+    match testbed(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("testbed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Option<(String, Options)> {
+    let cmd = args.first()?.clone();
+    let mut opts = Options {
+        seed: DEFAULT_SEED,
+        scale: DEFAULT_SCALE,
+        out: None,
+        keep: false,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                opts.seed = args.get(i + 1)?.parse().ok()?;
+                i += 2;
+            }
+            "--scale" => {
+                opts.scale = args.get(i + 1)?.parse().ok()?;
+                i += 2;
+            }
+            "--out" => {
+                opts.out = Some(PathBuf::from(args.get(i + 1)?));
+                i += 2;
+            }
+            "--keep" => {
+                opts.keep = true;
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    Some((cmd, opts))
+}
+
+fn dump_trace(path: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    let bytes = fs::read(path)?;
+    let events = blackdp_daemon::verdict::decode_trace_bytes(&bytes)?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for e in events {
+        // A closed pipe (`testbed dump | head`) is a normal way to stop.
+        if writeln!(out, "{e}").is_err() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Picks a free localhost port per node by binding throwaway sockets.
+fn allocate_ports() -> std::io::Result<Vec<(u32, u16)>> {
+    let mut holders = Vec::new();
+    let mut ports = Vec::new();
+    for id in ALL {
+        let sock = UdpSocket::bind("127.0.0.1:0")?;
+        ports.push((id, sock.local_addr()?.port()));
+        holders.push(sock);
+    }
+    drop(holders);
+    Ok(ports)
+}
+
+fn role_of(id: u32) -> Role {
+    match id {
+        TA => Role::Ta,
+        RSU => Role::Rsu,
+        ATTACKER => Role::Attacker,
+        _ => Role::Vehicle,
+    }
+}
+
+fn node_config(id: u32, ports: &[(u32, u16)], opts: &Options, out: &Path) -> NodeConfig {
+    let port_of = |id: u32| ports.iter().find(|(i, _)| *i == id).unwrap().1;
+    let peers: Vec<Peer> = ALL
+        .filter(|&p| p != id)
+        .map(|p| Peer {
+            id: p,
+            addr: format!("127.0.0.1:{}", port_of(p)).parse().unwrap(),
+            // The TA sits off the radio plane: RSU reaches it (and it
+            // answers) over the wired backbone only.
+            wired: p == TA,
+        })
+        .collect();
+    // Geometry: everyone inside the single 5 km cluster and inside radio
+    // range; the attacker sits mid-cluster like the simulator places it.
+    let (start_x, start_y) = match id {
+        TA | RSU => (2_500.0, 0.0),
+        ATTACKER => (2_000.0, 40.0),
+        v => (100.0 * f64::from(v), 20.0),
+    };
+    let speed_kmh = match id {
+        TA | RSU => 0.0,
+        _ => 60.0,
+    };
+    let long_term = match id {
+        RSU => 9_000,
+        ATTACKER => 1_000,
+        v => u64::from(v - 2),
+    };
+    NodeConfig {
+        role: role_of(id),
+        node_id: id,
+        listen: format!("127.0.0.1:{}", port_of(id)).parse().unwrap(),
+        peers,
+        ta_id: TA,
+        rsu_id: RSU,
+        long_term,
+        scenario_seed: opts.seed,
+        node_seed: opts.seed.wrapping_add(100 + u64::from(id)),
+        scale: opts.scale,
+        run_secs: RUN_SECS,
+        start_x,
+        start_y,
+        speed_kmh,
+        source: id == *VEHICLES.start(),
+        out_dir: out.to_path_buf(),
+        identity: out.join(format!("node{id}.id")),
+    }
+}
+
+fn blackdpd_path() -> std::io::Result<PathBuf> {
+    let me = std::env::current_exe()?;
+    let dir = me
+        .parent()
+        .ok_or_else(|| std::io::Error::other("current_exe has no parent"))?;
+    let path = dir.join("blackdpd");
+    if path.exists() {
+        Ok(path)
+    } else {
+        Err(std::io::Error::other(format!(
+            "blackdpd not found next to testbed at {}",
+            path.display()
+        )))
+    }
+}
+
+fn spawn(bin: &Path, sub: &str, cfg_path: &Path, log: &Path) -> std::io::Result<Child> {
+    let log_file = fs::File::create(log)?;
+    let err_file = log_file.try_clone()?;
+    Command::new(bin)
+        .arg(sub)
+        .arg("--config")
+        .arg(cfg_path)
+        .stdout(Stdio::from(log_file))
+        .stderr(Stdio::from(err_file))
+        .spawn()
+}
+
+fn parse_kv_lines(path: &Path, key: &str) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            line.split_whitespace().find_map(|field| {
+                field
+                    .strip_prefix(key)
+                    .and_then(|rest| rest.strip_prefix('='))
+                    .and_then(|v| v.parse().ok())
+            })
+        })
+        .collect()
+}
+
+/// Parses the RSU's verdict journal into canonical confirmed verdicts.
+fn parse_verdicts(path: &Path, is_attacker: &dyn Fn(u64) -> bool) -> Vec<CanonVerdict> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut verdicts = Vec::new();
+    for line in text.lines() {
+        let mut suspect = None;
+        let mut outcome = None;
+        let mut teammate = None;
+        for field in line.split_whitespace() {
+            if let Some(v) = field.strip_prefix("suspect=") {
+                suspect = v.parse::<u64>().ok();
+            } else if let Some(v) = field.strip_prefix("outcome=") {
+                outcome = Some(v.to_string());
+            } else if let Some(v) = field.strip_prefix("teammate=") {
+                teammate = v.parse::<u64>().ok();
+            }
+        }
+        let (Some(suspect), Some(outcome)) = (suspect, outcome) else {
+            continue;
+        };
+        match outcome.as_str() {
+            "confirmed-single" => verdicts.push(CanonVerdict {
+                suspect_is_attacker: is_attacker(suspect),
+                cooperative: false,
+                teammate_is_attacker: None,
+            }),
+            "confirmed-cooperative" => verdicts.push(CanonVerdict {
+                suspect_is_attacker: is_attacker(suspect),
+                cooperative: true,
+                teammate_is_attacker: teammate.map(&is_attacker),
+            }),
+            _ => {}
+        }
+    }
+    verdicts
+}
+
+fn file_contains_confirmed(path: &Path) -> bool {
+    fs::read_to_string(path)
+        .map(|t| t.contains("outcome=confirmed-"))
+        .unwrap_or(false)
+}
+
+fn send_shutdown(ports: &[(u32, u16)]) {
+    let Ok(sock) = UdpSocket::bind("127.0.0.1:0") else {
+        return;
+    };
+    let bytes = Envelope::Shutdown { from: u32::MAX }.encode();
+    for &(_, port) in ports {
+        let _ = sock.send_to(&bytes, format!("127.0.0.1:{port}"));
+    }
+}
+
+fn reap(mut children: Vec<(u32, Child)>, grace: Duration) -> Vec<(u32, bool)> {
+    let deadline = Instant::now() + grace;
+    let mut status = Vec::new();
+    while !children.is_empty() {
+        children.retain_mut(|(id, child)| match child.try_wait() {
+            Ok(Some(s)) => {
+                status.push((*id, s.success()));
+                false
+            }
+            Ok(None) => true,
+            Err(_) => {
+                status.push((*id, false));
+                false
+            }
+        });
+        if children.is_empty() {
+            break;
+        }
+        if Instant::now() >= deadline {
+            for (id, child) in children.iter_mut() {
+                let _ = child.kill();
+                let _ = child.wait();
+                status.push((*id, false));
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    status
+}
+
+fn testbed(opts: &Options) -> Result<bool, Box<dyn std::error::Error>> {
+    let bin = blackdpd_path()?;
+    let out = opts.out.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("blackdp-testbed-{}", std::process::id()))
+    });
+    fs::create_dir_all(&out)?;
+    println!("testbed: seed={} scale={} out={}", opts.seed, opts.scale, out.display());
+
+    let ports = allocate_ports()?;
+    let mut cfg_paths = Vec::new();
+    for id in ALL {
+        let cfg = node_config(id, &ports, opts, &out);
+        let path = out.join(format!("node{id}.cfg"));
+        let mut f = fs::File::create(&path)?;
+        f.write_all(cfg.render().as_bytes())?;
+        cfg_paths.push((id, path));
+    }
+    let cfg_path = |id: u32| -> &Path {
+        &cfg_paths.iter().find(|(i, _)| *i == id).unwrap().1
+    };
+
+    // 1. The TA comes up first: it answers enrollment during init.
+    let mut children = vec![(TA, spawn(&bin, "run", cfg_path(TA), &out.join("node0.log"))?)];
+    std::thread::sleep(Duration::from_millis(150));
+
+    // 2. Provision every identity through the live TA, in a fixed order.
+    let mut init_order: Vec<u32> = vec![RSU];
+    init_order.extend(VEHICLES);
+    init_order.push(ATTACKER);
+    for id in init_order {
+        let status = Command::new(&bin)
+            .arg("init")
+            .arg("--config")
+            .arg(cfg_path(id))
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .status()?;
+        if !status.success() {
+            send_shutdown(&ports);
+            reap(children, Duration::from_secs(5));
+            return Err(format!("blackdpd init failed for node {id}").into());
+        }
+    }
+
+    // 3. Launch the deployment.
+    for id in ALL.filter(|&id| id != TA) {
+        children.push((
+            id,
+            spawn(&bin, "run", cfg_path(id), &out.join(format!("node{id}.log")))?,
+        ));
+    }
+
+    // 4. Wait for the RSU to confirm a suspect and the TA to revoke — or
+    //    for the virtual run to end.
+    let verdict_file = out.join(format!("node{RSU}.verdicts"));
+    let revoked_file = out.join(format!("node{TA}.revoked"));
+    let wall_run = Duration::from_secs(RUN_SECS / opts.scale.max(1) + 1);
+    let deadline = Instant::now() + wall_run + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if file_contains_confirmed(&verdict_file) && !parse_kv_lines(&revoked_file, "revoked").is_empty()
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // 5. Tear down and collect.
+    send_shutdown(&ports);
+    let exit_status = reap(children, Duration::from_secs(10));
+    for (id, ok) in &exit_status {
+        if !ok {
+            eprintln!("testbed: node {id} exited abnormally (see node{id}.log)");
+        }
+    }
+
+    // 6. The attacker's full protocol-address history (identity renewal
+    //    included) defines who "the attacker" is.
+    let mut attacker_addrs = parse_kv_lines(&out.join(format!("node{ATTACKER}.addrs")), "addr");
+    attacker_addrs.extend(parse_kv_lines(
+        &out.join(format!("node{ATTACKER}.id")),
+        "pseudonym",
+    ));
+    if attacker_addrs.is_empty() {
+        return Err("no attacker addresses recovered from the testbed run".into());
+    }
+    let is_attacker = |a: u64| attacker_addrs.contains(&a);
+
+    let live = RunVerdicts {
+        verdicts: parse_verdicts(&verdict_file, &is_attacker),
+        attacker_revoked: parse_kv_lines(&revoked_file, "revoked")
+            .iter()
+            .any(|&p| is_attacker(p)),
+    };
+
+    // 7. The simulator twin of the same scenario.
+    let (cfg, spec) = testbed_scenario(opts.seed);
+    let sim = sim_verdicts(&cfg, &spec);
+
+    println!(
+        "testbed: live verdicts: {:?} revoked={}",
+        live.verdicts, live.attacker_revoked
+    );
+    println!(
+        "testbed: sim  verdicts: {:?} revoked={}",
+        sim.verdicts, sim.attacker_revoked
+    );
+
+    let mut ok = true;
+    if !live.attacker_confirmed() {
+        eprintln!("testbed: FAIL — live run never confirmed the attacker");
+        ok = false;
+    }
+    if !live.attacker_revoked {
+        eprintln!("testbed: FAIL — live run never revoked the attacker");
+        ok = false;
+    }
+    if live.attacker_revoked != sim.attacker_revoked {
+        eprintln!(
+            "testbed: FAIL — isolation diverges (live {} vs sim {})",
+            live.attacker_revoked, sim.attacker_revoked
+        );
+        ok = false;
+    }
+    match compare(&sim, &live) {
+        None => println!(
+            "testbed: verdict equivalence OK ({} canonical verdict(s))",
+            canon_events(&live.verdicts).len()
+        ),
+        Some(divergence) => {
+            eprintln!("testbed: FAIL — verdicts diverge from the simulator: {divergence:?}");
+            ok = false;
+        }
+    }
+
+    if ok && !opts.keep && opts.out.is_none() {
+        let _ = fs::remove_dir_all(&out);
+    } else {
+        println!("testbed: artifacts kept at {}", out.display());
+    }
+    println!("testbed: {}", if ok { "PASS" } else { "FAIL" });
+    Ok(ok)
+}

@@ -1,0 +1,514 @@
+//! Daemon configuration and on-disk identity files.
+//!
+//! Both files are flat `key = value` text (one pair per line, `#` comments),
+//! so a testbed — or a human — can write them with nothing but `println!`.
+//! The only repeated key is `peer`, which lists every other daemon in the
+//! deployment: `peer = <node_id>,<ip:port>,<radio|wired>`.
+//!
+//! The identity file is written by `blackdpd init` after enrolling with the
+//! TA daemon and read back by `blackdpd run`. Secret keys never leave the
+//! node: the file stores the RNG seed the keypair was generated from and
+//! `run` re-derives the same keypair deterministically.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+
+use blackdp_crypto::{Certificate, Keypair, PseudonymId, PublicKey, Signature, TaId};
+use blackdp_sim::Time;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which node the daemon runs as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Honest vehicle (full layered stack).
+    Vehicle,
+    /// Black-hole attacker (interceptor-composed stack).
+    Attacker,
+    /// Roadside unit / cluster head.
+    Rsu,
+    /// Trusted authority.
+    Ta,
+}
+
+impl Role {
+    /// Canonical config-file spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Vehicle => "vehicle",
+            Role::Attacker => "attacker",
+            Role::Rsu => "rsu",
+            Role::Ta => "ta",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Role> {
+        match s {
+            "vehicle" => Some(Role::Vehicle),
+            "attacker" => Some(Role::Attacker),
+            "rsu" => Some(Role::Rsu),
+            "ta" => Some(Role::Ta),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One other daemon in the deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Peer {
+    /// The peer's node id (the simulator-level `NodeId` index).
+    pub id: u32,
+    /// Where its UDP socket listens.
+    pub addr: SocketAddr,
+    /// `true` for wired-backbone peers (RSU ↔ TA), `false` for radio.
+    pub wired: bool,
+}
+
+/// Everything a `blackdpd` process needs to know, parsed from one file.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Which node this daemon runs as.
+    pub role: Role,
+    /// This daemon's node id.
+    pub node_id: u32,
+    /// The UDP socket to bind.
+    pub listen: SocketAddr,
+    /// Every other daemon in the deployment.
+    pub peers: Vec<Peer>,
+    /// Node id of the TA daemon (enrollment + wired directory).
+    pub ta_id: u32,
+    /// Node id of the RSU daemon (wired directory).
+    pub rsu_id: u32,
+    /// Long-term identity enrolled with the TA.
+    pub long_term: u64,
+    /// Scenario seed: selects the shared protocol parameterization
+    /// (`verdict::testbed_scenario`) and derives key seeds.
+    pub scenario_seed: u64,
+    /// Per-node RNG seed for the protocol stack.
+    pub node_seed: u64,
+    /// Wall-to-virtual time compression factor (1 = real time).
+    pub scale: u64,
+    /// Virtual seconds to run before shutting down.
+    pub run_secs: u64,
+    /// Spawn position along the highway, metres.
+    pub start_x: f64,
+    /// Lateral spawn position, metres.
+    pub start_y: f64,
+    /// Constant speed, km/h.
+    pub speed_kmh: f64,
+    /// Whether this vehicle originates the application traffic.
+    pub source: bool,
+    /// Directory for trace journals, verdicts, and logs.
+    pub out_dir: PathBuf,
+    /// Path of the identity file (`init` writes, `run` reads).
+    pub identity: PathBuf,
+}
+
+/// A structured config/identity parse failure.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// A required key is absent.
+    Missing(&'static str),
+    /// A key's value failed to parse.
+    Invalid {
+        /// The offending key.
+        key: &'static str,
+        /// The raw value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Io(e) => write!(f, "io error: {e}"),
+            ConfigError::Missing(key) => write!(f, "missing required key {key:?}"),
+            ConfigError::Invalid { key, value } => {
+                write!(f, "invalid value {value:?} for key {key:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<io::Error> for ConfigError {
+    fn from(e: io::Error) -> Self {
+        ConfigError::Io(e)
+    }
+}
+
+/// Parsed `key = value` lines; repeated keys keep every occurrence.
+struct KvFile {
+    pairs: Vec<(String, String)>,
+}
+
+impl KvFile {
+    fn parse(text: &str) -> KvFile {
+        let mut pairs = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((k, v)) = line.split_once('=') {
+                pairs.push((k.trim().to_string(), v.trim().to_string()));
+            }
+        }
+        KvFile { pairs }
+    }
+
+    fn get(&self, key: &'static str) -> Result<&str, ConfigError> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or(ConfigError::Missing(key))
+    }
+
+    fn parse_as<T: std::str::FromStr>(&self, key: &'static str) -> Result<T, ConfigError> {
+        let raw = self.get(key)?;
+        raw.parse().map_err(|_| ConfigError::Invalid {
+            key,
+            value: raw.to_string(),
+        })
+    }
+
+    fn all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> {
+        self.pairs
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl NodeConfig {
+    /// Loads and parses a config file.
+    pub fn load(path: &Path) -> Result<NodeConfig, ConfigError> {
+        let text = fs::read_to_string(path)?;
+        let kv = KvFile::parse(&text);
+        let role_raw = kv.get("role")?;
+        let role = Role::parse(role_raw).ok_or(ConfigError::Invalid {
+            key: "role",
+            value: role_raw.to_string(),
+        })?;
+        let mut peers = Vec::new();
+        for raw in kv.all("peer") {
+            let mut parts = raw.split(',').map(str::trim);
+            let bad = || ConfigError::Invalid {
+                key: "peer",
+                value: raw.to_string(),
+            };
+            let id = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(bad)?;
+            let addr = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(bad)?;
+            let wired = match parts.next() {
+                Some("radio") => false,
+                Some("wired") => true,
+                _ => return Err(bad()),
+            };
+            peers.push(Peer { id, addr, wired });
+        }
+        Ok(NodeConfig {
+            role,
+            node_id: kv.parse_as("node_id")?,
+            listen: kv.parse_as("listen")?,
+            peers,
+            ta_id: kv.parse_as("ta_id")?,
+            rsu_id: kv.parse_as("rsu_id")?,
+            long_term: kv.parse_as("long_term")?,
+            scenario_seed: kv.parse_as("scenario_seed")?,
+            node_seed: kv.parse_as("node_seed")?,
+            scale: kv.parse_as("scale")?,
+            run_secs: kv.parse_as("run_secs")?,
+            start_x: kv.parse_as("start_x")?,
+            start_y: kv.parse_as("start_y")?,
+            speed_kmh: kv.parse_as("speed_kmh")?,
+            source: kv.parse_as("source")?,
+            out_dir: PathBuf::from(kv.get("out_dir")?),
+            identity: PathBuf::from(kv.get("identity")?),
+        })
+    }
+
+    /// Renders the config back to file text (the testbed writes these).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("role = {}\n", self.role));
+        s.push_str(&format!("node_id = {}\n", self.node_id));
+        s.push_str(&format!("listen = {}\n", self.listen));
+        for p in &self.peers {
+            let kind = if p.wired { "wired" } else { "radio" };
+            s.push_str(&format!("peer = {},{},{}\n", p.id, p.addr, kind));
+        }
+        s.push_str(&format!("ta_id = {}\n", self.ta_id));
+        s.push_str(&format!("rsu_id = {}\n", self.rsu_id));
+        s.push_str(&format!("long_term = {}\n", self.long_term));
+        s.push_str(&format!("scenario_seed = {}\n", self.scenario_seed));
+        s.push_str(&format!("node_seed = {}\n", self.node_seed));
+        s.push_str(&format!("scale = {}\n", self.scale));
+        s.push_str(&format!("run_secs = {}\n", self.run_secs));
+        s.push_str(&format!("start_x = {}\n", self.start_x));
+        s.push_str(&format!("start_y = {}\n", self.start_y));
+        s.push_str(&format!("speed_kmh = {}\n", self.speed_kmh));
+        s.push_str(&format!("source = {}\n", self.source));
+        s.push_str(&format!("out_dir = {}\n", self.out_dir.display()));
+        s.push_str(&format!("identity = {}\n", self.identity.display()));
+        s
+    }
+
+    /// The peer entry for `id`, if listed.
+    pub fn peer(&self, id: u32) -> Option<&Peer> {
+        self.peers.iter().find(|p| p.id == id)
+    }
+}
+
+/// A provisioned credential, as written by `blackdpd init`.
+///
+/// Stores the keypair's derivation seed (not the secret scalar) plus every
+/// certificate field and the TA public key learned during enrollment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Identity {
+    /// The role the identity was provisioned for.
+    pub role: Role,
+    /// Seed the keypair is re-derived from.
+    pub key_seed: u64,
+    /// Long-term identity registered with the TA.
+    pub long_term: u64,
+    /// Issued pseudonym.
+    pub pseudonym: u64,
+    /// Raw public key.
+    pub public_key: u64,
+    /// Certificate serial number.
+    pub serial: u64,
+    /// Issuing TA.
+    pub issuer: u32,
+    /// Issue time, virtual microseconds.
+    pub issued_micros: u64,
+    /// Expiry time, virtual microseconds.
+    pub expires_micros: u64,
+    /// Certificate signature (e component).
+    pub sig_e: u64,
+    /// Certificate signature (s component).
+    pub sig_s: u64,
+    /// The TA's raw public key (verifies certificates and seals).
+    pub ta_key: u64,
+}
+
+impl Identity {
+    /// Builds an identity record from an enrollment result.
+    pub fn from_enrollment(
+        role: Role,
+        key_seed: u64,
+        long_term: u64,
+        cert: &Certificate,
+        ta_key: PublicKey,
+    ) -> Identity {
+        Identity {
+            role,
+            key_seed,
+            long_term,
+            pseudonym: cert.pseudonym.0,
+            public_key: cert.public_key.raw(),
+            serial: cert.serial,
+            issuer: cert.issuer.0,
+            issued_micros: cert.issued.as_micros(),
+            expires_micros: cert.expires.as_micros(),
+            sig_e: cert.signature.e,
+            sig_s: cert.signature.s,
+            ta_key: ta_key.raw(),
+        }
+    }
+
+    /// Re-derives the keypair the identity was enrolled with.
+    pub fn keypair(&self) -> Keypair {
+        Keypair::generate(&mut StdRng::seed_from_u64(self.key_seed))
+    }
+
+    /// Reconstructs the enrolled certificate.
+    pub fn certificate(&self) -> Certificate {
+        Certificate {
+            pseudonym: PseudonymId(self.pseudonym),
+            public_key: PublicKey::from_raw(self.public_key),
+            serial: self.serial,
+            issuer: TaId(self.issuer),
+            issued: Time::from_micros(self.issued_micros),
+            expires: Time::from_micros(self.expires_micros),
+            signature: Signature {
+                e: self.sig_e,
+                s: self.sig_s,
+            },
+        }
+    }
+
+    /// The TA public key learned at enrollment.
+    pub fn ta_public_key(&self) -> PublicKey {
+        PublicKey::from_raw(self.ta_key)
+    }
+
+    /// Renders the identity to file text.
+    pub fn render(&self) -> String {
+        format!(
+            "role = {}\nkey_seed = {}\nlong_term = {}\npseudonym = {}\n\
+             public_key = {}\nserial = {}\nissuer = {}\nissued_micros = {}\n\
+             expires_micros = {}\nsig_e = {}\nsig_s = {}\nta_key = {}\n",
+            self.role,
+            self.key_seed,
+            self.long_term,
+            self.pseudonym,
+            self.public_key,
+            self.serial,
+            self.issuer,
+            self.issued_micros,
+            self.expires_micros,
+            self.sig_e,
+            self.sig_s,
+            self.ta_key,
+        )
+    }
+
+    /// Loads and parses an identity file.
+    pub fn load(path: &Path) -> Result<Identity, ConfigError> {
+        let text = fs::read_to_string(path)?;
+        let kv = KvFile::parse(&text);
+        let role_raw = kv.get("role")?;
+        let role = Role::parse(role_raw).ok_or(ConfigError::Invalid {
+            key: "role",
+            value: role_raw.to_string(),
+        })?;
+        Ok(Identity {
+            role,
+            key_seed: kv.parse_as("key_seed")?,
+            long_term: kv.parse_as("long_term")?,
+            pseudonym: kv.parse_as("pseudonym")?,
+            public_key: kv.parse_as("public_key")?,
+            serial: kv.parse_as("serial")?,
+            issuer: kv.parse_as("issuer")?,
+            issued_micros: kv.parse_as("issued_micros")?,
+            expires_micros: kv.parse_as("expires_micros")?,
+            sig_e: kv.parse_as("sig_e")?,
+            sig_s: kv.parse_as("sig_s")?,
+            ta_key: kv.parse_as("ta_key")?,
+        })
+    }
+
+    /// Writes the identity file (atomically, world-unreadable content aside:
+    /// the file holds a derivation seed, so the testbed keeps it in its
+    /// private output directory).
+    pub fn save(&self, path: &Path) -> Result<(), ConfigError> {
+        blackdp_scenario::atomic_write(path, self.render().as_bytes())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> NodeConfig {
+        NodeConfig {
+            role: Role::Vehicle,
+            node_id: 2,
+            listen: "127.0.0.1:45002".parse().unwrap(),
+            peers: vec![
+                Peer {
+                    id: 0,
+                    addr: "127.0.0.1:45000".parse().unwrap(),
+                    wired: true,
+                },
+                Peer {
+                    id: 3,
+                    addr: "127.0.0.1:45003".parse().unwrap(),
+                    wired: false,
+                },
+            ],
+            ta_id: 0,
+            rsu_id: 1,
+            long_term: 2,
+            scenario_seed: 42,
+            node_seed: 142,
+            scale: 10,
+            run_secs: 25,
+            start_x: 100.0,
+            start_y: 20.0,
+            speed_kmh: 60.0,
+            source: true,
+            out_dir: PathBuf::from("/tmp/tb"),
+            identity: PathBuf::from("/tmp/tb/node2.id"),
+        }
+    }
+
+    #[test]
+    fn config_round_trips_through_render() {
+        let cfg = sample_config();
+        let dir = std::env::temp_dir().join(format!("blackdpd-cfg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("node.cfg");
+        std::fs::write(&path, cfg.render()).unwrap();
+        let back = NodeConfig::load(&path).unwrap();
+        assert_eq!(back.role, cfg.role);
+        assert_eq!(back.node_id, cfg.node_id);
+        assert_eq!(back.listen, cfg.listen);
+        assert_eq!(back.peers, cfg.peers);
+        assert_eq!(back.source, cfg.source);
+        assert_eq!(back.identity, cfg.identity);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn identity_reconstructs_keypair_and_cert() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ta = blackdp_crypto::TrustedAuthority::new(TaId(1), &mut rng);
+        let keys = Keypair::generate(&mut StdRng::seed_from_u64(99));
+        let cert = ta.enroll(
+            blackdp_crypto::LongTermId(5),
+            keys.public(),
+            Time::ZERO,
+            blackdp_sim::Duration::from_secs(600),
+            &mut rng,
+        );
+        let id = Identity::from_enrollment(Role::Vehicle, 99, 5, &cert, ta.public_key());
+        assert_eq!(id.keypair().public(), keys.public());
+        assert_eq!(id.certificate(), cert);
+
+        let dir = std::env::temp_dir().join(format!("blackdpd-id-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("node.id");
+        id.save(&path).unwrap();
+        assert_eq!(Identity::load(&path).unwrap(), id);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_and_invalid_keys_are_structured_errors() {
+        let dir = std::env::temp_dir().join(format!("blackdpd-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.cfg");
+        std::fs::write(&path, "role = vehicle\n").unwrap();
+        match NodeConfig::load(&path) {
+            Err(ConfigError::Missing(key)) => assert_eq!(key, "node_id"),
+            other => panic!("expected Missing, got {other:?}"),
+        }
+        std::fs::write(&path, "role = submarine\nnode_id = 1\n").unwrap();
+        assert!(matches!(
+            NodeConfig::load(&path),
+            Err(ConfigError::Invalid { key: "role", .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,43 @@
+//! # blackdp-daemon — the BlackDP stack as a real UDP daemon
+//!
+//! Everything below `crates/scenario` is sans-io: the protocol state
+//! machines consume messages and emit effects without touching a socket.
+//! This crate is the second host for those state machines (the simulator
+//! being the first): `blackdpd` runs one node — vehicle, attacker, RSU, or
+//! TA — over a real UDP socket, with wall-clock time mapped onto virtual
+//! [`Time`](blackdp_sim::Time) through
+//! [`WallClock`](blackdp_sim::WallClock), and the `testbed` binary launches
+//! a full localhost deployment (TA + RSU + vehicles + one black-hole
+//! attacker), runs live detection end-to-end, and cross-validates the
+//! verdicts against a simulator run of the same scenario through the trace
+//! oracle.
+//!
+//! Module map:
+//!
+//! - [`config`] — `key = value` config and identity files.
+//! - [`net`] — the datagram envelope, retry/backoff, enrollment handshake.
+//! - [`roles`] — per-role node construction and output files.
+//! - [`runtime`] — the socket event loop.
+//! - [`verdict`] — the shared scenario and testbed↔simulator equivalence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod net;
+pub mod roles;
+pub mod runtime;
+pub mod verdict;
+
+/// Derives the deterministic keypair seed for a node: `init` generates the
+/// keypair from this and the identity file records it, so `run` re-derives
+/// the same secret without ever storing it.
+pub fn key_seed(scenario_seed: u64, node_id: u32) -> u64 {
+    // splitmix64 of the combined value, so adjacent node ids do not
+    // produce adjacent RNG streams.
+    let mut z = scenario_seed
+        .wrapping_add(u64::from(node_id).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

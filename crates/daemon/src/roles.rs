@@ -1,0 +1,328 @@
+//! Role drivers: the concrete node each daemon hosts, plus its outputs.
+//!
+//! All four roles wrap the same sans-io node types the simulator runs —
+//! [`VehicleNode`], [`MaliciousNode`], [`RsuNode`], [`TaNode`] — so the
+//! daemon exercises exactly the code the experiments measure. The driver
+//! layer adds what a live process needs on top: constructing the node from
+//! a [`NodeConfig`] + [`Identity`], answering out-of-band enrollment
+//! requests (TA only), and writing role-specific output files the testbed
+//! reads back (verdicts, revocations, responses, attacker addresses).
+
+use std::io;
+use std::path::Path;
+
+use blackdp::{ChEvent, DetectionOutcome, TaEvent};
+use blackdp_aodv::Addr;
+use blackdp_attacks::{AttackerConfig, AttackerStack, DropData, Evasion, ForgeRrep, Interceptor};
+use blackdp_crypto::{LongTermId, PublicKey, TaId, TrustedAuthority};
+use blackdp_mobility::{ClusterId, ClusterPlan, Direction, Kmh, Trajectory};
+use blackdp_scenario::{
+    atomic_write, ch_addr, Frame, MaliciousNode, MaliciousNodeConfig, RsuNode, TaNode,
+    TrafficIntent, VehicleConfig, VehicleNode, WiredDirectory, PHANTOM_DEST, TA_ADDR_BASE,
+};
+use blackdp_scenario::Tick;
+use blackdp_sim::{Duration, Node, NodeId, Position, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{ConfigError, Identity, NodeConfig, Role};
+use crate::net::Envelope;
+use crate::verdict::testbed_scenario;
+
+/// A role-specific daemon core: the hosted node plus output bookkeeping.
+///
+/// Exactly one of these exists per process, so the size spread between
+/// variants costs nothing.
+#[allow(clippy::large_enum_variant)]
+pub enum RoleDriver {
+    /// Honest vehicle.
+    Vehicle(VehicleNode),
+    /// Black-hole attacker.
+    Attacker(MaliciousNode),
+    /// Roadside unit.
+    Rsu(RsuState),
+    /// Trusted authority.
+    Ta(TaState),
+}
+
+/// RSU driver state: the node plus how many events are already on disk.
+pub struct RsuState {
+    node: RsuNode,
+    written: usize,
+}
+
+/// TA driver state: the node, the enrollment RNG, and output bookkeeping.
+pub struct TaState {
+    node: TaNode,
+    rng: StdRng,
+    validity: Duration,
+    written: usize,
+}
+
+fn wired_directory(cfg: &NodeConfig) -> WiredDirectory {
+    let mut dir = WiredDirectory::new();
+    dir.add_ch(ClusterId(1), NodeId::new(cfg.rsu_id));
+    dir.add_ta(TaId(1), NodeId::new(cfg.ta_id), Addr(TA_ADDR_BASE + 1));
+    dir
+}
+
+/// Builds the driver for `cfg`, reading the identity file for every role
+/// but the TA (which derives its authority from the scenario seed).
+pub fn build_driver(cfg: &NodeConfig) -> Result<RoleDriver, ConfigError> {
+    let (scen, _) = testbed_scenario(cfg.scenario_seed);
+    let plan: ClusterPlan = scen.plan();
+    match cfg.role {
+        Role::Ta => {
+            let mut rng = StdRng::seed_from_u64(cfg.scenario_seed.wrapping_add(0x7A));
+            let ta = TrustedAuthority::new(TaId(1), &mut rng);
+            let clusters: Vec<ClusterId> = plan.clusters().collect();
+            let node = blackdp::AuthorityNode::new(
+                ta,
+                clusters,
+                Vec::new(),
+                scen.blackdp.cert_validity,
+                cfg.node_seed,
+            );
+            let mut ta_node = TaNode::new(node, Addr(TA_ADDR_BASE + 1));
+            ta_node.set_directory(wired_directory(cfg));
+            Ok(RoleDriver::Ta(TaState {
+                node: ta_node,
+                rng,
+                validity: scen.blackdp.cert_validity,
+                written: 0,
+            }))
+        }
+        Role::Rsu => {
+            let identity = Identity::load(&cfg.identity)?;
+            let ch = blackdp::ClusterHead::new(
+                ClusterId(1),
+                ch_addr(ClusterId(1)),
+                TaId(1),
+                identity.ta_public_key(),
+                plan.cluster_count(),
+                scen.blackdp.clone(),
+                cfg.node_seed,
+            );
+            let mut node = RsuNode::new(ch, &plan, scen.tick);
+            node.set_directory(wired_directory(cfg));
+            Ok(RoleDriver::Rsu(RsuState { node, written: 0 }))
+        }
+        Role::Vehicle => {
+            let identity = Identity::load(&cfg.identity)?;
+            let trajectory = Trajectory::new(
+                Position::new(cfg.start_x, cfg.start_y),
+                Kmh(cfg.speed_kmh),
+                Direction::Forward,
+                Time::ZERO,
+            );
+            let vcfg = VehicleConfig {
+                aodv: scen.aodv.clone(),
+                blackdp: scen.blackdp.clone(),
+                defense: scen.defense,
+                tick: scen.tick,
+                range_m: scen.range_m,
+                ..VehicleConfig::default()
+            };
+            let mut node = VehicleNode::new(
+                trajectory,
+                plan,
+                identity.keypair(),
+                identity.certificate(),
+                identity.ta_public_key(),
+                vcfg,
+                cfg.node_seed,
+            );
+            if cfg.source {
+                node.add_intent(TrafficIntent {
+                    dest: Addr(PHANTOM_DEST),
+                    start: Time::from_secs(2),
+                    count: scen.data_packets,
+                    interval: scen.data_interval,
+                });
+            }
+            Ok(RoleDriver::Vehicle(node))
+        }
+        Role::Attacker => {
+            let identity = Identity::load(&cfg.identity)?;
+            let trajectory = Trajectory::new(
+                Position::new(cfg.start_x, cfg.start_y),
+                Kmh(cfg.speed_kmh),
+                Direction::Forward,
+                Time::ZERO,
+            );
+            // The same interceptor chain `build_scenario` composes for a
+            // single (non-cooperative, non-evading) black hole.
+            let attack_cfg = AttackerConfig::default();
+            let chain: Vec<Box<dyn Interceptor>> = vec![
+                Box::new(Evasion),
+                Box::new(ForgeRrep::new(attack_cfg.forge_params(), None)),
+                Box::new(DropData::blackhole()),
+            ];
+            let node_cfg = MaliciousNodeConfig {
+                tick: scen.tick,
+                hello_interval: scen.aodv.hello_interval,
+                renewal_zone: scen.renewal_zone,
+                ..MaliciousNodeConfig::black_hole(TaId(identity.issuer))
+            };
+            let stack = AttackerStack::new(
+                identity.keypair(),
+                identity.certificate(),
+                cfg.node_seed.wrapping_add(1),
+                chain,
+            );
+            Ok(RoleDriver::Attacker(MaliciousNode::new(
+                stack,
+                trajectory,
+                plan,
+                node_cfg,
+                cfg.node_seed,
+            )))
+        }
+    }
+}
+
+fn outcome_line(suspect: Addr, outcome: &DetectionOutcome, packets: u32) -> String {
+    let (tag, teammate) = match outcome {
+        DetectionOutcome::ConfirmedSingle => ("confirmed-single", None),
+        DetectionOutcome::ConfirmedCooperative { teammate } => {
+            ("confirmed-cooperative", Some(*teammate))
+        }
+        DetectionOutcome::Unconfirmed => ("unconfirmed", None),
+        DetectionOutcome::SuspectGone => ("suspect-gone", None),
+    };
+    let teammate = teammate.map_or("none".to_string(), |t| t.0.to_string());
+    format!("suspect={} outcome={tag} teammate={teammate} packets={packets}\n", suspect.0)
+}
+
+impl RoleDriver {
+    /// The hosted node, as the simulator trait object the harness drives.
+    pub fn as_node(&mut self) -> &mut dyn Node<Frame, Tick> {
+        match self {
+            RoleDriver::Vehicle(n) => n,
+            RoleDriver::Attacker(n) => n,
+            RoleDriver::Rsu(s) => &mut s.node,
+            RoleDriver::Ta(s) => &mut s.node,
+        }
+    }
+
+    /// Handles an out-of-band control datagram. Only the TA answers
+    /// enrollment requests; everyone else ignores them.
+    ///
+    /// Certificates are dated `Time::ZERO`, not the TA's current virtual
+    /// time: enrollment happens during provisioning, before the peers'
+    /// own clocks start, and each daemon maps its wall epoch to virtual
+    /// zero independently. A cert stamped with the TA's (already running)
+    /// clock would sit in every peer's future and be rejected until their
+    /// clocks catch up — the simulator likewise enrolls everyone at zero.
+    pub fn handle_enroll(&mut self, long_term: u64, public_key: u64) -> Option<Envelope> {
+        let RoleDriver::Ta(s) = self else { return None };
+        let cert = s.node.authority_mut().authority_mut().enroll(
+            LongTermId(long_term),
+            PublicKey::from_raw(public_key),
+            Time::ZERO,
+            s.validity,
+            &mut s.rng,
+        );
+        let ta_key = s.node.authority().authority().public_key();
+        Some(Envelope::EnrollReply {
+            long_term,
+            cert,
+            ta_key: ta_key.raw(),
+        })
+    }
+
+    /// Writes incremental outputs when they changed: the RSU's verdict
+    /// journal and the TA's revocation journal. Cheap when nothing changed.
+    pub fn flush(&mut self, out_dir: &Path, node_id: u32) -> io::Result<()> {
+        match self {
+            RoleDriver::Rsu(s) => {
+                let events = s.node.events();
+                if events.len() == s.written {
+                    return Ok(());
+                }
+                let mut text = String::new();
+                for event in events {
+                    if let ChEvent::DetectionConcluded {
+                        suspect,
+                        outcome,
+                        packets,
+                    } = event
+                    {
+                        text.push_str(&outcome_line(*suspect, outcome, *packets));
+                    }
+                }
+                atomic_write(&out_dir.join(format!("node{node_id}.verdicts")), text.as_bytes())?;
+                s.written = events.len();
+                Ok(())
+            }
+            RoleDriver::Ta(s) => {
+                let events = s.node.events();
+                if events.len() == s.written {
+                    return Ok(());
+                }
+                let mut text = String::new();
+                for event in events {
+                    if let TaEvent::CertificateRevoked(p) = event {
+                        text.push_str(&format!("revoked={}\n", p.0));
+                    }
+                }
+                atomic_write(&out_dir.join(format!("node{node_id}.revoked")), text.as_bytes())?;
+                s.written = events.len();
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Writes end-of-run outputs: detection responses for vehicles, the
+    /// full address history for the attacker, and a forced journal rewrite
+    /// for the RSU/TA (so an empty journal still exists for pollers).
+    pub fn finish(&mut self, out_dir: &Path, node_id: u32) -> io::Result<()> {
+        match self {
+            RoleDriver::Vehicle(n) => {
+                let mut text = String::new();
+                for r in n.responses() {
+                    text.push_str(&outcome_line(r.suspect, &r.outcome, 0));
+                }
+                atomic_write(
+                    &out_dir.join(format!("node{node_id}.responses")),
+                    text.as_bytes(),
+                )
+            }
+            RoleDriver::Attacker(n) => {
+                let mut text = String::new();
+                for a in n.addr_history() {
+                    text.push_str(&format!("addr={}\n", a.0));
+                }
+                atomic_write(&out_dir.join(format!("node{node_id}.addrs")), text.as_bytes())
+            }
+            RoleDriver::Rsu(s) => {
+                // Mark dirty so `flush` rewrites unconditionally.
+                s.written = usize::MAX;
+                let mut text = String::new();
+                for event in s.node.events() {
+                    if let ChEvent::DetectionConcluded {
+                        suspect,
+                        outcome,
+                        packets,
+                    } = event
+                    {
+                        text.push_str(&outcome_line(*suspect, outcome, *packets));
+                    }
+                }
+                s.written = s.node.events().len();
+                atomic_write(&out_dir.join(format!("node{node_id}.verdicts")), text.as_bytes())
+            }
+            RoleDriver::Ta(s) => {
+                let mut text = String::new();
+                for event in s.node.events() {
+                    if let TaEvent::CertificateRevoked(p) = event {
+                        text.push_str(&format!("revoked={}\n", p.0));
+                    }
+                }
+                s.written = s.node.events().len();
+                atomic_write(&out_dir.join(format!("node{node_id}.revoked")), text.as_bytes())
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The daemon's socket event loop.
+//!
+//! Maps the simulator's effect vocabulary onto a real UDP socket: virtual
+//! time comes from a [`WallClock`] anchored at startup, timers live in a
+//! local heap and become socket read timeouts, and `Unicast`/`Wired`/
+//! `Broadcast` effects become datagrams to the configured peers. Every
+//! frame sent or received is journalled as a [`TraceEvent`] and written to
+//! `node<N>.trace` at shutdown with the PR-3 trace codec, so a testbed run
+//! leaves the same kind of evidence a simulator run does.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::io;
+use std::net::UdpSocket;
+use std::time::Duration as WallDuration;
+
+use blackdp_scenario::{atomic_write, encode_trace, Frame, Tick, TraceEvent};
+use blackdp_sim::{Channel, NodeEffect, NodeHarness, NodeId, Time, WallClock};
+
+use crate::config::{NodeConfig, Peer};
+use crate::net::{send_with_retry, Envelope, NetError, MAX_DATAGRAM};
+use crate::roles::RoleDriver;
+
+/// Marker for the `to` field of broadcast trace events.
+const BROADCAST_TO: u32 = u32::MAX;
+
+/// Shortest socket read timeout — below this we'd busy-spin syscalls.
+const MIN_WAIT: WallDuration = WallDuration::from_micros(200);
+/// Longest socket read timeout — an upper bound keeps the loop responsive
+/// to shutdown datagrams even with no timer armed.
+const MAX_WAIT: WallDuration = WallDuration::from_millis(50);
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Counters reported at shutdown.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunReport {
+    /// Datagrams sent (broadcast fan-out counted per peer).
+    pub sent: u64,
+    /// Protocol frames delivered to the node.
+    pub received: u64,
+    /// Datagrams that failed to decode.
+    pub decode_errors: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// Why the loop ended.
+    pub stopped: Stop,
+}
+
+/// How a daemon run ended.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// The configured virtual duration elapsed.
+    #[default]
+    EndOfRun,
+    /// The node despawned itself.
+    Despawned,
+    /// A shutdown datagram arrived.
+    Shutdown,
+}
+
+/// Runs the daemon event loop to completion. Returns the run report.
+pub fn run(cfg: &NodeConfig, mut driver: RoleDriver) -> io::Result<RunReport> {
+    let socket = UdpSocket::bind(cfg.listen)?;
+    let peers: HashMap<u32, Peer> = cfg.peers.iter().map(|p| (p.id, p.clone())).collect();
+    let self_id = NodeId::new(cfg.node_id);
+    let end = Time::from_secs(cfg.run_secs);
+
+    let mut harness = NodeHarness::new(cfg.node_seed ^ 0x5EED_5EED);
+    let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut cancelled: HashSet<u64> = HashSet::new();
+    let mut trace: Vec<TraceEvent> = Vec::new();
+    let mut report = RunReport::default();
+    let mut buf = vec![0u8; MAX_DATAGRAM];
+
+    // The clock anchors virtual zero at startup; everything before the
+    // first `now()` call happens "at" Time::ZERO.
+    let clock = WallClock::new(cfg.scale);
+
+    let (_, effects) =
+        harness.dispatch(Time::ZERO, self_id, |ctx| driver.as_node().on_start(ctx));
+    let mut despawned = apply(
+        &socket, &peers, cfg, &clock, &mut timers, &mut cancelled, &mut trace, &mut report,
+        effects,
+    );
+
+    while !despawned {
+        let now = clock.now();
+        if now >= end {
+            break;
+        }
+
+        // Fire every timer that is due.
+        while let Some(&Reverse((at, raw))) = timers.peek() {
+            if at > now.as_micros() {
+                break;
+            }
+            timers.pop();
+            if cancelled.remove(&raw) {
+                continue;
+            }
+            report.timers_fired += 1;
+            let fire_at = clock.now().max(Time::from_micros(at));
+            let effects = harness.fire(driver.as_node(), fire_at, self_id, Tick);
+            despawned |= apply(
+                &socket, &peers, cfg, &clock, &mut timers, &mut cancelled, &mut trace,
+                &mut report, effects,
+            );
+        }
+        if despawned {
+            report.stopped = Stop::Despawned;
+            break;
+        }
+
+        // Sleep (in wall time) until the next timer or the end of the run,
+        // waking early for any datagram.
+        let next_deadline = timers
+            .peek()
+            .map(|&Reverse((at, _))| Time::from_micros(at))
+            .unwrap_or(end)
+            .min(end);
+        let wait = clock.wall_until(next_deadline).clamp(MIN_WAIT, MAX_WAIT);
+        socket.set_read_timeout(Some(wait))?;
+
+        match socket.recv_from(&mut buf) {
+            Ok((n, src)) => match Envelope::decode(&buf[..n]) {
+                Ok(Envelope::Frame {
+                    from,
+                    channel,
+                    frame,
+                }) => {
+                    report.received += 1;
+                    trace.push(frame_event(&frame, clock.now(), from, cfg.node_id, channel));
+                    let effects = harness.deliver(
+                        driver.as_node(),
+                        clock.now(),
+                        self_id,
+                        NodeId::new(from),
+                        frame,
+                        channel,
+                    );
+                    despawned |= apply(
+                        &socket, &peers, cfg, &clock, &mut timers, &mut cancelled, &mut trace,
+                        &mut report, effects,
+                    );
+                    if despawned {
+                        report.stopped = Stop::Despawned;
+                    }
+                }
+                Ok(Envelope::EnrollRequest {
+                    long_term,
+                    public_key,
+                    ..
+                }) => {
+                    if let Some(reply) = driver.handle_enroll(long_term, public_key) {
+                        // Reply straight to the requester's socket — during
+                        // init the requester is not in the peer table yet.
+                        let _ = socket.send_to(&reply.encode(), src);
+                    }
+                }
+                Ok(Envelope::EnrollReply { .. }) => {
+                    // Only `init` consumes these; a stray one is ignored.
+                }
+                Ok(Envelope::Shutdown { .. }) => {
+                    report.stopped = Stop::Shutdown;
+                    break;
+                }
+                Err(NetError::BadWire(_)) | Err(_) => {
+                    report.decode_errors += 1;
+                }
+            },
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+
+        driver.flush(&cfg.out_dir, cfg.node_id)?;
+    }
+    if despawned {
+        report.stopped = Stop::Despawned;
+    }
+
+    driver.finish(&cfg.out_dir, cfg.node_id)?;
+    atomic_write(
+        &cfg.out_dir.join(format!("node{}.trace", cfg.node_id)),
+        &encode_trace(&trace),
+    )?;
+    Ok(report)
+}
+
+fn frame_event(frame: &Frame, now: Time, from: u32, to: u32, channel: Channel) -> TraceEvent {
+    TraceEvent {
+        at_micros: now.as_micros(),
+        from,
+        to,
+        channel: match channel {
+            Channel::Radio => 0,
+            Channel::Wired => 1,
+        },
+        src: frame.src.0,
+        dst: frame.dst.map(|d| d.0),
+        kind: frame.wire.kind().to_string(),
+        digest: fnv64(&frame.wire.encode()),
+    }
+}
+
+/// Sends one addressed frame to a peer, journalling it. The channel the
+/// receiver sees mirrors the effect kind, exactly as the simulator's
+/// delivery path does.
+#[allow(clippy::too_many_arguments)]
+fn send_unicast(
+    socket: &UdpSocket,
+    peers: &HashMap<u32, Peer>,
+    cfg: &NodeConfig,
+    clock: &WallClock,
+    trace: &mut Vec<TraceEvent>,
+    report: &mut RunReport,
+    to: NodeId,
+    payload: Frame,
+    channel: Channel,
+) {
+    let Some(peer) = peers.get(&to.index()) else {
+        return;
+    };
+    trace.push(frame_event(
+        &payload,
+        clock.now(),
+        cfg.node_id,
+        to.index(),
+        channel,
+    ));
+    let env = Envelope::Frame {
+        from: cfg.node_id,
+        channel,
+        frame: payload,
+    };
+    if send_with_retry(socket, &env.encode(), peer.addr).is_ok() {
+        report.sent += 1;
+    }
+}
+
+/// Executes one dispatch's effects. Returns `true` if the node despawned.
+#[allow(clippy::too_many_arguments)]
+fn apply(
+    socket: &UdpSocket,
+    peers: &HashMap<u32, Peer>,
+    cfg: &NodeConfig,
+    clock: &WallClock,
+    timers: &mut BinaryHeap<Reverse<(u64, u64)>>,
+    cancelled: &mut HashSet<u64>,
+    trace: &mut Vec<TraceEvent>,
+    report: &mut RunReport,
+    effects: Vec<NodeEffect<Frame, Tick>>,
+) -> bool {
+    let mut despawned = false;
+    for effect in effects {
+        match effect {
+            NodeEffect::Unicast { to, payload } => {
+                send_unicast(
+                    socket, peers, cfg, clock, trace, report, to, payload, Channel::Radio,
+                );
+            }
+            NodeEffect::Wired { to, payload } => {
+                send_unicast(
+                    socket, peers, cfg, clock, trace, report, to, payload, Channel::Wired,
+                );
+            }
+            NodeEffect::Broadcast { payload } => {
+                trace.push(frame_event(
+                    &payload,
+                    clock.now(),
+                    cfg.node_id,
+                    BROADCAST_TO,
+                    Channel::Radio,
+                ));
+                let env = Envelope::Frame {
+                    from: cfg.node_id,
+                    channel: Channel::Radio,
+                    frame: payload,
+                };
+                let bytes = env.encode();
+                for peer in peers.values().filter(|p| !p.wired) {
+                    if send_with_retry(socket, &bytes, peer.addr).is_ok() {
+                        report.sent += 1;
+                    }
+                }
+            }
+            NodeEffect::SetTimer { id, at, token: _ } => {
+                timers.push(Reverse((at.as_micros(), id.raw())));
+            }
+            NodeEffect::CancelTimer(id) => {
+                cancelled.insert(id.raw());
+            }
+            NodeEffect::Despawn => despawned = true,
+        }
+    }
+    despawned
+}

@@ -1,0 +1,237 @@
+//! Cross-validation between the live testbed and the simulator.
+//!
+//! The testbed and the simulator run *the same* scenario — same protocol
+//! configuration, same topology shape, same attacker — but under different
+//! schedulers (wall-clock UDP vs. discrete events) and different enrollment
+//! orders, so pseudonyms and packet timings differ between the two runs.
+//! What must NOT differ is the detection verdict: who got confirmed, how,
+//! and whether the TA isolated them. This module canonicalizes confirmed
+//! verdicts to the *role* level ([`CanonVerdict`]), renders both sides as
+//! synthetic trace events, and reuses the trace oracle's
+//! [`diff`](blackdp_scenario::diff_traces) to report the first divergence.
+
+use blackdp::DetectionOutcome;
+use blackdp_aodv::Addr;
+use blackdp_scenario::{
+    build_scenario, diff_traces, harvest, AttackSetup, Divergence, MaliciousNode, RsuNode,
+    ScenarioConfig, TraceEvent, TrialSpec,
+};
+use blackdp_attacks::EvasionPolicy;
+use blackdp_sim::{Duration, Time};
+
+/// The scenario both the testbed and its simulator twin run: one cluster
+/// spanning a 5 km highway segment, five honest vehicles plus one black-hole
+/// attacker, everyone inside radio range, source traffic addressed to a
+/// phantom destination only the attacker will claim a route to.
+///
+/// One cluster keeps the testbed at eight processes (TA + RSU + 6 vehicles)
+/// while still exercising the full detection ladder: forged RREP, failed
+/// Hello probes, d_req to the RSU, disposable-identity probes, revocation.
+pub fn testbed_scenario(seed: u64) -> (ScenarioConfig, TrialSpec) {
+    let cfg = ScenarioConfig {
+        vehicles: 6,
+        highway_length_m: 5_000.0,
+        highway_width_m: 200.0,
+        cluster_len_m: 5_000.0,
+        range_m: 5_000.0,
+        ta_regions: vec![(1, 1)],
+        sim_duration: Duration::from_secs(25),
+        data_packets: 5,
+        data_interval: Duration::from_millis(250),
+        ..ScenarioConfig::paper_table1()
+    };
+    let spec = TrialSpec {
+        seed,
+        attack: AttackSetup::Single { cluster: 1 },
+        evasion: EvasionPolicy::None,
+        source_cluster: 1,
+        dest_cluster: None,
+        attacker_moves: false,
+        attacker_fake_hello: false,
+    };
+    (cfg, spec)
+}
+
+/// A confirmed detection verdict, reduced to what both runs must agree on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CanonVerdict {
+    /// Whether the confirmed suspect is the staged attacker.
+    pub suspect_is_attacker: bool,
+    /// `false` = single, `true` = cooperative.
+    pub cooperative: bool,
+    /// For cooperative verdicts, whether the disclosed teammate is also an
+    /// attacker.
+    pub teammate_is_attacker: Option<bool>,
+}
+
+impl CanonVerdict {
+    /// Canonicalizes one concluded outcome; `None` for unconfirmed ones
+    /// (only confirmations must agree across runs — timing-dependent
+    /// `Unconfirmed`/`SuspectGone` episodes may differ).
+    pub fn from_outcome(
+        suspect: Addr,
+        outcome: &DetectionOutcome,
+        is_attacker: impl Fn(Addr) -> bool,
+    ) -> Option<CanonVerdict> {
+        match outcome {
+            DetectionOutcome::ConfirmedSingle => Some(CanonVerdict {
+                suspect_is_attacker: is_attacker(suspect),
+                cooperative: false,
+                teammate_is_attacker: None,
+            }),
+            DetectionOutcome::ConfirmedCooperative { teammate } => Some(CanonVerdict {
+                suspect_is_attacker: is_attacker(suspect),
+                cooperative: true,
+                teammate_is_attacker: Some(is_attacker(*teammate)),
+            }),
+            DetectionOutcome::Unconfirmed | DetectionOutcome::SuspectGone => None,
+        }
+    }
+}
+
+/// Renders canonical verdicts as synthetic trace events so the PR-3 trace
+/// oracle diffs them: verdicts are sorted and deduplicated first, so event
+/// position encodes nothing schedule-dependent.
+pub fn canon_events(verdicts: &[CanonVerdict]) -> Vec<TraceEvent> {
+    let mut sorted: Vec<CanonVerdict> = verdicts.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| TraceEvent {
+            at_micros: i as u64,
+            from: 0,
+            to: 0,
+            channel: 0,
+            src: u64::from(v.suspect_is_attacker),
+            dst: v.teammate_is_attacker.map(u64::from),
+            kind: if v.cooperative {
+                "verdict-cooperative".to_string()
+            } else {
+                "verdict-single".to_string()
+            },
+            digest: 0,
+        })
+        .collect()
+}
+
+/// What one run (testbed or simulator) concluded.
+#[derive(Debug, Clone)]
+pub struct RunVerdicts {
+    /// Canonical confirmed verdicts.
+    pub verdicts: Vec<CanonVerdict>,
+    /// Whether the TA revoked an attacker certificate.
+    pub attacker_revoked: bool,
+}
+
+impl RunVerdicts {
+    /// Whether the staged attacker was confirmed at least once.
+    pub fn attacker_confirmed(&self) -> bool {
+        self.verdicts.iter().any(|v| v.suspect_is_attacker)
+    }
+}
+
+/// Runs the simulator twin of the testbed scenario and harvests its
+/// canonical verdicts.
+pub fn sim_verdicts(cfg: &ScenarioConfig, spec: &TrialSpec) -> RunVerdicts {
+    let mut built = build_scenario(cfg, spec);
+    built.world.run_until(Time::ZERO + cfg.sim_duration);
+
+    let mut attacker_addrs: Vec<Addr> = Vec::new();
+    for &a in &built.attackers {
+        if let Some(node) = built.world.get::<MaliciousNode>(a) {
+            attacker_addrs.extend_from_slice(node.addr_history());
+        }
+    }
+    let is_attacker = |addr: Addr| attacker_addrs.contains(&addr);
+
+    let mut verdicts = Vec::new();
+    for &r in &built.rsus {
+        if let Some(rsu) = built.world.get::<RsuNode>(r) {
+            for event in rsu.events() {
+                if let blackdp::ChEvent::DetectionConcluded {
+                    suspect, outcome, ..
+                } = event
+                {
+                    if let Some(v) = CanonVerdict::from_outcome(*suspect, outcome, is_attacker) {
+                        verdicts.push(v);
+                    }
+                }
+            }
+        }
+    }
+    let outcome = harvest(cfg, spec, &built);
+    RunVerdicts {
+        verdicts,
+        attacker_revoked: outcome.attacker_revoked,
+    }
+}
+
+/// Decodes a trace journal written by the daemon runtime (thin re-export
+/// for the testbed's `dump` debug command).
+pub fn decode_trace_bytes(
+    bytes: &[u8],
+) -> Result<Vec<TraceEvent>, blackdp_scenario::TraceError> {
+    blackdp_scenario::decode_trace(bytes)
+}
+
+/// Compares two runs' canonical verdicts through the trace oracle.
+/// `None` means equivalent; `Some` pinpoints the first divergence.
+pub fn compare(expected: &RunVerdicts, actual: &RunVerdicts) -> Option<Divergence> {
+    diff_traces(&canon_events(&expected.verdicts), &canon_events(&actual.verdicts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The default seed the testbed pins must produce a confirmed, revoked
+    /// attacker in the simulator twin — otherwise the smoke gate's
+    /// equivalence check would be comparing two empty verdict sets.
+    #[test]
+    fn sim_twin_detects_attacker_on_default_seed() {
+        let (cfg, spec) = testbed_scenario(42);
+        let run = sim_verdicts(&cfg, &spec);
+        assert!(
+            run.attacker_confirmed(),
+            "sim twin failed to confirm the attacker: {:?}",
+            run.verdicts
+        );
+        assert!(run.attacker_revoked, "sim twin failed to revoke");
+        assert!(
+            !run.verdicts.iter().any(|v| !v.suspect_is_attacker),
+            "sim twin confirmed an honest vehicle: {:?}",
+            run.verdicts
+        );
+    }
+
+    #[test]
+    fn canonical_events_are_order_insensitive() {
+        let a = CanonVerdict {
+            suspect_is_attacker: true,
+            cooperative: false,
+            teammate_is_attacker: None,
+        };
+        let b = CanonVerdict {
+            suspect_is_attacker: false,
+            cooperative: true,
+            teammate_is_attacker: Some(true),
+        };
+        let forward = RunVerdicts {
+            verdicts: vec![a, b],
+            attacker_revoked: true,
+        };
+        let reversed = RunVerdicts {
+            verdicts: vec![b, a, a],
+            attacker_revoked: true,
+        };
+        assert!(compare(&forward, &reversed).is_none());
+
+        let missing = RunVerdicts {
+            verdicts: vec![b],
+            attacker_revoked: true,
+        };
+        assert!(compare(&forward, &missing).is_some());
+    }
+}

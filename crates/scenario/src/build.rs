@@ -25,10 +25,14 @@ use crate::vehicle::{TrafficIntent, VehicleConfig, VehicleNode};
 
 use crate::config::ch_addr;
 
-/// Base address for trusted-authority backbone endpoints.
-const TA_ADDR_BASE: u64 = 0x6000_0000_0000_0000;
-/// The fabricated destination used when the trial has no real one.
-const PHANTOM_DEST: u64 = 0x5FFF_FFFF_FFFF_FFFF;
+/// Base address for trusted-authority backbone endpoints. Public so the
+/// `blackdpd` daemon assigns its TA the same protocol address the simulator
+/// would, keeping testbed and simulator runs directly comparable.
+pub const TA_ADDR_BASE: u64 = 0x6000_0000_0000_0000;
+/// The fabricated destination used when the trial has no real one. Public
+/// for the same reason: a testbed source node asks for this address so only
+/// a black hole ever answers the discovery.
+pub const PHANTOM_DEST: u64 = 0x5FFF_FFFF_FFFF_FFFF;
 
 /// A fully constructed world plus the handles needed to measure it.
 pub struct BuiltScenario {

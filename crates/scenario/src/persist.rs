@@ -11,15 +11,23 @@
 use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone per-process counter folded into temp names so two writers inside
+/// the *same* process (orchestrator threads, work-stealing twins, daemon
+/// progress writers) never share a temp file.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
 /// `fsync`, rename, best-effort directory sync.
 ///
 /// Parent directories are created if missing. The temp file name is derived
-/// from the destination plus a `.tmp.<pid>` suffix so concurrent writers of
-/// *different* destinations never collide; concurrent writers of the *same*
-/// destination (work-stealing duplicates) race only at the rename, which is
-/// atomic, and both sides write identical bytes by construction.
+/// from the destination plus a `.tmp.<pid>.<seq>` suffix — pid separates
+/// processes, the per-process counter separates concurrent writers within one
+/// process (a pid-only suffix let same-process writers of the same artifact
+/// truncate each other's temp file mid-write). Writers of the same
+/// destination then race only at the rename, which is atomic. The temp file
+/// is removed on every error path.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let dir = match path.parent() {
         Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
@@ -30,7 +38,11 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
         .file_name()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
     let mut tmp_name = file_name.to_os_string();
-    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    tmp_name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let tmp = dir.join(tmp_name);
 
     let result = (|| {
@@ -85,6 +97,47 @@ mod tests {
         let dir = tmp_dir("dirdest");
         fs::create_dir_all(&dir).unwrap();
         assert!(atomic_write(&dir, b"x").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_same_destination_writers_never_tear() {
+        // Regression: with a pid-only temp suffix, same-process writers of
+        // one destination shared a temp file — one writer's File::create
+        // truncated the other's half-written bytes, and the loser's rename
+        // could publish a torn file. Unique per-writer temp names make every
+        // interleaving publish some writer's complete payload.
+        let dir = tmp_dir("race");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.bin");
+        let payload = |tag: u8| vec![tag; 64 * 1024];
+
+        let mut handles = Vec::new();
+        for tag in 0u8..8 {
+            let path = path.clone();
+            let bytes = payload(tag);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    atomic_write(&path, &bytes).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let observed = fs::read(&path).unwrap();
+        assert_eq!(observed.len(), 64 * 1024, "file must never be torn");
+        assert!(
+            observed.windows(2).all(|w| w[0] == w[1]),
+            "file must be exactly one writer's payload, not an interleaving"
+        );
+        // Every temp file was cleaned up (renamed away or removed on error).
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("shared.bin")]);
         let _ = fs::remove_dir_all(&dir);
     }
 }

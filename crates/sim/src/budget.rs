@@ -21,19 +21,58 @@
 
 /// Maximum worker threads any parallel subsystem may use.
 ///
-/// Reads `BLACKDP_THREADS` (values below 1 are ignored), falling back to the
-/// host's available parallelism. Never returns 0.
+/// Reads `BLACKDP_THREADS`, falling back to the host's available parallelism.
+/// A malformed or `0`-valued variable is still ignored, but now prints a
+/// one-time warning to stderr: before, a deployment typo (`BLACKDP_THREADS=al`
+/// or `=0`) silently became an all-cores grab. Never returns 0.
 pub fn thread_budget() -> usize {
-    if let Ok(raw) = std::env::var("BLACKDP_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("BLACKDP_THREADS") {
+        Ok(raw) => {
+            let (budget, warning) = parse_budget(&raw, fallback);
+            if let Some(msg) = warning {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| eprintln!("{msg}"));
             }
+            budget
+        }
+        Err(_) => fallback(),
+    }
+}
+
+/// Parses a raw `BLACKDP_THREADS` value. Returns the budget plus a warning
+/// message when the value was malformed or below 1 and the fallback was used.
+///
+/// Split out of [`thread_budget`] so tests can cover the warning path without
+/// racing on process-global environment state or capturing stderr.
+fn parse_budget(raw: &str, fallback: impl FnOnce() -> usize) -> (usize, Option<String>) {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => (n, None),
+        Ok(_) => {
+            let budget = fallback();
+            (
+                budget,
+                Some(format!(
+                    "warning: BLACKDP_THREADS=0 is not a valid thread budget; \
+                     ignoring it and using {budget} thread(s)"
+                )),
+            )
+        }
+        Err(_) => {
+            let budget = fallback();
+            (
+                budget,
+                Some(format!(
+                    "warning: BLACKDP_THREADS={raw:?} is not an integer >= 1; \
+                     ignoring it and using {budget} thread(s)"
+                )),
+            )
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -45,5 +84,34 @@ mod tests {
         // Whatever the environment says, the budget must be usable as a
         // worker count.
         assert!(thread_budget() >= 1);
+    }
+
+    #[test]
+    fn valid_values_pass_through_without_warning() {
+        assert_eq!(parse_budget("4", || 99), (4, None));
+        assert_eq!(parse_budget("  1 ", || 99), (1, None));
+    }
+
+    #[test]
+    fn malformed_values_warn_and_fall_back() {
+        // Regression: these used to be swallowed silently, so a deployment
+        // typo became an invisible all-cores grab.
+        let (budget, warning) = parse_budget("all-of-them", || 6);
+        assert_eq!(budget, 6);
+        let msg = warning.expect("malformed value must produce a warning");
+        assert!(msg.contains("all-of-them"), "warning names the bad value: {msg}");
+        assert!(msg.contains('6'), "warning names the fallback: {msg}");
+
+        let (budget, warning) = parse_budget("-3", || 2);
+        assert_eq!(budget, 2);
+        assert!(warning.is_some());
+    }
+
+    #[test]
+    fn zero_warns_and_falls_back() {
+        let (budget, warning) = parse_budget("0", || 8);
+        assert_eq!(budget, 8);
+        let msg = warning.expect("zero must produce a warning");
+        assert!(msg.contains("BLACKDP_THREADS=0"), "{msg}");
     }
 }

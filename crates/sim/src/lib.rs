@@ -64,6 +64,7 @@ mod budget;
 mod event;
 mod fault;
 mod grid;
+mod harness;
 mod id;
 mod node;
 mod oracle;
@@ -71,10 +72,12 @@ mod position;
 mod shard;
 mod stats;
 mod time;
+mod wallclock;
 mod world;
 
 pub use budget::thread_budget;
 pub use event::{Channel, TimerId};
+pub use harness::{NodeEffect, NodeHarness};
 pub use fault::{CrashFault, FaultPlan, FaultWindow, RadioBurst, TamperBurst, WiredOutage};
 pub use id::NodeId;
 pub use node::{Context, Node};
@@ -83,6 +86,7 @@ pub use position::Position;
 pub use shard::ShardDiagnostics;
 pub use stats::Stats;
 pub use time::{Duration, Time};
+pub use wallclock::WallClock;
 pub use world::{
     BoundaryTap, EngineStamp, NeighborIndex, RadioModel, Tap, TamperHook, World, WorldBackend,
     WorldConfig,

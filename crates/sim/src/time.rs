@@ -32,14 +32,18 @@ impl Time {
         Time(micros)
     }
 
-    /// Creates a time from whole milliseconds.
+    /// Creates a time from whole milliseconds, saturating at [`Time::MAX`].
+    ///
+    /// Saturating (rather than wrapping in release builds) matters now that
+    /// `Time` is constructed from untrusted daemon config values and
+    /// wall-clock deltas, where `u64::MAX`-ish inputs are reachable.
     pub const fn from_millis(millis: u64) -> Self {
-        Time(millis * 1_000)
+        Time(millis.saturating_mul(1_000))
     }
 
-    /// Creates a time from whole seconds.
+    /// Creates a time from whole seconds, saturating at [`Time::MAX`].
     pub const fn from_secs(secs: u64) -> Self {
-        Time(secs * 1_000_000)
+        Time(secs.saturating_mul(1_000_000))
     }
 
     /// Returns the raw microsecond count.
@@ -126,14 +130,16 @@ impl Duration {
         Duration(micros)
     }
 
-    /// Creates a duration from whole milliseconds.
+    /// Creates a duration from whole milliseconds, saturating at the maximum
+    /// representable span.
     pub const fn from_millis(millis: u64) -> Self {
-        Duration(millis * 1_000)
+        Duration(millis.saturating_mul(1_000))
     }
 
-    /// Creates a duration from whole seconds.
+    /// Creates a duration from whole seconds, saturating at the maximum
+    /// representable span.
     pub const fn from_secs(secs: u64) -> Self {
-        Duration(secs * 1_000_000)
+        Duration(secs.saturating_mul(1_000_000))
     }
 
     /// Creates a duration from fractional seconds, rounding to the nearest
@@ -162,11 +168,7 @@ impl Duration {
         self.0 as f64 / 1e6
     }
 
-    /// Multiplies the duration by an integer factor.
-    ///
-    /// # Panics
-    ///
-    /// Panics on overflow.
+    /// Multiplies the duration by an integer factor, saturating on overflow.
     pub fn saturating_mul(self, factor: u64) -> Duration {
         Duration(self.0.saturating_mul(factor))
     }
@@ -246,6 +248,25 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn from_secs_f64_rejects_negative() {
         let _ = Duration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn constructors_saturate_instead_of_wrapping() {
+        // Regression: these used to be plain multiplications that wrapped
+        // silently in release builds (Time::from_secs(u64::MAX) came out as
+        // a small bogus instant).
+        assert_eq!(Time::from_secs(u64::MAX), Time::MAX);
+        assert_eq!(Time::from_millis(u64::MAX), Time::MAX);
+        assert_eq!(Time::from_secs(u64::MAX / 2), Time::MAX);
+        assert_eq!(
+            Duration::from_secs(u64::MAX).as_micros(),
+            u64::MAX,
+            "duration seconds saturate"
+        );
+        assert_eq!(Duration::from_millis(u64::MAX).as_micros(), u64::MAX);
+        // In-range values are unaffected.
+        assert_eq!(Time::from_secs(17).as_micros(), 17_000_000);
+        assert_eq!(Duration::from_millis(17).as_micros(), 17_000);
     }
 
     #[test]

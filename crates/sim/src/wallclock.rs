@@ -1,0 +1,114 @@
+//! Mapping wall-clock time onto virtual [`Time`].
+//!
+//! The simulator advances `Time` by popping events; a live daemon instead
+//! anchors `Time` to a wall-clock epoch: virtual time is the elapsed wall
+//! time since the epoch, scaled by an integer factor so a testbed can
+//! compress (scale > 1) a multi-minute highway scenario into seconds of real
+//! time. All conversions saturate — a hostile or absurd scale can stall the
+//! virtual clock at [`Time::MAX`] but can never wrap it backwards.
+
+use std::time::Instant;
+
+use crate::time::Time;
+
+/// A wall-clock anchor translating real elapsed time to virtual [`Time`]
+/// and virtual deadlines back to socket-timeout durations.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+    scale: u64,
+}
+
+impl WallClock {
+    /// Anchors virtual `Time::ZERO` at the current instant. One wall
+    /// microsecond advances virtual time by `scale` microseconds; a scale of
+    /// 0 is clamped to 1 (real time).
+    pub fn new(scale: u64) -> Self {
+        WallClock {
+            epoch: Instant::now(),
+            scale: scale.max(1),
+        }
+    }
+
+    /// The scale factor in effect.
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.at(self.epoch.elapsed())
+    }
+
+    /// The virtual time after `elapsed` of wall time — the pure core of
+    /// [`WallClock::now`], split out so tests control the clock.
+    pub fn at(&self, elapsed: std::time::Duration) -> Time {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        Time::from_micros(micros.saturating_mul(self.scale))
+    }
+
+    /// How long to wait on the wall clock until virtual `deadline` — the
+    /// socket read timeout for an event loop sleeping until its next timer.
+    /// Returns [`std::time::Duration::ZERO`] when the deadline has passed.
+    pub fn wall_until(&self, deadline: Time) -> std::time::Duration {
+        self.wall_between(self.now(), deadline)
+    }
+
+    /// Wall time from virtual `now` to virtual `deadline` (zero if not in
+    /// the future) — the testable core of [`WallClock::wall_until`].
+    pub fn wall_between(&self, now: Time, deadline: Time) -> std::time::Duration {
+        let virtual_gap = deadline.saturating_since(now).as_micros();
+        // Round up so we never wake before the deadline and busy-spin.
+        let wall_micros = virtual_gap.div_ceil(self.scale);
+        std::time::Duration::from_micros(wall_micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_elapsed_wall_time() {
+        let clock = WallClock::new(10);
+        let t = clock.at(std::time::Duration::from_millis(250));
+        assert_eq!(t, Time::from_millis(2_500));
+    }
+
+    #[test]
+    fn scale_zero_is_clamped_to_real_time() {
+        let clock = WallClock::new(0);
+        assert_eq!(clock.scale(), 1);
+        let t = clock.at(std::time::Duration::from_secs(3));
+        assert_eq!(t, Time::from_secs(3));
+    }
+
+    #[test]
+    fn absurd_scale_saturates_instead_of_wrapping() {
+        let clock = WallClock::new(u64::MAX);
+        let t = clock.at(std::time::Duration::from_secs(10));
+        assert_eq!(t, Time::MAX);
+    }
+
+    #[test]
+    fn wall_between_divides_and_rounds_up() {
+        let clock = WallClock::new(10);
+        // 1500 virtual micros at 10x -> 150 wall micros.
+        let d = clock.wall_between(Time::ZERO, Time::from_micros(1_500));
+        assert_eq!(d, std::time::Duration::from_micros(150));
+        // 1501 rounds up rather than waking 1 micro early.
+        let d = clock.wall_between(Time::ZERO, Time::from_micros(1_501));
+        assert_eq!(d, std::time::Duration::from_micros(151));
+        // Past deadlines produce a zero wait.
+        let d = clock.wall_between(Time::from_secs(5), Time::from_secs(1));
+        assert_eq!(d, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn now_is_monotone() {
+        let clock = WallClock::new(100);
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+}
