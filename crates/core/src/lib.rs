@@ -105,7 +105,8 @@ pub use config::BlackDpConfig;
 pub use rsu::{ChAction, ChEvent, ClusterHead};
 pub use table::{VerEntry, VerStatus, VerificationTable};
 pub use verifier::{
-    BoundaryAuditStats, BoundaryAuditor, SourceVerifier, VerifierAction, VerifyQueue,
+    envelope_memo_clear, BoundaryAuditStats, BoundaryAuditor, SourceVerifier, VerifierAction,
+    VerifyQueue,
 };
 pub use wire::{
     addr_of, AuthError, BlackDpMessage, DReq, DetectionHandoff, DetectionOutcome,

@@ -45,8 +45,89 @@ struct VerifyJob {
     /// The validity-window verdict, evaluated eagerly (it depends on the
     /// enqueue-time `now`, which must not drift to the flush).
     window: Option<CertError>,
-    /// Index of the body signature in the batch.
+    /// Index of the body signature in the batch. Unused (left at
+    /// `u32::MAX`) when `memo` or `alias_of` resolved the job without
+    /// batch work.
     body_slot: u32,
+    /// Pre-resolved `(cert_ok, body_ok)` from the process-global envelope
+    /// memo: this exact envelope's signature math already ran once, so
+    /// the flush reuses the verdict without touching the batch.
+    memo: Option<(bool, bool)>,
+    /// Store this job's raw verdict under the given envelope digest after
+    /// the flush proves it.
+    store: Option<u128>,
+    /// Copy the raw verdict of an earlier job in the same batch carrying
+    /// a byte-identical envelope (the broadcast case: every receiver in a
+    /// window sees the same sealed beacon).
+    alias_of: Option<u32>,
+}
+
+/// Bound on each shard of the process-global envelope memo. When an
+/// insert would grow a shard past this, that shard is cleared — crude,
+/// but O(1) amortized, allocation-stable, and the memo is a pure cache:
+/// losing it costs speed, never correctness.
+const ENVELOPE_MEMO_SHARD_CAP: usize = 8_192;
+
+/// Shard count for the envelope memo. Power of two so shard selection is
+/// a mask; sized so eight windowed-executor worker threads rarely
+/// collide on one lock (the digest is fnv output, so its low bits spread
+/// uniformly).
+const ENVELOPE_MEMO_SHARDS: usize = 16;
+
+type MemoShard = std::sync::Mutex<HashMap<u128, (bool, bool), blackdp_crypto::DigestHasherBuilder>>;
+
+/// The process-global envelope-verdict memo: envelope digest →
+/// `(cert_ok, body_ok)`, sharded by digest low bits.
+///
+/// Unlike the per-thread certificate cache this is deliberately global:
+/// a broadcast beacon is verified once per *receiver*, and with the
+/// windowed executor those receivers' handlers run on different worker
+/// threads. Signature validity is a pure function of the envelope bytes,
+/// so sharing verdicts across threads cannot perturb any result — the
+/// validity *window* (time-dependent) is always evaluated fresh and is
+/// never memoized. Sharding exists purely so parallel window lanes
+/// contend on different locks: a single-mutex memo measurably *lost*
+/// throughput at eight lanes.
+fn envelope_memo() -> &'static [MemoShard; ENVELOPE_MEMO_SHARDS] {
+    static MEMO: std::sync::OnceLock<[MemoShard; ENVELOPE_MEMO_SHARDS]> =
+        std::sync::OnceLock::new();
+    MEMO.get_or_init(|| std::array::from_fn(|_| std::sync::Mutex::new(HashMap::default())))
+}
+
+/// Locks one digest's shard, tolerating poisoning: the map holds plain
+/// bools, so a panicking holder cannot leave it logically inconsistent.
+fn envelope_memo_lock(
+    digest: u128,
+) -> std::sync::MutexGuard<'static, HashMap<u128, (bool, bool), blackdp_crypto::DigestHasherBuilder>>
+{
+    envelope_memo()[digest as usize & (ENVELOPE_MEMO_SHARDS - 1)]
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn envelope_memo_lookup(digest: u128) -> Option<(bool, bool)> {
+    envelope_memo_lock(digest).get(&digest).copied()
+}
+
+fn envelope_memo_store(digest: u128, verdict: (bool, bool)) {
+    let mut memo = envelope_memo_lock(digest);
+    if memo.len() >= ENVELOPE_MEMO_SHARD_CAP && !memo.contains_key(&digest) {
+        memo.clear();
+    }
+    memo.insert(digest, verdict);
+}
+
+/// Empties the process-global envelope memo. Benchmarks and differential
+/// tests use this to measure cold-path costs and to keep verdict reuse
+/// from leaking between cases.
+#[doc(hidden)]
+pub fn envelope_memo_clear() {
+    for shard in envelope_memo() {
+        shard
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clear();
+    }
 }
 
 /// Deferred, batch-backed verification of [`Sealed`] envelopes.
@@ -67,6 +148,15 @@ struct VerifyJob {
 /// enqueue time, so routing verification through a queue instead of
 /// calling [`Sealed::verify`] inline cannot perturb a simulation.
 ///
+/// Dedup: byte-identical envelopes (one broadcast beacon, many
+/// receivers) are proven once. Within a batch, later copies alias the
+/// first job's verdict; across flushes — and across threads — a
+/// process-global memo keyed by an FNV-128 envelope digest replays the
+/// signature verdicts without re-running any math. Signature validity is
+/// a pure function of the envelope bytes, so neither layer can change a
+/// verdict; the time-dependent validity window is always re-evaluated at
+/// the caller's `now` and never memoized.
+///
 /// All buffers (the batch arena and scratch, the job and result lists)
 /// are retained across flushes: steady-state use is allocation-free
 /// once warm.
@@ -76,6 +166,17 @@ pub struct VerifyQueue {
     jobs: Vec<VerifyJob>,
     results: Vec<Result<(), AuthError>>,
     scratch: Vec<u8>,
+    /// Second scratch for certificate bodies, so the envelope bytes in
+    /// `scratch` survive from digesting to the body-signature push.
+    cert_scratch: Vec<u8>,
+    /// Envelope digest → index of the first job in the current batch
+    /// carrying it; later byte-identical enqueues alias to that job
+    /// instead of pushing duplicate signature work.
+    pending_digests: HashMap<u128, u32, blackdp_crypto::DigestHasherBuilder>,
+    /// Raw `(cert_ok, body_ok)` per job, resolved in enqueue order during
+    /// the flush so alias jobs can copy their primary's verdict. Retained
+    /// across flushes to stay allocation-free when warm.
+    verdicts: Vec<(bool, bool)>,
 }
 
 impl VerifyQueue {
@@ -93,35 +194,77 @@ impl VerifyQueue {
         ta_key: PublicKey,
         now: Time,
     ) -> usize {
+        // Validity window: time-dependent, so decided here, not at flush
+        // — and never memoized, for the same reason.
+        let window = sealed.cert.check_window(now).err();
+        let (env_digest, body_len) = self.env_digest_of(sealed, ta_key);
+        let index = self.jobs.len();
+        // Same envelope already queued in this batch (a broadcast seen by
+        // many receivers): alias to the first copy's verdict.
+        if let Some(&primary) = self.pending_digests.get(&env_digest) {
+            self.jobs.push(VerifyJob {
+                cert_slot: None,
+                cert_cached: None,
+                window,
+                body_slot: u32::MAX,
+                memo: None,
+                store: None,
+                alias_of: Some(primary),
+            });
+            return index;
+        }
+        // Same envelope already proven by an earlier flush anywhere in
+        // the process: reuse the memoized verdict.
+        if let Some(verdict) = envelope_memo_lookup(env_digest) {
+            self.jobs.push(VerifyJob {
+                cert_slot: None,
+                cert_cached: None,
+                window,
+                body_slot: u32::MAX,
+                memo: Some(verdict),
+                store: None,
+                alias_of: None,
+            });
+            return index;
+        }
         // Certificate signature: consult the memo cache now; only a miss
-        // costs batch work.
+        // costs batch work. The per-thread cache key is computed lazily,
+        // here on the memo-miss path only — alias and memo hits above
+        // never pay for it.
         let digest = sealed.cert.cache_digest(ta_key);
         let cert_cached = blackdp_crypto::lookup_signature(digest);
         let cert_slot = if cert_cached.is_none() {
             let slot = u32::try_from(self.batch.len()).expect("batch < 4G items");
-            self.scratch.clear();
-            sealed.cert.write_body(&mut self.scratch);
+            // `scratch` still holds the envelope bytes needed for the
+            // body push below; the cert body uses its own buffer.
+            self.cert_scratch.clear();
+            sealed.cert.write_body(&mut self.cert_scratch);
             self.batch
-                .push(&self.scratch, sealed.cert.signature, ta_key);
+                .push(&self.cert_scratch, sealed.cert.signature, ta_key);
             Some((slot, digest))
         } else {
             None
         };
-        // Validity window: time-dependent, so decided here, not at flush.
-        let window = sealed.cert.check_window(now).err();
-        // Body signature under the certificate's key.
+        // Body signature under the certificate's key. The signed message
+        // is the `body_len` prefix of `scratch` — the digest pass above
+        // appended cert identity after it.
         let body_slot = u32::try_from(self.batch.len()).expect("batch < 4G items");
-        self.scratch.clear();
-        sealed.full_bytes_into(&mut self.scratch);
-        self.batch
-            .push(&self.scratch, sealed.signature, sealed.cert.public_key);
+        self.batch.push(
+            &self.scratch[..body_len],
+            sealed.signature,
+            sealed.cert.public_key,
+        );
+        self.pending_digests.insert(env_digest, index as u32);
         self.jobs.push(VerifyJob {
             cert_slot,
             cert_cached,
             window,
             body_slot,
+            memo: None,
+            store: Some(env_digest),
+            alias_of: None,
         });
-        self.jobs.len() - 1
+        index
     }
 
     /// Number of envelopes queued since the last flush.
@@ -140,35 +283,83 @@ impl VerifyQueue {
     pub fn flush(&mut self) -> &[Result<(), AuthError>] {
         let outcome = self.batch.verify_all();
         self.results.clear();
+        self.verdicts.clear();
         for job in self.jobs.drain(..) {
-            let cert_ok = match (job.cert_cached, job.cert_slot) {
-                (Some(valid), _) => valid,
-                (None, Some((slot, digest))) => {
-                    let valid = outcome.is_valid(slot as usize);
-                    blackdp_crypto::store_signature(digest, valid);
-                    valid
-                }
-                (None, None) => unreachable!("cache miss queues a cert slot"),
+            // Raw signature verdicts first: memo hit, alias of an earlier
+            // job in this batch, or real batch slots.
+            let (cert_ok, body_ok) = if let Some(verdict) = job.memo {
+                verdict
+            } else if let Some(primary) = job.alias_of {
+                self.verdicts[primary as usize]
+            } else {
+                let cert_ok = match (job.cert_cached, job.cert_slot) {
+                    (Some(valid), _) => valid,
+                    (None, Some((slot, digest))) => {
+                        let valid = outcome.is_valid(slot as usize);
+                        blackdp_crypto::store_signature(digest, valid);
+                        valid
+                    }
+                    (None, None) => unreachable!("cache miss queues a cert slot"),
+                };
+                (cert_ok, outcome.is_valid(job.body_slot as usize))
             };
+            if let Some(env_digest) = job.store {
+                envelope_memo_store(env_digest, (cert_ok, body_ok));
+            }
+            self.verdicts.push((cert_ok, body_ok));
             // Same precedence as `Sealed::verify`: certificate signature,
             // then validity window, then body signature.
             self.results.push(if !cert_ok {
                 Err(AuthError::Cert(CertError::BadSignature))
             } else if let Some(w) = job.window {
                 Err(AuthError::Cert(w))
-            } else if !outcome.is_valid(job.body_slot as usize) {
+            } else if !body_ok {
                 Err(AuthError::BadSignature)
             } else {
                 Ok(())
             });
         }
+        self.pending_digests.clear();
         &self.results
+    }
+
+    /// Serializes the full envelope identity into `scratch` and digests
+    /// it in one hash pass: the signed body bytes first — so the
+    /// `body_len` prefix of `scratch` is exactly the batch message —
+    /// then the body signature scalars, the certificate body, the
+    /// certificate signature scalars, and the TA key. Everything the
+    /// signature math depends on, one buffer, no allocation when warm:
+    /// on the memo-hit path this digest IS the cost of a verification.
+    fn env_digest_of<T: SignBytes>(
+        &mut self,
+        sealed: &Sealed<T>,
+        ta_key: PublicKey,
+    ) -> (u128, usize) {
+        self.scratch.clear();
+        sealed.full_bytes_into(&mut self.scratch);
+        let body_len = self.scratch.len();
+        self.scratch
+            .extend_from_slice(&sealed.signature.e.to_be_bytes());
+        self.scratch
+            .extend_from_slice(&sealed.signature.s.to_be_bytes());
+        sealed.cert.write_body(&mut self.scratch);
+        self.scratch
+            .extend_from_slice(&sealed.cert.signature.e.to_be_bytes());
+        self.scratch
+            .extend_from_slice(&sealed.cert.signature.s.to_be_bytes());
+        self.scratch
+            .extend_from_slice(&ta_key.raw().to_be_bytes());
+        (blackdp_crypto::fast_hash_128(&[&self.scratch]), body_len)
     }
 
     /// Verifies a single envelope through the queue: enqueue plus flush.
     /// Below the batch's lane threshold this runs the exact scalar
     /// verifications [`Sealed::verify`] would, minus its per-call
-    /// allocations.
+    /// allocations. An envelope already proven anywhere in the process
+    /// short-circuits on the memo alone — digest, shard lookup, verdict —
+    /// skipping the whole job/flush machinery; the windowed executor's
+    /// handlers lean on this after the window prefetcher has batch-proven
+    /// the window's envelopes.
     pub fn verify_one<T: SignBytes>(
         &mut self,
         sealed: &Sealed<T>,
@@ -176,6 +367,21 @@ impl VerifyQueue {
         now: Time,
     ) -> Result<(), AuthError> {
         debug_assert!(self.is_empty(), "verify_one on a non-empty queue");
+        let (env_digest, _) = self.env_digest_of(sealed, ta_key);
+        if let Some((cert_ok, body_ok)) = envelope_memo_lookup(env_digest) {
+            // Same precedence as `Sealed::verify` and `flush`: cert
+            // signature, then validity window (always live, never
+            // memoized), then body signature.
+            return if !cert_ok {
+                Err(AuthError::Cert(CertError::BadSignature))
+            } else if let Err(w) = sealed.cert.check_window(now) {
+                Err(AuthError::Cert(w))
+            } else if !body_ok {
+                Err(AuthError::BadSignature)
+            } else {
+                Ok(())
+            };
+        }
         self.enqueue(sealed, ta_key, now);
         self.flush()[0]
     }
@@ -1104,25 +1310,35 @@ mod tests {
         zoo
     }
 
+    /// Clears every process- or thread-global verification cache: the
+    /// per-thread certificate cache and the global envelope memo. The
+    /// fixture is deterministic, so byte-identical envelopes recur across
+    /// tests — without this, memo hits from *other tests* would mask the
+    /// code paths a test means to exercise.
+    fn clean_caches() {
+        blackdp_crypto::cert_cache_clear();
+        envelope_memo_clear();
+    }
+
     #[test]
     fn queue_verify_one_matches_scalar() {
-        blackdp_crypto::cert_cache_clear();
+        clean_caches();
         let mut fx = fixture();
         let now = Time::from_secs(1);
         let mut queue = VerifyQueue::new();
         for sealed in verdict_zoo(&mut fx) {
             let scalar = sealed.verify(fx.ta.public_key(), now);
-            blackdp_crypto::cert_cache_clear(); // no cross-talk via the memo cache
+            clean_caches(); // no cross-talk via the memo cache
             let batched = queue.verify_one(&sealed, fx.ta.public_key(), now);
             assert_eq!(batched, scalar);
             assert!(queue.is_empty(), "verify_one must reset the queue");
-            blackdp_crypto::cert_cache_clear();
+            clean_caches();
         }
     }
 
     #[test]
     fn queue_flush_matches_scalar_for_a_full_batch() {
-        blackdp_crypto::cert_cache_clear();
+        clean_caches();
         let mut fx = fixture();
         let now = Time::from_secs(1);
         let zoo = verdict_zoo(&mut fx);
@@ -1143,19 +1359,19 @@ mod tests {
             .iter()
             .map(|s| s.verify(fx.ta.public_key(), now))
             .collect();
-        blackdp_crypto::cert_cache_clear();
+        clean_caches();
         let mut queue = VerifyQueue::new();
         for (i, sealed) in envelopes.iter().enumerate() {
             assert_eq!(queue.enqueue(sealed, fx.ta.public_key(), now), i);
         }
         assert_eq!(queue.len(), envelopes.len());
         assert_eq!(queue.flush(), &scalar[..]);
-        blackdp_crypto::cert_cache_clear();
+        clean_caches();
     }
 
     #[test]
     fn queue_flush_memoizes_certificate_checks() {
-        blackdp_crypto::cert_cache_clear();
+        clean_caches();
         let mut fx = fixture();
         let now = Time::from_secs(1);
         let (k, c) = enroll_at(&mut fx, 300, Time::ZERO, Duration::from_secs(600));
@@ -1178,12 +1394,92 @@ mod tests {
         assert_eq!(verdict, Err(AuthError::Cert(CertError::BadSignature)));
         let verdict = queue.verify_one(&bad, fx.ta.public_key(), now);
         assert_eq!(verdict, Err(AuthError::Cert(CertError::BadSignature)));
-        blackdp_crypto::cert_cache_clear();
+        clean_caches();
+    }
+
+    #[test]
+    fn duplicate_envelopes_in_one_batch_alias_to_a_single_proof() {
+        clean_caches();
+        let mut fx = fixture();
+        let now = Time::from_secs(1);
+        let (k, c) = enroll_at(&mut fx, 310, Time::ZERO, Duration::from_secs(600));
+        // One broadcast beacon, eight receivers: the batch must prove the
+        // envelope once and alias the other seven jobs to that verdict.
+        let sealed = Sealed::seal(RrepBody(rrep(Addr(9), 1)), c, Some(ClusterId(3)), &k, &mut fx.rng);
+        let scalar = sealed.verify(fx.ta.public_key(), now);
+        clean_caches();
+        let mut queue = VerifyQueue::new();
+        for i in 0..8 {
+            assert_eq!(queue.enqueue(&sealed, fx.ta.public_key(), now), i);
+        }
+        for verdict in queue.flush() {
+            assert_eq!(*verdict, scalar);
+        }
+        let (hits, misses) = blackdp_crypto::cert_cache_stats();
+        assert_eq!(
+            (hits, misses),
+            (0, 1),
+            "only the first copy may consult the certificate cache"
+        );
+        clean_caches();
+    }
+
+    #[test]
+    fn memo_replays_verdicts_across_flushes_without_signature_work() {
+        clean_caches();
+        let mut fx = fixture();
+        let now = Time::from_secs(1);
+        let (k, c) = enroll_at(&mut fx, 311, Time::ZERO, Duration::from_secs(600));
+        let good = Sealed::seal(RrepBody(rrep(Addr(9), 1)), c, None, &k, &mut fx.rng);
+        let mut bad = Sealed::seal(RrepBody(rrep(Addr(9), 2)), c, None, &k, &mut fx.rng);
+        bad.signature.s ^= 1;
+        let mut queue = VerifyQueue::new();
+        assert!(queue.verify_one(&good, fx.ta.public_key(), now).is_ok());
+        assert_eq!(
+            queue.verify_one(&bad, fx.ta.public_key(), now),
+            Err(AuthError::BadSignature)
+        );
+        // Re-verifying both envelopes must not touch the certificate
+        // cache at all: the envelope memo already holds both verdicts,
+        // including the *negative* body verdict.
+        let stats_before = blackdp_crypto::cert_cache_stats();
+        assert!(queue.verify_one(&good, fx.ta.public_key(), now).is_ok());
+        assert_eq!(
+            queue.verify_one(&bad, fx.ta.public_key(), now),
+            Err(AuthError::BadSignature)
+        );
+        assert_eq!(
+            blackdp_crypto::cert_cache_stats(),
+            stats_before,
+            "memo hits must bypass the certificate cache entirely"
+        );
+        clean_caches();
+    }
+
+    #[test]
+    fn memo_never_caches_the_validity_window() {
+        clean_caches();
+        let mut fx = fixture();
+        let (k, c) = enroll_at(&mut fx, 312, Time::ZERO, Duration::from_secs(10));
+        let sealed = Sealed::seal(RrepBody(rrep(Addr(9), 1)), c, None, &k, &mut fx.rng);
+        let mut queue = VerifyQueue::new();
+        // Valid inside the window; the memo stores the signature verdict.
+        assert!(queue
+            .verify_one(&sealed, fx.ta.public_key(), Time::from_secs(1))
+            .is_ok());
+        // The same envelope after expiry must fail on the window even
+        // though the memoized signature verdict says the math is fine.
+        assert_eq!(
+            queue.verify_one(&sealed, fx.ta.public_key(), Time::from_secs(11)),
+            Err(AuthError::Cert(CertError::Expired)),
+            "the validity window must be re-evaluated at the caller's now"
+        );
+        clean_caches();
     }
 
     #[test]
     fn boundary_auditor_batches_to_width_and_matches_scalar() {
-        blackdp_crypto::cert_cache_clear();
+        clean_caches();
         let mut fx = fixture();
         let now = Time::from_secs(1);
         // Zoo (7 mixed verdicts) + 10 valid envelopes = 17 observations:
@@ -1204,7 +1500,7 @@ mod tests {
             .map(|s| s.verify(fx.ta.public_key(), now))
             .collect();
         let expected_failures = scalar.iter().filter(|r| r.is_err()).count() as u64;
-        blackdp_crypto::cert_cache_clear();
+        clean_caches();
         let mut auditor = BoundaryAuditor::new(fx.ta.public_key(), 4);
         let mut verdicts = Vec::new();
         for sealed in &envelopes {
@@ -1224,6 +1520,6 @@ mod tests {
         // Draining an empty auditor is a no-op.
         assert!(auditor.flush().is_empty());
         assert_eq!(auditor.stats().flushes, 5);
-        blackdp_crypto::cert_cache_clear();
+        clean_caches();
     }
 }

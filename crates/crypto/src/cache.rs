@@ -23,7 +23,7 @@ const CAPACITY: usize = 1024;
 
 struct CertCache {
     /// digest → (signature valid?, last-use stamp).
-    entries: HashMap<u128, (bool, u64)>,
+    entries: HashMap<u128, (bool, u64), DigestHasherBuilder>,
     /// Monotonic use counter backing the LRU stamps.
     clock: u64,
     hits: u64,
@@ -32,16 +32,54 @@ struct CertCache {
 
 thread_local! {
     static CACHE: RefCell<CertCache> = RefCell::new(CertCache {
-        entries: HashMap::new(),
+        entries: HashMap::default(),
         clock: 0,
         hits: 0,
         misses: 0,
     });
 }
 
+/// Hash-transparent `BuildHasher` for maps keyed by digests that are
+/// already uniformly mixed 128-bit hashes ([`fast_hash_128`] /
+/// [`fnv1a_128`] output): folding the two halves together is a full
+/// 64-bit state, and re-running SipHash over an existing hash buys no
+/// distribution — it only costs time on the verifier's memo-hit path.
+/// Only for digest keys; anything attacker-shaped goes through a real
+/// hasher.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DigestHasherBuilder;
+
+/// See [`DigestHasherBuilder`].
+#[derive(Debug, Default)]
+pub struct DigestHasher(u64);
+
+impl std::hash::Hasher for DigestHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback so the hasher is total; digest maps only hit
+        // the `write_u128` path.
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u128(&mut self, v: u128) {
+        self.0 = (v as u64) ^ ((v >> 64) as u64);
+    }
+}
+
+impl std::hash::BuildHasher for DigestHasherBuilder {
+    type Hasher = DigestHasher;
+    fn build_hasher(&self) -> DigestHasher {
+        DigestHasher(0)
+    }
+}
+
 /// FNV-1a, widened to 128 bits to make accidental collisions across a
-/// simulation's certificate population negligible.
-pub(crate) fn fnv1a_128(chunks: &[&[u8]]) -> u128 {
+/// simulation's certificate population negligible. Public because the
+/// deferred verifier keys its envelope memo with the same stream.
+pub fn fnv1a_128(chunks: &[&[u8]]) -> u128 {
     const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
     const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
     let mut hash = OFFSET;
@@ -52,6 +90,44 @@ pub(crate) fn fnv1a_128(chunks: &[&[u8]]) -> u128 {
         }
     }
     hash
+}
+
+/// Word-at-a-time 128-bit mixer for **process-transient cache keys**
+/// (the certificate cache, the envelope-verdict memo).
+///
+/// [`fnv1a_128`] folds one byte per 128-bit multiply; on the deferred
+/// verifier's hot path — one envelope digest per `verify_one`, over
+/// hundreds of envelope bytes — that multiply chain *was* the memo-hit
+/// cost. This variant folds eight bytes per multiply (same FNV prime,
+/// zero-padded tail disambiguated by a per-chunk length fold, final
+/// avalanche so low bits spread for shard selection), cutting digest
+/// time ~8x. It is not FNV and not cryptographic; never persist its
+/// output or compare it across processes — keys live and die with the
+/// process.
+pub fn fast_hash_128(chunks: &[&[u8]]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut hash = OFFSET;
+    for chunk in chunks {
+        let mut words = chunk.chunks_exact(8);
+        for word in &mut words {
+            hash ^= u64::from_le_bytes(word.try_into().expect("exact 8-byte chunk")) as u128;
+            hash = hash.wrapping_mul(PRIME);
+        }
+        let tail = words.remainder();
+        if !tail.is_empty() {
+            let mut padded = [0u8; 8];
+            padded[..tail.len()].copy_from_slice(tail);
+            hash ^= u64::from_le_bytes(padded) as u128;
+            hash = hash.wrapping_mul(PRIME);
+        }
+        // Folding the length keeps `[1, 0]` and `[1]` (zero-padded to the
+        // same word) distinct, and chunk boundaries unambiguous.
+        hash ^= chunk.len() as u128;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash ^= hash >> 64;
+    hash.wrapping_mul(PRIME)
 }
 
 /// Looks up `digest`, or computes the signature check with `check` and

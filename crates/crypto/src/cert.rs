@@ -150,9 +150,11 @@ impl Certificate {
     }
 
     /// The digest keying this certificate's memoized TA-signature check
-    /// in the per-thread cache (see [`crate::cache`]).
+    /// in the per-thread cache (see [`crate::cache`]). Cache keys are
+    /// process-transient, so they use the fast word-folding mixer, not
+    /// canonical FNV.
     pub fn cache_digest(&self, ta_key: PublicKey) -> u128 {
-        crate::cache::fnv1a_128(&[
+        crate::cache::fast_hash_128(&[
             &self.body(),
             &self.signature.e.to_be_bytes(),
             &self.signature.s.to_be_bytes(),

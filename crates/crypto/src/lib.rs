@@ -51,7 +51,10 @@ pub mod sha256;
 pub mod sig;
 pub mod ta;
 
-pub use cache::{cert_cache_clear, cert_cache_stats, lookup_signature, store_signature};
+pub use cache::{
+    cert_cache_clear, cert_cache_stats, fast_hash_128, fnv1a_128, lookup_signature,
+    store_signature, DigestHasherBuilder,
+};
 pub use cert::{
     CertError, Certificate, LongTermId, PseudonymId, RevocationList, RevocationNotice, TaId,
 };

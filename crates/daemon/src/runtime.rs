@@ -73,7 +73,7 @@ pub fn run(cfg: &NodeConfig, mut driver: RoleDriver) -> io::Result<RunReport> {
     let self_id = NodeId::new(cfg.node_id);
     let end = Time::from_secs(cfg.run_secs);
 
-    let mut harness = NodeHarness::new(cfg.node_seed ^ 0x5EED_5EED);
+    let mut harness = NodeHarness::new();
     let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
     let mut cancelled: HashSet<u64> = HashSet::new();
     let mut trace: Vec<TraceEvent> = Vec::new();

@@ -1,0 +1,564 @@
+//! Conservative-window parallel event executor.
+//!
+//! The windowed executor drives the same discrete-event simulation as the
+//! serial loop, but runs the *handler* phase of same-window deliveries on
+//! worker threads. It is **bit-identical to the serial oracle for any
+//! thread count** — same traces, same `Stats::digest`, same
+//! [`EngineStamp`](super::EngineStamp) witnesses — because every source of
+//! engine nondeterminism stays on one thread, in the serial `(time, seq)`
+//! order:
+//!
+//! 1. **Scan (serial).** Pop the window's events in `(time, seq)` order.
+//!    Gating (inactive / crashed drops) runs here against state that is
+//!    frozen for the whole window (see the safety argument below), and
+//!    each admitted delivery gets the same dispatch index the serial loop
+//!    would have assigned — which fixes its timer ids.
+//! 2. **Execute (parallel).** Handlers run on worker lanes, mutating only
+//!    their own node and *staging* effects/stats into per-event buffers.
+//!    All deliveries to one node share a lane, so per-node handler order
+//!    is preserved (this also keeps nodes with private RNGs, like
+//!    attacker middleware, deterministic).
+//! 3. **Commit (serial).** Walk the events in `(time, seq)` order again:
+//!    merge staged stats, fire taps and oracle observations, and apply
+//!    staged effects through the exact code path the serial loop uses.
+//!    Every world-RNG draw (loss, burst, fading, jitter) happens here, in
+//!    serial order, so the RNG stream is untouched by threading.
+//!
+//! # The conservative window
+//!
+//! A window is a maximal run of queued *deliveries* no later than
+//!
+//! `w_end = min(t0 + L − 1 µs, deadline, next fault edge − 1 µs)`
+//!
+//! where `t0` is the head event's time and `L = min(radio_latency,
+//! wired_latency)`. Why this is safe:
+//!
+//! * **No new events can land inside the window.** Any delivery staged by
+//!   a window handler commits at `≥ t + L > w_end`, and queue insertion
+//!   sequence numbers are monotone, so even equal-time insertions order
+//!   after every window event. Timers are not so bounded, hence the
+//!   commit-time backstop below.
+//! * **Timers never join a window** — a timer head ends the window, so
+//!   timer handlers (which may despawn, e.g. highway exits) always run
+//!   through the serial step with their effects committed before the next
+//!   event is examined.
+//! * **Fault edges never land inside the window** (`w_end < next edge`),
+//!   so the active/paused state the scan gates against is frozen; the
+//!   window also never spans an active tampering window when a tamper
+//!   hook is installed (tamper draws are delivery-time world-RNG draws).
+//! * **Deliveries to [`Node::exclusive_dispatch`](crate::Node) nodes end
+//!   the window** — the one `on_packet` effect that changes gating state
+//!   for later events (an attacker's flee-despawn) runs serially.
+//!
+//! Two engine-contract backstops guard what the window cannot exclude
+//! structurally, and panic loudly instead of silently diverging: a window
+//! handler arming a timer *inside* its own window (`at < t_last`), and a
+//! window handler despawning a node that has further deliveries in the
+//! same window. Neither is reachable with this repository's protocols
+//! (every timer period is ≥ tens of milliseconds against a window span
+//! of `< 2 ms`, and the only `on_packet` despawner is exclusive).
+//!
+//! # Lanes
+//!
+//! Events partition across `threads` lanes by hashing the receiver's
+//! node id (`id % lanes`). Correctness needs just "same node, same lane"
+//! — lanes mutate only their own checked-out nodes, so any partition
+//! that is a function of the node alone is sound — and id hashing is
+//! also the one that load-balances: a broadcast's receivers are
+//! spatially contiguous, so a spatial partition (shard-band ownership,
+//! say) would funnel entire radio neighborhoods into single lanes and
+//! serialize the window it was meant to parallelize.
+
+use std::sync::mpsc;
+
+use super::{WindowEvent, World};
+use crate::event::{Channel, Occurrence, Scheduled};
+use crate::node::{Context, Effect, Node, StatSink, TIMER_LOCAL_BITS};
+use crate::oracle::SimEvent;
+use crate::{Duration, NodeId, Position, Stats, Time};
+
+/// Windows smaller than this run through the plain serial step: the
+/// staging machinery costs more than it saves on a handful of events.
+const PAR_MIN: usize = 8;
+
+/// One admitted delivery: scan fills the identity fields, a worker lane
+/// fills the staged outputs, commit drains them.
+struct WinJob<P, T> {
+    time: Time,
+    node: NodeId,
+    from: NodeId,
+    channel: Channel,
+    /// The delivered payload. Workers *clone* it for the handler when an
+    /// observer (tap / oracle / boundary tap) is installed — commit still
+    /// needs the original to fire observations in serial order — and
+    /// *move* it otherwise.
+    payload: Option<P>,
+    /// Serial-order dispatch index; fixes this handler's timer ids.
+    dispatch_index: u64,
+    /// Effects staged by the handler, in emission order.
+    effects: Vec<Effect<P, T>>,
+    /// Stats staged by the handler.
+    stats: Stats,
+    /// Timers the handler armed.
+    timers_armed: u16,
+}
+
+/// One lane's slice of a window: its jobs plus the checked-out state of
+/// every node those jobs deliver to. Owning the node boxes (instead of
+/// borrowing slots) is what lets lanes travel to *persistent* worker
+/// threads over a channel — `thread::scope` per window would cost a
+/// thread spawn per lane per window, which at sub-millisecond window
+/// spans dominates the work being parallelized.
+struct LaneWork<P, T> {
+    jobs: Vec<WinJob<P, T>>,
+    /// `(node id, node state)` in ascending id order.
+    nodes: LaneNodes<P, T>,
+    observed: bool,
+}
+
+/// A lane's checked-out node states, `(node id, state)` ascending by id.
+type LaneNodes<P, T> = Vec<(u32, Box<dyn Node<P, T>>)>;
+
+/// A placeholder parked in a node's slot while its real state is checked
+/// out to a window lane. Nothing can reach a vacated slot during the
+/// parallel phase — lanes only touch their own checked-out nodes, and
+/// the engine thread blocks until every lane returns — so every method
+/// panics loudly rather than risk silent divergence.
+struct Vacated;
+
+impl<P, T> Node<P, T> for Vacated {
+    fn position(&self, _now: Time) -> Position {
+        unreachable!("vacated slot touched during a parallel window")
+    }
+    fn on_packet(&mut self, _ctx: &mut Context<'_, P, T>, _from: NodeId, _p: P, _ch: Channel) {
+        unreachable!("vacated slot touched during a parallel window")
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_, P, T>, _token: T) {
+        unreachable!("vacated slot touched during a parallel window")
+    }
+}
+
+/// Runs one lane's jobs in order against its checked-out nodes.
+fn run_lane<P: Clone + 'static, T: 'static>(work: &mut LaneWork<P, T>) {
+    for job in work.jobs.iter_mut() {
+        let at = work
+            .nodes
+            .binary_search_by_key(&job.node.index(), |entry| entry.0)
+            .expect("lane owns the nodes of its jobs");
+        let node = &mut work.nodes[at].1;
+        let payload = if work.observed {
+            job.payload.clone().expect("payload staged by scan")
+        } else {
+            job.payload.take().expect("payload staged by scan")
+        };
+        let mut ctx = Context {
+            now: job.time,
+            self_id: job.node,
+            stats: StatSink::Staged(Stats::new()),
+            timer_base: job.dispatch_index << TIMER_LOCAL_BITS,
+            timers_armed: 0,
+            effects: std::mem::take(&mut job.effects),
+        };
+        node.on_packet(&mut ctx, job.from, payload, job.channel);
+        job.effects = ctx.effects;
+        job.timers_armed = ctx.timers_armed;
+        job.stats = match ctx.stats {
+            StatSink::Staged(stats) => stats,
+            StatSink::Direct(_) => unreachable!("workers always stage stats"),
+        };
+    }
+}
+
+/// A persistent pool of window workers, created on the first multi-lane
+/// window and reused for every window after it. Each worker owns one
+/// request channel and loops `recv → run_lane → send back`; the engine
+/// thread round-robins remote lanes across workers, runs one lane
+/// itself, and collects completions (in any order — commit re-sorts by
+/// dispatch index). Workers park in `recv` between windows and exit when
+/// the pool drops with their channels.
+pub(crate) struct WindowPool<P, T> {
+    txs: Vec<mpsc::Sender<LaneWork<P, T>>>,
+    done_rx: mpsc::Receiver<LaneWork<P, T>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<P: Clone + Send + 'static, T: Send + 'static> WindowPool<P, T> {
+    fn new(workers: usize) -> Self {
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<LaneWork<P, T>>();
+            let done = done_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(mut work) = rx.recv() {
+                    run_lane(&mut work);
+                    if done.send(work).is_err() {
+                        break;
+                    }
+                }
+            }));
+            txs.push(tx);
+        }
+        WindowPool {
+            txs,
+            done_rx,
+            handles,
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.txs.len()
+    }
+}
+
+impl<P, T> Drop for WindowPool<P, T> {
+    fn drop(&mut self) {
+        // Closing the request channels breaks every worker's recv loop.
+        self.txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<P: Clone + Send + 'static, T: Clone + Send + 'static> World<P, T> {
+    /// The windowed event loop behind
+    /// [`run_until`](super::World::run_until); same contract as the
+    /// serial loop.
+    pub(super) fn run_until_windowed(&mut self, deadline: Time, threads: usize) {
+        let requested = if threads == 0 {
+            crate::budget::thread_budget()
+        } else {
+            threads
+        };
+        // Explicit lane counts clamp to the host's parallelism exactly
+        // like the `BLACKDP_THREADS` budget does: window lanes beyond
+        // physical cores only add scheduling overhead, and the executor
+        // is bit-identical across lane counts, so the clamp can never
+        // change a result — only wall-clock time.
+        let cap = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let lanes = requested.min(cap).max(1);
+        if lanes < requested {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: Windowed {{ threads: {requested} }} exceeds the host's \
+                     available parallelism; clamping to {lanes} lane(s)"
+                );
+            });
+        }
+        loop {
+            while let Some(t0) = self.queue.peek_time() {
+                if t0 > deadline {
+                    break;
+                }
+                // Due crash/restart edges apply before committing to an
+                // event, exactly like the serial step (a restart may
+                // enqueue events earlier than the head, so re-peek).
+                match self.injector.as_ref().and_then(|i| i.next_transition_at()) {
+                    Some(tr) if tr <= t0 => {
+                        self.apply_next_fault_transition(tr);
+                        continue;
+                    }
+                    _ => {}
+                }
+                self.window_step(t0, deadline, lanes);
+            }
+            if !self.apply_next_fault_transition(deadline) {
+                break;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Forms one conservative window starting at the queue head and runs
+    /// it; falls back to the serial step whenever a window cannot form
+    /// (timer or exclusive head, zero-latency world, active tamper span)
+    /// or would be too small to pay for staging.
+    fn window_step(&mut self, t0: Time, deadline: Time, lanes: usize) {
+        let span = self.cfg.radio_latency.min(self.cfg.wired_latency);
+        if span.is_zero() {
+            // A zero-latency channel could land staged deliveries inside
+            // their own window; no conservative window exists.
+            self.step();
+            return;
+        }
+        let mut w_end = t0 + Duration::from_micros(span.as_micros() - 1);
+        if deadline < w_end {
+            w_end = deadline;
+        }
+        if let Some(tr) = self.injector.as_ref().and_then(|i| i.next_transition_at()) {
+            debug_assert!(tr > t0, "due fault edges apply before a window forms");
+            let cap = Time::from_micros(tr.as_micros() - 1);
+            if cap < w_end {
+                w_end = cap;
+            }
+        }
+        if self.tamper.is_some()
+            && self
+                .injector
+                .as_ref()
+                .is_some_and(|i| i.tamper_active_in(t0, w_end + Duration::from_micros(1)))
+        {
+            // Tamper decisions draw from the world RNG at delivery time;
+            // keep those events on the serial path.
+            self.step();
+            return;
+        }
+        let mut batch: Vec<Scheduled<P, T>> = Vec::new();
+        while let Some((t, node, is_timer)) = self.queue.peek_head() {
+            if t > w_end || is_timer || self.nodes[node.as_usize()].node.exclusive_dispatch() {
+                break;
+            }
+            batch.push(self.queue.pop().expect("peeked event exists"));
+        }
+        if batch.is_empty() {
+            // Timer or exclusive delivery at the head: run it solo.
+            self.step();
+            return;
+        }
+        if batch.len() < PAR_MIN {
+            for event in batch {
+                debug_assert!(event.time >= self.now, "event queue went backwards");
+                self.now = event.time;
+                self.process_event(event);
+            }
+            return;
+        }
+        self.execute_window(batch, lanes);
+    }
+
+    /// Scan → parallel execute → serial commit for one formed window.
+    fn execute_window(&mut self, batch: Vec<Scheduled<P, T>>, lanes: usize) {
+        // Observers need the payload again at commit time (observations
+        // fire there, in exact serial order); workers clone for the
+        // handler in that case.
+        let observed = self.tap.is_some() || self.oracle.is_some() || self.boundary_tap.is_some();
+
+        // ---- Phase 1: serial scan ------------------------------------
+        let mut jobs: Vec<WinJob<P, T>> = Vec::with_capacity(batch.len());
+        for event in batch {
+            debug_assert!(event.time >= self.now, "event queue went backwards");
+            self.now = event.time;
+            let id = event.node;
+            let Occurrence::Deliver {
+                from,
+                payload,
+                channel,
+            } = event.occurrence
+            else {
+                unreachable!("the window former admits only deliveries")
+            };
+            // Gating state (active/paused) is frozen across the window:
+            // fault edges are excluded by construction and despawns only
+            // happen on serial paths (timers, exclusive dispatch).
+            if !self.is_active(id) {
+                self.stats.incr("drop.inactive");
+                self.observe(
+                    event.time,
+                    SimEvent::Dropped {
+                        from,
+                        to: id,
+                        channel,
+                        payload: &payload,
+                    },
+                );
+                continue;
+            }
+            if self.is_paused(id) {
+                self.stats.incr("fault.drop.crashed");
+                self.observe(
+                    event.time,
+                    SimEvent::Dropped {
+                        from,
+                        to: id,
+                        channel,
+                        payload: &payload,
+                    },
+                );
+                continue;
+            }
+            let dispatch_index = self.next_dispatch;
+            self.next_dispatch += 1;
+            if let Some(tap) = self.window_tap.as_mut() {
+                tap(WindowEvent::Delivery {
+                    at: event.time,
+                    from,
+                    to: id,
+                    channel,
+                    payload: &payload,
+                });
+            }
+            jobs.push(WinJob {
+                time: event.time,
+                node: id,
+                from,
+                channel,
+                payload: Some(payload),
+                dispatch_index,
+                effects: Vec::new(),
+                stats: Stats::new(),
+                timers_armed: 0,
+            });
+        }
+        let Some(t_last) = jobs.last().map(|j| j.time) else {
+            return; // the whole window was gated away; scan did it all
+        };
+        if let Some(tap) = self.window_tap.as_mut() {
+            tap(WindowEvent::Flush { at: t_last });
+        }
+
+        // ---- Phase 2: parallel execute -------------------------------
+        // Per-node lane assignment (a function of the node alone, so all
+        // deliveries to one node share a lane): plain id hashing. Lanes
+        // never touch anything but their own checked-out nodes, so *any*
+        // node partition is sound; id hashing is the one that also load
+        // balances, because a broadcast's receivers are spatially — and
+        // on real fleets, id- — contiguous, and a spatial partition
+        // (e.g. shard-band ownership) would funnel an entire radio
+        // neighborhood into a single lane.
+        let mut ids: Vec<u32> = jobs.iter().map(|j| j.node.index()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let node_lanes: Vec<(u32, usize)> = ids
+            .iter()
+            .map(|&id| (id, id as usize % lanes))
+            .collect();
+        let total = jobs.len();
+        let mut lane_jobs: Vec<Vec<WinJob<P, T>>> = (0..lanes).map(|_| Vec::new()).collect();
+        for job in jobs.drain(..) {
+            let at = node_lanes
+                .binary_search_by_key(&job.node.index(), |entry| entry.0)
+                .expect("every scanned node has a lane");
+            lane_jobs[node_lanes[at].1].push(job);
+        }
+        // Check each window node's state out of its slot and into its
+        // lane (a `Vacated` tombstone holds the slot meanwhile): owned
+        // boxes can travel to persistent workers, and the handout stays
+        // disjoint without unsafe because every node maps to exactly one
+        // lane. `node_lanes` is ascending in id, so each lane's node list
+        // comes out sorted for `run_lane`'s binary search.
+        let mut lane_nodes: Vec<LaneNodes<P, T>> = (0..lanes).map(|_| Vec::new()).collect();
+        for &(id, lane) in &node_lanes {
+            let parked = std::mem::replace(&mut self.nodes[id as usize].node, Box::new(Vacated));
+            lane_nodes[lane].push((id, parked));
+        }
+        let mut work: Vec<LaneWork<P, T>> = lane_jobs
+            .into_iter()
+            .zip(lane_nodes)
+            .filter(|(jobs, _)| !jobs.is_empty())
+            .map(|(jobs, nodes)| LaneWork {
+                jobs,
+                nodes,
+                observed,
+            })
+            .collect();
+        let mut done: Vec<LaneWork<P, T>> = Vec::with_capacity(work.len());
+        if work.len() <= 1 {
+            if let Some(mut lane) = work.pop() {
+                run_lane(&mut lane);
+                done.push(lane);
+            }
+        } else {
+            if self
+                .window_pool
+                .as_ref()
+                .map(|pool| pool.workers())
+                != Some(lanes - 1)
+            {
+                self.window_pool = Some(WindowPool::new(lanes - 1));
+            }
+            let pool = self.window_pool.as_ref().expect("pool created above");
+            let mut remote = work.into_iter();
+            let mut local = remote.next().expect("work holds at least two lanes");
+            let mut sent = 0usize;
+            for (i, lane) in remote.enumerate() {
+                pool.txs[i % pool.txs.len()]
+                    .send(lane)
+                    .expect("window worker alive");
+                sent += 1;
+            }
+            // The first occupied lane runs on the engine thread.
+            run_lane(&mut local);
+            done.push(local);
+            for _ in 0..sent {
+                done.push(pool.done_rx.recv().expect("window worker panicked"));
+            }
+        }
+        // Check node state back in and reassemble the jobs in serial
+        // `(time, seq)` order — dispatch indices were handed out by the
+        // scan in exactly that order.
+        for lane in &mut done {
+            for (id, node) in lane.nodes.drain(..) {
+                self.nodes[id as usize].node = node;
+            }
+            jobs.append(&mut lane.jobs);
+        }
+        debug_assert_eq!(jobs.len(), total, "every job returned from its lane");
+        jobs.sort_unstable_by_key(|job| job.dispatch_index);
+
+        // ---- Phase 3: serial commit ----------------------------------
+        for k in 0..jobs.len() {
+            let (node, time, channel, from) =
+                (jobs[k].node, jobs[k].time, jobs[k].channel, jobs[k].from);
+            // Engine-contract backstops (see module docs): panic instead
+            // of silently diverging from the serial oracle.
+            let mut despawns = false;
+            for effect in &jobs[k].effects {
+                match effect {
+                    Effect::SetTimer { at, .. } => assert!(
+                        *at >= t_last,
+                        "windowed executor: a handler armed a timer due inside its own \
+                         window ({at} < {t_last}); this workload requires ExecutorMode::Serial"
+                    ),
+                    Effect::Despawn => despawns = true,
+                    _ => {}
+                }
+            }
+            if despawns {
+                assert!(
+                    !jobs[k + 1..].iter().any(|j| j.node == node),
+                    "windowed executor: a handler despawned a node with further \
+                     deliveries in the same window; mark the node exclusive_dispatch"
+                );
+            }
+            self.now = time;
+            self.timers_armed_total += u64::from(jobs[k].timers_armed);
+            for (key, value) in jobs[k].stats.iter() {
+                self.stats.add(key, value);
+            }
+            match channel {
+                Channel::Radio => self.stats.incr("radio.rx"),
+                Channel::Wired => self.stats.incr("wired.rx"),
+            }
+            if observed {
+                let payload = jobs[k]
+                    .payload
+                    .as_ref()
+                    .expect("observed windows retain payloads");
+                if let Some(tap) = self.tap.as_mut() {
+                    tap(time, from, node, payload, channel);
+                }
+                if self.boundary_tap.is_some() && matches!(channel, Channel::Radio) {
+                    self.fire_boundary_tap(from, node, payload);
+                }
+                self.observe(
+                    time,
+                    SimEvent::Delivered {
+                        from,
+                        to: node,
+                        channel,
+                        payload,
+                    },
+                );
+            }
+            let mut effects = std::mem::take(&mut jobs[k].effects);
+            self.apply_effects(node, &mut effects);
+        }
+    }
+}

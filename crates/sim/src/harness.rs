@@ -5,18 +5,22 @@
 //! crate-private, which is exactly right inside the simulator but leaves no
 //! way for an external host (the `blackdpd` UDP daemon) to reuse the
 //! existing sans-io `Node` implementations. [`NodeHarness`] is that way: it
-//! holds the per-node runtime state a `World` would (RNG, statistics, the
-//! timer-id counter) and exposes [`NodeHarness::dispatch`], which runs one
-//! node callback and returns the emitted effects as the public
-//! [`NodeEffect`] for the host to execute however it likes (UDP datagrams,
-//! OS timers, process exit).
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! holds the per-node runtime state a `World` would (statistics, the
+//! dispatch counter that mints timer ids) and exposes
+//! [`NodeHarness::dispatch`], which runs one node callback and returns the
+//! emitted effects as the public [`NodeEffect`] for the host to execute
+//! however it likes (UDP datagrams, OS timers, process exit).
+//!
+//! The harness shares the engine's effect vocabulary *and* its timer-id
+//! scheme: ids are `(dispatch index << 16) | within-dispatch index`,
+//! strictly increasing in arming order, exactly as the simulator mints them
+//! (see [`Context::set_timer`]). A protocol node therefore cannot observe
+//! whether it is running under the simulator's serial loop, the windowed
+//! executor, or a live daemon.
 
 use crate::event::{Channel, TimerId};
 use crate::id::NodeId;
-use crate::node::{Context, Effect, Node};
+use crate::node::{Context, Effect, Node, StatSink, TIMER_LOCAL_BITS};
 use crate::stats::Stats;
 use crate::time::Time;
 
@@ -78,21 +82,20 @@ impl<P, T> From<Effect<P, T>> for NodeEffect<P, T> {
 }
 
 /// Per-node runtime state for hosting a [`Node`] outside the simulator.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct NodeHarness {
-    rng: StdRng,
     stats: Stats,
-    next_timer_id: u64,
+    next_dispatch: u64,
 }
 
 impl NodeHarness {
-    /// Creates a harness whose RNG is seeded with `seed`.
-    pub fn new(seed: u64) -> Self {
-        NodeHarness {
-            rng: StdRng::seed_from_u64(seed),
-            stats: Stats::new(),
-            next_timer_id: 0,
-        }
+    /// Creates a fresh harness.
+    ///
+    /// Node callbacks are pure effect emitters (they hold no engine RNG),
+    /// so the harness needs no seed: a node replayed against the same
+    /// inputs emits the same effects.
+    pub fn new() -> Self {
+        NodeHarness::default()
     }
 
     /// The statistics counters accumulated across dispatches.
@@ -111,12 +114,14 @@ impl NodeHarness {
         self_id: NodeId,
         f: impl FnOnce(&mut Context<'_, P, T>) -> R,
     ) -> (R, Vec<NodeEffect<P, T>>) {
+        let timer_base = self.next_dispatch << TIMER_LOCAL_BITS;
+        self.next_dispatch += 1;
         let mut ctx = Context {
             now,
             self_id,
-            rng: &mut self.rng,
-            stats: &mut self.stats,
-            next_timer_id: &mut self.next_timer_id,
+            stats: StatSink::Direct(&mut self.stats),
+            timer_base,
+            timers_armed: 0,
             effects: Vec::new(),
         };
         let result = f(&mut ctx);
@@ -187,7 +192,7 @@ mod tests {
 
     #[test]
     fn dispatch_surfaces_effects_in_emission_order() {
-        let mut h = NodeHarness::new(7);
+        let mut h = NodeHarness::new();
         let mut node = Ticker { ticks: 0 };
         let id = NodeId::new(3);
 
@@ -207,23 +212,26 @@ mod tests {
     }
 
     #[test]
-    fn timer_ids_stay_unique_across_dispatches() {
-        let mut h = NodeHarness::new(7);
+    fn timer_ids_stay_unique_and_increasing_across_dispatches() {
+        let mut h = NodeHarness::new();
         let mut node = Ticker { ticks: 0 };
         let id = NodeId::new(1);
-        let mut seen = std::collections::HashSet::new();
-        let (_, effects) = h.dispatch::<u64, (), _>(Time::ZERO, id, |ctx| node.on_start(ctx));
-        for e in effects {
-            if let NodeEffect::SetTimer { id, .. } = e {
-                assert!(seen.insert(id.raw()));
-            }
-        }
-        for i in 1..5u64 {
-            for e in h.fire(&mut node, Time::from_millis(100 * i), id, ()) {
+        let mut last = None;
+        let mut check = |effects: Vec<NodeEffect<u64, ()>>| {
+            for e in effects {
                 if let NodeEffect::SetTimer { id, .. } = e {
-                    assert!(seen.insert(id.raw()), "timer id reused");
+                    assert!(
+                        last.is_none_or(|prev| id.raw() > prev),
+                        "timer ids must increase in arming order"
+                    );
+                    last = Some(id.raw());
                 }
             }
+        };
+        let (_, effects) = h.dispatch::<u64, (), _>(Time::ZERO, id, |ctx| node.on_start(ctx));
+        check(effects);
+        for i in 1..5u64 {
+            check(h.fire(&mut node, Time::from_millis(100 * i), id, ()));
         }
     }
 }

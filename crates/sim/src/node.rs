@@ -1,7 +1,5 @@
 //! The [`Node`] behaviour trait and the [`Context`] handed to node callbacks.
 
-use rand::rngs::StdRng;
-
 use crate::event::{Channel, TimerId};
 use crate::{Duration, NodeId, Position, Stats, Time};
 
@@ -19,11 +17,30 @@ use crate::{Duration, NodeId, Position, Stats, Time};
 /// concrete types for post-run inspection via
 /// [`World::get`](crate::World::get).
 ///
-/// The `Send + Sync` supertraits exist for the sharded backend: band
-/// rebuild workers evaluate `position` for disjoint resident sets through a
-/// shared `&[Slot]` view on scoped threads. Nodes are still only ever
-/// *mutated* from the single-threaded event loop — the bounds assert that
-/// shared position reads are safe, nothing more.
+/// The `Send + Sync` supertraits exist for the sharded backend and the
+/// windowed executor: band rebuild workers evaluate `position` for disjoint
+/// resident sets through a shared `&[Slot]` view on scoped threads, and the
+/// windowed executor runs `on_packet` for disjoint node sets on scoped
+/// worker threads. A node is only ever *mutated* by one thread at a time —
+/// the bounds assert that handing a node to another thread is safe, nothing
+/// more.
+///
+/// # Handler purity contract
+///
+/// Callbacks are **effect emitters**: they may mutate their own node's
+/// state and push effects/statistics into the [`Context`], but they get no
+/// handle to the world, the engine RNG, or other nodes. The engine applies
+/// the buffered effects afterwards in a serial commit step — this is what
+/// lets the windowed executor run same-window handlers in parallel while
+/// staying bit-identical to the serial engine. Two further obligations:
+///
+/// * [`Node::position`] must be a **pure function of construction state and
+///   `now`** — trajectories may not depend on packets received. Every node
+///   in this repository satisfies this (attackers fake movement inside
+///   packet *contents*, not their trajectory).
+/// * A node whose `on_packet` may call [`Context::despawn`] (or otherwise
+///   must never share a parallel window with other deliveries) should
+///   override [`Node::exclusive_dispatch`].
 pub trait Node<P, T>: std::any::Any + Send + Sync {
     /// The node's position at virtual time `now`, in meters.
     ///
@@ -71,6 +88,19 @@ pub trait Node<P, T>: std::any::Any + Send + Sync {
     fn state_digest(&self) -> u64 {
         0
     }
+
+    /// Whether deliveries to this node must be dispatched alone.
+    ///
+    /// The windowed executor never places a delivery to an exclusive node
+    /// in a parallel window: the event runs through the classic serial
+    /// step instead, so effects that change the engine's gating state for
+    /// *later* events — [`Context::despawn`] from `on_packet` is the one
+    /// such effect in this codebase — commit before the next event is even
+    /// examined. Nodes that never despawn from `on_packet` keep the
+    /// default `false`.
+    fn exclusive_dispatch(&self) -> bool {
+        false
+    }
 }
 
 /// An effect emitted by a node callback, applied by the world afterwards.
@@ -84,6 +114,34 @@ pub(crate) enum Effect<P, T> {
     Despawn,
 }
 
+/// Where a [`Context`] routes its statistics increments.
+///
+/// The serial engine hands callbacks a direct borrow of the world's
+/// counters (zero-allocation hot path, unchanged from before the windowed
+/// executor). Parallel window workers stage increments into an owned
+/// [`Stats`] instead, merged into the world's counters by the serial commit
+/// step — counters are additive and [`Stats::digest`] is key-ordered, so
+/// the merge is bit-identical to having counted directly.
+#[derive(Debug)]
+pub(crate) enum StatSink<'a> {
+    Direct(&'a mut Stats),
+    Staged(Stats),
+}
+
+impl StatSink<'_> {
+    #[inline]
+    fn add(&mut self, key: &str, n: u64) {
+        match self {
+            StatSink::Direct(stats) => stats.add(key, n),
+            StatSink::Staged(stats) => stats.add(key, n),
+        }
+    }
+}
+
+/// Number of low bits of a [`TimerId`] holding the within-dispatch index;
+/// the high bits hold the dispatch index. See [`Context::set_timer`].
+pub(crate) const TIMER_LOCAL_BITS: u32 = 16;
+
 /// The capability handle a [`Node`] uses to act on the world.
 ///
 /// All effects are buffered and applied by the engine after the callback
@@ -92,9 +150,15 @@ pub(crate) enum Effect<P, T> {
 pub struct Context<'a, P, T> {
     pub(crate) now: Time,
     pub(crate) self_id: NodeId,
-    pub(crate) rng: &'a mut StdRng,
-    pub(crate) stats: &'a mut Stats,
-    pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) stats: StatSink<'a>,
+    /// High bits of every [`TimerId`] armed in this dispatch: the engine's
+    /// dispatch index shifted left by [`TIMER_LOCAL_BITS`]. Dispatch
+    /// indices are assigned in serial `(time, seq)` order by the engine —
+    /// never by worker threads — so timer ids are identical for any thread
+    /// count.
+    pub(crate) timer_base: u64,
+    /// Timers armed so far in this dispatch (the next local timer index).
+    pub(crate) timers_armed: u16,
     pub(crate) effects: Vec<Effect<P, T>>,
 }
 
@@ -109,14 +173,9 @@ impl<P, T> Context<'_, P, T> {
         self.self_id
     }
 
-    /// Deterministic random source (one stream per world, stable ordering).
-    pub fn rng(&mut self) -> &mut StdRng {
-        self.rng
-    }
-
     /// Increments the named statistics counter.
     pub fn count(&mut self, key: &str) {
-        self.stats.incr(key);
+        self.stats.add(key, 1);
     }
 
     /// Increments the named statistics counter by `n`.
@@ -146,9 +205,23 @@ impl<P, T> Context<'_, P, T> {
 
     /// Arms a timer that fires `after` from now, delivering `token` to
     /// [`Node::on_timer`]. Returns an id usable with [`Self::cancel_timer`].
+    ///
+    /// Timer ids are `(dispatch index << 16) | within-dispatch index`:
+    /// strictly increasing in arming order (like the old global counter)
+    /// and — because dispatch indices are assigned by the engine's serial
+    /// scan, never by worker threads — independent of the executor's
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single callback arms more than 2^16 timers.
     pub fn set_timer(&mut self, after: Duration, token: T) -> TimerId {
-        let id = TimerId(*self.next_timer_id);
-        *self.next_timer_id += 1;
+        let local = u64::from(self.timers_armed);
+        self.timers_armed = self
+            .timers_armed
+            .checked_add(1)
+            .expect("more than 65536 timers armed in a single dispatch");
+        let id = TimerId(self.timer_base | local);
         self.effects.push(Effect::SetTimer {
             id,
             at: self.now + after,

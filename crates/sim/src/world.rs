@@ -6,13 +6,16 @@ use std::collections::HashSet;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::event::{Channel, EventQueue, Occurrence};
+use crate::event::{Channel, EventQueue, Occurrence, Scheduled};
 use crate::fault::{FaultInjector, FaultPlan, Transition};
 use crate::grid::SpatialGrid;
-use crate::node::{Context, Effect, Node};
+use crate::node::{Context, Effect, Node, StatSink, TIMER_LOCAL_BITS};
 use crate::oracle::{InvariantCheck, Oracle, SimEvent, Violation};
 use crate::shard::{ShardDiagnostics, ShardedIndex, SlotView};
 use crate::{Duration, NodeId, Stats, Time};
+
+#[path = "executor.rs"]
+mod executor;
 
 /// The radio propagation model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +85,29 @@ pub enum WorldBackend {
     },
 }
 
+/// Which event loop [`World::run_until`] drives.
+///
+/// Both executors are **bit-identical**: the windowed executor stages
+/// handler effects and commits them serially in the exact `(time, seq)`
+/// order the serial loop would have used, so traces, `Stats::digest`, and
+/// [`EngineStamp`] witnesses agree for any thread count. See the
+/// `executor` module docs for the safety argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorMode {
+    /// The classic one-event-at-a-time loop. The default, and the
+    /// differential oracle for the windowed executor.
+    #[default]
+    Serial,
+    /// Conservative-window parallel executor: runs of same-window
+    /// deliveries execute their handlers on worker threads, then commit
+    /// serially. `threads = 0` means "use
+    /// [`thread_budget`](crate::thread_budget)".
+    Windowed {
+        /// Worker count; `0` defers to the `BLACKDP_THREADS` budget.
+        threads: usize,
+    },
+}
+
 /// Physical-layer and engine configuration for a [`World`].
 ///
 /// Defaults follow the paper's Table I: a 1000 m DSRC transmission range
@@ -120,6 +146,10 @@ pub struct WorldConfig {
     /// actual speed breaks the coverage guarantee; the serial backend
     /// ignores this field.
     pub motion_bound_mps: f64,
+    /// Which event loop [`World::run_until`] drives (serial oracle vs.
+    /// conservative-window parallel executor). Bit-identical by
+    /// construction; see [`ExecutorMode`].
+    pub executor: ExecutorMode,
 }
 
 impl Default for WorldConfig {
@@ -135,6 +165,7 @@ impl Default for WorldConfig {
             neighbor_index: NeighborIndex::Grid,
             backend: WorldBackend::Serial,
             motion_bound_mps: f64::INFINITY,
+            executor: ExecutorMode::Serial,
         }
     }
 }
@@ -216,7 +247,15 @@ pub struct World<P, T> {
     now: Time,
     rng: StdRng,
     stats: Stats,
-    next_timer_id: u64,
+    /// Index assigned to the next handler dispatch. Dispatch indices are
+    /// handed out in serial `(time, seq)` order — by the serial loop and
+    /// by the windowed executor's serial scan alike — and form the high
+    /// bits of every [`TimerId`](crate::TimerId) armed during that
+    /// dispatch, so timer ids are independent of the thread count.
+    next_dispatch: u64,
+    /// Timers ever armed, across all dispatches (an [`EngineStamp`]
+    /// witness; the successor of the retired global timer-id counter).
+    timers_armed_total: u64,
     tap: Option<Tap<P>>,
     injector: Option<FaultInjector>,
     tamper: Option<TamperHook<P>>,
@@ -237,10 +276,18 @@ pub struct World<P, T> {
     /// Observer of radio deliveries whose sender and receiver sit in
     /// different shard bands; `None` costs nothing.
     boundary_tap: Option<BoundaryTap<P>>,
+    /// Observer of windowed-executor window contents and boundaries;
+    /// `None` costs nothing and the serial executor never fires it.
+    window_tap: Option<WindowTap<P>>,
     /// Reusable receiver buffer for the broadcast hot path.
     recv_scratch: Vec<(u32, f64)>,
     /// Reusable effect buffer for the dispatch hot path.
     effects_scratch: Vec<Effect<P, T>>,
+    /// Persistent windowed-executor worker pool, created on the first
+    /// multi-lane window and reused for every window after it (spawning
+    /// threads per window would dominate sub-millisecond windows). A
+    /// derived runtime resource like `grid`: never part of a stamp.
+    window_pool: Option<executor::WindowPool<P, T>>,
 }
 
 /// A verification witness of the engine's full dynamic state at one
@@ -299,6 +346,41 @@ pub type TamperHook<P> = Box<dyn FnMut(&mut P, &mut StdRng) -> bool>;
 /// stats), so installing it cannot perturb a trace.
 pub type BoundaryTap<P> = Box<dyn FnMut(Time, NodeId, NodeId, &P, u32, u32)>;
 
+/// One observation fired by the windowed executor's serial scan phase.
+///
+/// Purely observational (fired before any handler runs, in exact
+/// `(time, seq)` order, with no RNG draws and no stats), so installing a
+/// window tap cannot perturb a trace. The serial executor never fires it.
+#[derive(Debug)]
+pub enum WindowEvent<'a, P> {
+    /// A delivery admitted to the current parallel window, in serial
+    /// order. Fired after the engine's gating (inactive / crashed drops),
+    /// so every `Delivery` will reach its node's `on_packet`.
+    Delivery {
+        /// Delivery time.
+        at: Time,
+        /// Transmitting node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Channel the packet travelled on.
+        channel: Channel,
+        /// The delivered payload.
+        payload: &'a P,
+    },
+    /// The window's scan is complete; handler execution is about to
+    /// begin. `at` is the window's last event time. Listeners that batch
+    /// work across a window (e.g. the scenario-level verify prefetcher)
+    /// flush here, so results are warm before any handler needs them.
+    Flush {
+        /// The window's last event time.
+        at: Time,
+    },
+}
+
+/// A window observer installed via [`World::set_window_tap`].
+pub type WindowTap<P> = Box<dyn FnMut(WindowEvent<'_, P>)>;
+
 impl<P, T> std::fmt::Debug for World<P, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
@@ -309,7 +391,7 @@ impl<P, T> std::fmt::Debug for World<P, T> {
     }
 }
 
-impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
+impl<P: Clone + Send + 'static, T: Clone + Send + 'static> World<P, T> {
     /// Creates an empty world with the given configuration.
     pub fn new(cfg: WorldConfig) -> Self {
         assert!(
@@ -339,7 +421,8 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             now: Time::ZERO,
             rng,
             stats: Stats::new(),
-            next_timer_id: 0,
+            next_dispatch: 0,
+            timers_armed_total: 0,
             tap: None,
             injector: None,
             tamper: None,
@@ -348,8 +431,10 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             grid_stamp: None,
             sharded: None,
             boundary_tap: None,
+            window_tap: None,
             recv_scratch: Vec::new(),
             effects_scratch: Vec::new(),
+            window_pool: None,
         }
     }
 
@@ -388,6 +473,15 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     /// backend is [`WorldBackend::Sharded`] and large enough to index.
     pub fn set_boundary_tap(&mut self, tap: BoundaryTap<P>) {
         self.boundary_tap = Some(tap);
+    }
+
+    /// Installs a [`WindowTap`] observing the windowed executor's window
+    /// contents and flush boundaries. Replaces any previous tap. Inert
+    /// under [`ExecutorMode::Serial`] (and for windows too small to run
+    /// in parallel); see [`WindowEvent`] for why it cannot perturb a
+    /// trace.
+    pub fn set_window_tap(&mut self, tap: WindowTap<P>) {
+        self.window_tap = Some(tap);
     }
 
     /// Activity counters of the sharded backend ([`ShardDiagnostics`]),
@@ -508,7 +602,7 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
             now_micros: self.now.as_micros(),
             scheduled: self.queue.pushed(),
             pending: self.queue.len() as u64,
-            timers_armed: self.next_timer_id,
+            timers_armed: self.timers_armed_total,
             rng_state: self.rng.state(),
             stats_digest: self.stats.digest(),
             node_digest,
@@ -554,7 +648,10 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     /// ones scheduled to fire after the restart. No-op if the node is
     /// already paused or was despawned.
     pub fn pause(&mut self, id: NodeId) {
-        let barrier = self.next_timer_id;
+        // Every timer armed before this instant carries a dispatch index
+        // below `next_dispatch`, hence an id below this barrier; every
+        // timer armed after the restart carries one at or above it.
+        let barrier = self.next_dispatch << TIMER_LOCAL_BITS;
         if let Some(slot) = self.nodes.get_mut(id.as_usize()) {
             if slot.active && !slot.paused {
                 slot.paused = true;
@@ -682,6 +779,15 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
         };
         debug_assert!(event.time >= self.now, "event queue went backwards");
         self.now = event.time;
+        self.process_event(event);
+        true
+    }
+
+    /// Executes one popped event at `self.now == event.time`: gating
+    /// (inactive / crashed / stale-timer drops), tamper draws, taps,
+    /// oracle observations, and the handler dispatch itself. Shared by
+    /// [`Self::step`] and the windowed executor's solo-event fallbacks.
+    fn process_event(&mut self, event: Scheduled<P, T>) {
         let id = event.node;
         let active = self.is_active(id);
         match event.occurrence {
@@ -701,7 +807,7 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                             payload: &payload,
                         },
                     );
-                    return true;
+                    return;
                 }
                 if self.is_paused(id) {
                     self.stats.incr("fault.drop.crashed");
@@ -714,7 +820,7 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                             payload: &payload,
                         },
                     );
-                    return true;
+                    return;
                 }
                 if let Some(hook) = self.tamper.as_mut() {
                     let p = self
@@ -754,22 +860,21 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
                 // The emptiness guard skips hashing entirely on the common
                 // path — most runs cancel no or very few timers.
                 if !self.cancelled_timers.is_empty() && self.cancelled_timers.remove(&timer_id.0) {
-                    return true;
+                    return;
                 }
                 if !active {
-                    return true;
+                    return;
                 }
                 let slot = &self.nodes[id.as_usize()];
                 if slot.paused || timer_id.0 < slot.timer_barrier {
                     // Armed before the node's last crash: a rebooted node
                     // does not remember it.
                     self.stats.incr("fault.drop.timer");
-                    return true;
+                    return;
                 }
                 self.dispatch(id, |node, ctx| node.on_timer(ctx, token));
             }
         }
-        true
     }
 
     /// Applies the single next due crash/restart edge at or before
@@ -794,7 +899,18 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
 
     /// Runs events until virtual time exceeds `deadline` (events at exactly
     /// `deadline` are executed). Afterwards `now() == deadline`.
+    ///
+    /// Which event loop runs is chosen by [`WorldConfig::executor`]; both
+    /// are bit-identical (see [`ExecutorMode`]).
     pub fn run_until(&mut self, deadline: Time) {
+        match self.cfg.executor {
+            ExecutorMode::Serial => self.run_until_serial(deadline),
+            ExecutorMode::Windowed { threads } => self.run_until_windowed(deadline, threads),
+        }
+    }
+
+    /// The classic serial event loop behind [`Self::run_until`].
+    fn run_until_serial(&mut self, deadline: Time) {
         loop {
             while let Some(t) = self.queue.peek_time() {
                 if t > deadline {
@@ -815,7 +931,10 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
     }
 
     /// Runs until the event queue drains or `max_events` have executed.
-    /// Returns the number of events executed.
+    /// Returns the number of events executed. Always drives the serial
+    /// loop regardless of [`WorldConfig::executor`] — callers use it for
+    /// bounded drains and tests where per-event control matters, not for
+    /// throughput.
     pub fn run_to_completion(&mut self, max_events: u64) -> u64 {
         let mut executed = 0;
         while executed < max_events && self.step() {
@@ -824,8 +943,11 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
         executed
     }
 
-    /// Takes the node out of its slot, runs `f` with a fresh [`Context`],
-    /// puts it back, then applies the effects it emitted.
+    /// Runs `f` against node `id` with a fresh serial-mode [`Context`]
+    /// (stats counted directly, zero allocations on the recycled effect
+    /// buffer), then commits the effects it emitted. The two-phase
+    /// stage/commit shape is the same as the windowed executor's — here
+    /// the commit simply follows each stage immediately.
     fn dispatch<F>(&mut self, id: NodeId, f: F)
     where
         F: FnOnce(&mut dyn Node<P, T>, &mut Context<'_, P, T>),
@@ -835,21 +957,24 @@ impl<P: Clone + 'static, T: Clone + 'static> World<P, T> {
         // fresh allocation via `mem::take`.
         let mut effects = std::mem::take(&mut self.effects_scratch);
         effects.clear();
+        let timer_base = self.next_dispatch << TIMER_LOCAL_BITS;
+        self.next_dispatch += 1;
         let mut ctx = Context {
             now: self.now,
             self_id: id,
-            rng: &mut self.rng,
-            stats: &mut self.stats,
-            next_timer_id: &mut self.next_timer_id,
+            stats: StatSink::Direct(&mut self.stats),
+            timer_base,
+            timers_armed: 0,
             effects,
         };
         // Split borrows: the node lives in `self.nodes`, the context borrows
-        // the engine's RNG/stats, so no aliasing occurs.
+        // the engine's stats, so no aliasing occurs.
         let slot = self
             .nodes
             .get_mut(id.as_usize())
             .expect("dispatch to unspawned node");
         f(slot.node.as_mut(), &mut ctx);
+        self.timers_armed_total += u64::from(ctx.timers_armed);
         let mut effects = ctx.effects;
         self.apply_effects(id, &mut effects);
         effects.clear();
